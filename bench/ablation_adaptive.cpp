@@ -1,0 +1,131 @@
+// Ablation — adaptive re-tracking on dynamic applications (§7).
+//
+// The paper's closing argument: stretch only works for static sharing;
+// adaptive applications need min-cost over *fresh* correlation maps.
+// On a drifting workload we compare four policies over a long run:
+//   static-stretch    place once with stretch, never adapt
+//   track-once        min-cost from one tracked iteration, never again
+//   eager            re-track whenever the miss rate exceeds baseline at all
+//   adaptive          re-track when the miss rate degrades (controller)
+// and report total remote misses, tracking/migration overheads and run
+// time.  Sweeps the drift period to show where adaptation pays.
+#include "apps/drifting.hpp"
+#include "apps/irregular_mesh.hpp"
+#include "bench_util.hpp"
+#include "runtime/adaptive.hpp"
+
+namespace {
+
+using namespace actrack;
+using namespace actrack::bench;
+
+struct PolicyResult {
+  std::int64_t misses = 0;
+  std::int64_t tracks = 0;
+  std::int64_t migrations = 0;
+  SimTime elapsed_us = 0;
+};
+
+PolicyResult run_policy(const std::string& policy, std::int32_t period,
+                        std::int32_t iters) {
+  constexpr std::int32_t kT = 64;
+  DriftingWorkload workload(kT, period, /*shift=*/5);
+  ClusterRuntime runtime(workload, Placement::stretch(kT, kNodes));
+
+  AdaptivePolicy config;
+  if (policy == "static-stretch") {
+    config.degradation_factor = 1e18;  // the controller never re-tracks
+  } else if (policy == "track-once") {
+    config.degradation_factor = 1e18;
+  } else if (policy == "eager") {
+    config.degradation_factor = 1.0;   // re-track at every opportunity
+    config.cooldown_iterations = 6;    // ... every 7 iterations
+  } else {
+    config.degradation_factor = 1.3;   // adaptive default
+  }
+
+  PolicyResult result;
+  if (policy == "static-stretch") {
+    // No tracking at all: just run on the stretch placement.
+    runtime.run_init();
+    for (std::int32_t i = 0; i < iters; ++i) {
+      const IterationMetrics m = runtime.run_iteration();
+      result.misses += m.remote_misses;
+      result.elapsed_us += m.elapsed_us;
+    }
+    return result;
+  }
+
+  AdaptiveController controller(&runtime, config);
+  for (const AdaptiveStep& step : controller.run(iters)) {
+    result.misses += step.remote_misses;
+    result.elapsed_us += step.elapsed_us;
+  }
+  result.tracks = controller.tracked_iterations();
+  result.migrations = controller.migrations();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int32_t iters = arg_int(argc, argv, "--iters", 60);
+
+  std::printf("Ablation: placement policies on a drifting workload "
+              "(64 threads, 8 nodes,\n%d iterations; sharing rotates by 5 "
+              "threads each epoch)\n", iters);
+  for (const std::int32_t period : {8, 16, 1 << 20}) {
+    if (period >= (1 << 20)) {
+      std::printf("\n-- static sharing (no drift) --\n");
+    } else {
+      std::printf("\n-- drift period %d --\n", period);
+    }
+    print_rule(76);
+    std::printf("%-16s %12s %8s %12s %10s\n", "policy", "misses", "tracks",
+                "migrations", "time(s)");
+    print_rule(76);
+    for (const char* policy :
+         {"static-stretch", "track-once", "eager", "adaptive"}) {
+      const PolicyResult r = run_policy(policy, period, iters);
+      std::printf("%-16s %12lld %8lld %12lld %10.3f\n", policy,
+                  static_cast<long long>(r.misses),
+                  static_cast<long long>(r.tracks),
+                  static_cast<long long>(r.migrations), secs(r.elapsed_us));
+    }
+    print_rule(76);
+  }
+  // §7's actual target: adaptive *irregular* codes [Han & Tseng], where
+  // refinement plus element migration degrade any static placement.
+  std::printf("\n-- adaptive irregular mesh (remesh every 8, elements "
+              "migrate) --\n");
+  print_rule(76);
+  std::printf("%-16s %12s %8s %12s %10s\n", "policy", "misses", "tracks",
+              "migrations", "time(s)");
+  print_rule(76);
+  for (const bool adapt : {false, true}) {
+    IrregularMeshWorkload workload(64);
+    ClusterRuntime runtime(workload, Placement::stretch(64, kNodes));
+    AdaptivePolicy policy;
+    policy.degradation_factor = adapt ? 1.3 : 1e18;
+    AdaptiveController controller(&runtime, policy);
+    std::int64_t misses = 0;
+    SimTime elapsed = 0;
+    for (const AdaptiveStep& step : controller.run(iters)) {
+      misses += step.remote_misses;
+      elapsed += step.elapsed_us;
+    }
+    std::printf("%-16s %12lld %8lld %12lld %10.3f\n",
+                adapt ? "adaptive" : "track-once",
+                static_cast<long long>(misses),
+                static_cast<long long>(controller.tracked_iterations()),
+                static_cast<long long>(controller.migrations()),
+                secs(elapsed));
+  }
+  print_rule(76);
+
+  std::printf("\nExpected: with static sharing all tracking policies tie "
+              "and overhead is one\ntracked iteration; under drift, "
+              "adaptive ≈ eager ≪ track-once ≈ static and the adaptive\n"
+              "mesh needs repeated re-tracking to hold its miss rate.\n");
+  return 0;
+}

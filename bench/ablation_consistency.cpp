@@ -1,0 +1,107 @@
+// Ablation — consistency model (paper §6, related work).
+//
+// The paper argues that the earlier thread-scheduling DSMs (Millipede,
+// PARSEC) are hard to compare against because they are sequentially-
+// consistent single-writer systems that "suffer from both false and
+// true sharing", and that mechanisms like Mirage's delta interval (or
+// PARSEC's suspension scheduling) mostly compensate for that protocol
+// choice rather than for thread placement.  This bench makes the
+// argument quantitative: the same applications and placements run under
+//   (a) CVM's multi-writer lazy release consistency,
+//   (b) a sequentially-consistent single-writer protocol,
+//   (c) the same plus a Mirage-style delta interval,
+// and we report remote misses, ownership transfers and run time.  It
+// also shows that good placement still matters *more* under SC — the
+// thread-correlation machinery is protocol independent.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace actrack;
+  using namespace actrack::bench;
+
+  const auto run_with = [&](const Workload& workload,
+                            const Placement& placement,
+                            ConsistencyModel model, SimTime delta_us) {
+    RuntimeConfig config;
+    config.dsm.model = model;
+    config.dsm.delta_interval_us = delta_us;
+    ClusterRuntime runtime(workload, placement, config);
+    runtime.run_init();
+    for (std::int32_t i = 0; i < 4; ++i) runtime.run_iteration();
+    return runtime.totals();
+  };
+
+  std::printf("Ablation: LRC multi-writer vs sequentially-consistent "
+              "single-writer\n(64 threads, 8 nodes, stretch placement, "
+              "4 measured iterations)\n");
+  print_rule(108);
+  std::printf("%-9s | %10s %8s %8s | %10s %8s %8s %9s | %10s %8s\n", "",
+              "misses", "MB", "time(s)", "misses", "MB", "time(s)",
+              "steals", "misses", "time(s)");
+  std::printf("%-9s | %28s | %38s | %19s\n", "App", "LRC (CVM)",
+              "SC single-writer", "SC + delta");
+  print_rule(108);
+
+  for (const char* name : {"SOR", "Water", "Ocean", "LU1k", "FFT6"}) {
+    const auto workload = make_workload(name, kThreads);
+    const Placement placement = Placement::stretch(kThreads, kNodes);
+
+    const IterationMetrics lrc =
+        run_with(*workload, placement,
+                 ConsistencyModel::kLazyReleaseMultiWriter, 0);
+    const IterationMetrics sc = run_with(
+        *workload, placement, ConsistencyModel::kSequentialSingleWriter, 0);
+    const IterationMetrics sc_delta =
+        run_with(*workload, placement,
+                 ConsistencyModel::kSequentialSingleWriter, 2000);
+
+    // Steal count needs a fresh run to read protocol stats directly.
+    RuntimeConfig sc_config;
+    sc_config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+    ClusterRuntime probe(*workload, placement, sc_config);
+    probe.run_init();
+    for (std::int32_t i = 0; i < 4; ++i) probe.run_iteration();
+    const std::int64_t steals = probe.dsm().stats().ownership_transfers;
+
+    std::printf("%-9s | %10lld %8.1f %8.2f | %10lld %8.1f %8.2f %9lld | "
+                "%10lld %8.2f\n",
+                name, static_cast<long long>(lrc.remote_misses),
+                mbytes(lrc.total_bytes), secs(lrc.elapsed_us),
+                static_cast<long long>(sc.remote_misses),
+                mbytes(sc.total_bytes), secs(sc.elapsed_us),
+                static_cast<long long>(steals),
+                static_cast<long long>(sc_delta.remote_misses),
+                secs(sc_delta.elapsed_us));
+  }
+  print_rule(108);
+
+  // Placement sensitivity under each protocol.
+  std::printf("\nmin-cost vs random placement, both protocols (Water):\n");
+  const auto workload = make_workload("Water", kThreads);
+  const CorrelationMatrix matrix = correlations_for(*workload);
+  Rng rng(kSeed + 11);
+  const Placement good = min_cost_placement(matrix, kNodes);
+  const Placement bad = balanced_random_placement(rng, kThreads, kNodes);
+  for (const auto model : {ConsistencyModel::kLazyReleaseMultiWriter,
+                           ConsistencyModel::kSequentialSingleWriter}) {
+    const IterationMetrics gm = run_with(*workload, good, model, 0);
+    const IterationMetrics bm = run_with(*workload, bad, model, 0);
+    std::printf("  %-18s misses %8lld (min-cost) vs %8lld (random) — "
+                "random/min-cost = %.2f\n",
+                model == ConsistencyModel::kLazyReleaseMultiWriter
+                    ? "LRC multi-writer"
+                    : "SC single-writer",
+                static_cast<long long>(gm.remote_misses),
+                static_cast<long long>(bm.remote_misses),
+                static_cast<double>(bm.remote_misses) /
+                    static_cast<double>(gm.remote_misses));
+  }
+  std::printf("\nExpected: SC suffers extra misses where pages are falsely "
+              "shared across nodes\n(Ocean) and moves whole pages where LRC "
+              "moves diffs (MB column); the delta\ninterval trades time for "
+              "thrashing; placement quality matters under both.\nNote: "
+              "traces are first-touch compressed per interval, so SC's "
+              "intra-interval\nping-ponging is understated relative to a "
+              "real SC system (see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — heterogeneous node capacity (§2).
+//
+// "Unequal numbers of threads might be desirable in the presence of
+// heterogeneous node capacity, whether due to competing applications or
+// simply because some machines are faster than others."  We build a
+// cluster where two of the eight nodes are 2x faster and compare:
+//   balanced stretch          ignore capacity (8 threads everywhere)
+//   weighted stretch          populations proportional to speed
+//   weighted min-cost         capacity-proportional + cut-minimising
+// on compute-bound and on communication-bound applications.
+#include "bench_util.hpp"
+#include "placement/weighted.hpp"
+
+int main() {
+  using namespace actrack;
+  using namespace actrack::bench;
+
+  std::vector<double> speeds(static_cast<std::size_t>(kNodes), 1.0);
+  speeds[0] = 2.0;
+  speeds[1] = 2.0;
+
+  std::printf("Ablation: heterogeneous cluster (nodes 0-1 are 2x faster)\n");
+  print_rule(84);
+  std::printf("%-9s %-18s %10s %12s %12s %10s\n", "App", "placement",
+              "time(s)", "misses", "cut cost", "imbalance");
+  print_rule(84);
+
+  for (const char* name : {"Spatial", "Water", "SOR", "LU1k"}) {
+    const auto workload = make_workload(name, kThreads);
+    const CorrelationMatrix matrix = correlations_for(*workload);
+
+    struct Candidate {
+      const char* label;
+      Placement placement;
+    };
+    const Candidate candidates[] = {
+        {"balanced stretch", Placement::stretch(kThreads, kNodes)},
+        {"weighted stretch", weighted_stretch(kThreads, speeds)},
+        {"weighted min-cost", weighted_min_cost(matrix, speeds)},
+    };
+
+    for (const Candidate& candidate : candidates) {
+      RuntimeConfig config;
+      config.sched.node_speed = speeds;
+      ClusterRuntime runtime(*workload, candidate.placement, config);
+      runtime.run_init();
+      runtime.run_iteration();
+      IterationMetrics sum;
+      for (int i = 0; i < 3; ++i) sum.add(runtime.run_iteration());
+      std::printf("%-9s %-18s %10.3f %12lld %12lld %10.2f\n", name,
+                  candidate.label, secs(sum.elapsed_us),
+                  static_cast<long long>(sum.remote_misses),
+                  static_cast<long long>(
+                      matrix.cut_cost(candidate.placement.node_of_thread())),
+                  sum.load_imbalance);
+    }
+  }
+  print_rule(84);
+  std::printf("Expected: weighted populations shorten compute-bound "
+              "iterations (Spatial,\nWater) by keeping fast nodes busy and "
+              "cutting the load imbalance; weighted\nmin-cost recovers most "
+              "of the cut-cost increase that unequal populations "
+              "force.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation — migration budget vs placement quality (paper §5).
+//
+// A migration round costs one stack copy per moved thread, so a system
+// may prefer "most of min-cost's benefit for a fraction of the moves".
+// Starting from a random placement of each application, we sweep the
+// move budget and report the cut cost reached and the simulated cost of
+// the migration round itself, quantifying the §5 remark that stretch
+// "will often move more threads at migration points than other
+// approaches".
+#include "bench_util.hpp"
+
+int main() {
+  using namespace actrack;
+  using namespace actrack::bench;
+
+  std::printf("Ablation: cut cost vs migration budget (from a random "
+              "placement, 64 threads, 8 nodes)\n");
+  print_rule(92);
+  std::printf("%-9s %10s | %8s %8s %8s %8s %8s | %10s %8s\n", "App",
+              "random", "8", "16", "24", "32", "full", "min-cost",
+              "moves(mc)");
+  print_rule(92);
+
+  for (const std::string& name : all_workload_names()) {
+    const auto workload = make_workload(name, kThreads);
+    const CorrelationMatrix matrix = correlations_for(*workload);
+    Rng rng(kSeed + 21);
+    const Placement start = balanced_random_placement(rng, kThreads, kNodes);
+    const std::int64_t base = matrix.cut_cost(start.node_of_thread());
+
+    std::printf("%-9s %10lld |", name.c_str(),
+                static_cast<long long>(base));
+    for (const std::int32_t budget : {8, 16, 24, 32, 64}) {
+      const Placement constrained =
+          min_cost_within_budget(matrix, start, budget);
+      std::printf(" %8lld",
+                  static_cast<long long>(
+                      matrix.cut_cost(constrained.node_of_thread())));
+    }
+    const Placement full = min_cost_placement(matrix, kNodes);
+    std::printf(" | %10lld %8d\n",
+                static_cast<long long>(
+                    matrix.cut_cost(full.node_of_thread())),
+                start.migration_distance(full));
+  }
+  print_rule(92);
+  std::printf("Expected: most of the cut reduction arrives within the "
+              "first ~16-24 moves;\nthe unconstrained min-cost placement "
+              "typically moves ~50+ of 64 threads.\n");
+  return 0;
+}

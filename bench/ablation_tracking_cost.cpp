@@ -1,0 +1,66 @@
+// Ablation — tracking-cost sensitivity (Table 5 robustness).
+//
+// Table 5's slowdowns depend on two calibration constants we cannot
+// measure on the paper's hardware: the cost of one correlation fault
+// and the per-page cost of re-protecting the segment at thread
+// switches.  This ablation sweeps both across an order of magnitude and
+// shows that (a) the *ranking* of applications by tracking overhead is
+// stable, and (b) the amortised cost over a 100-iteration run stays
+// small — the paper's actual claims.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace actrack;
+using namespace actrack::bench;
+
+double slowdown_pct(const Workload& workload, const CostModel& cost) {
+  RuntimeConfig config;
+  config.cost = cost;
+  const Placement placement = Placement::stretch(kThreads, kNodes);
+
+  ClusterRuntime off(workload, placement, config);
+  off.run_init();
+  off.run_iteration();
+  const SimTime t_off = off.run_iteration().elapsed_us;
+
+  ClusterRuntime on(workload, placement, config);
+  on.run_init();
+  on.run_iteration();
+  const SimTime t_on = on.run_tracked_iteration().metrics.elapsed_us;
+  return 100.0 * static_cast<double>(t_on - t_off) /
+         static_cast<double>(t_off);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: Table 5 sensitivity to tracking-cost calibration\n");
+  print_rule(76);
+  std::printf("%-9s | %10s %10s %10s | %12s\n", "App", "0.3x", "1x", "3x",
+              "amortised/100");
+  print_rule(76);
+
+  for (const char* name : {"SOR", "Ocean", "LU2k", "Water", "Spatial"}) {
+    const auto workload = make_workload(name, kThreads);
+    std::printf("%-9s |", name);
+    double base = 0;
+    for (const double scale : {0.3, 1.0, 3.0}) {
+      CostModel cost;
+      cost.tracking_fault_us = static_cast<SimTime>(
+          static_cast<double>(cost.tracking_fault_us) * scale);
+      cost.protect_page_us = std::max<SimTime>(
+          1, static_cast<SimTime>(
+                 static_cast<double>(cost.protect_page_us) * scale));
+      const double pct = slowdown_pct(*workload, cost);
+      if (scale == 1.0) base = pct;
+      std::printf(" %9.1f%%", pct);
+    }
+    std::printf(" | %11.2f%%\n", base / 100.0);
+  }
+  print_rule(76);
+  std::printf("Expected: SOR/Ocean stay the most expensive and Spatial the "
+              "cheapest at every\nscale; amortised over 100 iterations the "
+              "overhead is <1%% (§4.2's argument).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 2 — Passive Information-Gathering.
+//
+// Paper §4.1: the percentage of complete sharing information gathered
+// by passive (remote-fault-only) tracking as a function of migration
+// rounds.  The paper's finding: even after many rounds, passive
+// tracking approaches complete information only for SOR; the complex
+// apps plateau well below 100 %, and migrations ping-pong.
+//
+// Flags: --rounds N (default 10).
+#include <fstream>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "runtime/passive.hpp"
+#include "viz/svg_plot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace actrack;
+  using namespace actrack::bench;
+  const std::int32_t rounds = arg_int(argc, argv, "--rounds", 10);
+
+  std::printf("Figure 2: %% of complete sharing information vs migration "
+              "round (passive tracking)\n");
+  std::printf("(64 threads, 8 nodes, %d rounds)\n\n", rounds);
+
+  std::printf("%-9s", "round:");
+  for (std::int32_t r = 0; r < rounds; ++r) std::printf("%6d", r);
+  std::printf("%8s\n", "moved");
+  print_rule(9 + 6 * rounds + 8);
+
+  std::ofstream csv("fig2_passive.csv");
+  csv << "app,round,completeness,threads_moved,remote_misses\n";
+  SvgPlot figure("Figure 2: passive information gathering",
+                 "migration round", "% of complete sharing information");
+
+  for (const std::string& name : all_workload_names()) {
+    const auto workload = make_workload(name, kThreads);
+    PassiveTrackingExperiment experiment(*workload, kNodes);
+    const std::vector<PassiveRound> series = experiment.run(rounds);
+    std::printf("%-9s", name.c_str());
+    std::int32_t total_moved = 0;
+    SvgSeries line;
+    line.label = name;
+    line.connect = true;
+    for (const PassiveRound& round : series) {
+      std::printf("%5.0f%%", 100.0 * round.completeness);
+      total_moved += round.threads_moved;
+      csv << name << ',' << round.round << ',' << round.completeness << ','
+          << round.threads_moved << ',' << round.remote_misses << '\n';
+      line.x.push_back(round.round);
+      line.y.push_back(100.0 * round.completeness);
+    }
+    figure.add_series(std::move(line));
+    std::printf("%8d\n", total_moved);
+  }
+  figure.write("fig2_passive.svg");
+  print_rule(9 + 6 * rounds + 8);
+  std::printf("'moved' totals the threads migrated across rounds "
+              "(ping-ponging).\nSeries data written to fig2_passive.csv.\n");
+  std::printf("\nExpected shape: SOR approaches 100%%; apps with heavy "
+              "local sharing (Water,\nBarnes, Spatial) plateau far below "
+              "it — active tracking gets 100%% in one pass\nby "
+              "construction (see tests/tracking_test.cpp).\n");
+  return 0;
+}

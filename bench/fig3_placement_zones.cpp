@@ -1,0 +1,64 @@
+// Figure 3 — 32-thread FFT free zones.
+//
+// Paper §5: the same correlation map rendered with the "free zones"
+// (same-node thread pairs) of three configurations: (a) four nodes —
+// every dark region inside a free zone, minimal communication; (b)
+// eight nodes — smaller zones covering only half the dark areas; (c)
+// four nodes with randomly permuted thread assignment — high cut cost
+// that neither node count addresses.
+#include "bench_util.hpp"
+#include "viz/map_render.hpp"
+
+int main() {
+  using namespace actrack;
+  using namespace actrack::bench;
+
+  constexpr std::int32_t kFftThreads = 32;
+  const auto workload = make_workload("FFT6", kFftThreads);
+  const CorrelationMatrix matrix = correlations_for(*workload, 4);
+
+  Rng rng(kSeed + 3);
+  struct Panel {
+    const char* label;
+    Placement placement;
+    const char* path;
+  };
+  const Panel panels[] = {
+      {"(a) 4 nodes, stretch", Placement::stretch(kFftThreads, 4),
+       "fig3a_4node.pgm"},
+      {"(b) 8 nodes, stretch", Placement::stretch(kFftThreads, 8),
+       "fig3b_8node.pgm"},
+      {"(c) 4 nodes, randomised",
+       balanced_random_placement(rng, kFftThreads, 4), "fig3c_random.pgm"},
+  };
+
+  std::printf("Figure 3: 32-thread FFT (2^18 points) free zones\n");
+  print_rule();
+  std::printf("%-26s %12s %22s\n", "configuration", "cut cost",
+              "sharing inside zones");
+  print_rule();
+  for (const Panel& panel : panels) {
+    write_pgm_with_zones(matrix, panel.placement, panel.path);
+    const std::int64_t cut =
+        matrix.cut_cost(panel.placement.node_of_thread());
+    const std::int64_t total = matrix.total_pair_correlation();
+    std::printf("%-26s %12lld %21.1f%%\n", panel.label,
+                static_cast<long long>(cut),
+                100.0 * static_cast<double>(total - cut) /
+                    static_cast<double>(total));
+  }
+  print_rule();
+  std::printf("Maps with zone outlines written to fig3{a,b,c}_*.pgm.\n");
+  std::printf("Expected: (a) captures nearly all sharing inside zones, (b) "
+              "about half,\n(c) far less than either — matching the paper's "
+              "reading of Figure 3.\n");
+
+  // Verify the inference by running all three.
+  std::printf("\nmeasured steady-state remote misses per iteration:\n");
+  for (const Panel& panel : panels) {
+    const IterationMetrics m = run_measured(*workload, panel.placement, 2);
+    std::printf("  %-26s %10lld\n", panel.label,
+                static_cast<long long>(m.remote_misses / 2));
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the
+// simulator: DSM access hits/misses, release/barrier processing, bitmap
+// intersection (the correlation kernel), matrix construction, cut-cost
+// evaluation and min-cost refinement.  These guard the simulator's own
+// performance — Table 2 runs 300 full configurations per application.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <sstream>
+
+#include "apps/workload.hpp"
+#include "common/bitset.hpp"
+#include "correlation/matrix.hpp"
+#include "correlation/structure.hpp"
+#include "dsm/protocol.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace {
+
+using namespace actrack;
+
+void BM_DsmAccessHit(benchmark::State& state) {
+  NetworkModel net(8, CostModel{});
+  DsmSystem dsm(1024, 8, &net);
+  dsm.access(0, 0, {5, AccessKind::kRead, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsm.access(0, 0, {5, AccessKind::kRead, 0}));
+  }
+}
+BENCHMARK(BM_DsmAccessHit);
+
+void BM_DsmRemoteMissCycle(benchmark::State& state) {
+  NetworkModel net(2, CostModel{});
+  DsmSystem dsm(64, 2, &net);
+  for (auto _ : state) {
+    // write on node 0, sync, remote read on node 1 — one full
+    // invalidate/diff-fetch cycle.
+    dsm.access(0, 0, {3, AccessKind::kWrite, 128});
+    dsm.release_node(0);
+    dsm.release_node(1);
+    dsm.barrier_epoch();
+    benchmark::DoNotOptimize(dsm.access(1, 1, {3, AccessKind::kRead, 0}));
+  }
+}
+BENCHMARK(BM_DsmRemoteMissCycle);
+
+void BM_BarrierEpoch(benchmark::State& state) {
+  const auto pages = static_cast<PageId>(state.range(0));
+  NetworkModel net(8, CostModel{});
+  DsmConfig config;
+  config.gc_enabled = false;
+  DsmSystem dsm(pages, 8, &net, config);
+  for (auto _ : state) {
+    for (PageId p = 0; p < pages; p += 4) {
+      dsm.access(p % 8, 0, {p, AccessKind::kWrite, 64});
+    }
+    for (NodeId n = 0; n < 8; ++n) dsm.release_node(n);
+    dsm.barrier_epoch();
+  }
+  state.SetItemsProcessed(state.iterations() * pages / 4);
+}
+BENCHMARK(BM_BarrierEpoch)->Arg(1024)->Arg(4096);
+
+void BM_BitsetIntersection(benchmark::State& state) {
+  const std::int64_t bits = state.range(0);
+  DynamicBitset a(bits), b(bits);
+  for (std::int64_t i = 0; i < bits; i += 3) a.set(i);
+  for (std::int64_t i = 0; i < bits; i += 5) b.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersection_count(b));
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_BitsetIntersection)->Arg(4096)->Arg(65536);
+
+void BM_CorrelationMatrixBuild(benchmark::State& state) {
+  const auto threads = static_cast<std::int32_t>(state.range(0));
+  std::vector<DynamicBitset> bitmaps(
+      static_cast<std::size_t>(threads), DynamicBitset(4096));
+  Rng rng(1);
+  for (auto& bitmap : bitmaps) {
+    for (int i = 0; i < 256; ++i) bitmap.set(rng.uniform(4096));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CorrelationMatrix::from_bitmaps(bitmaps));
+  }
+}
+BENCHMARK(BM_CorrelationMatrixBuild)->Arg(64);
+
+void BM_CutCost(benchmark::State& state) {
+  CorrelationMatrix m(64);
+  Rng rng(2);
+  for (ThreadId i = 0; i < 64; ++i) {
+    for (ThreadId j = i + 1; j < 64; ++j) m.set(i, j, rng.uniform(100));
+  }
+  const Placement p = Placement::stretch(64, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.cut_cost(p.node_of_thread()));
+  }
+}
+BENCHMARK(BM_CutCost);
+
+void BM_MinCostPlacement(benchmark::State& state) {
+  CorrelationMatrix m(64);
+  Rng rng(3);
+  for (ThreadId i = 0; i < 64; ++i) {
+    for (ThreadId j = i + 1; j < 64; ++j) m.set(i, j, rng.uniform(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_cost_placement(m, 8));
+  }
+}
+BENCHMARK(BM_MinCostPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_SorIteration(benchmark::State& state) {
+  const auto workload = make_workload("SOR", 64);
+  ClusterRuntime runtime(*workload, Placement::stretch(64, 8));
+  runtime.run_init();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run_iteration());
+  }
+  state.SetLabel("simulated iteration of SOR/64");
+}
+BENCHMARK(BM_SorIteration)->Unit(benchmark::kMillisecond);
+
+void BM_ScOwnershipPingPong(benchmark::State& state) {
+  NetworkModel net(2, CostModel{});
+  DsmConfig config;
+  config.model = ConsistencyModel::kSequentialSingleWriter;
+  DsmSystem dsm(64, 2, &net, config);
+  NodeId writer = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsm.access(writer, writer, {3, AccessKind::kWrite, 64}));
+    writer = 1 - writer;
+  }
+}
+BENCHMARK(BM_ScOwnershipPingPong);
+
+void BM_StructureClassification(benchmark::State& state) {
+  const auto workload = make_workload("Ocean", 64);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(workload->iteration(1),
+                               workload->num_pages()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_structure(m));
+  }
+}
+BENCHMARK(BM_StructureClassification);
+
+void BM_TraceSerializeRoundTrip(benchmark::State& state) {
+  const auto workload = make_workload("Water", 64);
+  TraceFile file;
+  file.num_threads = 64;
+  file.num_pages = workload->num_pages();
+  file.iterations.push_back(workload->iteration(1));
+  for (auto _ : state) {
+    std::stringstream stream;
+    write_trace_file(file, stream);
+    benchmark::DoNotOptimize(read_trace_file(stream));
+  }
+  state.SetLabel("Water/64 iteration");
+}
+BENCHMARK(BM_TraceSerializeRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_TrackedIteration(benchmark::State& state) {
+  const auto workload = make_workload("Water", 64);
+  ClusterRuntime runtime(*workload, Placement::stretch(64, 8));
+  runtime.run_init();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.run_tracked_iteration());
+  }
+  state.SetLabel("tracked iteration of Water/64");
+}
+BENCHMARK(BM_TrackedIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

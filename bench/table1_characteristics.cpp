@@ -1,0 +1,51 @@
+// Table 1 — Application Characteristics.
+//
+// Paper: application name, types of synchronisation, input size, and
+// number of shared pages for the ten 64-thread configurations.  We
+// print the reproduction's values next to the paper's shared-page
+// counts (exact for SOR/Water/Barnes, near-exact for LU/Ocean,
+// same-magnitude for FFT/Spatial — see EXPERIMENTS.md for why).
+#include "bench_util.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int shared_pages;
+};
+constexpr PaperRow kPaper[] = {
+    {"Barnes", 251},  {"FFT6", 1796}, {"FFT7", 3588}, {"FFT8", 7172},
+    {"LU1k", 1032},   {"LU2k", 4105}, {"Ocean", 3191}, {"Spatial", 569},
+    {"SOR", 4099},    {"Water", 44},
+};
+
+}  // namespace
+
+int main() {
+  using namespace actrack;
+  using namespace actrack::bench;
+
+  std::printf("Table 1: Application Characteristics (64 threads)\n");
+  print_rule();
+  std::printf("%-9s %-14s %-12s %12s %12s\n", "App", "Sync", "Input",
+              "pages(ours)", "pages(paper)");
+  print_rule();
+  for (const PaperRow& row : kPaper) {
+    const auto workload = make_workload(row.name, kThreads);
+    std::printf("%-9s %-14s %-12s %12d %12d\n", row.name,
+                workload->synchronization().c_str(),
+                workload->input_description().c_str(), workload->num_pages(),
+                row.shared_pages);
+  }
+  print_rule();
+
+  // Allocation inventory for one representative app, showing where the
+  // pages come from.
+  const auto sor = actrack::make_workload("SOR", kThreads);
+  std::printf("\nSOR shared-segment layout:\n");
+  for (const auto& alloc : sor->address_space().allocations()) {
+    std::printf("  %-16s %6d pages\n", alloc.name.c_str(),
+                alloc.buffer.page_count());
+  }
+  return 0;
+}

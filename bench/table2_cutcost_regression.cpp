@@ -1,0 +1,95 @@
+// Table 2 + Figure 1 — Remote misses as a function of cut costs.
+//
+// Paper §2: generate random thread configurations (unequal node
+// populations allowed, ≥2 threads per node), run each, and regress
+// measured remote misses on the cut cost predicted from the thread
+// correlations.  The paper reports slope, y-intercept and correlation
+// coefficient per application over 300 configurations; Figure 1 is the
+// scatter.  We print the same three columns next to the paper's values
+// and write the scatter series to fig1_<app>.csv.
+//
+// Flags: --configs N (default 300), --iters N (measured iterations per
+// configuration, default 2).
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "viz/svg_plot.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double slope, intercept, r;
+};
+constexpr PaperRow kPaper[] = {
+    {"Barnes", 0.227, -14483.4, 0.742}, {"FFT7", 2.517, -23506.9, 0.925},
+    {"FFT8", 2.805, -16275.6, 0.911},   {"LU2k", 2.694, -76837.3, 0.724},
+    {"Ocean", 4.508, -92112.1, 0.937},  {"Spatial", 0.079, -2760.1, 0.458},
+    {"SOR", 4.100, -21.4, 0.961},       {"Water", 0.402, -3011.4, 0.779},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace actrack;
+  using namespace actrack::bench;
+  const std::int32_t configs = arg_int(argc, argv, "--configs", 300);
+  const std::int32_t iters = arg_int(argc, argv, "--iters", 2);
+
+  std::printf("Table 2: remote misses as a function of cut costs\n");
+  std::printf("(%d random configurations/app, %d measured iterations each, "
+              "seed %llu)\n",
+              configs, iters,
+              static_cast<unsigned long long>(kSeed));
+  print_rule(86);
+  std::printf("%-8s | %8s %12s %6s | %8s %12s %6s\n", "", "slope", "y-icept",
+              "r", "slope*", "y-icept*", "r*");
+  std::printf("%-8s | %28s | %28s\n", "App", "this reproduction",
+              "paper (testbed)");
+  print_rule(86);
+
+  for (const PaperRow& row : kPaper) {
+    const auto workload = make_workload(row.name, kThreads);
+    const CorrelationMatrix matrix = correlations_for(*workload);
+    Rng rng(kSeed);
+
+    std::vector<double> cuts, misses;
+    cuts.reserve(static_cast<std::size_t>(configs));
+    misses.reserve(static_cast<std::size_t>(configs));
+    for (std::int32_t c = 0; c < configs; ++c) {
+      const Placement placement =
+          random_placement(rng, kThreads, kNodes, /*min_per_node=*/2);
+      const IterationMetrics m = run_measured(*workload, placement, iters);
+      cuts.push_back(
+          static_cast<double>(matrix.cut_cost(placement.node_of_thread())));
+      misses.push_back(static_cast<double>(m.remote_misses));
+    }
+    const LinearFit fit = fit_linear(cuts, misses);
+    std::printf("%-8s | %8.3f %12.1f %6.3f | %8.3f %12.1f %6.3f\n", row.name,
+                fit.slope, fit.intercept, fit.correlation, row.slope,
+                row.intercept, row.r);
+
+    // Figure 1 scatter series: CSV plus a rendered SVG panel.
+    const std::string path = std::string("fig1_") + row.name + ".csv";
+    std::ofstream csv(path);
+    csv << "cut_cost,remote_misses\n";
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      csv << cuts[i] << ',' << misses[i] << '\n';
+    }
+    SvgPlot plot(std::string("Figure 1: ") + row.name, "cut cost",
+                 "remote misses");
+    SvgSeries scatter;
+    scatter.label = row.name;
+    scatter.x = cuts;
+    scatter.y = misses;
+    plot.add_series(std::move(scatter));
+    plot.write(std::string("fig1_") + row.name + ".svg");
+  }
+  print_rule(86);
+  std::printf("Figure 1 panels written to fig1_<app>.{csv,svg}\n");
+  std::printf("\nExpected shape: strong positive correlation everywhere, "
+              "weakest for the\nirregular apps (Barnes, Spatial) — matching "
+              "the paper's r column.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// adaptive_migration — the paper's closing motivation (§7): dynamic
+// applications whose sharing patterns drift over time need periodic
+// re-tracking and migration; the static *stretch* heuristic cannot
+// follow them, *min-cost* over fresh correlation maps can.
+//
+// Uses the library's DriftingWorkload (a neighbourhood exchange whose
+// partner structure rotates every K iterations — particles migrating
+// between spatial regions) and AdaptiveController (re-track when the
+// remote-miss rate degrades, age the correlations, migrate once).
+#include <cstdio>
+#include <string>
+
+#include "apps/drifting.hpp"
+#include "runtime/adaptive.hpp"
+
+namespace {
+
+using namespace actrack;
+
+struct PolicyResult {
+  std::int64_t remote_misses = 0;
+  std::int64_t tracks = 0;
+  std::int64_t migrations = 0;
+  SimTime elapsed_us = 0;
+};
+
+PolicyResult run_policy(const std::string& policy, std::int32_t iters) {
+  constexpr std::int32_t kThreads = 32;
+  constexpr NodeId kNodes = 4;
+  DriftingWorkload workload(kThreads, /*period=*/8, /*shift=*/5);
+  ClusterRuntime runtime(workload, Placement::stretch(kThreads, kNodes));
+
+  PolicyResult result;
+  if (policy == "static-stretch") {
+    runtime.run_init();
+    for (std::int32_t i = 0; i < iters; ++i) {
+      const IterationMetrics m = runtime.run_iteration();
+      result.remote_misses += m.remote_misses;
+      result.elapsed_us += m.elapsed_us;
+    }
+    return result;
+  }
+
+  AdaptivePolicy config;
+  if (policy == "track-once") {
+    config.degradation_factor = 1e18;  // never re-track after the first
+  } else {
+    config.degradation_factor = 1.3;
+  }
+  AdaptiveController controller(&runtime, config);
+  for (const AdaptiveStep& step : controller.run(iters)) {
+    result.remote_misses += step.remote_misses;
+    result.elapsed_us += step.elapsed_us;
+  }
+  result.tracks = controller.tracked_iterations();
+  result.migrations = controller.migrations();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::int32_t kIters = 48;
+  std::printf("drifting workload, %d iterations (sharing rotates every 8)\n\n",
+              kIters);
+  std::printf("%-16s %14s %8s %12s %10s\n", "policy", "remote misses",
+              "tracks", "migrations", "time (s)");
+  for (const char* policy : {"static-stretch", "track-once", "adaptive"}) {
+    const PolicyResult r = run_policy(policy, kIters);
+    std::printf("%-16s %14lld %8lld %12lld %10.3f\n", policy,
+                static_cast<long long>(r.remote_misses),
+                static_cast<long long>(r.tracks),
+                static_cast<long long>(r.migrations),
+                static_cast<double>(r.elapsed_us) / 1e6);
+  }
+  std::printf("\nadaptive re-tracking keeps cut costs low as the pattern "
+              "drifts;\nstatic policies accumulate remote misses every "
+              "epoch.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, regenerate every table/figure,
+# and sanity-check the headline claims from the outputs.
+#
+# Usage: scripts/reproduce.sh [results-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+OUT="${1:-results}"
+
+echo "== configure & build"
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+
+echo "== tests"
+ctest --test-dir build --output-on-failure | tail -2
+
+echo "== examples"
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] && "$e" >/dev/null && echo "   $e OK"
+done
+
+echo "== benches (tables, figures, ablations) -> $OUT/"
+mkdir -p "$OUT"
+(
+  cd "$OUT"
+  for b in "$ROOT"/build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "   ${b##*/}"
+    "$b" > "${b##*/}.txt"
+  done
+)
+
+echo "== headline checks"
+fail=0
+
+# Table 1: exact page counts for the apps whose layout we match exactly.
+for pair in "SOR 4099" "Water 44" "Barnes 251" "LU2k 4105" "Ocean 3191"; do
+  app=${pair% *}; pages=${pair#* }
+  if grep -qE "^${app} .* ${pages} +${pages}$" \
+      <(tr -s ' ' < "$OUT/table1_characteristics.txt"); then
+    echo "   Table 1 $app = $pages pages (exact)  OK"
+  else
+    echo "   Table 1 $app page count mismatch  FAIL"; fail=1
+  fi
+done
+
+# Table 6: min-cost beats random on remote misses for every app.
+if python3 - "$OUT/table6_heuristics.txt" <<'EOF'
+import re, sys
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'(\w+)\s+(m-c|ran)\s+\|\s+[\d.]+\s+(\d+)', line)
+    if m:
+        rows.setdefault(m.group(1), {})[m.group(2)] = int(m.group(3))
+bad = [a for a, r in rows.items() if r.get('m-c', 0) > r.get('ran', 1)]
+sys.exit(1 if bad or not rows else 0)
+EOF
+then echo "   Table 6 min-cost <= random everywhere  OK"
+else echo "   Table 6 ordering violated  FAIL"; fail=1; fi
+
+# Placement quality: 0-gap vs branch-and-bound optima.
+if grep -q "0.00%" "$OUT/ablation_placement_quality.txt"; then
+  echo "   min-cost matches optimal on sampled instances  OK"
+else
+  echo "   min-cost gap to optimal  FAIL"; fail=1
+fi
+
+# Figure 2: SOR passive tracking reaches ~100 %.
+if grep -E "^SOR" "$OUT/fig2_passive_tracking.txt" | grep -q "100%"; then
+  echo "   Figure 2 SOR reaches 100%  OK"
+else
+  echo "   Figure 2 SOR never completes  FAIL"; fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "== reproduction healthy; full outputs in $OUT/"
+else
+  echo "== CHECK FAILURES — inspect $OUT/" >&2
+  exit 1
+fi

@@ -1,0 +1,143 @@
+#include "apps/barnes.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+constexpr SimTime kForcePerBodyUs = 1500;  // tree walk per body
+constexpr SimTime kTreePerBodyUs = 90;
+constexpr SimTime kUpdatePerBodyUs = 60;
+
+/// Deterministic mixing for the irregular far-cell sample.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BarnesWorkload::BarnesWorkload(std::int32_t num_threads,
+                               std::int32_t num_bodies)
+    : Workload("Barnes", num_threads), num_bodies_(num_bodies) {
+  ACTRACK_CHECK(num_bodies >= num_threads);
+  bodies_ = space_.allocate(
+      static_cast<ByteCount>(num_bodies) * kBodyBytes, "barnes.bodies");
+  cells_ = space_.allocate(static_cast<ByteCount>(kNumCells) * kCellBytes,
+                           "barnes.cells");
+  globals_ = space_.allocate(4 * kPageSize, "barnes.globals");
+}
+
+std::string BarnesWorkload::input_description() const {
+  return std::to_string(num_bodies_) + " bodies";
+}
+
+IterationTrace BarnesWorkload::iteration(std::int32_t iter) const {
+  const std::int32_t threads = num_threads();
+  const ByteCount cells_bytes = cells_.size_bytes();
+  const ByteCount cell_slice = cells_bytes / threads;
+
+  auto own_bodies = [&](SegmentBuilder& sb, std::int32_t t, bool write) {
+    const ByteCount base = static_cast<ByteCount>(first_body(t)) * kBodyBytes;
+    const ByteCount len = static_cast<ByteCount>(bodies_of(t)) * kBodyBytes;
+    sb.read(bodies_, base, len);
+    if (write) sb.write(bodies_, base, len / 2);
+  };
+
+  if (iter == 0) {
+    IterationTrace trace = make_trace(1);
+    for (std::int32_t t = 0; t < threads; ++t) {
+      SegmentBuilder sb;
+      sb.write(bodies_, static_cast<ByteCount>(first_body(t)) * kBodyBytes,
+               static_cast<ByteCount>(bodies_of(t)) * kBodyBytes);
+      if (t == 0) {
+        sb.write(cells_, 0, cells_bytes);
+        sb.write(globals_, 0, 512);
+      }
+      sb.add_compute(kTreePerBodyUs * bodies_of(t));
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  IterationTrace trace = make_trace(3);
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+
+    {  // maketree: insert own bodies, writing this region's cells; the
+       // shared cell-allocation counter is lock protected.
+      SegmentBuilder sb;
+      own_bodies(sb, t, /*write=*/false);
+      sb.write(cells_, static_cast<ByteCount>(t) * cell_slice, cell_slice);
+      sb.read(cells_, 0, kPageSize);  // top levels
+      sb.add_compute(kTreePerBodyUs * bodies_of(t));
+      trace.phases[0].threads[ts].segments.push_back(sb.take());
+
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(kAllocLock);
+      lock_sb.read(globals_, 0, 128);
+      lock_sb.write(globals_, 0, 128);
+      lock_sb.add_compute(6);
+      trace.phases[0].threads[ts].segments.push_back(lock_sb.take());
+    }
+
+    {  // forces: a tree walk reads most of the cell array (the top
+       // levels plus every subtree its bodies open), the bodies of
+       // spatially neighbouring threads, and an iteration-dependent
+       // pseudo-random sample of far bodies (physical systems drift).
+      SegmentBuilder sb;
+      own_bodies(sb, t, /*write=*/true);
+      sb.read(cells_, 0, cells_bytes);  // the walk opens most cells
+      for (std::int32_t d = 1; d <= 4; ++d) {
+        for (const std::int32_t nb : {t - d, t + d}) {
+          if (nb < 0 || nb >= threads) continue;
+          const ByteCount base =
+              static_cast<ByteCount>(first_body(nb)) * kBodyBytes;
+          const ByteCount len =
+              static_cast<ByteCount>(bodies_of(nb)) * kBodyBytes >> d;
+          sb.read(bodies_, base, len);
+        }
+      }
+      const std::int32_t samples = 12;
+      for (std::int32_t s = 0; s < samples; ++s) {
+        const std::uint64_t h =
+            mix((static_cast<std::uint64_t>(iter) << 32) ^
+                (static_cast<std::uint64_t>(t) << 8) ^
+                static_cast<std::uint64_t>(s));
+        const ByteCount page = static_cast<ByteCount>(
+            h % static_cast<std::uint64_t>(bodies_.size_bytes() / kPageSize));
+        sb.read(bodies_, page * kPageSize,
+                std::min<ByteCount>(kPageSize,
+                                    bodies_.size_bytes() - page * kPageSize));
+      }
+      sb.add_compute(kForcePerBodyUs * bodies_of(t));
+      trace.phases[1].threads[ts].segments.push_back(sb.take());
+    }
+
+    {  // update positions + lock-protected energy reduction
+      SegmentBuilder sb;
+      own_bodies(sb, t, /*write=*/true);
+      sb.add_compute(kUpdatePerBodyUs * bodies_of(t));
+      trace.phases[2].threads[ts].segments.push_back(sb.take());
+
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(kEnergyLock);
+      lock_sb.read(globals_, kPageSize, 128);
+      lock_sb.write(globals_, kPageSize, 128);
+      lock_sb.add_compute(6);
+      trace.phases[2].threads[ts].segments.push_back(lock_sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

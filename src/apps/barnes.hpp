@@ -1,0 +1,55 @@
+// Barnes — Barnes-Hut hierarchical N-body (SPLASH-2 barnes).
+//
+// Table 1: barriers and locks, 8192 bodies, 251 shared pages.  Bodies
+// are kept sorted in space-filling order, so each thread owns a
+// contiguous slice; the octree cells live in a separate array whose top
+// levels are read by everyone and whose deeper levels are read mostly by
+// spatially neighbouring threads.  Force computation additionally visits
+// an iteration-dependent pseudo-random sample of far cells — the
+// irregular component that makes Barnes' cut-cost/remote-miss
+// correlation the weakest of the barrier apps (Table 2: r = 0.742).
+#pragma once
+
+#include <algorithm>
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class BarnesWorkload final : public Workload {
+ public:
+  explicit BarnesWorkload(std::int32_t num_threads,
+                          std::int32_t num_bodies = 8192);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier, lock";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 8;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  static constexpr ByteCount kBodyBytes = 100;
+  static constexpr ByteCount kCellBytes = 96;
+  static constexpr std::int32_t kNumCells = 2000;
+  static constexpr std::int32_t kAllocLock = 0;
+  static constexpr std::int32_t kEnergyLock = 1;
+
+  [[nodiscard]] std::int32_t bodies_of(std::int32_t t) const {
+    return num_bodies_ / num_threads() +
+           (t < num_bodies_ % num_threads() ? 1 : 0);
+  }
+  [[nodiscard]] std::int32_t first_body(std::int32_t t) const {
+    return t * (num_bodies_ / num_threads()) +
+           std::min(t, num_bodies_ % num_threads());
+  }
+
+  std::int32_t num_bodies_;
+  SharedBuffer bodies_;
+  SharedBuffer cells_;
+  SharedBuffer globals_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,54 @@
+#include "apps/drifting.hpp"
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+DriftingWorkload::DriftingWorkload(std::int32_t num_threads,
+                                   std::int32_t period, std::int32_t shift,
+                                   std::int32_t pages_per_thread,
+                                   std::int32_t shared_pages)
+    : Workload("Drifting", num_threads),
+      period_(period),
+      shift_(shift),
+      pages_per_thread_(pages_per_thread),
+      shared_pages_(shared_pages) {
+  ACTRACK_CHECK(num_threads >= 2);
+  ACTRACK_CHECK(period >= 1);
+  ACTRACK_CHECK(shift >= 1);
+  ACTRACK_CHECK(shared_pages >= 1 && shared_pages <= pages_per_thread);
+  data_ = space_.allocate(
+      static_cast<ByteCount>(num_threads) * pages_per_thread * kPageSize,
+      "drifting.data");
+}
+
+std::string DriftingWorkload::input_description() const {
+  return "rotate " + std::to_string(shift_) + " every " +
+         std::to_string(period_) + " iters";
+}
+
+IterationTrace DriftingWorkload::iteration(std::int32_t iter) const {
+  IterationTrace trace = make_trace(1);
+  const std::int32_t n = num_threads();
+  const ByteCount region = static_cast<ByteCount>(pages_per_thread_) *
+                           kPageSize;
+  for (std::int32_t t = 0; t < n; ++t) {
+    SegmentBuilder sb;
+    sb.write(data_, static_cast<ByteCount>(t) * region, region);
+    if (iter > 0) {
+      // The exchange partner drifts across epochs: at epoch e, thread t
+      // reads from (t + 1 + e*shift) mod n — yesterday's optimal
+      // placement slowly becomes a bad one.
+      const std::int32_t peer = (t + 1 + epoch_of(iter) * shift_) % n;
+      sb.read(data_, static_cast<ByteCount>(peer) * region,
+              static_cast<ByteCount>(shared_pages_) * kPageSize);
+    }
+    sb.add_compute(500);
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        sb.take());
+  }
+  return trace;
+}
+
+}  // namespace actrack

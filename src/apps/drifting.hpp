@@ -1,0 +1,49 @@
+// DriftingWorkload — an adaptive, irregular application model.
+//
+// The paper closes (§7) with the observation that its static benchmark
+// suite under-exercises the mechanism: "We plan to extend our results
+// with dynamic applications ... the *stretch* heuristic is only
+// applicable to applications with static sharing patterns.  We will
+// need to rely on *min-cost* in order to obtain good performance for
+// adaptive applications."  DriftingWorkload stands in for the adaptive
+// irregular codes it cites [Han & Tseng, PACT'98]: a neighbourhood
+// exchange whose partner structure rotates every `period` iterations,
+// the way particles migrate between spatial regions.
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class DriftingWorkload final : public Workload {
+ public:
+  /// Sharing rotates by `shift` threads every `period` iterations.
+  DriftingWorkload(std::int32_t num_threads, std::int32_t period = 8,
+                   std::int32_t shift = 5, std::int32_t pages_per_thread = 4,
+                   std::int32_t shared_pages = 2);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 48;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+  /// The sharing epoch a given iteration belongs to (pattern constant
+  /// within an epoch).
+  [[nodiscard]] std::int32_t epoch_of(std::int32_t iter) const {
+    return iter / period_;
+  }
+  [[nodiscard]] std::int32_t period() const noexcept { return period_; }
+
+ private:
+  std::int32_t period_;
+  std::int32_t shift_;
+  std::int32_t pages_per_thread_;
+  std::int32_t shared_pages_;
+  SharedBuffer data_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,161 @@
+#include "apps/fft.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// FFT decomposes into a power-of-two number of pencils; with a
+/// non-power-of-two thread count the pencils cannot be spread evenly —
+/// the source of the paper's "distinct irregularities at 48 threads"
+/// (§3.1.1).  We model it exactly that way: V = next power of two ≥ T
+/// virtual tiles, tile v owned by thread v mod T.
+std::int32_t virtual_tiles(std::int32_t num_threads) {
+  return static_cast<std::int32_t>(
+      std::bit_ceil(static_cast<std::uint32_t>(num_threads)));
+}
+
+}  // namespace
+
+FftWorkload::FftWorkload(std::string name, std::int32_t num_threads,
+                         std::int64_t total_points, std::int32_t grid_cols,
+                         std::int32_t log2_dim, std::string input_desc)
+    : Workload(std::move(name), num_threads),
+      total_points_(total_points),
+      grid_cols_(std::max(1, grid_cols)),
+      log2_dim_(log2_dim),
+      input_desc_(std::move(input_desc)) {
+  num_tiles_ = virtual_tiles(num_threads);
+  ACTRACK_CHECK(total_points % num_tiles_ == 0);
+  ACTRACK_CHECK(num_tiles_ % grid_cols_ == 0);
+  grid_rows_ = num_tiles_ / grid_cols_;
+  ACTRACK_CHECK(tile_bytes() % grid_rows_ == 0);
+  ACTRACK_CHECK(tile_bytes() % grid_cols_ == 0);
+
+  x_ = space_.allocate(total_points_ * kElem, "fft.x");
+  trans_ = space_.allocate(total_points_ * kElem, "fft.trans");
+  roots_ = space_.allocate(256 * kElem, "fft.roots");
+  globals_ = space_.allocate(kPageSize, "fft.globals");
+}
+
+std::unique_ptr<FftWorkload> FftWorkload::fft6(std::int32_t num_threads) {
+  return std::make_unique<FftWorkload>(
+      "FFT6", num_threads, std::int64_t{1} << 18,
+      std::max(1, virtual_tiles(num_threads) / 8), 6, "64x64x64");
+}
+
+std::unique_ptr<FftWorkload> FftWorkload::fft7(std::int32_t num_threads) {
+  return std::make_unique<FftWorkload>(
+      "FFT7", num_threads, std::int64_t{1} << 19,
+      std::max(1, virtual_tiles(num_threads) / 16), 7, "64x64x128");
+}
+
+std::unique_ptr<FftWorkload> FftWorkload::fft8(std::int32_t num_threads) {
+  // Pc = 1: the z<->y transpose group is the entire tile set — uniform
+  // all-to-all sharing.
+  return std::make_unique<FftWorkload>(
+      "FFT8", num_threads, std::int64_t{1} << 20, 1, 8, "64x64x256");
+}
+
+std::vector<std::int32_t> FftWorkload::row_group(std::int32_t tile) const {
+  // Same grid row: consecutive tile ids.
+  const std::int32_t first = (tile / grid_cols_) * grid_cols_;
+  std::vector<std::int32_t> group(static_cast<std::size_t>(grid_cols_));
+  for (std::int32_t k = 0; k < grid_cols_; ++k) {
+    group[static_cast<std::size_t>(k)] = first + k;
+  }
+  return group;
+}
+
+std::vector<std::int32_t> FftWorkload::col_group(std::int32_t tile) const {
+  // Same grid column: stride Pc.
+  const std::int32_t first = tile % grid_cols_;
+  std::vector<std::int32_t> group(static_cast<std::size_t>(grid_rows_));
+  for (std::int32_t k = 0; k < grid_rows_; ++k) {
+    group[static_cast<std::size_t>(k)] = first + k * grid_cols_;
+  }
+  return group;
+}
+
+void FftWorkload::emit_local_fft(SegmentBuilder& sb,
+                                 const SharedBuffer& array,
+                                 std::int32_t tile) const {
+  sb.read(array, tile_base(tile), tile_bytes());
+  sb.write(array, tile_base(tile), tile_bytes());
+  sb.read(roots_, 0, roots_.size_bytes());
+  sb.add_compute(total_points_ / num_tiles_ * log2_dim_ / 3);
+}
+
+void FftWorkload::emit_transpose(SegmentBuilder& sb, const SharedBuffer& src,
+                                 const SharedBuffer& dst, std::int32_t tile,
+                                 const std::vector<std::int32_t>& group,
+                                 std::int32_t my_slot) const {
+  // Gather: one contiguous patch from every partner tile.  The patch
+  // position within each partner is this tile's slot in the group —
+  // the page alignment of patch_bytes is what creates (or smears) the
+  // correlation clusters.
+  const ByteCount patch =
+      tile_bytes() / static_cast<ByteCount>(group.size());
+  for (const std::int32_t partner : group) {
+    if (partner == tile) continue;  // local part of the shuffle
+    sb.read(src, tile_base(partner) + my_slot * patch, patch);
+  }
+  // Scatter/rewrite: reassemble this tile of dst.
+  sb.write(dst, tile_base(tile), tile_bytes());
+  // Memory-bound shuffle cost.
+  sb.add_compute(total_points_ / num_tiles_ / 8);
+}
+
+IterationTrace FftWorkload::iteration(std::int32_t iter) const {
+  if (iter == 0) {
+    IterationTrace trace = make_trace(1);
+    for (std::int32_t t = 0; t < num_threads(); ++t) {
+      SegmentBuilder sb;
+      for (std::int32_t tile = t; tile < num_tiles_; tile += num_threads()) {
+        sb.write(x_, tile_base(tile), tile_bytes());
+      }
+      if (t == 0) {
+        sb.write(roots_, 0, roots_.size_bytes());
+        sb.write(globals_, 0, 128);
+      }
+      sb.add_compute(1000);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments
+          .push_back(sb.take());
+    }
+    return trace;
+  }
+
+  // FFT(z); transpose z<->y within grid columns; FFT(y); transpose
+  // y<->x within grid rows; FFT(x).
+  IterationTrace trace = make_trace(5);
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+    std::vector<SegmentBuilder> builders(5);
+    for (std::int32_t tile = t; tile < num_tiles_; tile += num_threads()) {
+      const std::vector<std::int32_t> cols = col_group(tile);
+      const std::vector<std::int32_t> rows = row_group(tile);
+      const auto slot_in = [&](const std::vector<std::int32_t>& group) {
+        return static_cast<std::int32_t>(
+            std::find(group.begin(), group.end(), tile) - group.begin());
+      };
+      emit_local_fft(builders[0], x_, tile);
+      emit_transpose(builders[1], x_, trans_, tile, cols, slot_in(cols));
+      emit_local_fft(builders[2], trans_, tile);
+      emit_transpose(builders[3], trans_, x_, tile, rows, slot_in(rows));
+      emit_local_fft(builders[4], x_, tile);
+    }
+    for (std::size_t phase = 0; phase < 5; ++phase) {
+      trace.phases[phase].threads[ts].segments.push_back(
+          builders[phase].take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

@@ -1,0 +1,93 @@
+// FFT — 3-D FFT with a pencil (2-D processor grid) decomposition.
+//
+// Table 1/Table 4: the paper runs 64×64×64 ("FFT6", 2^18 points),
+// 64×64×128 ("FFT7", 2^19) and 64×64×256 ("FFT8", 2^20) and observes
+// that page-level sharing is a sensitive function of the input
+// geometry: eight 8-thread clusters, then disjoint 4-thread blocks with
+// reduced background, then uniform all-to-all (§3.1.2).  Table 5's
+// tracking-fault counts (~80-90 pages touched per thread per tracked
+// iteration) show that each transpose exchanges data only within
+// *processor-grid groups*, not globally.
+//
+// We therefore model the classic pencil-decomposed 3-D FFT: the cube is
+// split into V = next-power-of-two(T) tiles arranged in a Pr×Pc grid
+// (tile v owned by thread v mod T — uneven when T is not a power of
+// two, reproducing §3.1.1's "distinct irregularities at 48 threads").
+// One iteration is five phases:
+//   FFT(z) — local; transpose within grid columns (groups of Pr);
+//   FFT(y) — local; transpose within grid rows (groups of Pc);
+//   FFT(x) — local.
+// In a transpose, each tile reads one contiguous patch (tile/groupsz)
+// from every group partner's tile and rewrites its own tile.  The group
+// widths reproduce the paper's regimes and their input dependence:
+//   FFT6: Pc = V/8  → consecutive clusters of 8 at 64 threads
+//                     (4 at 32 threads, as §3.1.1 reports)
+//   FFT7: Pc = V/16 → 4-thread blocks at 64 threads
+//   FFT8: Pc = 1    → the z↔y transpose spans every tile:
+//                     uniform all-to-all sharing
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class FftWorkload final : public Workload {
+ public:
+  FftWorkload(std::string name, std::int32_t num_threads,
+              std::int64_t total_points, std::int32_t grid_cols,
+              std::int32_t log2_dim, std::string input_desc);
+
+  /// The paper's named configurations.
+  static std::unique_ptr<FftWorkload> fft6(std::int32_t num_threads);
+  static std::unique_ptr<FftWorkload> fft7(std::int32_t num_threads);
+  static std::unique_ptr<FftWorkload> fft8(std::int32_t num_threads);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override {
+    return input_desc_;
+  }
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 12;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  static constexpr ByteCount kElem = 16;  // complex double
+
+  [[nodiscard]] ByteCount tile_bytes() const noexcept {
+    return total_points_ * kElem / num_tiles_;
+  }
+  [[nodiscard]] ByteCount tile_base(std::int32_t tile) const noexcept {
+    return static_cast<ByteCount>(tile) * tile_bytes();
+  }
+
+  /// Local FFT pass over one tile.
+  void emit_local_fft(class SegmentBuilder& sb, const SharedBuffer& array,
+                      std::int32_t tile) const;
+  /// Group transpose: `group` lists the partner tiles (including
+  /// `tile`); `my_slot` is the tile's index within the group.
+  void emit_transpose(class SegmentBuilder& sb, const SharedBuffer& src,
+                      const SharedBuffer& dst, std::int32_t tile,
+                      const std::vector<std::int32_t>& group,
+                      std::int32_t my_slot) const;
+
+  [[nodiscard]] std::vector<std::int32_t> row_group(std::int32_t tile) const;
+  [[nodiscard]] std::vector<std::int32_t> col_group(std::int32_t tile) const;
+
+  std::int64_t total_points_;
+  std::int32_t grid_cols_;      // Pc
+  std::int32_t grid_rows_ = 1;  // Pr = V / Pc
+  std::int32_t num_tiles_ = 1;  // V
+  std::int32_t log2_dim_;       // for the compute model
+  std::string input_desc_;
+  SharedBuffer x_;
+  SharedBuffer trans_;
+  SharedBuffer roots_;
+  SharedBuffer globals_;
+};
+
+}  // namespace actrack

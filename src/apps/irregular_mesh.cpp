@@ -1,0 +1,130 @@
+#include "apps/irregular_mesh.hpp"
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr SimTime kEdgeUs = 2;
+constexpr SimTime kNodeUs = 1;
+
+}  // namespace
+
+IrregularMeshWorkload::IrregularMeshWorkload(std::int32_t num_threads)
+    : IrregularMeshWorkload(num_threads, Config()) {}
+
+IrregularMeshWorkload::IrregularMeshWorkload(std::int32_t num_threads,
+                                             Config config)
+    : Workload("IrregularMesh", num_threads), config_(config) {
+  ACTRACK_CHECK(config_.nodes_per_thread > 0);
+  ACTRACK_CHECK(config_.edges_per_thread > 0);
+  ACTRACK_CHECK(config_.remote_edge_percent >= 0 &&
+                config_.remote_edge_percent <= 100);
+  ACTRACK_CHECK(config_.remesh_period >= 1);
+  mesh_ = space_.allocate(static_cast<ByteCount>(num_threads) *
+                              config_.nodes_per_thread * kNodeBytes,
+                          "mesh.nodes");
+}
+
+std::string IrregularMeshWorkload::input_description() const {
+  return std::to_string(num_threads() * config_.edges_per_thread) +
+         " edges, remesh/" + std::to_string(config_.remesh_period);
+}
+
+std::int32_t IrregularMeshWorkload::remote_peer(std::int32_t t,
+                                                std::int32_t e,
+                                                std::int32_t epoch) const {
+  // A quarter of the edge population re-draws each epoch: an edge's
+  // generation is the last epoch at which its slot was touched.
+  const std::int32_t generation = epoch - (e % 4 <= epoch % 4 ? 0 : 1);
+  const std::uint64_t h =
+      mix(config_.seed ^ (static_cast<std::uint64_t>(t) << 40) ^
+          (static_cast<std::uint64_t>(e) << 16) ^
+          static_cast<std::uint64_t>(std::max(generation, 0)));
+  // Distance-decaying: half the remote edges go one thread away, a
+  // quarter two away, and so on (geometric), alternating direction.
+  std::int32_t distance = 1;
+  std::uint64_t bits = h;
+  while ((bits & 1) != 0 && distance < num_threads() / 2) {
+    distance += 1;
+    bits >>= 1;
+  }
+  const std::int32_t direction = ((h >> 32) & 1) != 0 ? 1 : -1;
+  // The neighbourhood centre drifts with the remesh epoch (elements
+  // migrate between partitions over time).
+  const std::int32_t centre =
+      t + std::max(epoch, 0) * config_.epoch_shift;
+  const std::int32_t n = num_threads();
+  const std::int32_t peer =
+      ((centre + direction * distance) % n + n) % n;
+  return peer == t ? (t + 1) % n : peer;
+}
+
+IterationTrace IrregularMeshWorkload::iteration(std::int32_t iter) const {
+  const std::int32_t threads = num_threads();
+  const ByteCount region =
+      static_cast<ByteCount>(config_.nodes_per_thread) * kNodeBytes;
+
+  if (iter == 0) {
+    IterationTrace trace = make_trace(1);
+    for (std::int32_t t = 0; t < threads; ++t) {
+      SegmentBuilder sb;
+      sb.write(mesh_, static_cast<ByteCount>(t) * region, region);
+      sb.add_compute(kNodeUs * config_.nodes_per_thread);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments
+          .push_back(sb.take());
+    }
+    return trace;
+  }
+
+  const std::int32_t epoch = remesh_epoch(iter);
+  // Two phases: gather/compute over edges, then scatter/update of the
+  // owned nodes (the [14] kernels' structure).
+  IterationTrace trace = make_trace(2);
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+    {
+      SegmentBuilder sb;
+      sb.read(mesh_, static_cast<ByteCount>(t) * region, region);
+      const std::int32_t remote_edges =
+          config_.edges_per_thread * config_.remote_edge_percent / 100;
+      for (std::int32_t e = 0; e < remote_edges; ++e) {
+        const std::int32_t peer = remote_peer(t, e, epoch);
+        // The remote endpoint's mesh node: position within the peer's
+        // region also derives from the edge hash.
+        const std::uint64_t h =
+            mix(static_cast<std::uint64_t>(e) * std::uint64_t{2654435761} ^
+                static_cast<std::uint64_t>(epoch));
+        const ByteCount offset =
+            static_cast<ByteCount>(h % static_cast<std::uint64_t>(
+                                           config_.nodes_per_thread)) *
+            kNodeBytes;
+        sb.read(mesh_, static_cast<ByteCount>(peer) * region + offset,
+                kNodeBytes);
+      }
+      sb.add_compute(kEdgeUs * config_.edges_per_thread);
+      trace.phases[0].threads[ts].segments.push_back(sb.take());
+    }
+    {
+      SegmentBuilder sb;
+      sb.read(mesh_, static_cast<ByteCount>(t) * region, region);
+      sb.write(mesh_, static_cast<ByteCount>(t) * region, region / 2);
+      sb.add_compute(kNodeUs * config_.nodes_per_thread);
+      trace.phases[1].threads[ts].segments.push_back(sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

@@ -1,0 +1,68 @@
+// IrregularMeshWorkload — an adaptive irregular code in the style of
+// the paper's reference [14] (Han & Tseng, "Improving Compiler and
+// Run-Time Support for Adaptive Irregular Codes").
+//
+// §7: "For the full version of this paper, we will present results
+// showing the impact of thread migration on adaptive, irregular codes."
+// This workload reproduces that class: a node array partitioned across
+// threads and an edge list driving indirect accesses (x[edge.a] ⊕
+// x[edge.b]).  Edges are mostly local with a long-tail of remote
+// endpoints drawn from a distance-decaying distribution; every
+// `remesh_period` iterations a fraction of the edges is redrawn
+// (adaptive mesh refinement), slowly reshaping the correlation map.
+// Unlike DriftingWorkload's clean rotation, the drift here is
+// stochastic and partial — the case where min-cost over fresh maps is
+// genuinely needed (§7: stretch only works for static patterns).
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class IrregularMeshWorkload final : public Workload {
+ public:
+  struct Config {
+    std::int32_t nodes_per_thread = 2048;  // mesh nodes per thread
+    std::int32_t edges_per_thread = 256;   // edges owned per thread
+    /// Fraction (percent) of a thread's edges with a remote endpoint.
+    /// Kept sparse so each partition touches only part of its
+    /// neighbours' regions — the regime where placement matters.
+    std::int32_t remote_edge_percent = 25;
+    /// Every this many iterations, a quarter of the edges re-draw.
+    std::int32_t remesh_period = 8;
+    /// Elements migrate: each remesh epoch shifts the neighbourhood
+    /// centre by this many threads, so the original partition ordering
+    /// (and any placement derived from it) slowly goes stale.
+    std::int32_t epoch_shift = 3;
+    std::uint64_t seed = 0x5EED;
+  };
+
+  explicit IrregularMeshWorkload(std::int32_t num_threads);
+  IrregularMeshWorkload(std::int32_t num_threads, Config config);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 32;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+  [[nodiscard]] std::int32_t remesh_epoch(std::int32_t iter) const {
+    return iter / config_.remesh_period;
+  }
+
+ private:
+  static constexpr ByteCount kNodeBytes = 64;  // mesh-node record
+
+  /// Deterministic remote endpoint of edge `e` of thread `t` in the
+  /// given remesh epoch: distance-decaying over the thread ring.
+  [[nodiscard]] std::int32_t remote_peer(std::int32_t t, std::int32_t e,
+                                         std::int32_t epoch) const;
+
+  Config config_;
+  SharedBuffer mesh_;
+};
+
+}  // namespace actrack

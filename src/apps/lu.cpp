@@ -1,0 +1,147 @@
+#include "apps/lu.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// Trailing-update cost per 16×16 block (two block-multiplies), set so
+/// LU2k's per-iteration time lands in Table 5's regime.
+constexpr SimTime kUpdateBlockUs = 260;
+constexpr SimTime kFactorBlockUs = 420;
+constexpr SimTime kPerimeterBlockUs = 170;
+
+}  // namespace
+
+LuWorkload::LuWorkload(std::string name, std::int32_t num_threads,
+                       std::int32_t n)
+    : Workload(std::move(name), num_threads), n_(n) {
+  ACTRACK_CHECK(n % kBlock == 0);
+  // Thread grid: 8 columns when the thread count allows it (the SPLASH
+  // default P = r x 8 for the counts used in the paper), otherwise the
+  // widest divisor that fits.
+  grid_cols_ = 8;
+  while (grid_cols_ > 1 && num_threads % grid_cols_ != 0) grid_cols_ -= 1;
+  grid_rows_ = num_threads / grid_cols_;
+
+  matrix_ = space_.allocate(static_cast<ByteCount>(n) * n * kElem,
+                            "lu.matrix");
+  perm_ = space_.allocate(static_cast<ByteCount>(n) * 4, "lu.perm");
+  panel_ = space_.allocate(6 * kPageSize, "lu.panel");
+  globals_ = space_.allocate(kPageSize, "lu.globals");
+}
+
+std::string LuWorkload::input_description() const {
+  return std::to_string(n_) + "x" + std::to_string(n_);
+}
+
+ThreadId LuWorkload::owner(std::int32_t bi, std::int32_t bj) const {
+  return (bi % grid_rows_) * grid_cols_ + (bj % grid_cols_);
+}
+
+IterationTrace LuWorkload::iteration(std::int32_t iter) const {
+  const std::int32_t nb = num_blocks();
+
+  if (iter == 0) {
+    // Initialisation: every owner writes its blocks; thread 0 the
+    // shared scalars and permutation vector.
+    IterationTrace trace = make_trace(1);
+    std::vector<SegmentBuilder> builders(
+        static_cast<std::size_t>(num_threads()));
+    for (std::int32_t bi = 0; bi < nb; ++bi) {
+      for (std::int32_t bj = 0; bj < nb; ++bj) {
+        builders[static_cast<std::size_t>(owner(bi, bj))].write(
+            matrix_, block_offset(bi, bj), kBlockBytes);
+      }
+    }
+    builders[0].write(perm_, 0, perm_.size_bytes());
+    builders[0].write(globals_, 0, 128);
+    for (std::int32_t t = 0; t < num_threads(); ++t) {
+      auto& sb = builders[static_cast<std::size_t>(t)];
+      sb.add_compute(2000);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  // One outer block-step; keep k in the first half so the trailing
+  // submatrix (and hence the sharing pattern) stays representative.
+  const std::int32_t k = (iter - 1) % std::max(1, nb / 2);
+
+  IterationTrace trace = make_trace(3);
+
+  // Phase 1: the owner of the diagonal block factorises it and records
+  // the pivots in the shared panel buffer and permutation vector.
+  {
+    std::vector<SegmentBuilder> builders(
+        static_cast<std::size_t>(num_threads()));
+    const ThreadId diag = owner(k, k);
+    auto& sb = builders[static_cast<std::size_t>(diag)];
+    sb.read(matrix_, block_offset(k, k), kBlockBytes);
+    sb.write(matrix_, block_offset(k, k), kBlockBytes);
+    sb.write(panel_, 0, panel_.size_bytes());
+    sb.write(perm_, static_cast<ByteCount>(k) * kBlock * 4, kBlock * 4);
+    sb.add_compute(kFactorBlockUs);
+    for (std::int32_t t = 0; t < num_threads(); ++t) {
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          builders[static_cast<std::size_t>(t)].take());
+    }
+  }
+
+  // Phase 2: perimeter — owners of column k and row k blocks update
+  // them against the factored diagonal block.
+  {
+    std::vector<SegmentBuilder> builders(
+        static_cast<std::size_t>(num_threads()));
+    std::vector<SimTime> work(static_cast<std::size_t>(num_threads()), 0);
+    for (std::int32_t b = k + 1; b < nb; ++b) {
+      for (const auto& [bi, bj] :
+           {std::pair{b, k}, std::pair{k, b}}) {
+        auto& sb = builders[static_cast<std::size_t>(owner(bi, bj))];
+        sb.read(matrix_, block_offset(k, k), kBlockBytes);
+        sb.read(panel_, 0, panel_.size_bytes());
+        sb.read(matrix_, block_offset(bi, bj), kBlockBytes);
+        sb.write(matrix_, block_offset(bi, bj), kBlockBytes);
+        work[static_cast<std::size_t>(owner(bi, bj))] += kPerimeterBlockUs;
+      }
+    }
+    for (std::int32_t t = 0; t < num_threads(); ++t) {
+      auto& sb = builders[static_cast<std::size_t>(t)];
+      sb.add_compute(work[static_cast<std::size_t>(t)]);
+      trace.phases[1].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+  }
+
+  // Phase 3: trailing-submatrix update — the owner of (I,J) reads the
+  // perimeter blocks (I,k) and (k,J).
+  {
+    std::vector<SegmentBuilder> builders(
+        static_cast<std::size_t>(num_threads()));
+    std::vector<SimTime> work(static_cast<std::size_t>(num_threads()), 0);
+    for (std::int32_t bi = k + 1; bi < nb; ++bi) {
+      for (std::int32_t bj = k + 1; bj < nb; ++bj) {
+        auto& sb = builders[static_cast<std::size_t>(owner(bi, bj))];
+        sb.read(matrix_, block_offset(bi, k), kBlockBytes);
+        sb.read(matrix_, block_offset(k, bj), kBlockBytes);
+        sb.read(matrix_, block_offset(bi, bj), kBlockBytes);
+        sb.write(matrix_, block_offset(bi, bj), kBlockBytes);
+        work[static_cast<std::size_t>(owner(bi, bj))] += kUpdateBlockUs;
+      }
+    }
+    for (std::int32_t t = 0; t < num_threads(); ++t) {
+      auto& sb = builders[static_cast<std::size_t>(t)];
+      sb.add_compute(work[static_cast<std::size_t>(t)]);
+      trace.phases[2].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

@@ -1,0 +1,59 @@
+// LU — blocked dense LU factorisation (SPLASH-2 style, contiguous
+// blocks, 2D block-cyclic ownership).
+//
+// Table 1: barrier-only; LU1k = 1024×1024 (1032 shared pages), LU2k =
+// 2048×2048 (4105 pages), float elements, 16×16 element blocks stored
+// contiguously (1 KiB each, four blocks per page).  Threads form an
+// r×8 grid; block (I,J) is owned by thread (I mod r)*8 + (J mod 8).
+// Threads that share a grid row are consecutive ids, which — together
+// with the four-blocks-per-page layout and pivot row/column reads — is
+// what produces the paper's "8 by 8 sharing structure" (§3) and the
+// all-to-all background with darker diagonal boxes (§5.1).
+//
+// One "iteration" is one outer block-step k of the factorisation: diag
+// factorisation, perimeter update, trailing-submatrix update, with a
+// barrier between each.  k varies per iteration over the first half of
+// the factorisation so the trailing matrix stays large.
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class LuWorkload final : public Workload {
+ public:
+  LuWorkload(std::string name, std::int32_t num_threads, std::int32_t n);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 16;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  static constexpr std::int32_t kBlock = 16;      // elements per side
+  static constexpr ByteCount kElem = 4;           // float
+  static constexpr ByteCount kBlockBytes = kBlock * kBlock * kElem;
+
+  [[nodiscard]] std::int32_t num_blocks() const noexcept {
+    return n_ / kBlock;
+  }
+  [[nodiscard]] ByteCount block_offset(std::int32_t bi,
+                                       std::int32_t bj) const noexcept {
+    return (static_cast<ByteCount>(bi) * num_blocks() + bj) * kBlockBytes;
+  }
+  [[nodiscard]] ThreadId owner(std::int32_t bi, std::int32_t bj) const;
+
+  std::int32_t n_;
+  std::int32_t grid_cols_;  // thread-grid columns (8 when possible)
+  std::int32_t grid_rows_;
+  SharedBuffer matrix_;
+  SharedBuffer perm_;
+  SharedBuffer panel_;
+  SharedBuffer globals_;
+};
+
+}  // namespace actrack

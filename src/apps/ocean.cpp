@@ -1,0 +1,152 @@
+#include "apps/ocean.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+// Per full-width row of 258 doubles; divided by the band's strip count.
+constexpr SimTime kStencilPerRowUs = 700;
+constexpr SimTime kCoarsePerRowUs = 300;
+
+}  // namespace
+
+OceanWorkload::OceanWorkload(std::int32_t num_threads, std::int32_t n)
+    : Workload("Ocean", num_threads), n_(n) {
+  ACTRACK_CHECK(num_threads % kNumBands == 0);
+  grids_.reserve(kNumGrids);
+  for (std::int32_t g = 0; g < kNumGrids; ++g) {
+    grids_.push_back(space_.allocate(static_cast<ByteCount>(n_) * row_bytes(),
+                                     "ocean.grid" + std::to_string(g)));
+  }
+  const std::int32_t nc1 = (n_ + 1) / 2;
+  const std::int32_t nc2 = (nc1 + 1) / 2;
+  coarse1_ = space_.allocate(
+      static_cast<ByteCount>(nc1) * nc1 * kElem, "ocean.coarse1");
+  coarse2_ = space_.allocate(
+      static_cast<ByteCount>(nc2) * nc2 * kElem, "ocean.coarse2");
+  globals_ = space_.allocate(4 * kPageSize, "ocean.globals");
+  flags_ = space_.allocate(kPageSize, "ocean.flags");
+}
+
+IterationTrace OceanWorkload::iteration(std::int32_t iter) const {
+  const std::int32_t threads = num_threads();
+  const std::int32_t strips = threads / kNumBands;  // threads per band
+
+  auto band_of = [&](std::int32_t t) { return t / strips; };
+  auto band_first_row = [&](std::int32_t band) {
+    return band * (n_ / kNumBands) + std::min(band, n_ % kNumBands);
+  };
+  auto band_rows = [&](std::int32_t band) {
+    return n_ / kNumBands + (band < n_ % kNumBands ? 1 : 0);
+  };
+
+  // Five-point stencil sweep of `grid`, reading a source grid and the
+  // halo rows of the vertical neighbours, writing this thread's column
+  // share of every row of its band.
+  auto emit_sweep = [&](SegmentBuilder& sb, std::int32_t t,
+                        const SharedBuffer& dst, const SharedBuffer& src) {
+    const std::int32_t band = band_of(t);
+    const std::int32_t r0 = band_first_row(band);
+    const std::int32_t rc = band_rows(band);
+    sb.read(src, static_cast<ByteCount>(r0) * row_bytes(),
+            static_cast<ByteCount>(rc) * row_bytes());
+    if (r0 > 0) {
+      sb.read(src, static_cast<ByteCount>(r0 - 1) * row_bytes(), row_bytes());
+    }
+    if (r0 + rc < n_) {
+      sb.read(src, static_cast<ByteCount>(r0 + rc) * row_bytes(),
+              row_bytes());
+    }
+    // Column strip: every page of the band is written by every strip
+    // thread, each contributing ~1/strips of the bytes.
+    const ByteCount band_base = static_cast<ByteCount>(r0) * row_bytes();
+    const ByteCount band_len = static_cast<ByteCount>(rc) * row_bytes();
+    for (ByteCount off = 0; off < band_len; off += kPageSize) {
+      const ByteCount chunk = std::min<ByteCount>(kPageSize, band_len - off);
+      sb.write(dst, band_base + off, std::max<ByteCount>(chunk / strips, 8));
+    }
+    sb.add_compute(kStencilPerRowUs * rc / strips);
+  };
+
+  if (iter == 0) {
+    IterationTrace trace = make_trace(1);
+    for (std::int32_t t = 0; t < threads; ++t) {
+      SegmentBuilder sb;
+      const std::int32_t band = band_of(t);
+      // First strip thread of each band initialises the band in every
+      // grid (first touch by band).
+      if (t % strips == 0) {
+        for (const SharedBuffer& grid : grids_) {
+          sb.write(grid,
+                   static_cast<ByteCount>(band_first_row(band)) * row_bytes(),
+                   static_cast<ByteCount>(band_rows(band)) * row_bytes());
+        }
+      }
+      if (t == 0) {
+        sb.write(coarse1_, 0, coarse1_.size_bytes());
+        sb.write(coarse2_, 0, coarse2_.size_bytes());
+        sb.write(globals_, 0, 1024);
+        sb.write(flags_, 0, 64);
+      }
+      sb.add_compute(3000);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  // Six barrier phases per time step: four stencil sweeps over
+  // different grid sets, one multigrid relaxation, one reduction.
+  IterationTrace trace = make_trace(6);
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+
+    for (std::int32_t phase = 0; phase < 4; ++phase) {
+      SegmentBuilder sb;
+      // Each solver phase sweeps a rotating window of the grid set
+      // (ocean's time step runs many stencil passes over its ~25
+      // arrays: laplacians, jacobians, tridiagonal sweeps).
+      for (std::size_t g = 0; g < 10; ++g) {
+        const std::size_t src = (static_cast<std::size_t>(phase) * 5 + g) %
+                                (grids_.size() - 1);
+        emit_sweep(sb, t, grids_[src], grids_[src + 1]);
+      }
+      trace.phases[static_cast<std::size_t>(phase)]
+          .threads[ts]
+          .segments.push_back(sb.take());
+    }
+
+    {  // multigrid: restrict to the coarse grids — the whole coarse
+       // level is read by everyone (the all-to-all background).
+      SegmentBuilder sb;
+      emit_sweep(sb, t, grids_[20], grids_[21]);
+      sb.read(coarse1_, 0, coarse1_.size_bytes());
+      const ByteCount share = coarse1_.size_bytes() / threads;
+      sb.write(coarse1_, static_cast<ByteCount>(t) * share, share);
+      sb.read(coarse2_, 0, coarse2_.size_bytes());
+      sb.add_compute(kCoarsePerRowUs * n_ / strips);
+      trace.phases[4].threads[ts].segments.push_back(sb.take());
+    }
+
+    {  // error reduction under the global lock
+      SegmentBuilder sb;
+      emit_sweep(sb, t, grids_[22], grids_[23]);
+      trace.phases[5].threads[ts].segments.push_back(sb.take());
+
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(kReduceLock);
+      lock_sb.read(globals_, 0, 256);
+      lock_sb.write(globals_, 0, 256);
+      lock_sb.add_compute(8);
+      trace.phases[5].threads[ts].segments.push_back(lock_sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

@@ -1,0 +1,53 @@
+// Ocean — eddy-current ocean simulation (SPLASH-2 ocean, contiguous
+// partitions).
+//
+// Table 1: barriers and locks, "256 oceans" input (258×258 grids with
+// border), 3191 shared pages.  The solver keeps ~24 full-resolution
+// double grids plus two multigrid levels; threads partition each grid
+// into 8 horizontal bands × (T/8) column strips.  A grid row is 2064 B —
+// half a page — so the column split is invisible at page granularity:
+// every thread in a band touches all the band's pages (fully connected
+// blocks of T/8 threads), bands couple to their vertical neighbours via
+// halo rows, and the multigrid/reduction phases add an all-to-all
+// background.  This reproduces §3's observation that growing the thread
+// count grows the block size but not the block count.
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class OceanWorkload final : public Workload {
+ public:
+  explicit OceanWorkload(std::int32_t num_threads, std::int32_t n = 258);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier, lock";
+  }
+  [[nodiscard]] std::string input_description() const override {
+    return "256 oceans";
+  }
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 8;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  static constexpr std::int32_t kNumGrids = 24;
+  static constexpr std::int32_t kNumBands = 8;
+  static constexpr std::int32_t kReduceLock = 0;
+  static constexpr ByteCount kElem = 8;  // double
+
+  [[nodiscard]] ByteCount row_bytes() const noexcept {
+    return static_cast<ByteCount>(n_) * kElem;
+  }
+
+  std::int32_t n_;
+  std::vector<SharedBuffer> grids_;
+  SharedBuffer coarse1_;
+  SharedBuffer coarse2_;
+  SharedBuffer globals_;
+  SharedBuffer flags_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,50 @@
+#include <stdexcept>
+
+#include "apps/barnes.hpp"
+#include "apps/fft.hpp"
+#include "apps/lu.hpp"
+#include "apps/ocean.hpp"
+#include "apps/sor.hpp"
+#include "apps/spatial.hpp"
+#include "apps/water.hpp"
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+std::unique_ptr<Workload> make_workload(const std::string& paper_name,
+                                        std::int32_t num_threads) {
+  if (paper_name == "Barnes") {
+    return std::make_unique<BarnesWorkload>(num_threads);
+  }
+  if (paper_name == "FFT6") return FftWorkload::fft6(num_threads);
+  if (paper_name == "FFT7") return FftWorkload::fft7(num_threads);
+  if (paper_name == "FFT8") return FftWorkload::fft8(num_threads);
+  if (paper_name == "LU1k") {
+    return std::make_unique<LuWorkload>("LU1k", num_threads, 1024);
+  }
+  if (paper_name == "LU2k") {
+    return std::make_unique<LuWorkload>("LU2k", num_threads, 2048);
+  }
+  if (paper_name == "Ocean") {
+    return std::make_unique<OceanWorkload>(num_threads);
+  }
+  if (paper_name == "Spatial") {
+    return std::make_unique<SpatialWorkload>(num_threads);
+  }
+  if (paper_name == "SOR") {
+    return std::make_unique<SorWorkload>(num_threads);
+  }
+  if (paper_name == "Water") {
+    return std::make_unique<WaterWorkload>(num_threads);
+  }
+  throw std::invalid_argument("unknown workload: " + paper_name);
+}
+
+const std::vector<std::string>& all_workload_names() {
+  static const std::vector<std::string> names = {
+      "Barnes", "FFT6", "FFT7",    "FFT8", "LU1k",
+      "LU2k",   "Ocean", "Spatial", "SOR",  "Water"};
+  return names;
+}
+
+}  // namespace actrack

@@ -1,0 +1,38 @@
+// SOR — red/black successive over-relaxation on a 2048×2048 grid.
+//
+// Table 1: barrier-only, 2048×2048 input, 4099 shared pages.  The grid
+// is row-partitioned: each thread owns a contiguous band of rows and
+// reads the single boundary row of each neighbouring band, so sharing is
+// pure nearest-neighbour (§3: "SOR has no other sharing traffic at all").
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class SorWorkload final : public Workload {
+ public:
+  explicit SorWorkload(std::int32_t num_threads, std::int32_t n = 2048);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 20;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  [[nodiscard]] ByteCount row_bytes() const noexcept {
+    return static_cast<ByteCount>(n_) * 4;  // float grid
+  }
+
+  std::int32_t n_;
+  SharedBuffer grid_;
+  SharedBuffer globals_;
+  SharedBuffer residual_;
+  SharedBuffer flags_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,126 @@
+#include "apps/spatial.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+// Spatial's iterations are by far the paper's longest (13.4 s), making
+// its relative tracking overhead the smallest (Table 5: 1.27 %).
+constexpr SimTime kSlabPerMolUs = 20000;
+constexpr SimTime kBoxPerMolUs = 1500;
+constexpr SimTime kIntraPerMolUs = 1500;
+
+}  // namespace
+
+SpatialWorkload::SpatialWorkload(std::int32_t num_threads,
+                                 std::int32_t num_molecules)
+    : Workload("Spatial", num_threads), num_mols_(num_molecules) {
+  ACTRACK_CHECK(num_molecules >= num_threads);
+  mols_ = space_.allocate(
+      static_cast<ByteCount>(num_molecules) * kMolBytes, "spatial.mols");
+  boxes_ = space_.allocate(static_cast<ByteCount>(kNumBoxes) * kBoxBytes,
+                           "spatial.boxes");
+  globals_ = space_.allocate(2 * kPageSize, "spatial.globals");
+}
+
+std::int32_t SpatialWorkload::first_mol(std::int32_t t) const {
+  return t * (num_mols_ / num_threads()) +
+         std::min(t, num_mols_ % num_threads());
+}
+
+IterationTrace SpatialWorkload::iteration(std::int32_t iter) const {
+  const std::int32_t threads = num_threads();
+
+  auto own_mols = [&](SegmentBuilder& sb, std::int32_t t, bool write) {
+    const ByteCount base = static_cast<ByteCount>(first_mol(t)) * kMolBytes;
+    const ByteCount len = static_cast<ByteCount>(mols_of(t)) * kMolBytes;
+    sb.read(mols_, base, len);
+    if (write) sb.write(mols_, base, len / 3);
+  };
+
+  if (iter == 0) {
+    IterationTrace trace = make_trace(1);
+    for (std::int32_t t = 0; t < threads; ++t) {
+      SegmentBuilder sb;
+      sb.write(mols_, static_cast<ByteCount>(first_mol(t)) * kMolBytes,
+               static_cast<ByteCount>(mols_of(t)) * kMolBytes);
+      const ByteCount box_share = boxes_.size_bytes() / threads;
+      sb.write(boxes_, static_cast<ByteCount>(t) * box_share, box_share);
+      if (t == 0) sb.write(globals_, 0, 512);
+      sb.add_compute(5000);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  // Group geometry of the two force phases (see header comment).
+  const std::int32_t slab_group = std::max(1, threads * threads / 256);
+  const std::int32_t box_group = std::min(4, threads);
+
+  IterationTrace trace = make_trace(3);
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+
+    {  // Phase 1: inter-box forces over cell slabs — each slab group
+       // co-reads the whole slab's molecules plus the boundary of the
+       // next slab.
+      SegmentBuilder sb;
+      const std::int32_t g = t / slab_group;
+      const std::int32_t g_first = g * slab_group;
+      const ByteCount slab_base =
+          static_cast<ByteCount>(first_mol(g_first)) * kMolBytes;
+      const ByteCount slab_len = static_cast<ByteCount>(slab_group) *
+                                 mols_of(t) * kMolBytes;
+      sb.read(mols_, slab_base,
+              std::min(slab_len, mols_.size_bytes() - slab_base));
+      // Boundary molecules of the adjacent slab (cyclic).
+      const ByteCount next_base =
+          (slab_base + slab_len) % mols_.size_bytes();
+      const ByteCount boundary = static_cast<ByteCount>(mols_of(t)) *
+                                 kMolBytes / 2;
+      sb.read(mols_, next_base,
+              std::min(boundary, mols_.size_bytes() - next_base));
+      own_mols(sb, t, /*write=*/true);
+      sb.add_compute(kSlabPerMolUs * mols_of(t));
+      trace.phases[0].threads[ts].segments.push_back(sb.take());
+    }
+
+    {  // Phase 2: box-list maintenance in groups of four — each group
+       // rewrites its slice of the box array.
+      SegmentBuilder sb;
+      const std::int32_t g = t / box_group;
+      const std::int32_t num_groups =
+          (threads + box_group - 1) / box_group;
+      const ByteCount slice = boxes_.size_bytes() / num_groups;
+      sb.read(boxes_, static_cast<ByteCount>(g) * slice, slice);
+      sb.write(boxes_, static_cast<ByteCount>(g) * slice,
+               std::max<ByteCount>(slice / box_group, 16));
+      own_mols(sb, t, /*write=*/false);
+      sb.add_compute(kBoxPerMolUs * mols_of(t));
+      trace.phases[1].threads[ts].segments.push_back(sb.take());
+    }
+
+    {  // Phase 3: intra-molecular forces and the global reduction.
+      SegmentBuilder sb;
+      own_mols(sb, t, /*write=*/true);
+      sb.add_compute(kIntraPerMolUs * mols_of(t));
+      trace.phases[2].threads[ts].segments.push_back(sb.take());
+
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(kGlobalLock);
+      lock_sb.read(globals_, 0, 256);
+      lock_sb.write(globals_, 0, 256);
+      lock_sb.add_compute(8);
+      trace.phases[2].threads[ts].segments.push_back(lock_sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

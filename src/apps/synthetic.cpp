@@ -1,0 +1,169 @@
+#include "apps/synthetic.hpp"
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+constexpr SimTime kSyntheticComputeUs = 200;
+
+}  // namespace
+
+RingWorkload::RingWorkload(std::int32_t num_threads,
+                           std::int32_t pages_per_thread,
+                           std::int32_t shared_pages_per_edge)
+    : Workload("Ring", num_threads),
+      pages_per_thread_(pages_per_thread),
+      shared_per_edge_(shared_pages_per_edge) {
+  ACTRACK_CHECK(num_threads >= 2);
+  ACTRACK_CHECK(pages_per_thread >= 1);
+  ACTRACK_CHECK(shared_pages_per_edge >= 0);
+  ACTRACK_CHECK(shared_pages_per_edge <= pages_per_thread);
+  data_ = space_.allocate(
+      static_cast<ByteCount>(num_threads) * pages_per_thread * kPageSize,
+      "ring.data");
+}
+
+std::string RingWorkload::input_description() const {
+  return std::to_string(pages_per_thread_) + " pages/thread, " +
+         std::to_string(shared_per_edge_) + " shared/edge";
+}
+
+IterationTrace RingWorkload::iteration(std::int32_t iter) const {
+  IterationTrace trace = make_trace(1);
+  const std::int32_t n = num_threads();
+  for (std::int32_t t = 0; t < n; ++t) {
+    SegmentBuilder sb;
+    const ByteCount own_base =
+        static_cast<ByteCount>(t) * pages_per_thread_ * kPageSize;
+    sb.write(data_, own_base,
+             static_cast<ByteCount>(pages_per_thread_) * kPageSize);
+    if (iter > 0 && shared_per_edge_ > 0) {
+      // Read the first `shared_per_edge_` pages of the ring successor.
+      const std::int32_t succ = (t + 1) % n;
+      const ByteCount succ_base =
+          static_cast<ByteCount>(succ) * pages_per_thread_ * kPageSize;
+      sb.read(data_, succ_base,
+              static_cast<ByteCount>(shared_per_edge_) * kPageSize);
+    }
+    sb.add_compute(kSyntheticComputeUs);
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        sb.take());
+  }
+  return trace;
+}
+
+AllToAllWorkload::AllToAllWorkload(std::int32_t num_threads,
+                                   std::int32_t pages_per_thread)
+    : Workload("AllToAll", num_threads), pages_per_thread_(pages_per_thread) {
+  ACTRACK_CHECK(num_threads >= 2);
+  ACTRACK_CHECK(pages_per_thread >= 1);
+  data_ = space_.allocate(
+      static_cast<ByteCount>(num_threads) * pages_per_thread * kPageSize,
+      "alltoall.data");
+}
+
+std::string AllToAllWorkload::input_description() const {
+  return std::to_string(pages_per_thread_) + " pages/thread";
+}
+
+IterationTrace AllToAllWorkload::iteration(std::int32_t iter) const {
+  IterationTrace trace = make_trace(1);
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    SegmentBuilder sb;
+    const ByteCount own_base =
+        static_cast<ByteCount>(t) * pages_per_thread_ * kPageSize;
+    sb.write(data_, own_base,
+             static_cast<ByteCount>(pages_per_thread_) * kPageSize);
+    if (iter > 0) {
+      sb.read(data_, 0, data_.size_bytes());
+    }
+    sb.add_compute(kSyntheticComputeUs);
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        sb.take());
+  }
+  return trace;
+}
+
+PrivateWorkload::PrivateWorkload(std::int32_t num_threads,
+                                 std::int32_t pages_per_thread)
+    : Workload("Private", num_threads), pages_per_thread_(pages_per_thread) {
+  ACTRACK_CHECK(num_threads >= 1);
+  ACTRACK_CHECK(pages_per_thread >= 1);
+  data_ = space_.allocate(
+      static_cast<ByteCount>(num_threads) * pages_per_thread * kPageSize,
+      "private.data");
+}
+
+std::string PrivateWorkload::input_description() const {
+  return std::to_string(pages_per_thread_) + " private pages/thread";
+}
+
+IterationTrace PrivateWorkload::iteration(std::int32_t /*iter*/) const {
+  IterationTrace trace = make_trace(1);
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    SegmentBuilder sb;
+    const ByteCount own_base =
+        static_cast<ByteCount>(t) * pages_per_thread_ * kPageSize;
+    sb.write(data_, own_base,
+             static_cast<ByteCount>(pages_per_thread_) * kPageSize);
+    sb.add_compute(kSyntheticComputeUs);
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        sb.take());
+  }
+  return trace;
+}
+
+PairsWithLockWorkload::PairsWithLockWorkload(std::int32_t num_threads,
+                                             std::int32_t pages_per_pair)
+    : Workload("PairsWithLock", num_threads), pages_per_pair_(pages_per_pair) {
+  ACTRACK_CHECK(num_threads >= 2 && num_threads % 2 == 0);
+  ACTRACK_CHECK(pages_per_pair >= 1);
+  data_ = space_.allocate(static_cast<ByteCount>(num_threads / 2) *
+                              pages_per_pair * kPageSize,
+                          "pairs.data");
+  global_ = space_.allocate(kPageSize, "pairs.global");
+}
+
+std::string PairsWithLockWorkload::input_description() const {
+  return std::to_string(pages_per_pair_) + " pages/pair + global";
+}
+
+IterationTrace PairsWithLockWorkload::iteration(std::int32_t iter) const {
+  IterationTrace trace = make_trace(1);
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    const std::int32_t pair = t / 2;
+    auto& segments =
+        trace.phases[0].threads[static_cast<std::size_t>(t)].segments;
+
+    SegmentBuilder sb;
+    const ByteCount pair_base =
+        static_cast<ByteCount>(pair) * pages_per_pair_ * kPageSize;
+    if (iter == 0) {
+      if (t % 2 == 0) {
+        sb.write(data_, pair_base,
+                 static_cast<ByteCount>(pages_per_pair_) * kPageSize);
+      }
+    } else {
+      sb.read(data_, pair_base,
+              static_cast<ByteCount>(pages_per_pair_) * kPageSize);
+      sb.write(data_, pair_base + static_cast<ByteCount>(t % 2) * 64, 64);
+    }
+    sb.add_compute(kSyntheticComputeUs);
+    segments.push_back(sb.take());
+
+    if (iter > 0) {
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(0);
+      lock_sb.read(global_, 0, 64);
+      lock_sb.write(global_, 0, 64);
+      lock_sb.add_compute(10);
+      segments.push_back(lock_sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

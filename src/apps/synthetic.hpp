@@ -1,0 +1,87 @@
+// Synthetic workloads with known sharing structure, used by tests and
+// micro-benchmarks: their correlation matrices are predictable in closed
+// form, which lets property tests validate the whole tracking pipeline.
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+/// Each thread owns `pages_per_thread` private pages and additionally
+/// shares `shared_pages_per_edge` pages with its ring successor.  The
+/// correlation matrix is exactly a cyclic band: c(t, t±1) ==
+/// shared_pages_per_edge, all other off-diagonal entries 0.
+class RingWorkload final : public Workload {
+ public:
+  RingWorkload(std::int32_t num_threads, std::int32_t pages_per_thread = 4,
+               std::int32_t shared_pages_per_edge = 2);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  std::int32_t pages_per_thread_;
+  std::int32_t shared_per_edge_;
+  SharedBuffer data_;
+};
+
+/// Every thread reads the whole shared buffer and writes a private slice:
+/// correlation is uniform across all pairs.
+class AllToAllWorkload final : public Workload {
+ public:
+  AllToAllWorkload(std::int32_t num_threads,
+                   std::int32_t pages_per_thread = 2);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  std::int32_t pages_per_thread_;
+  SharedBuffer data_;
+};
+
+/// No sharing at all: each thread touches only its own pages.  All
+/// off-diagonal correlations are 0 and every balanced placement has cut
+/// cost 0.
+class PrivateWorkload final : public Workload {
+ public:
+  PrivateWorkload(std::int32_t num_threads,
+                  std::int32_t pages_per_thread = 3);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  std::int32_t pages_per_thread_;
+  SharedBuffer data_;
+};
+
+/// Threads paired (0,1), (2,3), …: partners share pages and also update a
+/// lock-protected global page, exercising lock transfers in the DSM.
+class PairsWithLockWorkload final : public Workload {
+ public:
+  explicit PairsWithLockWorkload(std::int32_t num_threads,
+                                 std::int32_t pages_per_pair = 2);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier, lock";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  std::int32_t pages_per_pair_;
+  SharedBuffer data_;
+  SharedBuffer global_;
+};
+
+}  // namespace actrack

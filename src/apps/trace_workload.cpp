@@ -1,0 +1,46 @@
+#include "apps/trace_workload.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+TraceWorkload::TraceWorkload(TraceFile file, std::string name)
+    : Workload(std::move(name), file.num_threads), file_(std::move(file)) {
+  ACTRACK_CHECK(!file_.iterations.empty());
+  // Back the replay with a single shared segment of the declared size.
+  space_.allocate(static_cast<ByteCount>(file_.num_pages) * kPageSize,
+                  "trace.segment");
+  for (const IterationTrace& trace : file_.iterations) {
+    for (const Phase& phase : trace.phases) {
+      for (const ThreadPhase& tp : phase.threads) {
+        for (const Segment& seg : tp.segments) {
+          if (seg.lock_id >= 0) uses_locks_ = true;
+        }
+      }
+    }
+  }
+}
+
+std::string TraceWorkload::synchronization() const {
+  return uses_locks_ ? "barrier, lock" : "barrier";
+}
+
+std::string TraceWorkload::input_description() const {
+  return std::to_string(file_.iterations.size()) + " recorded iterations";
+}
+
+IterationTrace TraceWorkload::iteration(std::int32_t iter) const {
+  ACTRACK_CHECK(iter >= 0);
+  const auto count = static_cast<std::int32_t>(file_.iterations.size());
+  std::size_t index = 0;
+  if (iter > 0) {
+    index = (count > 1)
+                ? static_cast<std::size_t>(1 + (iter - 1) % (count - 1))
+                : 0;
+  }
+  return file_.iterations[index];
+}
+
+}  // namespace actrack

@@ -1,0 +1,36 @@
+// TraceWorkload — replays a recorded/authored trace file as a Workload.
+//
+// Together with trace/serialize.hpp this opens the simulator to
+// external workloads: record a built-in application with
+// `actrack record`, transform the text file with any tool, and replay
+// it (`actrack replay`) through the DSM, the tracker and the placement
+// machinery.
+#pragma once
+
+#include "apps/workload.hpp"
+#include "trace/serialize.hpp"
+
+namespace actrack {
+
+class TraceWorkload final : public Workload {
+ public:
+  /// `file` must contain at least one iteration.  Iteration 0 of the
+  /// file is the initialisation pass; measured iterations cycle through
+  /// the remaining entries (or replay iteration 0 if it is the only
+  /// one).
+  TraceWorkload(TraceFile file, std::string name = "Trace");
+
+  [[nodiscard]] std::string synchronization() const override;
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(file_.iterations.size()) - 1);
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  TraceFile file_;
+  bool uses_locks_ = false;
+};
+
+}  // namespace actrack

@@ -1,0 +1,142 @@
+#include "apps/water.hpp"
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// Per-pair interaction cost; water's O(n²/2) force phase dominates its
+/// iteration time (Table 5: 1.07 s at 64 threads).
+constexpr SimTime kPairUs = 46;
+constexpr SimTime kPerMolUs = 40;
+
+}  // namespace
+
+WaterWorkload::WaterWorkload(std::int32_t num_threads,
+                             std::int32_t num_molecules)
+    : Workload("Water", num_threads), num_mols_(num_molecules) {
+  ACTRACK_CHECK(num_molecules >= num_threads);
+  mols_ = space_.allocate(static_cast<ByteCount>(num_molecules) * kMolBytes,
+                          "water.mols");
+  sums_ = space_.allocate(kPageSize, "water.sums");
+  params_ = space_.allocate(kPageSize, "water.params");
+}
+
+std::string WaterWorkload::input_description() const {
+  return std::to_string(num_mols_) + " mols";
+}
+
+IterationTrace WaterWorkload::iteration(std::int32_t iter) const {
+  const std::int32_t threads = num_threads();
+
+  auto own_range = [&](SegmentBuilder& sb, std::int32_t t, bool write) {
+    const ByteCount base = static_cast<ByteCount>(first_mol(t)) * kMolBytes;
+    const ByteCount len = static_cast<ByteCount>(mols_of(t)) * kMolBytes;
+    sb.read(mols_, base, len);
+    if (write) sb.write(mols_, base, len / 3);  // positions or forces only
+  };
+
+  if (iter == 0) {
+    IterationTrace trace = make_trace(1);
+    for (std::int32_t t = 0; t < threads; ++t) {
+      SegmentBuilder sb;
+      sb.write(mols_, static_cast<ByteCount>(first_mol(t)) * kMolBytes,
+               static_cast<ByteCount>(mols_of(t)) * kMolBytes);
+      if (t == 0) {
+        sb.write(sums_, 0, 256);
+        sb.write(params_, 0, 512);
+      }
+      sb.add_compute(kPerMolUs * mols_of(t));
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  // Phases: predict, intra-molecular forces (+ global sum), inter-
+  // molecular forces over the cyclic half shell (+ region-locked force
+  // write-back), correct (+ global sum).
+  IterationTrace trace = make_trace(4);
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+
+    {  // predict
+      SegmentBuilder sb;
+      own_range(sb, t, /*write=*/true);
+      sb.read(params_, 0, 512);
+      sb.add_compute(kPerMolUs * mols_of(t));
+      trace.phases[0].threads[ts].segments.push_back(sb.take());
+    }
+
+    {  // intraf + potential-energy accumulation under the global lock
+      SegmentBuilder sb;
+      own_range(sb, t, /*write=*/true);
+      sb.add_compute(2 * kPerMolUs * mols_of(t));
+      trace.phases[1].threads[ts].segments.push_back(sb.take());
+
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(kGlobalLock);
+      lock_sb.read(sums_, 0, 128);
+      lock_sb.write(sums_, 0, 128);
+      lock_sb.add_compute(8);
+      trace.phases[1].threads[ts].segments.push_back(lock_sb.take());
+    }
+
+    {  // interf: read the half shell of molecules following our own
+      SegmentBuilder sb;
+      own_range(sb, t, /*write=*/true);
+      const std::int32_t shell = num_mols_ / 2;
+      const std::int32_t lo = first_mol(t) + mols_of(t);
+      // Cyclic range [lo, lo+shell) of molecule records.
+      const std::int32_t wrap = (lo + shell) - num_mols_;
+      if (wrap > 0) {
+        sb.read(mols_, static_cast<ByteCount>(lo) * kMolBytes,
+                static_cast<ByteCount>(shell - wrap) * kMolBytes);
+        sb.read(mols_, 0, static_cast<ByteCount>(wrap) * kMolBytes);
+      } else {
+        sb.read(mols_, static_cast<ByteCount>(lo) * kMolBytes,
+                static_cast<ByteCount>(shell) * kMolBytes);
+      }
+      sb.add_compute(static_cast<SimTime>(kPairUs) * mols_of(t) * shell);
+      trace.phases[2].threads[ts].segments.push_back(sb.take());
+
+      // Force write-back to the shell molecules, region by region under
+      // region locks (SPLASH-2 water locks molecule force updates).
+      const std::int32_t mols_per_region = num_mols_ / kRegionLocks;
+      const std::int32_t region_lo = lo / mols_per_region;
+      const std::int32_t regions_touched =
+          (shell + mols_per_region - 1) / mols_per_region;
+      for (std::int32_t k = 0; k <= regions_touched; ++k) {
+        const std::int32_t region = (region_lo + k) % kRegionLocks;
+        SegmentBuilder lock_sb;
+        lock_sb.set_lock(region);
+        const ByteCount base =
+            static_cast<ByteCount>(region) * mols_per_region * kMolBytes;
+        // Forces are a third of the record.
+        lock_sb.write(mols_, base,
+                      static_cast<ByteCount>(mols_per_region) * kMolBytes / 3);
+        lock_sb.add_compute(4);
+        trace.phases[2].threads[ts].segments.push_back(lock_sb.take());
+      }
+    }
+
+    {  // correct + kinetic-energy accumulation
+      SegmentBuilder sb;
+      own_range(sb, t, /*write=*/true);
+      sb.add_compute(kPerMolUs * mols_of(t));
+      trace.phases[3].threads[ts].segments.push_back(sb.take());
+
+      SegmentBuilder lock_sb;
+      lock_sb.set_lock(kGlobalLock);
+      lock_sb.read(sums_, 128, 128);
+      lock_sb.write(sums_, 128, 128);
+      lock_sb.add_compute(8);
+      trace.phases[3].threads[ts].segments.push_back(lock_sb.take());
+    }
+  }
+  return trace;
+}
+
+}  // namespace actrack

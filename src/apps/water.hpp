@@ -1,0 +1,56 @@
+// Water — n-squared molecular dynamics (SPLASH-2 water-nsquared).
+//
+// Table 1: barriers and locks, 512 molecules, 44 shared pages.  The
+// classic n² force computation pairs each molecule i with the following
+// n/2 molecules cyclically (the "half shell"), so thread t touches the
+// molecule records of threads t .. t+T/2 (mod T): correlation "starts
+// high, smoothly decreases, and then increases with 'distance' between
+// the threads" (§3), and almost every local thread touches every shared
+// page the node touches (Table 5 sharing degree 6.75 of 8).
+//
+// Force write-back to other threads' molecules goes through region
+// locks, and the potential-energy reduction through a global lock, so
+// the workload also exercises lock transfers in the DSM.
+#pragma once
+
+#include <algorithm>
+
+#include "apps/workload.hpp"
+
+namespace actrack {
+
+class WaterWorkload final : public Workload {
+ public:
+  explicit WaterWorkload(std::int32_t num_threads,
+                         std::int32_t num_molecules = 512);
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier, lock";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 10;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+ private:
+  static constexpr ByteCount kMolBytes = 336;  // per-molecule record
+  static constexpr std::int32_t kRegionLocks = 16;
+  static constexpr std::int32_t kGlobalLock = kRegionLocks;
+
+  [[nodiscard]] std::int32_t mols_of(std::int32_t t) const {
+    return num_mols_ / num_threads() +
+           (t < num_mols_ % num_threads() ? 1 : 0);
+  }
+  [[nodiscard]] std::int32_t first_mol(std::int32_t t) const {
+    return t * (num_mols_ / num_threads()) +
+           std::min(t, num_mols_ % num_threads());
+  }
+
+  std::int32_t num_mols_;
+  SharedBuffer mols_;
+  SharedBuffer sums_;
+  SharedBuffer params_;
+};
+
+}  // namespace actrack

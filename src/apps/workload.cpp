@@ -1,0 +1,25 @@
+#include "apps/workload.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+Workload::Workload(std::string name, std::int32_t num_threads)
+    : name_(std::move(name)), num_threads_(num_threads) {
+  ACTRACK_CHECK(num_threads_ > 0);
+}
+
+IterationTrace Workload::make_trace(std::int32_t num_phases) const {
+  ACTRACK_CHECK(num_phases > 0);
+  IterationTrace trace;
+  trace.num_threads = num_threads_;
+  trace.phases.resize(static_cast<std::size_t>(num_phases));
+  for (Phase& phase : trace.phases) {
+    phase.threads.resize(static_cast<std::size_t>(num_threads_));
+  }
+  return trace;
+}
+
+}  // namespace actrack

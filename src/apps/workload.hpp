@@ -1,0 +1,82 @@
+// Workload interface: applications as page-access trace generators.
+//
+// The paper's applications (Table 1) are SPLASH-2 programs plus SOR,
+// compiled against CVM.  Correlation tracking observes them only through
+// page-granularity accesses per thread per synchronisation interval, so
+// each workload here walks the *same loop and address geometry* as the
+// original kernel (row partitions, block-cyclic LU, blocked transpose,
+// half-shell molecule pairing, …) over a paged AddressSpace and emits an
+// IterationTrace, without performing the floating-point work.  Per-
+// segment compute costs are calibrated so that simulated iteration times
+// land in the regime of Table 5.
+//
+// Convention: iteration(0) is the initialisation pass, in which each
+// thread writes the data it owns (first-touch distribution, as the real
+// programs do before the timed loop).  Measured iterations start at 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/address_space.hpp"
+#include "trace/access.hpp"
+
+namespace actrack {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::int32_t num_threads() const noexcept {
+    return num_threads_;
+  }
+  [[nodiscard]] PageId num_pages() const noexcept {
+    return space_.page_count();
+  }
+  [[nodiscard]] const AddressSpace& address_space() const noexcept {
+    return space_;
+  }
+
+  /// Synchronisation primitives used, as listed in Table 1.
+  [[nodiscard]] virtual std::string synchronization() const = 0;
+
+  /// Input size, as listed in Table 1.
+  [[nodiscard]] virtual std::string input_description() const = 0;
+
+  /// Reasonable number of measured iterations for a full run.
+  [[nodiscard]] virtual std::int32_t default_iterations() const { return 10; }
+
+  /// Trace of the given iteration (0 = initialisation).
+  [[nodiscard]] virtual IterationTrace iteration(std::int32_t iter) const = 0;
+
+ protected:
+  Workload(std::string name, std::int32_t num_threads);
+
+  /// Phase skeleton: an IterationTrace with `num_phases` empty phases,
+  /// each with a ThreadPhase slot for every thread.
+  [[nodiscard]] IterationTrace make_trace(std::int32_t num_phases) const;
+
+  AddressSpace space_;
+
+ private:
+  std::string name_;
+  std::int32_t num_threads_;
+};
+
+/// Builds one of the paper's ten application configurations by its
+/// Table 1 name: "Barnes", "FFT6", "FFT7", "FFT8", "LU1k", "LU2k",
+/// "Ocean", "Spatial", "SOR", "Water".  Throws on unknown names.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(
+    const std::string& paper_name, std::int32_t num_threads);
+
+/// All Table 1 names in paper order.
+[[nodiscard]] const std::vector<std::string>& all_workload_names();
+
+}  // namespace actrack

@@ -1,0 +1,94 @@
+#include "common/bitset.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+DynamicBitset::DynamicBitset(std::int64_t num_bits) : num_bits_(num_bits) {
+  ACTRACK_CHECK(num_bits >= 0);
+  words_.assign(static_cast<std::size_t>((num_bits + kWordBits - 1) / kWordBits),
+                0);
+}
+
+void DynamicBitset::set(std::int64_t bit) {
+  ACTRACK_CHECK(bit >= 0 && bit < num_bits_);
+  words_[static_cast<std::size_t>(bit / kWordBits)] |=
+      std::uint64_t{1} << (bit % kWordBits);
+}
+
+void DynamicBitset::reset(std::int64_t bit) {
+  ACTRACK_CHECK(bit >= 0 && bit < num_bits_);
+  words_[static_cast<std::size_t>(bit / kWordBits)] &=
+      ~(std::uint64_t{1} << (bit % kWordBits));
+}
+
+bool DynamicBitset::test(std::int64_t bit) const {
+  ACTRACK_CHECK(bit >= 0 && bit < num_bits_);
+  return (words_[static_cast<std::size_t>(bit / kWordBits)] >>
+          (bit % kWordBits)) &
+         1U;
+}
+
+void DynamicBitset::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+void DynamicBitset::set_all() noexcept {
+  if (num_bits_ == 0) return;
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  // Mask the tail word so count() stays exact.
+  const std::int64_t tail = num_bits_ % kWordBits;
+  if (tail != 0) {
+    words_.back() = (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+std::int64_t DynamicBitset::count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::int64_t DynamicBitset::intersection_count(
+    const DynamicBitset& other) const {
+  ACTRACK_CHECK(num_bits_ == other.num_bits_);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+std::int64_t DynamicBitset::union_count(const DynamicBitset& other) const {
+  ACTRACK_CHECK(num_bits_ == other.num_bits_);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] | other.words_[i]);
+  }
+  return total;
+}
+
+void DynamicBitset::merge(const DynamicBitset& other) {
+  ACTRACK_CHECK(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+std::vector<std::int64_t> DynamicBitset::to_indices() const {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<std::int64_t>(wi) * kWordBits + bit);
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace actrack

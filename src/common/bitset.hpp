@@ -1,0 +1,56 @@
+// DynamicBitset — a fixed-capacity bitset sized at run time.
+//
+// This is the representation of the paper's per-thread "access bitmaps"
+// (§4.2): one bit per shared page.  Thread correlation (§2) is the
+// popcount of the AND of two bitmaps, so intersection_count() is the hot
+// operation and works word-at-a-time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace actrack {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::int64_t num_bits);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return num_bits_; }
+
+  void set(std::int64_t bit);
+  void reset(std::int64_t bit);
+  [[nodiscard]] bool test(std::int64_t bit) const;
+
+  /// Clears every bit; keeps capacity.
+  void clear() noexcept;
+
+  /// Sets every bit in [0, size()).
+  void set_all() noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::int64_t count() const noexcept;
+
+  /// popcount(*this AND other).  Requires equal sizes.
+  [[nodiscard]] std::int64_t intersection_count(
+      const DynamicBitset& other) const;
+
+  /// popcount(*this OR other).  Requires equal sizes.
+  [[nodiscard]] std::int64_t union_count(const DynamicBitset& other) const;
+
+  /// *this |= other.  Requires equal sizes.
+  void merge(const DynamicBitset& other);
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const = default;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::int64_t> to_indices() const;
+
+ private:
+  static constexpr std::int64_t kWordBits = 64;
+
+  std::int64_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace actrack

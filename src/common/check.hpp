@@ -1,0 +1,34 @@
+// Precondition / invariant checking.
+//
+// ACTRACK_CHECK is always on (simulation correctness beats the last few
+// percent of speed); it throws std::logic_error so tests can assert on
+// violations and callers get stack-unwinding cleanup (E.2, E.6).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace actrack::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace actrack::detail
+
+#define ACTRACK_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::actrack::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define ACTRACK_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::actrack::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

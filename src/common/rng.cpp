@@ -1,0 +1,60 @@
+#include "common/rng.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t bound) {
+  ACTRACK_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t ub = static_cast<std::uint64_t>(bound);
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % ub);
+  std::uint64_t r = next();
+  while (r >= limit) r = next();
+  return static_cast<std::int64_t>(r % ub);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  ACTRACK_CHECK(lo <= hi);
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform_real() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace actrack

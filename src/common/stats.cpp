@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  ACTRACK_CHECK(x.size() == y.size());
+  ACTRACK_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  ACTRACK_CHECK_MSG(sxx > 0.0, "x sample is constant; slope undefined");
+
+  LinearFit fit;
+  fit.n = static_cast<std::int64_t>(x.size());
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.correlation = (syy > 0.0) ? sxy / std::sqrt(sxx * syy) : 0.0;
+  return fit;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  ACTRACK_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace actrack

@@ -1,0 +1,52 @@
+// Streaming statistics and ordinary least squares.
+//
+// Table 2 of the paper reports, per application, the slope, y-intercept
+// and correlation coefficient of remote misses regressed on cut costs
+// over 300 random thread configurations.  LinearFit reproduces exactly
+// those three numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace actrack {
+
+/// Welford-style accumulator for mean and variance.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary-least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Pearson correlation coefficient r (not r^2), as reported in Table 2.
+  double correlation = 0.0;
+  std::int64_t n = 0;
+};
+
+/// Fits y on x.  Requires x.size() == y.size() >= 2 and non-constant x.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Pearson correlation of two equal-length samples.
+[[nodiscard]] double pearson(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+}  // namespace actrack

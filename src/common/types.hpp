@@ -1,0 +1,39 @@
+// Core scalar types shared by every actrack module.
+//
+// The simulator models a cluster of workstation "nodes", each running
+// several application "threads" over a paged shared address space, so the
+// three id spaces below appear everywhere.  They are kept as plain signed
+// integers (ES.100-ES.107: signed arithmetic for indices) with distinct
+// aliases for readability.
+#pragma once
+
+#include <cstdint>
+
+namespace actrack {
+
+/// Index of a 4 KiB page within the shared address space.
+using PageId = std::int32_t;
+
+/// Index of an application thread (0 .. num_threads-1).
+using ThreadId = std::int32_t;
+
+/// Index of a cluster node (0 .. num_nodes-1).
+using NodeId = std::int32_t;
+
+/// Simulated time in microseconds.  Signed so that durations and
+/// differences are safe to compute.
+using SimTime = std::int64_t;
+
+/// Byte counts (shared segment sizes, message payloads).
+using ByteCount = std::int64_t;
+
+/// Size of a shared page.  CVM used the host VM page size; the paper's
+/// testbed (x86 Linux 2.0) used 4 KiB pages, and Table 1's "shared pages"
+/// counts are consistent with that.
+inline constexpr ByteCount kPageSize = 4096;
+
+/// Sentinel for "no node" / "no thread".
+inline constexpr NodeId kNoNode = -1;
+inline constexpr ThreadId kNoThread = -1;
+
+}  // namespace actrack

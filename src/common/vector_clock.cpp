@@ -1,0 +1,39 @@
+#include "common/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+VectorClock::VectorClock(NodeId num_nodes)
+    : components_(static_cast<std::size_t>(num_nodes), 0) {
+  ACTRACK_CHECK(num_nodes > 0);
+}
+
+void VectorClock::increment(NodeId node) {
+  ACTRACK_CHECK(node >= 0 && node < size());
+  components_[static_cast<std::size_t>(node)] += 1;
+}
+
+std::int64_t VectorClock::component(NodeId node) const {
+  ACTRACK_CHECK(node >= 0 && node < size());
+  return components_[static_cast<std::size_t>(node)];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  ACTRACK_CHECK(size() == other.size());
+  for (std::size_t n = 0; n < components_.size(); ++n) {
+    components_[n] = std::max(components_[n], other.components_[n]);
+  }
+}
+
+bool VectorClock::less_equal(const VectorClock& other) const {
+  ACTRACK_CHECK(size() == other.size());
+  for (std::size_t n = 0; n < components_.size(); ++n) {
+    if (components_[n] > other.components_[n]) return false;
+  }
+  return true;
+}
+
+}  // namespace actrack

@@ -1,0 +1,45 @@
+// Vector clocks over cluster nodes.
+//
+// Lazy release consistency is defined over the *happened-before* partial
+// order of synchronisation operations: an acquirer must observe exactly
+// the writes in the releaser's causal past.  The default DSM models
+// causality with a total epoch order (a sound over-approximation — see
+// DESIGN.md §4.2); the vector-clock mode uses these clocks to invalidate
+// precisely, and bench/ablation_protocol measures the difference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace actrack {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(NodeId num_nodes);
+
+  [[nodiscard]] NodeId size() const noexcept {
+    return static_cast<NodeId>(components_.size());
+  }
+
+  /// This node performed a local sync event.
+  void increment(NodeId node);
+
+  [[nodiscard]] std::int64_t component(NodeId node) const;
+
+  /// Pointwise maximum (observing another clock's history).
+  void merge(const VectorClock& other);
+
+  /// True iff every component of *this is <= the other's — i.e. all
+  /// events this clock has seen are in `other`'s causal past.
+  [[nodiscard]] bool less_equal(const VectorClock& other) const;
+
+  [[nodiscard]] bool operator==(const VectorClock& other) const = default;
+
+ private:
+  std::vector<std::int64_t> components_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,52 @@
+#include "correlation/aging.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+AgedCorrelation::AgedCorrelation(std::int32_t num_threads, double alpha)
+    : n_(num_threads),
+      alpha_(alpha),
+      cells_(static_cast<std::size_t>(num_threads) *
+                 static_cast<std::size_t>(num_threads),
+             0.0) {
+  ACTRACK_CHECK(num_threads > 0);
+  ACTRACK_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void AgedCorrelation::observe(const CorrelationMatrix& fresh) {
+  ACTRACK_CHECK(fresh.num_threads() == n_);
+  // The very first observation seeds the estimate outright; afterwards
+  // it decays exponentially toward each new sample.
+  const double blend = (observations_ == 0) ? 1.0 : alpha_;
+  for (ThreadId i = 0; i < n_; ++i) {
+    for (ThreadId j = 0; j < n_; ++j) {
+      double& cell = cells_[static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(n_) +
+                            static_cast<std::size_t>(j)];
+      cell = (1.0 - blend) * cell +
+             blend * static_cast<double>(fresh.at(i, j));
+    }
+  }
+  observations_ += 1;
+}
+
+CorrelationMatrix AgedCorrelation::snapshot() const {
+  CorrelationMatrix out(n_);
+  for (ThreadId i = 0; i < n_; ++i) {
+    for (ThreadId j = i; j < n_; ++j) {
+      out.set(i, j, std::llround(estimate(i, j)));
+    }
+  }
+  return out;
+}
+
+double AgedCorrelation::estimate(ThreadId a, ThreadId b) const {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  return cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(b)];
+}
+
+}  // namespace actrack

@@ -1,0 +1,49 @@
+// Aged thread-correlation estimates.
+//
+// §1 of the paper notes that systems tracking sharing over time
+// accommodate "changes in sharing patterns ... through the use of an
+// aging mechanism".  AgedCorrelation keeps an exponentially-weighted
+// moving estimate of the correlation matrix across repeated tracking
+// passes: fresh observations are blended in with weight `alpha`, so
+// stale affinity fades at rate (1-alpha) per observation.  The adaptive
+// controller (runtime/adaptive.hpp) feeds each re-tracking result
+// through this before recomputing placements, which damps oscillation
+// when an application's phases alternate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "correlation/matrix.hpp"
+
+namespace actrack {
+
+class AgedCorrelation {
+ public:
+  /// `alpha` in (0, 1]: 1 forgets history entirely (latest wins);
+  /// small values change the estimate slowly.
+  AgedCorrelation(std::int32_t num_threads, double alpha = 0.5);
+
+  /// Blends a freshly tracked matrix into the estimate.
+  void observe(const CorrelationMatrix& fresh);
+
+  /// Rounded integer snapshot usable by the placement heuristics.
+  [[nodiscard]] CorrelationMatrix snapshot() const;
+
+  [[nodiscard]] std::int64_t observations() const noexcept {
+    return observations_;
+  }
+  [[nodiscard]] std::int32_t num_threads() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Exact (unrounded) current estimate for a pair.
+  [[nodiscard]] double estimate(ThreadId a, ThreadId b) const;
+
+ private:
+  std::int32_t n_;
+  double alpha_;
+  std::int64_t observations_ = 0;
+  std::vector<double> cells_;  // row-major n×n
+};
+
+}  // namespace actrack

@@ -1,0 +1,82 @@
+#include "correlation/matrix.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+CorrelationMatrix::CorrelationMatrix(std::int32_t num_threads)
+    : n_(num_threads),
+      cells_(static_cast<std::size_t>(num_threads) *
+                 static_cast<std::size_t>(num_threads),
+             0) {
+  ACTRACK_CHECK(num_threads > 0);
+}
+
+CorrelationMatrix CorrelationMatrix::from_bitmaps(
+    const std::vector<DynamicBitset>& bitmaps) {
+  ACTRACK_CHECK(!bitmaps.empty());
+  CorrelationMatrix m(static_cast<std::int32_t>(bitmaps.size()));
+  for (std::int32_t i = 0; i < m.n_; ++i) {
+    for (std::int32_t j = i; j < m.n_; ++j) {
+      const std::int64_t shared =
+          bitmaps[static_cast<std::size_t>(i)].intersection_count(
+              bitmaps[static_cast<std::size_t>(j)]);
+      m.set(i, j, shared);
+    }
+  }
+  return m;
+}
+
+std::int64_t CorrelationMatrix::at(ThreadId a, ThreadId b) const {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  return cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(b)];
+}
+
+void CorrelationMatrix::set(ThreadId a, ThreadId b, std::int64_t value) {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  ACTRACK_CHECK(value >= 0);
+  cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(b)] = value;
+  cells_[static_cast<std::size_t>(b) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(a)] = value;
+}
+
+std::int64_t CorrelationMatrix::max_off_diagonal() const noexcept {
+  std::int64_t best = 0;
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = i + 1; j < n_; ++j) {
+      best = std::max(best, at(i, j));
+    }
+  }
+  return best;
+}
+
+std::int64_t CorrelationMatrix::cut_cost(
+    const std::vector<NodeId>& node_of_thread) const {
+  ACTRACK_CHECK(static_cast<std::int32_t>(node_of_thread.size()) == n_);
+  std::int64_t cut = 0;
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = i + 1; j < n_; ++j) {
+      if (node_of_thread[static_cast<std::size_t>(i)] !=
+          node_of_thread[static_cast<std::size_t>(j)]) {
+        cut += at(i, j);
+      }
+    }
+  }
+  return cut;
+}
+
+std::int64_t CorrelationMatrix::total_pair_correlation() const noexcept {
+  std::int64_t total = 0;
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = i + 1; j < n_; ++j) {
+      total += at(i, j);
+    }
+  }
+  return total;
+}
+
+}  // namespace actrack

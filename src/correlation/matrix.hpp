@@ -1,0 +1,51 @@
+// Thread correlations and correlation maps (paper §2, §3).
+//
+// Thread correlation is defined as "the number of pages shared in common
+// between a pair of threads"; a CorrelationMatrix holds all n² pairwise
+// correlations, built from per-thread access bitmaps.  The cut cost of a
+// mapping of threads to nodes is the sum of correlations over thread
+// pairs split across node boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+
+namespace actrack {
+
+class CorrelationMatrix {
+ public:
+  /// Zero matrix over `num_threads` threads.
+  explicit CorrelationMatrix(std::int32_t num_threads);
+
+  /// Builds the matrix from per-thread page-access bitmaps: entry (i,j)
+  /// is |pages(i) ∩ pages(j)|.  The diagonal holds |pages(i)|.
+  static CorrelationMatrix from_bitmaps(
+      const std::vector<DynamicBitset>& bitmaps);
+
+  [[nodiscard]] std::int32_t num_threads() const noexcept { return n_; }
+
+  [[nodiscard]] std::int64_t at(ThreadId a, ThreadId b) const;
+  void set(ThreadId a, ThreadId b, std::int64_t value);
+
+  /// Maximum off-diagonal entry (for map normalisation).
+  [[nodiscard]] std::int64_t max_off_diagonal() const noexcept;
+
+  /// Sum of correlations over all unordered cross-node pairs for the
+  /// given thread→node assignment (must have size num_threads()).
+  [[nodiscard]] std::int64_t cut_cost(
+      const std::vector<NodeId>& node_of_thread) const;
+
+  /// Total correlation over all unordered off-diagonal pairs — the cut
+  /// cost of the "every thread on its own node" mapping; an upper bound
+  /// on any cut cost.
+  [[nodiscard]] std::int64_t total_pair_correlation() const noexcept;
+
+ private:
+  std::int32_t n_;
+  std::vector<std::int64_t> cells_;  // row-major n×n, symmetric
+};
+
+}  // namespace actrack

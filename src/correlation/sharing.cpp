@@ -1,0 +1,45 @@
+#include "correlation/sharing.hpp"
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+double sharing_degree(const std::vector<DynamicBitset>& access_bitmaps,
+                      const std::vector<NodeId>& node_of_thread,
+                      NodeId num_nodes) {
+  ACTRACK_CHECK(!access_bitmaps.empty());
+  ACTRACK_CHECK(access_bitmaps.size() == node_of_thread.size());
+  ACTRACK_CHECK(num_nodes > 0);
+
+  const std::int64_t num_pages = access_bitmaps.front().size();
+  std::int64_t total_faults = 0;   // per-thread first touches == tracking faults
+  std::int64_t total_distinct = 0; // distinct pages per node
+
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    DynamicBitset node_union(num_pages);
+    for (std::size_t t = 0; t < access_bitmaps.size(); ++t) {
+      if (node_of_thread[t] != n) continue;
+      total_faults += access_bitmaps[t].count();
+      node_union.merge(access_bitmaps[t]);
+    }
+    total_distinct += node_union.count();
+  }
+  if (total_distinct == 0) return 0.0;
+  return static_cast<double>(total_faults) /
+         static_cast<double>(total_distinct);
+}
+
+double information_completeness(const std::vector<DynamicBitset>& observed,
+                                const std::vector<DynamicBitset>& truth) {
+  ACTRACK_CHECK(observed.size() == truth.size());
+  std::int64_t have = 0;
+  std::int64_t want = 0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    want += truth[t].count();
+    have += observed[t].intersection_count(truth[t]);
+  }
+  if (want == 0) return 1.0;
+  return static_cast<double>(have) / static_cast<double>(want);
+}
+
+}  // namespace actrack

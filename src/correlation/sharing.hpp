@@ -1,0 +1,26 @@
+// Sharing-degree and information-completeness metrics (paper §4).
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+
+namespace actrack {
+
+/// Paper §4.2, Table 5 "Sharing degree": the average number of local
+/// threads that access each distinct shared page touched on a node.
+/// Computed as  (Σ_nodes tracking faults on node) /
+///             (Σ_nodes distinct pages touched on node),
+/// given per-thread access bitmaps and the thread→node mapping.
+[[nodiscard]] double sharing_degree(
+    const std::vector<DynamicBitset>& access_bitmaps,
+    const std::vector<NodeId>& node_of_thread, NodeId num_nodes);
+
+/// Fraction of the complete (thread, page) sharing information captured
+/// by `observed` relative to the oracle `truth` — the y-axis of Figure 2.
+[[nodiscard]] double information_completeness(
+    const std::vector<DynamicBitset>& observed,
+    const std::vector<DynamicBitset>& truth);
+
+}  // namespace actrack

@@ -1,0 +1,100 @@
+#include "correlation/structure.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+BlockContrast block_contrast(const CorrelationMatrix& matrix,
+                             std::int32_t block_size) {
+  ACTRACK_CHECK(block_size >= 1);
+  const std::int32_t n = matrix.num_threads();
+  double inside = 0.0, outside = 0.0;
+  std::int64_t n_in = 0, n_out = 0;
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      if (i / block_size == j / block_size) {
+        inside += static_cast<double>(matrix.at(i, j));
+        ++n_in;
+      } else {
+        outside += static_cast<double>(matrix.at(i, j));
+        ++n_out;
+      }
+    }
+  }
+  BlockContrast contrast;
+  if (n_in > 0) contrast.inside = inside / static_cast<double>(n_in);
+  if (n_out > 0) contrast.outside = outside / static_cast<double>(n_out);
+  return contrast;
+}
+
+double nearest_neighbour_fraction(const CorrelationMatrix& matrix,
+                                  std::int32_t bandwidth) {
+  ACTRACK_CHECK(bandwidth >= 1);
+  const std::int32_t n = matrix.num_threads();
+  std::int64_t near = 0, total = 0;
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      total += matrix.at(i, j);
+      if (j - i <= bandwidth) near += matrix.at(i, j);
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(near) / static_cast<double>(total);
+}
+
+std::int32_t dominant_block_size(
+    const CorrelationMatrix& matrix,
+    const std::vector<std::int32_t>& candidates, double min_ratio) {
+  std::int32_t best_size = 0;
+  double best_margin = 0.0;
+  for (const std::int32_t size : candidates) {
+    if (size < 2 || size >= matrix.num_threads()) continue;
+    const BlockContrast contrast = block_contrast(matrix, size);
+    // A candidate must clearly dominate the background, and we rank by
+    // the absolute margin: sub-divisors of the true block size keep the
+    // same inside mean but pick up background outside, lowering their
+    // margin relative to the true size.
+    if (contrast.inside < min_ratio * contrast.outside) continue;
+    const double margin = contrast.inside - contrast.outside;
+    if (margin > best_margin) {
+      best_margin = margin;
+      best_size = size;
+    }
+  }
+  return best_size;
+}
+
+double uniformity_index(const CorrelationMatrix& matrix) {
+  const std::int32_t n = matrix.num_threads();
+  ACTRACK_CHECK(n >= 2);
+  std::int64_t min_pair = matrix.at(0, 1);
+  double total = 0.0;
+  std::int64_t pairs = 0;
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      min_pair = std::min(min_pair, matrix.at(i, j));
+      total += static_cast<double>(matrix.at(i, j));
+      ++pairs;
+    }
+  }
+  const double mean = total / static_cast<double>(pairs);
+  if (mean <= 0.0) return 0.0;
+  return static_cast<double>(min_pair) / mean;
+}
+
+std::string classify_structure(const CorrelationMatrix& matrix) {
+  if (nearest_neighbour_fraction(matrix) > 0.6) return "nearest-neighbour";
+  std::vector<std::int32_t> candidates;
+  for (std::int32_t size = 2; size <= matrix.num_threads() / 2; size *= 2) {
+    candidates.push_back(size);
+  }
+  const std::int32_t block = dominant_block_size(matrix, candidates);
+  if (block > 0) return "blocks of " + std::to_string(block);
+  if (uniformity_index(matrix) > 0.5) return "all-to-all";
+  return "irregular";
+}
+
+}  // namespace actrack

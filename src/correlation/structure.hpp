@@ -1,0 +1,57 @@
+// Structural analysis of correlation maps.
+//
+// §3 of the paper reads its maps by eye: "note the prevalence of dark
+// areas near the diagonals" (nearest-neighbour), "sharing is
+// concentrated in discrete blocks of threads" (clusters), "uniform
+// all-to-all sharing".  These helpers quantify the same observations so
+// benches and tests can assert on them: the fraction of correlation
+// mass near the diagonal, the inside/outside contrast of aligned thread
+// blocks, the block size that maximises that contrast, and a uniformity
+// index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "correlation/matrix.hpp"
+
+namespace actrack {
+
+/// Mean correlation inside aligned blocks of `block_size` consecutive
+/// threads vs outside them.
+struct BlockContrast {
+  double inside = 0.0;
+  double outside = 0.0;
+
+  /// inside/outside, with a tiny floor to stay finite.
+  [[nodiscard]] double ratio() const noexcept {
+    return inside / (outside > 0.0 ? outside : 1.0);
+  }
+};
+
+[[nodiscard]] BlockContrast block_contrast(const CorrelationMatrix& matrix,
+                                           std::int32_t block_size);
+
+/// Fraction of total off-diagonal correlation mass within |i-j| <=
+/// bandwidth — the paper's "dark areas near the diagonals".
+[[nodiscard]] double nearest_neighbour_fraction(
+    const CorrelationMatrix& matrix, std::int32_t bandwidth = 1);
+
+/// The aligned block size (from `candidates`) with the largest
+/// inside/outside contrast; 0 if no candidate beats `min_ratio`
+/// (i.e. the map has no discrete block structure).
+[[nodiscard]] std::int32_t dominant_block_size(
+    const CorrelationMatrix& matrix,
+    const std::vector<std::int32_t>& candidates, double min_ratio = 2.0);
+
+/// Uniformity in [0, 1]: minimum pair correlation divided by the mean;
+/// 1 means perfectly uniform all-to-all sharing, 0 means at least one
+/// pair shares nothing.
+[[nodiscard]] double uniformity_index(const CorrelationMatrix& matrix);
+
+/// One-line classification used by the benches: "nearest-neighbour",
+/// "blocks of N", "all-to-all", or "irregular".
+[[nodiscard]] std::string classify_structure(const CorrelationMatrix& matrix);
+
+}  // namespace actrack

@@ -1,0 +1,515 @@
+#include "dsm/protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// Cost of applying `bytes` of received data to a local frame.
+SimTime apply_cost(const CostModel& cost, ByteCount bytes) {
+  return cost.diff_apply_us_per_kb * ((bytes + 1023) / 1024);
+}
+
+}  // namespace
+
+DsmSystem::DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
+                     DsmConfig config)
+    : num_pages_(num_pages),
+      num_nodes_(num_nodes),
+      net_(net),
+      config_(config),
+      pages_(static_cast<std::size_t>(num_pages)),
+      node_pages_(static_cast<std::size_t>(num_pages) *
+                  static_cast<std::size_t>(num_nodes)),
+      dirty_pages_(static_cast<std::size_t>(num_nodes)),
+      node_vc_(static_cast<std::size_t>(num_nodes),
+               VectorClock(num_nodes)) {
+  ACTRACK_CHECK(num_pages > 0);
+  ACTRACK_CHECK(num_nodes > 0);
+  ACTRACK_CHECK(net != nullptr);
+  ACTRACK_CHECK(net->num_nodes() == num_nodes);
+}
+
+DsmSystem::NodePage& DsmSystem::node_page(NodeId node, PageId page) {
+  ACTRACK_CHECK(node >= 0 && node < num_nodes_);
+  ACTRACK_CHECK(page >= 0 && page < num_pages_);
+  return node_pages_[static_cast<std::size_t>(node) *
+                         static_cast<std::size_t>(num_pages_) +
+                     static_cast<std::size_t>(page)];
+}
+
+const DsmSystem::NodePage& DsmSystem::node_page(NodeId node,
+                                                PageId page) const {
+  return const_cast<DsmSystem*>(this)->node_page(node, page);
+}
+
+PageState DsmSystem::page_state(NodeId node, PageId page) const {
+  return node_page(node, page).state;
+}
+
+void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
+                              AccessOutcome& out) {
+  const CostModel& cost = net_->cost();
+  GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+  NodePage& np = node_page(node, page);
+  const auto size = static_cast<std::int32_t>(gp.history.size());
+
+  // Find the most recent full-page record the node has not applied (GC
+  // consolidation or initial content): everything before it is subsumed.
+  std::int32_t base = np.applied_upto;
+  for (std::int32_t i = size - 1; i >= np.applied_upto; --i) {
+    if (gp.history[static_cast<std::size_t>(i)].full_page) {
+      base = i;
+      break;
+    }
+  }
+
+  bool any_remote = false;
+  SimTime longest_exchange = 0;
+
+  // Whole-page transfer: needed when a full-page record is unseen, or
+  // when the node has never held a frame for this page at all.
+  NodeId page_source = kNoNode;
+  if (base > np.applied_upto &&
+      gp.history[static_cast<std::size_t>(base)].full_page) {
+    page_source = gp.history[static_cast<std::size_t>(base)].writer;
+  } else if (base < size &&
+             gp.history[static_cast<std::size_t>(base)].full_page) {
+    page_source = gp.history[static_cast<std::size_t>(base)].writer;
+  } else if (np.state == PageState::kUnmapped) {
+    // Initial content lives at the page's home (manager) node.
+    page_source = page % num_nodes_;
+  }
+  std::int32_t diffs_from = (page_source == kNoNode) ? np.applied_upto : base;
+  if (page_source != kNoNode &&
+      diffs_from < size &&
+      gp.history[static_cast<std::size_t>(diffs_from)].full_page) {
+    ++diffs_from;  // the full-page transfer covers its own record
+  }
+
+  if (page_source != kNoNode && page_source != node) {
+    const SimTime request = net_->send(node, page_source, 0,
+                                       PayloadKind::kControl);
+    const SimTime reply =
+        net_->send(page_source, node, kPageSize, PayloadKind::kFullPage);
+    longest_exchange = std::max(longest_exchange, request + reply);
+    out.local_us += apply_cost(cost, kPageSize);
+    stats_.full_page_fetches += 1;
+    any_remote = true;
+  }
+
+  // Group unseen diff records by writer: one exchange per distinct
+  // writer, fetched in parallel (CVM requests all diffs concurrently).
+  struct WriterDiffs {
+    NodeId writer;
+    ByteCount bytes;
+  };
+  std::vector<WriterDiffs> groups;
+  for (std::int32_t i = diffs_from; i < size; ++i) {
+    const WriteRecord& rec = gp.history[static_cast<std::size_t>(i)];
+    if (rec.full_page || rec.writer == node) continue;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const WriterDiffs& g) {
+                             return g.writer == rec.writer;
+                           });
+    if (it == groups.end()) {
+      groups.push_back({rec.writer, rec.diff_bytes});
+    } else {
+      it->bytes += rec.diff_bytes;
+    }
+  }
+  for (const WriterDiffs& group : groups) {
+    const SimTime request =
+        net_->send(node, group.writer, 0, PayloadKind::kControl);
+    const SimTime reply =
+        net_->send(group.writer, node, group.bytes, PayloadKind::kDiff);
+    longest_exchange = std::max(longest_exchange, request + reply);
+    out.local_us += apply_cost(cost, group.bytes);
+    stats_.diff_fetches += 1;
+    any_remote = true;
+  }
+
+  out.remote_us += longest_exchange;
+  if (any_remote) {
+    out.remote_miss = true;
+    stats_.remote_misses += 1;
+    if (remote_miss_observer_) remote_miss_observer_(node, thread, page);
+  }
+
+  np.applied_upto = size;
+  np.state = PageState::kReadOnly;
+}
+
+AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
+                                   const PageAccess& a) {
+  const CostModel& cost = net_->cost();
+  AccessOutcome out;
+  GlobalPage& gp = pages_[static_cast<std::size_t>(a.page)];
+  NodePage& np = node_page(node, a.page);
+  const std::uint64_t node_bit = std::uint64_t{1} << node;
+
+  // The page home holds the initial copy and implicit initial ownership.
+  const NodeId home = a.page % num_nodes_;
+  const NodeId owner = (gp.sc_owner != kNoNode) ? gp.sc_owner : home;
+
+  if (a.kind == AccessKind::kRead) {
+    if (np.state == PageState::kReadOnly ||
+        np.state == PageState::kReadWrite) {
+      return out;
+    }
+    stats_.read_faults += 1;
+    out.read_fault = true;
+    out.local_us += cost.fault_trap_us;
+    if (owner != node) {
+      const SimTime request = net_->send(node, owner, 0,
+                                         PayloadKind::kControl);
+      const SimTime reply =
+          net_->send(owner, node, kPageSize, PayloadKind::kFullPage);
+      out.remote_us += request + reply;
+      out.local_us += cost.diff_apply_us_per_kb * (kPageSize / 1024);
+      out.remote_miss = true;
+      stats_.remote_misses += 1;
+      stats_.full_page_fetches += 1;
+      if (remote_miss_observer_) remote_miss_observer_(node, thread, a.page);
+    }
+    gp.sc_owner = owner;
+    gp.sc_copyset |= node_bit;
+    np.state = PageState::kReadOnly;
+    return out;
+  }
+
+  // Write: requires exclusive ownership.
+  if (np.state == PageState::kReadWrite && owner == node) {
+    return out;  // already exclusive
+  }
+  stats_.write_faults += 1;
+  out.write_fault = true;
+  out.local_us += cost.fault_trap_us;
+
+  if (owner != node) {
+    // Mirage-style delta interval: a page whose ownership already moved
+    // this epoch is frozen before it can be stolen again (§6).
+    if (config_.delta_interval_us > 0 && gp.sc_transfers_this_epoch > 0) {
+      out.remote_us += config_.delta_interval_us;
+      stats_.delta_stalls += 1;
+    }
+    const SimTime request =
+        net_->send(node, owner, 0, PayloadKind::kControl);
+    const SimTime reply =
+        net_->send(owner, node, kPageSize, PayloadKind::kFullPage);
+    out.remote_us += request + reply;
+    out.local_us += cost.diff_apply_us_per_kb * (kPageSize / 1024);
+    out.remote_miss = true;
+    stats_.remote_misses += 1;
+    stats_.full_page_fetches += 1;
+    stats_.ownership_transfers += 1;
+    if (gp.sc_transfers_this_epoch == 0) sc_active_.push_back(a.page);
+    gp.sc_transfers_this_epoch += 1;
+    if (remote_miss_observer_) remote_miss_observer_(node, thread, a.page);
+  }
+
+  // Invalidate every other replica before the write may proceed
+  // (sequential consistency is eager).
+  std::uint64_t copyset = gp.sc_copyset | node_bit;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (n == node) continue;
+    if ((copyset >> n) & 1) {
+      net_->send(node, n, 0, PayloadKind::kControl);
+      NodePage& replica = node_page(n, a.page);
+      if (replica.state != PageState::kUnmapped) {
+        replica.state = PageState::kInvalid;
+      }
+      stats_.invalidations += 1;
+    }
+  }
+  if (copyset != node_bit) {
+    out.remote_us += 2 * cost.net_latency_us;  // invalidation round + acks
+  }
+  gp.sc_owner = node;
+  gp.sc_copyset = node_bit;
+  np.state = PageState::kReadWrite;
+  return out;
+}
+
+AccessOutcome DsmSystem::access(NodeId node, ThreadId thread,
+                                const PageAccess& a) {
+  ACTRACK_CHECK(node >= 0 && node < num_nodes_);
+  ACTRACK_CHECK(a.page >= 0 && a.page < num_pages_);
+  if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
+    return access_sc(node, thread, a);
+  }
+  const CostModel& cost = net_->cost();
+  AccessOutcome out;
+  NodePage& np = node_page(node, a.page);
+
+  if (a.kind == AccessKind::kRead) {
+    if (np.state == PageState::kReadOnly ||
+        np.state == PageState::kReadWrite) {
+      return out;  // access proceeds transparently
+    }
+    stats_.read_faults += 1;
+    out.read_fault = true;
+    out.local_us += cost.fault_trap_us;
+    validate_page(node, thread, a.page, out);
+    return out;
+  }
+
+  // Write access.
+  if (np.state == PageState::kReadWrite) {
+    // Twin exists; the write proceeds transparently.
+  } else {
+    stats_.write_faults += 1;
+    out.write_fault = true;
+    out.local_us += cost.fault_trap_us;
+    if (np.state != PageState::kReadOnly) {
+      validate_page(node, thread, a.page, out);
+    }
+    out.local_us += cost.twin_create_us;
+    np.state = PageState::kReadWrite;
+  }
+  if (np.dirty_bytes == 0) {
+    dirty_pages_[static_cast<std::size_t>(node)].push_back(a.page);
+  }
+  np.dirty_bytes = static_cast<std::int32_t>(std::min<ByteCount>(
+      kPageSize, np.dirty_bytes + std::max<std::int32_t>(a.bytes_written, 4)));
+  return out;
+}
+
+SimTime DsmSystem::release_node(NodeId node) {
+  if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
+    return 0;  // SC has no twins/diffs; invalidations were eager
+  }
+  const CostModel& cost = net_->cost();
+  SimTime local = 0;
+  auto& dirty = dirty_pages_[static_cast<std::size_t>(node)];
+  if (config_.causality == CausalityMode::kVectorClock && !dirty.empty()) {
+    node_vc_[static_cast<std::size_t>(node)].increment(node);
+  }
+  for (const PageId page : dirty) {
+    NodePage& np = node_page(node, page);
+    ACTRACK_CHECK(np.state == PageState::kReadWrite);
+    ACTRACK_CHECK(np.dirty_bytes > 0);
+    GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+
+    WriteRecord record{epoch_, node, np.dirty_bytes, /*full_page=*/false,
+                       VectorClock{}};
+    if (config_.causality == CausalityMode::kVectorClock) {
+      record.vc = node_vc_[static_cast<std::size_t>(node)];
+    }
+    gp.history.push_back(std::move(record));
+    outstanding_diff_bytes_ += np.dirty_bytes;
+    stats_.diffs_created += 1;
+
+    if (!gp.in_flush_list) {
+      gp.in_flush_list = true;
+      recently_flushed_.push_back(page);
+    }
+    if (!gp.in_diff_list) {
+      gp.in_diff_list = true;
+      pages_with_diffs_.push_back(page);
+    }
+
+    // If the replica was current before the local write, it stays
+    // current (its own diff is reflected locally).
+    if (np.applied_upto ==
+        static_cast<std::int32_t>(gp.history.size()) - 1) {
+      np.applied_upto = static_cast<std::int32_t>(gp.history.size());
+    }
+    // Diff creation scans the full page against its twin; the twin is
+    // then discarded and the page write-protected again.
+    local += cost.diff_create_us_per_kb * (kPageSize / 1024);
+    np.state = PageState::kReadOnly;
+    np.dirty_bytes = 0;
+  }
+  dirty.clear();
+  return local;
+}
+
+SimTime DsmSystem::barrier_epoch() {
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    ACTRACK_CHECK_MSG(dirty_pages_[static_cast<std::size_t>(n)].empty(),
+                      "barrier_epoch before release_node");
+  }
+  epoch_ += 1;
+
+  // A barrier synchronises everyone with everyone: all clocks merge.
+  if (config_.causality == CausalityMode::kVectorClock) {
+    VectorClock merged(num_nodes_);
+    for (const VectorClock& vc : node_vc_) merged.merge(vc);
+    for (VectorClock& vc : node_vc_) vc = merged;
+  }
+
+  // Single-writer: thaw delta-frozen pages at the epoch boundary.
+  for (const PageId page : sc_active_) {
+    pages_[static_cast<std::size_t>(page)].sc_transfers_this_epoch = 0;
+  }
+  sc_active_.clear();
+
+  for (const PageId page : recently_flushed_) {
+    GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+    gp.in_flush_list = false;
+    const auto size = static_cast<std::int32_t>(gp.history.size());
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      NodePage& np = node_page(n, page);
+      if (np.state == PageState::kUnmapped ||
+          np.state == PageState::kInvalid) {
+        continue;
+      }
+      if (np.applied_upto < size) {
+        np.state = PageState::kInvalid;
+        stats_.invalidations += 1;
+      }
+    }
+  }
+  recently_flushed_.clear();
+
+  SimTime per_node_cost = 0;
+  if (config_.gc_enabled &&
+      outstanding_diff_bytes_ > config_.gc_threshold_bytes) {
+    per_node_cost += run_gc();
+  }
+  return per_node_cost;
+}
+
+SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
+                                 std::int32_t lock_id) {
+  ACTRACK_CHECK(to >= 0 && to < num_nodes_);
+  epoch_ += 1;
+
+  const bool precise = config_.causality == CausalityMode::kVectorClock;
+  if (precise) {
+    // The lock carries the causal history of its previous holders; the
+    // acquirer inherits it.
+    auto [it, inserted] = lock_vc_.try_emplace(lock_id, VectorClock(num_nodes_));
+    VectorClock& lock_clock = it->second;
+    if (from != kNoNode) {
+      lock_clock.merge(node_vc_[static_cast<std::size_t>(from)]);
+    }
+    node_vc_[static_cast<std::size_t>(to)].merge(lock_clock);
+  }
+  if (from == to) return 0;
+
+  // The acquirer applies the write notices the acquire propagates: all
+  // unseen notices (total order), or only those in its (just extended)
+  // causal past (vector clocks).
+  const VectorClock& acquirer_vc = node_vc_[static_cast<std::size_t>(to)];
+  for (const PageId page : recently_flushed_) {
+    const GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+    NodePage& np = node_page(to, page);
+    if (np.state == PageState::kUnmapped ||
+        np.state == PageState::kInvalid) {
+      continue;
+    }
+    // A page the acquirer is itself mid-interval dirty on is a
+    // concurrent multi-writer page: its twin preserves the local
+    // modifications, so it stays writable and is reconciled at the
+    // node's own next release (applied_upto stays behind, so a later
+    // synchronisation invalidates the then-clean replica).
+    if (np.dirty_bytes > 0) continue;
+    const auto size = static_cast<std::int32_t>(gp.history.size());
+    if (np.applied_upto >= size) continue;
+    bool must_invalidate = false;
+    if (!precise) {
+      must_invalidate = true;
+    } else {
+      for (std::int32_t i = np.applied_upto; i < size; ++i) {
+        const WriteRecord& rec = gp.history[static_cast<std::size_t>(i)];
+        if (rec.writer == to) continue;
+        if (rec.vc.size() == 0 || rec.vc.less_equal(acquirer_vc)) {
+          must_invalidate = true;
+          break;
+        }
+      }
+    }
+    if (must_invalidate) {
+      np.state = PageState::kInvalid;
+      stats_.invalidations += 1;
+    }
+  }
+  return 0;
+}
+
+SimTime DsmSystem::run_gc() {
+  const CostModel& cost = net_->cost();
+  stats_.gc_runs += 1;
+  SimTime total_cost = 0;
+
+  for (const PageId page : pages_with_diffs_) {
+    GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+    gp.in_diff_list = false;
+    if (gp.history.empty()) continue;
+
+    // Consolidate all modifications at the last writer.
+    const NodeId owner = gp.history.back().writer;
+    NodePage& onp = node_page(owner, page);
+
+    // The owner fetches every diff it has not applied (often several
+    // remote fetches, §2: "garbage collections consolidate all
+    // modifications of a single page at a single site").
+    ByteCount fetched = 0;
+    std::vector<NodeId> writers_seen;
+    for (std::size_t i = static_cast<std::size_t>(onp.applied_upto);
+         i < gp.history.size(); ++i) {
+      const WriteRecord& rec = gp.history[i];
+      if (rec.full_page || rec.writer == owner) continue;
+      if (std::find(writers_seen.begin(), writers_seen.end(), rec.writer) ==
+          writers_seen.end()) {
+        writers_seen.push_back(rec.writer);
+      }
+      fetched += rec.diff_bytes;
+    }
+    for (const NodeId writer : writers_seen) {
+      total_cost += net_->send(owner, writer, 0, PayloadKind::kControl);
+    }
+    ByteCount remaining = fetched;
+    for (const NodeId writer : writers_seen) {
+      // Attribute the fetched bytes evenly across writers; only the
+      // aggregate matters for accounting.
+      const ByteCount share = remaining / static_cast<ByteCount>(
+                                  writers_seen.size());
+      total_cost += net_->send(writer, owner, share, PayloadKind::kDiff);
+      remaining -= share;
+      stats_.diff_fetches += 1;
+    }
+    total_cost += apply_cost(cost, fetched);
+
+    // Drop the accumulated diff storage and rewrite the history as a
+    // single consolidated full-page record.
+    for (const WriteRecord& rec : gp.history) {
+      if (!rec.full_page) outstanding_diff_bytes_ -= rec.diff_bytes;
+    }
+    gp.history.clear();
+    gp.history.push_back(
+        WriteRecord{epoch_, owner, 0, /*full_page=*/true, VectorClock{}});
+
+    // All other replicas are invalidated rather than updated.
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      NodePage& np = node_page(n, page);
+      ACTRACK_CHECK(np.dirty_bytes == 0);
+      if (n == owner) {
+        np.applied_upto = 1;
+        if (np.state == PageState::kInvalid) np.state = PageState::kReadOnly;
+        if (np.state == PageState::kUnmapped) np.state = PageState::kReadOnly;
+        if (np.state == PageState::kReadWrite) np.state = PageState::kReadOnly;
+        continue;
+      }
+      np.applied_upto = 0;
+      if (np.state == PageState::kReadOnly ||
+          np.state == PageState::kReadWrite) {
+        np.state = PageState::kInvalid;
+        stats_.gc_invalidations += 1;
+      }
+    }
+  }
+  pages_with_diffs_.clear();
+  ACTRACK_CHECK(outstanding_diff_bytes_ == 0);
+
+  // GC work is spread across the cluster; charge an even per-node share.
+  return total_cost / num_nodes_;
+}
+
+}  // namespace actrack

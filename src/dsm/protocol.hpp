@@ -1,0 +1,248 @@
+// CVM-style software DSM protocol: multi-writer lazy release consistency.
+//
+// This is the consistency engine the paper's mechanism lives inside.  It
+// reproduces the observable protocol behaviour of CVM [Keleher 96]:
+//
+//  * Pages are replicated per node with VM-style protection states
+//    (Unmapped / Invalid / ReadOnly / ReadWrite).
+//  * Writes to protected pages fault, create a twin, and make the page
+//    locally writable — multiple nodes may write one page concurrently.
+//  * At each synchronisation release (barrier arrival, lock release) a
+//    node diffs its dirty pages against their twins and publishes a write
+//    notice: an (epoch, writer, diff-bytes) record in the page's history.
+//  * Synchronisation acquires propagate write notices: a node learning of
+//    writes it has not applied invalidates its replica; the next access
+//    faults remotely and fetches the missing diffs, one message exchange
+//    per distinct writer (fetched in parallel).
+//  * Periodic garbage collection consolidates all diffs of a page at its
+//    last writer and invalidates every other replica (§2 of the paper
+//    names the resulting extra remote faults as a source of deviation
+//    from cut-cost linearity).
+//
+// Causality is modelled by a global epoch counter bumped at every barrier
+// and lock transfer — i.e. the concrete total order of synchronisation
+// operations of one real execution, which is exactly what an LRC
+// implementation observes at run time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vector_clock.hpp"
+#include "net/network.hpp"
+#include "trace/access.hpp"
+
+namespace actrack {
+
+enum class PageState : std::uint8_t {
+  kUnmapped,   // no local frame ever allocated
+  kInvalid,    // frame exists but replica is stale
+  kReadOnly,   // valid replica, writes will fault (twin on demand)
+  kReadWrite,  // valid replica with a twin; local writes proceed
+};
+
+/// Which consistency protocol the DSM runs.
+///
+/// The paper's system (CVM) is a multi-writer lazy-release-consistency
+/// protocol; §6 contrasts it with the sequentially-consistent
+/// single-writer DSMs the earlier thread-scheduling work (Millipede,
+/// PARSEC) was built on, which "suffer from both false and true sharing"
+/// and need mechanisms like Mirage's delta interval or PARSEC's
+/// suspension scheduling to survive page thrashing.  Both protocols are
+/// implemented so that comparison can be reproduced
+/// (bench/ablation_consistency).
+enum class ConsistencyModel : std::uint8_t {
+  /// CVM: twins/diffs, write notices at sync epochs, invalidate on
+  /// acquire, garbage collection.
+  kLazyReleaseMultiWriter,
+  /// One exclusive writer per page; writes invalidate every replica
+  /// immediately; reads fetch full pages from the owner.
+  kSequentialSingleWriter,
+};
+
+/// How LRC causality is modelled (see DESIGN.md §4.2).
+enum class CausalityMode : std::uint8_t {
+  /// Global epoch counter: the concrete total order of sync operations.
+  /// Sound but conservative — a lock acquire applies notices for all
+  /// writes so far, including causally-concurrent ones.
+  kTotalOrder,
+  /// True happened-before via vector clocks: a lock acquire invalidates
+  /// only pages written in the releaser's causal past.
+  kVectorClock,
+};
+
+struct DsmConfig {
+  ConsistencyModel model = ConsistencyModel::kLazyReleaseMultiWriter;
+  CausalityMode causality = CausalityMode::kTotalOrder;
+
+  /// Run garbage collection when outstanding diff storage exceeds this.
+  /// CVM collected when diff storage pressure built up against the
+  /// node's memory (192 MB machines); tens of megabytes between
+  /// collections makes GC "periodic" (§2) rather than per-barrier.
+  /// (LRC only.)
+  ByteCount gc_threshold_bytes = 32 * 1024 * 1024;
+  bool gc_enabled = true;
+
+  /// Mirage-style delta interval for the single-writer protocol: once a
+  /// page's ownership has moved within a synchronisation epoch, further
+  /// steals in the same epoch wait this long ("freezes newly arrived
+  /// pages ... before allowing them to be stolen away", §6).  0 disables
+  /// it.  (SC only.)
+  SimTime delta_interval_us = 0;
+};
+
+struct DsmStats {
+  std::int64_t read_faults = 0;       // protection faults on reads
+  std::int64_t write_faults = 0;      // protection faults on writes
+  std::int64_t remote_misses = 0;     // faults that needed remote data
+  std::int64_t diff_fetches = 0;      // diff request/reply exchanges
+  std::int64_t full_page_fetches = 0; // whole-page transfers
+  std::int64_t diffs_created = 0;
+  std::int64_t invalidations = 0;     // replicas invalidated by notices
+  std::int64_t gc_runs = 0;
+  std::int64_t gc_invalidations = 0;  // replicas invalidated by GC
+  std::int64_t ownership_transfers = 0;  // SC: page ownership steals
+  std::int64_t delta_stalls = 0;         // SC: steals delayed by delta
+
+  [[nodiscard]] std::int64_t coherence_faults() const noexcept {
+    return read_faults + write_faults;
+  }
+};
+
+/// What one shared-memory access cost and caused.
+struct AccessOutcome {
+  SimTime local_us = 0;    // trap handling, twin creation, diff application
+  SimTime remote_us = 0;   // network wait — overlappable by other threads
+  bool read_fault = false;
+  bool write_fault = false;
+  bool remote_miss = false;
+};
+
+class DsmSystem {
+ public:
+  /// Observer invoked on every remote miss — this is the hook passive
+  /// correlation tracking (§4.1) overloads to attribute pages to threads.
+  using RemoteMissObserver =
+      std::function<void(NodeId node, ThreadId thread, PageId page)>;
+
+  DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
+            DsmConfig config = {});
+
+  DsmSystem(const DsmSystem&) = delete;
+  DsmSystem& operator=(const DsmSystem&) = delete;
+
+  /// Performs one page-granularity access by `thread` running on `node`.
+  AccessOutcome access(NodeId node, ThreadId thread, const PageAccess& access);
+
+  /// Release-side processing at a synchronisation point: diff every dirty
+  /// page of `node` against its twin and publish write notices.  Returns
+  /// the local cost.
+  SimTime release_node(NodeId node);
+
+  /// Global barrier: every node must have been release_node()d first.
+  /// Advances the epoch and applies write notices everywhere (stale
+  /// replicas become Invalid).  Returns the per-node protocol cost to add
+  /// to the barrier (GC, if it runs, is included).
+  SimTime barrier_epoch();
+
+  /// Lock transfer from `from` to `to` (kNoNode `from` means first
+  /// acquire).  Advances the epoch; `to` applies the write notices the
+  /// acquire must propagate — all unseen notices under kTotalOrder,
+  /// only causally-prior ones under kVectorClock (which needs the
+  /// `lock_id` to thread the lock's own clock through the handoffs).
+  /// Returns the acquirer-side cost (excluding network latency, which
+  /// the scheduler models).
+  SimTime lock_transfer(NodeId from, NodeId to, std::int32_t lock_id = -1);
+
+  [[nodiscard]] PageState page_state(NodeId node, PageId page) const;
+  [[nodiscard]] const DsmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::int64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] PageId num_pages() const noexcept { return num_pages_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  void set_remote_miss_observer(RemoteMissObserver observer) {
+    remote_miss_observer_ = std::move(observer);
+  }
+
+  /// Outstanding (unconsolidated) diff storage across all pages.
+  [[nodiscard]] ByteCount outstanding_diff_bytes() const noexcept {
+    return outstanding_diff_bytes_;
+  }
+
+ private:
+  struct WriteRecord {
+    std::int64_t epoch = 0;
+    NodeId writer = 0;
+    std::int32_t diff_bytes = 0;
+    bool full_page = false;  // GC consolidation / initial content
+    VectorClock vc;          // release-time clock (kVectorClock only)
+  };
+
+  struct GlobalPage {
+    std::vector<WriteRecord> history;
+    bool in_flush_list = false;  // already on recently_flushed_
+    bool in_diff_list = false;   // already on pages_with_diffs_
+    // Single-writer state: current exclusive owner and the set of
+    // nodes holding read replicas.
+    NodeId sc_owner = kNoNode;
+    std::uint64_t sc_copyset = 0;
+    std::int32_t sc_transfers_this_epoch = 0;
+  };
+
+  struct NodePage {
+    PageState state = PageState::kUnmapped;
+    /// Records in history[0, applied_upto) are reflected in the replica.
+    std::int32_t applied_upto = 0;
+    /// Distinct bytes written locally since the last release.
+    std::int32_t dirty_bytes = 0;
+  };
+
+  [[nodiscard]] NodePage& node_page(NodeId node, PageId page);
+  [[nodiscard]] const NodePage& node_page(NodeId node, PageId page) const;
+
+  /// Single-writer sequentially-consistent access path.
+  AccessOutcome access_sc(NodeId node, ThreadId thread,
+                          const PageAccess& access);
+
+  /// Fetches everything `node` has not applied for `page`; returns costs
+  /// via `out` and marks the replica valid (ReadOnly).
+  void validate_page(NodeId node, ThreadId thread, PageId page,
+                     AccessOutcome& out);
+
+  SimTime run_gc();
+
+  PageId num_pages_;
+  NodeId num_nodes_;
+  NetworkModel* net_;  // non-owning, outlives this
+  DsmConfig config_;
+
+  std::vector<GlobalPage> pages_;
+  std::vector<NodePage> node_pages_;  // [node * num_pages + page]
+
+  /// Pages each node has written since its last release.
+  std::vector<std::vector<PageId>> dirty_pages_;
+
+  /// Pages whose history grew since the last barrier (for notice
+  /// propagation without scanning the whole page table).
+  std::vector<PageId> recently_flushed_;
+
+  /// Pages holding unconsolidated diff records (GC work list).
+  std::vector<PageId> pages_with_diffs_;
+
+  /// SC: pages whose ownership moved this epoch (delta-interval state).
+  std::vector<PageId> sc_active_;
+
+  /// kVectorClock state: per-node clocks and per-lock carried clocks.
+  std::vector<VectorClock> node_vc_;
+  std::unordered_map<std::int32_t, VectorClock> lock_vc_;
+
+  ByteCount outstanding_diff_bytes_ = 0;
+  std::int64_t epoch_ = 1;
+  DsmStats stats_;
+  RemoteMissObserver remote_miss_observer_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,15 @@
+#include "mem/address_space.hpp"
+
+#include <utility>
+
+namespace actrack {
+
+SharedBuffer AddressSpace::allocate(ByteCount bytes, std::string name) {
+  ACTRACK_CHECK_MSG(bytes > 0, "empty shared allocation: " + name);
+  const SharedBuffer buffer(next_page_, bytes);
+  next_page_ = buffer.end_page();
+  allocations_.push_back({std::move(name), buffer});
+  return buffer;
+}
+
+}  // namespace actrack

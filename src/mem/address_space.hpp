@@ -1,0 +1,74 @@
+// Paged shared address space.
+//
+// CVM applications allocate shared data through a shared-malloc that hands
+// out ranges of the globally consistent segment; consistency is maintained
+// at VM-page granularity.  AddressSpace reproduces the layout side of
+// that: workloads allocate named buffers, each page-aligned (so that
+// Table 1's "shared pages" counts are meaningful), and later translate
+// element ranges into page ids when emitting access traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace actrack {
+
+/// A page-aligned allocation within the shared segment.  Lightweight
+/// value handle; copying is cheap and does not alias mutable state.
+class SharedBuffer {
+ public:
+  SharedBuffer() = default;
+  SharedBuffer(PageId first_page, ByteCount bytes)
+      : first_page_(first_page), bytes_(bytes) {}
+
+  [[nodiscard]] PageId first_page() const noexcept { return first_page_; }
+  [[nodiscard]] ByteCount size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] PageId page_count() const noexcept {
+    return static_cast<PageId>((bytes_ + kPageSize - 1) / kPageSize);
+  }
+
+  /// Page containing the given byte offset into this buffer.
+  [[nodiscard]] PageId page_of(ByteCount byte_offset) const {
+    ACTRACK_CHECK(byte_offset >= 0 && byte_offset < bytes_);
+    return first_page_ + static_cast<PageId>(byte_offset / kPageSize);
+  }
+
+  /// One-past-the-last page of this buffer.
+  [[nodiscard]] PageId end_page() const noexcept {
+    return first_page_ + page_count();
+  }
+
+ private:
+  PageId first_page_ = 0;
+  ByteCount bytes_ = 0;
+};
+
+/// Allocator for the shared segment.  Not thread-safe; built once per
+/// workload during construction.
+class AddressSpace {
+ public:
+  struct Allocation {
+    std::string name;
+    SharedBuffer buffer;
+  };
+
+  /// Allocates `bytes` of shared memory, page aligned, tagged with `name`
+  /// for diagnostics.  bytes must be > 0.
+  SharedBuffer allocate(ByteCount bytes, std::string name);
+
+  /// Total number of shared pages allocated so far.
+  [[nodiscard]] PageId page_count() const noexcept { return next_page_; }
+
+  [[nodiscard]] const std::vector<Allocation>& allocations() const noexcept {
+    return allocations_;
+  }
+
+ private:
+  PageId next_page_ = 0;
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace actrack

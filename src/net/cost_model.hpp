@@ -1,0 +1,77 @@
+// Cluster cost model.
+//
+// The paper's testbed was eight 266 MHz Pentium II machines running Linux
+// 2.0.32 on Myrinet.  We do not have that hardware, so every latency the
+// simulator charges comes from this struct, with defaults calibrated to
+// era-appropriate magnitudes: page-fault trap handling in the tens of
+// microseconds, remote page operations in the hundreds of microseconds to
+// low milliseconds ("a remote access can take milliseconds", §1).
+// Absolute values scale all reported times together; the paper's *shapes*
+// (relative slowdowns, min-cost vs random gaps, cut-cost linearity) are
+// insensitive to them, which the ablation benches demonstrate.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace actrack {
+
+struct CostModel {
+  /// SIGSEGV delivery + handler entry/exit + one mprotect.
+  SimTime fault_trap_us = 30;
+
+  /// A correlation fault (§4.2 step 2): trap, set access-bitmap bit,
+  /// reset correlation bit, restore the page's previous protection.
+  SimTime tracking_fault_us = 55;
+
+  /// Re-protecting one page when the tracker switches threads
+  /// (§4.2 step 3 re-protects the whole shared segment).
+  SimTime protect_page_us = 1;
+
+  /// One-way small-message latency (request messages, write notices).
+  SimTime net_latency_us = 110;
+
+  /// Effective user-to-user bandwidth for bulk payloads.
+  double net_bandwidth_mb_per_s = 35.0;
+
+  /// Fixed rendezvous cost of a barrier once all nodes have arrived.
+  SimTime barrier_us = 250;
+
+  /// Cost of moving lock ownership between nodes (request + grant +
+  /// write-notice piggyback).
+  SimTime lock_transfer_us = 240;
+
+  /// Local lock hand-off between threads of the same node.
+  SimTime lock_local_us = 4;
+
+  /// User-level thread context switch.
+  SimTime context_switch_us = 5;
+
+  /// Creating a diff by comparing a dirty page to its twin, per KiB of
+  /// page scanned, and applying a received diff, per KiB of diff.
+  SimTime diff_create_us_per_kb = 20;
+  SimTime diff_apply_us_per_kb = 15;
+
+  /// Twin creation on first write to a read-only page (page copy).
+  SimTime twin_create_us = 25;
+
+  /// Bytes copied when migrating one thread (its stack).
+  ByteCount thread_stack_bytes = 64 * 1024;
+
+  /// Fixed per-message header/DMA setup bytes.
+  ByteCount message_header_bytes = 64;
+
+  /// Time for a message of `payload` bytes to cross the network.
+  [[nodiscard]] SimTime transfer_us(ByteCount payload) const {
+    const double bytes =
+        static_cast<double>(payload + message_header_bytes);
+    const double us = bytes / net_bandwidth_mb_per_s;  // MB/s == B/µs
+    return net_latency_us + static_cast<SimTime>(us);
+  }
+
+  /// Round trip: small request out, payload back.
+  [[nodiscard]] SimTime round_trip_us(ByteCount payload) const {
+    return net_latency_us + transfer_us(payload);
+  }
+};
+
+}  // namespace actrack

@@ -1,0 +1,33 @@
+#include "net/network.hpp"
+
+namespace actrack {
+
+SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
+                           PayloadKind kind) {
+  ACTRACK_CHECK(from >= 0 && from < num_nodes());
+  ACTRACK_CHECK(to >= 0 && to < num_nodes());
+  ACTRACK_CHECK_MSG(from != to, "loopback messages are free and not sent");
+  ACTRACK_CHECK(payload >= 0);
+
+  NetCounters& node = per_node_[static_cast<std::size_t>(from)];
+  const ByteCount wire = payload + cost_.message_header_bytes;
+  node.messages += 1;
+  node.total_bytes += wire;
+  totals_.messages += 1;
+  totals_.total_bytes += wire;
+  if (kind == PayloadKind::kDiff) {
+    node.diff_bytes += payload;
+    totals_.diff_bytes += payload;
+  } else if (kind == PayloadKind::kFullPage) {
+    node.page_bytes += payload;
+    totals_.page_bytes += payload;
+  }
+  return cost_.transfer_us(payload);
+}
+
+void NetworkModel::reset_counters() noexcept {
+  totals_ = NetCounters{};
+  for (auto& counter : per_node_) counter = NetCounters{};
+}
+
+}  // namespace actrack

@@ -1,0 +1,67 @@
+// Network accounting.
+//
+// Table 6 of the paper reports, per run, total MBytes moved and MBytes of
+// diffs.  NetworkModel owns the cost model and tallies every message the
+// DSM and the migration engine send, per node and in aggregate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "net/cost_model.hpp"
+
+namespace actrack {
+
+enum class PayloadKind : std::uint8_t {
+  kControl,   // requests, write notices, barrier traffic
+  kFullPage,  // whole-page transfers
+  kDiff,      // diff payloads
+  kStack,     // thread-migration stack copies
+};
+
+struct NetCounters {
+  std::int64_t messages = 0;
+  ByteCount total_bytes = 0;  // headers + payloads, everything on the wire
+  ByteCount diff_bytes = 0;   // payload bytes of kDiff messages only
+  ByteCount page_bytes = 0;   // payload bytes of kFullPage messages only
+
+  void add(const NetCounters& other) noexcept {
+    messages += other.messages;
+    total_bytes += other.total_bytes;
+    diff_bytes += other.diff_bytes;
+    page_bytes += other.page_bytes;
+  }
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(NodeId num_nodes, CostModel cost)
+      : cost_(cost), per_node_(static_cast<std::size_t>(num_nodes)) {
+    ACTRACK_CHECK(num_nodes > 0);
+  }
+
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(per_node_.size());
+  }
+
+  /// Records a message from `from` to `to` and returns its transfer time.
+  SimTime send(NodeId from, NodeId to, ByteCount payload, PayloadKind kind);
+
+  [[nodiscard]] const NetCounters& totals() const noexcept { return totals_; }
+  [[nodiscard]] const NetCounters& node_counters(NodeId node) const {
+    ACTRACK_CHECK(node >= 0 && node < num_nodes());
+    return per_node_[static_cast<std::size_t>(node)];
+  }
+
+  void reset_counters() noexcept;
+
+ private:
+  CostModel cost_;
+  NetCounters totals_;
+  std::vector<NetCounters> per_node_;  // attributed to the sender
+};
+
+}  // namespace actrack

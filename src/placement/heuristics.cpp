@@ -1,0 +1,414 @@
+#include "placement/heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// Target node sizes for a balanced placement: n/k each, remainder
+/// spread over the first nodes (matches Placement::stretch).
+std::vector<std::int32_t> balanced_sizes(std::int32_t num_threads,
+                                         NodeId num_nodes) {
+  std::vector<std::int32_t> sizes(static_cast<std::size_t>(num_nodes),
+                                  num_threads / num_nodes);
+  for (std::int32_t r = 0; r < num_threads % num_nodes; ++r) {
+    sizes[static_cast<std::size_t>(r)] += 1;
+  }
+  return sizes;
+}
+
+/// Sum of correlations between thread t and all threads currently on
+/// `node` (excluding t itself).
+std::int64_t affinity_to_node(const CorrelationMatrix& m, ThreadId t,
+                              NodeId node,
+                              const std::vector<NodeId>& assignment) {
+  std::int64_t total = 0;
+  for (std::int32_t u = 0; u < m.num_threads(); ++u) {
+    if (u == t) continue;
+    if (assignment[static_cast<std::size_t>(u)] == node) total += m.at(t, u);
+  }
+  return total;
+}
+
+/// Greedy agglomerative clustering: repeatedly merge the cluster pair
+/// with the largest inter-cluster correlation whose combined size fits
+/// the largest node, then pack clusters onto nodes by best affinity.
+std::vector<NodeId> greedy_cluster_seed(const CorrelationMatrix& m,
+                                        NodeId num_nodes) {
+  const std::int32_t n = m.num_threads();
+  const std::vector<std::int32_t> sizes = balanced_sizes(n, num_nodes);
+  const std::int32_t cap =
+      *std::max_element(sizes.begin(), sizes.end());
+
+  struct Cluster {
+    std::vector<ThreadId> members;
+  };
+  std::vector<Cluster> clusters(static_cast<std::size_t>(n));
+  for (std::int32_t t = 0; t < n; ++t) {
+    clusters[static_cast<std::size_t>(t)].members = {t};
+  }
+
+  auto inter = [&](const Cluster& a, const Cluster& b) {
+    std::int64_t total = 0;
+    for (const ThreadId x : a.members) {
+      for (const ThreadId y : b.members) total += m.at(x, y);
+    }
+    return total;
+  };
+
+  // Merge until no pair fits under the cap or we are down to one cluster
+  // per node.
+  while (static_cast<NodeId>(clusters.size()) > num_nodes) {
+    std::int64_t best_gain = -1;
+    std::size_t best_a = 0, best_b = 0;
+    for (std::size_t a = 0; a < clusters.size(); ++a) {
+      for (std::size_t b = a + 1; b < clusters.size(); ++b) {
+        if (static_cast<std::int32_t>(clusters[a].members.size() +
+                                      clusters[b].members.size()) > cap) {
+          continue;
+        }
+        const std::int64_t gain = inter(clusters[a], clusters[b]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_gain < 0) break;  // nothing fits; fall through to packing
+    auto& dst = clusters[best_a].members;
+    auto& src = clusters[best_b].members;
+    dst.insert(dst.end(), src.begin(), src.end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best_b));
+  }
+
+  // Pack clusters onto nodes, largest first, choosing the node with the
+  // best affinity that still has room.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.members.size() > b.members.size();
+            });
+  std::vector<NodeId> assignment(static_cast<std::size_t>(n), kNoNode);
+  std::vector<std::int32_t> room = sizes;
+  for (const Cluster& cluster : clusters) {
+    const auto need = static_cast<std::int32_t>(cluster.members.size());
+    NodeId best_node = kNoNode;
+    std::int64_t best_affinity = -1;
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      if (room[static_cast<std::size_t>(node)] < need) continue;
+      std::int64_t affinity = 0;
+      for (const ThreadId t : cluster.members) {
+        affinity += affinity_to_node(m, t, node, assignment);
+      }
+      if (affinity > best_affinity) {
+        best_affinity = affinity;
+        best_node = node;
+      }
+    }
+    if (best_node == kNoNode) {
+      // The cluster does not fit anywhere whole: split it greedily over
+      // the nodes with the most room.
+      for (const ThreadId t : cluster.members) {
+        const auto it = std::max_element(room.begin(), room.end());
+        ACTRACK_CHECK(*it > 0);
+        const auto node =
+            static_cast<NodeId>(std::distance(room.begin(), it));
+        assignment[static_cast<std::size_t>(t)] = node;
+        *it -= 1;
+      }
+      continue;
+    }
+    for (const ThreadId t : cluster.members) {
+      assignment[static_cast<std::size_t>(t)] = best_node;
+    }
+    room[static_cast<std::size_t>(best_node)] -= need;
+  }
+  for (const NodeId node : assignment) ACTRACK_CHECK(node != kNoNode);
+  return assignment;
+}
+
+/// Kernighan–Lin-style steepest-descent pairwise swaps: exchanging two
+/// threads across nodes keeps every node's population fixed.
+void refine_swaps_in_place(const CorrelationMatrix& m,
+                           std::vector<NodeId>& assignment) {
+  const std::int32_t n = m.num_threads();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::int64_t best_gain = 0;
+    std::int32_t best_i = -1, best_j = -1;
+    for (std::int32_t i = 0; i < n; ++i) {
+      const NodeId ni = assignment[static_cast<std::size_t>(i)];
+      for (std::int32_t j = i + 1; j < n; ++j) {
+        const NodeId nj = assignment[static_cast<std::size_t>(j)];
+        if (ni == nj) continue;
+        // Gain of swapping i<->j: external ties become internal and
+        // vice versa.
+        std::int64_t gain = -2 * m.at(i, j);
+        for (std::int32_t x = 0; x < n; ++x) {
+          if (x == i || x == j) continue;
+          const NodeId nx = assignment[static_cast<std::size_t>(x)];
+          if (nx == ni) {
+            gain -= m.at(i, x);  // was internal, becomes cut
+            gain += m.at(j, x);  // was cut, becomes internal
+          } else if (nx == nj) {
+            gain += m.at(i, x);
+            gain -= m.at(j, x);
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i >= 0) {
+      std::swap(assignment[static_cast<std::size_t>(best_i)],
+                assignment[static_cast<std::size_t>(best_j)]);
+      improved = true;
+    }
+  }
+}
+
+}  // namespace
+
+Placement random_placement(Rng& rng, std::int32_t num_threads,
+                           NodeId num_nodes, std::int32_t min_per_node) {
+  ACTRACK_CHECK(num_threads >= num_nodes * min_per_node);
+  std::vector<ThreadId> order(static_cast<std::size_t>(num_threads));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<NodeId> assignment(static_cast<std::size_t>(num_threads));
+  std::size_t idx = 0;
+  // First give every node its minimum population...
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    for (std::int32_t k = 0; k < min_per_node; ++k) {
+      assignment[static_cast<std::size_t>(order[idx++])] = node;
+    }
+  }
+  // ...then scatter the rest uniformly.
+  for (; idx < order.size(); ++idx) {
+    assignment[static_cast<std::size_t>(order[idx])] =
+        static_cast<NodeId>(rng.uniform(num_nodes));
+  }
+  return Placement(std::move(assignment), num_nodes);
+}
+
+Placement balanced_random_placement(Rng& rng, std::int32_t num_threads,
+                                    NodeId num_nodes) {
+  std::vector<NodeId> slots;
+  slots.reserve(static_cast<std::size_t>(num_threads));
+  const std::vector<std::int32_t> sizes =
+      balanced_sizes(num_threads, num_nodes);
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    for (std::int32_t k = 0; k < sizes[static_cast<std::size_t>(node)]; ++k) {
+      slots.push_back(node);
+    }
+  }
+  rng.shuffle(slots);
+  return Placement(std::move(slots), num_nodes);
+}
+
+Placement min_cost_placement(const CorrelationMatrix& matrix,
+                             NodeId num_nodes,
+                             const MinCostOptions& options) {
+  const std::int32_t n = matrix.num_threads();
+  ACTRACK_CHECK(n >= num_nodes);
+  Rng rng(options.seed);
+
+  std::vector<std::vector<NodeId>> seeds;
+  seeds.push_back(greedy_cluster_seed(matrix, num_nodes));
+  seeds.push_back(Placement::stretch(n, num_nodes).node_of_thread());
+  for (std::int32_t r = 0; r < options.random_restarts; ++r) {
+    seeds.push_back(
+        balanced_random_placement(rng, n, num_nodes).node_of_thread());
+  }
+
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  std::vector<NodeId> best;
+  for (auto& seed : seeds) {
+    refine_swaps_in_place(matrix, seed);
+    const std::int64_t cut = matrix.cut_cost(seed);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = seed;
+    }
+  }
+
+  // Basin hopping: kick the best local optimum with a few random swaps
+  // and re-descend; keeps quality within the paper's "1 % of optimal"
+  // even on dense unstructured matrices.
+  for (std::int32_t round = 0; round < options.perturbation_rounds; ++round) {
+    std::vector<NodeId> candidate = best;
+    for (int kick = 0; kick < 3; ++kick) {
+      const auto i = static_cast<std::size_t>(rng.uniform(n));
+      const auto j = static_cast<std::size_t>(rng.uniform(n));
+      std::swap(candidate[i], candidate[j]);
+    }
+    refine_swaps_in_place(matrix, candidate);
+    const std::int64_t cut = matrix.cut_cost(candidate);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = candidate;
+    }
+  }
+  return Placement(std::move(best), num_nodes);
+}
+
+Placement refine_by_swaps(const CorrelationMatrix& matrix,
+                          Placement placement) {
+  std::vector<NodeId> assignment = placement.node_of_thread();
+  refine_swaps_in_place(matrix, assignment);
+  return Placement(std::move(assignment), placement.num_nodes());
+}
+
+Placement min_cost_within_budget(const CorrelationMatrix& matrix,
+                                 const Placement& current,
+                                 std::int32_t max_moves) {
+  ACTRACK_CHECK(matrix.num_threads() == current.num_threads());
+  ACTRACK_CHECK(max_moves >= 0);
+  const std::int32_t n = matrix.num_threads();
+  std::vector<NodeId> assignment = current.node_of_thread();
+  const std::vector<NodeId>& origin = current.node_of_thread();
+
+  auto moved_count = [&]() {
+    std::int32_t moved = 0;
+    for (std::size_t t = 0; t < assignment.size(); ++t) {
+      if (assignment[t] != origin[t]) ++moved;
+    }
+    return moved;
+  };
+
+  while (true) {
+    // Swaps that return threads home are allowed even at zero budget
+    // (they free budget); only net new moves are constrained.
+    const std::int32_t budget_left = max_moves - moved_count();
+
+    // Best swap that both improves the cut and fits the move budget.
+    std::int64_t best_gain = 0;
+    std::int32_t best_i = -1, best_j = -1;
+    for (std::int32_t i = 0; i < n; ++i) {
+      const NodeId ni = assignment[static_cast<std::size_t>(i)];
+      for (std::int32_t j = i + 1; j < n; ++j) {
+        const NodeId nj = assignment[static_cast<std::size_t>(j)];
+        if (ni == nj) continue;
+        // Net new moves this swap would cause (a thread swapping back
+        // to its original node *reduces* the count).
+        std::int32_t extra = 0;
+        extra += (nj != origin[static_cast<std::size_t>(i)] ? 1 : 0) -
+                 (ni != origin[static_cast<std::size_t>(i)] ? 1 : 0);
+        extra += (ni != origin[static_cast<std::size_t>(j)] ? 1 : 0) -
+                 (nj != origin[static_cast<std::size_t>(j)] ? 1 : 0);
+        if (extra > budget_left) continue;
+
+        std::int64_t gain = -2 * matrix.at(i, j);
+        for (std::int32_t x = 0; x < n; ++x) {
+          if (x == i || x == j) continue;
+          const NodeId nx = assignment[static_cast<std::size_t>(x)];
+          if (nx == ni) {
+            gain -= matrix.at(i, x);
+            gain += matrix.at(j, x);
+          } else if (nx == nj) {
+            gain += matrix.at(i, x);
+            gain -= matrix.at(j, x);
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i < 0) break;
+    std::swap(assignment[static_cast<std::size_t>(best_i)],
+              assignment[static_cast<std::size_t>(best_j)]);
+  }
+  return Placement(std::move(assignment), current.num_nodes());
+}
+
+namespace {
+
+struct BnbState {
+  const CorrelationMatrix* m;
+  std::vector<std::int32_t> sizes;       // target size per node
+  std::vector<std::int32_t> population;  // current size per node
+  std::vector<NodeId> assignment;
+  std::vector<NodeId> best_assignment;
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  std::int64_t nodes_explored = 0;
+  std::int64_t node_budget = 0;
+  bool exhausted_budget = false;
+};
+
+void bnb(BnbState& state, std::int32_t t, std::int64_t partial_cut) {
+  if (state.exhausted_budget) return;
+  if (++state.nodes_explored > state.node_budget) {
+    state.exhausted_budget = true;
+    return;
+  }
+  const std::int32_t n = state.m->num_threads();
+  if (partial_cut >= state.best_cut) return;
+  if (t == n) {
+    state.best_cut = partial_cut;
+    state.best_assignment = state.assignment;
+    return;
+  }
+  const auto num_nodes = static_cast<NodeId>(state.sizes.size());
+  // Canonical form: thread t may open at most one previously-empty node
+  // (the first empty one), pruning node-relabelling symmetry.
+  bool opened_empty = false;
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    auto& pop = state.population[static_cast<std::size_t>(node)];
+    if (pop >= state.sizes[static_cast<std::size_t>(node)]) continue;
+    if (pop == 0) {
+      if (opened_empty) continue;
+      opened_empty = true;
+    }
+    std::int64_t added = 0;
+    for (std::int32_t u = 0; u < t; ++u) {
+      if (state.assignment[static_cast<std::size_t>(u)] != node) {
+        added += state.m->at(t, u);
+      }
+    }
+    state.assignment[static_cast<std::size_t>(t)] = node;
+    pop += 1;
+    bnb(state, t + 1, partial_cut + added);
+    pop -= 1;
+  }
+}
+
+}  // namespace
+
+std::optional<Placement> optimal_placement(const CorrelationMatrix& matrix,
+                                           NodeId num_nodes,
+                                           std::int64_t node_budget) {
+  BnbState state;
+  state.m = &matrix;
+  state.sizes = balanced_sizes(matrix.num_threads(), num_nodes);
+  state.population.assign(static_cast<std::size_t>(num_nodes), 0);
+  state.assignment.assign(static_cast<std::size_t>(matrix.num_threads()),
+                          kNoNode);
+  state.node_budget = node_budget;
+
+  // Seed the bound with the heuristic answer so pruning bites early.
+  const Placement seed = min_cost_placement(matrix, num_nodes);
+  state.best_cut = matrix.cut_cost(seed.node_of_thread()) + 1;
+
+  bnb(state, 0, 0);
+  if (state.exhausted_budget) return std::nullopt;
+  if (state.best_assignment.empty()) {
+    // The heuristic was already optimal (bound +1 never improved on it).
+    return refine_by_swaps(matrix, seed);
+  }
+  return Placement(std::move(state.best_assignment), num_nodes);
+}
+
+}  // namespace actrack

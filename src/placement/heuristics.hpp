@@ -1,0 +1,75 @@
+// Placement generators and heuristics (paper §2, §5.1).
+//
+// The paper evaluates three ways of producing thread→node mappings:
+// random configurations (Table 2's 300 samples, Table 6's "ran" rows),
+// the trivial *stretch* heuristic (Placement::stretch), and *min-cost* —
+// cluster-analysis-based heuristics that came within 1 % of optimal
+// mappings found by integer programming.  min_cost_placement() combines a
+// greedy agglomerative clustering seed with Kernighan–Lin-style pairwise
+// swap refinement and multi-start, which achieves the same quality on
+// these correlation structures; optimal_placement() provides the exact
+// reference for instances small enough to enumerate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "correlation/matrix.hpp"
+#include "placement/placement.hpp"
+
+namespace actrack {
+
+/// Random configuration in the paper's Table 2 sense: node counts need
+/// not be equal but every node receives at least `min_per_node` threads.
+[[nodiscard]] Placement random_placement(Rng& rng, std::int32_t num_threads,
+                                         NodeId num_nodes,
+                                         std::int32_t min_per_node = 2);
+
+/// Random *balanced* configuration: equal threads per node (up to
+/// remainder), assignment a uniform random permutation.
+[[nodiscard]] Placement balanced_random_placement(Rng& rng,
+                                                  std::int32_t num_threads,
+                                                  NodeId num_nodes);
+
+struct MinCostOptions {
+  /// Extra random restarts refined alongside the greedy and stretch seeds.
+  std::int32_t random_restarts = 2;
+  /// Basin-hopping rounds: perturb the best solution and re-descend.
+  std::int32_t perturbation_rounds = 10;
+  std::uint64_t seed = 0xAC7C0DEULL;
+};
+
+/// The paper's *min-cost* heuristic family: returns a balanced placement
+/// whose cut cost is locally minimal under pairwise thread swaps, seeded
+/// by greedy agglomerative clustering, stretch, and random restarts.
+[[nodiscard]] Placement min_cost_placement(const CorrelationMatrix& matrix,
+                                           NodeId num_nodes,
+                                           const MinCostOptions& options = {});
+
+/// Exact minimum-cut balanced placement by branch-and-bound over
+/// canonical assignments.  Returns nullopt if the instance is too large
+/// to enumerate (guarding against accidental exponential blow-up); use
+/// only in tests and the placement-quality ablation.
+[[nodiscard]] std::optional<Placement> optimal_placement(
+    const CorrelationMatrix& matrix, NodeId num_nodes,
+    std::int64_t node_budget = 20'000'000);
+
+/// One pass API used by the trackers: refine an existing balanced
+/// placement in place with pairwise swaps until no swap improves the cut.
+[[nodiscard]] Placement refine_by_swaps(const CorrelationMatrix& matrix,
+                                        Placement placement);
+
+/// Migration-budget-constrained re-placement (paper §5: a migration
+/// round's cost is proportional to the number of threads moved, and
+/// "stretch will often move more threads at migration points than other
+/// approaches").  Starting from `current`, apply the best-gain pairwise
+/// swaps while the total number of threads whose node changes stays
+/// within `max_moves`.  Each swap moves at most two threads (fewer if a
+/// swapped thread returns to its original node), so the result never
+/// needs more than `max_moves` migrations from `current`.
+[[nodiscard]] Placement min_cost_within_budget(const CorrelationMatrix& matrix,
+                                               const Placement& current,
+                                               std::int32_t max_moves);
+
+}  // namespace actrack

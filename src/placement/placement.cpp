@@ -1,0 +1,66 @@
+#include "placement/placement.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+Placement::Placement(std::vector<NodeId> node_of_thread, NodeId num_nodes)
+    : node_of_thread_(std::move(node_of_thread)), num_nodes_(num_nodes) {
+  ACTRACK_CHECK(num_nodes_ > 0);
+  ACTRACK_CHECK(!node_of_thread_.empty());
+  for (const NodeId n : node_of_thread_) {
+    ACTRACK_CHECK(n >= 0 && n < num_nodes_);
+  }
+}
+
+Placement Placement::stretch(std::int32_t num_threads, NodeId num_nodes) {
+  ACTRACK_CHECK(num_threads > 0 && num_nodes > 0);
+  ACTRACK_CHECK(num_threads >= num_nodes);
+  std::vector<NodeId> nodes(static_cast<std::size_t>(num_threads));
+  const std::int32_t base = num_threads / num_nodes;
+  const std::int32_t extra = num_threads % num_nodes;
+  std::int32_t t = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const std::int32_t count = base + (n < extra ? 1 : 0);
+    for (std::int32_t k = 0; k < count; ++k) {
+      nodes[static_cast<std::size_t>(t++)] = n;
+    }
+  }
+  return Placement(std::move(nodes), num_nodes);
+}
+
+NodeId Placement::node_of(ThreadId thread) const {
+  ACTRACK_CHECK(thread >= 0 && thread < num_threads());
+  return node_of_thread_[static_cast<std::size_t>(thread)];
+}
+
+std::vector<std::vector<ThreadId>> Placement::threads_by_node() const {
+  std::vector<std::vector<ThreadId>> result(
+      static_cast<std::size_t>(num_nodes_));
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    result[static_cast<std::size_t>(node_of(t))].push_back(t);
+  }
+  return result;
+}
+
+std::int32_t Placement::threads_on(NodeId node) const {
+  ACTRACK_CHECK(node >= 0 && node < num_nodes_);
+  std::int32_t count = 0;
+  for (const NodeId n : node_of_thread_) {
+    if (n == node) ++count;
+  }
+  return count;
+}
+
+std::int32_t Placement::migration_distance(const Placement& target) const {
+  ACTRACK_CHECK(target.num_threads() == num_threads());
+  std::int32_t moved = 0;
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    if (node_of(t) != target.node_of(t)) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace actrack

@@ -1,0 +1,48 @@
+// Thread→node placements (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace actrack {
+
+/// An assignment of every application thread to a cluster node.
+class Placement {
+ public:
+  Placement(std::vector<NodeId> node_of_thread, NodeId num_nodes);
+
+  /// The paper's *stretch* heuristic: "maintaining the initial thread
+  /// ordering and attempting to divide the threads equally among the
+  /// nodes" — thread t goes to node t / (threads/node), remainder spread
+  /// over the first nodes.
+  static Placement stretch(std::int32_t num_threads, NodeId num_nodes);
+
+  [[nodiscard]] NodeId node_of(ThreadId thread) const;
+  [[nodiscard]] std::int32_t num_threads() const noexcept {
+    return static_cast<std::int32_t>(node_of_thread_.size());
+  }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  [[nodiscard]] const std::vector<NodeId>& node_of_thread() const noexcept {
+    return node_of_thread_;
+  }
+
+  /// Threads on each node, ascending thread ids.
+  [[nodiscard]] std::vector<std::vector<ThreadId>> threads_by_node() const;
+
+  [[nodiscard]] std::int32_t threads_on(NodeId node) const;
+
+  /// Number of threads whose node differs between the two placements —
+  /// the count that a migration from `*this` to `target` must move.
+  [[nodiscard]] std::int32_t migration_distance(const Placement& target) const;
+
+  [[nodiscard]] bool operator==(const Placement& other) const = default;
+
+ private:
+  std::vector<NodeId> node_of_thread_;
+  NodeId num_nodes_;
+};
+
+}  // namespace actrack

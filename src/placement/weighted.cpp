@@ -1,0 +1,107 @@
+#include "placement/weighted.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace actrack {
+
+std::vector<std::int32_t> capacity_populations(
+    std::int32_t num_threads, const std::vector<double>& node_speed) {
+  const auto num_nodes = static_cast<NodeId>(node_speed.size());
+  ACTRACK_CHECK(num_nodes > 0);
+  ACTRACK_CHECK(num_threads >= num_nodes);
+  double total_speed = 0.0;
+  for (const double speed : node_speed) {
+    ACTRACK_CHECK_MSG(speed > 0.0, "node speeds must be positive");
+    total_speed += speed;
+  }
+
+  // Floor of the proportional share, at least 1 thread per node...
+  std::vector<std::int32_t> sizes(node_speed.size());
+  std::vector<double> remainders(node_speed.size());
+  std::int32_t assigned = 0;
+  for (std::size_t n = 0; n < node_speed.size(); ++n) {
+    const double share =
+        static_cast<double>(num_threads) * node_speed[n] / total_speed;
+    sizes[n] = std::max<std::int32_t>(1, static_cast<std::int32_t>(share));
+    remainders[n] = share - static_cast<double>(sizes[n]);
+    assigned += sizes[n];
+  }
+  // ...then settle the remainder by largest fractional share (taking
+  // from the smallest shares if we over-assigned via the minimum-1 rule).
+  while (assigned < num_threads) {
+    const auto it = std::max_element(remainders.begin(), remainders.end());
+    const auto n = static_cast<std::size_t>(
+        std::distance(remainders.begin(), it));
+    sizes[n] += 1;
+    remainders[n] -= 1.0;
+    assigned += 1;
+  }
+  while (assigned > num_threads) {
+    std::size_t victim = 0;
+    double worst = std::numeric_limits<double>::max();
+    for (std::size_t n = 0; n < sizes.size(); ++n) {
+      if (sizes[n] <= 1) continue;
+      if (remainders[n] < worst) {
+        worst = remainders[n];
+        victim = n;
+      }
+    }
+    ACTRACK_CHECK(sizes[victim] > 1);
+    sizes[victim] -= 1;
+    remainders[victim] += 1.0;
+    assigned -= 1;
+  }
+  return sizes;
+}
+
+Placement weighted_stretch(std::int32_t num_threads,
+                           const std::vector<double>& node_speed) {
+  const std::vector<std::int32_t> sizes =
+      capacity_populations(num_threads, node_speed);
+  std::vector<NodeId> assignment;
+  assignment.reserve(static_cast<std::size_t>(num_threads));
+  for (std::size_t n = 0; n < sizes.size(); ++n) {
+    for (std::int32_t k = 0; k < sizes[n]; ++k) {
+      assignment.push_back(static_cast<NodeId>(n));
+    }
+  }
+  return Placement(std::move(assignment),
+                   static_cast<NodeId>(node_speed.size()));
+}
+
+Placement weighted_min_cost(const CorrelationMatrix& matrix,
+                            const std::vector<double>& node_speed,
+                            const MinCostOptions& options) {
+  const std::int32_t n = matrix.num_threads();
+  const auto num_nodes = static_cast<NodeId>(node_speed.size());
+  Rng rng(options.seed);
+
+  // Seeds with the required populations; pairwise-swap refinement
+  // preserves them, so every candidate stays capacity-proportional.
+  std::vector<Placement> seeds;
+  seeds.push_back(weighted_stretch(n, node_speed));
+  for (std::int32_t r = 0; r < options.random_restarts + 2; ++r) {
+    std::vector<NodeId> shuffled = seeds.front().node_of_thread();
+    rng.shuffle(shuffled);
+    seeds.emplace_back(std::move(shuffled), num_nodes);
+  }
+
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  Placement best = seeds.front();
+  for (const Placement& seed : seeds) {
+    const Placement refined = refine_by_swaps(matrix, seed);
+    const std::int64_t cut = matrix.cut_cost(refined.node_of_thread());
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = refined;
+    }
+  }
+  return best;
+}
+
+}  // namespace actrack

@@ -1,0 +1,38 @@
+// Capacity-aware placements for heterogeneous clusters.
+//
+// §2 of the paper: "Unequal numbers of threads might be desirable in
+// the presence of heterogeneous node capacity, whether due to competing
+// applications or simply because some machines are faster than others."
+// These helpers generalise stretch and min-cost to a per-node speed
+// vector: node populations are made proportional to capacity, then the
+// usual pairwise-swap descent minimises the cut under those fixed
+// populations.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "correlation/matrix.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/placement.hpp"
+
+namespace actrack {
+
+/// Target node populations proportional to `node_speed` (largest
+/// remainders rounded up), each at least 1.  Sizes sum to num_threads.
+[[nodiscard]] std::vector<std::int32_t> capacity_populations(
+    std::int32_t num_threads, const std::vector<double>& node_speed);
+
+/// Stretch with capacity-proportional populations: the first
+/// populations[0] threads on node 0, and so on.
+[[nodiscard]] Placement weighted_stretch(
+    std::int32_t num_threads, const std::vector<double>& node_speed);
+
+/// min-cost under capacity-proportional populations: seeds (weighted
+/// stretch + random restarts) refined by pairwise swaps, which preserve
+/// the populations exactly.
+[[nodiscard]] Placement weighted_min_cost(
+    const CorrelationMatrix& matrix, const std::vector<double>& node_speed,
+    const MinCostOptions& options = {});
+
+}  // namespace actrack

@@ -1,0 +1,96 @@
+#include "runtime/adaptive.hpp"
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+AdaptiveController::AdaptiveController(ClusterRuntime* runtime,
+                                       AdaptivePolicy policy)
+    : runtime_(runtime),
+      policy_(policy),
+      aged_(runtime->workload().num_threads(), policy.aging_alpha) {
+  ACTRACK_CHECK(runtime != nullptr);
+  ACTRACK_CHECK(policy.degradation_factor >= 1.0);
+  ACTRACK_CHECK(policy.cooldown_iterations >= 0);
+}
+
+AdaptiveStep AdaptiveController::track_and_migrate() {
+  AdaptiveStep step;
+  step.iteration = runtime_->next_iteration();
+  step.tracked = true;
+  tracked_count_ += 1;
+  since_track_ = 0;
+
+  const TrackedIterationMetrics tracked = runtime_->run_tracked_iteration();
+  step.remote_misses = tracked.metrics.remote_misses;
+  step.elapsed_us = tracked.metrics.elapsed_us;
+  aged_.observe(
+      CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps));
+
+  const CorrelationMatrix estimate = aged_.snapshot();
+  const Placement target = min_cost_placement(
+      estimate, runtime_->placement().num_nodes(), policy_.min_cost);
+  step.threads_migrated = runtime_->placement().migration_distance(target);
+  if (step.threads_migrated > 0) {
+    step.elapsed_us += runtime_->migrate_to(target).elapsed_us;
+    migration_count_ += 1;
+  }
+  // Re-learn the steady state after moving; the first iteration after a
+  // migration is polluted by the moved threads re-faulting their
+  // working sets, so skip it before taking the baseline.
+  baseline_misses_.reset();
+  settle_pending_ = true;
+  return step;
+}
+
+AdaptiveStep AdaptiveController::step() {
+  if (runtime_->next_iteration() == 0) {
+    runtime_->run_init();
+  }
+  // First step (or first after construction): no knowledge yet — track.
+  if (tracked_count_ == 0) {
+    return track_and_migrate();
+  }
+
+  const std::int32_t iteration = runtime_->next_iteration();
+  const IterationMetrics metrics = runtime_->run_iteration();
+  since_track_ += 1;
+
+  if (settle_pending_) {
+    settle_pending_ = false;
+  } else if (!baseline_misses_.has_value()) {
+    // First settled iteration after a migration defines the baseline.
+    baseline_misses_ = metrics.remote_misses;
+  }
+  const bool degraded =
+      baseline_misses_.has_value() &&
+      static_cast<double>(metrics.remote_misses) >
+          policy_.degradation_factor *
+              static_cast<double>(
+                  std::max<std::int64_t>(*baseline_misses_, 1));
+
+  AdaptiveStep step;
+  step.iteration = iteration;
+  step.remote_misses = metrics.remote_misses;
+  step.elapsed_us = metrics.elapsed_us;
+
+  if (degraded && since_track_ > policy_.cooldown_iterations) {
+    const AdaptiveStep tracked = track_and_migrate();
+    step.tracked = true;
+    step.threads_migrated = tracked.threads_migrated;
+    step.elapsed_us += tracked.elapsed_us;
+    step.remote_misses += tracked.remote_misses;
+  }
+  return step;
+}
+
+std::vector<AdaptiveStep> AdaptiveController::run(std::int32_t iterations) {
+  std::vector<AdaptiveStep> log;
+  log.reserve(static_cast<std::size_t>(iterations));
+  for (std::int32_t i = 0; i < iterations; ++i) {
+    log.push_back(step());
+  }
+  return log;
+}
+
+}  // namespace actrack

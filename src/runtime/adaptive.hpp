@@ -1,0 +1,80 @@
+// AdaptiveController — online re-tracking and migration for dynamic
+// applications (the paper's §7 future work).
+//
+// Static applications need one tracked iteration and one migration.  An
+// adaptive application's sharing pattern drifts, so yesterday's
+// placement slowly turns into a random one.  The controller watches the
+// steady-state remote-miss rate; when it degrades past a threshold of
+// the post-migration baseline, it spends one tracked iteration
+// (Table 5's cost), ages the fresh correlations into its running
+// estimate (§1's aging mechanism), recomputes a min-cost placement and
+// migrates in one round.  A cooldown prevents thrashing when a single
+// noisy iteration spikes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "correlation/aging.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+
+struct AdaptivePolicy {
+  /// Re-track when remote misses exceed baseline * this factor.
+  double degradation_factor = 1.5;
+  /// Minimum measured iterations between tracked iterations.
+  std::int32_t cooldown_iterations = 3;
+  /// Aging blend for each new tracking observation.
+  double aging_alpha = 0.6;
+  /// Options forwarded to min-cost.
+  MinCostOptions min_cost;
+};
+
+/// What the controller did for one application iteration.
+struct AdaptiveStep {
+  std::int32_t iteration = 0;
+  bool tracked = false;
+  std::int32_t threads_migrated = 0;
+  std::int64_t remote_misses = 0;
+  SimTime elapsed_us = 0;  // includes tracking/migration overhead if any
+};
+
+class AdaptiveController {
+ public:
+  /// `runtime` must outlive the controller.  Call step() once per
+  /// application iteration; the first step always tracks (no prior
+  /// knowledge).
+  AdaptiveController(ClusterRuntime* runtime, AdaptivePolicy policy = {});
+
+  AdaptiveStep step();
+
+  /// Runs `iterations` steps and returns the log.
+  std::vector<AdaptiveStep> run(std::int32_t iterations);
+
+  [[nodiscard]] const AgedCorrelation& correlation() const noexcept {
+    return aged_;
+  }
+  [[nodiscard]] std::int64_t tracked_iterations() const noexcept {
+    return tracked_count_;
+  }
+  [[nodiscard]] std::int64_t migrations() const noexcept {
+    return migration_count_;
+  }
+
+ private:
+  /// Tracks, ages, re-places and migrates; returns the step record.
+  AdaptiveStep track_and_migrate();
+
+  ClusterRuntime* runtime_;  // non-owning
+  AdaptivePolicy policy_;
+  AgedCorrelation aged_;
+  std::optional<std::int64_t> baseline_misses_;
+  bool settle_pending_ = false;
+  std::int32_t since_track_ = 0;
+  std::int64_t tracked_count_ = 0;
+  std::int64_t migration_count_ = 0;
+};
+
+}  // namespace actrack

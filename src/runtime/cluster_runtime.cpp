@@ -1,0 +1,104 @@
+#include "runtime/cluster_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+
+void IterationMetrics::add(const IterationMetrics& other) noexcept {
+  // Imbalance does not sum; keep the worst step's value.
+  load_imbalance = std::max(load_imbalance, other.load_imbalance);
+  elapsed_us += other.elapsed_us;
+  remote_misses += other.remote_misses;
+  read_faults += other.read_faults;
+  write_faults += other.write_faults;
+  messages += other.messages;
+  total_bytes += other.total_bytes;
+  diff_bytes += other.diff_bytes;
+  gc_runs += other.gc_runs;
+}
+
+ClusterRuntime::ClusterRuntime(const Workload& workload, Placement placement,
+                               RuntimeConfig config)
+    : workload_(&workload), placement_(std::move(placement)) {
+  ACTRACK_CHECK(placement_.num_threads() == workload.num_threads());
+  net_ = std::make_unique<NetworkModel>(placement_.num_nodes(), config.cost);
+  dsm_ = std::make_unique<DsmSystem>(workload.num_pages(),
+                                     placement_.num_nodes(), net_.get(),
+                                     config.dsm);
+  sched_ = std::make_unique<ClusterScheduler>(dsm_.get(), net_.get(),
+                                              config.sched);
+}
+
+ClusterRuntime::Snapshot ClusterRuntime::snapshot() const {
+  return Snapshot{dsm_->stats(), net_->totals()};
+}
+
+IterationMetrics ClusterRuntime::delta_since(const Snapshot& snap,
+                                             SimTime elapsed) const {
+  const DsmStats& d = dsm_->stats();
+  const NetCounters& n = net_->totals();
+  IterationMetrics m;
+  m.elapsed_us = elapsed;
+  m.remote_misses = d.remote_misses - snap.dsm.remote_misses;
+  m.read_faults = d.read_faults - snap.dsm.read_faults;
+  m.write_faults = d.write_faults - snap.dsm.write_faults;
+  m.messages = n.messages - snap.net.messages;
+  m.total_bytes = n.total_bytes - snap.net.total_bytes;
+  m.diff_bytes = n.diff_bytes - snap.net.diff_bytes;
+  m.gc_runs = d.gc_runs - snap.dsm.gc_runs;
+  return m;
+}
+
+IterationMetrics ClusterRuntime::run_init() {
+  ACTRACK_CHECK_MSG(next_iteration_ == 0, "init already ran");
+  return run_iteration();
+}
+
+IterationMetrics ClusterRuntime::run_iteration() {
+  const IterationTrace trace = workload_->iteration(next_iteration_);
+  validate_trace(trace, workload_->num_pages());
+  const Snapshot snap = snapshot();
+  const IterationResult result = sched_->run_iteration(trace, placement_);
+  next_iteration_ += 1;
+  IterationMetrics metrics = delta_since(snap, result.elapsed_us);
+  metrics.load_imbalance = result.load_imbalance();
+  totals_.add(metrics);
+  return metrics;
+}
+
+TrackedIterationMetrics ClusterRuntime::run_tracked_iteration() {
+  const IterationTrace trace = workload_->iteration(next_iteration_);
+  validate_trace(trace, workload_->num_pages());
+  const Snapshot snap = snapshot();
+  TrackedIterationMetrics out;
+  out.tracking = sched_->run_tracked_iteration(trace, placement_);
+  next_iteration_ += 1;
+  out.metrics = delta_since(snap, out.tracking.elapsed_us);
+  totals_.add(out.metrics);
+  return out;
+}
+
+IterationMetrics ClusterRuntime::migrate_to(const Placement& target) {
+  const Snapshot snap = snapshot();
+  const MigrationResult result = sched_->migrate(placement_, target);
+  placement_ = target;
+  const IterationMetrics metrics = delta_since(snap, result.elapsed_us);
+  totals_.add(metrics);
+  return metrics;
+}
+
+CorrelationMatrix collect_correlations(const Workload& workload,
+                                       NodeId num_nodes,
+                                       RuntimeConfig config) {
+  ClusterRuntime runtime(
+      workload, Placement::stretch(workload.num_threads(), num_nodes),
+      config);
+  runtime.run_init();
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  return CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps);
+}
+
+}  // namespace actrack

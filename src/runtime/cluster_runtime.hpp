@@ -1,0 +1,113 @@
+// ClusterRuntime — the top-level façade: one workload running on one
+// simulated cluster.
+//
+// Owns the network, DSM and scheduler, tracks the iteration counter, and
+// exposes exactly the operations the paper's experiments are built from:
+// run an iteration, run the active-correlation-tracking iteration
+// (§4.2), migrate threads to a new placement (§5), and read metrics
+// (times, remote misses, message bytes, diff bytes — the columns of
+// Tables 2, 5 and 6).
+#pragma once
+
+#include <memory>
+
+#include "apps/workload.hpp"
+#include "correlation/matrix.hpp"
+#include "dsm/protocol.hpp"
+#include "net/network.hpp"
+#include "placement/placement.hpp"
+#include "sched/scheduler.hpp"
+
+namespace actrack {
+
+struct RuntimeConfig {
+  CostModel cost;
+  DsmConfig dsm;
+  SchedConfig sched;
+};
+
+/// Delta of protocol/network activity over one operation.
+struct IterationMetrics {
+  SimTime elapsed_us = 0;
+  std::int64_t remote_misses = 0;
+  std::int64_t read_faults = 0;
+  std::int64_t write_faults = 0;
+  std::int64_t messages = 0;
+  ByteCount total_bytes = 0;
+  ByteCount diff_bytes = 0;
+  std::int64_t gc_runs = 0;
+  /// max/mean per-node active time for this step (1.0 = balanced; only
+  /// meaningful for measured iterations).
+  double load_imbalance = 1.0;
+
+  void add(const IterationMetrics& other) noexcept;
+};
+
+struct TrackedIterationMetrics {
+  TrackingResult tracking;
+  IterationMetrics metrics;
+};
+
+class ClusterRuntime {
+ public:
+  /// `workload` must outlive the runtime.  The initial placement must
+  /// cover the workload's threads.
+  ClusterRuntime(const Workload& workload, Placement placement,
+                 RuntimeConfig config = {});
+
+  /// Runs the initialisation pass (iteration 0) if it has not run yet.
+  IterationMetrics run_init();
+
+  /// Runs the next measured iteration under the current placement.
+  IterationMetrics run_iteration();
+
+  /// Runs the next iteration with active correlation tracking (§4.2).
+  TrackedIterationMetrics run_tracked_iteration();
+
+  /// Migrates threads so the current placement becomes `target`.
+  IterationMetrics migrate_to(const Placement& target);
+
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] std::int32_t next_iteration() const noexcept {
+    return next_iteration_;
+  }
+  [[nodiscard]] const Workload& workload() const noexcept {
+    return *workload_;
+  }
+  [[nodiscard]] DsmSystem& dsm() noexcept { return *dsm_; }
+  [[nodiscard]] ClusterScheduler& scheduler() noexcept { return *sched_; }
+  [[nodiscard]] NetworkModel& network() noexcept { return *net_; }
+
+  /// Cumulative metrics since construction.
+  [[nodiscard]] const IterationMetrics& totals() const noexcept {
+    return totals_;
+  }
+
+ private:
+  struct Snapshot {
+    DsmStats dsm;
+    NetCounters net;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] IterationMetrics delta_since(const Snapshot& snap,
+                                             SimTime elapsed) const;
+
+  const Workload* workload_;  // non-owning
+  Placement placement_;
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<DsmSystem> dsm_;
+  std::unique_ptr<ClusterScheduler> sched_;
+  std::int32_t next_iteration_ = 0;
+  IterationMetrics totals_;
+};
+
+/// Convenience used by most benches: run init plus one tracked
+/// iteration on a stretch placement and return the resulting thread
+/// correlation matrix (the paper's standard way of obtaining complete
+/// sharing information without migration).
+[[nodiscard]] CorrelationMatrix collect_correlations(
+    const Workload& workload, NodeId num_nodes, RuntimeConfig config = {});
+
+}  // namespace actrack

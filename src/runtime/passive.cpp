@@ -1,0 +1,67 @@
+#include "runtime/passive.hpp"
+
+#include "correlation/sharing.hpp"
+#include "placement/heuristics.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+
+PassiveTrackingExperiment::PassiveTrackingExperiment(const Workload& workload,
+                                                     NodeId num_nodes,
+                                                     RuntimeConfig config)
+    : workload_(&workload),
+      num_nodes_(num_nodes),
+      runtime_(workload, Placement::stretch(workload.num_threads(), num_nodes),
+               config),
+      observed_(static_cast<std::size_t>(workload.num_threads()),
+                DynamicBitset(workload.num_pages())),
+      truth_(static_cast<std::size_t>(workload.num_threads()),
+             DynamicBitset(workload.num_pages())) {
+  // Remote-fault attribution: only the thread that takes the miss is
+  // credited with the page — the crux of the passive approach's
+  // incompleteness.
+  runtime_.dsm().set_remote_miss_observer(
+      [this](NodeId /*node*/, ThreadId thread, PageId page) {
+        observed_[static_cast<std::size_t>(thread)].set(page);
+      });
+}
+
+std::vector<PassiveRound> PassiveTrackingExperiment::run(
+    std::int32_t max_rounds) {
+  std::vector<PassiveRound> rounds;
+  runtime_.run_init();
+
+  for (std::int32_t round = 0; round < max_rounds; ++round) {
+    // Grow the oracle with the pages this iteration will actually touch
+    // (irregular applications drift over time).
+    const IterationTrace trace =
+        workload_->iteration(runtime_.next_iteration());
+    const std::vector<DynamicBitset> oracle =
+        pages_touched_per_thread(trace, workload_->num_pages());
+    for (std::size_t t = 0; t < truth_.size(); ++t) {
+      truth_[t].merge(oracle[t]);
+    }
+
+    const IterationMetrics metrics = runtime_.run_iteration();
+
+    PassiveRound record;
+    record.round = round;
+    record.remote_misses = metrics.remote_misses;
+    record.completeness = information_completeness(observed_, truth_);
+
+    // Re-place threads using whatever information has been gathered,
+    // then migrate — the passive system's only way to expose the
+    // affinities between threads still sharing a node.
+    const CorrelationMatrix partial =
+        CorrelationMatrix::from_bitmaps(observed_);
+    const Placement next = min_cost_placement(partial, num_nodes_);
+    record.threads_moved = runtime_.placement().migration_distance(next);
+    if (record.threads_moved > 0) {
+      runtime_.migrate_to(next);
+    }
+    rounds.push_back(record);
+  }
+  return rounds;
+}
+
+}  // namespace actrack

@@ -1,0 +1,53 @@
+// Passive correlation tracking (paper §4.1, Figure 2).
+//
+// Previous systems (Millipede, PARSEC) inferred sharing from the remote
+// faults the DSM was already taking.  With several threads per node this
+// yields only partial information: once the first local thread validates
+// a page, the other local threads access it without faulting, so their
+// affinity stays invisible until a migration separates them.  This
+// experiment reproduces that behaviour: remote-miss attribution only,
+// followed by rounds of (min-cost placement from partial info →
+// migration → another iteration), measuring after each round what
+// fraction of the complete sharing information has been discovered.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "placement/placement.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+
+struct PassiveRound {
+  std::int32_t round = 0;
+  /// Fraction of the oracle (thread, page) pairs known so far — the
+  /// y-axis of Figure 2.
+  double completeness = 0.0;
+  std::int32_t threads_moved = 0;
+  std::int64_t remote_misses = 0;
+};
+
+class PassiveTrackingExperiment {
+ public:
+  PassiveTrackingExperiment(const Workload& workload, NodeId num_nodes,
+                            RuntimeConfig config = {});
+
+  /// Runs up to `max_rounds` rounds of fault gathering + migration.
+  /// Round 0 is the initial iteration before any migration.
+  [[nodiscard]] std::vector<PassiveRound> run(std::int32_t max_rounds);
+
+  /// Sharing information accumulated so far.
+  [[nodiscard]] const std::vector<DynamicBitset>& observed() const noexcept {
+    return observed_;
+  }
+
+ private:
+  const Workload* workload_;
+  NodeId num_nodes_;
+  ClusterRuntime runtime_;
+  std::vector<DynamicBitset> observed_;
+  std::vector<DynamicBitset> truth_;
+};
+
+}  // namespace actrack

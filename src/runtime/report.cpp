@@ -1,0 +1,69 @@
+#include "runtime/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace actrack {
+
+const char* to_string(StepKind kind) noexcept {
+  switch (kind) {
+    case StepKind::kInit:
+      return "init";
+    case StepKind::kIteration:
+      return "iteration";
+    case StepKind::kTrackedIteration:
+      return "tracked";
+    case StepKind::kMigration:
+      return "migration";
+  }
+  return "?";
+}
+
+void MetricsLog::record(StepKind kind, std::int32_t index,
+                        const IterationMetrics& metrics) {
+  entries_.push_back(Entry{index, kind, metrics});
+}
+
+IterationMetrics MetricsLog::total() const {
+  IterationMetrics sum;
+  for (const Entry& entry : entries_) sum.add(entry.metrics);
+  return sum;
+}
+
+IterationMetrics MetricsLog::total(StepKind kind) const {
+  IterationMetrics sum;
+  for (const Entry& entry : entries_) {
+    if (entry.kind == kind) sum.add(entry.metrics);
+  }
+  return sum;
+}
+
+void MetricsLog::write_csv(std::ostream& out) const {
+  out << "index,kind,elapsed_us,remote_misses,read_faults,write_faults,"
+         "messages,total_bytes,diff_bytes,gc_runs\n";
+  for (const Entry& entry : entries_) {
+    const IterationMetrics& m = entry.metrics;
+    out << entry.index << ',' << to_string(entry.kind) << ','
+        << m.elapsed_us << ',' << m.remote_misses << ',' << m.read_faults
+        << ',' << m.write_faults << ',' << m.messages << ','
+        << m.total_bytes << ',' << m.diff_bytes << ',' << m.gc_runs << '\n';
+  }
+}
+
+std::string MetricsLog::summary() const {
+  const IterationMetrics sum = total();
+  std::int64_t iterations = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.kind == StepKind::kIteration) ++iterations;
+  }
+  std::ostringstream os;
+  os << entries_.size() << " steps (" << iterations << " iterations), "
+     << static_cast<double>(sum.elapsed_us) / 1e6 << " s, "
+     << sum.remote_misses << " remote misses, "
+     << static_cast<double>(sum.total_bytes) / (1024.0 * 1024.0) << " MB ("
+     << static_cast<double>(sum.diff_bytes) / (1024.0 * 1024.0)
+     << " MB diffs)";
+  return os.str();
+}
+
+}  // namespace actrack

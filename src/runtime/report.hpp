@@ -1,0 +1,57 @@
+// Run reporting: per-iteration metric logs, CSV export and summaries.
+//
+// Every experiment in the paper is a table over per-run measurements
+// (times, remote misses, megabytes).  MetricsLog collects the
+// per-iteration IterationMetrics of a run, tags special iterations
+// (init / tracked / migration), and renders CSV for external analysis
+// plus an aggregate summary — the machinery behind `actrack run --csv`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+
+enum class StepKind : std::uint8_t {
+  kInit,
+  kIteration,
+  kTrackedIteration,
+  kMigration,
+};
+
+[[nodiscard]] const char* to_string(StepKind kind) noexcept;
+
+class MetricsLog {
+ public:
+  struct Entry {
+    std::int32_t index = 0;  // iteration number, or -1 for migrations
+    StepKind kind = StepKind::kIteration;
+    IterationMetrics metrics;
+  };
+
+  void record(StepKind kind, std::int32_t index,
+              const IterationMetrics& metrics);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Sum over entries of the given kind (all kinds if kind omitted).
+  [[nodiscard]] IterationMetrics total() const;
+  [[nodiscard]] IterationMetrics total(StepKind kind) const;
+
+  /// Writes "index,kind,elapsed_us,remote_misses,read_faults,
+  /// write_faults,messages,total_bytes,diff_bytes,gc_runs" rows.
+  void write_csv(std::ostream& out) const;
+
+  /// Human-readable one-line summary of the run.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,464 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+double IterationResult::load_imbalance() const {
+  if (node_idle_us.empty() || elapsed_us <= 0) return 1.0;
+  SimTime max_active = 0;
+  SimTime total_active = 0;
+  for (const SimTime idle : node_idle_us) {
+    const SimTime active = elapsed_us - idle;
+    max_active = std::max(max_active, active);
+    total_active += active;
+  }
+  const double mean = static_cast<double>(total_active) /
+                      static_cast<double>(node_idle_us.size());
+  if (mean <= 0.0) return 1.0;
+  return static_cast<double>(max_active) / mean;
+}
+
+namespace {
+
+/// Per-thread execution cursor within one phase.
+struct ThreadRun {
+  ThreadId id = 0;
+  NodeId node = 0;
+  const ThreadPhase* work = nullptr;
+  std::size_t seg = 0;
+  std::size_t acc = 0;
+  bool in_segment = false;
+  bool lock_granted = false;
+  bool done = false;
+  SimTime ready_at = 0;
+  SimTime compute_share = 0;
+  SimTime compute_tail = 0;
+};
+
+struct NodeRun {
+  SimTime clock = 0;
+  std::deque<std::size_t> runnable;
+  std::int32_t remaining = 0;
+};
+
+struct LockRun {
+  bool held = false;
+  NodeId last_holder = kNoNode;
+  std::deque<std::size_t> waiters;
+};
+
+struct WakeEvent {
+  SimTime time = 0;
+  std::size_t thread = 0;
+  bool operator>(const WakeEvent& other) const { return time > other.time; }
+};
+
+using WakeQueue =
+    std::priority_queue<WakeEvent, std::vector<WakeEvent>, std::greater<>>;
+
+/// Splits a segment's compute time into a per-access share plus tail, so
+/// remote fetches interleave with computation realistically.
+void enter_segment(ThreadRun& tr, const Segment& seg) {
+  const auto n = static_cast<SimTime>(seg.accesses.size());
+  tr.compute_share = (n > 0) ? seg.compute_us / n : 0;
+  tr.compute_tail = seg.compute_us - tr.compute_share * n;
+  tr.in_segment = true;
+}
+
+}  // namespace
+
+ClusterScheduler::ClusterScheduler(DsmSystem* dsm, NetworkModel* net,
+                                   SchedConfig config)
+    : dsm_(dsm), net_(net), config_(std::move(config)) {
+  ACTRACK_CHECK(dsm != nullptr && net != nullptr);
+  if (!config_.node_speed.empty()) {
+    ACTRACK_CHECK(static_cast<NodeId>(config_.node_speed.size()) ==
+                  dsm_->num_nodes());
+    for (const double speed : config_.node_speed) {
+      ACTRACK_CHECK_MSG(speed > 0.0, "node speeds must be positive");
+    }
+  }
+}
+
+SimTime ClusterScheduler::compute_time(SimTime us, NodeId node) const {
+  if (config_.node_speed.empty()) return us;
+  return static_cast<SimTime>(
+      static_cast<double>(us) /
+      config_.node_speed[static_cast<std::size_t>(node)]);
+}
+
+ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
+    const Phase& phase, const Placement& placement, SimTime start_us,
+    IterationResult& result) {
+  const CostModel& cost = net_->cost();
+  const NodeId num_nodes = placement.num_nodes();
+  const auto num_threads = static_cast<std::size_t>(placement.num_threads());
+  ACTRACK_CHECK(phase.threads.size() == num_threads);
+
+  std::vector<ThreadRun> threads(num_threads);
+  std::vector<NodeRun> nodes(static_cast<std::size_t>(num_nodes));
+  for (auto& node : nodes) node.clock = start_us;
+  if (result.node_idle_us.empty()) {
+    result.node_idle_us.assign(static_cast<std::size_t>(num_nodes), 0);
+  }
+
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    ThreadRun& tr = threads[t];
+    tr.id = static_cast<ThreadId>(t);
+    tr.node = placement.node_of(tr.id);
+    tr.work = &phase.threads[t];
+    NodeRun& node = nodes[static_cast<std::size_t>(tr.node)];
+    node.runnable.push_back(t);
+    node.remaining += 1;
+  }
+
+  std::unordered_map<std::int32_t, LockRun> locks;
+  WakeQueue wakes;
+
+  // Runs the front runnable thread of `node_idx` until it blocks on a
+  // lock, switches away on a remote fetch, or finishes its phase work.
+  auto run_one = [&](std::size_t node_idx) {
+    NodeRun& node = nodes[node_idx];
+    const std::size_t t = node.runnable.front();
+    node.runnable.pop_front();
+    ThreadRun& tr = threads[t];
+    if (tr.ready_at > node.clock) {
+      // The node sat idle until this thread's wake (remote fetch
+      // completion or lock grant).
+      result.node_idle_us[node_idx] += tr.ready_at - node.clock;
+      node.clock = tr.ready_at;
+    }
+
+    while (true) {
+      if (tr.seg == tr.work->segments.size()) {
+        tr.done = true;
+        node.remaining -= 1;
+        return;
+      }
+      const Segment& seg = tr.work->segments[tr.seg];
+
+      if (!tr.in_segment) {
+        if (seg.lock_id >= 0 && !tr.lock_granted) {
+          LockRun& lock = locks[seg.lock_id];
+          if (lock.held) {
+            lock.waiters.push_back(t);
+            return;  // blocked; the releaser will wake us
+          }
+          lock.held = true;
+          tr.lock_granted = true;
+          result.lock_acquires += 1;
+          if (lock.last_holder != kNoNode && lock.last_holder != tr.node) {
+            node.clock += cost.lock_transfer_us;
+            node.clock +=
+                dsm_->lock_transfer(lock.last_holder, tr.node, seg.lock_id);
+            result.remote_lock_transfers += 1;
+          } else {
+            node.clock += cost.lock_local_us;
+          }
+          lock.last_holder = tr.node;
+        }
+        enter_segment(tr, seg);
+      }
+
+      while (tr.acc < seg.accesses.size()) {
+        node.clock += compute_time(tr.compute_share, tr.node);
+        const AccessOutcome outcome =
+            dsm_->access(tr.node, tr.id, seg.accesses[tr.acc]);
+        node.clock += compute_time(outcome.local_us, tr.node);
+        tr.acc += 1;
+        if (outcome.remote_us > 0) {
+          if (config_.latency_hiding && !node.runnable.empty()) {
+            // Hide the fetch behind another runnable thread.
+            tr.ready_at = node.clock + outcome.remote_us;
+            wakes.push(WakeEvent{tr.ready_at, t});
+            node.clock += cost.context_switch_us;
+            result.context_switches += 1;
+            return;
+          }
+          node.clock += outcome.remote_us;  // stall
+        }
+      }
+
+      node.clock += compute_time(tr.compute_tail, tr.node);
+      if (seg.lock_id >= 0) {
+        // Release is a consistency release: diff dirty pages first.
+        node.clock += compute_time(dsm_->release_node(tr.node), tr.node);
+        LockRun& lock = locks[seg.lock_id];
+        ACTRACK_CHECK(lock.held);
+        lock.held = false;
+        if (!lock.waiters.empty()) {
+          const std::size_t w = lock.waiters.front();
+          lock.waiters.pop_front();
+          ThreadRun& waiter = threads[w];
+          lock.held = true;
+          waiter.lock_granted = true;
+          result.lock_acquires += 1;
+          SimTime grant_at = node.clock;
+          if (waiter.node != tr.node) {
+            grant_at += cost.lock_transfer_us;
+            node.clock +=
+                dsm_->lock_transfer(tr.node, waiter.node, seg.lock_id);
+            result.remote_lock_transfers += 1;
+          } else {
+            grant_at += cost.lock_local_us;
+          }
+          lock.last_holder = waiter.node;
+          waiter.ready_at = std::max(waiter.ready_at, grant_at);
+          wakes.push(WakeEvent{waiter.ready_at, w});
+        }
+      }
+      tr.seg += 1;
+      tr.acc = 0;
+      tr.in_segment = false;
+      tr.lock_granted = false;
+    }
+  };
+
+  auto deliver = [&](const WakeEvent& ev) {
+    ThreadRun& tr = threads[ev.thread];
+    NodeRun& node = nodes[static_cast<std::size_t>(tr.node)];
+    node.runnable.push_back(ev.thread);
+  };
+
+  while (true) {
+    // Pick the node with the smallest clock among those with runnable
+    // threads; deliver any wake events that precede it first.
+    std::size_t best = nodes.size();
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].runnable.empty()) continue;
+      if (best == nodes.size() || nodes[n].clock < nodes[best].clock) {
+        best = n;
+      }
+    }
+    if (best == nodes.size()) {
+      if (wakes.empty()) break;
+      const WakeEvent ev = wakes.top();
+      wakes.pop();
+      deliver(ev);
+      continue;
+    }
+    if (!wakes.empty() && wakes.top().time < nodes[best].clock) {
+      const WakeEvent ev = wakes.top();
+      wakes.pop();
+      deliver(ev);
+      continue;
+    }
+    run_one(best);
+  }
+
+  for (const ThreadRun& tr : threads) {
+    ACTRACK_CHECK_MSG(tr.done, "phase ended with a thread still blocked");
+  }
+
+  // Barrier: arrival flushes (release side), then epoch advance with
+  // write-notice application and possibly garbage collection.
+  SimTime arrival = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeRun& node = nodes[static_cast<std::size_t>(n)];
+    node.clock += compute_time(dsm_->release_node(n), n);
+    arrival = std::max(arrival, node.clock);
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    // Waiting at the barrier for the slowest node is idle time.
+    result.node_idle_us[static_cast<std::size_t>(n)] +=
+        arrival - nodes[static_cast<std::size_t>(n)].clock;
+  }
+  const SimTime gc_cost = dsm_->barrier_epoch();
+  PhaseOutcome outcome;
+  outcome.phase_end_us = arrival + net_->cost().barrier_us + gc_cost;
+  return outcome;
+}
+
+IterationResult ClusterScheduler::run_iteration(const IterationTrace& trace,
+                                                const Placement& placement) {
+  ACTRACK_CHECK(trace.num_threads == placement.num_threads());
+  IterationResult result;
+  SimTime now = 0;
+  for (const Phase& phase : trace.phases) {
+    const PhaseOutcome outcome = run_phase(phase, placement, now, result);
+    now = outcome.phase_end_us;
+  }
+  result.elapsed_us = now;
+  return result;
+}
+
+TrackingResult ClusterScheduler::run_tracked_iteration(
+    const IterationTrace& trace, const Placement& placement) {
+  ACTRACK_CHECK(trace.num_threads == placement.num_threads());
+  const CostModel& cost = net_->cost();
+  const PageId num_pages = dsm_->num_pages();
+  const NodeId num_nodes = placement.num_nodes();
+
+  TrackingResult result;
+  result.access_bitmaps.assign(
+      static_cast<std::size_t>(trace.num_threads), DynamicBitset(num_pages));
+
+  const std::int64_t faults_before = dsm_->stats().coherence_faults();
+  const std::vector<std::vector<ThreadId>> by_node =
+      placement.threads_by_node();
+
+  // Lock state across the whole tracked iteration: nodes still run in
+  // parallel (only each node's *thread scheduler* is disabled), so
+  // critical sections serialise through each lock's availability time
+  // and ownership transfers cost network time.  To keep that
+  // serialisation causally sensible, nodes are advanced one segment at
+  // a time in simulated-time order.
+  struct TrackedLock {
+    NodeId holder = kNoNode;
+    SimTime available_at = 0;
+  };
+  std::unordered_map<std::int32_t, TrackedLock> locks;
+
+  // Per-node cursor over its threads' segments within the phase.
+  struct NodeCursor {
+    SimTime clock = 0;
+    std::size_t thread_idx = 0;   // into by_node[n]
+    std::size_t segment_idx = 0;  // into the current thread's segments
+    bool thread_entered = false;  // protect pass charged for this thread
+    DynamicBitset armed;          // correlation bits of the running thread
+  };
+
+  SimTime now = 0;
+  for (const Phase& phase : trace.phases) {
+    std::vector<NodeCursor> cursors(static_cast<std::size_t>(num_nodes));
+    for (auto& cursor : cursors) {
+      cursor.clock = now;
+      cursor.armed = DynamicBitset(num_pages);
+    }
+
+    auto node_done = [&](NodeId n) {
+      const NodeCursor& cursor = cursors[static_cast<std::size_t>(n)];
+      return cursor.thread_idx >= by_node[static_cast<std::size_t>(n)].size();
+    };
+
+    // Runs one segment of node n's current thread.
+    auto step = [&](NodeId n) {
+      NodeCursor& cursor = cursors[static_cast<std::size_t>(n)];
+      const ThreadId t =
+          by_node[static_cast<std::size_t>(n)][cursor.thread_idx];
+      const auto& segments =
+          phase.threads[static_cast<std::size_t>(t)].segments;
+
+      if (!cursor.thread_entered) {
+        // §4.2 steps 1 & 3: read-protect every page and set all
+        // correlation bits before this thread runs.
+        cursor.clock += compute_time(cost.protect_page_us * num_pages, n);
+        cursor.armed.set_all();
+        cursor.thread_entered = true;
+      }
+      if (cursor.segment_idx >= segments.size()) {
+        cursor.thread_idx += 1;
+        cursor.segment_idx = 0;
+        cursor.thread_entered = false;
+        return;
+      }
+      const Segment& seg = segments[cursor.segment_idx];
+      SimTime& clock = cursor.clock;
+
+      if (seg.lock_id >= 0) {
+        TrackedLock& lock = locks[seg.lock_id];
+        clock = std::max(clock, lock.available_at);
+        if (lock.holder == kNoNode || lock.holder == n) {
+          clock += cost.lock_local_us;
+        } else {
+          clock += cost.lock_transfer_us;
+          clock += dsm_->lock_transfer(lock.holder, n, seg.lock_id);
+        }
+        lock.holder = n;
+      }
+      clock += compute_time(seg.compute_us, n);
+      for (const PageAccess& access : seg.accesses) {
+        if (cursor.armed.test(access.page)) {
+          // §4.2 step 2: a correlation fault — record the page in the
+          // per-thread access bitmap, reset the correlation bit and
+          // restore the page's previous protection.
+          cursor.armed.reset(access.page);
+          result.access_bitmaps[static_cast<std::size_t>(t)].set(access.page);
+          result.tracking_faults += 1;
+          clock += cost.tracking_fault_us;
+        }
+        // If the access would have faulted anyway, it is handled
+        // normally by the protocol (an additional fault).  The thread
+        // scheduler is disabled, so remote latency is not hidden.
+        const AccessOutcome outcome = dsm_->access(n, t, access);
+        clock += compute_time(outcome.local_us, n) + outcome.remote_us;
+      }
+      if (seg.lock_id >= 0) {
+        clock += compute_time(dsm_->release_node(n), n);
+        locks[seg.lock_id].available_at = clock;
+      }
+      cursor.segment_idx += 1;
+    };
+
+    while (true) {
+      NodeId best = kNoNode;
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        if (node_done(n)) continue;
+        if (best == kNoNode ||
+            cursors[static_cast<std::size_t>(n)].clock <
+                cursors[static_cast<std::size_t>(best)].clock) {
+          best = n;
+        }
+      }
+      if (best == kNoNode) break;
+      step(best);
+    }
+
+    // Barrier at the end of the tracked phase.
+    SimTime max_node_clock = now;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      NodeCursor& cursor = cursors[static_cast<std::size_t>(n)];
+      cursor.clock += compute_time(dsm_->release_node(n), n);
+      max_node_clock = std::max(max_node_clock, cursor.clock);
+    }
+    const SimTime gc_cost = dsm_->barrier_epoch();
+    now = max_node_clock + cost.barrier_us + gc_cost;
+  }
+
+  result.elapsed_us = now;
+  result.coherence_faults = dsm_->stats().coherence_faults() - faults_before;
+  return result;
+}
+
+MigrationResult ClusterScheduler::migrate(const Placement& from,
+                                          const Placement& to) {
+  ACTRACK_CHECK(from.num_threads() == to.num_threads());
+  ACTRACK_CHECK(from.num_nodes() == to.num_nodes());
+  const CostModel& cost = net_->cost();
+  const NodeId num_nodes = from.num_nodes();
+
+  MigrationResult result;
+  std::vector<SimTime> outgoing(static_cast<std::size_t>(num_nodes), 0);
+  for (ThreadId t = 0; t < from.num_threads(); ++t) {
+    const NodeId src = from.node_of(t);
+    const NodeId dst = to.node_of(t);
+    if (src == dst) continue;
+    result.threads_moved += 1;
+    const SimTime transfer =
+        net_->send(src, dst, cost.thread_stack_bytes, PayloadKind::kStack);
+    outgoing[static_cast<std::size_t>(src)] += transfer;
+  }
+
+  // Migration is a synchronisation point: a migrating thread's view of
+  // shared data at the destination must include everything visible at
+  // the source, so all nodes flush and exchange write notices.
+  SimTime flush_max = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    flush_max = std::max(flush_max, dsm_->release_node(n));
+  }
+  const SimTime gc_cost = dsm_->barrier_epoch();
+
+  SimTime longest = 0;
+  for (const SimTime out : outgoing) longest = std::max(longest, out);
+  result.elapsed_us = longest + flush_max + cost.barrier_us + gc_cost;
+  return result;
+}
+
+}  // namespace actrack

@@ -1,0 +1,121 @@
+// Cluster execution engine: per-node multithreading over the DSM.
+//
+// CVM runs several user-level, non-preemptive threads per node and
+// context-switches away from a thread while its remote page fetch is in
+// flight, hiding remote latency behind other threads' computation
+// (paper §1; [Thitikamol & Keleher, ICDCS'97]).  ClusterScheduler is a
+// deterministic discrete-event simulator of exactly that: per-node
+// clocks, run queues, switch-on-remote-fetch, FCFS global locks with
+// ownership transfer, and barrier rendezvous driving the DSM's epoch
+// machinery.
+//
+// It also implements the paper's two special execution modes:
+//  * run_tracked_iteration() — the active correlation tracking phase of
+//    §4.2: the thread scheduler is disabled, each local thread runs a
+//    barrier interval atomically, all pages are read-protected per
+//    thread, and correlation faults populate per-thread access bitmaps.
+//  * migrate() — one-shot thread migration (§5): stack copies between
+//    nodes; page state deliberately stays behind, so post-migration
+//    remote faults emerge from the protocol, as in the real system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+#include "dsm/protocol.hpp"
+#include "net/network.hpp"
+#include "placement/placement.hpp"
+#include "trace/access.hpp"
+
+namespace actrack {
+
+struct SchedConfig {
+  /// Switch to another runnable thread while a remote fetch is in
+  /// flight.  Off reproduces the single-threaded-node ablation (the
+  /// paper cites 10-15 % for the value of latency tolerance).
+  bool latency_hiding = true;
+
+  /// Relative CPU speed per node (§2: heterogeneous capacity "because
+  /// some machines are faster than others").  Empty means homogeneous;
+  /// otherwise one positive entry per node, scaling computation time by
+  /// 1/speed (network and fault-handling costs are unscaled).
+  std::vector<double> node_speed;
+};
+
+struct IterationResult {
+  /// Wall-clock duration of the iteration (all nodes, barrier to end).
+  SimTime elapsed_us = 0;
+  std::int64_t context_switches = 0;
+  std::int64_t lock_acquires = 0;
+  std::int64_t remote_lock_transfers = 0;
+  /// Per-node idle time: waiting for remote wakes, lock grants and
+  /// barrier arrivals.  elapsed - idle is the node's active time; the
+  /// spread quantifies load imbalance (§5.1: placement "must also
+  /// address load balancing").
+  std::vector<SimTime> node_idle_us;
+
+  /// max/mean of per-node active time; 1.0 is perfectly balanced.
+  [[nodiscard]] double load_imbalance() const;
+};
+
+struct TrackingResult {
+  /// §4.2: exactly which pages each thread accessed during the tracked
+  /// iteration.
+  std::vector<DynamicBitset> access_bitmaps;
+  /// Faults induced purely by the tracking mechanism (correlation
+  /// faults).
+  std::int64_t tracking_faults = 0;
+  /// Faults the coherence protocol took during the tracked iteration
+  /// (these would have occurred regardless; Table 5 "Coherence").
+  std::int64_t coherence_faults = 0;
+  SimTime elapsed_us = 0;
+};
+
+struct MigrationResult {
+  std::int32_t threads_moved = 0;
+  SimTime elapsed_us = 0;
+};
+
+class ClusterScheduler {
+ public:
+  ClusterScheduler(DsmSystem* dsm, NetworkModel* net, SchedConfig config = {});
+
+  /// Executes one application iteration under the given placement.
+  IterationResult run_iteration(const IterationTrace& trace,
+                                const Placement& placement);
+
+  /// Executes one iteration with active correlation tracking enabled
+  /// (§4.2).  The thread scheduler is disabled for the duration.
+  TrackingResult run_tracked_iteration(const IterationTrace& trace,
+                                       const Placement& placement);
+
+  /// Moves threads from their `from` homes to their `to` homes in one
+  /// round of communication (stack copies).
+  MigrationResult migrate(const Placement& from, const Placement& to);
+
+  [[nodiscard]] const SchedConfig& config() const noexcept { return config_; }
+  void set_latency_hiding(bool enabled) noexcept {
+    config_.latency_hiding = enabled;
+  }
+
+ private:
+  struct PhaseOutcome {
+    SimTime phase_end_us = 0;  // barrier completion time
+  };
+
+  /// Runs one barrier-delimited phase starting with all node clocks at
+  /// `start_us`; returns the post-barrier time.
+  PhaseOutcome run_phase(const Phase& phase, const Placement& placement,
+                         SimTime start_us, IterationResult& result);
+
+  /// Computation time of `us` of work on `node`, given its speed.
+  [[nodiscard]] SimTime compute_time(SimTime us, NodeId node) const;
+
+  DsmSystem* dsm_;       // non-owning
+  NetworkModel* net_;    // non-owning
+  SchedConfig config_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,15 @@
+// bin/actrack — thin entry point over tools/cli.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cout << actrack::cli::usage();
+    return 0;
+  }
+  return actrack::cli::main_impl(args, std::cout, std::cerr);
+}

@@ -1,0 +1,383 @@
+#include "tools/cli.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "apps/drifting.hpp"
+#include "apps/trace_workload.hpp"
+#include "apps/workload.hpp"
+#include "correlation/sharing.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/adaptive.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "runtime/passive.hpp"
+#include "runtime/report.hpp"
+#include "trace/serialize.hpp"
+#include "viz/map_render.hpp"
+
+namespace actrack::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+std::int64_t parse_int(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t parsed = std::stoll(value, &used);
+    if (used != value.size()) fail(flag + ": not an integer: " + value);
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    fail(flag + ": not an integer: " + value);
+  } catch (const std::out_of_range&) {
+    fail(flag + ": out of range: " + value);
+  }
+}
+
+RuntimeConfig config_for(const Options& options) {
+  RuntimeConfig config;
+  if (options.consistency == "sc") {
+    config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  } else if (options.consistency != "lrc") {
+    fail("--consistency must be lrc or sc");
+  }
+  config.sched.latency_hiding = options.latency_hiding;
+  return config;
+}
+
+Placement placement_for(const Options& options, const Workload& workload) {
+  if (options.placement == "stretch") {
+    return Placement::stretch(options.threads, options.nodes);
+  }
+  if (options.placement == "random") {
+    Rng rng(options.seed);
+    return balanced_random_placement(rng, options.threads, options.nodes);
+  }
+  if (options.placement == "mincost") {
+    const CorrelationMatrix matrix =
+        collect_correlations(workload, options.nodes);
+    return min_cost_placement(matrix, options.nodes);
+  }
+  fail("--placement must be stretch, mincost or random");
+}
+
+int cmd_list(std::ostream& out) {
+  for (const std::string& name : all_workload_names()) {
+    out << name << '\n';
+  }
+  out << "Drifting (adaptive-workload demo; see 'actrack adaptive')\n";
+  return 0;
+}
+
+int cmd_info(const Options& options, std::ostream& out) {
+  const auto workload = make_workload(options.app, options.threads);
+  out << workload->name() << ": input " << workload->input_description()
+      << ", sync {" << workload->synchronization() << "}, "
+      << workload->num_threads() << " threads, " << workload->num_pages()
+      << " shared pages\n";
+  out << "shared-segment layout:\n";
+  for (const auto& alloc : workload->address_space().allocations()) {
+    out << "  " << std::left << std::setw(18) << alloc.name << std::right
+        << std::setw(6) << alloc.buffer.page_count() << " pages\n";
+  }
+  return 0;
+}
+
+int cmd_run(const Options& options, std::ostream& out) {
+  const auto workload = make_workload(options.app, options.threads);
+  ClusterRuntime runtime(*workload, placement_for(options, *workload),
+                         config_for(options));
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, runtime.run_init());
+  out << "iter  time(ms)  remote-misses  messages  MB\n";
+  for (std::int32_t i = 0; i < options.iterations; ++i) {
+    const std::int32_t index = runtime.next_iteration();
+    const IterationMetrics m = runtime.run_iteration();
+    log.record(StepKind::kIteration, index, m);
+    out << std::left << std::setw(6) << index
+        << std::setw(10) << m.elapsed_us / 1000 << std::setw(15)
+        << m.remote_misses << std::setw(10) << m.messages << std::fixed
+        << std::setprecision(1)
+        << static_cast<double>(m.total_bytes) / (1024.0 * 1024.0) << '\n';
+  }
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv.good()) fail("cannot open " + options.csv_path);
+    log.write_csv(csv);
+    out << "metrics written to " << options.csv_path << '\n';
+  }
+  const IterationMetrics& totals = runtime.totals();
+  out << "total: " << std::fixed << std::setprecision(3)
+      << static_cast<double>(totals.elapsed_us) / 1e6 << " s, "
+      << totals.remote_misses << " remote misses, " << std::setprecision(1)
+      << static_cast<double>(totals.total_bytes) / (1024.0 * 1024.0)
+      << " MB (" << static_cast<double>(totals.diff_bytes) / (1024.0 * 1024.0)
+      << " MB diffs)\n";
+  return 0;
+}
+
+int cmd_track(const Options& options, std::ostream& out) {
+  const auto workload = make_workload(options.app, options.threads);
+  const Placement placement = placement_for(options, *workload);
+  ClusterRuntime runtime(*workload, placement, config_for(options));
+  runtime.run_init();
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  const CorrelationMatrix matrix =
+      CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps);
+
+  out << "tracked iteration: " << tracked.tracking.tracking_faults
+      << " tracking faults, " << tracked.tracking.coherence_faults
+      << " coherence faults, "
+      << static_cast<double>(tracked.metrics.elapsed_us) / 1e6 << " s\n";
+  out << "sharing degree: " << std::fixed << std::setprecision(3)
+      << sharing_degree(tracked.tracking.access_bitmaps,
+                        placement.node_of_thread(), options.nodes)
+      << " of " << options.threads / options.nodes << " local threads\n";
+  out << "cut costs: stretch="
+      << matrix.cut_cost(
+             Placement::stretch(options.threads, options.nodes)
+                 .node_of_thread())
+      << " min-cost="
+      << matrix.cut_cost(
+             min_cost_placement(matrix, options.nodes).node_of_thread())
+      << '\n';
+  if (!options.pgm_path.empty()) {
+    write_pgm(matrix, options.pgm_path);
+    out << "correlation map written to " << options.pgm_path << '\n';
+  }
+  if (options.ascii) {
+    out << ascii_map(matrix, 64);
+  }
+  return 0;
+}
+
+int cmd_cutcost(const Options& options, std::ostream& out) {
+  const auto workload = make_workload(options.app, options.threads);
+  const CorrelationMatrix matrix =
+      collect_correlations(*workload, options.nodes);
+  Rng rng(options.seed);
+  out << "stretch:  "
+      << matrix.cut_cost(
+             Placement::stretch(options.threads, options.nodes)
+                 .node_of_thread())
+      << '\n';
+  out << "min-cost: "
+      << matrix.cut_cost(
+             min_cost_placement(matrix, options.nodes).node_of_thread())
+      << '\n';
+  for (std::int32_t s = 0; s < options.samples; ++s) {
+    out << "random#" << s << ": "
+        << matrix.cut_cost(
+               balanced_random_placement(rng, options.threads, options.nodes)
+                   .node_of_thread())
+        << '\n';
+  }
+  return 0;
+}
+
+int cmd_passive(const Options& options, std::ostream& out) {
+  const auto workload = make_workload(options.app, options.threads);
+  PassiveTrackingExperiment experiment(*workload, options.nodes,
+                                       config_for(options));
+  out << "round  completeness  moved  remote-misses\n";
+  for (const PassiveRound& round : experiment.run(options.rounds)) {
+    out << std::left << std::setw(7) << round.round << std::setw(13)
+        << std::fixed << std::setprecision(3) << round.completeness
+        << std::setw(7) << round.threads_moved << round.remote_misses
+        << '\n';
+  }
+  return 0;
+}
+
+int cmd_adaptive(const Options& options, std::ostream& out) {
+  DriftingWorkload workload(options.threads, options.period);
+  ClusterRuntime runtime(workload,
+                         Placement::stretch(options.threads, options.nodes),
+                         config_for(options));
+  AdaptiveController controller(&runtime);
+  out << "iter  tracked  migrated  remote-misses\n";
+  for (const AdaptiveStep& step : controller.run(options.iterations)) {
+    out << std::left << std::setw(6) << step.iteration << std::setw(9)
+        << (step.tracked ? "yes" : "-") << std::setw(10)
+        << step.threads_migrated << step.remote_misses << '\n';
+  }
+  out << "total: " << controller.tracked_iterations()
+      << " tracked iterations, " << controller.migrations()
+      << " migrations\n";
+  return 0;
+}
+
+int cmd_record(const Options& options, std::ostream& out) {
+  if (options.trace_path.empty()) fail("record: --trace PATH required");
+  const auto workload = make_workload(options.app, options.threads);
+  TraceFile file;
+  file.num_threads = workload->num_threads();
+  file.num_pages = workload->num_pages();
+  // Iteration 0 (init) plus the requested measured iterations.
+  for (std::int32_t iter = 0; iter <= options.iterations; ++iter) {
+    file.iterations.push_back(workload->iteration(iter));
+  }
+  save_trace_file(file, options.trace_path);
+  out << "recorded " << file.iterations.size() << " iterations of "
+      << workload->name() << " (" << file.num_threads << " threads, "
+      << file.num_pages << " pages) to " << options.trace_path << '\n';
+  return 0;
+}
+
+int cmd_replay(const Options& options, std::ostream& out) {
+  if (options.trace_path.empty()) fail("replay: --trace PATH required");
+  TraceWorkload workload(load_trace_file(options.trace_path));
+  if (workload.num_threads() < options.nodes) {
+    fail("trace has fewer threads than --nodes");
+  }
+  Options run_options = options;
+  run_options.threads = workload.num_threads();
+  ClusterRuntime runtime(workload, placement_for(run_options, workload),
+                         config_for(options));
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, runtime.run_init());
+  for (std::int32_t i = 0; i < options.iterations; ++i) {
+    const std::int32_t index = runtime.next_iteration();
+    log.record(StepKind::kIteration, index, runtime.run_iteration());
+  }
+  out << "replayed " << options.iterations << " iterations from "
+      << options.trace_path << '\n';
+  out << log.summary() << '\n';
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv.good()) fail("cannot open " + options.csv_path);
+    log.write_csv(csv);
+    out << "metrics written to " << options.csv_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: actrack <command> [flags]\n"
+      "commands:\n"
+      "  list                       list the Table 1 application configs\n"
+      "  info     --app NAME        input size, sync kinds, page layout\n"
+      "  run      --app NAME        run iterations, print metrics\n"
+      "  track    --app NAME        one tracked iteration + correlation map\n"
+      "  cutcost  --app NAME        cut costs of the standard placements\n"
+      "  passive  --app NAME        passive-tracking migration rounds\n"
+      "  adaptive                   adaptive controller on a drifting app\n"
+      "  record   --app --trace F   dump the app's traces to a file\n"
+      "  replay   --trace F         run a recorded/authored trace file\n"
+      "flags:\n"
+      "  --app NAME            Barnes|FFT6|FFT7|FFT8|LU1k|LU2k|Ocean|\n"
+      "                        Spatial|SOR|Water        (default SOR)\n"
+      "  --threads N           application threads       (default 64)\n"
+      "  --nodes N             cluster nodes             (default 8)\n"
+      "  --iterations N        measured iterations       (default 10)\n"
+      "  --rounds N            passive rounds            (default 8)\n"
+      "  --samples N           random placements         (default 5)\n"
+      "  --period N            drift period              (default 8)\n"
+      "  --placement P         stretch|mincost|random    (default stretch)\n"
+      "  --consistency C       lrc|sc                    (default lrc)\n"
+      "  --seed N              RNG seed                  (default 1999)\n"
+      "  --no-latency-hiding   disable switch-on-remote-fetch\n"
+      "  --pgm PATH            write the correlation map as PGM (track)\n"
+      "  --csv PATH            write per-iteration metrics as CSV (run)\n"
+      "  --trace PATH          trace file to record to / replay from\n"
+      "  --ascii               print the correlation map (track)\n";
+}
+
+Options parse(const std::vector<std::string>& args) {
+  if (args.empty()) fail("missing command");
+  Options options;
+  options.command = args[0];
+
+  const auto known = {"list",    "info",    "run",     "track",
+                      "cutcost", "passive", "adaptive", "record",
+                      "replay"};
+  bool ok = false;
+  for (const char* candidate : known) {
+    if (options.command == candidate) ok = true;
+  }
+  if (!ok) fail("unknown command: " + options.command);
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) fail(flag + ": missing value");
+      return args[++i];
+    };
+    if (flag == "--app") {
+      options.app = next();
+    } else if (flag == "--threads") {
+      options.threads = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--nodes") {
+      options.nodes = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--iterations") {
+      options.iterations =
+          static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--rounds") {
+      options.rounds = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--samples") {
+      options.samples = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--period") {
+      options.period = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--placement") {
+      options.placement = next();
+    } else if (flag == "--consistency") {
+      options.consistency = next();
+    } else if (flag == "--seed") {
+      options.seed = static_cast<std::uint64_t>(parse_int(flag, next()));
+    } else if (flag == "--no-latency-hiding") {
+      options.latency_hiding = false;
+    } else if (flag == "--pgm") {
+      options.pgm_path = next();
+    } else if (flag == "--csv") {
+      options.csv_path = next();
+    } else if (flag == "--trace") {
+      options.trace_path = next();
+    } else if (flag == "--ascii") {
+      options.ascii = true;
+    } else {
+      fail("unknown flag: " + flag);
+    }
+  }
+  if (options.threads < 1) fail("--threads must be positive");
+  if (options.nodes < 1) fail("--nodes must be positive");
+  if (options.threads < options.nodes) fail("--threads must be >= --nodes");
+  if (options.iterations < 0) fail("--iterations must be non-negative");
+  return options;
+}
+
+int run(const Options& options, std::ostream& out) {
+  if (options.command == "list") return cmd_list(out);
+  if (options.command == "info") return cmd_info(options, out);
+  if (options.command == "run") return cmd_run(options, out);
+  if (options.command == "track") return cmd_track(options, out);
+  if (options.command == "cutcost") return cmd_cutcost(options, out);
+  if (options.command == "passive") return cmd_passive(options, out);
+  if (options.command == "adaptive") return cmd_adaptive(options, out);
+  if (options.command == "record") return cmd_record(options, out);
+  if (options.command == "replay") return cmd_replay(options, out);
+  return 2;  // unreachable: parse() validates commands
+}
+
+int main_impl(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  try {
+    const Options options = parse(args);
+    return run(options, out);
+  } catch (const std::invalid_argument& bad_args) {
+    err << "actrack: " << bad_args.what() << "\n\n" << usage();
+    return 2;
+  } catch (const std::runtime_error& failure) {
+    err << "actrack: " << failure.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace actrack::cli

@@ -1,0 +1,66 @@
+// actrack command-line interface.
+//
+// A downstream user's entry point to the whole system without writing
+// C++: run applications under any placement policy and protocol, run
+// the active tracker and render correlation maps, compare cut costs,
+// reproduce the passive-tracking experiment, and drive the adaptive
+// controller.  The command layer writes to an injected stream so it is
+// unit-testable (tests/cli_test.cpp); bin/actrack (tools/actrack_main)
+// is a thin wrapper.
+//
+//   actrack list
+//   actrack info    --app FFT7 [--threads 64]
+//   actrack run     --app SOR --placement mincost --iterations 10
+//                   [--nodes 8] [--consistency lrc|sc] [--seed N]
+//                   [--no-latency-hiding] [--csv metrics.csv]
+//   actrack track   --app Water [--pgm map.pgm] [--ascii]
+//   actrack cutcost --app LU2k [--samples 5]
+//   actrack passive --app Ocean [--rounds 8]
+//   actrack adaptive [--period 8] [--iterations 48]
+//   actrack record  --app FFT6 --trace out.actrace [--iterations 4]
+//   actrack replay  --trace out.actrace [--placement mincost] ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace actrack::cli {
+
+/// Parsed command line.  Defaults match the paper's standard scale.
+struct Options {
+  std::string command;
+  std::string app = "SOR";
+  std::int32_t threads = 64;
+  std::int32_t nodes = 8;
+  std::int32_t iterations = 10;
+  std::int32_t rounds = 8;
+  std::int32_t samples = 5;
+  std::int32_t period = 8;
+  std::string placement = "stretch";    // stretch | mincost | random
+  std::string consistency = "lrc";      // lrc | sc
+  std::uint64_t seed = 1999;
+  bool latency_hiding = true;
+  bool ascii = false;
+  std::string pgm_path;
+  std::string csv_path;
+  std::string trace_path;
+};
+
+/// Parses argv into Options.  Throws std::invalid_argument with a
+/// usage-style message on malformed input.
+[[nodiscard]] Options parse(const std::vector<std::string>& args);
+
+/// Executes the parsed command, writing human-readable output to `out`.
+/// Returns a process exit code (0 on success).
+int run(const Options& options, std::ostream& out);
+
+/// Convenience: parse + run, converting parse errors into a usage
+/// message on `err` and exit code 2.
+int main_impl(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+
+/// The usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace actrack::cli

@@ -1,0 +1,58 @@
+// Page-granularity access traces.
+//
+// A workload iteration is described as a sequence of Phases separated by
+// barriers.  Within a phase each thread runs an ordered list of Segments;
+// a segment optionally holds a lock (critical section) and touches a set
+// of pages.  Accesses are first-touch-compressed: the DSM protocol's
+// behaviour between two synchronisation points depends only on the
+// strongest access kind per page (write dominates read) and on how many
+// bytes were written (diff size), so nothing observable is lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace actrack {
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// One page touched by one thread within one segment.
+struct PageAccess {
+  PageId page = 0;
+  AccessKind kind = AccessKind::kRead;
+  /// Distinct bytes written on this page in this interval (0 for reads).
+  /// Bounds the size of the diff the multi-writer protocol creates.
+  std::int32_t bytes_written = 0;
+};
+
+/// A run of accesses executed without intervening synchronisation, except
+/// for the optional surrounding lock.
+struct Segment {
+  /// -1 for no lock; otherwise the lock id acquired before the accesses
+  /// and released after them.
+  std::int32_t lock_id = -1;
+  /// Pure computation time attributed to this segment (µs).
+  SimTime compute_us = 0;
+  std::vector<PageAccess> accesses;
+};
+
+/// Everything one thread does within one barrier-delimited phase.
+struct ThreadPhase {
+  std::vector<Segment> segments;
+};
+
+/// One barrier-delimited phase of the whole application; the implicit
+/// barrier sits at the end of the phase.
+struct Phase {
+  std::vector<ThreadPhase> threads;  // indexed by ThreadId
+};
+
+/// A full iteration of the outer loop of an iterative application.
+struct IterationTrace {
+  std::int32_t num_threads = 0;
+  std::vector<Phase> phases;
+};
+
+}  // namespace actrack

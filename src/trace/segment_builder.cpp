@@ -1,0 +1,67 @@
+#include "trace/segment_builder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+void SegmentBuilder::read(const SharedBuffer& buffer, ByteCount byte_offset,
+                          ByteCount bytes) {
+  touch(buffer, byte_offset, bytes, /*is_write=*/false);
+}
+
+void SegmentBuilder::write(const SharedBuffer& buffer, ByteCount byte_offset,
+                           ByteCount bytes) {
+  touch(buffer, byte_offset, bytes, /*is_write=*/true);
+}
+
+void SegmentBuilder::touch(const SharedBuffer& buffer, ByteCount byte_offset,
+                           ByteCount bytes, bool is_write) {
+  if (bytes == 0) return;
+  ACTRACK_CHECK(bytes > 0);
+  ACTRACK_CHECK(byte_offset >= 0 &&
+                byte_offset + bytes <= buffer.size_bytes());
+  const PageId first = buffer.page_of(byte_offset);
+  const PageId last = buffer.page_of(byte_offset + bytes - 1);
+  for (PageId p = first; p <= last; ++p) {
+    // Bytes of this range that land on page p.
+    const ByteCount page_begin =
+        static_cast<ByteCount>(p - buffer.first_page()) * kPageSize;
+    const ByteCount page_end = page_begin + kPageSize;
+    const ByteCount lo = std::max(byte_offset, page_begin);
+    const ByteCount hi = std::min(byte_offset + bytes, page_end);
+
+    PerPage& entry = pages_[p];
+    if (is_write) {
+      entry.written = true;
+      entry.bytes_written = static_cast<std::int32_t>(
+          std::min<ByteCount>(kPageSize, entry.bytes_written + (hi - lo)));
+    }
+  }
+}
+
+Segment SegmentBuilder::take() {
+  Segment seg;
+  seg.lock_id = lock_id_;
+  seg.compute_us = compute_us_;
+  seg.accesses.reserve(pages_.size());
+  for (const auto& [page, entry] : pages_) {
+    PageAccess access;
+    access.page = page;
+    access.kind = entry.written ? AccessKind::kWrite : AccessKind::kRead;
+    access.bytes_written = entry.bytes_written;
+    seg.accesses.push_back(access);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(seg.accesses.begin(), seg.accesses.end(),
+            [](const PageAccess& a, const PageAccess& b) {
+              return a.page < b.page;
+            });
+  pages_.clear();
+  lock_id_ = -1;
+  compute_us_ = 0;
+  return seg;
+}
+
+}  // namespace actrack

@@ -1,0 +1,64 @@
+// SegmentBuilder — compresses element-level reads/writes into page-level
+// PageAccess records.
+//
+// Workload kernels walk their real array geometry (rows, blocks,
+// transpose tiles, molecule records) and call read()/write() with byte
+// ranges; the builder folds those into one PageAccess per touched page,
+// with write dominating read and written bytes accumulated (capped at the
+// page size, since a diff can never exceed one page).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "mem/address_space.hpp"
+#include "trace/access.hpp"
+
+namespace actrack {
+
+class SegmentBuilder {
+ public:
+  /// Marks [byte_offset, byte_offset+bytes) of `buffer` as read.
+  void read(const SharedBuffer& buffer, ByteCount byte_offset,
+            ByteCount bytes);
+
+  /// Marks [byte_offset, byte_offset+bytes) of `buffer` as written.
+  void write(const SharedBuffer& buffer, ByteCount byte_offset,
+             ByteCount bytes);
+
+  /// Convenience for typed arrays: element range [first, first+count).
+  void read_elems(const SharedBuffer& buffer, ByteCount elem_size,
+                  std::int64_t first, std::int64_t count) {
+    read(buffer, elem_size * first, elem_size * count);
+  }
+  void write_elems(const SharedBuffer& buffer, ByteCount elem_size,
+                   std::int64_t first, std::int64_t count) {
+    write(buffer, elem_size * first, elem_size * count);
+  }
+
+  void set_lock(std::int32_t lock_id) { lock_id_ = lock_id; }
+  void add_compute(SimTime us) { compute_us_ += us; }
+
+  /// Number of distinct pages touched so far.
+  [[nodiscard]] std::int64_t touched_pages() const noexcept {
+    return static_cast<std::int64_t>(pages_.size());
+  }
+
+  /// Finalises and returns the segment; the builder resets to empty.
+  [[nodiscard]] Segment take();
+
+ private:
+  struct PerPage {
+    bool written = false;
+    std::int32_t bytes_written = 0;
+  };
+
+  void touch(const SharedBuffer& buffer, ByteCount byte_offset,
+             ByteCount bytes, bool is_write);
+
+  std::unordered_map<PageId, PerPage> pages_;
+  std::int32_t lock_id_ = -1;
+  SimTime compute_us_ = 0;
+};
+
+}  // namespace actrack

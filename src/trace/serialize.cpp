@@ -1,0 +1,214 @@
+#include "trace/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::int64_t line, const std::string& message) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+void write_trace_file(const TraceFile& file, std::ostream& out) {
+  ACTRACK_CHECK(file.num_threads > 0);
+  ACTRACK_CHECK(file.num_pages > 0);
+  ACTRACK_CHECK(!file.iterations.empty());
+  for (const IterationTrace& trace : file.iterations) {
+    validate_trace(trace, file.num_pages);
+    ACTRACK_CHECK(trace.num_threads == file.num_threads);
+  }
+
+  out << "actrace 1\n";
+  out << "threads " << file.num_threads << " pages " << file.num_pages
+      << " iterations " << file.iterations.size() << '\n';
+  for (std::size_t iter = 0; iter < file.iterations.size(); ++iter) {
+    const IterationTrace& trace = file.iterations[iter];
+    out << "iteration " << iter << '\n';
+    for (const Phase& phase : trace.phases) {
+      out << "phase\n";
+      for (std::size_t t = 0; t < phase.threads.size(); ++t) {
+        if (phase.threads[t].segments.empty()) continue;
+        out << "thread " << t << '\n';
+        for (const Segment& seg : phase.threads[t].segments) {
+          out << "seg";
+          if (seg.lock_id >= 0) out << " lock=" << seg.lock_id;
+          if (seg.compute_us > 0) out << " compute=" << seg.compute_us;
+          out << '\n';
+          for (const PageAccess& access : seg.accesses) {
+            if (access.kind == AccessKind::kRead) {
+              out << "r " << access.page << '\n';
+            } else {
+              out << "w " << access.page << ' ' << access.bytes_written
+                  << '\n';
+            }
+          }
+        }
+      }
+    }
+  }
+  out << "end\n";
+}
+
+TraceFile read_trace_file(std::istream& in) {
+  TraceFile file;
+  std::string line;
+  std::int64_t line_no = 0;
+  std::int64_t declared_iterations = 0;
+
+  IterationTrace* trace = nullptr;
+  Phase* phase = nullptr;
+  ThreadPhase* thread = nullptr;
+  Segment* segment = nullptr;
+  bool ended = false;
+
+  const auto next_line = [&](std::string& target) {
+    while (std::getline(in, target)) {
+      ++line_no;
+      const std::size_t hash = target.find('#');
+      if (hash != std::string::npos) target.erase(hash);
+      // Skip blank lines.
+      if (target.find_first_not_of(" \t\r") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Header.
+  if (!next_line(line)) parse_fail(line_no, "empty file");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != "actrace" || version != 1) {
+      parse_fail(line_no, "expected 'actrace 1' header");
+    }
+  }
+  if (!next_line(line)) parse_fail(line_no, "missing dimensions");
+  {
+    std::istringstream dims(line);
+    std::string kw_threads, kw_pages, kw_iters;
+    dims >> kw_threads >> file.num_threads >> kw_pages >> file.num_pages >>
+        kw_iters >> declared_iterations;
+    if (!dims || kw_threads != "threads" || kw_pages != "pages" ||
+        kw_iters != "iterations" || file.num_threads <= 0 ||
+        file.num_pages <= 0 || declared_iterations <= 0) {
+      parse_fail(line_no, "expected 'threads T pages P iterations K'");
+    }
+  }
+
+  while (next_line(line)) {
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+
+    if (keyword == "iteration") {
+      std::int64_t index = -1;
+      tokens >> index;
+      if (!tokens || index != static_cast<std::int64_t>(
+                                  file.iterations.size())) {
+        parse_fail(line_no, "iterations must appear in order");
+      }
+      file.iterations.emplace_back();
+      trace = &file.iterations.back();
+      trace->num_threads = file.num_threads;
+      phase = nullptr;
+      thread = nullptr;
+      segment = nullptr;
+    } else if (keyword == "phase") {
+      if (trace == nullptr) parse_fail(line_no, "phase outside iteration");
+      trace->phases.emplace_back();
+      phase = &trace->phases.back();
+      phase->threads.resize(static_cast<std::size_t>(file.num_threads));
+      thread = nullptr;
+      segment = nullptr;
+    } else if (keyword == "thread") {
+      if (phase == nullptr) parse_fail(line_no, "thread outside phase");
+      std::int64_t t = -1;
+      tokens >> t;
+      if (!tokens || t < 0 || t >= file.num_threads) {
+        parse_fail(line_no, "bad thread id");
+      }
+      thread = &phase->threads[static_cast<std::size_t>(t)];
+      segment = nullptr;
+    } else if (keyword == "seg") {
+      if (thread == nullptr) parse_fail(line_no, "seg outside thread");
+      thread->segments.emplace_back();
+      segment = &thread->segments.back();
+      std::string attr;
+      while (tokens >> attr) {
+        if (attr.rfind("lock=", 0) == 0) {
+          segment->lock_id =
+              static_cast<std::int32_t>(std::stoll(attr.substr(5)));
+        } else if (attr.rfind("compute=", 0) == 0) {
+          segment->compute_us = std::stoll(attr.substr(8));
+        } else {
+          parse_fail(line_no, "unknown seg attribute: " + attr);
+        }
+      }
+    } else if (keyword == "r" || keyword == "w") {
+      if (segment == nullptr) parse_fail(line_no, "access outside seg");
+      PageAccess access;
+      std::int64_t page = -1;
+      tokens >> page;
+      if (!tokens || page < 0 || page >= file.num_pages) {
+        parse_fail(line_no, "bad page id");
+      }
+      access.page = static_cast<PageId>(page);
+      if (keyword == "w") {
+        std::int64_t bytes = -1;
+        tokens >> bytes;
+        if (!tokens || bytes < 0 || bytes > kPageSize) {
+          parse_fail(line_no, "bad write byte count");
+        }
+        access.kind = AccessKind::kWrite;
+        access.bytes_written = static_cast<std::int32_t>(bytes);
+      } else {
+        access.kind = AccessKind::kRead;
+      }
+      segment->accesses.push_back(access);
+    } else if (keyword == "end") {
+      ended = true;
+      break;
+    } else {
+      parse_fail(line_no, "unknown keyword: " + keyword);
+    }
+  }
+
+  if (!ended) parse_fail(line_no, "missing 'end'");
+  if (static_cast<std::int64_t>(file.iterations.size()) !=
+      declared_iterations) {
+    parse_fail(line_no, "iteration count mismatch");
+  }
+  for (const IterationTrace& t : file.iterations) {
+    validate_trace(t, file.num_pages);
+  }
+  return file;
+}
+
+void save_trace_file(const TraceFile& file, const std::string& path) {
+  std::ofstream out(path);
+  ACTRACK_CHECK_MSG(out.good(), "cannot open " + path);
+  write_trace_file(file, out);
+  ACTRACK_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+TraceFile load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  return read_trace_file(in);
+}
+
+}  // namespace actrack

@@ -1,0 +1,50 @@
+// Trace serialisation: a line-oriented text format for IterationTraces.
+//
+// The simulator consumes page-granularity access traces; everything
+// else (DSM, tracking, placement) is workload agnostic.  Serialising
+// traces lets users record the built-in applications
+// (`actrack record`), edit or generate traces with external tools, and
+// replay them through the full pipeline (`actrack replay`).
+//
+// Format (text, whitespace-delimited, '#' comments):
+//
+//   actrace 1
+//   threads <T> pages <P> iterations <K>
+//   iteration <index>
+//   phase
+//   thread <t>
+//   seg [lock=<id>] [compute=<us>]
+//   r <page>
+//   w <page> <bytes>
+//   end
+//
+// `end` closes the file.  Threads without work in a phase may simply be
+// omitted; phases are closed by the next `phase` / `iteration` marker.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace actrack {
+
+struct TraceFile {
+  std::int32_t num_threads = 0;
+  PageId num_pages = 0;
+  std::vector<IterationTrace> iterations;
+};
+
+/// Writes the trace file; throws on invalid structure.
+void write_trace_file(const TraceFile& file, std::ostream& out);
+
+/// Parses a trace file; throws std::runtime_error with a line number on
+/// malformed input, and validates every trace against `num_pages`.
+[[nodiscard]] TraceFile read_trace_file(std::istream& in);
+
+/// Convenience wrappers over std::fstream; throw on I/O failure.
+void save_trace_file(const TraceFile& file, const std::string& path);
+[[nodiscard]] TraceFile load_trace_file(const std::string& path);
+
+}  // namespace actrack

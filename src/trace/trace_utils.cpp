@@ -1,0 +1,58 @@
+#include "trace/trace_utils.hpp"
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace actrack {
+
+void validate_trace(const IterationTrace& trace, PageId num_pages) {
+  ACTRACK_CHECK(trace.num_threads > 0);
+  for (const Phase& phase : trace.phases) {
+    ACTRACK_CHECK(static_cast<std::int32_t>(phase.threads.size()) ==
+                  trace.num_threads);
+    for (const ThreadPhase& tp : phase.threads) {
+      for (const Segment& seg : tp.segments) {
+        ACTRACK_CHECK(seg.lock_id >= -1);
+        ACTRACK_CHECK(seg.compute_us >= 0);
+        for (const PageAccess& a : seg.accesses) {
+          ACTRACK_CHECK(a.page >= 0 && a.page < num_pages);
+          ACTRACK_CHECK(a.bytes_written >= 0 && a.bytes_written <= kPageSize);
+          if (a.kind == AccessKind::kRead) ACTRACK_CHECK(a.bytes_written == 0);
+        }
+      }
+    }
+  }
+}
+
+std::vector<DynamicBitset> pages_touched_per_thread(
+    const IterationTrace& trace, PageId num_pages) {
+  std::vector<DynamicBitset> result(
+      static_cast<std::size_t>(trace.num_threads), DynamicBitset(num_pages));
+  for (const Phase& phase : trace.phases) {
+    for (std::size_t t = 0; t < phase.threads.size(); ++t) {
+      for (const Segment& seg : phase.threads[t].segments) {
+        for (const PageAccess& a : seg.accesses) {
+          result[t].set(a.page);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::int64_t distinct_pages_touched(const IterationTrace& trace,
+                                    PageId num_pages) {
+  DynamicBitset all(num_pages);
+  for (const Phase& phase : trace.phases) {
+    for (const ThreadPhase& tp : phase.threads) {
+      for (const Segment& seg : tp.segments) {
+        for (const PageAccess& a : seg.accesses) {
+          all.set(a.page);
+        }
+      }
+    }
+  }
+  return all.count();
+}
+
+}  // namespace actrack

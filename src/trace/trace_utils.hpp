@@ -1,0 +1,25 @@
+// Helpers for inspecting and validating IterationTraces.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "trace/access.hpp"
+
+namespace actrack {
+
+/// Throws if the trace is malformed: phase thread lists must all have
+/// num_threads entries, page ids must be within [0, num_pages), written
+/// byte counts must fit a page, lock ids must be non-negative when set.
+void validate_trace(const IterationTrace& trace, PageId num_pages);
+
+/// Per-thread set of pages touched anywhere in the trace (the oracle
+/// access bitmaps an ideal tracker would recover).
+[[nodiscard]] std::vector<DynamicBitset> pages_touched_per_thread(
+    const IterationTrace& trace, PageId num_pages);
+
+/// Total distinct shared pages touched by any thread.
+[[nodiscard]] std::int64_t distinct_pages_touched(const IterationTrace& trace,
+                                                  PageId num_pages);
+
+}  // namespace actrack

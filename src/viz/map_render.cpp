@@ -1,0 +1,153 @@
+#include "viz/map_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// Normalised darkness of a pair: 0 = no sharing, 1 = strongest.
+double darkness(const CorrelationMatrix& m, ThreadId i, ThreadId j,
+                std::int64_t max_value, double gamma) {
+  if (max_value <= 0) return 0.0;
+  const double v =
+      static_cast<double>(std::min(m.at(i, j), max_value)) /
+      static_cast<double>(max_value);
+  return std::pow(v, gamma);
+}
+
+/// Builds the pixel grid (grey levels, 255 = white) with the requested
+/// orientation and magnification.
+std::vector<std::uint8_t> render_pixels(const CorrelationMatrix& m,
+                                        const MapRenderOptions& options,
+                                        std::int32_t& out_dim) {
+  ACTRACK_CHECK(options.scale >= 1);
+  const std::int32_t n = m.num_threads();
+  // Normalise by the strongest off-diagonal pair; the diagonal (a
+  // thread's own page count) is clamped to the same range, matching the
+  // paper's maps where the diagonal is simply the darkest shade.
+  const std::int64_t max_value = std::max<std::int64_t>(
+      m.max_off_diagonal(), 1);
+  out_dim = n * options.scale;
+  std::vector<std::uint8_t> pixels(
+      static_cast<std::size_t>(out_dim) * static_cast<std::size_t>(out_dim),
+      255);
+  for (std::int32_t y = 0; y < n; ++y) {
+    for (std::int32_t x = 0; x < n; ++x) {
+      const std::int32_t row = options.origin_lower_left ? (n - 1 - y) : y;
+      const double d = darkness(m, y, x, max_value, options.gamma);
+      const auto grey = static_cast<std::uint8_t>(
+          std::lround(255.0 * (1.0 - d)));
+      for (std::int32_t dy = 0; dy < options.scale; ++dy) {
+        for (std::int32_t dx = 0; dx < options.scale; ++dx) {
+          pixels[static_cast<std::size_t>(row * options.scale + dy) *
+                     static_cast<std::size_t>(out_dim) +
+                 static_cast<std::size_t>(x * options.scale + dx)] = grey;
+        }
+      }
+    }
+  }
+  return pixels;
+}
+
+void write_pgm_file(const std::vector<std::uint8_t>& pixels,
+                    std::int32_t dim, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  ACTRACK_CHECK_MSG(out.good(), "cannot open " + path);
+  out << "P5\n" << dim << ' ' << dim << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  ACTRACK_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+}  // namespace
+
+void write_pgm(const CorrelationMatrix& matrix, const std::string& path,
+               const MapRenderOptions& options) {
+  std::int32_t dim = 0;
+  const std::vector<std::uint8_t> pixels =
+      render_pixels(matrix, options, dim);
+  write_pgm_file(pixels, dim, path);
+}
+
+void write_pgm_with_zones(const CorrelationMatrix& matrix,
+                          const Placement& placement, const std::string& path,
+                          const MapRenderOptions& options) {
+  ACTRACK_CHECK(placement.num_threads() == matrix.num_threads());
+  std::int32_t dim = 0;
+  std::vector<std::uint8_t> pixels = render_pixels(matrix, options, dim);
+
+  const std::int32_t n = matrix.num_threads();
+  auto flip_pixel = [&](std::int32_t y, std::int32_t x) {
+    const std::int32_t row = options.origin_lower_left ? (n - 1 - y) : y;
+    for (std::int32_t dy = 0; dy < options.scale; ++dy) {
+      for (std::int32_t dx = 0; dx < options.scale; ++dx) {
+        auto& p = pixels[static_cast<std::size_t>(row * options.scale + dy) *
+                             static_cast<std::size_t>(dim) +
+                         static_cast<std::size_t>(x * options.scale + dx)];
+        // Mid-grey marker: distinguishable on both dark and light cells.
+        p = static_cast<std::uint8_t>(p < 128 ? 200 : 90);
+      }
+    }
+  };
+
+  // Outline each same-node block: a pair (y,x) is on the border of its
+  // free zone if it is same-node but one of its 4-neighbours is not.
+  for (std::int32_t y = 0; y < n; ++y) {
+    for (std::int32_t x = 0; x < n; ++x) {
+      if (placement.node_of(y) != placement.node_of(x)) continue;
+      bool border = (y == 0 || x == 0 || y == n - 1 || x == n - 1);
+      for (const auto& [ny, nx] : {std::pair{y - 1, x}, std::pair{y + 1, x},
+                                   std::pair{y, x - 1}, std::pair{y, x + 1}}) {
+        if (ny < 0 || nx < 0 || ny >= n || nx >= n) continue;
+        if (placement.node_of(ny) != placement.node_of(nx)) border = true;
+      }
+      if (border) flip_pixel(y, x);
+    }
+  }
+  write_pgm_file(pixels, dim, path);
+}
+
+std::string ascii_map(const CorrelationMatrix& matrix,
+                      std::int32_t max_width) {
+  ACTRACK_CHECK(max_width >= 2);
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::int32_t kLevels = 10;
+
+  const std::int32_t n = matrix.num_threads();
+  const std::int32_t step = (n + max_width - 1) / max_width;
+  const std::int32_t cells = (n + step - 1) / step;
+  const std::int64_t max_value =
+      std::max<std::int64_t>(matrix.max_off_diagonal(), 1);
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(cells) *
+              static_cast<std::size_t>(cells + 1));
+  for (std::int32_t cy = cells - 1; cy >= 0; --cy) {  // origin lower left
+    for (std::int32_t cx = 0; cx < cells; ++cx) {
+      // Average darkness over the cell.
+      double total = 0;
+      std::int32_t count = 0;
+      for (std::int32_t y = cy * step; y < std::min(n, (cy + 1) * step); ++y) {
+        for (std::int32_t x = cx * step; x < std::min(n, (cx + 1) * step);
+             ++x) {
+          total += darkness(matrix, y, x, max_value, 0.45);
+          ++count;
+        }
+      }
+      const double d = (count > 0) ? total / count : 0.0;
+      const auto level = static_cast<std::int32_t>(d * (kLevels - 1) + 0.5);
+      out.push_back(kRamp[std::clamp(level, 0, kLevels - 1)]);
+      out.push_back(kRamp[std::clamp(level, 0, kLevels - 1)]);  // aspect
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace actrack

@@ -1,0 +1,43 @@
+// Correlation-map rendering (paper §3, Table 3/4, Figure 3).
+//
+// Correlation maps are n×n grids in which darker points mean more pages
+// shared between the two threads at that coordinate; the paper draws
+// them with the origin in the lower left.  We emit binary PGM (P5)
+// images — one pixel per thread pair, optionally magnified — plus an
+// ASCII rendering for terminals, and Figure 3's variant that outlines
+// the "free zones" (same-node thread pairs) of a placement.
+#pragma once
+
+#include <string>
+
+#include "correlation/matrix.hpp"
+#include "placement/placement.hpp"
+
+namespace actrack {
+
+struct MapRenderOptions {
+  /// Pixel magnification (each thread pair becomes scale×scale pixels).
+  std::int32_t scale = 4;
+  /// Gamma < 1 boosts faint sharing, as the paper's shading does.
+  double gamma = 0.45;
+  /// Paper convention: thread (0,0) at the lower left.
+  bool origin_lower_left = true;
+};
+
+/// Writes the map as a binary PGM (P5) image.  Throws on I/O failure.
+void write_pgm(const CorrelationMatrix& matrix, const std::string& path,
+               const MapRenderOptions& options = {});
+
+/// Figure 3 rendering: like write_pgm, but thread pairs placed on the
+/// same node (the free zones, where sharing costs nothing) are outlined
+/// by inverting the border pixels of each same-node block.
+void write_pgm_with_zones(const CorrelationMatrix& matrix,
+                          const Placement& placement, const std::string& path,
+                          const MapRenderOptions& options = {});
+
+/// ASCII rendering with a density ramp, downsampled to at most
+/// `max_width` columns; origin lower left.
+[[nodiscard]] std::string ascii_map(const CorrelationMatrix& matrix,
+                                    std::int32_t max_width = 64);
+
+}  // namespace actrack

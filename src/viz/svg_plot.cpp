@@ -1,0 +1,161 @@
+#include "viz/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+constexpr int kWidth = 640;
+constexpr int kHeight = 440;
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 50;
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#9467bd", "#ff7f0e", "#8c564b",
+                                    "#17becf", "#7f7f7f", "#bcbd22",
+                                    "#e377c2"};
+
+/// "Nice" rounded tick step covering `span` in roughly `target` steps.
+double nice_step(double span, int target) {
+  if (span <= 0) return 1.0;
+  const double raw = span / target;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  for (const double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= mult * magnitude) return mult * magnitude;
+  }
+  return 10.0 * magnitude;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 10000 || (std::abs(v) < 0.01 && v != 0.0)) {
+    os.precision(2);
+    os << std::scientific << v;
+  } else {
+    os.precision(6);
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgPlot::add_series(SvgSeries series) {
+  ACTRACK_CHECK(!series.x.empty());
+  ACTRACK_CHECK(series.x.size() == series.y.size());
+  series_.push_back(std::move(series));
+}
+
+std::string SvgPlot::render() const {
+  ACTRACK_CHECK_MSG(!series_.empty(), "plot has no series");
+
+  double min_x = series_[0].x[0], max_x = min_x;
+  double min_y = series_[0].y[0], max_y = min_y;
+  for (const SvgSeries& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      min_x = std::min(min_x, s.x[i]);
+      max_x = std::max(max_x, s.x[i]);
+      min_y = std::min(min_y, s.y[i]);
+      max_y = std::max(max_y, s.y[i]);
+    }
+  }
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  const double plot_w = kWidth - kMarginLeft - kMarginRight;
+  const double plot_h = kHeight - kMarginTop - kMarginBottom;
+  const auto sx = [&](double v) {
+    return kMarginLeft + (v - min_x) / (max_x - min_x) * plot_w;
+  };
+  const auto sy = [&](double v) {
+    return kHeight - kMarginBottom - (v - min_y) / (max_y - min_y) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << kWidth
+      << "' height='" << kHeight << "' font-family='sans-serif'>\n";
+  svg << "<rect width='100%' height='100%' fill='white'/>\n";
+  svg << "<text x='" << kWidth / 2 << "' y='22' text-anchor='middle' "
+      << "font-size='15'>" << title_ << "</text>\n";
+
+  // Axes with ticks and grid lines.
+  const double x_step = nice_step(max_x - min_x, 6);
+  for (double v = std::ceil(min_x / x_step) * x_step; v <= max_x + 1e-9;
+       v += x_step) {
+    svg << "<line x1='" << sx(v) << "' y1='" << kMarginTop << "' x2='"
+        << sx(v) << "' y2='" << kHeight - kMarginBottom
+        << "' stroke='#dddddd'/>\n";
+    svg << "<text x='" << sx(v) << "' y='" << kHeight - kMarginBottom + 16
+        << "' text-anchor='middle' font-size='10'>" << fmt(v) << "</text>\n";
+  }
+  const double y_step = nice_step(max_y - min_y, 6);
+  for (double v = std::ceil(min_y / y_step) * y_step; v <= max_y + 1e-9;
+       v += y_step) {
+    svg << "<line x1='" << kMarginLeft << "' y1='" << sy(v) << "' x2='"
+        << kWidth - kMarginRight << "' y2='" << sy(v)
+        << "' stroke='#dddddd'/>\n";
+    svg << "<text x='" << kMarginLeft - 6 << "' y='" << sy(v) + 3
+        << "' text-anchor='end' font-size='10'>" << fmt(v) << "</text>\n";
+  }
+  svg << "<line x1='" << kMarginLeft << "' y1='" << kHeight - kMarginBottom
+      << "' x2='" << kWidth - kMarginRight << "' y2='"
+      << kHeight - kMarginBottom << "' stroke='black'/>\n";
+  svg << "<line x1='" << kMarginLeft << "' y1='" << kMarginTop << "' x2='"
+      << kMarginLeft << "' y2='" << kHeight - kMarginBottom
+      << "' stroke='black'/>\n";
+  svg << "<text x='" << kWidth / 2 << "' y='" << kHeight - 12
+      << "' text-anchor='middle' font-size='12'>" << x_label_
+      << "</text>\n";
+  svg << "<text x='16' y='" << kHeight / 2
+      << "' text-anchor='middle' font-size='12' transform='rotate(-90 16 "
+      << kHeight / 2 << ")'>" << y_label_ << "</text>\n";
+
+  // Series.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const SvgSeries& series = series_[s];
+    const char* colour = kPalette[s % (sizeof(kPalette) / sizeof(char*))];
+    if (series.connect) {
+      svg << "<polyline fill='none' stroke='" << colour
+          << "' stroke-width='1.5' points='";
+      for (std::size_t i = 0; i < series.x.size(); ++i) {
+        svg << sx(series.x[i]) << ',' << sy(series.y[i]) << ' ';
+      }
+      svg << "'/>\n";
+    }
+    for (std::size_t i = 0; i < series.x.size(); ++i) {
+      svg << "<circle cx='" << sx(series.x[i]) << "' cy='"
+          << sy(series.y[i]) << "' r='2.4' fill='" << colour << "'/>\n";
+    }
+    // Legend entry.
+    const double ly = kMarginTop + 14.0 * static_cast<double>(s);
+    svg << "<rect x='" << kWidth - kMarginRight - 120 << "' y='" << ly
+        << "' width='10' height='10' fill='" << colour << "'/>\n";
+    svg << "<text x='" << kWidth - kMarginRight - 106 << "' y='" << ly + 9
+        << "' font-size='10'>" << series.label << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void SvgPlot::write(const std::string& path) const {
+  std::ofstream out(path);
+  ACTRACK_CHECK_MSG(out.good(), "cannot open " + path);
+  out << render();
+  ACTRACK_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+}  // namespace actrack

@@ -1,0 +1,44 @@
+// Minimal SVG chart writer for the paper's figures.
+//
+// Figure 1 is a per-application scatter of remote misses against cut
+// cost; Figure 2 is a line chart of information completeness against
+// migration round.  SvgPlot renders either from raw series — no
+// external dependencies, deterministic output, easily diffed in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace actrack {
+
+struct SvgSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  /// Draw straight segments between consecutive points (Figure 2
+  /// style); otherwise points only (Figure 1 style).
+  bool connect = false;
+};
+
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a data series; colours are assigned from a fixed palette in
+  /// insertion order.  Series must be non-empty and x/y equal length.
+  void add_series(SvgSeries series);
+
+  /// Renders the complete SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to `path`; throws on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<SvgSeries> series_;
+};
+
+}  // namespace actrack

@@ -1,0 +1,126 @@
+// Tests of the adaptive controller and the drifting workload (§7
+// future work: "thread migration on adaptive, irregular codes").
+#include <gtest/gtest.h>
+
+#include "apps/drifting.hpp"
+#include "runtime/adaptive.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(DriftingWorkload, PatternConstantWithinEpoch) {
+  DriftingWorkload w(16, /*period=*/4, /*shift=*/3);
+  const auto a = pages_touched_per_thread(w.iteration(1), w.num_pages());
+  const auto b = pages_touched_per_thread(w.iteration(3), w.num_pages());
+  const auto c = pages_touched_per_thread(w.iteration(4), w.num_pages());
+  const auto d = pages_touched_per_thread(w.iteration(7), w.num_pages());
+  EXPECT_EQ(a, b);  // iterations 1 and 3 share epoch 0
+  EXPECT_EQ(c, d);  // iterations 4 and 7 share epoch 1
+  EXPECT_NE(a, c);  // epochs differ
+}
+
+TEST(DriftingWorkload, PatternShiftsAcrossEpochs) {
+  DriftingWorkload w(16, /*period=*/4, /*shift=*/3);
+  const auto early = pages_touched_per_thread(w.iteration(1), w.num_pages());
+  const auto late = pages_touched_per_thread(w.iteration(9), w.num_pages());
+  EXPECT_NE(early, late);
+}
+
+TEST(DriftingWorkload, EpochArithmetic) {
+  DriftingWorkload w(8, 8, 5);
+  EXPECT_EQ(w.epoch_of(0), 0);
+  EXPECT_EQ(w.epoch_of(7), 0);
+  EXPECT_EQ(w.epoch_of(8), 1);
+  EXPECT_EQ(w.epoch_of(17), 2);
+}
+
+TEST(AdaptiveController, FirstStepTracksAndMigrates) {
+  DriftingWorkload w(16, 8, 5);
+  ClusterRuntime runtime(w, Placement::stretch(16, 4));
+  AdaptiveController controller(&runtime);
+  const AdaptiveStep step = controller.step();
+  EXPECT_TRUE(step.tracked);
+  EXPECT_EQ(controller.tracked_iterations(), 1);
+}
+
+TEST(AdaptiveController, StableWorkloadTracksOnlyOnce) {
+  // Ring sharing never changes: after the initial track, the miss rate
+  // stays at baseline and no further tracking happens.
+  DriftingWorkload w(16, /*period=*/1000000, /*shift=*/1);
+  ClusterRuntime runtime(w, Placement::stretch(16, 4));
+  AdaptiveController controller(&runtime);
+  controller.run(20);
+  EXPECT_EQ(controller.tracked_iterations(), 1);
+}
+
+TEST(AdaptiveController, DriftTriggersRetracking) {
+  DriftingWorkload w(16, /*period=*/8, /*shift=*/5);
+  ClusterRuntime runtime(w, Placement::stretch(16, 4));
+  AdaptivePolicy policy;
+  policy.degradation_factor = 1.3;
+  AdaptiveController controller(&runtime, policy);
+  controller.run(32);  // four drift epochs
+  EXPECT_GT(controller.tracked_iterations(), 1);
+  EXPECT_GT(controller.migrations(), 1);
+}
+
+TEST(AdaptiveController, CooldownBoundsTrackingFrequency) {
+  DriftingWorkload w(16, /*period=*/2, /*shift=*/7);  // drifts violently
+  ClusterRuntime runtime(w, Placement::stretch(16, 4));
+  AdaptivePolicy policy;
+  policy.cooldown_iterations = 5;
+  AdaptiveController controller(&runtime, policy);
+  controller.run(24);
+  // At most one track per cooldown window (plus the initial one).
+  EXPECT_LE(controller.tracked_iterations(), 1 + 24 / 5);
+}
+
+TEST(AdaptiveController, BeatsStaticPlacementOnDriftingWorkload) {
+  constexpr std::int32_t kIters = 40;
+
+  // Static: one initial track + migration, then nothing.
+  DriftingWorkload w_static(16, 8, 5);
+  ClusterRuntime static_rt(w_static, Placement::stretch(16, 4));
+  AdaptivePolicy static_policy;
+  static_policy.degradation_factor = 1e18;  // never re-track
+  AdaptiveController static_ctl(&static_rt, static_policy);
+  std::int64_t static_misses = 0;
+  for (const AdaptiveStep& step : static_ctl.run(kIters)) {
+    static_misses += step.remote_misses;
+  }
+
+  // Adaptive: re-track when the miss rate degrades.
+  DriftingWorkload w_adapt(16, 8, 5);
+  ClusterRuntime adapt_rt(w_adapt, Placement::stretch(16, 4));
+  AdaptiveController adapt_ctl(&adapt_rt);
+  std::int64_t adaptive_misses = 0;
+  for (const AdaptiveStep& step : adapt_ctl.run(kIters)) {
+    adaptive_misses += step.remote_misses;
+  }
+
+  EXPECT_LT(adaptive_misses, static_misses);
+  EXPECT_GT(adapt_ctl.migrations(), static_ctl.migrations());
+}
+
+TEST(AdaptiveController, AgedEstimateFollowsTheDrift) {
+  DriftingWorkload w(16, 8, 5);
+  ClusterRuntime runtime(w, Placement::stretch(16, 4));
+  AdaptivePolicy policy;
+  policy.degradation_factor = 1.3;
+  policy.aging_alpha = 0.9;
+  AdaptiveController controller(&runtime, policy);
+  controller.run(32);
+  ASSERT_GT(controller.tracked_iterations(), 1);
+  // With aggressive aging, the original epoch-0 partner (thread 1) must
+  // have decayed below some later epoch's partner.
+  const double original = controller.correlation().estimate(0, 1);
+  double best_other = 0.0;
+  for (ThreadId u = 2; u < 16; ++u) {
+    best_other = std::max(best_other, controller.correlation().estimate(0, u));
+  }
+  EXPECT_GT(best_other, original);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,75 @@
+#include "mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+TEST(AddressSpace, StartsEmpty) {
+  AddressSpace space;
+  EXPECT_EQ(space.page_count(), 0);
+  EXPECT_TRUE(space.allocations().empty());
+}
+
+TEST(AddressSpace, AllocationsArePageAligned) {
+  AddressSpace space;
+  const SharedBuffer a = space.allocate(100, "a");       // 1 page
+  const SharedBuffer b = space.allocate(kPageSize, "b"); // 1 page
+  const SharedBuffer c = space.allocate(kPageSize + 1, "c");  // 2 pages
+  EXPECT_EQ(a.first_page(), 0);
+  EXPECT_EQ(b.first_page(), 1);
+  EXPECT_EQ(c.first_page(), 2);
+  EXPECT_EQ(space.page_count(), 4);
+}
+
+TEST(AddressSpace, PageCountRoundsUp) {
+  EXPECT_EQ(SharedBuffer(0, 1).page_count(), 1);
+  EXPECT_EQ(SharedBuffer(0, kPageSize).page_count(), 1);
+  EXPECT_EQ(SharedBuffer(0, kPageSize + 1).page_count(), 2);
+  EXPECT_EQ(SharedBuffer(0, 10 * kPageSize).page_count(), 10);
+}
+
+TEST(AddressSpace, PageOfMapsOffsetsCorrectly) {
+  AddressSpace space;
+  space.allocate(2 * kPageSize, "pad");
+  const SharedBuffer buf = space.allocate(3 * kPageSize, "buf");
+  EXPECT_EQ(buf.page_of(0), 2);
+  EXPECT_EQ(buf.page_of(kPageSize - 1), 2);
+  EXPECT_EQ(buf.page_of(kPageSize), 3);
+  EXPECT_EQ(buf.page_of(3 * kPageSize - 1), 4);
+  EXPECT_EQ(buf.end_page(), 5);
+}
+
+TEST(AddressSpace, PageOfOutOfRangeThrows) {
+  AddressSpace space;
+  const SharedBuffer buf = space.allocate(kPageSize, "buf");
+  EXPECT_THROW((void)buf.page_of(kPageSize), std::logic_error);
+  EXPECT_THROW((void)buf.page_of(-1), std::logic_error);
+}
+
+TEST(AddressSpace, RejectsEmptyAllocation) {
+  AddressSpace space;
+  EXPECT_THROW((void)space.allocate(0, "zero"), std::logic_error);
+  EXPECT_THROW((void)space.allocate(-4, "neg"), std::logic_error);
+}
+
+TEST(AddressSpace, RecordsAllocationNames) {
+  AddressSpace space;
+  space.allocate(10, "grid");
+  space.allocate(20, "globals");
+  ASSERT_EQ(space.allocations().size(), 2u);
+  EXPECT_EQ(space.allocations()[0].name, "grid");
+  EXPECT_EQ(space.allocations()[1].name, "globals");
+}
+
+TEST(AddressSpace, Table1PageCountScale) {
+  // The SOR configuration of Table 1: a 2048x2048 float grid occupies
+  // exactly 4096 pages.
+  AddressSpace space;
+  const SharedBuffer grid =
+      space.allocate(ByteCount{2048} * 2048 * 4, "grid");
+  EXPECT_EQ(grid.page_count(), 4096);
+}
+
+}  // namespace
+}  // namespace actrack

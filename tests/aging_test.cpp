@@ -1,0 +1,76 @@
+#include "correlation/aging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+CorrelationMatrix uniform(std::int32_t n, std::int64_t value) {
+  CorrelationMatrix m(n);
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i; j < n; ++j) m.set(i, j, value);
+  }
+  return m;
+}
+
+TEST(AgedCorrelation, FirstObservationSeedsOutright) {
+  AgedCorrelation aged(4, 0.25);
+  aged.observe(uniform(4, 100));
+  EXPECT_EQ(aged.observations(), 1);
+  EXPECT_DOUBLE_EQ(aged.estimate(0, 1), 100.0);
+  EXPECT_EQ(aged.snapshot().at(0, 1), 100);
+}
+
+TEST(AgedCorrelation, BlendsWithAlpha) {
+  AgedCorrelation aged(4, 0.5);
+  aged.observe(uniform(4, 100));
+  aged.observe(uniform(4, 0));
+  EXPECT_DOUBLE_EQ(aged.estimate(0, 1), 50.0);
+  aged.observe(uniform(4, 0));
+  EXPECT_DOUBLE_EQ(aged.estimate(0, 1), 25.0);
+}
+
+TEST(AgedCorrelation, AlphaOneForgetsHistory) {
+  AgedCorrelation aged(4, 1.0);
+  aged.observe(uniform(4, 100));
+  aged.observe(uniform(4, 7));
+  EXPECT_EQ(aged.snapshot().at(2, 3), 7);
+}
+
+TEST(AgedCorrelation, StaleAffinityDecaysToZero) {
+  AgedCorrelation aged(2, 0.5);
+  aged.observe(uniform(2, 64));
+  for (int i = 0; i < 20; ++i) aged.observe(uniform(2, 0));
+  EXPECT_EQ(aged.snapshot().at(0, 1), 0);
+}
+
+TEST(AgedCorrelation, SnapshotRoundsToNearest) {
+  AgedCorrelation aged(2, 0.5);
+  aged.observe(uniform(2, 3));
+  aged.observe(uniform(2, 0));  // estimate 1.5 → rounds to 2
+  EXPECT_EQ(aged.snapshot().at(0, 1), 2);
+}
+
+TEST(AgedCorrelation, TracksPairsIndependently) {
+  AgedCorrelation aged(3, 0.5);
+  CorrelationMatrix a(3);
+  a.set(0, 1, 10);
+  CorrelationMatrix b(3);
+  b.set(1, 2, 20);
+  aged.observe(a);
+  aged.observe(b);
+  EXPECT_DOUBLE_EQ(aged.estimate(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(aged.estimate(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(aged.estimate(0, 2), 0.0);
+}
+
+TEST(AgedCorrelation, RejectsBadParameters) {
+  EXPECT_THROW(AgedCorrelation(0, 0.5), std::logic_error);
+  EXPECT_THROW(AgedCorrelation(4, 0.0), std::logic_error);
+  EXPECT_THROW(AgedCorrelation(4, 1.5), std::logic_error);
+  AgedCorrelation aged(4, 0.5);
+  EXPECT_THROW(aged.observe(uniform(5, 1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack

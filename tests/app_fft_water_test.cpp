@@ -1,0 +1,190 @@
+// Deep structural tests for the FFT and Water workload models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/fft.hpp"
+#include "apps/water.hpp"
+#include "correlation/matrix.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+CorrelationMatrix matrix_of(const Workload& w, std::int32_t iter = 1) {
+  return CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(iter), w.num_pages()));
+}
+
+// ---------------------------------------------------------------------
+// FFT
+
+TEST(FftModel, FivePhaseSixStepStructure) {
+  const auto w = FftWorkload::fft6(16);
+  EXPECT_EQ(w->iteration(1).phases.size(), 5u);
+}
+
+TEST(FftModel, FootprintScalesWithInput) {
+  const std::int64_t p6 = FftWorkload::fft6(64)->num_pages();
+  const std::int64_t p7 = FftWorkload::fft7(64)->num_pages();
+  const std::int64_t p8 = FftWorkload::fft8(64)->num_pages();
+  EXPECT_NEAR(static_cast<double>(p7) / static_cast<double>(p6), 2.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(p8) / static_cast<double>(p7), 2.0, 0.05);
+}
+
+TEST(FftModel, RowGroupClustersAt64Threads) {
+  const auto w = FftWorkload::fft6(64);
+  const CorrelationMatrix m = matrix_of(*w);
+  // Grid rows are 8 consecutive tiles: 0..7 exchange patches.
+  EXPECT_GT(m.at(0, 7), m.at(0, 9));
+  EXPECT_GT(m.at(56, 63), m.at(56, 62 - 8));
+}
+
+TEST(FftModel, ColumnGroupBandsAtStrideEight) {
+  const auto w = FftWorkload::fft6(64);
+  const CorrelationMatrix m = matrix_of(*w);
+  EXPECT_GT(m.at(0, 8), m.at(0, 9));
+  EXPECT_GT(m.at(0, 56), m.at(0, 57));
+}
+
+TEST(FftModel, ClustersShrinkAt32Threads) {
+  // §3.1.1: 32- and 64-thread FFT reflect sharing blocks of four and
+  // eight threads respectively.
+  const auto w = FftWorkload::fft6(32);
+  const CorrelationMatrix m = matrix_of(*w);
+  EXPECT_GT(m.at(0, 3), m.at(0, 5));  // row groups are 4 wide
+}
+
+TEST(FftModel, Fft7HasFourThreadRowGroups) {
+  const auto w = FftWorkload::fft7(64);
+  const CorrelationMatrix m = matrix_of(*w);
+  EXPECT_GT(m.at(0, 3), m.at(0, 5));
+  EXPECT_GT(m.at(4, 7), m.at(4, 8 + 1));
+}
+
+TEST(FftModel, Fft8AllPairsShareEqually) {
+  const auto w = FftWorkload::fft8(64);
+  const CorrelationMatrix m = matrix_of(*w);
+  // Pc == 1: the transpose group is everyone; correlations should be
+  // uniform across all pairs (roots background included).
+  const std::int64_t reference = m.at(0, 1);
+  std::int64_t lo = reference, hi = reference;
+  for (ThreadId i = 0; i < 64; ++i) {
+    for (ThreadId j = i + 1; j < 64; ++j) {
+      lo = std::min(lo, m.at(i, j));
+      hi = std::max(hi, m.at(i, j));
+    }
+  }
+  EXPECT_GT(lo, 0);
+  EXPECT_LE(hi - lo, reference);  // within 2x band: "uniform"
+}
+
+TEST(FftModel, FortyEightThreadsAreUnbalanced) {
+  // §3.1.1: power-of-two pencil counts cannot balance on 48 threads:
+  // some threads own two tiles, some one.
+  const auto w = FftWorkload::fft6(48);
+  const auto touched = pages_touched_per_thread(w->iteration(1),
+                                                w->num_pages());
+  std::int64_t lo = touched[0].count(), hi = lo;
+  for (const auto& bitmap : touched) {
+    lo = std::min(lo, bitmap.count());
+    hi = std::max(hi, bitmap.count());
+  }
+  EXPECT_GT(hi, 3 * lo / 2);  // visibly uneven
+}
+
+TEST(FftModel, InitCoversDataArray) {
+  const auto w = FftWorkload::fft6(16);
+  // The x array (first allocation) must be fully written at init.
+  const auto touched = pages_touched_per_thread(w->iteration(0),
+                                                w->num_pages());
+  DynamicBitset all(w->num_pages());
+  for (const auto& bitmap : touched) all.merge(bitmap);
+  const auto& x = w->address_space().allocations()[0].buffer;
+  for (PageId p = x.first_page(); p < x.end_page(); ++p) {
+    EXPECT_TRUE(all.test(p)) << "x page " << p << " not initialised";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Water
+
+TEST(WaterModel, PageBudgetExactly44) {
+  WaterWorkload w(64);
+  EXPECT_EQ(w.num_pages(), 44);
+}
+
+TEST(WaterModel, FourPhasesWithLocks) {
+  WaterWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  EXPECT_EQ(trace.phases.size(), 4u);
+  // Global-sum lock segments exist in phases 2 and 4.
+  bool phase1_lock = false, phase3_lock = false;
+  for (const Segment& seg : trace.phases[1].threads[0].segments) {
+    if (seg.lock_id >= 0) phase1_lock = true;
+  }
+  for (const Segment& seg : trace.phases[3].threads[0].segments) {
+    if (seg.lock_id >= 0) phase3_lock = true;
+  }
+  EXPECT_TRUE(phase1_lock);
+  EXPECT_TRUE(phase3_lock);
+}
+
+TEST(WaterModel, HalfShellDistanceCurve) {
+  WaterWorkload w(64);
+  const CorrelationMatrix m = matrix_of(w);
+  // Monotone decrease out to half the ring, then increase: sample a
+  // few distances.
+  EXPECT_GE(m.at(0, 4), m.at(0, 16));
+  EXPECT_GE(m.at(0, 16), m.at(0, 31));
+  EXPECT_GE(m.at(0, 60), m.at(0, 40));
+  EXPECT_GT(m.at(0, 63), 0);  // wraparound neighbour shares
+}
+
+TEST(WaterModel, ShellWrapsAroundTheRing) {
+  WaterWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  // The last thread's interf shell must wrap to molecule 0's pages.
+  DynamicBitset pages(w.num_pages());
+  for (const Segment& seg : trace.phases[2].threads[15].segments) {
+    for (const PageAccess& access : seg.accesses) pages.set(access.page);
+  }
+  EXPECT_TRUE(pages.test(0));  // first molecule page
+}
+
+TEST(WaterModel, EveryThreadAccumulatesIntoGlobalSums) {
+  WaterWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  const PageId sums_page =
+      w.address_space().allocations()[1].buffer.first_page();
+  for (const ThreadPhase& tp : trace.phases[1].threads) {
+    bool touches_sums = false;
+    for (const Segment& seg : tp.segments) {
+      for (const PageAccess& access : seg.accesses) {
+        if (access.page == sums_page) touches_sums = true;
+      }
+    }
+    EXPECT_TRUE(touches_sums);
+  }
+}
+
+TEST(WaterModel, RegionLockIdsAreBounded) {
+  WaterWorkload w(64);
+  const IterationTrace trace = w.iteration(1);
+  for (const Phase& phase : trace.phases) {
+    for (const ThreadPhase& tp : phase.threads) {
+      for (const Segment& seg : tp.segments) {
+        EXPECT_LE(seg.lock_id, 16);  // 16 region locks + global lock
+      }
+    }
+  }
+}
+
+TEST(WaterModel, UnevenThreadCountsCoverAllMolecules) {
+  WaterWorkload w(48);  // 512 % 48 != 0
+  EXPECT_EQ(distinct_pages_touched(w.iteration(0), w.num_pages()),
+            w.num_pages());
+}
+
+}  // namespace
+}  // namespace actrack

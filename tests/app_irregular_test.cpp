@@ -1,0 +1,201 @@
+// Deep structural tests for the irregular / lock-using workload models:
+// Barnes, Ocean, Spatial.
+#include <gtest/gtest.h>
+
+#include "apps/barnes.hpp"
+#include "apps/ocean.hpp"
+#include "apps/spatial.hpp"
+#include "correlation/matrix.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+CorrelationMatrix matrix_of(const Workload& w, std::int32_t iter = 1) {
+  return CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(iter), w.num_pages()));
+}
+
+// ---------------------------------------------------------------------
+// Barnes
+
+TEST(BarnesModel, PageBudgetExactly251) {
+  BarnesWorkload w(64);
+  EXPECT_EQ(w.num_pages(), 251);
+}
+
+TEST(BarnesModel, TreeBuildForcesUpdatePhases) {
+  BarnesWorkload w(16);
+  EXPECT_EQ(w.iteration(1).phases.size(), 3u);
+}
+
+TEST(BarnesModel, EveryThreadWalksTheTopCells) {
+  BarnesWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  const PageId top_cells =
+      w.address_space().allocations()[1].buffer.first_page();
+  for (const ThreadPhase& tp : trace.phases[1].threads) {
+    bool reads_top = false;
+    for (const Segment& seg : tp.segments) {
+      for (const PageAccess& access : seg.accesses) {
+        if (access.page == top_cells) reads_top = true;
+      }
+    }
+    EXPECT_TRUE(reads_top);
+  }
+}
+
+TEST(BarnesModel, NeighbourBodySharingDecaysWithDistance) {
+  BarnesWorkload w(64);
+  const CorrelationMatrix m = matrix_of(w);
+  // Body sharing decays with spatial distance; the shared cell array
+  // gives all pairs a common baseline, so compare neighbours against
+  // that baseline rather than zero.
+  EXPECT_GT(m.at(30, 31), m.at(30, 40));
+}
+
+TEST(BarnesModel, LocksOnAllocationAndEnergy) {
+  BarnesWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  std::set<std::int32_t> lock_ids;
+  for (const Phase& phase : trace.phases) {
+    for (const ThreadPhase& tp : phase.threads) {
+      for (const Segment& seg : tp.segments) {
+        if (seg.lock_id >= 0) lock_ids.insert(seg.lock_id);
+      }
+    }
+  }
+  EXPECT_EQ(lock_ids.size(), 2u);
+}
+
+TEST(BarnesModel, IrregularSampleIsDeterministicPerIteration) {
+  BarnesWorkload w(16);
+  const auto a = pages_touched_per_thread(w.iteration(3), w.num_pages());
+  const auto b = pages_touched_per_thread(w.iteration(3), w.num_pages());
+  EXPECT_EQ(a, b);
+  const auto c = pages_touched_per_thread(w.iteration(4), w.num_pages());
+  EXPECT_NE(a, c);
+}
+
+// ---------------------------------------------------------------------
+// Ocean
+
+TEST(OceanModel, PageBudgetExactly3191) {
+  OceanWorkload w(64);
+  EXPECT_EQ(w.num_pages(), 3191);
+}
+
+TEST(OceanModel, BandsAreFullyConnectedClusters) {
+  OceanWorkload w(64);
+  const CorrelationMatrix m = matrix_of(w);
+  // Threads 0..7 share band 0 of every grid; thread 8 starts band 1.
+  EXPECT_GT(m.at(0, 7), 2 * m.at(0, 17));
+  EXPECT_GT(m.at(0, 8), m.at(0, 17));  // vertical halo coupling
+}
+
+TEST(OceanModel, BlockSizeGrowsWithThreads) {
+  // §3: "Increasing the number of threads increases the size of these
+  // blocks, but not their count" — 8 bands at every thread count.
+  OceanWorkload w32(32);
+  const CorrelationMatrix m32 = matrix_of(w32);
+  // At 32 threads bands are 4 wide: 0..3 together, 4 in the next band.
+  EXPECT_GT(m32.at(0, 3), 2 * m32.at(0, 9));
+}
+
+TEST(OceanModel, CoarseGridsReadByEveryone) {
+  OceanWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  const PageId coarse =
+      w.address_space().allocations()[24].buffer.first_page();
+  std::int32_t readers = 0;
+  for (const ThreadPhase& tp : trace.phases[4].threads) {
+    for (const Segment& seg : tp.segments) {
+      for (const PageAccess& access : seg.accesses) {
+        if (access.page == coarse) {
+          ++readers;
+          goto next_thread;
+        }
+      }
+    }
+  next_thread:;
+  }
+  EXPECT_EQ(readers, 16);
+}
+
+TEST(OceanModel, ReductionLockInFinalPhase) {
+  OceanWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  bool has_lock = false;
+  for (const Segment& seg : trace.phases.back().threads[3].segments) {
+    if (seg.lock_id >= 0) has_lock = true;
+  }
+  EXPECT_TRUE(has_lock);
+}
+
+// ---------------------------------------------------------------------
+// Spatial
+
+TEST(SpatialModel, PageBudgetNearPaper) {
+  SpatialWorkload w(64);
+  EXPECT_NEAR(w.num_pages(), 569, 40);
+}
+
+TEST(SpatialModel, SlabGroupsScaleWithThreadCountSquared) {
+  // §3.1.1: the slab phase's groups go from 8 blocks of 4 at 32 threads
+  // to 4 blocks of 16 at 64 threads.
+  SpatialWorkload w32(32);
+  const CorrelationMatrix m32 = matrix_of(w32);
+  EXPECT_GT(m32.at(0, 3), m32.at(0, 6));   // 4-wide at 32
+
+  SpatialWorkload w64(64);
+  const CorrelationMatrix m64 = matrix_of(w64);
+  EXPECT_GT(m64.at(0, 15), m64.at(0, 20));  // 16-wide at 64
+}
+
+TEST(SpatialModel, BoxGroupsStayFourWide) {
+  // The other phase: 8 blocks of 4 → 16 blocks of 4.
+  SpatialWorkload w64(64);
+  const IterationTrace trace = w64.iteration(1);
+  // Examine phase-2 box-array reads of threads 0 and 3 (same group)
+  // and 4 (next group).
+  const auto pages_in_phase = [&](std::size_t t) {
+    DynamicBitset pages(w64.num_pages());
+    for (const Segment& seg : trace.phases[1].threads[t].segments) {
+      for (const PageAccess& access : seg.accesses) pages.set(access.page);
+    }
+    return pages;
+  };
+  const DynamicBitset p0 = pages_in_phase(0);
+  const DynamicBitset p3 = pages_in_phase(3);
+  const DynamicBitset p4 = pages_in_phase(4);
+  EXPECT_GT(p0.intersection_count(p3), p0.intersection_count(p4));
+}
+
+TEST(SpatialModel, GlobalReductionUnderLock) {
+  SpatialWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  std::int32_t lock_segments = 0;
+  for (const ThreadPhase& tp : trace.phases[2].threads) {
+    for (const Segment& seg : tp.segments) {
+      if (seg.lock_id == 0) ++lock_segments;
+    }
+  }
+  EXPECT_EQ(lock_segments, 16);
+}
+
+TEST(SpatialModel, LongestIterationOfTheSuite) {
+  // Table 5: Spatial's 13.4 s iterations are the paper's longest.
+  SpatialWorkload w(16);
+  SimTime total_compute = 0;
+  const IterationTrace trace = w.iteration(1);
+  for (const Phase& phase : trace.phases) {
+    for (const ThreadPhase& tp : phase.threads) {
+      for (const Segment& seg : tp.segments) total_compute += seg.compute_us;
+    }
+  }
+  // > 10 CPU-seconds of work across 16 threads.
+  EXPECT_GT(total_compute, 10'000'000);
+}
+
+}  // namespace
+}  // namespace actrack

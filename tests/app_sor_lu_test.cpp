@@ -1,0 +1,208 @@
+// Deep structural tests for the SOR and LU workload models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/lu.hpp"
+#include "apps/sor.hpp"
+#include "correlation/matrix.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+// ---------------------------------------------------------------------
+// SOR
+
+TEST(SorModel, PageBudgetDecomposition) {
+  SorWorkload w(64);
+  // 2048 rows × 2048 floats = 4096 pages, plus three scalar pages.
+  ASSERT_EQ(w.address_space().allocations().size(), 4u);
+  EXPECT_EQ(w.address_space().allocations()[0].buffer.page_count(), 4096);
+  EXPECT_EQ(w.num_pages(), 4099);
+}
+
+TEST(SorModel, TwoHalfSweepsPerIteration) {
+  SorWorkload w(16);
+  EXPECT_EQ(w.iteration(1).phases.size(), 2u);
+  EXPECT_EQ(w.iteration(0).phases.size(), 1u);  // init
+}
+
+TEST(SorModel, ThreadsTouchOwnBandPlusBoundaries) {
+  SorWorkload w(16, 256);  // 256x256: row = 1024 B, 4 rows per page
+  const auto touched = pages_touched_per_thread(w.iteration(1),
+                                                w.num_pages());
+  // 16 rows per thread over quarter-page rows = 4 pages per band; a
+  // boundary row shares its page with the neighbour band.
+  for (std::size_t t = 1; t + 1 < 16; ++t) {
+    EXPECT_GE(touched[t].count(), 4);
+    EXPECT_LE(touched[t].count(), 6);
+  }
+}
+
+TEST(SorModel, InteriorThreadsSymmetric) {
+  SorWorkload w(16);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(1), w.num_pages()));
+  // All interior neighbour pairs share the same number of boundary
+  // pages (the grid is uniform).
+  const std::int64_t reference = m.at(4, 5);
+  EXPECT_GT(reference, 0);
+  for (ThreadId t = 1; t + 2 < 16; ++t) {
+    EXPECT_EQ(m.at(t, t + 1), reference) << t;
+  }
+}
+
+TEST(SorModel, EdgeThreadsHaveOneNeighbour) {
+  SorWorkload w(16);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(1), w.num_pages()));
+  EXPECT_GT(m.at(0, 1), 0);
+  EXPECT_EQ(m.at(0, 15), 0);  // no wraparound in SOR
+}
+
+TEST(SorModel, WritesAreHalfDensity) {
+  // Red/black writes every other element: each grid page's diff is
+  // about half a page.
+  SorWorkload w(16);
+  const IterationTrace trace = w.iteration(1);
+  for (const Segment& seg : trace.phases[0].threads[4].segments) {
+    for (const PageAccess& access : seg.accesses) {
+      if (access.kind == AccessKind::kWrite &&
+          access.bytes_written > 256) {  // grid pages, not scalars
+        EXPECT_LE(access.bytes_written, kPageSize / 2);
+      }
+    }
+  }
+}
+
+TEST(SorModel, UnevenThreadCountsCoverAllRows) {
+  // 2048 % 48 != 0: remainder rows must still be written by someone.
+  SorWorkload w(48);
+  EXPECT_EQ(distinct_pages_touched(w.iteration(0), w.num_pages()),
+            w.num_pages());
+}
+
+// ---------------------------------------------------------------------
+// LU
+
+TEST(LuModel, PageBudgetDecomposition) {
+  LuWorkload w1("LU1k", 64, 1024);
+  EXPECT_EQ(w1.num_pages(), 1032);
+  LuWorkload w2("LU2k", 64, 2048);
+  EXPECT_EQ(w2.num_pages(), 4105);
+}
+
+TEST(LuModel, ThreePhasesPerStep) {
+  LuWorkload w("LU1k", 16, 1024);
+  EXPECT_EQ(w.iteration(1).phases.size(), 3u);
+}
+
+TEST(LuModel, OnlyDiagonalOwnerWorksInPhaseOne) {
+  LuWorkload w("LU1k", 16, 1024);
+  const IterationTrace trace = w.iteration(1);
+  std::int32_t busy = 0;
+  for (const ThreadPhase& tp : trace.phases[0].threads) {
+    for (const Segment& seg : tp.segments) {
+      if (!seg.accesses.empty()) ++busy;
+    }
+  }
+  EXPECT_EQ(busy, 1);
+}
+
+TEST(LuModel, TrailingUpdateShrinksWithK) {
+  // Later outer steps (larger k) touch a smaller trailing submatrix.
+  LuWorkload w("LU1k", 16, 1024);
+  const std::int64_t early =
+      distinct_pages_touched(w.iteration(1), w.num_pages());   // k = 0
+  const std::int64_t later =
+      distinct_pages_touched(w.iteration(20), w.num_pages());  // k = 19
+  EXPECT_GT(early, later);
+}
+
+TEST(LuModel, EveryThreadBusyInTrailingUpdate) {
+  LuWorkload w("LU1k", 16, 1024);
+  const IterationTrace trace = w.iteration(1);
+  for (const ThreadPhase& tp : trace.phases[2].threads) {
+    std::int64_t accesses = 0;
+    for (const Segment& seg : tp.segments) {
+      accesses += static_cast<std::int64_t>(seg.accesses.size());
+    }
+    EXPECT_GT(accesses, 0);
+  }
+}
+
+TEST(LuModel, InitCoversWholeMatrixExactlyOnce) {
+  LuWorkload w("LU1k", 16, 1024);
+  const IterationTrace trace = w.iteration(0);
+  // Every matrix page written by exactly one thread (block ownership
+  // partitions the matrix; 4 same-row blocks share a page and have
+  // cyclic owners — the same owner row, 4 distinct owners... at page
+  // granularity pages may be written by up to 4 owners).
+  std::vector<std::set<std::size_t>> writers(
+      static_cast<std::size_t>(w.num_pages()));
+  for (std::size_t t = 0; t < trace.phases[0].threads.size(); ++t) {
+    for (const Segment& seg : trace.phases[0].threads[t].segments) {
+      for (const PageAccess& access : seg.accesses) {
+        if (access.kind == AccessKind::kWrite) {
+          writers[static_cast<std::size_t>(access.page)].insert(t);
+        }
+      }
+    }
+  }
+  const auto matrix_pages = static_cast<std::size_t>(
+      w.address_space().allocations()[0].buffer.page_count());
+  for (std::size_t p = 0; p < matrix_pages; ++p) {
+    EXPECT_GE(writers[p].size(), 1u) << "page " << p << " never initialised";
+    EXPECT_LE(writers[p].size(), 4u) << "page " << p;
+  }
+}
+
+TEST(LuModel, ConsecutiveBlockOwnersShareTrailingPages) {
+  LuWorkload w("LU2k", 64, 2048);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(1), w.num_pages()));
+  // Four 1 KiB blocks per page → owners of four consecutive block
+  // columns co-touch pages heavily.
+  EXPECT_GT(m.at(0, 1), m.at(0, 4));
+  EXPECT_GT(m.at(1, 2), m.at(1, 5));
+}
+
+TEST(LuModel, PivotReadsCoupleGridRowsAndColumns) {
+  LuWorkload w("LU2k", 64, 2048);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(1), w.num_pages()));
+  // Same grid row (0 and 4): both read the pivot-column block pages of
+  // their shared block rows.
+  EXPECT_GT(m.at(0, 4), 0);
+  // Same grid column (0 and 8): both read the pivot-row block pages of
+  // their shared block-column quads.
+  EXPECT_GT(m.at(0, 8), 0);
+  // The full all-to-all background of the paper's map accumulates over
+  // successive k steps (each step couples different row/column sets);
+  // union over a few steps already connects cross-quad pairs.
+  std::vector<DynamicBitset> cumulative(
+      64, DynamicBitset(w.num_pages()));
+  for (std::int32_t iter = 1; iter <= 8; ++iter) {
+    const auto step = pages_touched_per_thread(w.iteration(iter),
+                                               w.num_pages());
+    for (std::size_t t = 0; t < cumulative.size(); ++t) {
+      cumulative[t].merge(step[t]);
+    }
+  }
+  const CorrelationMatrix accumulated =
+      CorrelationMatrix::from_bitmaps(cumulative);
+  EXPECT_GT(accumulated.at(9, 18), 0);  // cross-row, cross-quad pair
+}
+
+TEST(LuModel, IterationsCycleThroughSteps) {
+  LuWorkload w("LU1k", 16, 1024);
+  // k wraps modulo nb/2 = 32: iteration 1 and iteration 33 are the
+  // same step.
+  const auto a = pages_touched_per_thread(w.iteration(1), w.num_pages());
+  const auto b = pages_touched_per_thread(w.iteration(33), w.num_pages());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace actrack

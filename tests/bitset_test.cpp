@@ -1,0 +1,169 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100);
+  EXPECT_EQ(b.count(), 0);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetAndTest) {
+  DynamicBitset b(130);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_FALSE(b.test(128));
+  EXPECT_EQ(b.count(), 4);
+}
+
+TEST(DynamicBitset, SetIsIdempotent) {
+  DynamicBitset b(10);
+  b.set(3);
+  b.set(3);
+  EXPECT_EQ(b.count(), 1);
+}
+
+TEST(DynamicBitset, Reset) {
+  DynamicBitset b(70);
+  b.set(5);
+  b.set(69);
+  b.reset(5);
+  EXPECT_FALSE(b.test(5));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 1);
+}
+
+TEST(DynamicBitset, Clear) {
+  DynamicBitset b(70);
+  for (std::int64_t i = 0; i < 70; i += 3) b.set(i);
+  b.clear();
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_EQ(b.size(), 70);
+}
+
+TEST(DynamicBitset, SetAllRespectsTailWord) {
+  for (const std::int64_t size : {1, 63, 64, 65, 127, 128, 129, 1000}) {
+    DynamicBitset b(size);
+    b.set_all();
+    EXPECT_EQ(b.count(), size) << "size=" << size;
+  }
+}
+
+TEST(DynamicBitset, SetAllOnEmptyBitsetIsSafe) {
+  DynamicBitset b(0);
+  b.set_all();
+  EXPECT_EQ(b.count(), 0);
+}
+
+TEST(DynamicBitset, IntersectionCount) {
+  DynamicBitset a(200), b(200);
+  for (std::int64_t i = 0; i < 200; i += 2) a.set(i);   // evens
+  for (std::int64_t i = 0; i < 200; i += 3) b.set(i);   // multiples of 3
+  // Intersection: multiples of 6 in [0,200): 0,6,...,198 → 34.
+  EXPECT_EQ(a.intersection_count(b), 34);
+  EXPECT_EQ(b.intersection_count(a), 34);
+}
+
+TEST(DynamicBitset, UnionCount) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ(a.union_count(b), 3);
+}
+
+TEST(DynamicBitset, MergeAccumulates) {
+  DynamicBitset a(100), b(100);
+  a.set(10);
+  b.set(20);
+  a.merge(b);
+  EXPECT_TRUE(a.test(10));
+  EXPECT_TRUE(a.test(20));
+  EXPECT_FALSE(b.test(10));  // merge does not modify the source
+}
+
+TEST(DynamicBitset, ToIndices) {
+  DynamicBitset b(150);
+  b.set(0);
+  b.set(64);
+  b.set(149);
+  const std::vector<std::int64_t> expected = {0, 64, 149};
+  EXPECT_EQ(b.to_indices(), expected);
+}
+
+TEST(DynamicBitset, SizeMismatchThrows) {
+  DynamicBitset a(10), b(11);
+  EXPECT_THROW((void)a.intersection_count(b), std::logic_error);
+  EXPECT_THROW((void)a.union_count(b), std::logic_error);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(DynamicBitset, OutOfRangeThrows) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), std::logic_error);
+  EXPECT_THROW(b.set(-1), std::logic_error);
+  EXPECT_THROW((void)b.test(10), std::logic_error);
+  EXPECT_THROW(b.reset(10), std::logic_error);
+}
+
+TEST(DynamicBitset, Equality) {
+  DynamicBitset a(50), b(50);
+  EXPECT_EQ(a, b);
+  a.set(7);
+  EXPECT_NE(a, b);
+  b.set(7);
+  EXPECT_EQ(a, b);
+}
+
+// Property: intersection/union counts agree with a naive reference on
+// random bitsets (inclusion-exclusion must hold too).
+TEST(DynamicBitsetProperty, MatchesNaiveReference) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t size = 1 + rng.uniform(500);
+    DynamicBitset a(size), b(size);
+    std::vector<bool> ra(static_cast<std::size_t>(size)),
+        rb(static_cast<std::size_t>(size));
+    for (std::int64_t i = 0; i < size; ++i) {
+      if (rng.uniform(2) == 1) {
+        a.set(i);
+        ra[static_cast<std::size_t>(i)] = true;
+      }
+      if (rng.uniform(2) == 1) {
+        b.set(i);
+        rb[static_cast<std::size_t>(i)] = true;
+      }
+    }
+    std::int64_t inter = 0, uni = 0, ca = 0, cb = 0;
+    for (std::int64_t i = 0; i < size; ++i) {
+      const bool va = ra[static_cast<std::size_t>(i)];
+      const bool vb = rb[static_cast<std::size_t>(i)];
+      inter += (va && vb) ? 1 : 0;
+      uni += (va || vb) ? 1 : 0;
+      ca += va ? 1 : 0;
+      cb += vb ? 1 : 0;
+    }
+    EXPECT_EQ(a.count(), ca);
+    EXPECT_EQ(b.count(), cb);
+    EXPECT_EQ(a.intersection_count(b), inter);
+    EXPECT_EQ(a.union_count(b), uni);
+    EXPECT_EQ(a.count() + b.count(), inter + uni);  // inclusion-exclusion
+  }
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,197 @@
+#include "tools/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace actrack::cli {
+namespace {
+
+Options parse_ok(std::initializer_list<const char*> args) {
+  std::vector<std::string> v;
+  for (const char* arg : args) v.emplace_back(arg);
+  return parse(v);
+}
+
+TEST(CliParse, DefaultsMatchPaperScale) {
+  const Options o = parse_ok({"run"});
+  EXPECT_EQ(o.command, "run");
+  EXPECT_EQ(o.app, "SOR");
+  EXPECT_EQ(o.threads, 64);
+  EXPECT_EQ(o.nodes, 8);
+  EXPECT_EQ(o.placement, "stretch");
+  EXPECT_EQ(o.consistency, "lrc");
+  EXPECT_TRUE(o.latency_hiding);
+}
+
+TEST(CliParse, ParsesFlags) {
+  const Options o = parse_ok({"track", "--app", "Water", "--threads", "16",
+                              "--nodes", "4", "--placement", "mincost",
+                              "--consistency", "sc", "--seed", "7",
+                              "--no-latency-hiding", "--ascii", "--pgm",
+                              "m.pgm"});
+  EXPECT_EQ(o.command, "track");
+  EXPECT_EQ(o.app, "Water");
+  EXPECT_EQ(o.threads, 16);
+  EXPECT_EQ(o.nodes, 4);
+  EXPECT_EQ(o.placement, "mincost");
+  EXPECT_EQ(o.consistency, "sc");
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_FALSE(o.latency_hiding);
+  EXPECT_TRUE(o.ascii);
+  EXPECT_EQ(o.pgm_path, "m.pgm");
+}
+
+TEST(CliParse, RejectsBadInput) {
+  EXPECT_THROW((void)parse_ok({}), std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"frobnicate"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--bogus"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--threads"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--threads", "abc"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--threads", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--threads", "4", "--nodes", "8"}),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ListNamesEveryTable1App) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"list"}), out), 0);
+  for (const char* name : {"Barnes", "FFT6", "LU2k", "Ocean", "Spatial",
+                           "SOR", "Water"}) {
+    EXPECT_NE(out.str().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliRun, InfoPrintsPageLayout) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"info", "--app", "SOR", "--threads", "16"}), out),
+            0);
+  EXPECT_NE(out.str().find("4099 shared pages"), std::string::npos);
+  EXPECT_NE(out.str().find("sor.grid"), std::string::npos);
+}
+
+TEST(CliRun, RunPrintsPerIterationMetrics) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"run", "--app", "Water", "--threads", "16",
+                          "--nodes", "4", "--iterations", "2"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("remote-misses"), std::string::npos);
+  EXPECT_NE(out.str().find("total:"), std::string::npos);
+}
+
+TEST(CliRun, TrackReportsFaultsAndCuts) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"track", "--app", "SOR", "--threads", "16",
+                          "--nodes", "4", "--ascii"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("tracking faults"), std::string::npos);
+  EXPECT_NE(out.str().find("sharing degree"), std::string::npos);
+  EXPECT_NE(out.str().find("min-cost="), std::string::npos);
+}
+
+TEST(CliRun, CutcostListsAllPlacements) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"cutcost", "--app", "Water", "--threads", "16",
+                          "--nodes", "4", "--samples", "2"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("stretch:"), std::string::npos);
+  EXPECT_NE(out.str().find("min-cost:"), std::string::npos);
+  EXPECT_NE(out.str().find("random#1"), std::string::npos);
+}
+
+TEST(CliRun, PassiveRunsRounds) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"passive", "--app", "SOR", "--threads", "16",
+                          "--nodes", "4", "--rounds", "3"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("completeness"), std::string::npos);
+}
+
+TEST(CliRun, AdaptiveReportsTrackingActivity) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"adaptive", "--threads", "16", "--nodes", "4",
+                          "--iterations", "12"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("tracked iterations"), std::string::npos);
+}
+
+TEST(CliRun, ScConsistencyRuns) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"run", "--app", "Water", "--threads", "16",
+                          "--nodes", "4", "--iterations", "1",
+                          "--consistency", "sc"}),
+                out),
+            0);
+}
+
+TEST(CliRun, RecordThenReplayRoundTrips) {
+  const std::string path = ::testing::TempDir() + "cli_roundtrip.actrace";
+  std::ostringstream rec_out;
+  EXPECT_EQ(run(parse_ok({"record", "--app", "SOR", "--threads", "16",
+                          "--iterations", "2", "--trace", path.c_str()}),
+                rec_out),
+            0);
+  EXPECT_NE(rec_out.str().find("recorded 3 iterations"), std::string::npos);
+
+  std::ostringstream replay_out;
+  EXPECT_EQ(run(parse_ok({"replay", "--trace", path.c_str(), "--nodes", "4",
+                          "--iterations", "2"}),
+                replay_out),
+            0);
+  EXPECT_NE(replay_out.str().find("replayed 2 iterations"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliRun, RecordWithoutTracePathFails) {
+  std::ostringstream out;
+  EXPECT_THROW((void)run(parse_ok({"record", "--app", "SOR"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ReplayMissingFileReturnsError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(main_impl({"replay", "--trace", "/nonexistent/x.actrace"}, out,
+                      err),
+            1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST(CliRun, CsvFlagWritesMetricsFile) {
+  const std::string path = ::testing::TempDir() + "cli_metrics.csv";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"run", "--app", "Water", "--threads", "16",
+                          "--nodes", "4", "--iterations", "2", "--csv",
+                          path.c_str()}),
+                out),
+            0);
+  std::ifstream csv(path);
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header.rfind("index,kind,elapsed_us", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CliMain, BadArgsPrintUsageAndReturn2) {
+  std::ostringstream out, err;
+  EXPECT_EQ(main_impl({"nonsense"}, out, err), 2);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliMain, UnknownAppSurfacesCleanly) {
+  std::ostringstream out, err;
+  // make_workload throws invalid_argument → handled as a usage error.
+  EXPECT_EQ(main_impl({"info", "--app", "NoSuchApp"}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace actrack::cli

@@ -1,0 +1,168 @@
+// Protocol edge cases beyond the main suite: multi-page GC, epoch
+// arithmetic across mixed sync, mid-interval multi-writer survival,
+// page-home distribution, and cost-accounting invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dsm/protocol.hpp"
+
+namespace actrack {
+namespace {
+
+PageAccess read_of(PageId page) { return {page, AccessKind::kRead, 0}; }
+PageAccess write_of(PageId page, std::int32_t bytes = 128) {
+  return {page, AccessKind::kWrite, bytes};
+}
+
+class DsmEdgeTest : public ::testing::Test {
+ protected:
+  void make(PageId pages, NodeId nodes, DsmConfig config = {}) {
+    net_ = std::make_unique<NetworkModel>(nodes, CostModel{});
+    dsm_ = std::make_unique<DsmSystem>(pages, nodes, net_.get(), config);
+  }
+  void barrier() {
+    for (NodeId n = 0; n < dsm_->num_nodes(); ++n) dsm_->release_node(n);
+    dsm_->barrier_epoch();
+  }
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<DsmSystem> dsm_;
+};
+
+TEST_F(DsmEdgeTest, PageHomesAreRoundRobin) {
+  make(16, 4);
+  // Reading page p from node p%4 is local; from any other node remote.
+  for (PageId p = 0; p < 8; ++p) {
+    const NodeId home = p % 4;
+    const AccessOutcome local = dsm_->access(home, 0, read_of(p));
+    EXPECT_FALSE(local.remote_miss) << p;
+    const NodeId other = (home + 1) % 4;
+    const AccessOutcome remote = dsm_->access(other, 1, read_of(p));
+    EXPECT_TRUE(remote.remote_miss) << p;
+  }
+}
+
+TEST_F(DsmEdgeTest, GcConsolidatesManyPagesAtOnce) {
+  DsmConfig config;
+  config.gc_threshold_bytes = 1000;
+  make(32, 2, config);
+  for (PageId p = 0; p < 10; ++p) {
+    dsm_->access(0, 0, write_of(p, 200));  // 2000 B of diffs
+  }
+  barrier();
+  EXPECT_EQ(dsm_->stats().gc_runs, 1);
+  EXPECT_EQ(dsm_->outstanding_diff_bytes(), 0);
+  for (PageId p = 0; p < 10; ++p) {
+    EXPECT_EQ(dsm_->page_state(0, p), PageState::kReadOnly) << p;
+  }
+}
+
+TEST_F(DsmEdgeTest, GcSpansMultipleThresholdCycles) {
+  DsmConfig config;
+  config.gc_threshold_bytes = 300;
+  make(8, 2, config);
+  for (int round = 0; round < 5; ++round) {
+    dsm_->access(0, 0, write_of(0, 400));
+    barrier();
+  }
+  EXPECT_EQ(dsm_->stats().gc_runs, 5);
+}
+
+TEST_F(DsmEdgeTest, DirtyPageSurvivesLockInvalidationAndReconciles) {
+  make(8, 2);
+  // Node 1 writes page 0 (dirty) while node 0 also writes and releases
+  // it; node 1 then acquires the lock mid-interval.
+  dsm_->access(1, 1, write_of(0, 64));
+  dsm_->access(0, 0, write_of(0, 64));
+  dsm_->release_node(0);
+  dsm_->lock_transfer(0, 1);
+  // The dirty replica must remain writable (twin holds local mods).
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kReadWrite);
+  // Node 1 keeps writing, then the barrier reconciles: node 1 is now
+  // behind (missed node 0's diff) and gets invalidated once clean.
+  dsm_->access(1, 1, write_of(0, 32));
+  barrier();
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kInvalid);
+  // Its next read fetches only node 0's diff (never its own records).
+  net_->reset_counters();
+  dsm_->access(1, 1, read_of(0));
+  EXPECT_EQ(net_->totals().diff_bytes, 64);
+}
+
+TEST_F(DsmEdgeTest, EpochCountsMixedSyncOperations) {
+  make(4, 2);
+  const std::int64_t start = dsm_->epoch();
+  barrier();
+  dsm_->lock_transfer(kNoNode, 0);
+  dsm_->lock_transfer(0, 1);
+  barrier();
+  EXPECT_EQ(dsm_->epoch(), start + 4);
+}
+
+TEST_F(DsmEdgeTest, AccessCostsAreNonNegativeAndConsistent) {
+  make(8, 2);
+  for (int step = 0; step < 20; ++step) {
+    const PageId page = step % 8;
+    const AccessOutcome out =
+        dsm_->access(step % 2, step % 4,
+                     (step % 3 == 0) ? write_of(page) : read_of(page));
+    EXPECT_GE(out.local_us, 0);
+    EXPECT_GE(out.remote_us, 0);
+    if (out.remote_miss) {
+      EXPECT_TRUE(out.read_fault || out.write_fault);
+      EXPECT_GT(out.remote_us, 0);
+    }
+    if (step % 5 == 0) barrier();
+  }
+}
+
+TEST_F(DsmEdgeTest, WriteBytesAreClampedToPageSize) {
+  make(4, 1);
+  dsm_->access(0, 0, write_of(0, kPageSize));
+  dsm_->access(0, 0, write_of(0, kPageSize));
+  dsm_->release_node(0);
+  EXPECT_EQ(dsm_->outstanding_diff_bytes(), kPageSize);
+}
+
+TEST_F(DsmEdgeTest, ZeroByteWriteStillCreatesMinimalDiff) {
+  make(4, 1);
+  dsm_->access(0, 0, write_of(0, 0));
+  dsm_->release_node(0);
+  EXPECT_GT(dsm_->outstanding_diff_bytes(), 0);
+}
+
+TEST_F(DsmEdgeTest, SixtyFourNodesSupported) {
+  // The SC copyset is a 64-bit mask; make sure a full-width cluster
+  // works in both protocols.
+  DsmConfig sc;
+  sc.model = ConsistencyModel::kSequentialSingleWriter;
+  make(64, 64, sc);
+  for (NodeId n = 0; n < 64; ++n) {
+    dsm_->access(n, n, read_of(0));
+  }
+  dsm_->access(63, 63, write_of(0));
+  EXPECT_EQ(dsm_->stats().invalidations, 63);
+  for (NodeId n = 0; n < 63; ++n) {
+    EXPECT_NE(dsm_->page_state(n, 0), PageState::kReadOnly);
+  }
+}
+
+TEST_F(DsmEdgeTest, ManyWritersOnePageAllReconcile) {
+  make(4, 8);
+  for (NodeId n = 0; n < 8; ++n) {
+    dsm_->access(n, n, write_of(0, 100));
+  }
+  barrier();
+  // Everyone missed everyone else's diffs.
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(dsm_->page_state(n, 0), PageState::kInvalid);
+  }
+  net_->reset_counters();
+  dsm_->access(3, 3, read_of(0));
+  // Node 3 fetches the other seven 100-byte diffs.
+  EXPECT_EQ(dsm_->stats().diff_fetches, 7);
+  EXPECT_EQ(net_->totals().diff_bytes, 700);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,293 @@
+#include "dsm/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace actrack {
+namespace {
+
+PageAccess read_of(PageId page) { return {page, AccessKind::kRead, 0}; }
+PageAccess write_of(PageId page, std::int32_t bytes = 128) {
+  return {page, AccessKind::kWrite, bytes};
+}
+
+class DsmTest : public ::testing::Test {
+ protected:
+  void make(PageId pages, NodeId nodes, DsmConfig config = {}) {
+    net_ = std::make_unique<NetworkModel>(nodes, CostModel{});
+    dsm_ = std::make_unique<DsmSystem>(pages, nodes, net_.get(), config);
+  }
+
+  /// Full sync: all nodes release, then the barrier applies notices.
+  void barrier() {
+    for (NodeId n = 0; n < dsm_->num_nodes(); ++n) {
+      dsm_->release_node(n);
+    }
+    dsm_->barrier_epoch();
+  }
+
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<DsmSystem> dsm_;
+};
+
+TEST_F(DsmTest, PagesStartUnmapped) {
+  make(8, 2);
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kUnmapped);
+  EXPECT_EQ(dsm_->page_state(1, 7), PageState::kUnmapped);
+}
+
+TEST_F(DsmTest, FirstReadFromHomeNodeIsLocal) {
+  make(8, 4);
+  // Page 0's home (manager) is node 0: mapping it needs no remote data.
+  const AccessOutcome out = dsm_->access(0, 0, read_of(0));
+  EXPECT_TRUE(out.read_fault);
+  EXPECT_FALSE(out.remote_miss);
+  EXPECT_EQ(out.remote_us, 0);
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadOnly);
+}
+
+TEST_F(DsmTest, FirstReadFromOtherNodeFetchesFullPage) {
+  make(8, 4);
+  const AccessOutcome out = dsm_->access(1, 0, read_of(0));  // home is 0
+  EXPECT_TRUE(out.read_fault);
+  EXPECT_TRUE(out.remote_miss);
+  EXPECT_GT(out.remote_us, 0);
+  EXPECT_EQ(dsm_->stats().full_page_fetches, 1);
+  EXPECT_EQ(net_->totals().page_bytes, kPageSize);
+}
+
+TEST_F(DsmTest, SecondReadIsFree) {
+  make(8, 2);
+  dsm_->access(1, 0, read_of(0));
+  const AccessOutcome out = dsm_->access(1, 0, read_of(0));
+  EXPECT_FALSE(out.read_fault);
+  EXPECT_EQ(out.local_us, 0);
+  EXPECT_EQ(out.remote_us, 0);
+}
+
+TEST_F(DsmTest, WriteToReadOnlyCreatesTwin) {
+  make(8, 2);
+  dsm_->access(0, 0, read_of(0));
+  const AccessOutcome out = dsm_->access(0, 0, write_of(0));
+  EXPECT_TRUE(out.write_fault);
+  EXPECT_FALSE(out.remote_miss);  // replica was valid
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadWrite);
+  // Subsequent writes proceed transparently.
+  const AccessOutcome again = dsm_->access(0, 0, write_of(0));
+  EXPECT_FALSE(again.write_fault);
+}
+
+TEST_F(DsmTest, ReleaseCreatesDiffAndReprotects) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(0, 256));
+  EXPECT_GT(dsm_->release_node(0), 0);
+  EXPECT_EQ(dsm_->stats().diffs_created, 1);
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadOnly);
+  EXPECT_EQ(dsm_->outstanding_diff_bytes(), 256);
+}
+
+TEST_F(DsmTest, BarrierInvalidatesStaleReplicas) {
+  make(8, 3);
+  // Node 1 and 2 read page 0; node 0 writes it.
+  dsm_->access(1, 0, read_of(0));
+  dsm_->access(2, 0, read_of(0));
+  dsm_->access(0, 0, write_of(0));
+  barrier();
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kInvalid);
+  EXPECT_EQ(dsm_->page_state(2, 0), PageState::kInvalid);
+  // The writer keeps its (current) copy.
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadOnly);
+  EXPECT_EQ(dsm_->stats().invalidations, 2);
+}
+
+TEST_F(DsmTest, InvalidReadFetchesDiffFromWriter) {
+  make(8, 2);
+  dsm_->access(1, 0, read_of(0));
+  dsm_->access(0, 0, write_of(0, 512));
+  barrier();
+  net_->reset_counters();
+  const AccessOutcome out = dsm_->access(1, 0, read_of(0));
+  EXPECT_TRUE(out.remote_miss);
+  EXPECT_EQ(dsm_->stats().diff_fetches, 1);
+  EXPECT_EQ(net_->totals().diff_bytes, 512);
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kReadOnly);
+}
+
+TEST_F(DsmTest, ConcurrentWritersFetchOnlyEachOthersDiffs) {
+  make(8, 2);
+  // Both nodes map the page and write disjoint parts (multi-writer).
+  dsm_->access(0, 0, write_of(0, 100));
+  dsm_->access(1, 1, write_of(0, 200));
+  barrier();
+  // Both got invalidated (each missed the other's diff).
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kInvalid);
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kInvalid);
+
+  net_->reset_counters();
+  dsm_->access(0, 0, read_of(0));
+  // Node 0 needs only node 1's 200-byte diff, not its own.
+  EXPECT_EQ(net_->totals().diff_bytes, 200);
+  net_->reset_counters();
+  dsm_->access(1, 1, read_of(0));
+  EXPECT_EQ(net_->totals().diff_bytes, 100);
+}
+
+TEST_F(DsmTest, SoleWriterIsNotInvalidatedBySelf) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(0));
+  barrier();
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadOnly);
+  const AccessOutcome out = dsm_->access(0, 0, read_of(0));
+  EXPECT_FALSE(out.read_fault);
+}
+
+TEST_F(DsmTest, WriteToInvalidPageValidatesThenTwins) {
+  make(8, 2);
+  dsm_->access(1, 0, read_of(0));
+  dsm_->access(0, 0, write_of(0));
+  barrier();
+  const AccessOutcome out = dsm_->access(1, 1, write_of(0));
+  EXPECT_TRUE(out.write_fault);
+  EXPECT_TRUE(out.remote_miss);
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kReadWrite);
+}
+
+TEST_F(DsmTest, RepeatedIntervalWritesRequireNewTwinEachInterval) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(0));
+  barrier();
+  const std::int64_t faults_before = dsm_->stats().write_faults;
+  dsm_->access(0, 0, write_of(0));
+  EXPECT_EQ(dsm_->stats().write_faults, faults_before + 1);
+}
+
+TEST_F(DsmTest, LockTransferInvalidatesOnlyAcquirer) {
+  make(8, 3);
+  dsm_->access(1, 1, read_of(0));
+  dsm_->access(2, 2, read_of(0));
+  dsm_->access(0, 0, write_of(0));
+  dsm_->release_node(0);  // lock release flushes
+  dsm_->lock_transfer(0, 1);
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kInvalid);
+  EXPECT_EQ(dsm_->page_state(2, 0), PageState::kReadOnly);  // not yet
+}
+
+TEST_F(DsmTest, EpochAdvancesOnSync) {
+  make(4, 2);
+  const std::int64_t e0 = dsm_->epoch();
+  barrier();
+  EXPECT_EQ(dsm_->epoch(), e0 + 1);
+  dsm_->lock_transfer(0, 1);
+  EXPECT_EQ(dsm_->epoch(), e0 + 2);
+}
+
+TEST_F(DsmTest, BarrierBeforeReleaseThrows) {
+  make(4, 2);
+  dsm_->access(0, 0, write_of(1));
+  EXPECT_THROW(dsm_->barrier_epoch(), std::logic_error);
+}
+
+TEST_F(DsmTest, GarbageCollectionConsolidatesAndInvalidates) {
+  DsmConfig config;
+  config.gc_threshold_bytes = 600;
+  make(8, 3, config);
+  // Epoch 1: nodes 0 and 1 write page 0 (500 B of diffs, under the
+  // threshold).
+  dsm_->access(0, 0, write_of(0, 200));
+  dsm_->access(1, 1, write_of(0, 300));
+  barrier();
+  EXPECT_EQ(dsm_->stats().gc_runs, 0);
+  // Epoch 2: node 2 reads page 0 — its replica is now fully current —
+  // and node 0 writes another page, pushing diff storage over the
+  // threshold.
+  dsm_->access(2, 2, read_of(0));
+  dsm_->access(0, 0, write_of(1, 200));
+  barrier();  // 700 B outstanding → GC
+
+  EXPECT_EQ(dsm_->stats().gc_runs, 1);
+  EXPECT_EQ(dsm_->outstanding_diff_bytes(), 0);
+  // Page 0's last writer (node 1) owns the consolidated copy; node 2's
+  // perfectly current replica is invalidated anyway — the paper's §2
+  // source of extra remote faults.
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kReadOnly);
+  EXPECT_EQ(dsm_->page_state(2, 0), PageState::kInvalid);
+  EXPECT_GE(dsm_->stats().gc_invalidations, 1);
+
+  // A subsequent miss fetches the full consolidated page from the owner.
+  net_->reset_counters();
+  const AccessOutcome out = dsm_->access(2, 2, read_of(0));
+  EXPECT_TRUE(out.remote_miss);
+  EXPECT_EQ(net_->totals().page_bytes, kPageSize);
+}
+
+TEST_F(DsmTest, GcDisabledNeverRuns) {
+  DsmConfig config;
+  config.gc_threshold_bytes = 1;
+  config.gc_enabled = false;
+  make(8, 2, config);
+  dsm_->access(0, 0, write_of(0, 4000));
+  barrier();
+  EXPECT_EQ(dsm_->stats().gc_runs, 0);
+  EXPECT_GT(dsm_->outstanding_diff_bytes(), 0);
+}
+
+TEST_F(DsmTest, RemoteMissObserverSeesFaultingThread) {
+  make(8, 2);
+  std::vector<std::tuple<NodeId, ThreadId, PageId>> misses;
+  dsm_->set_remote_miss_observer(
+      [&](NodeId node, ThreadId thread, PageId page) {
+        misses.emplace_back(node, thread, page);
+      });
+  dsm_->access(0, 3, write_of(2));
+  barrier();
+  dsm_->access(1, 7, read_of(2));
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_EQ(misses[0], std::make_tuple(NodeId{1}, ThreadId{7}, PageId{2}));
+}
+
+TEST_F(DsmTest, OnlyFirstLocalThreadFaults) {
+  // The crux of §4.1: once thread 3 validates the page on node 1,
+  // thread 4's access on the same node is invisible.
+  make(8, 2);
+  dsm_->access(0, 0, write_of(2));
+  barrier();
+  std::int32_t observer_calls = 0;
+  dsm_->set_remote_miss_observer(
+      [&](NodeId, ThreadId, PageId) { ++observer_calls; });
+  dsm_->access(1, 3, read_of(2));
+  dsm_->access(1, 4, read_of(2));
+  EXPECT_EQ(observer_calls, 1);
+}
+
+TEST_F(DsmTest, StatsCoherenceFaultsSumReadsAndWrites) {
+  make(8, 2);
+  dsm_->access(0, 0, read_of(0));   // read fault
+  dsm_->access(0, 0, write_of(0)); // write fault
+  EXPECT_EQ(dsm_->stats().coherence_faults(),
+            dsm_->stats().read_faults + dsm_->stats().write_faults);
+  EXPECT_EQ(dsm_->stats().read_faults, 1);
+  EXPECT_EQ(dsm_->stats().write_faults, 1);
+}
+
+TEST_F(DsmTest, DiffsFromMultipleIntervalsAccumulateForLateReader) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(0, 100));
+  barrier();
+  dsm_->access(0, 0, write_of(0, 150));
+  barrier();
+  net_->reset_counters();
+  dsm_->access(1, 1, read_of(0));
+  // One exchange with the single writer carrying both diffs.
+  EXPECT_EQ(dsm_->stats().diff_fetches, 1);
+  EXPECT_EQ(net_->totals().diff_bytes, 250);
+}
+
+TEST_F(DsmTest, InvalidAccessorRejected) {
+  make(4, 2);
+  EXPECT_THROW(dsm_->access(2, 0, read_of(0)), std::logic_error);
+  EXPECT_THROW(dsm_->access(0, 0, read_of(4)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,220 @@
+// Tests of the sequentially-consistent single-writer protocol (§6's
+// baseline family: Millipede/PARSEC-era DSMs) and the Mirage delta
+// interval.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/synthetic.hpp"
+#include "dsm/protocol.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+PageAccess read_of(PageId page) { return {page, AccessKind::kRead, 0}; }
+PageAccess write_of(PageId page, std::int32_t bytes = 128) {
+  return {page, AccessKind::kWrite, bytes};
+}
+
+class ScDsmTest : public ::testing::Test {
+ protected:
+  void make(PageId pages, NodeId nodes, SimTime delta_us = 0) {
+    DsmConfig config;
+    config.model = ConsistencyModel::kSequentialSingleWriter;
+    config.delta_interval_us = delta_us;
+    net_ = std::make_unique<NetworkModel>(nodes, CostModel{});
+    dsm_ = std::make_unique<DsmSystem>(pages, nodes, net_.get(), config);
+  }
+
+  void barrier() {
+    for (NodeId n = 0; n < dsm_->num_nodes(); ++n) dsm_->release_node(n);
+    dsm_->barrier_epoch();
+  }
+
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<DsmSystem> dsm_;
+};
+
+TEST_F(ScDsmTest, ReadFromHomeIsLocal) {
+  make(8, 4);
+  const AccessOutcome out = dsm_->access(0, 0, read_of(0));  // home 0
+  EXPECT_TRUE(out.read_fault);
+  EXPECT_FALSE(out.remote_miss);
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadOnly);
+}
+
+TEST_F(ScDsmTest, ReadersShareReplicas) {
+  make(8, 4);
+  dsm_->access(1, 1, read_of(0));
+  dsm_->access(2, 2, read_of(0));
+  EXPECT_EQ(dsm_->stats().full_page_fetches, 2);
+  // Reads do not invalidate each other.
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kReadOnly);
+  EXPECT_EQ(dsm_->page_state(2, 0), PageState::kReadOnly);
+  EXPECT_EQ(dsm_->stats().invalidations, 0);
+}
+
+TEST_F(ScDsmTest, WriteInvalidatesAllReplicasImmediately) {
+  make(8, 4);
+  dsm_->access(1, 1, read_of(0));
+  dsm_->access(2, 2, read_of(0));
+  const AccessOutcome out = dsm_->access(3, 3, write_of(0));
+  EXPECT_TRUE(out.write_fault);
+  EXPECT_TRUE(out.remote_miss);
+  // Unlike LRC, no barrier is needed: replicas are already gone.
+  EXPECT_EQ(dsm_->page_state(1, 0), PageState::kInvalid);
+  EXPECT_EQ(dsm_->page_state(2, 0), PageState::kInvalid);
+  EXPECT_EQ(dsm_->page_state(3, 0), PageState::kReadWrite);
+  EXPECT_GE(dsm_->stats().invalidations, 2);
+}
+
+TEST_F(ScDsmTest, WriterKeepsExclusiveAccess) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(0));
+  const AccessOutcome again = dsm_->access(0, 0, write_of(0));
+  EXPECT_FALSE(again.write_fault);
+  EXPECT_EQ(dsm_->stats().ownership_transfers, 0);  // home was 0
+}
+
+TEST_F(ScDsmTest, WritePingPongCountsOwnershipTransfers) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(1));  // page 1: home node 1 → transfer
+  dsm_->access(1, 1, write_of(1));  // steal back
+  dsm_->access(0, 0, write_of(1));  // steal again
+  EXPECT_EQ(dsm_->stats().ownership_transfers, 3);
+  EXPECT_EQ(dsm_->stats().remote_misses, 3);
+}
+
+TEST_F(ScDsmTest, ReadAfterRemoteWriteRefetches) {
+  make(8, 2);
+  dsm_->access(0, 0, read_of(1));
+  dsm_->access(1, 1, write_of(1));
+  const AccessOutcome out = dsm_->access(0, 0, read_of(1));
+  EXPECT_TRUE(out.remote_miss);  // replica was eagerly invalidated
+}
+
+TEST_F(ScDsmTest, DeltaIntervalStallsRepeatedStealsWithinEpoch) {
+  make(8, 2, /*delta_us=*/5000);
+  dsm_->access(0, 0, write_of(1));  // first transfer: no stall
+  const AccessOutcome first = dsm_->access(1, 1, write_of(1));
+  EXPECT_GE(first.remote_us, 5000);  // frozen: pays the delta
+  EXPECT_EQ(dsm_->stats().delta_stalls, 1);
+
+  barrier();  // epoch boundary thaws the page
+  const AccessOutcome after = dsm_->access(0, 0, write_of(1));
+  EXPECT_LT(after.remote_us, 5000);
+  EXPECT_EQ(dsm_->stats().delta_stalls, 1);
+}
+
+TEST_F(ScDsmTest, ReleaseAndBarrierAreCheapNoOps) {
+  make(8, 2);
+  dsm_->access(0, 0, write_of(0));
+  EXPECT_EQ(dsm_->release_node(0), 0);
+  EXPECT_EQ(dsm_->stats().diffs_created, 0);
+  EXPECT_EQ(dsm_->outstanding_diff_bytes(), 0);
+  dsm_->barrier_epoch();  // must not throw or invalidate anything
+  EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadWrite);
+}
+
+TEST_F(ScDsmTest, ObserverFiresOnScMisses) {
+  make(8, 2);
+  std::int32_t calls = 0;
+  dsm_->set_remote_miss_observer(
+      [&](NodeId, ThreadId, PageId) { ++calls; });
+  dsm_->access(0, 0, write_of(1));  // remote home
+  dsm_->access(1, 1, read_of(1));   // fetch from new owner
+  EXPECT_EQ(calls, 2);
+}
+
+// ---------------------------------------------------------------------
+// Protocol-level comparison: §6's argument that relaxed consistency
+// hides (false) sharing the single-writer protocol thrashes on.
+
+RuntimeConfig sc_config(SimTime delta_us = 0) {
+  RuntimeConfig config;
+  config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  config.dsm.delta_interval_us = delta_us;
+  return config;
+}
+
+TEST(ScVsLrc, FalseSharingCostsFullPagesUnderSc) {
+  // Two threads on different nodes write disjoint 64-byte slots of the
+  // same page every interval (classic false sharing).  LRC merges the
+  // concurrent writes through 64-byte diffs; SC ping-pongs whole 4 KiB
+  // pages with ownership steals — the §6 argument that single-writer
+  // systems "suffer from both false and true sharing".
+  PairsWithLockWorkload w(4, 2);
+  const Placement split({0, 1, 0, 1}, 2);
+
+  ClusterRuntime lrc(w, split);
+  lrc.run_init();
+  for (int i = 0; i < 4; ++i) lrc.run_iteration();
+
+  ClusterRuntime sc(w, split, sc_config());
+  sc.run_init();
+  for (int i = 0; i < 4; ++i) sc.run_iteration();
+
+  EXPECT_GT(sc.totals().total_bytes, 2 * lrc.totals().total_bytes);
+  EXPECT_GT(sc.dsm().stats().ownership_transfers, 0);
+}
+
+TEST(ScVsLrc, DeltaIntervalSlowsThrashingButKeepsMissCount) {
+  PairsWithLockWorkload w(4, 2);
+  const Placement split({0, 1, 0, 1}, 2);
+
+  ClusterRuntime plain(w, split, sc_config(0));
+  plain.run_init();
+  for (int i = 0; i < 4; ++i) plain.run_iteration();
+
+  ClusterRuntime delta(w, split, sc_config(3000));
+  delta.run_init();
+  for (int i = 0; i < 4; ++i) delta.run_iteration();
+
+  EXPECT_EQ(delta.totals().remote_misses, plain.totals().remote_misses);
+  EXPECT_GT(delta.totals().elapsed_us, plain.totals().elapsed_us);
+}
+
+TEST(ScVsLrc, TrackedBitmapsAreProtocolIndependent) {
+  // Active correlation tracking observes accesses, not protocol
+  // internals: the bitmaps must be identical under LRC and SC.
+  RingWorkload w(8, 3, 1);
+  const Placement p = Placement::stretch(8, 2);
+
+  ClusterRuntime lrc(w, p);
+  lrc.run_init();
+  const auto lrc_maps =
+      lrc.run_tracked_iteration().tracking.access_bitmaps;
+
+  ClusterRuntime sc(w, p, sc_config());
+  sc.run_init();
+  const auto sc_maps = sc.run_tracked_iteration().tracking.access_bitmaps;
+
+  ASSERT_EQ(lrc_maps.size(), sc_maps.size());
+  for (std::size_t t = 0; t < lrc_maps.size(); ++t) {
+    EXPECT_EQ(lrc_maps[t], sc_maps[t]);
+  }
+}
+
+TEST(ScVsLrc, ReadOnlySharingIsComparable) {
+  // Pure producer/consumer read sharing has no false-sharing penalty:
+  // SC should be in the same ballpark as LRC (not 2x worse).
+  RingWorkload w(8, 4, 2);
+  const Placement p = Placement::stretch(8, 2);
+
+  ClusterRuntime lrc(w, p);
+  lrc.run_init();
+  lrc.run_iteration();
+  const std::int64_t lrc_misses = lrc.run_iteration().remote_misses;
+
+  ClusterRuntime sc(w, p, sc_config());
+  sc.run_init();
+  sc.run_iteration();
+  const std::int64_t sc_misses = sc.run_iteration().remote_misses;
+
+  EXPECT_LE(sc_misses, 2 * lrc_misses + 2);
+}
+
+}  // namespace
+}  // namespace actrack

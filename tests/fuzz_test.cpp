@@ -1,0 +1,160 @@
+// Randomised ("fuzz") traces through the full pipeline: arbitrary but
+// valid access patterns, phases, locks and placements must never break
+// protocol invariants, in either consistency model, with and without
+// GC, hiding, tracking and migration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include <algorithm>
+
+#include "apps/synthetic.hpp"
+#include "apps/trace_workload.hpp"
+#include "common/rng.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+/// Builds a random-but-valid trace file.
+TraceFile random_trace(Rng& rng, std::int32_t threads, PageId pages,
+                       std::int32_t iterations) {
+  TraceFile file;
+  file.num_threads = threads;
+  file.num_pages = pages;
+  for (std::int32_t iter = 0; iter < iterations; ++iter) {
+    IterationTrace trace;
+    trace.num_threads = threads;
+    const std::int64_t phases = 1 + rng.uniform(3);
+    for (std::int64_t p = 0; p < phases; ++p) {
+      Phase phase;
+      phase.threads.resize(static_cast<std::size_t>(threads));
+      for (std::int32_t t = 0; t < threads; ++t) {
+        const std::int64_t segments = rng.uniform(3);
+        for (std::int64_t s = 0; s < segments; ++s) {
+          Segment seg;
+          if (rng.uniform(4) == 0) {
+            seg.lock_id = static_cast<std::int32_t>(rng.uniform(3));
+          }
+          seg.compute_us = rng.uniform(200);
+          const std::int64_t accesses = 1 + rng.uniform(6);
+          for (std::int64_t a = 0; a < accesses; ++a) {
+            PageAccess access;
+            access.page = static_cast<PageId>(rng.uniform(pages));
+            if (rng.uniform(2) == 0) {
+              access.kind = AccessKind::kWrite;
+              access.bytes_written =
+                  static_cast<std::int32_t>(1 + rng.uniform(kPageSize));
+            }
+            seg.accesses.push_back(access);
+          }
+          // The builder normally dedupes; emulate that invariant so the
+          // trace validates (one access per page per segment).
+          std::sort(seg.accesses.begin(), seg.accesses.end(),
+                    [](const PageAccess& x, const PageAccess& y) {
+                      return x.page < y.page;
+                    });
+          seg.accesses.erase(
+              std::unique(seg.accesses.begin(), seg.accesses.end(),
+                          [](const PageAccess& x, const PageAccess& y) {
+                            return x.page == y.page;
+                          }),
+              seg.accesses.end());
+          phase.threads[static_cast<std::size_t>(t)].segments.push_back(
+              std::move(seg));
+        }
+      }
+      trace.phases.push_back(std::move(phase));
+    }
+    file.iterations.push_back(std::move(trace));
+  }
+  return file;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipeline, RandomTracesNeverBreakInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) *
+              std::uint64_t{2862933555777941757} +
+          std::uint64_t{3037000493});
+  const std::int32_t threads = static_cast<std::int32_t>(4 + rng.uniform(9));
+  const PageId pages = static_cast<PageId>(8 + rng.uniform(25));
+  const NodeId nodes = static_cast<NodeId>(2 + rng.uniform(2));
+  if (threads < nodes * 2) GTEST_SKIP();
+
+  TraceWorkload workload(random_trace(rng, threads, pages, 3));
+
+  RuntimeConfig config;
+  if (rng.uniform(2) == 0) {
+    config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+    config.dsm.delta_interval_us = rng.uniform(2) == 0 ? 1000 : 0;
+  } else if (rng.uniform(2) == 0) {
+    config.dsm.causality = CausalityMode::kVectorClock;
+  }
+  if (rng.uniform(3) == 0) config.dsm.gc_threshold_bytes = 512;
+  config.sched.latency_hiding = rng.uniform(4) != 0;
+
+  const Placement initial = random_placement(rng, threads, nodes, 2);
+  ClusterRuntime runtime(workload, initial, config);
+  runtime.run_init();
+
+  for (int step = 0; step < 4; ++step) {
+    if (step == 2) {
+      // Mid-run migration to another random placement.
+      const Placement target = random_placement(rng, threads, nodes, 2);
+      runtime.migrate_to(target);
+      continue;
+    }
+    const IterationMetrics m = (step == 1)
+                                   ? runtime.run_tracked_iteration().metrics
+                                   : runtime.run_iteration();
+    EXPECT_GE(m.elapsed_us, 0);
+    EXPECT_GE(m.remote_misses, 0);
+    EXPECT_LE(m.diff_bytes, m.total_bytes);
+    EXPECT_GE(m.load_imbalance, 1.0 - 1e-9);
+  }
+
+  // Tracking over a random trace is still exact.
+  const IterationTrace reference =
+      workload.iteration(runtime.next_iteration());
+  const auto oracle = pages_touched_per_thread(reference, pages);
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  for (std::size_t t = 0; t < oracle.size(); ++t) {
+    EXPECT_EQ(tracked.tracking.access_bitmaps[t], oracle[t])
+        << "seed " << GetParam() << " thread " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(0, 24));
+
+TEST(LoadImbalanceMetric, BalancedRunIsNearOne) {
+  Rng rng(5);
+  TraceWorkload workload(random_trace(rng, 8, 16, 2));
+  ClusterRuntime runtime(workload, Placement::stretch(8, 2));
+  runtime.run_init();
+  const IterationMetrics m = runtime.run_iteration();
+  EXPECT_GE(m.load_imbalance, 1.0);
+  EXPECT_LT(m.load_imbalance, 3.0);
+}
+
+TEST(LoadImbalanceMetric, LopsidedPlacementScoresWorse) {
+  // Equal per-thread compute, no sharing: a 7/1 split leaves node 1
+  // idle most of the iteration while a 4/4 split is perfectly even.
+  PrivateWorkload workload(8, 2);
+
+  ClusterRuntime balanced(workload, Placement::stretch(8, 2));
+  balanced.run_init();
+  const double fair = balanced.run_iteration().load_imbalance;
+
+  ClusterRuntime lopsided(workload, Placement({0, 0, 0, 0, 0, 0, 0, 1}, 2));
+  lopsided.run_init();
+  const double unfair = lopsided.run_iteration().load_imbalance;
+
+  EXPECT_NEAR(fair, 1.0, 0.05);
+  EXPECT_GT(unfair, 1.5);
+}
+
+}  // namespace
+}  // namespace actrack

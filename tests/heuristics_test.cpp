@@ -1,0 +1,175 @@
+#include "placement/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+/// Ring correlation: c(t, t±1 mod n) = w.
+CorrelationMatrix ring_matrix(std::int32_t n, std::int64_t w = 10) {
+  CorrelationMatrix m(n);
+  for (ThreadId t = 0; t < n; ++t) {
+    m.set(t, (t + 1) % n, w);
+  }
+  return m;
+}
+
+/// Block correlation: threads in the same group of `g` share weight w.
+CorrelationMatrix block_matrix(std::int32_t n, std::int32_t g,
+                               std::int64_t w = 10) {
+  CorrelationMatrix m(n);
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      if (i / g == j / g) m.set(i, j, w);
+    }
+  }
+  return m;
+}
+
+TEST(RandomPlacementTest, RespectsMinimumPerNode) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Placement p = random_placement(rng, 64, 8, 2);
+    for (NodeId n = 0; n < 8; ++n) EXPECT_GE(p.threads_on(n), 2);
+  }
+}
+
+TEST(RandomPlacementTest, ProducesUnequalCounts) {
+  // Table 2: "Equal numbers of threads were not necessarily present on
+  // each node" — across many samples some placement must be unbalanced.
+  Rng rng(2);
+  bool saw_unbalanced = false;
+  for (int trial = 0; trial < 20 && !saw_unbalanced; ++trial) {
+    const Placement p = random_placement(rng, 64, 8, 2);
+    for (NodeId n = 0; n < 8; ++n) {
+      if (p.threads_on(n) != 8) saw_unbalanced = true;
+    }
+  }
+  EXPECT_TRUE(saw_unbalanced);
+}
+
+TEST(RandomPlacementTest, RejectsInfeasibleMinimum) {
+  Rng rng(3);
+  EXPECT_THROW((void)random_placement(rng, 15, 8, 2), std::logic_error);
+}
+
+TEST(BalancedRandomTest, AlwaysBalanced) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Placement p = balanced_random_placement(rng, 64, 8);
+    for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(p.threads_on(n), 8);
+  }
+}
+
+TEST(BalancedRandomTest, HandlesRemainder) {
+  Rng rng(5);
+  const Placement p = balanced_random_placement(rng, 10, 4);
+  std::int32_t total = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_GE(p.threads_on(n), 2);
+    EXPECT_LE(p.threads_on(n), 3);
+    total += p.threads_on(n);
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(MinCostTest, SolvesRingExactly) {
+  // On a ring, contiguous chunks are optimal: cut = num_nodes * w.
+  const CorrelationMatrix m = ring_matrix(16, 10);
+  const Placement p = min_cost_placement(m, 4);
+  EXPECT_EQ(m.cut_cost(p.node_of_thread()), 4 * 10);
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(p.threads_on(n), 4);
+}
+
+TEST(MinCostTest, SolvesBlockStructureExactly) {
+  // Groups of 4 with heavy internal sharing; 4 nodes of capacity 4:
+  // perfect assignment has zero cut.
+  const CorrelationMatrix m = block_matrix(16, 4, 10);
+  const Placement p = min_cost_placement(m, 4);
+  EXPECT_EQ(m.cut_cost(p.node_of_thread()), 0);
+}
+
+TEST(MinCostTest, BalancedEvenWhenUniform) {
+  // All-to-all sharing: every balanced mapping is equivalent; result
+  // must still be balanced.
+  CorrelationMatrix m(12);
+  for (ThreadId i = 0; i < 12; ++i) {
+    for (ThreadId j = i + 1; j < 12; ++j) m.set(i, j, 5);
+  }
+  const Placement p = min_cost_placement(m, 3);
+  for (NodeId n = 0; n < 3; ++n) EXPECT_EQ(p.threads_on(n), 4);
+}
+
+TEST(MinCostTest, MatchesOptimalOnSmallInstances) {
+  // §5.1's claim: min-cost within 1 % of optimal.  On these sizes we
+  // can verify exact equality against branch-and-bound.
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    CorrelationMatrix m(8);
+    for (ThreadId i = 0; i < 8; ++i) {
+      for (ThreadId j = i + 1; j < 8; ++j) {
+        m.set(i, j, rng.uniform(20));
+      }
+    }
+    const Placement heuristic = min_cost_placement(m, 2);
+    const auto optimal = optimal_placement(m, 2);
+    ASSERT_TRUE(optimal.has_value());
+    const std::int64_t best = m.cut_cost(optimal->node_of_thread());
+    const std::int64_t heur = m.cut_cost(heuristic.node_of_thread());
+    // §5.1: within 1 % of optimal (and never below it).
+    EXPECT_GE(heur, best) << "seed " << seed;
+    EXPECT_LE(heur, best + best / 100 + 1) << "seed " << seed;
+  }
+}
+
+TEST(OptimalTest, FindsZeroCutWhenOneExists) {
+  const CorrelationMatrix m = block_matrix(8, 4, 7);
+  const auto p = optimal_placement(m, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(m.cut_cost(p->node_of_thread()), 0);
+}
+
+TEST(OptimalTest, BalancedResult) {
+  const CorrelationMatrix m = ring_matrix(10);
+  const auto p = optimal_placement(m, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->threads_on(0), 5);
+  EXPECT_EQ(p->threads_on(1), 5);
+}
+
+TEST(OptimalTest, GivesUpGracefullyOnHugeInstances) {
+  CorrelationMatrix m(40);
+  Rng rng(5);
+  for (ThreadId i = 0; i < 40; ++i) {
+    for (ThreadId j = i + 1; j < 40; ++j) m.set(i, j, rng.uniform(100));
+  }
+  const auto p = optimal_placement(m, 8, /*node_budget=*/1000);
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(RefineTest, NeverWorsensCut) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    CorrelationMatrix m(16);
+    for (ThreadId i = 0; i < 16; ++i) {
+      for (ThreadId j = i + 1; j < 16; ++j) m.set(i, j, rng.uniform(30));
+    }
+    const Placement start = balanced_random_placement(rng, 16, 4);
+    const Placement refined = refine_by_swaps(m, start);
+    EXPECT_LE(m.cut_cost(refined.node_of_thread()),
+              m.cut_cost(start.node_of_thread()));
+    for (NodeId n = 0; n < 4; ++n) {
+      EXPECT_EQ(refined.threads_on(n), start.threads_on(n));
+    }
+  }
+}
+
+TEST(MinCostTest, DeterministicForFixedOptions) {
+  const CorrelationMatrix m = ring_matrix(24);
+  const Placement a = min_cost_placement(m, 4);
+  const Placement b = min_cost_placement(m, 4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,139 @@
+// Cross-module integration tests: the paper's end-to-end claims at
+// reduced scale (16 threads, 4 nodes) so the whole suite stays fast.
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "common/stats.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+namespace {
+
+std::int64_t m_cut(const CorrelationMatrix& m, const Placement& p) {
+  return m.cut_cost(p.node_of_thread());
+}
+
+/// Runs `iters` measured iterations and returns summed metrics.
+IterationMetrics measure(const Workload& w, const Placement& p,
+                         std::int32_t iters) {
+  ClusterRuntime runtime(w, p);
+  runtime.run_init();
+  runtime.run_iteration();  // warm-up: stabilise replica distribution
+  IterationMetrics total;
+  for (std::int32_t i = 0; i < iters; ++i) {
+    total.add(runtime.run_iteration());
+  }
+  return total;
+}
+
+TEST(EndToEnd, CutCostPredictsRemoteMisses) {
+  // §2 / Table 2 in miniature: across random configurations, cut cost
+  // and measured remote misses correlate strongly for SOR.
+  const auto w = make_workload("SOR", 16);
+  const CorrelationMatrix matrix = collect_correlations(*w, 4);
+  Rng rng(2024);
+  std::vector<double> cuts, misses;
+  for (std::int32_t c = 0; c < 12; ++c) {
+    const Placement p = random_placement(rng, 16, 4, 2);
+    cuts.push_back(static_cast<double>(m_cut(matrix, p)));
+    misses.push_back(static_cast<double>(measure(*w, p, 2).remote_misses));
+  }
+  const LinearFit fit = fit_linear(cuts, misses);
+  EXPECT_GT(fit.correlation, 0.9);  // paper: 0.961 for SOR
+  EXPECT_GT(fit.slope, 0.0);
+}
+
+TEST(EndToEnd, MinCostBeatsRandomOnEveryLockFreeApp) {
+  // Table 6 in miniature: min-cost placements produce fewer remote
+  // misses and less traffic than random ones.
+  Rng rng(7);
+  for (const char* name : {"SOR", "FFT6", "LU1k"}) {
+    const auto w = make_workload(name, 16);
+    const CorrelationMatrix matrix = collect_correlations(*w, 4);
+    const Placement good = min_cost_placement(matrix, 4);
+    const Placement bad = balanced_random_placement(rng, 16, 4);
+    const IterationMetrics gm = measure(*w, good, 2);
+    const IterationMetrics bm = measure(*w, bad, 2);
+    EXPECT_LE(gm.remote_misses, bm.remote_misses) << name;
+    EXPECT_LE(gm.total_bytes, bm.total_bytes) << name;
+  }
+}
+
+TEST(EndToEnd, StretchNearMinCostOnNearestNeighbourApps) {
+  // §5.1: stretch ≈ min-cost for nearest-neighbour sharing.
+  const auto w = make_workload("SOR", 16);
+  const CorrelationMatrix matrix = collect_correlations(*w, 4);
+  const std::int64_t stretch_cut =
+      matrix.cut_cost(Placement::stretch(16, 4).node_of_thread());
+  const std::int64_t mincost_cut =
+      matrix.cut_cost(min_cost_placement(matrix, 4).node_of_thread());
+  EXPECT_LE(stretch_cut, mincost_cut + mincost_cut / 100 + 1);
+}
+
+TEST(EndToEnd, TrackThenMigrateImprovesSteadyState) {
+  // The paper's full workflow: run on a poor placement, track once,
+  // migrate everything in one round, and enjoy lower steady-state
+  // communication.
+  const auto w = make_workload("SOR", 16);
+  Rng rng(99);
+  const Placement poor = balanced_random_placement(rng, 16, 4);
+
+  ClusterRuntime runtime(*w, poor);
+  runtime.run_init();
+  runtime.run_iteration();
+  const std::int64_t misses_before = runtime.run_iteration().remote_misses;
+
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  const CorrelationMatrix matrix =
+      CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps);
+  const Placement better = min_cost_placement(matrix, 4);
+  runtime.migrate_to(better);
+  runtime.run_iteration();  // faults from migration settle
+  const std::int64_t misses_after = runtime.run_iteration().remote_misses;
+
+  EXPECT_LT(misses_after, misses_before);
+}
+
+TEST(EndToEnd, FourNodesBeatEightWhenClustersAreEight) {
+  // §3's LU observation, demonstrated with FFT6's eight-thread
+  // clusters at 64 threads: an 8-node balanced placement must split
+  // every cluster, a 4-node one (16 threads per node) need not split
+  // any... at 32 threads, clusters of 8 fit 4 nodes (8/node) but not
+  // 8 nodes (4/node).
+  const auto w = make_workload("FFT6", 32);
+  const CorrelationMatrix matrix = collect_correlations(*w, 4);
+  const std::int64_t cut4 =
+      matrix.cut_cost(min_cost_placement(matrix, 4).node_of_thread());
+  const std::int64_t cut8 =
+      matrix.cut_cost(min_cost_placement(matrix, 8).node_of_thread());
+  EXPECT_LT(cut4, cut8);
+}
+
+TEST(EndToEnd, LatencyTolerationWorthRoughlyTenPercent) {
+  // §4.2 cites 10-15% for the multithreading latency toleration that
+  // tracking temporarily gives up; our scheduler should show a benefit
+  // in that regime on a communication-heavy app.  FFT's transposes give
+  // each thread a stream of distinct remote pages whose fetches can
+  // overlap other threads' compute.
+  const auto w = make_workload("FFT6", 16);
+  RuntimeConfig hiding;
+  hiding.sched.latency_hiding = true;
+  ClusterRuntime a(*w, Placement::stretch(16, 4), hiding);
+  a.run_init();
+  a.run_iteration();
+  const SimTime t_hide = a.run_iteration().elapsed_us;
+
+  RuntimeConfig stall;
+  stall.sched.latency_hiding = false;
+  ClusterRuntime b(*w, Placement::stretch(16, 4), stall);
+  b.run_init();
+  b.run_iteration();
+  const SimTime t_stall = b.run_iteration().elapsed_us;
+
+  EXPECT_GT(t_stall, t_hide);
+  EXPECT_LT(t_stall, t_hide * 2);  // benefit, but not a rewrite of physics
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,106 @@
+// Tests of the adaptive irregular mesh workload (§7 / reference [14]).
+#include <gtest/gtest.h>
+
+#include "apps/irregular_mesh.hpp"
+#include "correlation/matrix.hpp"
+#include "runtime/adaptive.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(IrregularMesh, TracesAreWellFormed) {
+  IrregularMeshWorkload w(16);
+  for (std::int32_t iter = 0; iter < 4; ++iter) {
+    EXPECT_NO_THROW(validate_trace(w.iteration(iter), w.num_pages()));
+  }
+}
+
+TEST(IrregularMesh, StableWithinRemeshEpoch) {
+  IrregularMeshWorkload::Config config;
+  config.remesh_period = 4;
+  IrregularMeshWorkload w(16, config);
+  const auto a = pages_touched_per_thread(w.iteration(1), w.num_pages());
+  const auto b = pages_touched_per_thread(w.iteration(3), w.num_pages());
+  EXPECT_EQ(a, b);
+}
+
+TEST(IrregularMesh, RemeshChangesTheEdgeSet) {
+  IrregularMeshWorkload::Config config;
+  config.remesh_period = 4;
+  IrregularMeshWorkload w(16, config);
+  const auto a = pages_touched_per_thread(w.iteration(1), w.num_pages());
+  const auto b = pages_touched_per_thread(w.iteration(5), w.num_pages());
+  EXPECT_NE(a, b);
+}
+
+TEST(IrregularMesh, RemeshIsPartialNotWholesale) {
+  // With element migration disabled (epoch_shift 0), adaptive
+  // refinement redraws only a fraction of the edges: consecutive
+  // epochs must share most of their (thread, page) pairs.
+  IrregularMeshWorkload::Config config;
+  config.remesh_period = 4;
+  config.epoch_shift = 0;
+  IrregularMeshWorkload w(16, config);
+  const auto a = pages_touched_per_thread(w.iteration(1), w.num_pages());
+  const auto b = pages_touched_per_thread(w.iteration(5), w.num_pages());
+  std::int64_t common = 0, total_a = 0;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    common += a[t].intersection_count(b[t]);
+    total_a += a[t].count();
+  }
+  EXPECT_GT(common, total_a / 2);
+  EXPECT_LT(common, total_a);
+}
+
+TEST(IrregularMesh, SharingDecaysWithThreadDistance) {
+  IrregularMeshWorkload w(32);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(
+      pages_touched_per_thread(w.iteration(1), w.num_pages()));
+  // Geometric edge-distance distribution: adjacent threads share more
+  // than distant ones, aggregated over several pairs for robustness.
+  std::int64_t near = 0, far = 0;
+  for (ThreadId t = 0; t < 16; ++t) {
+    near += m.at(t, (t + 1) % 32);
+    far += m.at(t, (t + 12) % 32);
+  }
+  EXPECT_GT(near, 2 * far);
+}
+
+TEST(IrregularMesh, AdaptiveControllerFollowsRemeshing) {
+  IrregularMeshWorkload::Config config;
+  config.remesh_period = 6;
+  config.remote_edge_percent = 40;
+  IrregularMeshWorkload w(16, config);
+  ClusterRuntime runtime(w, Placement::stretch(16, 4));
+  AdaptivePolicy policy;
+  policy.degradation_factor = 1.2;
+  policy.cooldown_iterations = 2;
+  AdaptiveController controller(&runtime, policy);
+  controller.run(24);
+  // The mesh keeps changing; the controller must keep re-tracking.
+  EXPECT_GT(controller.tracked_iterations(), 1);
+}
+
+TEST(IrregularMesh, SeedChangesTheMesh) {
+  IrregularMeshWorkload::Config a_config;
+  a_config.seed = 1;
+  IrregularMeshWorkload::Config b_config;
+  b_config.seed = 2;
+  IrregularMeshWorkload a(16, a_config);
+  IrregularMeshWorkload b(16, b_config);
+  EXPECT_NE(pages_touched_per_thread(a.iteration(1), a.num_pages()),
+            pages_touched_per_thread(b.iteration(1), b.num_pages()));
+}
+
+TEST(IrregularMesh, RejectsBadConfig) {
+  IrregularMeshWorkload::Config config;
+  config.remote_edge_percent = 150;
+  EXPECT_THROW(IrregularMeshWorkload(8, config), std::logic_error);
+  config = {};
+  config.remesh_period = 0;
+  EXPECT_THROW(IrregularMeshWorkload(8, config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack

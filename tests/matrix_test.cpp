@@ -1,0 +1,103 @@
+#include "correlation/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+TEST(CorrelationMatrixTest, StartsZero) {
+  CorrelationMatrix m(4);
+  EXPECT_EQ(m.num_threads(), 4);
+  for (ThreadId i = 0; i < 4; ++i) {
+    for (ThreadId j = 0; j < 4; ++j) EXPECT_EQ(m.at(i, j), 0);
+  }
+}
+
+TEST(CorrelationMatrixTest, SetIsSymmetric) {
+  CorrelationMatrix m(3);
+  m.set(0, 2, 7);
+  EXPECT_EQ(m.at(0, 2), 7);
+  EXPECT_EQ(m.at(2, 0), 7);
+}
+
+TEST(CorrelationMatrixTest, FromBitmapsComputesSharedPages) {
+  // Thread 0: pages {0,1,2}; thread 1: pages {1,2,3}; thread 2: {5}.
+  std::vector<DynamicBitset> bitmaps(3, DynamicBitset(8));
+  bitmaps[0].set(0);
+  bitmaps[0].set(1);
+  bitmaps[0].set(2);
+  bitmaps[1].set(1);
+  bitmaps[1].set(2);
+  bitmaps[1].set(3);
+  bitmaps[2].set(5);
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(bitmaps);
+  EXPECT_EQ(m.at(0, 1), 2);  // pages 1 and 2
+  EXPECT_EQ(m.at(0, 2), 0);
+  EXPECT_EQ(m.at(1, 2), 0);
+  // Diagonal is the thread's own page count.
+  EXPECT_EQ(m.at(0, 0), 3);
+  EXPECT_EQ(m.at(1, 1), 3);
+  EXPECT_EQ(m.at(2, 2), 1);
+}
+
+TEST(CorrelationMatrixTest, MaxOffDiagonalIgnoresDiagonal) {
+  CorrelationMatrix m(3);
+  m.set(0, 0, 100);
+  m.set(1, 2, 9);
+  EXPECT_EQ(m.max_off_diagonal(), 9);
+}
+
+TEST(CorrelationMatrixTest, CutCostCountsCrossNodePairsOnce) {
+  CorrelationMatrix m(4);
+  m.set(0, 1, 5);
+  m.set(0, 2, 3);
+  m.set(1, 3, 2);
+  m.set(2, 3, 7);
+  // Nodes: {0,1} on node 0, {2,3} on node 1.
+  const std::vector<NodeId> assignment = {0, 0, 1, 1};
+  // Cross pairs: (0,2)=3, (0,3)=0, (1,2)=0, (1,3)=2 → 5.
+  EXPECT_EQ(m.cut_cost(assignment), 5);
+}
+
+TEST(CorrelationMatrixTest, AllOnOneNodeHasZeroCut) {
+  CorrelationMatrix m(4);
+  m.set(0, 1, 5);
+  m.set(2, 3, 7);
+  EXPECT_EQ(m.cut_cost({0, 0, 0, 0}), 0);
+}
+
+TEST(CorrelationMatrixTest, AllSeparateEqualsTotalPairCorrelation) {
+  CorrelationMatrix m(4);
+  m.set(0, 1, 5);
+  m.set(0, 2, 3);
+  m.set(1, 3, 2);
+  m.set(2, 3, 7);
+  EXPECT_EQ(m.cut_cost({0, 1, 2, 3}), m.total_pair_correlation());
+  EXPECT_EQ(m.total_pair_correlation(), 17);
+}
+
+TEST(CorrelationMatrixTest, CutCostRejectsWrongSize) {
+  CorrelationMatrix m(4);
+  EXPECT_THROW((void)m.cut_cost({0, 1}), std::logic_error);
+}
+
+TEST(CorrelationMatrixTest, RejectsNegativeValues) {
+  CorrelationMatrix m(2);
+  EXPECT_THROW(m.set(0, 1, -1), std::logic_error);
+}
+
+TEST(CorrelationMatrixTest, FromBitmapsRejectsEmpty) {
+  std::vector<DynamicBitset> empty;
+  EXPECT_THROW((void)CorrelationMatrix::from_bitmaps(empty),
+               std::logic_error);
+}
+
+TEST(CorrelationMatrixTest, OutOfRangeIndexThrows) {
+  CorrelationMatrix m(2);
+  EXPECT_THROW((void)m.at(2, 0), std::logic_error);
+  EXPECT_THROW((void)m.at(0, -1), std::logic_error);
+  EXPECT_THROW(m.set(2, 0, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "placement/heuristics.hpp"
+
+namespace actrack {
+namespace {
+
+CorrelationMatrix random_matrix(std::int32_t n, std::uint64_t seed,
+                                std::int64_t max_weight = 50) {
+  CorrelationMatrix m(n);
+  Rng rng(seed);
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      m.set(i, j, rng.uniform(max_weight));
+    }
+  }
+  return m;
+}
+
+TEST(MigrationBudget, ZeroBudgetKeepsPlacement) {
+  const CorrelationMatrix m = random_matrix(12, 1);
+  const Placement current = Placement::stretch(12, 3);
+  const Placement result = min_cost_within_budget(m, current, 0);
+  EXPECT_EQ(result, current);
+}
+
+TEST(MigrationBudget, RespectsBudget) {
+  const CorrelationMatrix m = random_matrix(16, 2);
+  const Placement current = Placement::stretch(16, 4);
+  for (const std::int32_t budget : {1, 2, 4, 6, 10}) {
+    const Placement result = min_cost_within_budget(m, current, budget);
+    EXPECT_LE(current.migration_distance(result), budget)
+        << "budget " << budget;
+  }
+}
+
+TEST(MigrationBudget, NeverWorsensCut) {
+  const CorrelationMatrix m = random_matrix(16, 3);
+  Rng rng(4);
+  const Placement current = balanced_random_placement(rng, 16, 4);
+  for (const std::int32_t budget : {0, 2, 4, 8, 16}) {
+    const Placement result = min_cost_within_budget(m, current, budget);
+    EXPECT_LE(m.cut_cost(result.node_of_thread()),
+              m.cut_cost(current.node_of_thread()));
+  }
+}
+
+TEST(MigrationBudget, PreservesNodePopulations) {
+  const CorrelationMatrix m = random_matrix(12, 5);
+  const Placement current({0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 2}, 3);
+  const Placement result = min_cost_within_budget(m, current, 6);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(result.threads_on(n), current.threads_on(n));
+  }
+}
+
+TEST(MigrationBudget, MoreBudgetNeverHurts) {
+  const CorrelationMatrix m = random_matrix(16, 6);
+  Rng rng(7);
+  const Placement current = balanced_random_placement(rng, 16, 4);
+  std::int64_t previous = m.cut_cost(current.node_of_thread());
+  for (const std::int32_t budget : {2, 4, 8, 16}) {
+    const std::int64_t cut = m.cut_cost(
+        min_cost_within_budget(m, current, budget).node_of_thread());
+    EXPECT_LE(cut, previous) << "budget " << budget;
+    previous = cut;
+  }
+}
+
+TEST(MigrationBudget, UnlimitedBudgetApproachesFullRefinement) {
+  const CorrelationMatrix m = random_matrix(12, 8);
+  Rng rng(9);
+  const Placement current = balanced_random_placement(rng, 12, 3);
+  const std::int64_t budgeted = m.cut_cost(
+      min_cost_within_budget(m, current, 12).node_of_thread());
+  const std::int64_t refined =
+      m.cut_cost(refine_by_swaps(m, current).node_of_thread());
+  EXPECT_EQ(budgeted, refined);  // same swap descent once unconstrained
+}
+
+TEST(MigrationBudget, TwoMovesFixTheWorstPair) {
+  // Threads 0 and 5 share heavily but sit on different nodes; one swap
+  // (two moves) must reunite them.
+  CorrelationMatrix m(8);
+  m.set(0, 5, 100);
+  const Placement current = Placement::stretch(8, 2);  // 0..3 | 4..7
+  const Placement result = min_cost_within_budget(m, current, 2);
+  EXPECT_EQ(result.node_of(0), result.node_of(5));
+  EXPECT_EQ(m.cut_cost(result.node_of_thread()), 0);
+}
+
+TEST(MigrationBudget, RejectsMismatchedInputs) {
+  const CorrelationMatrix m = random_matrix(8, 10);
+  const Placement current = Placement::stretch(12, 3);
+  EXPECT_THROW((void)min_cost_within_budget(m, current, 2),
+               std::logic_error);
+  const Placement ok = Placement::stretch(8, 2);
+  EXPECT_THROW((void)min_cost_within_budget(m, ok, -1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,91 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+TEST(CostModel, TransferTimeIsLatencyPlusBandwidth) {
+  CostModel cost;
+  cost.net_latency_us = 100;
+  cost.net_bandwidth_mb_per_s = 40.0;
+  cost.message_header_bytes = 0;
+  // 4000 bytes at 40 B/µs = 100 µs on the wire.
+  EXPECT_EQ(cost.transfer_us(4000), 200);
+  // Round trip adds the request latency.
+  EXPECT_EQ(cost.round_trip_us(4000), 300);
+}
+
+TEST(CostModel, HeaderBytesCountTowardTransfer) {
+  CostModel cost;
+  cost.net_latency_us = 0;
+  cost.net_bandwidth_mb_per_s = 1.0;
+  cost.message_header_bytes = 64;
+  EXPECT_EQ(cost.transfer_us(0), 64);
+}
+
+TEST(NetworkModel, CountsMessagesAndBytes) {
+  NetworkModel net(4, CostModel{});
+  net.send(0, 1, 1000, PayloadKind::kFullPage);
+  net.send(1, 0, 500, PayloadKind::kDiff);
+  net.send(2, 3, 0, PayloadKind::kControl);
+
+  const NetCounters& totals = net.totals();
+  EXPECT_EQ(totals.messages, 3);
+  EXPECT_EQ(totals.total_bytes,
+            1000 + 500 + 0 + 3 * CostModel{}.message_header_bytes);
+  EXPECT_EQ(totals.diff_bytes, 500);
+  EXPECT_EQ(totals.page_bytes, 1000);
+}
+
+TEST(NetworkModel, PerNodeAttributionToSender) {
+  NetworkModel net(3, CostModel{});
+  net.send(0, 1, 100, PayloadKind::kDiff);
+  net.send(0, 2, 100, PayloadKind::kDiff);
+  net.send(2, 0, 100, PayloadKind::kControl);
+  EXPECT_EQ(net.node_counters(0).messages, 2);
+  EXPECT_EQ(net.node_counters(1).messages, 0);
+  EXPECT_EQ(net.node_counters(2).messages, 1);
+  EXPECT_EQ(net.node_counters(0).diff_bytes, 200);
+}
+
+TEST(NetworkModel, RejectsLoopback) {
+  NetworkModel net(2, CostModel{});
+  EXPECT_THROW(net.send(1, 1, 10, PayloadKind::kControl), std::logic_error);
+}
+
+TEST(NetworkModel, RejectsBadNodesAndSizes) {
+  NetworkModel net(2, CostModel{});
+  EXPECT_THROW(net.send(-1, 0, 10, PayloadKind::kControl), std::logic_error);
+  EXPECT_THROW(net.send(0, 2, 10, PayloadKind::kControl), std::logic_error);
+  EXPECT_THROW(net.send(0, 1, -5, PayloadKind::kControl), std::logic_error);
+}
+
+TEST(NetworkModel, ResetClearsCounters) {
+  NetworkModel net(2, CostModel{});
+  net.send(0, 1, 100, PayloadKind::kDiff);
+  net.reset_counters();
+  EXPECT_EQ(net.totals().messages, 0);
+  EXPECT_EQ(net.totals().total_bytes, 0);
+  EXPECT_EQ(net.node_counters(0).messages, 0);
+}
+
+TEST(NetworkModel, SendReturnsTransferTime) {
+  CostModel cost;
+  NetworkModel net(2, cost);
+  EXPECT_EQ(net.send(0, 1, 4096, PayloadKind::kFullPage),
+            cost.transfer_us(4096));
+}
+
+TEST(NetCountersTest, AddAccumulates) {
+  NetCounters a{1, 100, 20, 30};
+  NetCounters b{2, 200, 40, 60};
+  a.add(b);
+  EXPECT_EQ(a.messages, 3);
+  EXPECT_EQ(a.total_bytes, 300);
+  EXPECT_EQ(a.diff_bytes, 60);
+  EXPECT_EQ(a.page_bytes, 90);
+}
+
+}  // namespace
+}  // namespace actrack

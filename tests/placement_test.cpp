@@ -1,0 +1,79 @@
+#include "placement/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+TEST(PlacementTest, StretchDividesEvenly) {
+  const Placement p = Placement::stretch(64, 8);
+  EXPECT_EQ(p.num_threads(), 64);
+  EXPECT_EQ(p.num_nodes(), 8);
+  for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(p.threads_on(n), 8);
+  // §5.1: "the first 16 on node 0, the second 16 on node 1, ..." — the
+  // assignment is contiguous and monotone.
+  for (ThreadId t = 1; t < 64; ++t) {
+    EXPECT_GE(p.node_of(t), p.node_of(t - 1));
+  }
+  EXPECT_EQ(p.node_of(0), 0);
+  EXPECT_EQ(p.node_of(63), 7);
+}
+
+TEST(PlacementTest, StretchSpreadsRemainder) {
+  const Placement p = Placement::stretch(10, 4);
+  // 10 = 3+3+2+2.
+  EXPECT_EQ(p.threads_on(0), 3);
+  EXPECT_EQ(p.threads_on(1), 3);
+  EXPECT_EQ(p.threads_on(2), 2);
+  EXPECT_EQ(p.threads_on(3), 2);
+}
+
+TEST(PlacementTest, StretchRejectsMoreNodesThanThreads) {
+  EXPECT_THROW((void)Placement::stretch(3, 4), std::logic_error);
+}
+
+TEST(PlacementTest, ConstructorValidatesNodeIds) {
+  EXPECT_THROW(Placement({0, 1, 2}, 2), std::logic_error);
+  EXPECT_THROW(Placement({0, -1}, 2), std::logic_error);
+  EXPECT_THROW(Placement({}, 2), std::logic_error);
+}
+
+TEST(PlacementTest, ThreadsByNode) {
+  const Placement p({1, 0, 1, 0}, 2);
+  const auto by_node = p.threads_by_node();
+  ASSERT_EQ(by_node.size(), 2u);
+  EXPECT_EQ(by_node[0], (std::vector<ThreadId>{1, 3}));
+  EXPECT_EQ(by_node[1], (std::vector<ThreadId>{0, 2}));
+}
+
+TEST(PlacementTest, MigrationDistance) {
+  const Placement a({0, 0, 1, 1}, 2);
+  const Placement b({0, 1, 1, 0}, 2);
+  EXPECT_EQ(a.migration_distance(b), 2);
+  EXPECT_EQ(a.migration_distance(a), 0);
+  EXPECT_EQ(b.migration_distance(a), 2);  // symmetric
+}
+
+TEST(PlacementTest, MigrationDistanceRejectsSizeMismatch) {
+  const Placement a({0, 1}, 2);
+  const Placement b({0, 1, 0}, 2);
+  EXPECT_THROW((void)a.migration_distance(b), std::logic_error);
+}
+
+TEST(PlacementTest, NodeOfBoundsChecked) {
+  const Placement p({0, 1}, 2);
+  EXPECT_THROW((void)p.node_of(2), std::logic_error);
+  EXPECT_THROW((void)p.node_of(-1), std::logic_error);
+  EXPECT_THROW((void)p.threads_on(2), std::logic_error);
+}
+
+TEST(PlacementTest, Equality) {
+  const Placement a({0, 1}, 2);
+  const Placement b({0, 1}, 2);
+  const Placement c({1, 0}, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,196 @@
+// Property-based suites (parameterised sweeps) over protocol and
+// placement invariants that must hold for arbitrary workload shapes and
+// placements — the safety net under the experiment code.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "apps/workload.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/weighted.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+// ---------------------------------------------------------------------
+// Invariants over random placements of a fixed workload.
+
+class RandomPlacementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlacementProperty, ProtocolInvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  RingWorkload w(12, 3, 1);
+  const Placement p = random_placement(rng, 12, 3, 2);
+  ClusterRuntime runtime(w, p);
+  runtime.run_init();
+  for (int iter = 0; iter < 3; ++iter) {
+    const IterationMetrics m = runtime.run_iteration();
+    // A remote miss always moves at least one message, and bytes are
+    // consistent with message counts.
+    if (m.remote_misses > 0) {
+      EXPECT_GT(m.messages, 0);
+    }
+    EXPECT_GE(m.total_bytes,
+              m.messages * CostModel{}.message_header_bytes);
+    EXPECT_LE(m.diff_bytes, m.total_bytes);
+    EXPECT_GE(m.elapsed_us, 0);
+  }
+}
+
+TEST_P(RandomPlacementProperty, TrackingIsExactUnderAnyPlacement) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  PairsWithLockWorkload w(12, 2);
+  const Placement p = random_placement(rng, 12, 3, 2);
+  ClusterRuntime runtime(w, p);
+  runtime.run_init();
+  const IterationTrace reference = w.iteration(runtime.next_iteration());
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  const auto oracle = pages_touched_per_thread(reference, w.num_pages());
+  for (std::size_t t = 0; t < oracle.size(); ++t) {
+    EXPECT_EQ(tracked.tracking.access_bitmaps[t], oracle[t]);
+  }
+}
+
+TEST_P(RandomPlacementProperty, SteadyStateMissesBoundedByCutTimesPhases) {
+  // Each cross-node shared page can miss at most once per phase per
+  // node in steady state for a read-sharing ring.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  RingWorkload w(12, 3, 2);
+  const Placement p = random_placement(rng, 12, 3, 2);
+  const CorrelationMatrix m = collect_correlations(w, 3);
+  ClusterRuntime runtime(w, p);
+  runtime.run_init();
+  runtime.run_iteration();
+  const IterationMetrics steady = runtime.run_iteration();
+  const std::int64_t cut = m.cut_cost(p.node_of_thread());
+  EXPECT_LE(steady.remote_misses, 2 * cut + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlacementProperty,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Placement-quality invariants over random correlation matrices.
+
+class HeuristicProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicProperty, MinCostNeverWorseThanStretchOrRandom) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 3);
+  CorrelationMatrix m(12);
+  for (ThreadId i = 0; i < 12; ++i) {
+    for (ThreadId j = i + 1; j < 12; ++j) {
+      m.set(i, j, rng.uniform(50));
+    }
+  }
+  const std::int64_t mincost =
+      m.cut_cost(min_cost_placement(m, 3).node_of_thread());
+  EXPECT_LE(mincost, m.cut_cost(Placement::stretch(12, 3).node_of_thread()));
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_LE(mincost, m.cut_cost(
+        balanced_random_placement(rng, 12, 3).node_of_thread()));
+  }
+}
+
+TEST_P(HeuristicProperty, MinCostWithinOnePercentOfOptimal) {
+  // §5.1's claim, verified exactly on exhaustively-solvable sizes.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 11);
+  CorrelationMatrix m(9);
+  for (ThreadId i = 0; i < 9; ++i) {
+    for (ThreadId j = i + 1; j < 9; ++j) {
+      m.set(i, j, rng.uniform(100));
+    }
+  }
+  const auto opt = optimal_placement(m, 3);
+  ASSERT_TRUE(opt.has_value());
+  const std::int64_t best = m.cut_cost(opt->node_of_thread());
+  const std::int64_t heur =
+      m.cut_cost(min_cost_placement(m, 3).node_of_thread());
+  EXPECT_LE(heur, best + best / 100 + 1);
+  EXPECT_GE(heur, best);  // optimal really is a lower bound
+}
+
+TEST_P(HeuristicProperty, CutCostInvariantUnderNodeRelabelling) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 8191 + 5);
+  CorrelationMatrix m(10);
+  for (ThreadId i = 0; i < 10; ++i) {
+    for (ThreadId j = i + 1; j < 10; ++j) m.set(i, j, rng.uniform(30));
+  }
+  const Placement p = balanced_random_placement(rng, 10, 2);
+  std::vector<NodeId> relabelled;
+  for (const NodeId n : p.node_of_thread()) relabelled.push_back(1 - n);
+  EXPECT_EQ(m.cut_cost(p.node_of_thread()), m.cut_cost(relabelled));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicProperty, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Cross-protocol invariants: whatever the consistency model, accounting
+// stays coherent and tracking stays exact.
+
+class ProtocolProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolProperty, ScAccountingInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 19);
+  RingWorkload w(12, 3, 1);
+  const Placement p = random_placement(rng, 12, 3, 2);
+  RuntimeConfig config;
+  config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  ClusterRuntime runtime(w, p, config);
+  runtime.run_init();
+  for (int iter = 0; iter < 3; ++iter) {
+    const IterationMetrics m = runtime.run_iteration();
+    EXPECT_GE(m.elapsed_us, 0);
+    EXPECT_LE(m.diff_bytes, 0 + m.total_bytes);
+    EXPECT_EQ(m.gc_runs, 0);  // SC has no GC
+  }
+  // Ownership transfers are a subset of remote misses.
+  EXPECT_LE(runtime.dsm().stats().ownership_transfers,
+            runtime.dsm().stats().remote_misses);
+}
+
+TEST_P(ProtocolProperty, WeightedBudgetedPlacementsCompose) {
+  // weighted populations + budget-limited refinement keep both
+  // invariants simultaneously.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  CorrelationMatrix m(12);
+  for (ThreadId i = 0; i < 12; ++i) {
+    for (ThreadId j = i + 1; j < 12; ++j) m.set(i, j, rng.uniform(40));
+  }
+  const std::vector<double> speeds = {2.0, 1.0, 1.0};
+  const Placement start = weighted_stretch(12, speeds);
+  const Placement refined = min_cost_within_budget(m, start, 4);
+  EXPECT_LE(start.migration_distance(refined), 4);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(refined.threads_on(n), start.threads_on(n));
+  }
+  EXPECT_LE(m.cut_cost(refined.node_of_thread()),
+            m.cut_cost(start.node_of_thread()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolProperty, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Determinism across the full pipeline.
+
+TEST(DeterminismProperty, FullPipelineIsBitStable) {
+  for (int rep = 0; rep < 2; ++rep) {
+    static std::int64_t first_elapsed = -1;
+    static std::int64_t first_misses = -1;
+    const auto w = make_workload("Water", 16);
+    ClusterRuntime runtime(*w, Placement::stretch(16, 4));
+    runtime.run_init();
+    runtime.run_iteration();
+    const IterationMetrics m = runtime.run_iteration();
+    if (first_elapsed < 0) {
+      first_elapsed = m.elapsed_us;
+      first_misses = m.remote_misses;
+    } else {
+      EXPECT_EQ(m.elapsed_us, first_elapsed);
+      EXPECT_EQ(m.remote_misses, first_misses);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actrack

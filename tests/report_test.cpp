@@ -1,0 +1,84 @@
+#include "runtime/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace actrack {
+namespace {
+
+IterationMetrics metrics(SimTime us, std::int64_t misses,
+                         ByteCount bytes = 0) {
+  IterationMetrics m;
+  m.elapsed_us = us;
+  m.remote_misses = misses;
+  m.total_bytes = bytes;
+  m.messages = misses;
+  return m;
+}
+
+TEST(MetricsLog, TotalsSumAllEntries) {
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, metrics(100, 5));
+  log.record(StepKind::kIteration, 1, metrics(200, 7));
+  log.record(StepKind::kIteration, 2, metrics(300, 9));
+  const IterationMetrics total = log.total();
+  EXPECT_EQ(total.elapsed_us, 600);
+  EXPECT_EQ(total.remote_misses, 21);
+}
+
+TEST(MetricsLog, TotalsByKind) {
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, metrics(100, 5));
+  log.record(StepKind::kIteration, 1, metrics(200, 7));
+  log.record(StepKind::kMigration, -1, metrics(50, 0));
+  EXPECT_EQ(log.total(StepKind::kIteration).elapsed_us, 200);
+  EXPECT_EQ(log.total(StepKind::kMigration).elapsed_us, 50);
+  EXPECT_EQ(log.total(StepKind::kTrackedIteration).elapsed_us, 0);
+}
+
+TEST(MetricsLog, CsvHasHeaderAndOneRowPerEntry) {
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, metrics(100, 5, 4096));
+  log.record(StepKind::kTrackedIteration, 1, metrics(200, 7));
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("index,kind,elapsed_us", 0), 0u);
+  EXPECT_NE(csv.find("0,init,100,5"), std::string::npos);
+  EXPECT_NE(csv.find("1,tracked,200,7"), std::string::npos);
+  // header + 2 rows = 3 newline-terminated lines
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(MetricsLog, SummaryCountsIterationsSeparately) {
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, metrics(100, 5));
+  log.record(StepKind::kIteration, 1, metrics(100, 5));
+  log.record(StepKind::kIteration, 2, metrics(100, 5));
+  log.record(StepKind::kMigration, -1, metrics(100, 5));
+  const std::string summary = log.summary();
+  EXPECT_NE(summary.find("4 steps (2 iterations)"), std::string::npos);
+  EXPECT_NE(summary.find("20 remote misses"), std::string::npos);
+}
+
+TEST(MetricsLog, StepKindNames) {
+  EXPECT_STREQ(to_string(StepKind::kInit), "init");
+  EXPECT_STREQ(to_string(StepKind::kIteration), "iteration");
+  EXPECT_STREQ(to_string(StepKind::kTrackedIteration), "tracked");
+  EXPECT_STREQ(to_string(StepKind::kMigration), "migration");
+}
+
+TEST(MetricsLog, EmptyLogIsWellBehaved) {
+  MetricsLog log;
+  EXPECT_EQ(log.total().elapsed_us, 0);
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+  EXPECT_NE(log.summary().find("0 steps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,107 @@
+#include "runtime/cluster_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(ClusterRuntimeTest, RejectsMismatchedPlacement) {
+  RingWorkload w(8, 2, 1);
+  EXPECT_THROW(ClusterRuntime(w, Placement::stretch(4, 2)),
+               std::logic_error);
+}
+
+TEST(ClusterRuntimeTest, IterationCounterAdvances) {
+  RingWorkload w(8, 2, 1);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  EXPECT_EQ(runtime.next_iteration(), 0);
+  runtime.run_init();
+  EXPECT_EQ(runtime.next_iteration(), 1);
+  runtime.run_iteration();
+  EXPECT_EQ(runtime.next_iteration(), 2);
+}
+
+TEST(ClusterRuntimeTest, InitTwiceThrows) {
+  RingWorkload w(8, 2, 1);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  runtime.run_init();
+  EXPECT_THROW((void)runtime.run_init(), std::logic_error);
+}
+
+TEST(ClusterRuntimeTest, MetricsAreDeltasAndTotalsAccumulate) {
+  RingWorkload w(8, 2, 1);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  const IterationMetrics init = runtime.run_init();
+  const IterationMetrics iter1 = runtime.run_iteration();
+  EXPECT_GT(init.elapsed_us, 0);
+  EXPECT_GT(iter1.elapsed_us, 0);
+  const IterationMetrics& totals = runtime.totals();
+  EXPECT_EQ(totals.elapsed_us, init.elapsed_us + iter1.elapsed_us);
+  EXPECT_EQ(totals.remote_misses, init.remote_misses + iter1.remote_misses);
+  EXPECT_EQ(totals.messages, init.messages + iter1.messages);
+}
+
+TEST(ClusterRuntimeTest, MigrationUpdatesPlacement) {
+  RingWorkload w(8, 2, 1);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  runtime.run_init();
+  const Placement target({0, 1, 0, 1, 0, 1, 0, 1}, 2);
+  const IterationMetrics m = runtime.migrate_to(target);
+  EXPECT_EQ(runtime.placement(), target);
+  EXPECT_GT(m.total_bytes, 0);  // stacks crossed the wire
+}
+
+TEST(ClusterRuntimeTest, SteadyStateRemoteMissesScaleWithCut) {
+  // Cut-free placement (each ring edge inside a node) vs a placement
+  // that cuts every edge: steady-state misses must be lower for the
+  // former — the premise of the whole paper (§2).
+  RingWorkload w(8, 4, 2);
+
+  ClusterRuntime good(w, Placement({0, 0, 0, 0, 1, 1, 1, 1}, 2));
+  good.run_init();
+  good.run_iteration();
+  const std::int64_t good_misses = good.run_iteration().remote_misses;
+
+  ClusterRuntime bad(w, Placement({0, 1, 0, 1, 0, 1, 0, 1}, 2));
+  bad.run_init();
+  bad.run_iteration();
+  const std::int64_t bad_misses = bad.run_iteration().remote_misses;
+
+  EXPECT_LT(good_misses, bad_misses);
+}
+
+TEST(ClusterRuntimeTest, CollectCorrelationsMatchesOracleOnRing) {
+  RingWorkload w(8, 4, 2);
+  const CorrelationMatrix m = collect_correlations(w, 2);
+  for (ThreadId i = 0; i < 8; ++i) {
+    for (ThreadId j = i + 1; j < 8; ++j) {
+      const bool adjacent = (j - i == 1) || (i == 0 && j == 7);
+      EXPECT_EQ(m.at(i, j), adjacent ? 2 : 0) << i << ',' << j;
+    }
+  }
+}
+
+TEST(ClusterRuntimeTest, DiffBytesFlowOnSharedWrites) {
+  PairsWithLockWorkload w(8, 2);
+  ClusterRuntime runtime(w, Placement({0, 1, 0, 1, 0, 1, 0, 1}, 2));
+  runtime.run_init();
+  runtime.run_iteration();
+  const IterationMetrics m = runtime.run_iteration();
+  EXPECT_GT(m.diff_bytes, 0);
+  EXPECT_LE(m.diff_bytes, m.total_bytes);
+}
+
+TEST(ClusterRuntimeTest, GcRunsWhenThresholdTiny) {
+  RingWorkload w(8, 4, 2);
+  RuntimeConfig config;
+  config.dsm.gc_threshold_bytes = 64;
+  ClusterRuntime runtime(w, Placement::stretch(8, 2), config);
+  runtime.run_init();
+  runtime.run_iteration();
+  EXPECT_GT(runtime.totals().gc_runs, 0);
+}
+
+}  // namespace
+}  // namespace actrack

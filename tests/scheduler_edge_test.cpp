@@ -1,0 +1,179 @@
+// Edge cases of the discrete-event cluster scheduler: degenerate
+// phases, lock chains, wake ordering, single-node clusters.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/synthetic.hpp"
+#include "sched/scheduler.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack {
+namespace {
+
+class SchedulerEdgeTest : public ::testing::Test {
+ protected:
+  void make(PageId pages, NodeId nodes, SchedConfig config = {}) {
+    net_ = std::make_unique<NetworkModel>(nodes, CostModel{});
+    dsm_ = std::make_unique<DsmSystem>(pages, nodes, net_.get());
+    sched_ = std::make_unique<ClusterScheduler>(dsm_.get(), net_.get(),
+                                                std::move(config));
+  }
+
+  /// A trace skeleton with `phases` empty phases for `threads` threads.
+  static IterationTrace skeleton(std::int32_t threads, std::int32_t phases) {
+    IterationTrace trace;
+    trace.num_threads = threads;
+    trace.phases.resize(static_cast<std::size_t>(phases));
+    for (Phase& phase : trace.phases) {
+      phase.threads.resize(static_cast<std::size_t>(threads));
+    }
+    return trace;
+  }
+
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<DsmSystem> dsm_;
+  std::unique_ptr<ClusterScheduler> sched_;
+};
+
+TEST_F(SchedulerEdgeTest, EmptyPhasesStillCostBarriers) {
+  make(4, 2);
+  const IterationTrace trace = skeleton(4, 3);
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement::stretch(4, 2));
+  EXPECT_EQ(r.elapsed_us, 3 * CostModel{}.barrier_us);
+  EXPECT_EQ(r.context_switches, 0);
+}
+
+TEST_F(SchedulerEdgeTest, ThreadWithNoSegmentsFinishesImmediately) {
+  make(4, 2);
+  IterationTrace trace = skeleton(4, 1);
+  // Only thread 2 does anything.
+  Segment seg;
+  seg.compute_us = 1000;
+  trace.phases[0].threads[2].segments.push_back(seg);
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement::stretch(4, 2));
+  EXPECT_GE(r.elapsed_us, 1000 + CostModel{}.barrier_us);
+}
+
+TEST_F(SchedulerEdgeTest, SingleNodeClusterNeverTouchesTheNetwork) {
+  AllToAllWorkload w(8, 2);
+  make(w.num_pages(), 1);
+  const Placement p({0, 0, 0, 0, 0, 0, 0, 0}, 1);
+  sched_->run_iteration(w.iteration(0), p);
+  sched_->run_iteration(w.iteration(1), p);
+  EXPECT_EQ(net_->totals().messages, 0);
+  EXPECT_EQ(dsm_->stats().remote_misses, 0);
+}
+
+TEST_F(SchedulerEdgeTest, LockChainAcrossThreeNodesIsFcfs) {
+  make(4, 3);
+  IterationTrace trace = skeleton(3, 1);
+  // Three threads on three nodes contend for lock 0; each holds it for
+  // a long critical section.  All must complete (no lost wakeups).
+  for (std::int32_t t = 0; t < 3; ++t) {
+    Segment seg;
+    seg.lock_id = 0;
+    seg.compute_us = 500;
+    seg.accesses.push_back({0, AccessKind::kWrite, 64});
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        seg);
+  }
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement({0, 1, 2}, 3));
+  EXPECT_EQ(r.lock_acquires, 3);
+  EXPECT_EQ(r.remote_lock_transfers, 2);
+  // Critical sections serialise: at least 3 x 500 µs of work.
+  EXPECT_GE(r.elapsed_us, 1500);
+}
+
+TEST_F(SchedulerEdgeTest, ReacquiringOwnLockIsCheap) {
+  make(4, 2);
+  IterationTrace trace = skeleton(2, 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    Segment seg;
+    seg.lock_id = 0;
+    seg.compute_us = 10;
+    trace.phases[0].threads[0].segments.push_back(seg);
+  }
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement::stretch(2, 2));
+  EXPECT_EQ(r.lock_acquires, 3);
+  EXPECT_EQ(r.remote_lock_transfers, 0);
+}
+
+TEST_F(SchedulerEdgeTest, ManyLocksDoNotInterfere) {
+  make(8, 2);
+  IterationTrace trace = skeleton(4, 1);
+  // Each thread uses its own lock: no contention, 4 acquires.
+  for (std::int32_t t = 0; t < 4; ++t) {
+    Segment seg;
+    seg.lock_id = t;
+    seg.compute_us = 100;
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        seg);
+  }
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement::stretch(4, 2));
+  EXPECT_EQ(r.lock_acquires, 4);
+  EXPECT_EQ(r.remote_lock_transfers, 0);
+}
+
+TEST_F(SchedulerEdgeTest, UnbalancedPlacementRunsToCompletion) {
+  RingWorkload w(8, 2, 1);
+  make(w.num_pages(), 3);
+  // 6-1-1 split: heavily unbalanced but legal.
+  const Placement p({0, 0, 0, 0, 0, 0, 1, 2}, 3);
+  sched_->run_iteration(w.iteration(0), p);
+  const IterationResult r = sched_->run_iteration(w.iteration(1), p);
+  EXPECT_GT(r.elapsed_us, 0);
+}
+
+TEST_F(SchedulerEdgeTest, TrackedIterationOnEmptyPhase) {
+  make(4, 2);
+  const IterationTrace trace = skeleton(4, 1);
+  const TrackingResult r =
+      sched_->run_tracked_iteration(trace, Placement::stretch(4, 2));
+  EXPECT_EQ(r.tracking_faults, 0);
+  EXPECT_EQ(r.coherence_faults, 0);
+  for (const auto& bitmap : r.access_bitmaps) {
+    EXPECT_EQ(bitmap.count(), 0);
+  }
+}
+
+TEST_F(SchedulerEdgeTest, MigrationBetweenIdenticalPlacementsIsZeroCost) {
+  make(4, 2);
+  const Placement p = Placement::stretch(4, 2);
+  const MigrationResult r = sched_->migrate(p, p);
+  EXPECT_EQ(r.threads_moved, 0);
+  EXPECT_EQ(net_->totals().messages, 0);
+}
+
+TEST_F(SchedulerEdgeTest, ComputeOnlySegmentsAdvanceClocks) {
+  make(4, 2);
+  IterationTrace trace = skeleton(2, 1);
+  Segment seg;
+  seg.compute_us = 12345;
+  trace.phases[0].threads[0].segments.push_back(seg);
+  trace.phases[0].threads[1].segments.push_back(seg);
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement::stretch(2, 2));
+  // Both threads run in parallel on separate nodes.
+  EXPECT_EQ(r.elapsed_us, 12345 + CostModel{}.barrier_us);
+}
+
+TEST_F(SchedulerEdgeTest, SameNodeThreadsSerialise) {
+  make(4, 2);
+  IterationTrace trace = skeleton(2, 1);
+  Segment seg;
+  seg.compute_us = 1000;
+  trace.phases[0].threads[0].segments.push_back(seg);
+  trace.phases[0].threads[1].segments.push_back(seg);
+  const IterationResult r =
+      sched_->run_iteration(trace, Placement({0, 0}, 2));
+  EXPECT_EQ(r.elapsed_us, 2000 + CostModel{}.barrier_us);
+}
+
+}  // namespace
+}  // namespace actrack

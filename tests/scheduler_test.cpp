@@ -1,0 +1,194 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/synthetic.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void make(const Workload& w, NodeId nodes, SchedConfig sched_config = {}) {
+    net_ = std::make_unique<NetworkModel>(nodes, CostModel{});
+    dsm_ = std::make_unique<DsmSystem>(w.num_pages(), nodes, net_.get());
+    sched_ = std::make_unique<ClusterScheduler>(dsm_.get(), net_.get(),
+                                                sched_config);
+  }
+
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<DsmSystem> dsm_;
+  std::unique_ptr<ClusterScheduler> sched_;
+};
+
+TEST_F(SchedulerTest, PrivateWorkloadHasNoRemoteMissesAfterInit) {
+  PrivateWorkload w(8, 2);
+  make(w, 2);
+  const Placement p = Placement::stretch(8, 2);
+  sched_->run_iteration(w.iteration(0), p);
+  const std::int64_t misses_after_init = dsm_->stats().remote_misses;
+  sched_->run_iteration(w.iteration(1), p);
+  sched_->run_iteration(w.iteration(2), p);
+  EXPECT_EQ(dsm_->stats().remote_misses, misses_after_init);
+}
+
+TEST_F(SchedulerTest, ElapsedTimeIsPositiveAndIncludesCompute) {
+  PrivateWorkload w(4, 1);
+  make(w, 2);
+  const Placement p = Placement::stretch(4, 2);
+  const IterationResult r = sched_->run_iteration(w.iteration(1), p);
+  // 2 threads per node, 200 µs compute each, sequential on one CPU.
+  EXPECT_GE(r.elapsed_us, 400);
+}
+
+TEST_F(SchedulerTest, RingSplitAcrossNodesCausesRemoteMisses) {
+  RingWorkload w(8, 4, 2);
+  make(w, 2);
+  const Placement p = Placement::stretch(8, 2);
+  sched_->run_iteration(w.iteration(0), p);
+  const std::int64_t before = dsm_->stats().remote_misses;
+  sched_->run_iteration(w.iteration(1), p);
+  // Threads 3↔4 and 7↔0 straddle the node boundary; their shared pages
+  // must fault remotely.
+  EXPECT_GT(dsm_->stats().remote_misses, before);
+}
+
+TEST_F(SchedulerTest, SameNodePairsShareWithoutRemoteMisses) {
+  // All ring sharing inside one node: after init, iterating causes no
+  // remote traffic at all.
+  RingWorkload w(4, 4, 2);
+  make(w, 1);
+  const Placement p({0, 0, 0, 0}, 1);
+  sched_->run_iteration(w.iteration(0), p);
+  net_->reset_counters();
+  sched_->run_iteration(w.iteration(1), p);
+  EXPECT_EQ(net_->totals().messages, 0);
+}
+
+TEST_F(SchedulerTest, LatencyHidingReducesElapsedTime) {
+  AllToAllWorkload w(16, 2);
+  const Placement p = Placement::stretch(16, 4);
+
+  SchedConfig hiding;
+  hiding.latency_hiding = true;
+  make(w, 4, hiding);
+  sched_->run_iteration(w.iteration(0), p);
+  const SimTime with_hiding =
+      sched_->run_iteration(w.iteration(1), p).elapsed_us;
+
+  SchedConfig stalling;
+  stalling.latency_hiding = false;
+  make(w, 4, stalling);
+  sched_->run_iteration(w.iteration(0), p);
+  const SimTime without_hiding =
+      sched_->run_iteration(w.iteration(1), p).elapsed_us;
+
+  EXPECT_LT(with_hiding, without_hiding);
+}
+
+TEST_F(SchedulerTest, ContextSwitchesOnlyWithLatencyHiding) {
+  AllToAllWorkload w(16, 2);
+  const Placement p = Placement::stretch(16, 4);
+  SchedConfig stalling;
+  stalling.latency_hiding = false;
+  make(w, 4, stalling);
+  sched_->run_iteration(w.iteration(0), p);
+  const IterationResult r = sched_->run_iteration(w.iteration(1), p);
+  EXPECT_EQ(r.context_switches, 0);
+}
+
+TEST_F(SchedulerTest, LockWorkloadCompletesAndCountsAcquires) {
+  PairsWithLockWorkload w(8, 2);
+  make(w, 2);
+  const Placement p = Placement::stretch(8, 2);
+  sched_->run_iteration(w.iteration(0), p);
+  const IterationResult r = sched_->run_iteration(w.iteration(1), p);
+  // Every thread acquires the global lock once.
+  EXPECT_EQ(r.lock_acquires, 8);
+  // The lock must cross nodes at least once.
+  EXPECT_GE(r.remote_lock_transfers, 1);
+}
+
+TEST_F(SchedulerTest, LockSerialisesAcrossPlacements) {
+  // All threads on one node: no remote lock transfers.
+  PairsWithLockWorkload w(4, 1);
+  make(w, 1);
+  const Placement p({0, 0, 0, 0}, 1);
+  sched_->run_iteration(w.iteration(0), p);
+  const IterationResult r = sched_->run_iteration(w.iteration(1), p);
+  EXPECT_EQ(r.lock_acquires, 4);
+  EXPECT_EQ(r.remote_lock_transfers, 0);
+}
+
+TEST_F(SchedulerTest, DeterministicAcrossRuns) {
+  RingWorkload w(16, 3, 1);
+  const Placement p = Placement::stretch(16, 4);
+
+  make(w, 4);
+  sched_->run_iteration(w.iteration(0), p);
+  const IterationResult a = sched_->run_iteration(w.iteration(1), p);
+  const std::int64_t misses_a = dsm_->stats().remote_misses;
+
+  make(w, 4);
+  sched_->run_iteration(w.iteration(0), p);
+  const IterationResult b = sched_->run_iteration(w.iteration(1), p);
+  const std::int64_t misses_b = dsm_->stats().remote_misses;
+
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(misses_a, misses_b);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+}
+
+TEST_F(SchedulerTest, MigrationMovesThreadsAndCostsTime) {
+  RingWorkload w(8, 2, 1);
+  make(w, 2);
+  const Placement from = Placement::stretch(8, 2);
+  const Placement to({0, 0, 1, 1, 0, 0, 1, 1}, 2);
+  sched_->run_iteration(w.iteration(0), from);
+  const MigrationResult r = sched_->migrate(from, to);
+  EXPECT_EQ(r.threads_moved, from.migration_distance(to));
+  EXPECT_GT(r.threads_moved, 0);
+  EXPECT_GT(r.elapsed_us, 0);
+  // Stack bytes crossed the wire.
+  EXPECT_GE(net_->totals().total_bytes,
+            static_cast<ByteCount>(r.threads_moved) *
+                CostModel{}.thread_stack_bytes);
+}
+
+TEST_F(SchedulerTest, NullMigrationIsFree) {
+  RingWorkload w(4, 2, 1);
+  make(w, 2);
+  const Placement p = Placement::stretch(4, 2);
+  const MigrationResult r = sched_->migrate(p, p);
+  EXPECT_EQ(r.threads_moved, 0);
+}
+
+TEST_F(SchedulerTest, PostMigrationFaultsRevealMovedThreadPages) {
+  // After a thread moves, its working set must fault on the new node —
+  // the mechanism passive tracking exploits (§4.1).
+  PrivateWorkload w(4, 2);
+  make(w, 2);
+  const Placement from = Placement::stretch(4, 2);
+  sched_->run_iteration(w.iteration(0), from);
+  sched_->run_iteration(w.iteration(1), from);
+  const std::int64_t before = dsm_->stats().remote_misses;
+
+  const Placement to({1, 0, 0, 1}, 2);  // swap threads 0 and 3... 0↔nodes
+  sched_->migrate(from, to);
+  sched_->run_iteration(w.iteration(2), to);
+  EXPECT_GT(dsm_->stats().remote_misses, before);
+}
+
+TEST_F(SchedulerTest, RejectsMismatchedTraceAndPlacement) {
+  RingWorkload w(8, 2, 1);
+  make(w, 2);
+  const Placement p = Placement::stretch(4, 2);  // wrong thread count
+  EXPECT_THROW((void)sched_->run_iteration(w.iteration(0), p),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,185 @@
+#include "trace/segment_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+class SegmentBuilderTest : public ::testing::Test {
+ protected:
+  AddressSpace space_;
+};
+
+TEST_F(SegmentBuilderTest, EmptySegment) {
+  SegmentBuilder sb;
+  const Segment seg = sb.take();
+  EXPECT_TRUE(seg.accesses.empty());
+  EXPECT_EQ(seg.lock_id, -1);
+  EXPECT_EQ(seg.compute_us, 0);
+}
+
+TEST_F(SegmentBuilderTest, SinglePageRead) {
+  const SharedBuffer buf = space_.allocate(4 * kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.read(buf, 100, 50);
+  const Segment seg = sb.take();
+  ASSERT_EQ(seg.accesses.size(), 1u);
+  EXPECT_EQ(seg.accesses[0].page, buf.first_page());
+  EXPECT_EQ(seg.accesses[0].kind, AccessKind::kRead);
+  EXPECT_EQ(seg.accesses[0].bytes_written, 0);
+}
+
+TEST_F(SegmentBuilderTest, ReadSpanningPages) {
+  const SharedBuffer buf = space_.allocate(4 * kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.read(buf, kPageSize - 10, 20);  // straddles pages 0 and 1
+  const Segment seg = sb.take();
+  ASSERT_EQ(seg.accesses.size(), 2u);
+  EXPECT_EQ(seg.accesses[0].page, buf.first_page());
+  EXPECT_EQ(seg.accesses[1].page, buf.first_page() + 1);
+}
+
+TEST_F(SegmentBuilderTest, WriteTracksBytesPerPage) {
+  const SharedBuffer buf = space_.allocate(4 * kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.write(buf, kPageSize - 100, 300);  // 100 B on page 0, 200 B on page 1
+  const Segment seg = sb.take();
+  ASSERT_EQ(seg.accesses.size(), 2u);
+  EXPECT_EQ(seg.accesses[0].kind, AccessKind::kWrite);
+  EXPECT_EQ(seg.accesses[0].bytes_written, 100);
+  EXPECT_EQ(seg.accesses[1].bytes_written, 200);
+}
+
+TEST_F(SegmentBuilderTest, WriteDominatesRead) {
+  const SharedBuffer buf = space_.allocate(kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.read(buf, 0, 64);
+  sb.write(buf, 64, 64);
+  const Segment seg = sb.take();
+  ASSERT_EQ(seg.accesses.size(), 1u);
+  EXPECT_EQ(seg.accesses[0].kind, AccessKind::kWrite);
+  EXPECT_EQ(seg.accesses[0].bytes_written, 64);
+}
+
+TEST_F(SegmentBuilderTest, WrittenBytesAccumulateAndCap) {
+  const SharedBuffer buf = space_.allocate(kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.write(buf, 0, 3000);
+  sb.write(buf, 0, 3000);  // overlaps; tracked bytes cap at page size
+  const Segment seg = sb.take();
+  ASSERT_EQ(seg.accesses.size(), 1u);
+  EXPECT_EQ(seg.accesses[0].bytes_written, kPageSize);
+}
+
+TEST_F(SegmentBuilderTest, AccessesSortedByPage) {
+  const SharedBuffer buf = space_.allocate(10 * kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.read(buf, 7 * kPageSize, 10);
+  sb.read(buf, 2 * kPageSize, 10);
+  sb.read(buf, 5 * kPageSize, 10);
+  const Segment seg = sb.take();
+  ASSERT_EQ(seg.accesses.size(), 3u);
+  EXPECT_LT(seg.accesses[0].page, seg.accesses[1].page);
+  EXPECT_LT(seg.accesses[1].page, seg.accesses[2].page);
+}
+
+TEST_F(SegmentBuilderTest, ZeroLengthTouchIsIgnored) {
+  const SharedBuffer buf = space_.allocate(kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.read(buf, 10, 0);
+  EXPECT_EQ(sb.touched_pages(), 0);
+}
+
+TEST_F(SegmentBuilderTest, OutOfRangeThrows) {
+  const SharedBuffer buf = space_.allocate(kPageSize, "buf");
+  SegmentBuilder sb;
+  EXPECT_THROW(sb.read(buf, kPageSize - 10, 20), std::logic_error);
+  EXPECT_THROW(sb.read(buf, -1, 2), std::logic_error);
+}
+
+TEST_F(SegmentBuilderTest, LockAndComputeCarriedIntoSegment) {
+  SegmentBuilder sb;
+  sb.set_lock(3);
+  sb.add_compute(100);
+  sb.add_compute(50);
+  const Segment seg = sb.take();
+  EXPECT_EQ(seg.lock_id, 3);
+  EXPECT_EQ(seg.compute_us, 150);
+}
+
+TEST_F(SegmentBuilderTest, TakeResetsState) {
+  const SharedBuffer buf = space_.allocate(kPageSize, "buf");
+  SegmentBuilder sb;
+  sb.set_lock(1);
+  sb.add_compute(10);
+  sb.write(buf, 0, 10);
+  (void)sb.take();
+  const Segment seg2 = sb.take();
+  EXPECT_TRUE(seg2.accesses.empty());
+  EXPECT_EQ(seg2.lock_id, -1);
+  EXPECT_EQ(seg2.compute_us, 0);
+}
+
+TEST_F(SegmentBuilderTest, ElemHelpersMatchByteForm) {
+  const SharedBuffer buf = space_.allocate(4 * kPageSize, "buf");
+  SegmentBuilder a, b;
+  a.read_elems(buf, 8, 100, 50);
+  b.read(buf, 800, 400);
+  const Segment sa = a.take();
+  const Segment sb2 = b.take();
+  ASSERT_EQ(sa.accesses.size(), sb2.accesses.size());
+  for (std::size_t i = 0; i < sa.accesses.size(); ++i) {
+    EXPECT_EQ(sa.accesses[i].page, sb2.accesses[i].page);
+  }
+}
+
+TEST(TraceUtils, ValidateRejectsBadPageIds) {
+  IterationTrace trace;
+  trace.num_threads = 1;
+  trace.phases.resize(1);
+  trace.phases[0].threads.resize(1);
+  Segment seg;
+  seg.accesses.push_back({99, AccessKind::kRead, 0});
+  trace.phases[0].threads[0].segments.push_back(seg);
+  EXPECT_THROW(validate_trace(trace, 10), std::logic_error);
+  EXPECT_NO_THROW(validate_trace(trace, 100));
+}
+
+TEST(TraceUtils, ValidateRejectsReadWithWrittenBytes) {
+  IterationTrace trace;
+  trace.num_threads = 1;
+  trace.phases.resize(1);
+  trace.phases[0].threads.resize(1);
+  Segment seg;
+  seg.accesses.push_back({0, AccessKind::kRead, 16});
+  trace.phases[0].threads[0].segments.push_back(seg);
+  EXPECT_THROW(validate_trace(trace, 10), std::logic_error);
+}
+
+TEST(TraceUtils, PagesTouchedPerThread) {
+  IterationTrace trace;
+  trace.num_threads = 2;
+  trace.phases.resize(2);
+  for (auto& phase : trace.phases) phase.threads.resize(2);
+  Segment s0;
+  s0.accesses.push_back({1, AccessKind::kWrite, 8});
+  trace.phases[0].threads[0].segments.push_back(s0);
+  Segment s1;
+  s1.accesses.push_back({1, AccessKind::kRead, 0});
+  s1.accesses.push_back({3, AccessKind::kRead, 0});
+  trace.phases[1].threads[1].segments.push_back(s1);
+
+  const auto touched = pages_touched_per_thread(trace, 5);
+  ASSERT_EQ(touched.size(), 2u);
+  EXPECT_EQ(touched[0].count(), 1);
+  EXPECT_TRUE(touched[0].test(1));
+  EXPECT_EQ(touched[1].count(), 2);
+  EXPECT_TRUE(touched[1].test(1));
+  EXPECT_TRUE(touched[1].test(3));
+  EXPECT_EQ(distinct_pages_touched(trace, 5), 2);
+}
+
+}  // namespace
+}  // namespace actrack

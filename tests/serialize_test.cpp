@@ -1,0 +1,216 @@
+#include "trace/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/synthetic.hpp"
+#include "apps/trace_workload.hpp"
+#include "apps/workload.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+TraceFile sample_file(std::int32_t iterations = 2) {
+  RingWorkload w(4, 2, 1);
+  TraceFile file;
+  file.num_threads = w.num_threads();
+  file.num_pages = w.num_pages();
+  for (std::int32_t i = 0; i < iterations; ++i) {
+    file.iterations.push_back(w.iteration(i));
+  }
+  return file;
+}
+
+bool traces_equal(const IterationTrace& a, const IterationTrace& b) {
+  if (a.num_threads != b.num_threads) return false;
+  if (a.phases.size() != b.phases.size()) return false;
+  for (std::size_t p = 0; p < a.phases.size(); ++p) {
+    if (a.phases[p].threads.size() != b.phases[p].threads.size()) {
+      return false;
+    }
+    for (std::size_t t = 0; t < a.phases[p].threads.size(); ++t) {
+      const auto& sa = a.phases[p].threads[t].segments;
+      const auto& sb = b.phases[p].threads[t].segments;
+      if (sa.size() != sb.size()) return false;
+      for (std::size_t s = 0; s < sa.size(); ++s) {
+        if (sa[s].lock_id != sb[s].lock_id) return false;
+        if (sa[s].compute_us != sb[s].compute_us) return false;
+        if (sa[s].accesses.size() != sb[s].accesses.size()) return false;
+        for (std::size_t k = 0; k < sa[s].accesses.size(); ++k) {
+          const PageAccess& x = sa[s].accesses[k];
+          const PageAccess& y = sb[s].accesses[k];
+          if (x.page != y.page || x.kind != y.kind ||
+              x.bytes_written != y.bytes_written) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(TraceSerialize, RoundTripsExactly) {
+  const TraceFile original = sample_file(3);
+  std::stringstream stream;
+  write_trace_file(original, stream);
+  const TraceFile parsed = read_trace_file(stream);
+  EXPECT_EQ(parsed.num_threads, original.num_threads);
+  EXPECT_EQ(parsed.num_pages, original.num_pages);
+  ASSERT_EQ(parsed.iterations.size(), original.iterations.size());
+  for (std::size_t i = 0; i < original.iterations.size(); ++i) {
+    EXPECT_TRUE(traces_equal(parsed.iterations[i], original.iterations[i]))
+        << "iteration " << i;
+  }
+}
+
+TEST(TraceSerialize, RoundTripsLockWorkload) {
+  PairsWithLockWorkload w(4, 1);
+  TraceFile file;
+  file.num_threads = 4;
+  file.num_pages = w.num_pages();
+  file.iterations.push_back(w.iteration(0));
+  file.iterations.push_back(w.iteration(1));
+  std::stringstream stream;
+  write_trace_file(file, stream);
+  const TraceFile parsed = read_trace_file(stream);
+  EXPECT_TRUE(traces_equal(parsed.iterations[1], file.iterations[1]));
+}
+
+TEST(TraceSerialize, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream;
+  stream << "# a comment\nactrace 1\n\nthreads 2 pages 4 iterations 1\n"
+         << "iteration 0\nphase\nthread 0  # worker\nseg compute=5\n"
+         << "r 1\nw 2 64\nend\n";
+  const TraceFile parsed = read_trace_file(stream);
+  EXPECT_EQ(parsed.num_threads, 2);
+  ASSERT_EQ(parsed.iterations.size(), 1u);
+  const Segment& seg = parsed.iterations[0].phases[0].threads[0].segments[0];
+  EXPECT_EQ(seg.compute_us, 5);
+  ASSERT_EQ(seg.accesses.size(), 2u);
+  EXPECT_EQ(seg.accesses[1].bytes_written, 64);
+}
+
+TEST(TraceSerialize, RejectsMalformedInput) {
+  const auto reject = [](const std::string& text) {
+    std::stringstream stream(text);
+    EXPECT_THROW((void)read_trace_file(stream), std::runtime_error) << text;
+  };
+  reject("");
+  reject("wrong 1\n");
+  reject("actrace 2\n");
+  reject("actrace 1\nthreads 2 pages 4\n");  // missing iterations
+  reject("actrace 1\nthreads 2 pages 4 iterations 1\nend\n");  // count
+  reject("actrace 1\nthreads 2 pages 4 iterations 1\n"
+         "iteration 0\nphase\nthread 5\nend\n");  // bad thread
+  reject("actrace 1\nthreads 2 pages 4 iterations 1\n"
+         "iteration 0\nphase\nthread 0\nseg\nr 9\nend\n");  // bad page
+  reject("actrace 1\nthreads 2 pages 4 iterations 1\n"
+         "iteration 0\nphase\nthread 0\nr 1\nend\n");  // access before seg
+  reject("actrace 1\nthreads 2 pages 4 iterations 1\niteration 0\n");  // EOF
+  reject("actrace 1\nthreads 2 pages 4 iterations 1\n"
+         "iteration 0\nphase\nthread 0\nseg\nw 1 9999\nend\n");  // bytes
+}
+
+TEST(TraceSerialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.actrace";
+  const TraceFile original = sample_file();
+  save_trace_file(original, path);
+  const TraceFile loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.iterations.size(), original.iterations.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerialize, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trace_file("/nonexistent/x.actrace"),
+               std::runtime_error);
+}
+
+TEST(TraceWorkloadTest, ReplayMatchesOriginalBehaviour) {
+  // Record the ring workload, replay it, and check the DSM sees the
+  // same remote misses.
+  RingWorkload original(8, 2, 1);
+  TraceFile file;
+  file.num_threads = 8;
+  file.num_pages = original.num_pages();
+  for (std::int32_t i = 0; i <= 3; ++i) {
+    file.iterations.push_back(original.iteration(i));
+  }
+  TraceWorkload replay(file);
+  EXPECT_EQ(replay.num_pages(), original.num_pages());
+  EXPECT_EQ(replay.synchronization(), "barrier");
+
+  const Placement p = Placement::stretch(8, 2);
+  ClusterRuntime a(original, p);
+  a.run_init();
+  a.run_iteration();
+  a.run_iteration();
+
+  ClusterRuntime b(replay, p);
+  b.run_init();
+  b.run_iteration();
+  b.run_iteration();
+
+  EXPECT_EQ(a.totals().remote_misses, b.totals().remote_misses);
+  EXPECT_EQ(a.totals().messages, b.totals().messages);
+}
+
+TEST(TraceWorkloadTest, MeasuredIterationsCycle) {
+  const TraceFile file = sample_file(3);  // init + 2 measured
+  TraceWorkload w(file);
+  EXPECT_TRUE(traces_equal(w.iteration(1), file.iterations[1]));
+  EXPECT_TRUE(traces_equal(w.iteration(2), file.iterations[2]));
+  EXPECT_TRUE(traces_equal(w.iteration(3), file.iterations[1]));  // wraps
+}
+
+TEST(TraceWorkloadTest, SingleIterationFileReplaysItEverywhere) {
+  const TraceFile file = sample_file(1);
+  TraceWorkload w(file);
+  EXPECT_TRUE(traces_equal(w.iteration(0), file.iterations[0]));
+  EXPECT_TRUE(traces_equal(w.iteration(5), file.iterations[0]));
+}
+
+// Parameterised round-trip over every Table 1 application: serialising
+// and replaying must preserve the traces byte-for-byte.
+class SerializeAllApps : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeAllApps, RoundTripPreservesTraces) {
+  const auto w = make_workload(GetParam(), 16);
+  TraceFile file;
+  file.num_threads = w->num_threads();
+  file.num_pages = w->num_pages();
+  file.iterations.push_back(w->iteration(0));
+  file.iterations.push_back(w->iteration(1));
+
+  std::stringstream stream;
+  write_trace_file(file, stream);
+  const TraceFile parsed = read_trace_file(stream);
+  ASSERT_EQ(parsed.iterations.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(traces_equal(parsed.iterations[i], file.iterations[i]))
+        << GetParam() << " iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, SerializeAllApps,
+    ::testing::ValuesIn(all_workload_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(TraceWorkloadTest, LockDetectionSetsSyncKinds) {
+  PairsWithLockWorkload locks(4, 1);
+  TraceFile file;
+  file.num_threads = 4;
+  file.num_pages = locks.num_pages();
+  file.iterations.push_back(locks.iteration(1));
+  TraceWorkload w(file);
+  EXPECT_EQ(w.synchronization(), "barrier, lock");
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,99 @@
+#include "correlation/sharing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace actrack {
+namespace {
+
+TEST(SharingDegree, PaperExample) {
+  // §4.2's worked example: t1 accesses page x; t2 accesses x and y; t3
+  // accesses y and z.  All on one node: faults = 1+2+2 = 5, distinct
+  // pages = 3, so the average number of threads per page is 5/3 ≈ 1.67.
+  std::vector<DynamicBitset> bitmaps(3, DynamicBitset(4));
+  bitmaps[0].set(0);            // x
+  bitmaps[1].set(0);            // x
+  bitmaps[1].set(1);            // y
+  bitmaps[2].set(1);            // y
+  bitmaps[2].set(2);            // z
+  const double degree = sharing_degree(bitmaps, {0, 0, 0}, 1);
+  EXPECT_NEAR(degree, 5.0 / 3.0, 1e-12);
+}
+
+TEST(SharingDegree, NoSharingIsExactlyOne) {
+  std::vector<DynamicBitset> bitmaps(4, DynamicBitset(8));
+  for (std::size_t t = 0; t < 4; ++t) {
+    bitmaps[t].set(static_cast<std::int64_t>(t) * 2);
+    bitmaps[t].set(static_cast<std::int64_t>(t) * 2 + 1);
+  }
+  EXPECT_DOUBLE_EQ(sharing_degree(bitmaps, {0, 0, 1, 1}, 2), 1.0);
+}
+
+TEST(SharingDegree, FullSharingEqualsThreadsPerNode) {
+  // Every thread touches every page: degree == local thread count.
+  std::vector<DynamicBitset> bitmaps(8, DynamicBitset(5));
+  for (auto& b : bitmaps) b.set_all();
+  EXPECT_DOUBLE_EQ(sharing_degree(bitmaps, {0, 0, 0, 0, 1, 1, 1, 1}, 2), 4.0);
+}
+
+TEST(SharingDegree, DependsOnPlacement) {
+  // Threads 0,1 share a page; 2,3 share another.  Pairing sharers on a
+  // node doubles the degree relative to splitting them.
+  std::vector<DynamicBitset> bitmaps(4, DynamicBitset(2));
+  bitmaps[0].set(0);
+  bitmaps[1].set(0);
+  bitmaps[2].set(1);
+  bitmaps[3].set(1);
+  EXPECT_DOUBLE_EQ(sharing_degree(bitmaps, {0, 0, 1, 1}, 2), 2.0);
+  EXPECT_DOUBLE_EQ(sharing_degree(bitmaps, {0, 1, 0, 1}, 2), 1.0);
+}
+
+TEST(SharingDegree, EmptyBitmapsGiveZero) {
+  std::vector<DynamicBitset> bitmaps(2, DynamicBitset(4));
+  EXPECT_EQ(sharing_degree(bitmaps, {0, 0}, 1), 0.0);
+}
+
+TEST(InformationCompleteness, FullKnowledgeIsOne) {
+  std::vector<DynamicBitset> truth(2, DynamicBitset(4));
+  truth[0].set(0);
+  truth[1].set(1);
+  EXPECT_DOUBLE_EQ(information_completeness(truth, truth), 1.0);
+}
+
+TEST(InformationCompleteness, NoKnowledgeIsZero) {
+  std::vector<DynamicBitset> truth(2, DynamicBitset(4));
+  truth[0].set(0);
+  truth[1].set(1);
+  std::vector<DynamicBitset> observed(2, DynamicBitset(4));
+  EXPECT_DOUBLE_EQ(information_completeness(observed, truth), 0.0);
+}
+
+TEST(InformationCompleteness, PartialKnowledgeCountsPairs) {
+  std::vector<DynamicBitset> truth(2, DynamicBitset(4));
+  truth[0].set(0);
+  truth[0].set(1);
+  truth[1].set(2);
+  truth[1].set(3);
+  std::vector<DynamicBitset> observed(2, DynamicBitset(4));
+  observed[0].set(0);
+  EXPECT_DOUBLE_EQ(information_completeness(observed, truth), 0.25);
+}
+
+TEST(InformationCompleteness, SpuriousObservationsDoNotInflate) {
+  // Observing pages outside the oracle must not push completeness
+  // past the known-pair fraction.
+  std::vector<DynamicBitset> truth(1, DynamicBitset(4));
+  truth[0].set(0);
+  std::vector<DynamicBitset> observed(1, DynamicBitset(4));
+  observed[0].set(1);
+  observed[0].set(2);
+  EXPECT_DOUBLE_EQ(information_completeness(observed, truth), 0.0);
+}
+
+TEST(InformationCompleteness, EmptyTruthIsComplete) {
+  std::vector<DynamicBitset> truth(2, DynamicBitset(4));
+  std::vector<DynamicBitset> observed(2, DynamicBitset(4));
+  EXPECT_DOUBLE_EQ(information_completeness(observed, truth), 1.0);
+}
+
+}  // namespace
+}  // namespace actrack

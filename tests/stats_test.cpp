@@ -1,0 +1,147 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic population-variance set
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, TracksNegativeMin) {
+  Accumulator acc;
+  acc.add(3.0);
+  acc.add(-7.0);
+  acc.add(1.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -7.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(LinearFitTest, PerfectLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 7.0);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.correlation, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 50);
+}
+
+TEST(LinearFitTest, PerfectNegativeLine) {
+  std::vector<double> x = {0, 1, 2, 3};
+  std::vector<double> y = {10, 8, 6, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 10.0, 1e-12);
+  EXPECT_NEAR(fit.correlation, -1.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantYHasZeroCorrelation) {
+  std::vector<double> x = {0, 1, 2, 3};
+  std::vector<double> y = {5, 5, 5, 5};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_EQ(fit.correlation, 0.0);
+}
+
+TEST(LinearFitTest, ConstantXThrows) {
+  std::vector<double> x = {3, 3, 3};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW((void)fit_linear(x, y), std::logic_error);
+}
+
+TEST(LinearFitTest, SizeMismatchThrows) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {1, 2};
+  EXPECT_THROW((void)fit_linear(x, y), std::logic_error);
+}
+
+TEST(LinearFitTest, TooFewPointsThrows) {
+  std::vector<double> x = {1};
+  std::vector<double> y = {2};
+  EXPECT_THROW((void)fit_linear(x, y), std::logic_error);
+}
+
+TEST(LinearFitTest, NoisyLineRecoversParameters) {
+  Rng rng(17);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = static_cast<double>(rng.uniform(1000));
+    x.push_back(xi);
+    y.push_back(3.0 * xi + 100.0 + (rng.uniform_real() - 0.5) * 20.0);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_NEAR(fit.intercept, 100.0, 6.0);
+  EXPECT_GT(fit.correlation, 0.999);
+}
+
+TEST(PearsonTest, MatchesFitCorrelation) {
+  Rng rng(23);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(static_cast<double>(rng.uniform(100)));
+    y.push_back(static_cast<double>(rng.uniform(100)));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(pearson(x, y), fit.correlation, 1e-12);
+}
+
+TEST(PearsonTest, SymmetricInArguments) {
+  std::vector<double> x = {1, 5, 2, 8, 3};
+  std::vector<double> y = {2, 4, 4, 9, 1};
+  EXPECT_NEAR(pearson(x, y), pearson(y, x), 1e-15);
+}
+
+TEST(PearsonTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(pearson({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, BoundedByOne) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 30; ++i) {
+      x.push_back(rng.uniform_real());
+      y.push_back(rng.uniform_real());
+    }
+    const double r = pearson(x, y);
+    EXPECT_LE(std::abs(r), 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace actrack

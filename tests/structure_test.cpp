@@ -1,0 +1,104 @@
+#include "correlation/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+CorrelationMatrix ring(std::int32_t n, std::int64_t w = 10) {
+  CorrelationMatrix m(n);
+  for (ThreadId t = 0; t + 1 < n; ++t) m.set(t, t + 1, w);
+  return m;
+}
+
+CorrelationMatrix blocks(std::int32_t n, std::int32_t g,
+                         std::int64_t inside = 10,
+                         std::int64_t outside = 0) {
+  CorrelationMatrix m(n);
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      m.set(i, j, (i / g == j / g) ? inside : outside);
+    }
+  }
+  return m;
+}
+
+CorrelationMatrix uniform(std::int32_t n, std::int64_t w = 5) {
+  CorrelationMatrix m(n);
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) m.set(i, j, w);
+  }
+  return m;
+}
+
+TEST(BlockContrastTest, SeparatesInsideFromOutside) {
+  const BlockContrast c = block_contrast(blocks(16, 4, 12, 3), 4);
+  EXPECT_DOUBLE_EQ(c.inside, 12.0);
+  EXPECT_DOUBLE_EQ(c.outside, 3.0);
+  EXPECT_DOUBLE_EQ(c.ratio(), 4.0);
+}
+
+TEST(BlockContrastTest, WrongBlockSizeDilutesContrast) {
+  const CorrelationMatrix m = blocks(16, 4, 12, 0);
+  EXPECT_GT(block_contrast(m, 4).ratio(), block_contrast(m, 8).ratio());
+}
+
+TEST(NearestNeighbourFractionTest, PureBandIsOne) {
+  EXPECT_DOUBLE_EQ(nearest_neighbour_fraction(ring(16)), 1.0);
+}
+
+TEST(NearestNeighbourFractionTest, UniformIsSmall) {
+  // 15 of 120 pairs are adjacent.
+  EXPECT_NEAR(nearest_neighbour_fraction(uniform(16)), 15.0 / 120.0, 1e-12);
+}
+
+TEST(NearestNeighbourFractionTest, EmptyMatrixIsZero) {
+  CorrelationMatrix empty(8);
+  EXPECT_EQ(nearest_neighbour_fraction(empty), 0.0);
+}
+
+TEST(DominantBlockSizeTest, FindsTheRightSize) {
+  EXPECT_EQ(dominant_block_size(blocks(32, 8), {2, 4, 8, 16}), 8);
+  EXPECT_EQ(dominant_block_size(blocks(32, 4), {2, 4, 8, 16}), 4);
+}
+
+TEST(DominantBlockSizeTest, ReturnsZeroWithoutStructure) {
+  EXPECT_EQ(dominant_block_size(uniform(16), {2, 4, 8}), 0);
+}
+
+TEST(UniformityIndexTest, PerfectlyUniformIsOne) {
+  EXPECT_DOUBLE_EQ(uniformity_index(uniform(16)), 1.0);
+}
+
+TEST(UniformityIndexTest, AnyZeroPairIsZero) {
+  EXPECT_EQ(uniformity_index(ring(16)), 0.0);
+}
+
+TEST(ClassifyTest, SyntheticShapes) {
+  EXPECT_EQ(classify_structure(ring(32)), "nearest-neighbour");
+  EXPECT_EQ(classify_structure(uniform(32)), "all-to-all");
+  EXPECT_EQ(classify_structure(blocks(32, 8)), "blocks of 8");
+  CorrelationMatrix empty(8);
+  EXPECT_EQ(classify_structure(empty), "irregular");
+}
+
+TEST(ClassifyTest, PaperAppsLandWhereTheMapsSay) {
+  const auto matrix_for = [](const char* name) {
+    const auto w = make_workload(name, 64);
+    return CorrelationMatrix::from_bitmaps(
+        pages_touched_per_thread(w->iteration(1), w->num_pages()));
+  };
+  // §3's readings of the 64-thread maps.
+  EXPECT_EQ(classify_structure(matrix_for("SOR")), "nearest-neighbour");
+  EXPECT_EQ(classify_structure(matrix_for("FFT8")), "all-to-all");
+  const std::string fft6 = classify_structure(matrix_for("FFT6"));
+  EXPECT_EQ(fft6.rfind("blocks of", 0), 0u) << fft6;
+  const std::string ocean = classify_structure(matrix_for("Ocean"));
+  EXPECT_EQ(ocean.rfind("blocks of", 0), 0u) << ocean;
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,113 @@
+#include "viz/svg_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace actrack {
+namespace {
+
+SvgSeries simple_series(bool connect = false) {
+  SvgSeries s;
+  s.label = "demo";
+  s.x = {0, 1, 2, 3};
+  s.y = {0, 10, 5, 20};
+  s.connect = connect;
+  return s;
+}
+
+TEST(SvgPlot, RendersWellFormedDocument) {
+  SvgPlot plot("Title Here", "cut cost", "remote misses");
+  plot.add_series(simple_series());
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Title Here"), std::string::npos);
+  EXPECT_NE(svg.find("cut cost"), std::string::npos);
+  EXPECT_NE(svg.find("remote misses"), std::string::npos);
+  EXPECT_NE(svg.find("demo"), std::string::npos);  // legend
+}
+
+TEST(SvgPlot, ScatterHasOneCirclePerPoint) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series(false));
+  const std::string svg = plot.render();
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 4u);
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgPlot, ConnectedSeriesDrawsPolyline) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series(true));
+  EXPECT_NE(plot.render().find("<polyline"), std::string::npos);
+}
+
+TEST(SvgPlot, MultipleSeriesGetDistinctColours) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series());
+  SvgSeries second = simple_series();
+  second.label = "other";
+  plot.add_series(second);
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+}
+
+TEST(SvgPlot, HandlesDegenerateRanges) {
+  SvgPlot plot("t", "x", "y");
+  SvgSeries flat;
+  flat.label = "flat";
+  flat.x = {5, 5, 5};
+  flat.y = {2, 2, 2};
+  plot.add_series(flat);
+  EXPECT_NO_THROW((void)plot.render());  // no division by zero
+}
+
+TEST(SvgPlot, EmptyPlotThrows) {
+  SvgPlot plot("t", "x", "y");
+  EXPECT_THROW((void)plot.render(), std::logic_error);
+}
+
+TEST(SvgPlot, MismatchedSeriesThrows) {
+  SvgPlot plot("t", "x", "y");
+  SvgSeries bad;
+  bad.x = {1, 2};
+  bad.y = {1};
+  EXPECT_THROW(plot.add_series(bad), std::logic_error);
+  SvgSeries empty;
+  EXPECT_THROW(plot.add_series(empty), std::logic_error);
+}
+
+TEST(SvgPlot, WritesToDisk) {
+  const std::string path = ::testing::TempDir() + "svg_plot_test.svg";
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series());
+  plot.write(path);
+  std::ifstream in(path);
+  std::string head;
+  in >> head;
+  EXPECT_EQ(head, "<svg");
+  std::remove(path.c_str());
+}
+
+TEST(SvgPlot, WriteFailsOnBadPath) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series());
+  EXPECT_THROW(plot.write("/nonexistent_dir/x.svg"), std::logic_error);
+}
+
+TEST(SvgPlot, DeterministicOutput) {
+  SvgPlot a("t", "x", "y"), b("t", "x", "y");
+  a.add_series(simple_series(true));
+  b.add_series(simple_series(true));
+  EXPECT_EQ(a.render(), b.render());
+}
+
+}  // namespace
+}  // namespace actrack

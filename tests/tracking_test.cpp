@@ -1,0 +1,145 @@
+// Tests of the active correlation-tracking mechanism (§4.2) — the
+// paper's primary contribution.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "apps/workload.hpp"
+#include "correlation/sharing.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(ActiveTracking, BitmapsExactlyMatchOracleOnRing) {
+  // Claim (i) of the abstract: accurate thread affinities without
+  // migration.  The tracked bitmaps must equal the trace's true
+  // per-thread page sets.
+  RingWorkload w(8, 4, 2);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  runtime.run_init();
+  const IterationTrace reference = w.iteration(runtime.next_iteration());
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  const auto oracle = pages_touched_per_thread(reference, w.num_pages());
+  ASSERT_EQ(tracked.tracking.access_bitmaps.size(), oracle.size());
+  for (std::size_t t = 0; t < oracle.size(); ++t) {
+    EXPECT_EQ(tracked.tracking.access_bitmaps[t], oracle[t])
+        << "thread " << t;
+  }
+}
+
+TEST(ActiveTracking, BitmapsMatchOracleOnEveryPaperApp) {
+  for (const std::string& name : all_workload_names()) {
+    const auto w = make_workload(name, 16);
+    ClusterRuntime runtime(*w, Placement::stretch(16, 4));
+    runtime.run_init();
+    const IterationTrace reference = w->iteration(runtime.next_iteration());
+    const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+    const auto oracle = pages_touched_per_thread(reference, w->num_pages());
+    for (std::size_t t = 0; t < oracle.size(); ++t) {
+      EXPECT_EQ(tracked.tracking.access_bitmaps[t], oracle[t])
+          << name << " thread " << t;
+    }
+  }
+}
+
+TEST(ActiveTracking, TrackingFaultsArePerThreadPerPhaseFirstTouches) {
+  // Correlation bits are re-armed at every thread switch (§4.2 step 3),
+  // so a page touched by one thread in both phases faults twice.
+  RingWorkload w(4, 2, 1);  // single phase
+  ClusterRuntime runtime(w, Placement::stretch(4, 2));
+  runtime.run_init();
+  const IterationTrace trace = w.iteration(1);
+  std::int64_t expected = 0;
+  for (const Phase& phase : trace.phases) {
+    const auto touched = pages_touched_per_thread(
+        IterationTrace{trace.num_threads, {phase}}, w.num_pages());
+    for (const auto& bitmap : touched) expected += bitmap.count();
+  }
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  EXPECT_EQ(tracked.tracking.tracking_faults, expected);
+}
+
+TEST(ActiveTracking, TrackedIterationIsSlowerThanUntracked) {
+  // Table 5: tracking costs something on every application.
+  const auto w = make_workload("SOR", 16);
+  ClusterRuntime a(*w, Placement::stretch(16, 4));
+  a.run_init();
+  const SimTime untracked = a.run_iteration().elapsed_us;
+
+  ClusterRuntime b(*w, Placement::stretch(16, 4));
+  b.run_init();
+  const SimTime tracked = b.run_tracked_iteration().metrics.elapsed_us;
+  EXPECT_GT(tracked, untracked);
+}
+
+TEST(ActiveTracking, CoherenceFaultsStillHandledDuringTracking) {
+  // §4.2 step 2: "If the access type would have caused a violation even
+  // outside the correlation-tracking phase, an additional fault occurs
+  // and is handled normally."  The protocol keeps working: a tracked
+  // run and an untracked run see the same remote misses.
+  RingWorkload w(8, 4, 2);
+  ClusterRuntime a(w, Placement::stretch(8, 2));
+  a.run_init();
+  const std::int64_t untracked_misses = a.run_iteration().remote_misses;
+
+  ClusterRuntime b(w, Placement::stretch(8, 2));
+  b.run_init();
+  const TrackedIterationMetrics tracked = b.run_tracked_iteration();
+  EXPECT_EQ(tracked.metrics.remote_misses, untracked_misses);
+  EXPECT_GT(tracked.tracking.coherence_faults, 0);
+}
+
+TEST(ActiveTracking, SharingDegreeIsOneWithoutSharing) {
+  PrivateWorkload w(8, 2);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  runtime.run_init();
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  const double degree =
+      sharing_degree(tracked.tracking.access_bitmaps,
+                     runtime.placement().node_of_thread(), 2);
+  EXPECT_DOUBLE_EQ(degree, 1.0);
+}
+
+TEST(ActiveTracking, SharingDegreeEqualsLocalThreadsOnFullSharing) {
+  AllToAllWorkload w(8, 1);
+  ClusterRuntime runtime(w, Placement::stretch(8, 2));
+  runtime.run_init();
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  const double degree =
+      sharing_degree(tracked.tracking.access_bitmaps,
+                     runtime.placement().node_of_thread(), 2);
+  // Every one of the 4 local threads touches every page.
+  EXPECT_DOUBLE_EQ(degree, 4.0);
+}
+
+TEST(ActiveTracking, TrackingCostScalesWithLocalSharing) {
+  // §4.2: "Local sharing increases the number of faults because each
+  // shared page incurs more than one page fault."
+  AllToAllWorkload shared(8, 2);
+  ClusterRuntime a(shared, Placement::stretch(8, 2));
+  a.run_init();
+  const std::int64_t shared_faults =
+      a.run_tracked_iteration().tracking.tracking_faults;
+
+  PrivateWorkload priv(8, 2);
+  ClusterRuntime b(priv, Placement::stretch(8, 2));
+  b.run_init();
+  const std::int64_t private_faults =
+      b.run_tracked_iteration().tracking.tracking_faults;
+
+  EXPECT_GT(shared_faults, private_faults);
+}
+
+TEST(ActiveTracking, MatrixFromTrackedBitmapsDrivesGoodPlacement) {
+  // End-to-end §5: tracked info → min-cost placement → cut cost equals
+  // the known optimum for the ring.
+  RingWorkload w(16, 4, 2);
+  const CorrelationMatrix m = collect_correlations(w, 4);
+  const Placement p = min_cost_placement(m, 4);
+  EXPECT_EQ(m.cut_cost(p.node_of_thread()), 4 * 2);
+}
+
+}  // namespace
+}  // namespace actrack

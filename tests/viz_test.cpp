@@ -1,0 +1,163 @@
+#include "viz/map_render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace actrack {
+namespace {
+
+CorrelationMatrix band_matrix() {
+  CorrelationMatrix m(8);
+  for (ThreadId t = 0; t < 7; ++t) m.set(t, t + 1, 10);
+  m.set(0, 0, 20);
+  return m;
+}
+
+struct Pgm {
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::vector<std::uint8_t> pixels;
+};
+
+Pgm read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string magic;
+  Pgm pgm;
+  int maxval = 0;
+  in >> magic >> pgm.width >> pgm.height >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  pgm.pixels.resize(static_cast<std::size_t>(pgm.width) *
+                    static_cast<std::size_t>(pgm.height));
+  in.read(reinterpret_cast<char*>(pgm.pixels.data()),
+          static_cast<std::streamsize>(pgm.pixels.size()));
+  EXPECT_TRUE(in.good());
+  return pgm;
+}
+
+class VizTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(VizTest, PgmHasExpectedGeometry) {
+  path_ = ::testing::TempDir() + "map_geometry.pgm";
+  MapRenderOptions options;
+  options.scale = 3;
+  write_pgm(band_matrix(), path_, options);
+  const Pgm pgm = read_pgm(path_);
+  EXPECT_EQ(pgm.width, 24);
+  EXPECT_EQ(pgm.height, 24);
+}
+
+TEST_F(VizTest, SharedPairsAreDarkerThanUnsharedOnes) {
+  path_ = ::testing::TempDir() + "map_shading.pgm";
+  MapRenderOptions options;
+  options.scale = 1;
+  options.origin_lower_left = false;  // row y == thread y
+  write_pgm(band_matrix(), path_, options);
+  const Pgm pgm = read_pgm(path_);
+  auto pixel = [&](std::int32_t y, std::int32_t x) {
+    return pgm.pixels[static_cast<std::size_t>(y * pgm.width + x)];
+  };
+  EXPECT_LT(pixel(0, 1), pixel(0, 5));  // sharing (0,1) darker than (0,5)
+  EXPECT_EQ(pixel(0, 5), 255);          // no sharing → white
+  EXPECT_LT(pixel(0, 0), 255);          // diagonal is dark
+}
+
+TEST_F(VizTest, OriginLowerLeftFlipsRows) {
+  path_ = ::testing::TempDir() + "map_origin.pgm";
+  MapRenderOptions options;
+  options.scale = 1;
+  options.origin_lower_left = true;
+  write_pgm(band_matrix(), path_, options);
+  const Pgm pgm = read_pgm(path_);
+  // Thread pair (0,1) now appears on the bottom row of the image.
+  const auto bottom =
+      pgm.pixels[static_cast<std::size_t>((pgm.height - 1) * pgm.width + 1)];
+  EXPECT_LT(bottom, 255);
+}
+
+TEST_F(VizTest, ZoneOverlayMarksSameNodeBorders) {
+  path_ = ::testing::TempDir() + "map_zones.pgm";
+  MapRenderOptions options;
+  options.scale = 1;
+  options.origin_lower_left = false;
+  const Placement placement = Placement::stretch(8, 2);
+
+  // Without zones the far corner pair (0,5) is pure white; the zone
+  // border marking must change same-node border cells.
+  write_pgm_with_zones(band_matrix(), placement, path_, options);
+  const Pgm pgm = read_pgm(path_);
+  auto pixel = [&](std::int32_t y, std::int32_t x) {
+    return pgm.pixels[static_cast<std::size_t>(y * pgm.width + x)];
+  };
+  // (0,0) is a free-zone border corner → marked (not plain dark/white).
+  EXPECT_NE(pixel(0, 0), 255);
+  // (0,3) same node, on the block border → marked vs the unzoned 255.
+  EXPECT_EQ(pixel(0, 3), 90);
+  // Cross-node pair far from any zone stays white.
+  EXPECT_EQ(pixel(0, 6), 255);
+}
+
+TEST_F(VizTest, ZoneOverlayRejectsMismatchedPlacement) {
+  path_ = ::testing::TempDir() + "map_zone_mismatch.pgm";
+  const Placement placement = Placement::stretch(4, 2);
+  EXPECT_THROW(write_pgm_with_zones(band_matrix(), placement, path_),
+               std::logic_error);
+}
+
+TEST_F(VizTest, WriteFailsOnBadPath) {
+  EXPECT_THROW(write_pgm(band_matrix(), "/nonexistent_dir/x.pgm"),
+               std::logic_error);
+}
+
+TEST(AsciiMapTest, HasExpectedShape) {
+  const std::string art = ascii_map(band_matrix(), 16);
+  // 8 threads ≤ 16 → one cell per pair, doubled characters + newline.
+  std::int32_t rows = 0;
+  std::stringstream ss(art);
+  std::string line;
+  while (std::getline(ss, line)) {
+    EXPECT_EQ(line.size(), 16u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 8);
+}
+
+TEST(AsciiMapTest, DownsamplesLargeMatrices) {
+  CorrelationMatrix m(128);
+  for (ThreadId t = 0; t < 127; ++t) m.set(t, t + 1, 5);
+  const std::string art = ascii_map(m, 32);
+  std::stringstream ss(art);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_LE(line.size(), 64u);
+}
+
+TEST(AsciiMapTest, StrongPairsRenderDenser) {
+  CorrelationMatrix m(4);
+  m.set(0, 1, 100);
+  m.set(2, 3, 1);
+  const std::string art = ascii_map(m, 8);
+  // Rows are printed top row = highest thread.  The (0,1) pair is in
+  // the bottom row, second cell; it must be '@' (max density).
+  std::vector<std::string> lines;
+  std::stringstream ss(art);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[3][2], '@');
+  EXPECT_EQ(lines[3][6], ' ');  // (0,3): no sharing
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,129 @@
+#include "placement/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/synthetic.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+namespace {
+
+TEST(CapacityPopulations, ProportionalToSpeed) {
+  // One node twice as fast as the other three: 2:1:1:1 over 20 threads.
+  const auto sizes = capacity_populations(20, {2.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(sizes, (std::vector<std::int32_t>{8, 4, 4, 4}));
+}
+
+TEST(CapacityPopulations, SumsToThreadCount) {
+  for (const std::int32_t threads : {7, 16, 33, 64}) {
+    const auto sizes = capacity_populations(threads, {1.0, 2.5, 0.7});
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), threads);
+    for (const std::int32_t size : sizes) EXPECT_GE(size, 1);
+  }
+}
+
+TEST(CapacityPopulations, HomogeneousMatchesBalanced) {
+  const auto sizes = capacity_populations(64, {1, 1, 1, 1, 1, 1, 1, 1});
+  for (const std::int32_t size : sizes) EXPECT_EQ(size, 8);
+}
+
+TEST(CapacityPopulations, SlowNodeStillGetsOneThread) {
+  const auto sizes = capacity_populations(10, {100.0, 0.001});
+  EXPECT_EQ(sizes[1], 1);
+  EXPECT_EQ(sizes[0], 9);
+}
+
+TEST(CapacityPopulations, RejectsNonPositiveSpeeds) {
+  EXPECT_THROW((void)capacity_populations(8, {1.0, 0.0}), std::logic_error);
+  EXPECT_THROW((void)capacity_populations(8, {1.0, -2.0}), std::logic_error);
+  EXPECT_THROW((void)capacity_populations(1, {1.0, 1.0}), std::logic_error);
+}
+
+TEST(WeightedStretch, ContiguousAndProportional) {
+  const Placement p = weighted_stretch(12, {2.0, 1.0, 1.0});
+  EXPECT_EQ(p.threads_on(0), 6);
+  EXPECT_EQ(p.threads_on(1), 3);
+  EXPECT_EQ(p.threads_on(2), 3);
+  for (ThreadId t = 1; t < 12; ++t) {
+    EXPECT_GE(p.node_of(t), p.node_of(t - 1));  // contiguous blocks
+  }
+}
+
+TEST(WeightedMinCost, PreservesCapacityPopulations) {
+  CorrelationMatrix m(12);
+  Rng rng(3);
+  for (ThreadId i = 0; i < 12; ++i) {
+    for (ThreadId j = i + 1; j < 12; ++j) m.set(i, j, rng.uniform(40));
+  }
+  const std::vector<double> speeds = {3.0, 1.0, 2.0};
+  const Placement p = weighted_min_cost(m, speeds);
+  const auto expected = capacity_populations(12, speeds);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(p.threads_on(n), expected[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST(WeightedMinCost, BeatsWeightedStretchOnRandomMatrices) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    CorrelationMatrix m(16);
+    for (ThreadId i = 0; i < 16; ++i) {
+      for (ThreadId j = i + 1; j < 16; ++j) m.set(i, j, rng.uniform(60));
+    }
+    const std::vector<double> speeds = {2.0, 1.0, 1.0};
+    const std::int64_t stretch_cut =
+        m.cut_cost(weighted_stretch(16, speeds).node_of_thread());
+    const std::int64_t mincost_cut =
+        m.cut_cost(weighted_min_cost(m, speeds).node_of_thread());
+    EXPECT_LE(mincost_cut, stretch_cut);
+  }
+}
+
+TEST(WeightedMinCost, MatchesUnweightedOnHomogeneousCluster) {
+  CorrelationMatrix m(8);
+  for (ThreadId t = 0; t < 7; ++t) m.set(t, t + 1, 10);
+  const Placement weighted = weighted_min_cost(m, {1.0, 1.0});
+  const Placement plain = min_cost_placement(m, 2);
+  EXPECT_EQ(m.cut_cost(weighted.node_of_thread()),
+            m.cut_cost(plain.node_of_thread()));
+}
+
+TEST(SchedulerHeterogeneous, FastNodeFinishesComputeSooner) {
+  // Same workload, same placement: making node 0 four times faster
+  // must shorten the barrier-limited iteration when node 0 carries
+  // proportionally more threads.
+  PrivateWorkload w(8, 2);
+  const std::vector<double> speeds = {4.0, 1.0};
+  const Placement weighted = weighted_stretch(8, speeds);
+
+  RuntimeConfig uniform_config;
+  ClusterRuntime uniform_rt(w, weighted, uniform_config);
+  uniform_rt.run_init();
+  const SimTime uniform_time = uniform_rt.run_iteration().elapsed_us;
+
+  RuntimeConfig hetero_config;
+  hetero_config.sched.node_speed = speeds;
+  ClusterRuntime hetero_rt(w, weighted, hetero_config);
+  hetero_rt.run_init();
+  const SimTime hetero_time = hetero_rt.run_iteration().elapsed_us;
+
+  // Uniform cluster: node 0 (6 threads i.e. 6 units of work) limits.
+  // Heterogeneous: node 0 does 6/4 units, node 1 does 2 — faster.
+  EXPECT_LT(hetero_time, uniform_time);
+}
+
+TEST(SchedulerHeterogeneous, RejectsBadSpeedVectors) {
+  PrivateWorkload w(4, 1);
+  RuntimeConfig config;
+  config.sched.node_speed = {1.0};  // wrong length for 2 nodes
+  EXPECT_THROW(ClusterRuntime(w, Placement::stretch(4, 2), config),
+               std::logic_error);
+  config.sched.node_speed = {1.0, 0.0};
+  EXPECT_THROW(ClusterRuntime(w, Placement::stretch(4, 2), config),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace actrack
