@@ -11,13 +11,15 @@
 // time.  Sweeps the drift period to show where adaptation pays.
 #include "apps/drifting.hpp"
 #include "apps/irregular_mesh.hpp"
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "runtime/adaptive.hpp"
 
 namespace {
 
 using namespace actrack;
-using namespace actrack::bench;
+using namespace actrack::exp;
+
+constexpr std::int32_t kT = 64;
 
 struct PolicyResult {
   std::int64_t misses = 0;
@@ -26,100 +28,121 @@ struct PolicyResult {
   SimTime elapsed_us = 0;
 };
 
-PolicyResult run_policy(const std::string& policy, std::int32_t period,
-                        std::int32_t iters) {
-  constexpr std::int32_t kT = 64;
-  DriftingWorkload workload(kT, period, /*shift=*/5);
-  ClusterRuntime runtime(workload, Placement::stretch(kT, kNodes));
-
+AdaptivePolicy policy_config(const std::string& policy) {
   AdaptivePolicy config;
-  if (policy == "static-stretch") {
+  if (policy == "static-stretch" || policy == "track-once") {
     config.degradation_factor = 1e18;  // the controller never re-tracks
-  } else if (policy == "track-once") {
-    config.degradation_factor = 1e18;
   } else if (policy == "eager") {
     config.degradation_factor = 1.0;   // re-track at every opportunity
     config.cooldown_iterations = 6;    // ... every 7 iterations
   } else {
     config.degradation_factor = 1.3;   // adaptive default
   }
+  return config;
+}
 
-  PolicyResult result;
-  if (policy == "static-stretch") {
-    // No tracking at all: just run on the stretch placement.
-    runtime.run_init();
-    for (std::int32_t i = 0; i < iters; ++i) {
-      const IterationMetrics m = runtime.run_iteration();
-      result.misses += m.remote_misses;
-      result.elapsed_us += m.elapsed_us;
+/// Body running one policy for `iters` iterations on the trial's
+/// workload, writing into `slots[trial]`.
+exp::BodyFn policy_body(std::vector<PolicyResult>& slots, std::string policy,
+                        std::int32_t iters) {
+  return [&slots, policy = std::move(policy),
+          iters](const exp::TrialContext& context, exp::TrialRecord&) {
+    PolicyResult& result = slots[static_cast<std::size_t>(context.trial)];
+    ClusterRuntime runtime(
+        context.workload,
+        Placement::stretch(context.workload.num_threads(), kNodes));
+
+    if (policy == "static-stretch") {
+      // No tracking at all: just run on the stretch placement.
+      runtime.run_init();
+      for (std::int32_t i = 0; i < iters; ++i) {
+        const IterationMetrics m = runtime.run_iteration();
+        result.misses += m.remote_misses;
+        result.elapsed_us += m.elapsed_us;
+      }
+      return;
     }
-    return result;
-  }
 
-  AdaptiveController controller(&runtime, config);
-  for (const AdaptiveStep& step : controller.run(iters)) {
-    result.misses += step.remote_misses;
-    result.elapsed_us += step.elapsed_us;
-  }
-  result.tracks = controller.tracked_iterations();
-  result.migrations = controller.migrations();
-  return result;
+    AdaptiveController controller(&runtime, policy_config(policy));
+    for (const AdaptiveStep& step : controller.run(iters)) {
+      result.misses += step.remote_misses;
+      result.elapsed_us += step.elapsed_us;
+    }
+    result.tracks = controller.tracked_iterations();
+    result.migrations = controller.migrations();
+  };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int32_t iters = arg_int(argc, argv, "--iters", 60);
+  exp::ArgParser args(argc, argv,
+                      "Ablation: adaptive re-tracking policies on drifting "
+                      "and irregular workloads");
+  const std::int32_t iters =
+      args.int_flag("--iters", 60, "iterations per policy run");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  constexpr std::int32_t kPeriods[] = {8, 16, 1 << 20};
+  const char* kPolicies[] = {"static-stretch", "track-once", "eager",
+                             "adaptive"};
+
+  std::vector<exp::ExperimentSpec> specs;
+  std::vector<PolicyResult> results(std::size(kPeriods) *
+                                        std::size(kPolicies) +
+                                    2);
+  for (const std::int32_t period : kPeriods) {
+    for (const char* policy : kPolicies) {
+      specs.push_back(body_spec(
+          "ablation_adaptive",
+          std::string(policy) + "@" + std::to_string(period), "Drifting",
+          [period] {
+            return std::make_unique<DriftingWorkload>(kT, period, /*shift=*/5);
+          },
+          policy_body(results, policy, iters)));
+    }
+  }
+  // §7's actual target: adaptive *irregular* codes [Han & Tseng], where
+  // refinement plus element migration degrade any static placement.
+  for (const bool adapt : {false, true}) {
+    const char* policy = adapt ? "adaptive" : "track-once";
+    specs.push_back(body_spec(
+        "ablation_adaptive", std::string("mesh/") + policy, "IrregularMesh",
+        [] { return std::make_unique<IrregularMeshWorkload>(64); },
+        policy_body(results, policy, iters)));
+  }
+  runner.run(specs);
 
   std::printf("Ablation: placement policies on a drifting workload "
               "(64 threads, 8 nodes,\n%d iterations; sharing rotates by 5 "
               "threads each epoch)\n", iters);
-  for (const std::int32_t period : {8, 16, 1 << 20}) {
+  const auto print_header = [] {
+    print_rule(76);
+    std::printf("%-16s %12s %8s %12s %10s\n", "policy", "misses", "tracks",
+                "migrations", "time(s)");
+    print_rule(76);
+  };
+  const auto print_row = [](const char* policy, const PolicyResult& r) {
+    std::printf("%-16s %12lld %8lld %12lld %10.3f\n", policy, ll(r.misses),
+                ll(r.tracks), ll(r.migrations), secs(r.elapsed_us));
+  };
+  std::size_t trial = 0;
+  for (const std::int32_t period : kPeriods) {
     if (period >= (1 << 20)) {
       std::printf("\n-- static sharing (no drift) --\n");
     } else {
       std::printf("\n-- drift period %d --\n", period);
     }
-    print_rule(76);
-    std::printf("%-16s %12s %8s %12s %10s\n", "policy", "misses", "tracks",
-                "migrations", "time(s)");
-    print_rule(76);
-    for (const char* policy :
-         {"static-stretch", "track-once", "eager", "adaptive"}) {
-      const PolicyResult r = run_policy(policy, period, iters);
-      std::printf("%-16s %12lld %8lld %12lld %10.3f\n", policy,
-                  static_cast<long long>(r.misses),
-                  static_cast<long long>(r.tracks),
-                  static_cast<long long>(r.migrations), secs(r.elapsed_us));
-    }
+    print_header();
+    for (const char* policy : kPolicies) print_row(policy, results[trial++]);
     print_rule(76);
   }
-  // §7's actual target: adaptive *irregular* codes [Han & Tseng], where
-  // refinement plus element migration degrade any static placement.
   std::printf("\n-- adaptive irregular mesh (remesh every 8, elements "
               "migrate) --\n");
-  print_rule(76);
-  std::printf("%-16s %12s %8s %12s %10s\n", "policy", "misses", "tracks",
-              "migrations", "time(s)");
-  print_rule(76);
+  print_header();
   for (const bool adapt : {false, true}) {
-    IrregularMeshWorkload workload(64);
-    ClusterRuntime runtime(workload, Placement::stretch(64, kNodes));
-    AdaptivePolicy policy;
-    policy.degradation_factor = adapt ? 1.3 : 1e18;
-    AdaptiveController controller(&runtime, policy);
-    std::int64_t misses = 0;
-    SimTime elapsed = 0;
-    for (const AdaptiveStep& step : controller.run(iters)) {
-      misses += step.remote_misses;
-      elapsed += step.elapsed_us;
-    }
-    std::printf("%-16s %12lld %8lld %12lld %10.3f\n",
-                adapt ? "adaptive" : "track-once",
-                static_cast<long long>(misses),
-                static_cast<long long>(controller.tracked_iterations()),
-                static_cast<long long>(controller.migrations()),
-                secs(elapsed));
+    print_row(adapt ? "adaptive" : "track-once", results[trial++]);
   }
   print_rule(76);
 

@@ -13,23 +13,51 @@
 // and we report remote misses, ownership transfers and run time.  It
 // also shows that good placement still matters *more* under SC — the
 // thread-correlation machinery is protocol independent.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 
-int main() {
-  using namespace actrack;
-  using namespace actrack::bench;
+namespace {
 
-  const auto run_with = [&](const Workload& workload,
-                            const Placement& placement,
-                            ConsistencyModel model, SimTime delta_us) {
-    RuntimeConfig config;
-    config.dsm.model = model;
-    config.dsm.delta_interval_us = delta_us;
-    ClusterRuntime runtime(workload, placement, config);
-    runtime.run_init();
-    for (std::int32_t i = 0; i < 4; ++i) runtime.run_iteration();
-    return runtime.totals();
-  };
+using namespace actrack;
+using namespace actrack::exp;
+
+/// Init + 4 iterations under the given protocol; the measurement is the
+/// cumulative total (init included), as the paper's §6 comparison runs.
+exp::ExperimentSpec model_spec(std::string label, const std::string& app,
+                               const Placement& placement,
+                               ConsistencyModel model, SimTime delta_us) {
+  exp::ExperimentSpec spec = measured_spec(
+      "ablation_consistency", std::move(label), app, placement, /*iters=*/4,
+      /*settle=*/0);
+  spec.config.dsm.model = model;
+  spec.config.dsm.delta_interval_us = delta_us;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ArgParser args(argc, argv,
+                      "Ablation: LRC multi-writer vs SC single-writer "
+                      "protocols");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  const char* apps[] = {"SOR", "Water", "Ocean", "LU1k", "FFT6"};
+  const Placement stretch = Placement::stretch(kThreads, kNodes);
+
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* name : apps) {
+    specs.push_back(model_spec(std::string(name) + "/lrc", name, stretch,
+                               ConsistencyModel::kLazyReleaseMultiWriter, 0));
+    specs.push_back(model_spec(std::string(name) + "/sc", name, stretch,
+                               ConsistencyModel::kSequentialSingleWriter,
+                               0));
+    specs.push_back(model_spec(std::string(name) + "/sc+delta", name,
+                               stretch,
+                               ConsistencyModel::kSequentialSingleWriter,
+                               2000));
+  }
+  const std::vector<exp::TrialRecord> records = runner.run(specs);
 
   std::printf("Ablation: LRC multi-writer vs sequentially-consistent "
               "single-writer\n(64 threads, 8 nodes, stretch placement, "
@@ -42,36 +70,19 @@ int main() {
               "SC single-writer", "SC + delta");
   print_rule(108);
 
-  for (const char* name : {"SOR", "Water", "Ocean", "LU1k", "FFT6"}) {
-    const auto workload = make_workload(name, kThreads);
-    const Placement placement = Placement::stretch(kThreads, kNodes);
-
-    const IterationMetrics lrc =
-        run_with(*workload, placement,
-                 ConsistencyModel::kLazyReleaseMultiWriter, 0);
-    const IterationMetrics sc = run_with(
-        *workload, placement, ConsistencyModel::kSequentialSingleWriter, 0);
-    const IterationMetrics sc_delta =
-        run_with(*workload, placement,
-                 ConsistencyModel::kSequentialSingleWriter, 2000);
-
-    // Steal count needs a fresh run to read protocol stats directly.
-    RuntimeConfig sc_config;
-    sc_config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
-    ClusterRuntime probe(*workload, placement, sc_config);
-    probe.run_init();
-    for (std::int32_t i = 0; i < 4; ++i) probe.run_iteration();
-    const std::int64_t steals = probe.dsm().stats().ownership_transfers;
+  for (std::size_t a = 0; a < std::size(apps); ++a) {
+    const IterationMetrics& lrc = records[a * 3].totals;
+    const exp::TrialRecord& sc_record = records[a * 3 + 1];
+    const IterationMetrics& sc = sc_record.totals;
+    const IterationMetrics& sc_delta = records[a * 3 + 2].totals;
+    const std::int64_t steals = sc_record.dsm.ownership_transfers;
 
     std::printf("%-9s | %10lld %8.1f %8.2f | %10lld %8.1f %8.2f %9lld | "
                 "%10lld %8.2f\n",
-                name, static_cast<long long>(lrc.remote_misses),
-                mbytes(lrc.total_bytes), secs(lrc.elapsed_us),
-                static_cast<long long>(sc.remote_misses),
-                mbytes(sc.total_bytes), secs(sc.elapsed_us),
-                static_cast<long long>(steals),
-                static_cast<long long>(sc_delta.remote_misses),
-                secs(sc_delta.elapsed_us));
+                apps[a], ll(lrc.remote_misses), mbytes(lrc.total_bytes),
+                secs(lrc.elapsed_us), ll(sc.remote_misses),
+                mbytes(sc.total_bytes), secs(sc.elapsed_us), ll(steals),
+                ll(sc_delta.remote_misses), secs(sc_delta.elapsed_us));
   }
   print_rule(108);
 
@@ -82,17 +93,27 @@ int main() {
   Rng rng(kSeed + 11);
   const Placement good = min_cost_placement(matrix, kNodes);
   const Placement bad = balanced_random_placement(rng, kThreads, kNodes);
+
+  std::vector<exp::ExperimentSpec> water;
   for (const auto model : {ConsistencyModel::kLazyReleaseMultiWriter,
                            ConsistencyModel::kSequentialSingleWriter}) {
-    const IterationMetrics gm = run_with(*workload, good, model, 0);
-    const IterationMetrics bm = run_with(*workload, bad, model, 0);
+    const bool lrc = model == ConsistencyModel::kLazyReleaseMultiWriter;
+    water.push_back(model_spec(std::string("water/good/") +
+                                   (lrc ? "lrc" : "sc"),
+                               "Water", good, model, 0));
+    water.push_back(model_spec(std::string("water/bad/") +
+                                   (lrc ? "lrc" : "sc"),
+                               "Water", bad, model, 0));
+  }
+  const std::vector<exp::TrialRecord> water_records = runner.run(water);
+
+  for (std::size_t m = 0; m < 2; ++m) {
+    const IterationMetrics& gm = water_records[m * 2].totals;
+    const IterationMetrics& bm = water_records[m * 2 + 1].totals;
     std::printf("  %-18s misses %8lld (min-cost) vs %8lld (random) — "
                 "random/min-cost = %.2f\n",
-                model == ConsistencyModel::kLazyReleaseMultiWriter
-                    ? "LRC multi-writer"
-                    : "SC single-writer",
-                static_cast<long long>(gm.remote_misses),
-                static_cast<long long>(bm.remote_misses),
+                m == 0 ? "LRC multi-writer" : "SC single-writer",
+                ll(gm.remote_misses), ll(bm.remote_misses),
                 static_cast<double>(bm.remote_misses) /
                     static_cast<double>(gm.remote_misses));
   }

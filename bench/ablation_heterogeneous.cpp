@@ -8,16 +8,51 @@
 //   weighted stretch          populations proportional to speed
 //   weighted min-cost         capacity-proportional + cut-minimising
 // on compute-bound and on communication-bound applications.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "placement/weighted.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Ablation: placements on a heterogeneous cluster "
+                      "(nodes 0-1 are 2x faster)");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
 
   std::vector<double> speeds(static_cast<std::size_t>(kNodes), 1.0);
   speeds[0] = 2.0;
   speeds[1] = 2.0;
+
+  const char* apps[] = {"Spatial", "Water", "SOR", "LU1k"};
+
+  // Phase 1: correlation maps (drive the weighted min-cost candidate).
+  const std::vector<CorrelationMatrix> maps =
+      collect_maps(runner, "ablation_heterogeneous", apps);
+
+  // Phase 2: each candidate placement runs one settling plus three
+  // measured iterations on the speed-weighted cluster.
+  const char* kLabels[] = {"balanced stretch", "weighted stretch",
+                           "weighted min-cost"};
+  std::vector<exp::ExperimentSpec> specs;
+  std::vector<Placement> placements;
+  for (std::size_t a = 0; a < std::size(apps); ++a) {
+    const Placement candidates[] = {
+        Placement::stretch(kThreads, kNodes),
+        weighted_stretch(kThreads, speeds),
+        weighted_min_cost(maps[a], speeds),
+    };
+    for (std::size_t c = 0; c < std::size(candidates); ++c) {
+      exp::ExperimentSpec spec = measured_spec(
+          "ablation_heterogeneous",
+          std::string(apps[a]) + "/" + kLabels[c], apps[a], candidates[c],
+          /*iters=*/3);
+      spec.config.sched.node_speed = speeds;
+      specs.push_back(std::move(spec));
+      placements.push_back(candidates[c]);
+    }
+  }
+  const std::vector<exp::TrialRecord> records = runner.run(specs);
 
   std::printf("Ablation: heterogeneous cluster (nodes 0-1 are 2x faster)\n");
   print_rule(84);
@@ -25,33 +60,13 @@ int main() {
               "time(s)", "misses", "cut cost", "imbalance");
   print_rule(84);
 
-  for (const char* name : {"Spatial", "Water", "SOR", "LU1k"}) {
-    const auto workload = make_workload(name, kThreads);
-    const CorrelationMatrix matrix = correlations_for(*workload);
-
-    struct Candidate {
-      const char* label;
-      Placement placement;
-    };
-    const Candidate candidates[] = {
-        {"balanced stretch", Placement::stretch(kThreads, kNodes)},
-        {"weighted stretch", weighted_stretch(kThreads, speeds)},
-        {"weighted min-cost", weighted_min_cost(matrix, speeds)},
-    };
-
-    for (const Candidate& candidate : candidates) {
-      RuntimeConfig config;
-      config.sched.node_speed = speeds;
-      ClusterRuntime runtime(*workload, candidate.placement, config);
-      runtime.run_init();
-      runtime.run_iteration();
-      IterationMetrics sum;
-      for (int i = 0; i < 3; ++i) sum.add(runtime.run_iteration());
-      std::printf("%-9s %-18s %10.3f %12lld %12lld %10.2f\n", name,
-                  candidate.label, secs(sum.elapsed_us),
-                  static_cast<long long>(sum.remote_misses),
-                  static_cast<long long>(
-                      matrix.cut_cost(candidate.placement.node_of_thread())),
+  for (std::size_t a = 0; a < std::size(apps); ++a) {
+    for (std::size_t c = 0; c < std::size(kLabels); ++c) {
+      const std::size_t i = a * std::size(kLabels) + c;
+      const IterationMetrics& sum = records[i].metrics;
+      std::printf("%-9s %-18s %10.3f %12lld %12lld %10.2f\n", apps[a],
+                  kLabels[c], secs(sum.elapsed_us), ll(sum.remote_misses),
+                  ll(maps[a].cut_cost(placements[i].node_of_thread())),
                   sum.load_imbalance);
     }
   }

@@ -7,11 +7,21 @@
 // the migration round itself, quantifying the §5 remark that stretch
 // "will often move more threads at migration points than other
 // approaches".
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Ablation: cut cost reached under a migration budget");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  // The simulation work is the per-app tracked collection pass; the
+  // budget sweep itself is pure placement arithmetic on the maps.
+  const std::vector<std::string> names = all_workload_names();
+  const std::vector<CorrelationMatrix> maps =
+      collect_maps(runner, "ablation_migration_budget", names);
 
   std::printf("Ablation: cut cost vs migration budget (from a random "
               "placement, 64 threads, 8 nodes)\n");
@@ -21,26 +31,20 @@ int main() {
               "moves(mc)");
   print_rule(92);
 
-  for (const std::string& name : all_workload_names()) {
-    const auto workload = make_workload(name, kThreads);
-    const CorrelationMatrix matrix = correlations_for(*workload);
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const CorrelationMatrix& matrix = maps[a];
     Rng rng(kSeed + 21);
     const Placement start = balanced_random_placement(rng, kThreads, kNodes);
     const std::int64_t base = matrix.cut_cost(start.node_of_thread());
 
-    std::printf("%-9s %10lld |", name.c_str(),
-                static_cast<long long>(base));
+    std::printf("%-9s %10lld |", names[a].c_str(), ll(base));
     for (const std::int32_t budget : {8, 16, 24, 32, 64}) {
-      const Placement constrained =
-          min_cost_within_budget(matrix, start, budget);
-      std::printf(" %8lld",
-                  static_cast<long long>(
-                      matrix.cut_cost(constrained.node_of_thread())));
+      const Placement p = min_cost_within_budget(matrix, start, budget);
+      std::printf(" %8lld", ll(matrix.cut_cost(p.node_of_thread())));
     }
     const Placement full = min_cost_placement(matrix, kNodes);
     std::printf(" | %10lld %8d\n",
-                static_cast<long long>(
-                    matrix.cut_cost(full.node_of_thread())),
+                ll(matrix.cut_cost(full.node_of_thread())),
                 start.migration_distance(full));
   }
   print_rule(92);

@@ -8,7 +8,7 @@
 // Part 1 verifies the 1 % claim exactly against branch-and-bound optima
 // on sub-sampled instances.  Part 2 compares min-cost, stretch and
 // random cut costs on the full 64-thread applications.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 
 namespace {
 
@@ -26,9 +26,18 @@ actrack::CorrelationMatrix head(const actrack::CorrelationMatrix& m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Ablation: placement heuristic quality vs optimal");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  // One tracked collection pass per app feeds both parts.
+  const std::vector<std::string> names = all_workload_names();
+  const std::vector<CorrelationMatrix> maps =
+      collect_maps(runner, "ablation_placement_quality", names);
 
   std::printf("Ablation: placement quality vs optimal (paper §5.1)\n\n");
   std::printf("Part 1: min-cost vs branch-and-bound optimum (first 12 "
@@ -37,13 +46,11 @@ int main() {
   std::printf("%-9s %12s %12s %10s\n", "App", "optimal", "min-cost",
               "gap");
   print_rule();
-  for (const std::string& name : all_workload_names()) {
-    const auto workload = make_workload(name, kThreads);
-    const CorrelationMatrix full = correlations_for(*workload);
-    const CorrelationMatrix small = head(full, 12);
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const CorrelationMatrix small = head(maps[a], 12);
     const auto optimal = optimal_placement(small, 3);
     if (!optimal.has_value()) {
-      std::printf("%-9s %12s\n", name.c_str(), "(budget)");
+      std::printf("%-9s %12s\n", names[a].c_str(), "(budget)");
       continue;
     }
     const std::int64_t best = small.cut_cost(optimal->node_of_thread());
@@ -53,9 +60,8 @@ int main() {
         best > 0 ? 100.0 * static_cast<double>(heur - best) /
                        static_cast<double>(best)
                  : 0.0;
-    std::printf("%-9s %12lld %12lld %9.2f%%\n", name.c_str(),
-                static_cast<long long>(best), static_cast<long long>(heur),
-                gap);
+    std::printf("%-9s %12lld %12lld %9.2f%%\n", names[a].c_str(), ll(best),
+                ll(heur), gap);
   }
   print_rule();
 
@@ -66,9 +72,8 @@ int main() {
               "random(avg5)", "stretch/m-c");
   print_rule();
   Rng rng(kSeed + 7);
-  for (const std::string& name : all_workload_names()) {
-    const auto workload = make_workload(name, kThreads);
-    const CorrelationMatrix matrix = correlations_for(*workload);
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const CorrelationMatrix& matrix = maps[a];
     const std::int64_t mc =
         matrix.cut_cost(min_cost_placement(matrix, kNodes).node_of_thread());
     const std::int64_t st =
@@ -79,9 +84,8 @@ int main() {
           balanced_random_placement(rng, kThreads, kNodes).node_of_thread());
     }
     ran /= 5;
-    std::printf("%-9s %12lld %12lld %14lld %14.2f\n", name.c_str(),
-                static_cast<long long>(mc), static_cast<long long>(st),
-                static_cast<long long>(ran),
+    std::printf("%-9s %12lld %12lld %14lld %14.2f\n", names[a].c_str(),
+                ll(mc), ll(st), ll(ran),
                 mc > 0 ? static_cast<double>(st) / static_cast<double>(mc)
                        : 1.0);
   }

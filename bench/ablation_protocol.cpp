@@ -10,78 +10,85 @@
 //  3. Cost-model robustness: Table 2's correlation coefficient should
 //     not depend on absolute network speed — we rerun the SOR regression
 //     with the network 4x slower and 4x faster.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "common/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
-  const std::int32_t configs = arg_int(argc, argv, "--configs", 40);
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Ablation: GC, latency hiding, network speed and "
+                      "causality-model choices");
+  const std::int32_t configs =
+      args.int_flag("--configs", 40, "random configurations in ablation 3");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
 
-  // ---------------------------------------------------------------
+  const Placement stretch = Placement::stretch(kThreads, kNodes);
+
   std::printf("Ablation 1: garbage collection (extra remote misses)\n");
   print_rule();
   std::printf("%-9s %16s %16s %10s %8s\n", "App", "misses(GC on)",
               "misses(GC off)", "extra", "GC runs");
   print_rule();
-  for (const char* name : {"SOR", "Ocean", "Water", "LU1k"}) {
-    const auto workload = make_workload(name, kThreads);
-    const Placement placement = Placement::stretch(kThreads, kNodes);
+  {
+    const char* apps[] = {"SOR", "Ocean", "Water", "LU1k"};
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char* name : apps) {
+      exp::ExperimentSpec on = measured_spec(
+          "ablation_protocol", std::string(name) + "/gc-on", name, stretch,
+          /*iters=*/6, /*settle=*/0);
+      on.config.dsm.gc_threshold_bytes = 2 * 1024 * 1024;  // collect eagerly
+      specs.push_back(std::move(on));
 
-    RuntimeConfig on;
-    on.dsm.gc_threshold_bytes = 2 * 1024 * 1024;  // collect eagerly
-    ClusterRuntime rt_on(*workload, placement, on);
-    rt_on.run_init();
-    for (int i = 0; i < 6; ++i) rt_on.run_iteration();
-
-    RuntimeConfig off;
-    off.dsm.gc_enabled = false;
-    ClusterRuntime rt_off(*workload, placement, off);
-    rt_off.run_init();
-    for (int i = 0; i < 6; ++i) rt_off.run_iteration();
-
-    std::printf("%-9s %16lld %16lld %10lld %8lld\n", name,
-                static_cast<long long>(rt_on.totals().remote_misses),
-                static_cast<long long>(rt_off.totals().remote_misses),
-                static_cast<long long>(rt_on.totals().remote_misses -
-                                       rt_off.totals().remote_misses),
-                static_cast<long long>(rt_on.totals().gc_runs));
+      exp::ExperimentSpec off = measured_spec(
+          "ablation_protocol", std::string(name) + "/gc-off", name, stretch,
+          /*iters=*/6, /*settle=*/0);
+      off.config.dsm.gc_enabled = false;
+      specs.push_back(std::move(off));
+    }
+    const std::vector<exp::TrialRecord> records = runner.run(specs);
+    for (std::size_t a = 0; a < std::size(apps); ++a) {
+      const IterationMetrics& on = records[a * 2].totals;
+      const IterationMetrics& off = records[a * 2 + 1].totals;
+      std::printf("%-9s %16lld %16lld %10lld %8lld\n", apps[a],
+                  ll(on.remote_misses), ll(off.remote_misses),
+                  ll(on.remote_misses - off.remote_misses), ll(on.gc_runs));
+    }
   }
   print_rule();
 
-  // ---------------------------------------------------------------
   std::printf("\nAblation 2: latency toleration via per-node "
               "multithreading (§4.2: ~10-15%%)\n");
   print_rule();
   std::printf("%-9s %12s %12s %10s\n", "App", "hide(s)", "stall(s)",
               "benefit");
   print_rule();
-  for (const char* name : {"FFT6", "FFT7", "Ocean", "SOR"}) {
-    const auto workload = make_workload(name, kThreads);
-    const Placement placement = Placement::stretch(kThreads, kNodes);
-
-    RuntimeConfig hide;
-    hide.sched.latency_hiding = true;
-    ClusterRuntime rt_hide(*workload, placement, hide);
-    rt_hide.run_init();
-    rt_hide.run_iteration();
-    const SimTime t_hide = rt_hide.run_iteration().elapsed_us;
-
-    RuntimeConfig stall;
-    stall.sched.latency_hiding = false;
-    ClusterRuntime rt_stall(*workload, placement, stall);
-    rt_stall.run_init();
-    rt_stall.run_iteration();
-    const SimTime t_stall = rt_stall.run_iteration().elapsed_us;
-
-    std::printf("%-9s %12.3f %12.3f %9.1f%%\n", name, secs(t_hide),
-                secs(t_stall),
-                100.0 * static_cast<double>(t_stall - t_hide) /
-                    static_cast<double>(t_stall));
+  {
+    const char* apps[] = {"FFT6", "FFT7", "Ocean", "SOR"};
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char* name : apps) {
+      for (const bool hiding : {true, false}) {
+        exp::ExperimentSpec spec = measured_spec(
+            "ablation_protocol",
+            std::string(name) + (hiding ? "/hide" : "/stall"), name,
+            stretch, /*iters=*/1);
+        spec.config.sched.latency_hiding = hiding;
+        specs.push_back(std::move(spec));
+      }
+    }
+    const std::vector<exp::TrialRecord> records = runner.run(specs);
+    for (std::size_t a = 0; a < std::size(apps); ++a) {
+      const SimTime t_hide = records[a * 2].metrics.elapsed_us;
+      const SimTime t_stall = records[a * 2 + 1].metrics.elapsed_us;
+      std::printf("%-9s %12.3f %12.3f %9.1f%%\n", apps[a], secs(t_hide),
+                  secs(t_stall),
+                  100.0 * static_cast<double>(t_stall - t_hide) /
+                      static_cast<double>(t_stall));
+    }
   }
   print_rule();
 
-  // ---------------------------------------------------------------
   std::printf("\nAblation 3: Table 2 correlation vs network speed "
               "(SOR, %d configs)\n", configs);
   print_rule();
@@ -90,27 +97,17 @@ int main(int argc, char** argv) {
   for (const double scale : {0.25, 1.0, 4.0}) {
     const auto workload = make_workload("SOR", kThreads);
     RuntimeConfig config;
-    config.cost.net_latency_us =
-        static_cast<SimTime>(110 / scale);
+    config.cost.net_latency_us = static_cast<SimTime>(110 / scale);
     config.cost.net_bandwidth_mb_per_s = 35.0 * scale;
     const CorrelationMatrix matrix =
         collect_correlations(*workload, kNodes, config);
 
-    Rng rng(kSeed);
-    std::vector<double> cuts, misses;
-    for (std::int32_t c = 0; c < configs; ++c) {
-      const Placement placement = random_placement(rng, kThreads, kNodes, 2);
-      ClusterRuntime runtime(*workload, placement, config);
-      runtime.run_init();
-      runtime.run_iteration();
-      IterationMetrics m;
-      m.add(runtime.run_iteration());
-      m.add(runtime.run_iteration());
-      cuts.push_back(
-          static_cast<double>(matrix.cut_cost(placement.node_of_thread())));
-      misses.push_back(static_cast<double>(m.remote_misses));
-    }
-    const LinearFit fit = fit_linear(cuts, misses);
+    RegressionSweep sweep = regression_sweep(matrix, "ablation_protocol",
+                                             "net-scale", "SOR", configs,
+                                             /*iters=*/2);
+    for (exp::ExperimentSpec& spec : sweep.specs) spec.config = config;
+    const LinearFit fit =
+        fit_linear(sweep.cuts, miss_series(runner.run(sweep.specs)));
     std::printf("%.2fx Myrinet %9s %10.3f %10.3f\n", scale, "",
                 fit.correlation, fit.slope);
   }
@@ -119,7 +116,6 @@ int main(int argc, char** argv) {
               "model predicts\nmiss *counts*, which are protocol "
               "properties, not timing properties.\n");
 
-  // ---------------------------------------------------------------
   std::printf("\nAblation 4: causality model — total sync order vs true "
               "vector clocks\n(lock-using apps; conservative acquire-side "
               "invalidations vs precise ones)\n");
@@ -127,28 +123,30 @@ int main(int argc, char** argv) {
   std::printf("%-9s %16s %16s %14s %14s\n", "App", "inval(total)",
               "inval(vc)", "misses(total)", "misses(vc)");
   print_rule();
-  for (const char* name : {"Water", "Barnes", "Spatial", "Ocean"}) {
-    const auto workload = make_workload(name, kThreads);
-    const Placement placement = Placement::stretch(kThreads, kNodes);
-    std::int64_t invalidations[2] = {0, 0};
-    std::int64_t misses[2] = {0, 0};
-    int idx = 0;
-    for (const auto mode :
-         {CausalityMode::kTotalOrder, CausalityMode::kVectorClock}) {
-      RuntimeConfig config;
-      config.dsm.causality = mode;
-      ClusterRuntime runtime(*workload, placement, config);
-      runtime.run_init();
-      for (int i = 0; i < 4; ++i) runtime.run_iteration();
-      invalidations[idx] = runtime.dsm().stats().invalidations;
-      misses[idx] = runtime.totals().remote_misses;
-      ++idx;
+  {
+    const char* apps[] = {"Water", "Barnes", "Spatial", "Ocean"};
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char* name : apps) {
+      for (const auto mode :
+           {CausalityMode::kTotalOrder, CausalityMode::kVectorClock}) {
+        exp::ExperimentSpec spec = measured_spec(
+            "ablation_protocol",
+            std::string(name) +
+                (mode == CausalityMode::kTotalOrder ? "/total" : "/vc"),
+            name, stretch, /*iters=*/4, /*settle=*/0);
+        spec.config.dsm.causality = mode;
+        specs.push_back(std::move(spec));
+      }
     }
-    std::printf("%-9s %16lld %16lld %14lld %14lld\n", name,
-                static_cast<long long>(invalidations[0]),
-                static_cast<long long>(invalidations[1]),
-                static_cast<long long>(misses[0]),
-                static_cast<long long>(misses[1]));
+    const std::vector<exp::TrialRecord> records = runner.run(specs);
+    for (std::size_t a = 0; a < std::size(apps); ++a) {
+      const exp::TrialRecord& total = records[a * 2];
+      const exp::TrialRecord& vc = records[a * 2 + 1];
+      std::printf("%-9s %16lld %16lld %14lld %14lld\n", apps[a],
+                  ll(total.dsm.invalidations), ll(vc.dsm.invalidations),
+                  ll(total.totals.remote_misses),
+                  ll(vc.totals.remote_misses));
+    }
   }
   print_rule();
   std::printf("Expected: vector clocks invalidate no more (usually less) "

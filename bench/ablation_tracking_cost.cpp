@@ -7,52 +7,70 @@
 // shows that (a) the *ranking* of applications by tracking overhead is
 // stable, and (b) the amortised cost over a 100-iteration run stays
 // small — the paper's actual claims.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 
 namespace {
 
 using namespace actrack;
-using namespace actrack::bench;
+using namespace actrack::exp;
 
-double slowdown_pct(const Workload& workload, const CostModel& cost) {
-  RuntimeConfig config;
-  config.cost = cost;
-  const Placement placement = Placement::stretch(kThreads, kNodes);
-
-  ClusterRuntime off(workload, placement, config);
-  off.run_init();
-  off.run_iteration();
-  const SimTime t_off = off.run_iteration().elapsed_us;
-
-  ClusterRuntime on(workload, placement, config);
-  on.run_init();
-  on.run_iteration();
-  const SimTime t_on = on.run_tracked_iteration().metrics.elapsed_us;
-  return 100.0 * static_cast<double>(t_on - t_off) /
-         static_cast<double>(t_off);
+CostModel scaled_cost(double scale) {
+  CostModel cost;
+  cost.tracking_fault_us = static_cast<SimTime>(
+      static_cast<double>(cost.tracking_fault_us) * scale);
+  cost.protect_page_us = std::max<SimTime>(
+      1, static_cast<SimTime>(
+             static_cast<double>(cost.protect_page_us) * scale));
+  return cost;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::ArgParser args(argc, argv,
+                      "Ablation: Table 5 sensitivity to tracking-cost "
+                      "calibration");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  const char* apps[] = {"SOR", "Ocean", "LU2k", "Water", "Spatial"};
+  constexpr double kScales[] = {0.3, 1.0, 3.0};
+  const Placement placement = Placement::stretch(kThreads, kNodes);
+
+  // Two trials (tracking off / tracked) per app and cost scale.
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* name : apps) {
+    for (const double scale : kScales) {
+      for (const bool tracked : {false, true}) {
+        exp::ExperimentSpec spec = measured_spec(
+            "ablation_tracking_cost",
+            std::string(name) + (tracked ? "/on@" : "/off@") +
+                std::to_string(scale),
+            name, placement, tracked ? 0 : 1);
+        spec.schedule.tracked = tracked;
+        spec.config.cost = scaled_cost(scale);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const std::vector<exp::TrialRecord> records = runner.run(specs);
+
   std::printf("Ablation: Table 5 sensitivity to tracking-cost calibration\n");
   print_rule(76);
   std::printf("%-9s | %10s %10s %10s | %12s\n", "App", "0.3x", "1x", "3x",
               "amortised/100");
   print_rule(76);
 
-  for (const char* name : {"SOR", "Ocean", "LU2k", "Water", "Spatial"}) {
-    const auto workload = make_workload(name, kThreads);
+  std::size_t trial = 0;
+  for (const char* name : apps) {
     std::printf("%-9s |", name);
     double base = 0;
-    for (const double scale : {0.3, 1.0, 3.0}) {
-      CostModel cost;
-      cost.tracking_fault_us = static_cast<SimTime>(
-          static_cast<double>(cost.tracking_fault_us) * scale);
-      cost.protect_page_us = std::max<SimTime>(
-          1, static_cast<SimTime>(
-                 static_cast<double>(cost.protect_page_us) * scale));
-      const double pct = slowdown_pct(*workload, cost);
+    for (const double scale : kScales) {
+      const SimTime t_off = records[trial].metrics.elapsed_us;
+      const SimTime t_on = records[trial + 1].metrics.elapsed_us;
+      trial += 2;
+      const double pct = 100.0 * static_cast<double>(t_on - t_off) /
+                         static_cast<double>(t_off);
       if (scale == 1.0) base = pct;
       std::printf(" %9.1f%%", pct);
     }

@@ -5,19 +5,39 @@
 // rounds.  The paper's finding: even after many rounds, passive
 // tracking approaches complete information only for SOR; the complex
 // apps plateau well below 100 %, and migrations ping-pong.
-//
-// Flags: --rounds N (default 10).
 #include <fstream>
 #include <utility>
 
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "runtime/passive.hpp"
 #include "viz/svg_plot.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
-  const std::int32_t rounds = arg_int(argc, argv, "--rounds", 10);
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Figure 2: passive information gathering vs rounds");
+  const std::int32_t rounds =
+      args.int_flag("--rounds", 10, "migration rounds per app");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  // Each trial drives its own migration loop and stashes the round
+  // series into a private slot.
+  const std::vector<std::string> names = all_workload_names();
+  std::vector<std::vector<PassiveRound>> series(names.size());
+  std::vector<exp::ExperimentSpec> specs;
+  for (const std::string& name : names) {
+    specs.push_back(body_spec(
+        "fig2", name, name,
+        [&series, rounds](const exp::TrialContext& context,
+                          exp::TrialRecord&) {
+          PassiveTrackingExperiment experiment(context.workload, kNodes);
+          series[static_cast<std::size_t>(context.trial)] =
+              experiment.run(rounds);
+        }));
+  }
+  runner.run(specs);
 
   std::printf("Figure 2: %% of complete sharing information vs migration "
               "round (passive tracking)\n");
@@ -33,16 +53,14 @@ int main(int argc, char** argv) {
   SvgPlot figure("Figure 2: passive information gathering",
                  "migration round", "% of complete sharing information");
 
-  for (const std::string& name : all_workload_names()) {
-    const auto workload = make_workload(name, kThreads);
-    PassiveTrackingExperiment experiment(*workload, kNodes);
-    const std::vector<PassiveRound> series = experiment.run(rounds);
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const std::string& name = names[a];
     std::printf("%-9s", name.c_str());
     std::int32_t total_moved = 0;
     SvgSeries line;
     line.label = name;
     line.connect = true;
-    for (const PassiveRound& round : series) {
+    for (const PassiveRound& round : series[a]) {
       std::printf("%5.0f%%", 100.0 * round.completeness);
       total_moved += round.threads_moved;
       csv << name << ',' << round.round << ',' << round.completeness << ','

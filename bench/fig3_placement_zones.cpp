@@ -6,12 +6,15 @@
 // eight nodes — smaller zones covering only half the dark areas; (c)
 // four nodes with randomly permuted thread assignment — high cut cost
 // that neither node count addresses.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "viz/map_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv, "Figure 3: 32-thread FFT free zones");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
 
   constexpr std::int32_t kFftThreads = 32;
   const auto workload = make_workload("FFT6", kFftThreads);
@@ -42,8 +45,7 @@ int main() {
     const std::int64_t cut =
         matrix.cut_cost(panel.placement.node_of_thread());
     const std::int64_t total = matrix.total_pair_correlation();
-    std::printf("%-26s %12lld %21.1f%%\n", panel.label,
-                static_cast<long long>(cut),
+    std::printf("%-26s %12lld %21.1f%%\n", panel.label, ll(cut),
                 100.0 * static_cast<double>(total - cut) /
                     static_cast<double>(total));
   }
@@ -53,12 +55,19 @@ int main() {
               "about half,\n(c) far less than either — matching the paper's "
               "reading of Figure 3.\n");
 
-  // Verify the inference by running all three.
-  std::printf("\nmeasured steady-state remote misses per iteration:\n");
+  // Verify the inference by running all three through the engine.
+  std::vector<exp::ExperimentSpec> specs;
   for (const Panel& panel : panels) {
-    const IterationMetrics m = run_measured(*workload, panel.placement, 2);
-    std::printf("  %-26s %10lld\n", panel.label,
-                static_cast<long long>(m.remote_misses / 2));
+    specs.push_back(measured_spec("fig3", panel.label, "FFT6",
+                                  panel.placement, /*iters=*/2));
+    specs.back().threads = kFftThreads;
+  }
+  const std::vector<exp::TrialRecord> records = runner.run(specs);
+
+  std::printf("\nmeasured steady-state remote misses per iteration:\n");
+  for (std::size_t p = 0; p < std::size(panels); ++p) {
+    std::printf("  %-26s %10lld\n", panels[p].label,
+                ll(records[p].metrics.remote_misses / 2));
   }
   return 0;
 }

@@ -5,32 +5,22 @@
 // print the reproduction's values next to the paper's shared-page
 // counts (exact for SOR/Water/Barnes, near-exact for LU/Ocean,
 // same-magnitude for FFT/Spatial — see EXPERIMENTS.md for why).
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 
-namespace {
-
-struct PaperRow {
-  const char* name;
-  int shared_pages;
-};
-constexpr PaperRow kPaper[] = {
-    {"Barnes", 251},  {"FFT6", 1796}, {"FFT7", 3588}, {"FFT8", 7172},
-    {"LU1k", 1032},   {"LU2k", 4105}, {"Ocean", 3191}, {"Spatial", 569},
-    {"SOR", 4099},    {"Water", 44},
-};
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Table 1: application characteristics (no sweeps)");
+  [[maybe_unused]] const exp::TrialRunner runner = make_runner(args);
+  args.finish();
 
   std::printf("Table 1: Application Characteristics (64 threads)\n");
   print_rule();
   std::printf("%-9s %-14s %-12s %12s %12s\n", "App", "Sync", "Input",
               "pages(ours)", "pages(paper)");
   print_rule();
-  for (const PaperRow& row : kPaper) {
+  for (const Table1Row& row : kTable1) {
     const auto workload = make_workload(row.name, kThreads);
     std::printf("%-9s %-14s %-12s %12d %12d\n", row.name,
                 workload->synchronization().c_str(),

@@ -7,35 +7,22 @@
 // coefficient per application over 300 configurations; Figure 1 is the
 // scatter.  We print the same three columns next to the paper's values
 // and write the scatter series to fig1_<app>.csv.
-//
-// Flags: --configs N (default 300), --iters N (measured iterations per
-// configuration, default 2).
-#include <fstream>
-
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "common/stats.hpp"
 #include "viz/svg_plot.hpp"
 
-namespace {
-
-struct PaperRow {
-  const char* name;
-  double slope, intercept, r;
-};
-constexpr PaperRow kPaper[] = {
-    {"Barnes", 0.227, -14483.4, 0.742}, {"FFT7", 2.517, -23506.9, 0.925},
-    {"FFT8", 2.805, -16275.6, 0.911},   {"LU2k", 2.694, -76837.3, 0.724},
-    {"Ocean", 4.508, -92112.1, 0.937},  {"Spatial", 0.079, -2760.1, 0.458},
-    {"SOR", 4.100, -21.4, 0.961},       {"Water", 0.402, -3011.4, 0.779},
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
-  const std::int32_t configs = arg_int(argc, argv, "--configs", 300);
-  const std::int32_t iters = arg_int(argc, argv, "--iters", 2);
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Table 2 / Figure 1: remote misses regressed on cut "
+                      "costs over random thread configurations");
+  const std::int32_t configs =
+      args.int_flag("--configs", 300, "random configurations per app");
+  const std::int32_t iters =
+      args.int_flag("--iters", 2, "measured iterations per configuration");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
 
   std::printf("Table 2: remote misses as a function of cut costs\n");
   std::printf("(%d random configurations/app, %d measured iterations each, "
@@ -49,42 +36,20 @@ int main(int argc, char** argv) {
               "paper (testbed)");
   print_rule(86);
 
-  for (const PaperRow& row : kPaper) {
+  for (const Table2Row& row : kTable2) {
     const auto workload = make_workload(row.name, kThreads);
     const CorrelationMatrix matrix = correlations_for(*workload);
-    Rng rng(kSeed);
-
-    std::vector<double> cuts, misses;
-    cuts.reserve(static_cast<std::size_t>(configs));
-    misses.reserve(static_cast<std::size_t>(configs));
-    for (std::int32_t c = 0; c < configs; ++c) {
-      const Placement placement =
-          random_placement(rng, kThreads, kNodes, /*min_per_node=*/2);
-      const IterationMetrics m = run_measured(*workload, placement, iters);
-      cuts.push_back(
-          static_cast<double>(matrix.cut_cost(placement.node_of_thread())));
-      misses.push_back(static_cast<double>(m.remote_misses));
-    }
-    const LinearFit fit = fit_linear(cuts, misses);
+    const RegressionSweep sweep =
+        regression_sweep(matrix, "table2", row.name, row.name, configs, iters);
+    const std::vector<double> misses = miss_series(runner.run(sweep.specs));
+    const LinearFit fit = fit_linear(sweep.cuts, misses);
     std::printf("%-8s | %8.3f %12.1f %6.3f | %8.3f %12.1f %6.3f\n", row.name,
                 fit.slope, fit.intercept, fit.correlation, row.slope,
                 row.intercept, row.r);
-
-    // Figure 1 scatter series: CSV plus a rendered SVG panel.
-    const std::string path = std::string("fig1_") + row.name + ".csv";
-    std::ofstream csv(path);
-    csv << "cut_cost,remote_misses\n";
-    for (std::size_t i = 0; i < cuts.size(); ++i) {
-      csv << cuts[i] << ',' << misses[i] << '\n';
-    }
-    SvgPlot plot(std::string("Figure 1: ") + row.name, "cut cost",
-                 "remote misses");
-    SvgSeries scatter;
-    scatter.label = row.name;
-    scatter.x = cuts;
-    scatter.y = misses;
-    plot.add_series(std::move(scatter));
-    plot.write(std::string("fig1_") + row.name + ".svg");
+    write_scatter_panel(std::string("fig1_") + row.name,
+                        std::string("Figure 1: ") + row.name, "cut cost",
+                        "remote misses", "cut_cost,remote_misses", row.name,
+                        sweep.cuts, misses);
   }
   print_rule(86);
   std::printf("Figure 1 panels written to fig1_<app>.{csv,svg}\n");

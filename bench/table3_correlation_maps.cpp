@@ -6,34 +6,53 @@
 // PGM image (table3_<app>_<threads>.pgm), print a compact ASCII
 // rendering, and classify each map with the same structural readings
 // the paper makes by eye (nearest-neighbour / blocks of N / all-to-all).
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "correlation/structure.hpp"
 #include "viz/map_render.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
-  const bool ascii = arg_int(argc, argv, "--ascii", 1) != 0;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Table 3: correlation maps at 32/48/64 threads");
+  const bool ascii =
+      args.int_flag("--ascii", 1, "print ASCII maps (0 to disable)") != 0;
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
 
   const char* apps[] = {"SOR", "Water", "Barnes", "LU2k",
                         "FFT6", "Ocean", "Spatial"};
+  constexpr std::int32_t kThreadCounts[] = {32, 48, 64};
+
+  // One tracked collection pass per (app, thread-count) cell; the maps
+  // land in per-trial slots so the sweep can run in parallel.
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* app : apps) {
+    for (const std::int32_t threads : kThreadCounts) {
+      specs.push_back(tracked_spec(
+          "table3", std::string(app) + "@" + std::to_string(threads), app,
+          threads, threads % 8 == 0 ? 8 : 4));
+    }
+  }
+  std::vector<CorrelationMatrix> maps(specs.size(), CorrelationMatrix(1));
+  for (exp::ExperimentSpec& spec : specs) spec.probe = stash_matrix(maps);
+  runner.run(specs);
+
   std::printf("Table 3: correlation maps (PGM files + structure summary)\n");
   print_rule(86);
   std::printf("%-9s %8s %10s %14s %12s  %-20s\n", "App", "threads",
               "max pair", "nn-fraction", "uniformity", "classified as");
   print_rule(86);
 
+  std::size_t cell = 0;
   for (const char* app : apps) {
-    for (const std::int32_t threads : {32, 48, 64}) {
-      const auto workload = make_workload(app, threads);
-      const NodeId nodes = threads % 8 == 0 ? 8 : 4;
-      const CorrelationMatrix matrix = correlations_for(*workload, nodes);
-
+    for (const std::int32_t threads : kThreadCounts) {
+      const CorrelationMatrix& matrix = maps[cell++];
       const std::string path = std::string("table3_") + app + "_" +
                                std::to_string(threads) + ".pgm";
       write_pgm(matrix, path);
       std::printf("%-9s %8d %10lld %13.1f%% %12.2f  %-20s\n", app, threads,
-                  static_cast<long long>(matrix.max_off_diagonal()),
+                  ll(matrix.max_off_diagonal()),
                   100.0 * nearest_neighbour_fraction(matrix),
                   uniformity_index(matrix),
                   classify_structure(matrix).c_str());
@@ -44,10 +63,11 @@ int main(int argc, char** argv) {
   if (ascii) {
     std::printf("\n64-thread maps (origin lower left, darker = more "
                 "sharing):\n");
-    for (const char* app : apps) {
-      const auto workload = make_workload(app, 64);
-      const CorrelationMatrix matrix = correlations_for(*workload, 8);
-      std::printf("\n--- %s ---\n%s", app, ascii_map(matrix, 64).c_str());
+    for (std::size_t a = 0; a < std::size(apps); ++a) {
+      // Cell layout is row-major (app, thread count); the 64-thread map
+      // is the last of each app's three cells.
+      const CorrelationMatrix& matrix = maps[a * 3 + 2];
+      std::printf("\n--- %s ---\n%s", apps[a], ascii_map(matrix, 64).c_str());
     }
   }
   std::printf("\nPGM files table3_<app>_<threads>.pgm reproduce the panels "

@@ -5,13 +5,20 @@
 // with reduced background; at 2^20 it becomes uniform all-to-all.  We
 // write the three maps and quantify the cluster structure: average
 // intra-cluster correlation vs background for candidate cluster sizes.
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "correlation/structure.hpp"
 #include "viz/map_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv, "Table 4: 64-thread FFT versus input set");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  const char* apps[] = {"FFT6", "FFT7", "FFT8"};
+  const std::vector<CorrelationMatrix> maps =
+      collect_maps(runner, "table4", apps);
 
   std::printf("Table 4: 64-thread FFT versus input set\n");
   std::printf("paper: 2^18 → 8 clusters of 8; 2^19 → 4-thread blocks, "
@@ -21,9 +28,10 @@ int main() {
               "8-block in/out", "4-block in/out", "uniformity");
   print_rule(90);
 
-  for (const char* app : {"FFT6", "FFT7", "FFT8"}) {
+  for (std::size_t a = 0; a < std::size(apps); ++a) {
+    const char* app = apps[a];
     const auto workload = make_workload(app, kThreads);
-    const CorrelationMatrix matrix = correlations_for(*workload);
+    const CorrelationMatrix& matrix = maps[a];
     const BlockContrast c8 = block_contrast(matrix, 8);
     const BlockContrast c4 = block_contrast(matrix, 4);
     const double uniformity = uniformity_index(matrix);

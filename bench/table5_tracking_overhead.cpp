@@ -6,35 +6,39 @@
 // shapes: Ocean and SOR slow down >50 %, LU2k by a third, the rest by
 // ≤12 %; Spatial is cheapest (longest iterations); sharing degree spans
 // 1.08 (SOR) to ~7.8 (LU2k).
-#include "bench_util.hpp"
+#include "exp/presets.hpp"
 #include "correlation/sharing.hpp"
 
-namespace {
-
-struct PaperRow {
-  const char* name;
-  double off_s, on_s, slowdown_pct;
-  long long tracking, coherence;
-  double degree;
-};
-constexpr PaperRow kPaper[] = {
-    {"Barnes", 2.24, 2.32, 3.62, 8628, 8316, 6.583},
-    {"FFT6", 0.37, 0.40, 8.99, 5216, 928, 2.657},
-    {"FFT7", 0.67, 0.75, 11.28, 6112, 1824, 1.734},
-    {"FFT8", 1.41, 1.51, 7.32, 5600, 5920, 1.268},
-    {"LU1k", 0.30, 0.32, 8.11, 9855, 232, 7.359},
-    {"LU2k", 0.80, 1.06, 33.33, 36102, 344, 7.821},
-    {"Ocean", 1.92, 3.26, 69.92, 62039, 12439, 2.112},
-    {"Spatial", 13.43, 13.60, 1.27, 38286, 6296, 6.030},
-    {"SOR", 0.15, 0.26, 75.68, 8640, 56, 1.081},
-    {"Water", 1.07, 1.09, 2.25, 2983, 1427, 6.754},
-};
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Table 5: 64-thread tracking overhead (off vs on)");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  const Placement placement = Placement::stretch(kThreads, kNodes);
+
+  // Two trials per app with identical histories: one measures a plain
+  // steady-state iteration, the other the same iteration with active
+  // correlation tracking (init + one settling iteration in both).
+  std::vector<exp::ExperimentSpec> specs;
+  for (const Table5Row& row : kTable5) {
+    specs.push_back(measured_spec("table5", std::string(row.name) + "/off",
+                                  row.name, placement, /*iters=*/1));
+    exp::ExperimentSpec on = measured_spec(
+        "table5", std::string(row.name) + "/on", row.name, placement,
+        /*iters=*/0);
+    on.schedule.tracked = true;
+    on.probe = [&placement](const exp::TrialContext& context,
+                            exp::TrialRecord& record) {
+      record.add_extra("degree",
+                       sharing_degree(context.tracking->access_bitmaps,
+                                      placement.node_of_thread(), kNodes));
+    };
+    specs.push_back(std::move(on));
+  }
+  const std::vector<exp::TrialRecord> records = runner.run(specs);
 
   std::printf("Table 5: 64-thread tracking overhead (8 nodes, 8 "
               "threads/node)\n");
@@ -46,36 +50,23 @@ int main() {
               "paper (testbed)");
   print_rule(108);
 
-  for (const PaperRow& row : kPaper) {
-    const auto workload = make_workload(row.name, kThreads);
-    const Placement placement = Placement::stretch(kThreads, kNodes);
-
-    // Tracking OFF: init, settle, measure one steady iteration.
-    ClusterRuntime off(*workload, placement);
-    off.run_init();
-    off.run_iteration();
-    const SimTime off_us = off.run_iteration().elapsed_us;
-
-    // Tracking ON: identical history, but the measured iteration runs
-    // with active correlation tracking.
-    ClusterRuntime on(*workload, placement);
-    on.run_init();
-    on.run_iteration();
-    const TrackedIterationMetrics tracked = on.run_tracked_iteration();
-    const SimTime on_us = tracked.metrics.elapsed_us;
+  for (std::size_t a = 0; a < std::size(kTable5); ++a) {
+    const Table5Row& row = kTable5[a];
+    const exp::TrialRecord& off = records[a * 2];
+    const exp::TrialRecord& on = records[a * 2 + 1];
+    const SimTime off_us = off.metrics.elapsed_us;
+    const SimTime on_us = on.metrics.elapsed_us;
 
     const double slowdown =
         100.0 * (static_cast<double>(on_us - off_us) /
                  static_cast<double>(off_us));
-    const double degree = sharing_degree(
-        tracked.tracking.access_bitmaps, placement.node_of_thread(), kNodes);
+    const double degree = on.extras.front().second;
 
     std::printf(
         "%-8s | %7.2f %7.2f %7.1f%% %9lld %9lld %7.3f | %7.2f%% %9lld %9lld "
         "%7.3f\n",
         row.name, secs(off_us), secs(on_us), slowdown,
-        static_cast<long long>(tracked.tracking.tracking_faults),
-        static_cast<long long>(tracked.tracking.coherence_faults), degree,
+        ll(on.tracking_faults), ll(on.tracking_coherence_faults), degree,
         row.slowdown_pct, row.tracking, row.coherence, row.degree);
   }
   print_rule(108);

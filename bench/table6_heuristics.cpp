@@ -6,38 +6,42 @@
 // application, dramatically where sharing is clustered (LU1k 13×, SOR
 // 1.6×, FFT7 1.8×) and modestly where sharing is diffuse (Barnes,
 // Water).
-#include "bench_util.hpp"
-
-namespace {
-
-struct PaperRow {
-  const char* name;
-  // min-cost row, then random row (time s, misses, totalMB, diffMB, cut).
-  double mc[5];
-  double ran[5];
-};
-constexpr PaperRow kPaper[] = {
-    {"Barnes", {43.0, 120730, 218.1, 29.3, 125518},
-     {46.5, 124030, 254.2, 29.3, 129729}},
-    {"FFT7", {37.3, 22002, 172.2, 169.2, 8960},
-     {68.9, 86850, 685.9, 193.4, 14912}},
-    {"LU1k", {7.3, 11689, 121.3, 9.6, 31696},
-     {97.1, 231117, 1136.2, 145.2, 58576}},
-    {"Ocean", {21.2, 123950, 446.3, 228.7, 26662},
-     {28.9, 171886, 605.5, 240.4, 29037}},
-    {"Spatial", {240.1, 125929, 551.8, 107.7, 273920},
-     {273.7, 249389, 870.8, 115.8, 289280}},
-    {"SOR", {3.6, 881, 5.4, 5.0, 28}, {5.9, 8103, 47.7, 46.0, 252}},
-    {"Water", {19.3, 20956, 49.0, 6.9, 21451},
-     {21.1, 33188, 72.0, 6.9, 23635}},
-};
-
-}  // namespace
+#include "exp/presets.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  using namespace actrack::bench;
-  const std::int32_t extra_iters = arg_int(argc, argv, "--iters", 0);
+  using namespace actrack::exp;
+  exp::ArgParser args(argc, argv,
+                      "Table 6: full-run performance, min-cost vs random "
+                      "placement");
+  args.int_flag("--iters", 0, "reserved (extra measured iterations)");
+  const exp::TrialRunner runner = make_runner(args);
+  args.finish();
+
+  // Phase 1: one tracked collection pass per app gives the correlation
+  // matrix that drives the min-cost heuristic (and the cut column).
+  std::vector<std::string> names;
+  for (const Table6Row& row : kTable6) names.emplace_back(row.name);
+  const std::vector<CorrelationMatrix> maps =
+      collect_maps(runner, "table6", names);
+
+  // Phase 2: full application runs, min-cost then random, per app.  The
+  // random placement draws from a fresh per-app Rng so the sweep order
+  // cannot perturb it.
+  std::vector<exp::ExperimentSpec> specs;
+  std::vector<Placement> placements;
+  for (std::size_t a = 0; a < std::size(kTable6); ++a) {
+    const Placement mincost = min_cost_placement(maps[a], kNodes);
+    Rng rng(kSeed + 1);
+    const Placement random = balanced_random_placement(rng, kThreads, kNodes);
+    specs.push_back(full_spec("table6", names[a] + "/m-c", names[a],
+                              mincost));
+    specs.push_back(full_spec("table6", names[a] + "/ran", names[a],
+                              random));
+    placements.push_back(mincost);
+    placements.push_back(random);
+  }
+  const std::vector<exp::TrialRecord> records = runner.run(specs);
 
   std::printf("Table 6: 8-node performance by heuristic (full runs, "
               "default iteration counts)\n");
@@ -47,35 +51,20 @@ int main(int argc, char** argv) {
               "time*(s)", "misses*", "cut*");
   print_rule(100);
 
-  for (const PaperRow& row : kPaper) {
-    const auto workload = make_workload(row.name, kThreads);
-    if (extra_iters > 0) {
-      // allow longer runs for closer-to-paper absolute numbers
-    }
-    const CorrelationMatrix matrix = correlations_for(*workload);
-
-    const Placement mincost = min_cost_placement(matrix, kNodes);
-    Rng rng(kSeed + 1);
-    const Placement random = balanced_random_placement(rng, kThreads, kNodes);
-
-    struct Variant {
-      const char* label;
-      const Placement* placement;
-      const double* paper;
-    };
-    const Variant variants[] = {{"m-c", &mincost, row.mc},
-                                {"ran", &random, row.ran}};
-    for (const Variant& variant : variants) {
-      const IterationMetrics m = run_full(*workload, *variant.placement);
+  for (std::size_t a = 0; a < std::size(kTable6); ++a) {
+    const Table6Row& row = kTable6[a];
+    const char* labels[] = {"m-c", "ran"};
+    const double* paper[] = {row.mc, row.ran};
+    for (std::size_t v = 0; v < 2; ++v) {
+      const IterationMetrics& m = records[a * 2 + v].metrics;
       const std::int64_t cut =
-          matrix.cut_cost(variant.placement->node_of_thread());
+          maps[a].cut_cost(placements[a * 2 + v].node_of_thread());
       std::printf(
           "%-8s %-4s | %9.2f %10lld %9.1f %9.1f %10lld | %9.1f %10.0f "
           "%10.0f\n",
-          row.name, variant.label, secs(m.elapsed_us),
-          static_cast<long long>(m.remote_misses), mbytes(m.total_bytes),
-          mbytes(m.diff_bytes), static_cast<long long>(cut),
-          variant.paper[0], variant.paper[1], variant.paper[4]);
+          row.name, labels[v], secs(m.elapsed_us), ll(m.remote_misses),
+          mbytes(m.total_bytes), mbytes(m.diff_bytes), ll(cut), paper[v][0],
+          paper[v][1], paper[v][4]);
     }
   }
   print_rule(100);

@@ -7,10 +7,14 @@
 // partner structure rotates every K iterations — particles migrating
 // between spatial regions) and AdaptiveController (re-track when the
 // remote-miss rate degrades, age the correlations, migrate once).
+// Each policy runs as one exp::TrialRunner trial with a custom body.
 #include <cstdio>
 #include <string>
 
 #include "apps/drifting.hpp"
+#include "exp/args.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "runtime/adaptive.hpp"
 
 namespace {
@@ -24,50 +28,77 @@ struct PolicyResult {
   SimTime elapsed_us = 0;
 };
 
-PolicyResult run_policy(const std::string& policy, std::int32_t iters) {
-  constexpr std::int32_t kThreads = 32;
-  constexpr NodeId kNodes = 4;
-  DriftingWorkload workload(kThreads, /*period=*/8, /*shift=*/5);
-  ClusterRuntime runtime(workload, Placement::stretch(kThreads, kNodes));
+exp::BodyFn policy_body(std::vector<PolicyResult>& slots, std::string policy,
+                        std::int32_t iters) {
+  return [&slots, policy = std::move(policy),
+          iters](const exp::TrialContext& context, exp::TrialRecord&) {
+    constexpr NodeId kNodes = 4;
+    PolicyResult& result = slots[static_cast<std::size_t>(context.trial)];
+    ClusterRuntime runtime(
+        context.workload,
+        Placement::stretch(context.workload.num_threads(), kNodes));
 
-  PolicyResult result;
-  if (policy == "static-stretch") {
-    runtime.run_init();
-    for (std::int32_t i = 0; i < iters; ++i) {
-      const IterationMetrics m = runtime.run_iteration();
-      result.remote_misses += m.remote_misses;
-      result.elapsed_us += m.elapsed_us;
+    if (policy == "static-stretch") {
+      runtime.run_init();
+      for (std::int32_t i = 0; i < iters; ++i) {
+        const IterationMetrics m = runtime.run_iteration();
+        result.remote_misses += m.remote_misses;
+        result.elapsed_us += m.elapsed_us;
+      }
+      return;
     }
-    return result;
-  }
 
-  AdaptivePolicy config;
-  if (policy == "track-once") {
-    config.degradation_factor = 1e18;  // never re-track after the first
-  } else {
-    config.degradation_factor = 1.3;
-  }
-  AdaptiveController controller(&runtime, config);
-  for (const AdaptiveStep& step : controller.run(iters)) {
-    result.remote_misses += step.remote_misses;
-    result.elapsed_us += step.elapsed_us;
-  }
-  result.tracks = controller.tracked_iterations();
-  result.migrations = controller.migrations();
-  return result;
+    AdaptivePolicy config;
+    if (policy == "track-once") {
+      config.degradation_factor = 1e18;  // never re-track after the first
+    } else {
+      config.degradation_factor = 1.3;
+    }
+    AdaptiveController controller(&runtime, config);
+    for (const AdaptiveStep& step : controller.run(iters)) {
+      result.remote_misses += step.remote_misses;
+      result.elapsed_us += step.elapsed_us;
+    }
+    result.tracks = controller.tracked_iterations();
+    result.migrations = controller.migrations();
+  };
 }
 
 }  // namespace
 
-int main() {
-  constexpr std::int32_t kIters = 48;
+int main(int argc, char** argv) {
+  exp::ArgParser args(argc, argv,
+                      "Placement policies on a drifting workload");
+  const std::int32_t iters =
+      args.int_flag("--iters", 48, "iterations per policy run");
+  exp::RunnerOptions options;
+  options.jobs = args.int_flag("--jobs", 1, "parallel trial workers");
+  args.finish();
+
+  const char* policies[] = {"static-stretch", "track-once", "adaptive"};
+  std::vector<PolicyResult> results(std::size(policies));
+  std::vector<exp::ExperimentSpec> specs;
+  for (const char* policy : policies) {
+    exp::ExperimentSpec spec;
+    spec.experiment = "adaptive_migration";
+    spec.label = policy;
+    spec.workload = "Drifting";
+    spec.factory = []() -> std::unique_ptr<Workload> {
+      return std::make_unique<DriftingWorkload>(32, /*period=*/8,
+                                                /*shift=*/5);
+    };
+    spec.body = policy_body(results, policy, iters);
+    specs.push_back(std::move(spec));
+  }
+  exp::TrialRunner(options).run(specs);
+
   std::printf("drifting workload, %d iterations (sharing rotates every 8)\n\n",
-              kIters);
+              iters);
   std::printf("%-16s %14s %8s %12s %10s\n", "policy", "remote misses",
               "tracks", "migrations", "time (s)");
-  for (const char* policy : {"static-stretch", "track-once", "adaptive"}) {
-    const PolicyResult r = run_policy(policy, kIters);
-    std::printf("%-16s %14lld %8lld %12lld %10.3f\n", policy,
+  for (std::size_t p = 0; p < std::size(policies); ++p) {
+    const PolicyResult& r = results[p];
+    std::printf("%-16s %14lld %8lld %12lld %10.3f\n", policies[p],
                 static_cast<long long>(r.remote_misses),
                 static_cast<long long>(r.tracks),
                 static_cast<long long>(r.migrations),

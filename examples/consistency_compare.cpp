@@ -9,20 +9,28 @@
 // absorb — which is why "suspension scheduling" style mechanisms were
 // needed there, and why thread placement is the *only* remaining lever
 // once the protocol is modern.
+//
+// Usage: consistency_compare [--app NAME] [--jobs N]   (default: Water)
 #include <cstdio>
+#include <string>
 
-#include "apps/workload.hpp"
+#include "exp/args.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "runtime/cluster_runtime.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  const char* app = argc > 1 ? argv[1] : "Water";
+  exp::ArgParser args(argc, argv,
+                      "Compare LRC multi-writer vs SC single-writer on one "
+                      "application");
+  const std::string app =
+      args.string_flag("--app", "Water", "workload name");
+  exp::RunnerOptions options;
+  options.jobs = args.int_flag("--jobs", 1, "parallel trial workers");
+  args.finish();
 
-  const auto workload = make_workload(app, 64);
   const Placement placement = Placement::stretch(64, 8);
-  std::printf("=== %s, 64 threads, 8 nodes, stretch placement ===\n\n", app);
-  std::printf("%-26s %10s %10s %10s %10s\n", "protocol", "misses", "MB",
-              "diffs MB", "time (s)");
 
   struct Variant {
     const char* label;
@@ -37,15 +45,33 @@ int main(int argc, char** argv) {
       {"SC + delta interval",
        ConsistencyModel::kSequentialSingleWriter, 2000},
   };
+
+  // One trial per protocol: init + 4 iterations, cumulative totals.
+  std::vector<exp::ExperimentSpec> specs;
   for (const Variant& variant : variants) {
-    RuntimeConfig config;
-    config.dsm.model = variant.model;
-    config.dsm.delta_interval_us = variant.delta_us;
-    ClusterRuntime runtime(*workload, placement, config);
-    runtime.run_init();
-    for (int i = 0; i < 4; ++i) runtime.run_iteration();
-    const IterationMetrics& totals = runtime.totals();
-    std::printf("%-26s %10lld %10.1f %10.1f %10.3f\n", variant.label,
+    exp::ExperimentSpec spec;
+    spec.experiment = "consistency_compare";
+    spec.label = variant.label;
+    spec.workload = app;
+    spec.threads = 64;
+    spec.nodes = 8;
+    spec.placement = exp::fixed_placement(placement);
+    spec.schedule.settle_iterations = 0;
+    spec.schedule.measured_iterations = 4;
+    spec.config.dsm.model = variant.model;
+    spec.config.dsm.delta_interval_us = variant.delta_us;
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<exp::TrialRecord> records =
+      exp::TrialRunner(options).run(specs);
+
+  std::printf("=== %s, 64 threads, 8 nodes, stretch placement ===\n\n",
+              app.c_str());
+  std::printf("%-26s %10s %10s %10s %10s\n", "protocol", "misses", "MB",
+              "diffs MB", "time (s)");
+  for (std::size_t v = 0; v < std::size(variants); ++v) {
+    const IterationMetrics& totals = records[v].totals;
+    std::printf("%-26s %10lld %10.1f %10.1f %10.3f\n", variants[v].label,
                 static_cast<long long>(totals.remote_misses),
                 static_cast<double>(totals.total_bytes) / (1024.0 * 1024.0),
                 static_cast<double>(totals.diff_bytes) / (1024.0 * 1024.0),
@@ -54,6 +80,6 @@ int main(int argc, char** argv) {
   std::printf("\nLRC moves small diffs where SC moves whole pages; the "
               "delta interval only\nrate-limits the ping-pong (time, not "
               "misses).  Run with another app name to\ncompare, e.g. "
-              "./consistency_compare Ocean\n");
+              "./consistency_compare --app Ocean\n");
   return 0;
 }

@@ -4,19 +4,28 @@
 // iteration's correlation map, then verify the prediction by running
 // the best and worst candidates.
 //
-// Usage: placement_explorer [workload] [threads]   (defaults: LU2k 64)
+// Usage: placement_explorer [--app NAME] [--threads N] [--jobs N]
+//        (defaults: LU2k 64)
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
-#include "apps/workload.hpp"
+#include "exp/args.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "placement/heuristics.hpp"
 #include "runtime/cluster_runtime.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  const std::string name = argc > 1 ? argv[1] : "LU2k";
-  const std::int32_t threads = argc > 2 ? std::atoi(argv[2]) : 64;
+  exp::ArgParser args(argc, argv,
+                      "Predict placement quality from one tracked "
+                      "iteration, then verify by running");
+  const std::string name = args.string_flag("--app", "LU2k", "workload name");
+  const std::int32_t threads =
+      args.int_flag("--threads", 64, "thread count");
+  exp::RunnerOptions options;
+  options.jobs = args.int_flag("--jobs", 1, "parallel trial workers");
+  args.finish();
 
   const auto workload = make_workload(name, threads);
   std::printf("=== placement explorer: %s, %d threads ===\n\n", name.c_str(),
@@ -54,18 +63,32 @@ int main(int argc, char** argv) {
       {"random", balanced_random_placement(rng, threads, kNodes)},
   };
 
+  // Each candidate is one trial: init, one settling iteration, three
+  // measured ones.
+  std::vector<exp::ExperimentSpec> specs;
+  for (const Candidate& candidate : candidates) {
+    exp::ExperimentSpec spec;
+    spec.experiment = "placement_explorer";
+    spec.label = candidate.label;
+    spec.workload = name;
+    spec.threads = threads;
+    spec.nodes = kNodes;
+    spec.placement = exp::fixed_placement(candidate.placement);
+    spec.schedule.settle_iterations = 1;
+    spec.schedule.measured_iterations = 3;
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<exp::TrialRecord> records =
+      exp::TrialRunner(options).run(specs);
+
   std::printf("\npredicted vs measured at %d nodes:\n", kNodes);
   std::printf("%-10s %14s %16s %14s\n", "placement", "cut cost",
               "remote misses", "time (s)");
-  for (const Candidate& candidate : candidates) {
-    ClusterRuntime runtime(*workload, candidate.placement);
-    runtime.run_init();
-    runtime.run_iteration();  // settle
-    IterationMetrics sum;
-    for (int i = 0; i < 3; ++i) sum.add(runtime.run_iteration());
-    std::printf("%-10s %14lld %16lld %14.3f\n", candidate.label,
-                static_cast<long long>(
-                    matrix.cut_cost(candidate.placement.node_of_thread())),
+  for (std::size_t c = 0; c < std::size(candidates); ++c) {
+    const IterationMetrics& sum = records[c].metrics;
+    std::printf("%-10s %14lld %16lld %14.3f\n", candidates[c].label,
+                static_cast<long long>(matrix.cut_cost(
+                    candidates[c].placement.node_of_thread())),
                 static_cast<long long>(sum.remote_misses),
                 static_cast<double>(sum.elapsed_us) / 1e6);
   }

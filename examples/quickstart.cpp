@@ -6,58 +6,74 @@
 //   3. Build the correlation map and compare placements by cut cost.
 //   4. Migrate to the min-cost placement and watch remote misses drop.
 //
+// The walkthrough runs as a single exp::TrialRunner trial with a custom
+// body — the escape hatch for experiments that drive their own
+// migration sequence (see src/exp/experiment.hpp).
+//
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "apps/workload.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "placement/heuristics.hpp"
-#include "runtime/cluster_runtime.hpp"
 #include "viz/map_render.hpp"
 
 int main() {
   using namespace actrack;
 
-  const auto workload = make_workload("SOR", 64);
-  std::printf("workload: %s (%s), %d threads, %d shared pages\n",
-              workload->name().c_str(),
-              workload->input_description().c_str(), workload->num_threads(),
-              workload->num_pages());
+  exp::ExperimentSpec spec;
+  spec.experiment = "quickstart";
+  spec.label = "walkthrough";
+  spec.workload = "SOR";
+  spec.threads = 64;
+  spec.nodes = 8;
+  spec.seed = 42;
+  spec.body = [](const exp::TrialContext& context, exp::TrialRecord&) {
+    const Workload& workload = context.workload;
+    std::printf("workload: %s (%s), %d threads, %d shared pages\n",
+                workload.name().c_str(),
+                workload.input_description().c_str(), workload.num_threads(),
+                workload.num_pages());
 
-  // Start from a deliberately bad (random) mapping of threads to nodes.
-  Rng rng(42);
-  const Placement initial = balanced_random_placement(rng, 64, 8);
-  ClusterRuntime runtime(*workload, initial);
-  runtime.run_init();
-  runtime.run_iteration();  // warm up replicas
-  const IterationMetrics before = runtime.run_iteration();
-  std::printf("random placement : %8.3f s/iter, %7lld remote misses\n",
-              static_cast<double>(before.elapsed_us) / 1e6,
-              static_cast<long long>(before.remote_misses));
+    // Start from a deliberately bad (random) mapping of threads to
+    // nodes.  context.rng is seeded from spec.seed.
+    const Placement initial =
+        balanced_random_placement(context.rng, 64, 8);
+    ClusterRuntime runtime(workload, initial);
+    runtime.run_init();
+    runtime.run_iteration();  // warm up replicas
+    const IterationMetrics before = runtime.run_iteration();
+    std::printf("random placement : %8.3f s/iter, %7lld remote misses\n",
+                static_cast<double>(before.elapsed_us) / 1e6,
+                static_cast<long long>(before.remote_misses));
 
-  // One tracked iteration gives complete per-thread page-access bitmaps.
-  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
-  const CorrelationMatrix matrix =
-      CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps);
-  std::printf("tracking         : %lld tracking faults, slowdown vs plain "
-              "iteration visible in Table 5 bench\n",
-              static_cast<long long>(tracked.tracking.tracking_faults));
+    // One tracked iteration gives complete per-thread access bitmaps.
+    const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+    const CorrelationMatrix matrix =
+        CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps);
+    std::printf("tracking         : %lld tracking faults, slowdown vs plain "
+                "iteration visible in Table 5 bench\n",
+                static_cast<long long>(tracked.tracking.tracking_faults));
 
-  // Compare candidate placements by cut cost, then migrate once.
-  const Placement better = min_cost_placement(matrix, 8);
-  std::printf("cut costs        : random=%lld  min-cost=%lld\n",
-              static_cast<long long>(
-                  matrix.cut_cost(initial.node_of_thread())),
-              static_cast<long long>(
-                  matrix.cut_cost(better.node_of_thread())));
-  runtime.migrate_to(better);
-  runtime.run_iteration();  // migration faults settle
-  const IterationMetrics after = runtime.run_iteration();
-  std::printf("min-cost placing : %8.3f s/iter, %7lld remote misses\n",
-              static_cast<double>(after.elapsed_us) / 1e6,
-              static_cast<long long>(after.remote_misses));
+    // Compare candidate placements by cut cost, then migrate once.
+    const Placement better = min_cost_placement(matrix, 8);
+    std::printf("cut costs        : random=%lld  min-cost=%lld\n",
+                static_cast<long long>(
+                    matrix.cut_cost(initial.node_of_thread())),
+                static_cast<long long>(
+                    matrix.cut_cost(better.node_of_thread())));
+    runtime.migrate_to(better);
+    runtime.run_iteration();  // migration faults settle
+    const IterationMetrics after = runtime.run_iteration();
+    std::printf("min-cost placing : %8.3f s/iter, %7lld remote misses\n",
+                static_cast<double>(after.elapsed_us) / 1e6,
+                static_cast<long long>(after.remote_misses));
 
-  // The correlation map, as in Table 3 (darker = more shared pages).
-  std::printf("\ncorrelation map (origin lower left):\n%s\n",
-              ascii_map(matrix, 32).c_str());
+    // The correlation map, as in Table 3 (darker = more shared pages).
+    std::printf("\ncorrelation map (origin lower left):\n%s\n",
+                ascii_map(matrix, 32).c_str());
+  };
+
+  exp::TrialRunner().run({spec});
   return 0;
 }

@@ -7,23 +7,27 @@
 // information a developer would use to understand an application's
 // communication structure before deploying it.
 //
-// Usage: tuning_report [workload] [threads] [nodes]
+// Usage: tuning_report [--app NAME] [--threads N] [--nodes N]
 //        (defaults: FFT6 64 8)
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
-#include "apps/workload.hpp"
 #include "correlation/sharing.hpp"
+#include "exp/args.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
 #include "placement/heuristics.hpp"
-#include "runtime/cluster_runtime.hpp"
 #include "viz/map_render.hpp"
 
 int main(int argc, char** argv) {
   using namespace actrack;
-  const std::string name = argc > 1 ? argv[1] : "FFT6";
-  const std::int32_t threads = argc > 2 ? std::atoi(argv[2]) : 64;
-  const NodeId nodes = argc > 3 ? std::atoi(argv[3]) : 8;
+  exp::ArgParser args(argc, argv,
+                      "Correlation-map tuning report for one application");
+  const std::string name = args.string_flag("--app", "FFT6", "workload name");
+  const std::int32_t threads =
+      args.int_flag("--threads", 64, "thread count");
+  const NodeId nodes = args.int_flag("--nodes", 8, "cluster size");
+  args.finish();
 
   const auto workload = make_workload(name, threads);
   std::printf("=== tuning report: %s, %d threads, %d nodes ===\n",
@@ -32,11 +36,27 @@ int main(int argc, char** argv) {
               workload->input_description().c_str(),
               workload->synchronization().c_str(), workload->num_pages());
 
-  // Gather complete sharing information with one tracked iteration.
-  ClusterRuntime runtime(*workload, Placement::stretch(threads, nodes));
-  runtime.run_init();
-  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
-  const auto& bitmaps = tracked.tracking.access_bitmaps;
+  // Gather complete sharing information with one tracked trial; the
+  // probe stashes the bitmaps and the on-stretch sharing degree.
+  std::vector<DynamicBitset> bitmaps;
+  double degree = 0.0;
+  exp::ExperimentSpec spec;
+  spec.experiment = "tuning_report";
+  spec.label = name;
+  spec.workload = name;
+  spec.threads = threads;
+  spec.nodes = nodes;
+  spec.schedule.settle_iterations = 0;
+  spec.schedule.measured_iterations = 0;
+  spec.schedule.tracked = true;
+  spec.probe = [&bitmaps, &degree, nodes](const exp::TrialContext& context,
+                                          exp::TrialRecord&) {
+    bitmaps = context.tracking->access_bitmaps;
+    degree = sharing_degree(bitmaps,
+                            context.runtime->placement().node_of_thread(),
+                            nodes);
+  };
+  exp::TrialRunner().run({spec});
   const CorrelationMatrix matrix = CorrelationMatrix::from_bitmaps(bitmaps);
 
   std::printf("correlation map (darker = more shared pages):\n%s\n",
@@ -58,9 +78,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(matrix.max_off_diagonal()));
   std::printf("sharing degree on stretch placement: %.3f of %d local "
               "threads\n\n",
-              sharing_degree(bitmaps,
-                             runtime.placement().node_of_thread(), nodes),
-              threads / nodes);
+              degree, threads / nodes);
 
   // Placement comparison: what reconfiguration could buy.
   Rng rng(1);

@@ -32,6 +32,13 @@ DsmSystem::DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
   ACTRACK_CHECK(num_nodes > 0);
   ACTRACK_CHECK(net != nullptr);
   ACTRACK_CHECK(net->num_nodes() == num_nodes);
+  // The single-writer protocol keeps each page's read copyset as one
+  // 64-bit mask (GlobalPage::sc_copyset); beyond 64 nodes the shifts
+  // would silently wrap and corrupt replica tracking.
+  ACTRACK_CHECK_MSG(
+      config_.model != ConsistencyModel::kSequentialSingleWriter ||
+          num_nodes <= 64,
+      "single-writer copyset is a 64-bit mask; use <= 64 nodes");
 }
 
 DsmSystem::NodePage& DsmSystem::node_page(NodeId node, PageId page) {

@@ -1,0 +1,105 @@
+#include "exp/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace actrack::exp {
+
+ArgParser::ArgParser(int argc, char** argv, std::string description)
+    : program_(argc > 0 ? argv[0] : "bench"),
+      description_(std::move(description)) {
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  consumed_.assign(args_.size(), false);
+}
+
+void ArgParser::fail(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), message.c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+std::int32_t ArgParser::find(const char* flag, bool takes_value) {
+  std::int32_t found = -1;
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i] != flag) continue;
+    if (found >= 0) fail(std::string(flag) + " given twice");
+    if (takes_value && i + 1 >= args_.size()) {
+      fail(std::string(flag) + ": missing value");
+    }
+    consumed_[i] = true;
+    if (takes_value) consumed_[i + 1] = true;
+    found = static_cast<std::int32_t>(i);
+  }
+  return found;
+}
+
+std::int32_t ArgParser::int_flag(const char* flag, std::int32_t fallback,
+                                 const char* help) {
+  help_.push_back({flag, std::to_string(fallback), help, true});
+  const std::int32_t at = find(flag, /*takes_value=*/true);
+  if (at < 0) return fallback;
+  const std::string& value = args_[static_cast<std::size_t>(at) + 1];
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    if (parsed < std::numeric_limits<std::int32_t>::min() ||
+        parsed > std::numeric_limits<std::int32_t>::max()) {
+      throw std::out_of_range(value);
+    }
+    return static_cast<std::int32_t>(parsed);
+  } catch (const std::out_of_range&) {
+    fail(std::string(flag) + ": out of range: " + value);
+  } catch (const std::invalid_argument&) {
+    fail(std::string(flag) + ": not an integer: " + value);
+  }
+}
+
+std::string ArgParser::string_flag(const char* flag,
+                                   const std::string& fallback,
+                                   const char* help) {
+  help_.push_back({flag, fallback, help, true});
+  const std::int32_t at = find(flag, /*takes_value=*/true);
+  if (at < 0) return fallback;
+  return args_[static_cast<std::size_t>(at) + 1];
+}
+
+bool ArgParser::bool_flag(const char* flag, const char* help) {
+  help_.push_back({flag, "", help, false});
+  return find(flag, /*takes_value=*/false) >= 0;
+}
+
+std::string ArgParser::usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  if (!description_.empty()) out += description_ + "\n";
+  out += "flags:\n";
+  for (const HelpEntry& entry : help_) {
+    std::string line = "  " + entry.flag;
+    if (entry.takes_value) line += " N";
+    while (line.size() < 22) line += ' ';
+    line += entry.help;
+    if (entry.takes_value && !entry.fallback.empty()) {
+      line += " (default " + entry.fallback + ")";
+    }
+    out += line + "\n";
+  }
+  out += "  --help              print this message\n";
+  return out;
+}
+
+void ArgParser::finish() {
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i] == "--help" || args_[i] == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+  }
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (!consumed_[i]) fail("unknown flag: " + args_[i]);
+  }
+}
+
+}  // namespace actrack::exp

@@ -1,0 +1,66 @@
+// Validated command-line flags for the bench and example binaries.
+//
+// Replaces the old bench_util arg_int/std::atoi pattern, under which
+// `--configs abc` silently became 0.  Every flag is declared with a
+// fallback and a help line; finish() then rejects unknown flags and
+// malformed values with exit code 2 and serves --help.
+//
+//   exp::ArgParser args(argc, argv, "Table 2 cut-cost regression");
+//   const std::int32_t configs =
+//       args.int_flag("--configs", 300, "random configurations per app");
+//   const std::int32_t jobs =
+//       args.int_flag("--jobs", 1, "worker threads for the sweep");
+//   args.finish();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace actrack::exp {
+
+class ArgParser {
+ public:
+  /// Keeps pointers into argv; argv must outlive the parser.
+  ArgParser(int argc, char** argv, std::string description);
+
+  /// Integer flag of the form `--flag VALUE`.  Malformed or
+  /// out-of-range values are fatal (exit 2), unlike std::atoi.
+  std::int32_t int_flag(const char* flag, std::int32_t fallback,
+                        const char* help);
+
+  /// String flag of the form `--flag VALUE`.
+  std::string string_flag(const char* flag, const std::string& fallback,
+                          const char* help);
+
+  /// Valueless boolean flag; true when present.
+  bool bool_flag(const char* flag, const char* help);
+
+  /// Serves --help (exit 0) and rejects any argv token no flag
+  /// consumed (exit 2 with usage on stderr).  Call after the last
+  /// *_flag declaration.
+  void finish();
+
+  /// The usage text (program, description, declared flags).
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct HelpEntry {
+    std::string flag;
+    std::string fallback;
+    std::string help;
+    bool takes_value = true;
+  };
+
+  [[noreturn]] void fail(const std::string& message) const;
+  /// Index of `flag` in argv, or -1; marks the token(s) consumed.
+  std::int32_t find(const char* flag, bool takes_value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> args_;
+  std::vector<bool> consumed_;
+  std::vector<HelpEntry> help_;
+};
+
+}  // namespace actrack::exp

@@ -1,0 +1,177 @@
+// Experiment engine: declarative descriptions of simulation runs.
+//
+// Every result in the paper is a sweep — placements × workloads ×
+// protocol knobs — and the benches, examples and CLI all need the same
+// init/settle/measure skeleton around ClusterRuntime.  This layer
+// factors that skeleton out once:
+//
+//   ExperimentSpec   what to run (workload, cluster, placement,
+//                    iteration schedule, seed) — pure data plus a few
+//                    factory callbacks, cheap to copy into sweep lists.
+//   Trial            one execution unit: a spec plus its index in the
+//                    sweep (the index orders the output records).
+//   TrialRecord      the flat result row a trial emits: identity
+//                    columns, the measured IterationMetrics window,
+//                    cumulative totals, the full DsmStats and
+//                    NetCounters at end of run, tracking counters, and
+//                    named extra columns added by a probe.
+//
+// Trials are deterministic functions of their spec: each owns its
+// Workload instance, Rng and ClusterRuntime, so TrialRunner can execute
+// them on any number of threads and produce bit-identical records
+// (asserted by tests/exp_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "common/rng.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "sched/scheduler.hpp"
+
+namespace actrack::exp {
+
+/// Builds the trial's private workload instance.  Must be callable from
+/// any thread; the returned workload is owned by the trial.
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/// Chooses the trial's target placement for the spec's node count.
+/// `rng` is the trial's own generator (seeded from the spec), so
+/// randomised strategies stay deterministic per trial.
+using PlacementFn =
+    std::function<Placement(const Workload&, NodeId num_nodes, Rng&)>;
+
+/// The init/settle/measure skeleton shared by the paper's experiments.
+struct IterationSchedule {
+  /// Unmeasured iterations after init (replica warm-up).
+  std::int32_t settle_iterations = 1;
+  /// Iterations summed into TrialRecord::metrics.
+  std::int32_t measured_iterations = 1;
+  /// Run one active-tracking iteration after the measured ones; its
+  /// metrics are added to the measured window and its fault counts and
+  /// access bitmaps are exposed (TrialRecord / TrialContext).
+  bool tracked = false;
+  /// Table 6 "full run" shape: init on a stretch placement, migrate to
+  /// the target, then run the workload's default iteration count.  The
+  /// measured window is the cumulative total (init + migration + all
+  /// iterations), matching the paper's full-application timings.
+  bool full_run = false;
+};
+
+struct ExperimentSpec;
+
+/// One flat result row.  Sinks serialise every field (and the extras)
+/// in declaration order.
+struct TrialRecord {
+  // Identity.
+  std::int32_t trial = 0;   // index within the sweep
+  std::string experiment;   // sweep name, e.g. "table6"
+  std::string label;        // row label, e.g. "Water/min-cost"
+  std::string workload;     // workload name
+  std::int32_t threads = 0;
+  NodeId nodes = 0;
+  std::uint64_t seed = 0;
+
+  /// The measured window (see IterationSchedule).
+  IterationMetrics metrics;
+  /// Cumulative metrics over the whole trial (init and settling
+  /// included).
+  IterationMetrics totals;
+  /// Protocol and network counters at end of trial (cumulative).
+  DsmStats dsm;
+  NetCounters net;
+
+  /// Tracking-iteration fault counts (0 unless schedule.tracked).
+  std::int64_t tracking_faults = 0;
+  std::int64_t tracking_coherence_faults = 0;
+
+  /// Probe-computed named columns (cut costs, sharing degrees, …).
+  /// Every record of one sweep must carry the same names in the same
+  /// order — sinks check this when rendering headers.
+  std::vector<std::pair<std::string, double>> extras;
+
+  void add_extra(std::string name, double value) {
+    extras.emplace_back(std::move(name), value);
+  }
+};
+
+/// Everything a probe or custom body can see, valid only during the
+/// call.  `runtime` is null for custom-body trials (the body builds
+/// whatever driver it needs); `tracking` is non-null only when the
+/// schedule ran a tracked iteration.
+struct TrialContext {
+  const ExperimentSpec& spec;
+  std::int32_t trial = 0;
+  const Workload& workload;
+  Rng& rng;
+  ClusterRuntime* runtime = nullptr;
+  const TrackingResult* tracking = nullptr;
+};
+
+/// Runs after the schedule completes, on the trial's thread.  Typically
+/// fills TrialRecord::extras from the runtime (cut costs, sharing
+/// degree).  Captured state shared between trials must be read-only.
+using ProbeFn = std::function<void(const TrialContext&, TrialRecord&)>;
+
+/// Escape hatch for experiment shapes the declarative schedule cannot
+/// express (passive-tracking rounds, adaptive controllers): the engine
+/// builds the workload and Rng, then hands control to the body, which
+/// is responsible for filling the record.  The schedule, placement and
+/// probe fields are ignored for body trials.
+using BodyFn = std::function<void(const TrialContext&, TrialRecord&)>;
+
+/// A declarative description of one simulation run.
+struct ExperimentSpec {
+  std::string experiment;  // sweep name (record column)
+  std::string label;       // row label (record column)
+
+  /// Table 1 name fed to make_workload(); ignored when `factory` is
+  /// set.  The factory is preferred for non-registry workloads
+  /// (drifting, irregular mesh, traces).
+  std::string workload;
+  WorkloadFactory factory;
+
+  std::int32_t threads = 64;
+  NodeId nodes = 8;
+  RuntimeConfig config;
+
+  /// Target placement strategy; stretch when empty.
+  PlacementFn placement;
+
+  IterationSchedule schedule;
+  std::uint64_t seed = 0x1999'0DC5ULL;  // ICDCS '99
+
+  ProbeFn probe;
+  BodyFn body;
+};
+
+/// One execution unit: a spec plus its position in the sweep.  The spec
+/// is non-owning — the sweep list must outlive the run.
+struct Trial {
+  const ExperimentSpec* spec = nullptr;
+  std::int32_t index = 0;
+};
+
+// Placement strategy helpers ------------------------------------------
+
+/// Always the given placement (pre-generated placements keep a sweep's
+/// Rng sequence identical to a serial reference run).
+[[nodiscard]] PlacementFn fixed_placement(Placement placement);
+
+/// Placement::stretch at the trial's scale (also the default when a
+/// spec's placement field is empty).
+[[nodiscard]] PlacementFn stretch_placement();
+
+/// balanced_random_placement drawn from the trial's own Rng.
+[[nodiscard]] PlacementFn random_placement_fn();
+
+/// min_cost_placement over a correlation matrix captured by value.
+[[nodiscard]] PlacementFn mincost_placement(CorrelationMatrix matrix);
+
+}  // namespace actrack::exp

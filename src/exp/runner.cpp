@@ -1,0 +1,176 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack::exp {
+
+namespace {
+
+Placement target_placement(const ExperimentSpec& spec,
+                           const Workload& workload, Rng& rng) {
+  if (spec.placement) return spec.placement(workload, spec.nodes, rng);
+  return Placement::stretch(workload.num_threads(), spec.nodes);
+}
+
+}  // namespace
+
+PlacementFn fixed_placement(Placement placement) {
+  return [placement = std::move(placement)](const Workload&, NodeId, Rng&) {
+    return placement;
+  };
+}
+
+PlacementFn stretch_placement() {
+  return [](const Workload& workload, NodeId nodes, Rng&) {
+    return Placement::stretch(workload.num_threads(), nodes);
+  };
+}
+
+PlacementFn random_placement_fn() {
+  return [](const Workload& workload, NodeId nodes, Rng& rng) {
+    return balanced_random_placement(rng, workload.num_threads(), nodes);
+  };
+}
+
+PlacementFn mincost_placement(CorrelationMatrix matrix) {
+  return [matrix = std::move(matrix)](const Workload&, NodeId nodes, Rng&) {
+    return min_cost_placement(matrix, nodes);
+  };
+}
+
+TrialRunner::TrialRunner(RunnerOptions options) : options_(options) {
+  ACTRACK_CHECK(options_.jobs >= 1);
+}
+
+TrialRecord TrialRunner::run_trial(const Trial& trial) {
+  ACTRACK_CHECK(trial.spec != nullptr);
+  const ExperimentSpec& spec = *trial.spec;
+
+  TrialRecord record;
+  record.trial = trial.index;
+  record.experiment = spec.experiment;
+  record.label = spec.label;
+  record.seed = spec.seed;
+  record.nodes = spec.nodes;
+
+  const std::unique_ptr<Workload> workload =
+      spec.factory ? spec.factory()
+                   : make_workload(spec.workload, spec.threads);
+  ACTRACK_CHECK_MSG(workload != nullptr, "workload factory returned null");
+  record.workload = workload->name();
+  record.threads = workload->num_threads();
+  Rng rng(spec.seed);
+
+  if (spec.body) {
+    TrialContext context{spec, trial.index, *workload, rng,
+                         /*runtime=*/nullptr, /*tracking=*/nullptr};
+    spec.body(context, record);
+    return record;
+  }
+
+  const Placement target = target_placement(spec, *workload, rng);
+  const IterationSchedule& schedule = spec.schedule;
+  TrackingResult tracking;
+  bool have_tracking = false;
+
+  if (schedule.full_run) {
+    // Table 6 shape: init on stretch, migrate, all default iterations;
+    // the measurement is the cumulative total.
+    ClusterRuntime runtime(
+        *workload,
+        Placement::stretch(workload->num_threads(), target.num_nodes()),
+        spec.config);
+    runtime.run_init();
+    runtime.migrate_to(target);
+    for (std::int32_t i = 0; i < workload->default_iterations(); ++i) {
+      runtime.run_iteration();
+    }
+    record.metrics = runtime.totals();
+    record.totals = runtime.totals();
+    record.dsm = runtime.dsm().stats();
+    record.net = runtime.network().totals();
+    if (spec.probe) {
+      TrialContext context{spec, trial.index, *workload, rng, &runtime,
+                           nullptr};
+      spec.probe(context, record);
+    }
+    return record;
+  }
+
+  ClusterRuntime runtime(*workload, target, spec.config);
+  runtime.run_init();
+  for (std::int32_t i = 0; i < schedule.settle_iterations; ++i) {
+    runtime.run_iteration();
+  }
+  for (std::int32_t i = 0; i < schedule.measured_iterations; ++i) {
+    record.metrics.add(runtime.run_iteration());
+  }
+  if (schedule.tracked) {
+    const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+    record.metrics.add(tracked.metrics);
+    record.tracking_faults = tracked.tracking.tracking_faults;
+    record.tracking_coherence_faults = tracked.tracking.coherence_faults;
+    tracking = tracked.tracking;
+    have_tracking = true;
+  }
+  record.totals = runtime.totals();
+  record.dsm = runtime.dsm().stats();
+  record.net = runtime.network().totals();
+  if (spec.probe) {
+    TrialContext context{spec, trial.index, *workload, rng, &runtime,
+                         have_tracking ? &tracking : nullptr};
+    spec.probe(context, record);
+  }
+  return record;
+}
+
+std::vector<TrialRecord> TrialRunner::run(
+    const std::vector<ExperimentSpec>& specs, ResultSink* sink) const {
+  std::vector<TrialRecord> records(specs.size());
+  const auto count = static_cast<std::int32_t>(specs.size());
+  const std::int32_t jobs = std::min(options_.jobs, std::max(count, 1));
+
+  if (jobs <= 1) {
+    for (std::int32_t i = 0; i < count; ++i) {
+      records[static_cast<std::size_t>(i)] = run_trial({&specs[static_cast<std::size_t>(i)], i});
+    }
+  } else {
+    std::atomic<std::int32_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    auto worker = [&]() {
+      for (;;) {
+        const std::int32_t i = next.fetch_add(1);
+        if (i >= count) return;
+        try {
+          records[static_cast<std::size_t>(i)] =
+              run_trial({&specs[static_cast<std::size_t>(i)], i});
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          next.store(count);  // drain remaining work
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (std::int32_t j = 0; j < jobs; ++j) workers.emplace_back(worker);
+    for (std::thread& w : workers) w.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  if (sink != nullptr) {
+    for (const TrialRecord& record : records) sink->write(record);
+  }
+  return records;
+}
+
+}  // namespace actrack::exp

@@ -1,0 +1,49 @@
+// TrialRunner — executes many independent trials, optionally in
+// parallel.
+//
+// Each trial owns its Workload, Rng and ClusterRuntime, so parallelism
+// is embarrassingly safe: `jobs` worker threads pull trial indices from
+// an atomic counter and write finished records into pre-allocated
+// slots.  Records therefore come back in *trial order* regardless of
+// completion order, and a parallel run is bit-identical to a serial one
+// (tests/exp_test.cpp asserts this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/sink.hpp"
+
+namespace actrack::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 1 runs every trial on the calling thread.  Values
+  /// above the trial count are clamped.
+  std::int32_t jobs = 1;
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(RunnerOptions options = {});
+
+  /// Executes one trial (always on the calling thread).
+  [[nodiscard]] static TrialRecord run_trial(const Trial& trial);
+
+  /// Executes every spec as trial 0..n-1 and returns the records in
+  /// trial order.  If `sink` is non-null, each record is written to it
+  /// (in trial order, on the calling thread) after all trials finish.
+  /// The first exception thrown by a trial is rethrown here once the
+  /// workers have drained.
+  std::vector<TrialRecord> run(const std::vector<ExperimentSpec>& specs,
+                               ResultSink* sink = nullptr) const;
+
+  [[nodiscard]] const RunnerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace actrack::exp

@@ -1,0 +1,217 @@
+#include "exp/sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace actrack::exp {
+
+namespace {
+
+FieldValue int_field(const char* name, std::int64_t value) {
+  FieldValue f;
+  f.name = name;
+  f.integral = true;
+  f.i = value;
+  return f;
+}
+
+FieldValue real_field(const char* name, double value) {
+  FieldValue f;
+  f.name = name;
+  f.integral = false;
+  f.d = value;
+  return f;
+}
+
+FieldValue string_field(const char* name, const std::string& value) {
+  FieldValue f;
+  f.name = name;
+  f.s = &value;
+  return f;
+}
+
+std::string format_value(const FieldValue& f) {
+  if (f.s != nullptr) return *f.s;
+  char buf[40];
+  if (f.integral) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, f.i);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", f.d);
+  }
+  return buf;
+}
+
+/// Column names for an IterationMetrics block, in field order.
+struct MetricsNames {
+  const char* elapsed_us;
+  const char* remote_misses;
+  const char* read_faults;
+  const char* write_faults;
+  const char* messages;
+  const char* total_bytes;
+  const char* diff_bytes;
+  const char* gc_runs;
+  const char* load_imbalance;
+};
+
+constexpr MetricsNames kMeasuredNames = {
+    "m_elapsed_us", "m_remote_misses", "m_read_faults",
+    "m_write_faults", "m_messages", "m_total_bytes",
+    "m_diff_bytes", "m_gc_runs", "m_load_imbalance"};
+constexpr MetricsNames kTotalsNames = {
+    "t_elapsed_us", "t_remote_misses", "t_read_faults",
+    "t_write_faults", "t_messages", "t_total_bytes",
+    "t_diff_bytes", "t_gc_runs", "t_load_imbalance"};
+
+void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
+                    const IterationMetrics& m) {
+  out.push_back(int_field(names.elapsed_us, m.elapsed_us));
+  out.push_back(int_field(names.remote_misses, m.remote_misses));
+  out.push_back(int_field(names.read_faults, m.read_faults));
+  out.push_back(int_field(names.write_faults, m.write_faults));
+  out.push_back(int_field(names.messages, m.messages));
+  out.push_back(int_field(names.total_bytes, m.total_bytes));
+  out.push_back(int_field(names.diff_bytes, m.diff_bytes));
+  out.push_back(int_field(names.gc_runs, m.gc_runs));
+  out.push_back(real_field(names.load_imbalance, m.load_imbalance));
+}
+
+}  // namespace
+
+std::vector<FieldValue> flatten(const TrialRecord& r) {
+  std::vector<FieldValue> out;
+  out.reserve(48 + r.extras.size());
+  out.push_back(int_field("trial", r.trial));
+  out.push_back(string_field("experiment", r.experiment));
+  out.push_back(string_field("label", r.label));
+  out.push_back(string_field("workload", r.workload));
+  out.push_back(int_field("threads", r.threads));
+  out.push_back(int_field("nodes", r.nodes));
+  out.push_back(int_field("seed", static_cast<std::int64_t>(r.seed)));
+  append_metrics(out, kMeasuredNames, r.metrics);
+  append_metrics(out, kTotalsNames, r.totals);
+  out.push_back(int_field("dsm_read_faults", r.dsm.read_faults));
+  out.push_back(int_field("dsm_write_faults", r.dsm.write_faults));
+  out.push_back(int_field("dsm_remote_misses", r.dsm.remote_misses));
+  out.push_back(int_field("dsm_diff_fetches", r.dsm.diff_fetches));
+  out.push_back(
+      int_field("dsm_full_page_fetches", r.dsm.full_page_fetches));
+  out.push_back(int_field("dsm_diffs_created", r.dsm.diffs_created));
+  out.push_back(int_field("dsm_invalidations", r.dsm.invalidations));
+  out.push_back(int_field("dsm_gc_runs", r.dsm.gc_runs));
+  out.push_back(int_field("dsm_gc_invalidations", r.dsm.gc_invalidations));
+  out.push_back(
+      int_field("dsm_ownership_transfers", r.dsm.ownership_transfers));
+  out.push_back(int_field("dsm_delta_stalls", r.dsm.delta_stalls));
+  out.push_back(int_field("net_messages", r.net.messages));
+  out.push_back(int_field("net_total_bytes", r.net.total_bytes));
+  out.push_back(int_field("net_diff_bytes", r.net.diff_bytes));
+  out.push_back(int_field("net_page_bytes", r.net.page_bytes));
+  out.push_back(int_field("tracking_faults", r.tracking_faults));
+  out.push_back(int_field("tracking_coherence_faults",
+                          r.tracking_coherence_faults));
+  for (const auto& [name, value] : r.extras) {
+    out.push_back(real_field(name.c_str(), value));
+  }
+  return out;
+}
+
+void CsvSink::write(const TrialRecord& record) {
+  const std::vector<FieldValue> fields = flatten(record);
+  if (header_.empty()) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      header_.emplace_back(fields[i].name);
+      out_ << fields[i].name << (i + 1 < fields.size() ? "," : "\n");
+    }
+  } else {
+    ACTRACK_CHECK_MSG(fields.size() == header_.size(),
+                      "records of one sweep must share extras layout");
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      ACTRACK_CHECK_MSG(header_[i] == fields[i].name,
+                        "records of one sweep must share extras layout");
+    }
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out_ << format_value(fields[i]) << (i + 1 < fields.size() ? "," : "\n");
+  }
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void JsonSink::write(const TrialRecord& record) {
+  out_ << (any_ ? ",\n" : "[\n") << "  {";
+  any_ = true;
+  const std::vector<FieldValue> fields = flatten(record);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ", ";
+    write_json_string(out_, fields[i].name);
+    out_ << ": ";
+    if (fields[i].s != nullptr) {
+      write_json_string(out_, *fields[i].s);
+    } else {
+      out_ << format_value(fields[i]);
+    }
+  }
+  out_ << '}';
+}
+
+void JsonSink::close() {
+  ACTRACK_CHECK_MSG(!closed_, "JsonSink closed twice");
+  closed_ = true;
+  out_ << (any_ ? "\n]\n" : "[]\n");
+}
+
+void TableSink::write(const TrialRecord& record) {
+  char buf[256];
+  if (!any_) {
+    any_ = true;
+    std::snprintf(buf, sizeof buf, "%-24s %-9s %10s %12s %10s %9s %6s",
+                  "label", "workload", "time(s)", "misses", "messages",
+                  "MB", "imbal");
+    out_ << buf;
+    for (const auto& [name, value] : record.extras) {
+      (void)value;
+      std::snprintf(buf, sizeof buf, " %12s", name.c_str());
+      out_ << buf;
+    }
+    out_ << '\n';
+  }
+  std::snprintf(buf, sizeof buf, "%-24s %-9s %10.3f %12lld %10lld %9.1f %6.2f",
+                record.label.c_str(), record.workload.c_str(),
+                static_cast<double>(record.metrics.elapsed_us) / 1e6,
+                static_cast<long long>(record.metrics.remote_misses),
+                static_cast<long long>(record.metrics.messages),
+                static_cast<double>(record.metrics.total_bytes) /
+                    (1024.0 * 1024.0),
+                record.metrics.load_imbalance);
+  out_ << buf;
+  for (const auto& [name, value] : record.extras) {
+    (void)name;
+    std::snprintf(buf, sizeof buf, " %12.6g", value);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+void TableSink::close() { out_.flush(); }
+
+}  // namespace actrack::exp

@@ -1,0 +1,94 @@
+// ResultSink — structured output for trial records.
+//
+// Replaces the ad-hoc printf endings of the bench binaries with a
+// pluggable pipeline: every TrialRecord is one flat row (identity
+// columns, the full IterationMetrics / DsmStats / NetCounters field
+// sets, tracking counters, probe extras), and a sink renders rows as
+// CSV, JSON or an aligned stdout table.  Rows arrive in trial order,
+// so sink output is deterministic under any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace actrack::exp {
+
+/// One serialised record field.  `integral` selects the formatting
+/// (integers exact, doubles via %.10g).
+struct FieldValue {
+  const char* name;
+  bool integral = true;
+  std::int64_t i = 0;
+  double d = 0.0;
+  const std::string* s = nullptr;  // non-null for string columns
+};
+
+/// Every field of a record in stable declaration order: identity,
+/// measured metrics (prefix "m_"), cumulative totals (prefix "t_"),
+/// DsmStats ("dsm_"), NetCounters ("net_"), tracking counters, then
+/// the probe extras under their given names.
+[[nodiscard]] std::vector<FieldValue> flatten(const TrialRecord& record);
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  /// Appends one record.  Records of one sweep must share extras
+  /// layout; sinks that render a header check this.
+  virtual void write(const TrialRecord& record) = 0;
+
+  /// Finishes the output (closing brackets, table rules).  Must be
+  /// called exactly once, after the last write.
+  virtual void close() {}
+
+ protected:
+  ResultSink() = default;
+};
+
+/// RFC-4180-style CSV: one header row (from the first record's field
+/// layout), then one row per record.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void write(const TrialRecord& record) override;
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> header_;
+};
+
+/// A JSON array of flat objects.
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& out) : out_(out) {}
+  void write(const TrialRecord& record) override;
+  void close() override;
+
+ private:
+  std::ostream& out_;
+  bool any_ = false;
+  bool closed_ = false;
+};
+
+/// Human-readable aligned table of the headline columns (label,
+/// workload, time, remote misses, messages, MB, imbalance) plus the
+/// extras; the full field set is for CSV/JSON.
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(out) {}
+  void write(const TrialRecord& record) override;
+  void close() override;
+
+ private:
+  std::ostream& out_;
+  bool any_ = false;
+};
+
+}  // namespace actrack::exp

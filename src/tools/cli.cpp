@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,9 @@
 #include "apps/trace_workload.hpp"
 #include "apps/workload.hpp"
 #include "correlation/sharing.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "placement/heuristics.hpp"
 #include "runtime/adaptive.hpp"
 #include "runtime/cluster_runtime.hpp"
@@ -180,6 +184,67 @@ int cmd_cutcost(const Options& options, std::ostream& out) {
   return 0;
 }
 
+int cmd_sweep(const Options& options, std::ostream& out) {
+  // One experiment-engine trial per standard placement strategy, same
+  // app/protocol/scale for all three.  Each trial is self-contained —
+  // the min-cost strategy collects its own correlation map inside the
+  // trial — so --jobs parallelism cannot change the results.
+  struct Strategy {
+    const char* label;
+    exp::PlacementFn placement;
+  };
+  const Strategy strategies[] = {
+      {"stretch", exp::stretch_placement()},
+      {"mincost",
+       [](const Workload& workload, NodeId nodes, Rng&) {
+         return min_cost_placement(collect_correlations(workload, nodes),
+                                   nodes);
+       }},
+      {"random", exp::random_placement_fn()},
+  };
+
+  std::vector<exp::ExperimentSpec> specs;
+  for (const Strategy& strategy : strategies) {
+    exp::ExperimentSpec spec;
+    spec.experiment = "sweep";
+    spec.label = strategy.label;
+    spec.workload = options.app;
+    spec.threads = options.threads;
+    spec.nodes = options.nodes;
+    spec.config = config_for(options);
+    spec.placement = strategy.placement;
+    spec.schedule.settle_iterations = 1;
+    spec.schedule.measured_iterations = options.iterations;
+    spec.seed = options.seed;
+    specs.push_back(std::move(spec));
+  }
+
+  std::ofstream file;
+  std::ostream* dest = &out;
+  if (!options.csv_path.empty()) {
+    file.open(options.csv_path);
+    if (!file.good()) fail("cannot open " + options.csv_path);
+    dest = &file;
+  }
+  std::unique_ptr<exp::ResultSink> sink;
+  if (options.format == "table") {
+    sink = std::make_unique<exp::TableSink>(*dest);
+  } else if (options.format == "csv") {
+    sink = std::make_unique<exp::CsvSink>(*dest);
+  } else {
+    sink = std::make_unique<exp::JsonSink>(*dest);
+  }
+
+  exp::RunnerOptions runner_options;
+  runner_options.jobs = options.jobs;
+  exp::TrialRunner(runner_options).run(specs, sink.get());
+  sink->close();
+  if (dest == &file) {
+    out << "sweep results written to " << options.csv_path << '\n';
+  }
+  return 0;
+}
+
 int cmd_passive(const Options& options, std::ostream& out) {
   const auto workload = make_workload(options.app, options.threads);
   PassiveTrackingExperiment experiment(*workload, options.nodes,
@@ -268,6 +333,8 @@ std::string usage() {
       "  run      --app NAME        run iterations, print metrics\n"
       "  track    --app NAME        one tracked iteration + correlation map\n"
       "  cutcost  --app NAME        cut costs of the standard placements\n"
+      "  sweep    --app NAME        run the standard placements through\n"
+      "                             the experiment engine (CSV/JSON-able)\n"
       "  passive  --app NAME        passive-tracking migration rounds\n"
       "  adaptive                   adaptive controller on a drifting app\n"
       "  record   --app --trace F   dump the app's traces to a file\n"
@@ -281,12 +348,14 @@ std::string usage() {
       "  --rounds N            passive rounds            (default 8)\n"
       "  --samples N           random placements         (default 5)\n"
       "  --period N            drift period              (default 8)\n"
+      "  --jobs N              parallel sweep trials     (default 1)\n"
+      "  --format F            table|csv|json (sweep)    (default table)\n"
       "  --placement P         stretch|mincost|random    (default stretch)\n"
       "  --consistency C       lrc|sc                    (default lrc)\n"
       "  --seed N              RNG seed                  (default 1999)\n"
       "  --no-latency-hiding   disable switch-on-remote-fetch\n"
       "  --pgm PATH            write the correlation map as PGM (track)\n"
-      "  --csv PATH            write per-iteration metrics as CSV (run)\n"
+      "  --csv PATH            write metrics to a file (run, sweep)\n"
       "  --trace PATH          trace file to record to / replay from\n"
       "  --ascii               print the correlation map (track)\n";
 }
@@ -297,8 +366,8 @@ Options parse(const std::vector<std::string>& args) {
   options.command = args[0];
 
   const auto known = {"list",    "info",    "run",     "track",
-                      "cutcost", "passive", "adaptive", "record",
-                      "replay"};
+                      "cutcost", "sweep",   "passive", "adaptive",
+                      "record",  "replay"};
   bool ok = false;
   for (const char* candidate : known) {
     if (options.command == candidate) ok = true;
@@ -326,6 +395,10 @@ Options parse(const std::vector<std::string>& args) {
       options.samples = static_cast<std::int32_t>(parse_int(flag, next()));
     } else if (flag == "--period") {
       options.period = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--jobs") {
+      options.jobs = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--format") {
+      options.format = next();
     } else if (flag == "--placement") {
       options.placement = next();
     } else if (flag == "--consistency") {
@@ -350,6 +423,11 @@ Options parse(const std::vector<std::string>& args) {
   if (options.nodes < 1) fail("--nodes must be positive");
   if (options.threads < options.nodes) fail("--threads must be >= --nodes");
   if (options.iterations < 0) fail("--iterations must be non-negative");
+  if (options.jobs < 1) fail("--jobs must be positive");
+  if (options.format != "table" && options.format != "csv" &&
+      options.format != "json") {
+    fail("--format must be table, csv or json");
+  }
   return options;
 }
 
@@ -359,6 +437,7 @@ int run(const Options& options, std::ostream& out) {
   if (options.command == "run") return cmd_run(options, out);
   if (options.command == "track") return cmd_track(options, out);
   if (options.command == "cutcost") return cmd_cutcost(options, out);
+  if (options.command == "sweep") return cmd_sweep(options, out);
   if (options.command == "passive") return cmd_passive(options, out);
   if (options.command == "adaptive") return cmd_adaptive(options, out);
   if (options.command == "record") return cmd_record(options, out);

@@ -15,6 +15,8 @@
 //                   [--no-latency-hiding] [--csv metrics.csv]
 //   actrack track   --app Water [--pgm map.pgm] [--ascii]
 //   actrack cutcost --app LU2k [--samples 5]
+//   actrack sweep   --app Water [--iterations 3] [--jobs 4]
+//                   [--format table|csv|json] [--csv results.csv]
 //   actrack passive --app Ocean [--rounds 8]
 //   actrack adaptive [--period 8] [--iterations 48]
 //   actrack record  --app FFT6 --trace out.actrace [--iterations 4]
@@ -37,6 +39,8 @@ struct Options {
   std::int32_t rounds = 8;
   std::int32_t samples = 5;
   std::int32_t period = 8;
+  std::int32_t jobs = 1;                // parallel sweep trials
+  std::string format = "table";         // table | csv | json (sweep)
   std::string placement = "stretch";    // stretch | mincost | random
   std::string consistency = "lrc";      // lrc | sc
   std::uint64_t seed = 1999;

@@ -158,4 +158,25 @@ void SvgPlot::write(const std::string& path) const {
   ACTRACK_CHECK_MSG(out.good(), "write failed: " + path);
 }
 
+void write_scatter_panel(const std::string& stem, const std::string& title,
+                         const std::string& x_label,
+                         const std::string& y_label,
+                         const std::string& csv_header,
+                         const std::string& series_label,
+                         const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  std::ofstream csv(stem + ".csv");
+  csv << csv_header << '\n';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    csv << x[i] << ',' << y[i] << '\n';
+  }
+  SvgPlot plot(title, x_label, y_label);
+  SvgSeries scatter;
+  scatter.label = series_label;
+  scatter.x = x;
+  scatter.y = y;
+  plot.add_series(std::move(scatter));
+  plot.write(stem + ".svg");
+}
+
 }  // namespace actrack

@@ -41,4 +41,14 @@ class SvgPlot {
   std::vector<SvgSeries> series_;
 };
 
+/// Figure-1-style panel: writes one scatter series as `<stem>.csv`
+/// (header `<csv_header>`, one `x,y` row per point) and `<stem>.svg`.
+void write_scatter_panel(const std::string& stem, const std::string& title,
+                         const std::string& x_label,
+                         const std::string& y_label,
+                         const std::string& csv_header,
+                         const std::string& series_label,
+                         const std::vector<double>& x,
+                         const std::vector<double>& y);
+
 }  // namespace actrack

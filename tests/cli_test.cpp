@@ -106,6 +106,68 @@ TEST(CliRun, CutcostListsAllPlacements) {
   EXPECT_NE(out.str().find("random#1"), std::string::npos);
 }
 
+TEST(CliRun, SweepComparesStandardPlacements) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"sweep", "--app", "Water", "--threads", "16",
+                          "--nodes", "4", "--iterations", "1"}),
+                out),
+            0);
+  for (const char* label : {"stretch", "mincost", "random"}) {
+    EXPECT_NE(out.str().find(label), std::string::npos) << label;
+  }
+}
+
+TEST(CliRun, SweepParallelMatchesSerial) {
+  const auto sweep = [](const char* jobs) {
+    std::ostringstream out;
+    EXPECT_EQ(run(parse_ok({"sweep", "--app", "SOR", "--threads", "16",
+                            "--nodes", "4", "--iterations", "2", "--format",
+                            "csv", "--jobs", jobs}),
+                  out),
+              0);
+    return out.str();
+  };
+  EXPECT_EQ(sweep("1"), sweep("4"));
+}
+
+TEST(CliRun, SweepJsonFormatIsWellFormedArray) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"sweep", "--app", "SOR", "--threads", "16",
+                          "--nodes", "4", "--iterations", "1", "--format",
+                          "json"}),
+                out),
+            0);
+  EXPECT_EQ(out.str().front(), '[');
+  EXPECT_NE(out.str().find("\"label\": \"mincost\""), std::string::npos);
+  EXPECT_NE(out.str().rfind("]\n"), std::string::npos);
+}
+
+TEST(CliRun, SweepCsvFlagWritesFile) {
+  const std::string path = ::testing::TempDir() + "cli_sweep.csv";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"sweep", "--app", "SOR", "--threads", "16",
+                          "--nodes", "4", "--iterations", "1", "--format",
+                          "csv", "--csv", path.c_str()}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("sweep results written to"), std::string::npos);
+  std::ifstream csv(path);
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header.rfind("trial,experiment,label", 0), 0u);
+  int rows = 0;
+  for (std::string line; std::getline(csv, line);) ++rows;
+  EXPECT_EQ(rows, 3);  // one per placement strategy
+  std::remove(path.c_str());
+}
+
+TEST(CliParse, SweepRejectsBadJobsAndFormat) {
+  EXPECT_THROW((void)parse_ok({"sweep", "--jobs", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"sweep", "--format", "xml"}),
+               std::invalid_argument);
+}
+
 TEST(CliRun, PassiveRunsRounds) {
   std::ostringstream out;
   EXPECT_EQ(run(parse_ok({"passive", "--app", "SOR", "--threads", "16",

@@ -118,6 +118,23 @@ TEST_F(ScDsmTest, ReleaseAndBarrierAreCheapNoOps) {
   EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadWrite);
 }
 
+TEST_F(ScDsmTest, RejectsClustersBeyondTheCopysetWidth) {
+  // sc_copyset is a 64-bit mask; a 65-node cluster would silently wrap
+  // the per-node bit shifts and corrupt replica tracking.
+  EXPECT_THROW(make(8, 65), std::logic_error);
+  make(8, 64);  // exactly the mask width is fine
+  dsm_->access(63, 63, write_of(0));
+  EXPECT_EQ(dsm_->page_state(63, 0), PageState::kReadWrite);
+}
+
+TEST(LrcNodeWidth, LazyReleaseProtocolHasNoCopysetLimit) {
+  // Only the single-writer path keeps a 64-bit copyset; LRC tracks
+  // write notices per page history and accepts wider clusters.
+  NetworkModel net(65, CostModel{});
+  DsmConfig config;  // default: multi-writer LRC
+  EXPECT_NO_THROW(DsmSystem(8, 65, &net, config));
+}
+
 TEST_F(ScDsmTest, ObserverFiresOnScMisses) {
   make(8, 2);
   std::int32_t calls = 0;

@@ -1,0 +1,265 @@
+// Tests for the experiment engine (src/exp): the declarative
+// spec/schedule semantics, the determinism guarantee that a parallel
+// TrialRunner is bit-identical to a serial one, and the sink pipeline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack::exp {
+namespace {
+
+// A small but heterogeneous sweep: different workloads, schedules and
+// placement strategies, plus a probe writing extra columns.  Cheap
+// enough to run twice per test.
+std::vector<ExperimentSpec> standard_sweep() {
+  std::vector<ExperimentSpec> specs;
+
+  ExperimentSpec sor;
+  sor.experiment = "exp_test";
+  sor.label = "SOR/stretch";
+  sor.workload = "SOR";
+  sor.threads = 16;
+  sor.nodes = 4;
+  sor.schedule.settle_iterations = 1;
+  sor.schedule.measured_iterations = 2;
+  // Sinks require every record of a sweep to share the extras layout,
+  // so all three specs carry the same "iterations" column.
+  sor.probe = [](const TrialContext& context, TrialRecord& record) {
+    record.add_extra("iterations",
+                     static_cast<double>(context.runtime->next_iteration()));
+  };
+  specs.push_back(sor);
+
+  ExperimentSpec water;
+  water.experiment = "exp_test";
+  water.label = "Water/random";
+  water.workload = "Water";
+  water.threads = 16;
+  water.nodes = 4;
+  water.placement = random_placement_fn();
+  water.schedule.settle_iterations = 0;
+  water.schedule.measured_iterations = 1;
+  water.probe = [](const TrialContext& context, TrialRecord& record) {
+    record.add_extra("iterations",
+                     static_cast<double>(context.runtime->next_iteration()));
+  };
+  specs.push_back(water);
+
+  ExperimentSpec tracked;
+  tracked.experiment = "exp_test";
+  tracked.label = "FFT6/tracked";
+  tracked.workload = "FFT6";
+  tracked.threads = 16;
+  tracked.nodes = 4;
+  tracked.schedule.settle_iterations = 0;
+  tracked.schedule.measured_iterations = 0;
+  tracked.schedule.tracked = true;
+  tracked.probe = [](const TrialContext& context, TrialRecord& record) {
+    record.add_extra("iterations",
+                     static_cast<double>(context.tracking != nullptr));
+  };
+  specs.push_back(tracked);
+
+  return specs;
+}
+
+bool records_equal(const TrialRecord& a, const TrialRecord& b) {
+  std::ostringstream sa, sb;
+  CsvSink(sa).write(a);
+  CsvSink(sb).write(b);
+  return sa.str() == sb.str() && a.trial == b.trial;
+}
+
+TEST(TrialRunner, RunsSpecsInTrialOrder) {
+  const std::vector<TrialRecord> records =
+      TrialRunner().run(standard_sweep());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].trial, 0);
+  EXPECT_EQ(records[0].label, "SOR/stretch");
+  EXPECT_EQ(records[1].label, "Water/random");
+  EXPECT_EQ(records[2].label, "FFT6/tracked");
+  // Measured window excludes init and settling: totals dominate.
+  EXPECT_GT(records[0].totals.elapsed_us, records[0].metrics.elapsed_us);
+  EXPECT_GT(records[0].metrics.remote_misses, 0);
+  // Tracked trial exposes its fault counts.
+  EXPECT_GT(records[2].tracking_faults, 0);
+  EXPECT_EQ(records[2].extras.front().second, 1.0);
+}
+
+TEST(TrialRunner, ParallelRunIsBitIdenticalToSerial) {
+  const std::vector<ExperimentSpec> specs = standard_sweep();
+  RunnerOptions parallel;
+  parallel.jobs = 4;
+  const std::vector<TrialRecord> serial = TrialRunner().run(specs);
+  const std::vector<TrialRecord> threaded = TrialRunner(parallel).run(specs);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(records_equal(serial[i], threaded[i])) << i;
+  }
+}
+
+TEST(TrialRunner, ParallelSinkOutputIsByteIdenticalToSerial) {
+  const std::vector<ExperimentSpec> specs = standard_sweep();
+  const auto csv_of = [&specs](std::int32_t jobs) {
+    RunnerOptions options;
+    options.jobs = jobs;
+    std::ostringstream out;
+    CsvSink sink(out);
+    TrialRunner(options).run(specs, &sink);
+    sink.close();
+    return out.str();
+  };
+  const std::string serial = csv_of(1);
+  EXPECT_EQ(serial, csv_of(4));
+  EXPECT_EQ(serial, csv_of(16));  // more workers than trials: clamped
+}
+
+TEST(TrialRunner, JobsBeyondTrialCountStillRunEverything) {
+  RunnerOptions options;
+  options.jobs = 32;
+  const std::vector<TrialRecord> records =
+      TrialRunner(options).run(standard_sweep());
+  ASSERT_EQ(records.size(), 3u);
+  for (const TrialRecord& record : records) {
+    EXPECT_GT(record.totals.elapsed_us, 0);
+  }
+}
+
+TEST(TrialRunner, BodyTrialsSkipTheSchedule) {
+  ExperimentSpec spec;
+  spec.experiment = "exp_test";
+  spec.label = "body";
+  spec.workload = "SOR";
+  spec.threads = 16;
+  spec.body = [](const TrialContext& context, TrialRecord& record) {
+    EXPECT_EQ(context.runtime, nullptr);
+    record.metrics.remote_misses = 42;
+  };
+  const std::vector<TrialRecord> records = TrialRunner().run({spec});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].metrics.remote_misses, 42);
+  EXPECT_EQ(records[0].totals.elapsed_us, 0);
+}
+
+TEST(IterationMetricsAdd, SumsCountersAndKeepsWorstImbalance) {
+  IterationMetrics sum;
+  sum.elapsed_us = 10;
+  sum.remote_misses = 1;
+  sum.read_faults = 2;
+  sum.write_faults = 3;
+  sum.messages = 4;
+  sum.total_bytes = 100;
+  sum.diff_bytes = 50;
+  sum.gc_runs = 1;
+  sum.load_imbalance = 1.5;
+
+  IterationMetrics step;
+  step.elapsed_us = 5;
+  step.remote_misses = 10;
+  step.read_faults = 20;
+  step.write_faults = 30;
+  step.messages = 40;
+  step.total_bytes = 7;
+  step.diff_bytes = 3;
+  step.gc_runs = 2;
+  step.load_imbalance = 1.2;
+
+  sum.add(step);
+  EXPECT_EQ(sum.elapsed_us, 15);
+  EXPECT_EQ(sum.remote_misses, 11);
+  EXPECT_EQ(sum.read_faults, 22);
+  EXPECT_EQ(sum.write_faults, 33);
+  EXPECT_EQ(sum.messages, 44);
+  EXPECT_EQ(sum.total_bytes, 107);
+  EXPECT_EQ(sum.diff_bytes, 53);
+  EXPECT_EQ(sum.gc_runs, 3);
+  EXPECT_DOUBLE_EQ(sum.load_imbalance, 1.5);  // max, not sum
+
+  IterationMetrics worse;
+  worse.load_imbalance = 2.25;
+  sum.add(worse);
+  EXPECT_DOUBLE_EQ(sum.load_imbalance, 2.25);
+}
+
+TEST(CsvSinkTest, WritesHeaderOnceAndOneRowPerRecord) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  TrialRecord record;
+  record.trial = 0;
+  record.experiment = "exp_test";
+  record.label = "a";
+  record.workload = "SOR";
+  record.add_extra("cut", 12.5);
+  sink.write(record);
+  record.trial = 1;
+  record.label = "b";
+  record.extras.back().second = 13.0;
+  sink.write(record);
+  sink.close();
+
+  std::istringstream lines(out.str());
+  std::string header, row_a, row_b, rest;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row_a));
+  ASSERT_TRUE(std::getline(lines, row_b));
+  EXPECT_FALSE(std::getline(lines, rest));
+  EXPECT_EQ(header.rfind("trial,experiment,label,workload", 0), 0u);
+  EXPECT_NE(header.find(",m_remote_misses,"), std::string::npos);
+  EXPECT_NE(header.find(",dsm_ownership_transfers,"), std::string::npos);
+  EXPECT_NE(header.find(",cut"), std::string::npos);
+  EXPECT_EQ(row_a.rfind("0,exp_test,a,SOR,", 0), 0u);
+  EXPECT_EQ(row_b.rfind("1,exp_test,b,SOR,", 0), 0u);
+  EXPECT_NE(row_a.find("12.5"), std::string::npos);
+  EXPECT_NE(row_b.find("13"), std::string::npos);
+}
+
+TEST(JsonSinkTest, EmitsAnArrayOfFlatObjects) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  TrialRecord record;
+  record.experiment = "exp_test";
+  record.label = "quote\"me";
+  record.workload = "SOR";
+  sink.write(record);
+  sink.close();
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  EXPECT_NE(json.find("\"experiment\": \"exp_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"quote\\\"me\""), std::string::npos);
+}
+
+TEST(JsonSinkTest, EmptyRunClosesToEmptyArray) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.close();
+  EXPECT_EQ(out.str(), "[]\n");
+}
+
+TEST(TableSinkTest, RendersHeadlineColumnsAndExtras) {
+  std::ostringstream out;
+  TableSink sink(out);
+  TrialRecord record;
+  record.label = "Water/min-cost";
+  record.workload = "Water";
+  record.metrics.elapsed_us = 2'500'000;
+  record.metrics.remote_misses = 1234;
+  record.add_extra("cut", 99.0);
+  sink.write(record);
+  sink.close();
+  EXPECT_NE(out.str().find("label"), std::string::npos);
+  EXPECT_NE(out.str().find("cut"), std::string::npos);
+  EXPECT_NE(out.str().find("Water/min-cost"), std::string::npos);
+  EXPECT_NE(out.str().find("2.500"), std::string::npos);
+  EXPECT_NE(out.str().find("1234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actrack::exp
