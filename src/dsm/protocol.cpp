@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/probe.hpp"
 
 namespace actrack {
 
@@ -107,6 +108,7 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
     out.local_us += apply_cost(cost, kPageSize);
     stats_.full_page_fetches += 1;
     any_remote = true;
+    if (probe_) probe_->diff_apply(node, page, kPageSize);
   }
 
   // Group unseen diff records by writer: one exchange per distinct
@@ -138,6 +140,7 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
     out.local_us += apply_cost(cost, group.bytes);
     stats_.diff_fetches += 1;
     any_remote = true;
+    if (probe_) probe_->diff_apply(node, page, group.bytes);
   }
 
   out.remote_us += longest_exchange;
@@ -182,6 +185,7 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
       stats_.remote_misses += 1;
       stats_.full_page_fetches += 1;
       if (remote_miss_observer_) remote_miss_observer_(node, thread, a.page);
+      if (probe_) probe_->diff_apply(node, a.page, kPageSize);
     }
     gp.sc_owner = owner;
     gp.sc_copyset |= node_bit;
@@ -217,6 +221,7 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
     if (gp.sc_transfers_this_epoch == 0) sc_active_.push_back(a.page);
     gp.sc_transfers_this_epoch += 1;
     if (remote_miss_observer_) remote_miss_observer_(node, thread, a.page);
+    if (probe_) probe_->diff_apply(node, a.page, kPageSize);
   }
 
   // Invalidate every other replica before the write may proceed
@@ -310,6 +315,7 @@ SimTime DsmSystem::release_node(NodeId node) {
     gp.history.push_back(std::move(record));
     outstanding_diff_bytes_ += np.dirty_bytes;
     stats_.diffs_created += 1;
+    if (probe_) probe_->diff_create(node, page, np.dirty_bytes);
 
     if (!gp.in_flush_list) {
       gp.in_flush_list = true;
@@ -443,6 +449,9 @@ SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
 SimTime DsmSystem::run_gc() {
   const CostModel& cost = net_->cost();
   stats_.gc_runs += 1;
+  if (probe_) {
+    probe_->gc_run(static_cast<std::int64_t>(pages_with_diffs_.size()));
+  }
   SimTime total_cost = 0;
 
   for (const PageId page : pages_with_diffs_) {

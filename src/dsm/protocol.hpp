@@ -35,6 +35,10 @@
 #include "net/network.hpp"
 #include "trace/access.hpp"
 
+namespace actrack::obs {
+class Probe;
+}
+
 namespace actrack {
 
 enum class PageState : std::uint8_t {
@@ -167,6 +171,10 @@ class DsmSystem {
     remote_miss_observer_ = std::move(observer);
   }
 
+  /// Attaches an observability probe (null detaches).  The probe only
+  /// records what happens — protocol costs and state are unchanged.
+  void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
+
   /// Outstanding (unconsolidated) diff storage across all pages.
   [[nodiscard]] ByteCount outstanding_diff_bytes() const noexcept {
     return outstanding_diff_bytes_;
@@ -243,6 +251,7 @@ class DsmSystem {
   std::int64_t epoch_ = 1;
   DsmStats stats_;
   RemoteMissObserver remote_miss_observer_;
+  obs::Probe* probe_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace actrack

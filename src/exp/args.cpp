@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace actrack::exp {
 
 ArgParser::ArgParser(int argc, char** argv, std::string description)
@@ -19,6 +21,14 @@ void ArgParser::fail(const std::string& message) const {
   std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), message.c_str(),
                usage().c_str());
   std::exit(2);
+}
+
+void ArgParser::declare(HelpEntry entry) {
+  for (const HelpEntry& existing : help_) {
+    ACTRACK_CHECK_MSG(existing.flag != entry.flag,
+                      "flag declared twice: " + entry.flag);
+  }
+  help_.push_back(std::move(entry));
 }
 
 std::int32_t ArgParser::find(const char* flag, bool takes_value) {
@@ -38,7 +48,7 @@ std::int32_t ArgParser::find(const char* flag, bool takes_value) {
 
 std::int32_t ArgParser::int_flag(const char* flag, std::int32_t fallback,
                                  const char* help) {
-  help_.push_back({flag, std::to_string(fallback), help, true});
+  declare({flag, std::to_string(fallback), help, true});
   const std::int32_t at = find(flag, /*takes_value=*/true);
   if (at < 0) return fallback;
   const std::string& value = args_[static_cast<std::size_t>(at) + 1];
@@ -61,14 +71,14 @@ std::int32_t ArgParser::int_flag(const char* flag, std::int32_t fallback,
 std::string ArgParser::string_flag(const char* flag,
                                    const std::string& fallback,
                                    const char* help) {
-  help_.push_back({flag, fallback, help, true});
+  declare({flag, fallback, help, true});
   const std::int32_t at = find(flag, /*takes_value=*/true);
   if (at < 0) return fallback;
   return args_[static_cast<std::size_t>(at) + 1];
 }
 
 bool ArgParser::bool_flag(const char* flag, const char* help) {
-  help_.push_back({flag, "", help, false});
+  declare({flag, "", help, false});
   return find(flag, /*takes_value=*/false) >= 0;
 }
 

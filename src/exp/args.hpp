@@ -53,6 +53,10 @@ class ArgParser {
   };
 
   [[noreturn]] void fail(const std::string& message) const;
+  /// Registers a flag's help entry; a second declaration of the same
+  /// flag is a programming error (throws via ACTRACK_CHECK) — it would
+  /// otherwise silently shadow the first one's value.
+  void declare(HelpEntry entry);
   /// Index of `flag` in argv, or -1; marks the token(s) consumed.
   std::int32_t find(const char* flag, bool takes_value);
 

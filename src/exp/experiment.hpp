@@ -147,6 +147,14 @@ struct ExperimentSpec {
   IterationSchedule schedule;
   std::uint64_t seed = 0x1999'0DC5ULL;  // ICDCS '99
 
+  /// When non-empty, the trial runs with its own obs::Probe and writes
+  /// a Chrome trace to `<trace_dir>/<experiment>_t<trial>.trace.json`
+  /// (the directory must already exist).  Per-trial probes keep
+  /// parallel sweeps race-free.  Ignored for custom-body trials, and
+  /// tracing never changes the trial's record (probe hooks are
+  /// observation-only).
+  std::string trace_dir;
+
   ProbeFn probe;
   BodyFn body;
 };

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <fstream>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/export.hpp"
+#include "obs/probe.hpp"
 
 namespace actrack::exp {
 
@@ -17,6 +21,18 @@ Placement target_placement(const ExperimentSpec& spec,
                            const Workload& workload, Rng& rng) {
   if (spec.placement) return spec.placement(workload, spec.nodes, rng);
   return Placement::stretch(workload.num_threads(), spec.nodes);
+}
+
+void write_trial_trace(const ExperimentSpec& spec, std::int32_t index,
+                       const obs::Probe& probe) {
+  const std::string stem = spec.experiment.empty() ? "trial" : spec.experiment;
+  const std::string path =
+      spec.trace_dir + "/" + stem + "_t" + std::to_string(index) +
+      ".trace.json";
+  std::ofstream out(path);
+  ACTRACK_CHECK_MSG(out.good(), "cannot open trace file: " + path);
+  obs::write_chrome_trace(probe.trace(), out);
+  ACTRACK_CHECK_MSG(out.good(), "trace write failed: " + path);
 }
 
 }  // namespace
@@ -80,13 +96,22 @@ TrialRecord TrialRunner::run_trial(const Trial& trial) {
   TrackingResult tracking;
   bool have_tracking = false;
 
+  // Per-trial probe: each trial owns its recorder, so parallel sweeps
+  // trace without sharing state.
+  std::optional<obs::Probe> trace_probe;
+  RuntimeConfig config = spec.config;
+  if (!spec.trace_dir.empty()) {
+    trace_probe.emplace();
+    config.probe = &*trace_probe;
+  }
+
   if (schedule.full_run) {
     // Table 6 shape: init on stretch, migrate, all default iterations;
     // the measurement is the cumulative total.
     ClusterRuntime runtime(
         *workload,
         Placement::stretch(workload->num_threads(), target.num_nodes()),
-        spec.config);
+        config);
     runtime.run_init();
     runtime.migrate_to(target);
     for (std::int32_t i = 0; i < workload->default_iterations(); ++i) {
@@ -101,10 +126,11 @@ TrialRecord TrialRunner::run_trial(const Trial& trial) {
                            nullptr};
       spec.probe(context, record);
     }
+    if (trace_probe) write_trial_trace(spec, trial.index, *trace_probe);
     return record;
   }
 
-  ClusterRuntime runtime(*workload, target, spec.config);
+  ClusterRuntime runtime(*workload, target, config);
   runtime.run_init();
   for (std::int32_t i = 0; i < schedule.settle_iterations; ++i) {
     runtime.run_iteration();
@@ -128,6 +154,7 @@ TrialRecord TrialRunner::run_trial(const Trial& trial) {
                          have_tracking ? &tracking : nullptr};
     spec.probe(context, record);
   }
+  if (trace_probe) write_trial_trace(spec, trial.index, *trace_probe);
   return record;
 }
 

@@ -1,6 +1,19 @@
 #include "net/network.hpp"
 
+#include "obs/probe.hpp"
+
 namespace actrack {
+
+// obs sits below net in the layering, so Probe::Wire mirrors PayloadKind
+// instead of including it; keep the ordinals locked together.
+static_assert(static_cast<int>(obs::Probe::Wire::kControl) ==
+              static_cast<int>(PayloadKind::kControl));
+static_assert(static_cast<int>(obs::Probe::Wire::kFullPage) ==
+              static_cast<int>(PayloadKind::kFullPage));
+static_assert(static_cast<int>(obs::Probe::Wire::kDiff) ==
+              static_cast<int>(PayloadKind::kDiff));
+static_assert(static_cast<int>(obs::Probe::Wire::kStack) ==
+              static_cast<int>(PayloadKind::kStack));
 
 SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
                            PayloadKind kind) {
@@ -21,6 +34,10 @@ SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
   } else if (kind == PayloadKind::kFullPage) {
     node.page_bytes += payload;
     totals_.page_bytes += payload;
+  }
+  if (probe_) {
+    probe_->message(from, to, payload, wire,
+                    static_cast<obs::Probe::Wire>(kind));
   }
   return cost_.transfer_us(payload);
 }

@@ -12,6 +12,10 @@
 #include "common/types.hpp"
 #include "net/cost_model.hpp"
 
+namespace actrack::obs {
+class Probe;
+}
+
 namespace actrack {
 
 enum class PayloadKind : std::uint8_t {
@@ -58,8 +62,13 @@ class NetworkModel {
 
   void reset_counters() noexcept;
 
+  /// Attaches an observability probe (null detaches); every message is
+  /// then mirrored into its metrics.  Accounting is unchanged either way.
+  void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
+
  private:
   CostModel cost_;
+  obs::Probe* probe_ = nullptr;  // non-owning, may be null
   NetCounters totals_;
   std::vector<NetCounters> per_node_;  // attributed to the sender
 };

@@ -1,0 +1,61 @@
+// Observability event model.
+//
+// Every simulated run is a sequence of discrete protocol/scheduler
+// actions — page faults, remote fetches, diff traffic, lock handoffs,
+// barrier rendezvous, migrations, GC — that the DES computes and (until
+// now) threw away.  An Event is one such action: a fixed-size, typed
+// record stamped with simulated time, node and thread, plus two
+// kind-specific integer operands.  Keeping events POD-sized means the
+// recorder is a bump allocation on the hot path and the exporters
+// (obs/export) can render Chrome-trace JSON or CSV without any
+// per-event heap traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace actrack::obs {
+
+enum class EventKind : std::uint8_t {
+  kStepBegin,         // a = step index, b = StepCode ordinal
+  kPageFault,         // a = page, b = 1 for a write fault
+  kCorrelationFault,  // a = page (§4.2 tracking fault)
+  kRemoteFetchBegin,  // a = page
+  kRemoteFetchEnd,    // a = page, b = latency in µs
+  kDiffCreate,        // a = page, b = diff bytes
+  kDiffApply,         // a = page, b = applied bytes (kPageSize for full pages)
+  kLockAcquire,       // a = lock id, b = 1 if ownership moved between nodes
+  kLockRelease,       // a = lock id
+  kBarrierArrive,     // node lane
+  kBarrierDepart,     // node lane
+  kNodeIdle,          // a = idle duration in µs
+  kContextSwitch,     // switch-on-remote-fetch
+  kMigration,         // thread = mover, node = source, a = destination node
+  kGc,                // a = pages consolidated
+};
+
+/// Stable lower-case name, used by the CSV exporter and trace names.
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// What kind of runtime step a kStepBegin marks.  Mirrors the runtime's
+/// StepKind without depending on it (obs sits below runtime).
+enum class StepCode : std::uint8_t {
+  kInit,
+  kIteration,
+  kTracked,
+  kMigration,
+};
+
+[[nodiscard]] const char* to_string(StepCode code) noexcept;
+
+struct Event {
+  SimTime time_us = 0;  // global simulated time (runtime step base + local)
+  EventKind kind = EventKind::kStepBegin;
+  NodeId node = kNoNode;
+  ThreadId thread = kNoThread;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+}  // namespace actrack::obs

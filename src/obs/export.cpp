@@ -1,0 +1,250 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "viz/svg_plot.hpp"
+
+namespace actrack::obs {
+
+namespace {
+
+/// Node-scope events (barriers, idle, GC) share lane 0 of their track;
+/// application thread t renders as lane t+1.
+constexpr std::int64_t kNodeLaneTid = 0;
+
+std::int64_t pid_of(const Event& event) noexcept {
+  return event.node >= 0 ? event.node : 0;
+}
+
+std::int64_t tid_of(const Event& event) noexcept {
+  return event.thread >= 0 ? event.thread + 1 : kNodeLaneTid;
+}
+
+struct EmittedEvent {
+  std::string name;
+  char phase = 'i';          // B, E, X, i
+  std::int64_t dur = 0;      // X only
+  std::string args;          // rendered "k": v pairs, may be empty
+  bool global_instant = false;
+};
+
+/// How one recorder event renders in the trace-event format.  Events
+/// that form pairs (fetch, lock, barrier) must produce identical names
+/// on both sides so viewers (and tests) can match B to E.
+EmittedEvent emit(const Event& event) {
+  std::ostringstream args;
+  EmittedEvent out;
+  switch (event.kind) {
+    case EventKind::kStepBegin:
+      out.name = std::string("step ") +
+                 to_string(static_cast<StepCode>(event.b));
+      out.global_instant = true;
+      args << "\"index\": " << event.a;
+      break;
+    case EventKind::kPageFault:
+      out.name = event.b != 0 ? "write fault" : "read fault";
+      args << "\"page\": " << event.a;
+      break;
+    case EventKind::kCorrelationFault:
+      out.name = "correlation fault";
+      args << "\"page\": " << event.a;
+      break;
+    case EventKind::kRemoteFetchBegin:
+      out.name = "remote fetch";
+      out.phase = 'B';
+      args << "\"page\": " << event.a;
+      break;
+    case EventKind::kRemoteFetchEnd:
+      out.name = "remote fetch";
+      out.phase = 'E';
+      break;
+    case EventKind::kDiffCreate:
+      out.name = "diff create";
+      args << "\"page\": " << event.a << ", \"bytes\": " << event.b;
+      break;
+    case EventKind::kDiffApply:
+      out.name = "diff apply";
+      args << "\"page\": " << event.a << ", \"bytes\": " << event.b;
+      break;
+    case EventKind::kLockAcquire:
+      out.name = "lock " + std::to_string(event.a);
+      out.phase = 'B';
+      args << "\"remote\": " << event.b;
+      break;
+    case EventKind::kLockRelease:
+      out.name = "lock " + std::to_string(event.a);
+      out.phase = 'E';
+      break;
+    case EventKind::kBarrierArrive:
+      out.name = "barrier";
+      out.phase = 'B';
+      break;
+    case EventKind::kBarrierDepart:
+      out.name = "barrier";
+      out.phase = 'E';
+      break;
+    case EventKind::kNodeIdle:
+      out.name = "idle";
+      out.phase = 'X';
+      out.dur = event.a;
+      break;
+    case EventKind::kContextSwitch:
+      out.name = "context switch";
+      break;
+    case EventKind::kMigration:
+      out.name = "migrate";
+      args << "\"to_node\": " << event.a;
+      break;
+    case EventKind::kGc:
+      out.name = "gc";
+      args << "\"pages\": " << event.a;
+      break;
+  }
+  out.args = args.str();
+  return out;
+}
+
+void write_metadata(std::ostream& out, std::int64_t pid, std::int64_t tid,
+                    const char* field, const std::string& value) {
+  out << "  {\"name\": \"" << field << "\", \"ph\": \"M\", \"pid\": " << pid
+      << ", \"tid\": " << tid << ", \"args\": {\"name\": \"" << value
+      << "\"}},\n";
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& trace, std::ostream& out) {
+  std::vector<Event> events = trace.snapshot();
+  // Per-lane time order (and therefore B/E nesting) relies on this
+  // being a *stable* sort: equal timestamps keep recording order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time_us < b.time_us;
+                   });
+
+  // Name every track and lane that appears.
+  std::vector<std::pair<std::int64_t, std::int64_t>> lanes;
+  for (const Event& event : events) {
+    const auto lane = std::make_pair(pid_of(event), tid_of(event));
+    if (std::find(lanes.begin(), lanes.end(), lane) == lanes.end()) {
+      lanes.push_back(lane);
+    }
+  }
+  std::sort(lanes.begin(), lanes.end());
+
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  std::int64_t last_pid = -1;
+  for (const auto& [pid, tid] : lanes) {
+    if (pid != last_pid) {
+      write_metadata(out, pid, kNodeLaneTid, "process_name",
+                     "node " + std::to_string(pid));
+      last_pid = pid;
+    }
+    write_metadata(out, pid, tid, "thread_name",
+                   tid == kNodeLaneTid
+                       ? std::string("(node)")
+                       : "thread " + std::to_string(tid - 1));
+  }
+
+  bool first = true;
+  for (const Event& event : events) {
+    const EmittedEvent e = emit(event);
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << e.name << "\", \"cat\": \"sim\", \"ph\": \""
+        << e.phase << "\", \"ts\": " << event.time_us
+        << ", \"pid\": " << pid_of(event) << ", \"tid\": " << tid_of(event);
+    if (e.phase == 'X') out << ", \"dur\": " << e.dur;
+    if (e.phase == 'i') out << ", \"s\": \"" << (e.global_instant ? 'g' : 't')
+                            << "\"";
+    if (!e.args.empty()) out << ", \"args\": {" << e.args << "}";
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+std::string chrome_trace_json(const TraceRecorder& trace) {
+  std::ostringstream out;
+  write_chrome_trace(trace, out);
+  return out.str();
+}
+
+void write_event_csv(const TraceRecorder& trace, std::ostream& out) {
+  out << "time_us,kind,node,thread,a,b\n";
+  trace.for_each([&out](const Event& event) {
+    out << event.time_us << ',' << to_string(event.kind) << ','
+        << event.node << ',' << event.thread << ',' << event.a << ','
+        << event.b << '\n';
+  });
+}
+
+std::string render_utilization_timeline(const TraceRecorder& trace,
+                                        NodeId num_nodes, int buckets) {
+  ACTRACK_CHECK(num_nodes > 0);
+  ACTRACK_CHECK(buckets > 0);
+  ACTRACK_CHECK_MSG(!trace.empty(), "cannot render an empty trace");
+
+  SimTime end_us = 1;
+  trace.for_each([&end_us](const Event& event) {
+    end_us = std::max(end_us, event.time_us);
+    if (event.kind == EventKind::kNodeIdle) {
+      end_us = std::max(end_us, event.time_us + event.a);
+    }
+  });
+
+  const auto nodes = static_cast<std::size_t>(num_nodes);
+  const auto nbuckets = static_cast<std::size_t>(buckets);
+  const double width =
+      static_cast<double>(end_us) / static_cast<double>(buckets);
+  std::vector<std::vector<double>> idle(
+      nodes, std::vector<double>(nbuckets, 0.0));
+
+  trace.for_each([&](const Event& event) {
+    if (event.kind != EventKind::kNodeIdle) return;
+    if (event.node < 0 || event.node >= num_nodes) return;
+    const auto node = static_cast<std::size_t>(event.node);
+    double begin = static_cast<double>(event.time_us);
+    const double finish = begin + static_cast<double>(event.a);
+    while (begin < finish) {
+      auto bucket = static_cast<std::size_t>(begin / width);
+      if (bucket >= nbuckets) bucket = nbuckets - 1;
+      const double bucket_end =
+          static_cast<double>(bucket + 1) * width;
+      const double slice = std::min(finish, bucket_end) - begin;
+      idle[node][bucket] += slice;
+      begin += std::max(slice, 1e-9);
+    }
+  });
+
+  SvgPlot plot("Per-node utilization", "simulated time (ms)",
+               "busy fraction");
+  for (std::size_t n = 0; n < nodes; ++n) {
+    SvgSeries series;
+    series.label = "node " + std::to_string(n);
+    series.connect = true;
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+      const double mid = (static_cast<double>(b) + 0.5) * width;
+      series.x.push_back(mid / 1000.0);
+      series.y.push_back(
+          std::clamp(1.0 - idle[n][b] / width, 0.0, 1.0));
+    }
+    plot.add_series(std::move(series));
+  }
+  return plot.render();
+}
+
+void write_utilization_timeline(const TraceRecorder& trace, NodeId num_nodes,
+                                const std::string& path, int buckets) {
+  std::ofstream out(path);
+  ACTRACK_CHECK_MSG(out.good(), "cannot open " + path);
+  out << render_utilization_timeline(trace, num_nodes, buckets);
+  ACTRACK_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+}  // namespace actrack::obs

@@ -1,0 +1,48 @@
+// Trace exporters: Chrome trace-event JSON, CSV, utilization timeline.
+//
+// The Chrome exporter renders a recorded run in the trace-event format
+// that chrome://tracing and Perfetto load directly: one process
+// ("track") per simulated node, one thread lane per application thread
+// plus a node lane (tid 0) for node-scope events (barriers, idle, GC).
+// Remote fetches, critical sections and barriers become duration (B/E)
+// pairs; faults, migrations and GC become instants; idle spans become
+// complete (X) events.  Timestamps are already microseconds, which is
+// exactly the unit the format expects.
+//
+// The CSV exporter is a flat `time_us,kind,node,thread,a,b` dump for
+// ad-hoc analysis, and write_utilization_timeline() renders per-node
+// busy fraction over time (1 - idle per bucket) as an SVG line chart
+// via src/viz — the profile view of §5's load-balancing argument.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace actrack::obs {
+
+/// Writes the full Chrome trace-event JSON document
+/// (`{"displayTimeUnit":...,"traceEvents":[...]}`).  Events are
+/// stable-sorted by timestamp so every per-lane sequence is
+/// time-ordered and B/E pairs nest.
+void write_chrome_trace(const TraceRecorder& trace, std::ostream& out);
+
+/// Renders the Chrome trace to a string (tests, small traces).
+[[nodiscard]] std::string chrome_trace_json(const TraceRecorder& trace);
+
+/// Flat CSV dump: header then one `time_us,kind,node,thread,a,b` row
+/// per event, in recording order.
+void write_event_csv(const TraceRecorder& trace, std::ostream& out);
+
+/// Per-node busy fraction over simulated time, derived from kNodeIdle
+/// spans bucketed into `buckets` equal slices; one line per node.
+[[nodiscard]] std::string render_utilization_timeline(
+    const TraceRecorder& trace, NodeId num_nodes, int buckets = 100);
+
+/// render_utilization_timeline() to a file; throws on I/O failure.
+void write_utilization_timeline(const TraceRecorder& trace, NodeId num_nodes,
+                                const std::string& path, int buckets = 100);
+
+}  // namespace actrack::obs

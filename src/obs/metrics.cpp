@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace actrack::obs {
+
+namespace {
+
+/// Bucket index of a sample: 0 for non-positive values, otherwise the
+/// bit width (1 + floor(log2 v)), matching [2^(i-1), 2^i).
+int bucket_of(std::int64_t value) noexcept {
+  if (value <= 0) return 0;
+  return static_cast<int>(std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+/// Exclusive upper bound of bucket i.
+std::int64_t bucket_upper(int index) noexcept {
+  if (index <= 0) return 0;
+  if (index >= 63) return std::numeric_limits<std::int64_t>::max();
+  return std::int64_t{1} << index;
+}
+
+}  // namespace
+
+void Histogram::add(std::int64_t value) noexcept {
+  buckets_[bucket_of(value)] += 1;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+double Histogram::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target && seen > 0) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto [it, inserted] = counters_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+    counter_order_.push_back(name);
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto [it, inserted] = histograms_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>();
+    histogram_order_.push_back(name);
+  }
+  return *it->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::write_summary(std::ostream& out) const {
+  if (!counter_order_.empty()) out << "counters:\n";
+  for (const std::string& name : counter_order_) {
+    out << "  " << std::left << std::setw(28) << name << std::right
+        << counter_value(name) << '\n';
+  }
+  if (!histogram_order_.empty()) out << "histograms:\n";
+  for (const std::string& name : histogram_order_) {
+    const Histogram* h = find_histogram(name);
+    out << "  " << std::left << std::setw(28) << name << std::right
+        << "count=" << h->count() << " sum=" << h->sum()
+        << " min=" << h->min() << " p50=" << h->quantile(0.5)
+        << " p95=" << h->quantile(0.95) << " max=" << h->max() << '\n';
+  }
+}
+
+}  // namespace actrack::obs

@@ -1,0 +1,104 @@
+// MetricsRegistry — named counters and latency histograms.
+//
+// The trace answers "what happened when"; the registry answers "how
+// much, in aggregate": bytes on the wire by payload kind, faults by
+// kind, the remote-fetch latency distribution, per-node idle time.
+// Counters and histograms are created on first use, keep insertion
+// order for deterministic rendering, and stay valid for the registry's
+// lifetime (hot callers cache the returned references — see obs::Probe).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace actrack::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Power-of-two-bucketed histogram of non-negative integer samples
+/// (µs latencies, byte counts).  Bucket i holds values whose bit width
+/// is i, i.e. [2^(i-1), 2^i); bucket 0 holds zero.  Quantiles are
+/// resolved to a bucket upper bound — exact enough for p50/p95/p99 of
+/// latency distributions spanning orders of magnitude.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::int64_t value) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::int64_t min() const noexcept {
+    return count_ > 0 ? min_ : 0;
+  }
+  [[nodiscard]] std::int64_t max() const noexcept {
+    return count_ > 0 ? max_ : 0;
+  }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Smallest bucket upper bound below which at least `q` (0..1) of the
+  /// samples fall; clamped to [min(), max()].  0 when empty.
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] const std::int64_t* buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::int64_t buckets_[kBuckets] = {};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter/histogram named `name`, creating it on first
+  /// use.  References remain valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Value of a counter, or 0 if it was never touched (does not
+  /// create).  The histogram variant returns null when absent.
+  [[nodiscard]] std::int64_t counter_value(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const;
+
+  /// Names in creation order (deterministic output).
+  [[nodiscard]] const std::vector<std::string>& counter_names() const {
+    return counter_order_;
+  }
+  [[nodiscard]] const std::vector<std::string>& histogram_names() const {
+    return histogram_order_;
+  }
+
+  /// Aligned human-readable dump: every counter, then every histogram
+  /// with count/sum/min/p50/p95/max.
+  void write_summary(std::ostream& out) const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::string> counter_order_;
+  std::vector<std::string> histogram_order_;
+};
+
+}  // namespace actrack::obs

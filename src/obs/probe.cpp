@@ -1,0 +1,162 @@
+#include "obs/probe.hpp"
+
+namespace actrack::obs {
+
+Probe::Probe(ProbeOptions options)
+    : trace_(options.max_events),
+      read_faults_(metrics_.counter("fault/read")),
+      write_faults_(metrics_.counter("fault/write")),
+      correlation_faults_(metrics_.counter("fault/correlation")),
+      remote_fetches_(metrics_.counter("fetch/remote")),
+      fetch_latency_us_(metrics_.histogram("fetch/latency_us")),
+      lock_acquires_(metrics_.counter("lock/acquires")),
+      lock_remote_transfers_(metrics_.counter("lock/remote_transfers")),
+      context_switches_(metrics_.counter("sched/context_switches")),
+      idle_us_total_(metrics_.counter("sched/idle_us")),
+      barrier_arrivals_(metrics_.counter("barrier/arrivals")),
+      diffs_created_(metrics_.counter("diff/created")),
+      diff_created_bytes_(metrics_.counter("diff/created_bytes")),
+      diff_applied_bytes_(metrics_.counter("diff/applied_bytes")),
+      gc_runs_(metrics_.counter("gc/runs")),
+      migrations_(metrics_.counter("migration/threads")),
+      messages_(metrics_.counter("net/messages")),
+      bytes_total_(metrics_.counter("net/bytes_total")),
+      bytes_control_(metrics_.counter("net/bytes_control")),
+      bytes_page_(metrics_.counter("net/bytes_page")),
+      bytes_diff_(metrics_.counter("net/bytes_diff")),
+      bytes_stack_(metrics_.counter("net/bytes_stack")) {}
+
+void Probe::record(EventKind kind, SimTime local_us, NodeId node,
+                   ThreadId thread, std::int64_t a, std::int64_t b) {
+  Event event;
+  event.time_us = base_us_ + local_us;
+  event.kind = kind;
+  event.node = node;
+  event.thread = thread;
+  event.a = a;
+  event.b = b;
+  trace_.record(event);
+}
+
+Counter& Probe::idle_counter(NodeId node) {
+  const auto index = static_cast<std::size_t>(node);
+  if (index >= node_idle_.size()) node_idle_.resize(index + 1, nullptr);
+  if (node_idle_[index] == nullptr) {
+    node_idle_[index] =
+        &metrics_.counter("node" + std::to_string(node) + "/idle_us");
+  }
+  return *node_idle_[index];
+}
+
+void Probe::begin_step(StepCode code, std::int32_t index, SimTime base_us) {
+  base_us_ = base_us;
+  context_node_ = kNoNode;
+  context_thread_ = kNoThread;
+  context_time_us_ = base_us;
+  record(EventKind::kStepBegin, 0, kNoNode, kNoThread, index,
+         static_cast<std::int64_t>(code));
+}
+
+void Probe::page_fault(NodeId node, ThreadId thread, PageId page, bool write,
+                       SimTime at_us) {
+  (write ? write_faults_ : read_faults_).add();
+  record(EventKind::kPageFault, at_us, node, thread, page, write ? 1 : 0);
+}
+
+void Probe::correlation_fault(NodeId node, ThreadId thread, PageId page,
+                              SimTime at_us) {
+  correlation_faults_.add();
+  record(EventKind::kCorrelationFault, at_us, node, thread, page);
+}
+
+void Probe::remote_fetch(NodeId node, ThreadId thread, PageId page,
+                         SimTime start_us, SimTime latency_us) {
+  remote_fetches_.add();
+  fetch_latency_us_.add(latency_us);
+  record(EventKind::kRemoteFetchBegin, start_us, node, thread, page);
+  record(EventKind::kRemoteFetchEnd, start_us + latency_us, node, thread,
+         page, latency_us);
+}
+
+void Probe::lock_acquire(NodeId node, ThreadId thread, std::int32_t lock_id,
+                         bool remote_transfer, SimTime at_us) {
+  lock_acquires_.add();
+  if (remote_transfer) lock_remote_transfers_.add();
+  record(EventKind::kLockAcquire, at_us, node, thread, lock_id,
+         remote_transfer ? 1 : 0);
+}
+
+void Probe::lock_release(NodeId node, ThreadId thread, std::int32_t lock_id,
+                         SimTime at_us) {
+  record(EventKind::kLockRelease, at_us, node, thread, lock_id);
+}
+
+void Probe::barrier_arrive(NodeId node, SimTime at_us) {
+  barrier_arrivals_.add();
+  record(EventKind::kBarrierArrive, at_us, node, kNoThread);
+}
+
+void Probe::barrier_depart(NodeId node, SimTime at_us) {
+  record(EventKind::kBarrierDepart, at_us, node, kNoThread);
+}
+
+void Probe::node_idle(NodeId node, SimTime start_us, SimTime duration_us) {
+  if (duration_us <= 0) return;
+  idle_us_total_.add(duration_us);
+  idle_counter(node).add(duration_us);
+  record(EventKind::kNodeIdle, start_us, node, kNoThread, duration_us);
+}
+
+void Probe::context_switch(NodeId node, ThreadId thread, SimTime at_us) {
+  context_switches_.add();
+  record(EventKind::kContextSwitch, at_us, node, thread);
+}
+
+void Probe::migration(ThreadId thread, NodeId from, NodeId to) {
+  migrations_.add();
+  record(EventKind::kMigration, context_time_us_ - base_us_, from, thread,
+         to);
+}
+
+void Probe::diff_create(NodeId node, PageId page, ByteCount bytes) {
+  diffs_created_.add();
+  diff_created_bytes_.add(bytes);
+  record(EventKind::kDiffCreate, context_time_us_ - base_us_, node,
+         context_thread_, page, bytes);
+}
+
+void Probe::diff_apply(NodeId node, PageId page, ByteCount bytes) {
+  diff_applied_bytes_.add(bytes);
+  record(EventKind::kDiffApply, context_time_us_ - base_us_, node,
+         context_thread_, page, bytes);
+}
+
+void Probe::gc_run(std::int64_t pages) {
+  gc_runs_.add();
+  record(EventKind::kGc, context_time_us_ - base_us_, context_node_,
+         kNoThread, pages);
+}
+
+void Probe::message(NodeId from, NodeId to, ByteCount payload,
+                    ByteCount wire_bytes, Wire kind) {
+  (void)to;
+  (void)from;
+  messages_.add();
+  bytes_total_.add(wire_bytes);
+  switch (kind) {
+    case Wire::kControl:
+      bytes_control_.add(payload);
+      break;
+    case Wire::kFullPage:
+      bytes_page_.add(payload);
+      break;
+    case Wire::kDiff:
+      bytes_diff_.add(payload);
+      break;
+    case Wire::kStack:
+      bytes_stack_.add(payload);
+      break;
+  }
+}
+
+}  // namespace actrack::obs

@@ -1,0 +1,145 @@
+// obs::Probe — the narrow instrumentation interface the simulator is
+// built against.
+//
+// ClusterScheduler, DsmSystem, NetworkModel and ClusterRuntime each
+// hold a `Probe*` that is null by default, so every hot-path hook is a
+// single predictable branch (`if (probe_)`) and a run without a probe
+// is bit-identical to the pre-observability code.  When a probe is
+// attached, each hook appends a typed Event to the probe's
+// TraceRecorder and bumps the relevant MetricsRegistry counters and
+// histograms.  Probe methods never mutate simulation state and never
+// feed back into any clock, so tracing cannot perturb results
+// (tests/obs_test.cpp asserts probe-on == probe-off).
+//
+// Time handling: the scheduler's clocks restart at zero for every
+// runtime step (iteration, tracked iteration, migration), so
+// ClusterRuntime calls begin_step() with the cumulative simulated time
+// before each step and every hook takes a step-local timestamp; the
+// probe adds the base so the trace carries one global timeline.
+// Components without a clock of their own (the DSM's diff machinery,
+// the network) stamp events at the ambient context the scheduler
+// publishes via set_context() just before calling into them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace actrack::obs {
+
+struct ProbeOptions {
+  /// Cap on stored trace events; past it events are dropped (counted).
+  std::size_t max_events = TraceRecorder::kDefaultCapacity;
+};
+
+class Probe {
+ public:
+  explicit Probe(ProbeOptions options = {});
+
+  Probe(const Probe&) = delete;
+  Probe& operator=(const Probe&) = delete;
+
+  [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  // -- step framing (ClusterRuntime) -----------------------------------
+
+  /// Starts a runtime step: all subsequent step-local timestamps are
+  /// offset by `base_us` (the cumulative simulated time so far).
+  void begin_step(StepCode code, std::int32_t index, SimTime base_us);
+  [[nodiscard]] SimTime base_us() const noexcept { return base_us_; }
+
+  // -- ambient context (scheduler, before calling into the DSM) --------
+
+  void set_context(NodeId node, ThreadId thread, SimTime local_now_us) {
+    context_node_ = node;
+    context_thread_ = thread;
+    context_time_us_ = base_us_ + local_now_us;
+  }
+
+  // -- scheduler hooks (step-local times) ------------------------------
+
+  void page_fault(NodeId node, ThreadId thread, PageId page, bool write,
+                  SimTime at_us);
+  void correlation_fault(NodeId node, ThreadId thread, PageId page,
+                         SimTime at_us);
+  /// One remote miss: a fetch beginning at `start_us` that keeps the
+  /// thread off-CPU for `latency_us`.  Also feeds the fetch-latency
+  /// histogram, whose count reconciles with IterationMetrics
+  /// remote_misses by construction.
+  void remote_fetch(NodeId node, ThreadId thread, PageId page,
+                    SimTime start_us, SimTime latency_us);
+  void lock_acquire(NodeId node, ThreadId thread, std::int32_t lock_id,
+                    bool remote_transfer, SimTime at_us);
+  void lock_release(NodeId node, ThreadId thread, std::int32_t lock_id,
+                    SimTime at_us);
+  void barrier_arrive(NodeId node, SimTime at_us);
+  void barrier_depart(NodeId node, SimTime at_us);
+  void node_idle(NodeId node, SimTime start_us, SimTime duration_us);
+  void context_switch(NodeId node, ThreadId thread, SimTime at_us);
+  void migration(ThreadId thread, NodeId from, NodeId to);
+
+  // -- DSM hooks (stamped at the ambient context time) -----------------
+
+  void diff_create(NodeId node, PageId page, ByteCount bytes);
+  void diff_apply(NodeId node, PageId page, ByteCount bytes);
+  void gc_run(std::int64_t pages);
+
+  // -- network hook ----------------------------------------------------
+
+  /// Mirrors net's PayloadKind (same ordinals; net cannot be included
+  /// here without a dependency cycle — network.cpp asserts the match).
+  enum class Wire : std::uint8_t { kControl, kFullPage, kDiff, kStack };
+  void message(NodeId from, NodeId to, ByteCount payload,
+               ByteCount wire_bytes, Wire kind);
+
+ private:
+  void record(EventKind kind, SimTime local_us, NodeId node,
+              ThreadId thread, std::int64_t a = 0, std::int64_t b = 0);
+
+  /// Per-node idle counter, created on first use.
+  Counter& idle_counter(NodeId node);
+
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+
+  SimTime base_us_ = 0;
+  NodeId context_node_ = kNoNode;
+  ThreadId context_thread_ = kNoThread;
+  SimTime context_time_us_ = 0;
+
+  // Hot counters, cached so hooks never hash a string.
+  Counter& read_faults_;
+  Counter& write_faults_;
+  Counter& correlation_faults_;
+  Counter& remote_fetches_;
+  Histogram& fetch_latency_us_;
+  Counter& lock_acquires_;
+  Counter& lock_remote_transfers_;
+  Counter& context_switches_;
+  Counter& idle_us_total_;
+  Counter& barrier_arrivals_;
+  Counter& diffs_created_;
+  Counter& diff_created_bytes_;
+  Counter& diff_applied_bytes_;
+  Counter& gc_runs_;
+  Counter& migrations_;
+  Counter& messages_;
+  Counter& bytes_total_;
+  Counter& bytes_control_;
+  Counter& bytes_page_;
+  Counter& bytes_diff_;
+  Counter& bytes_stack_;
+  std::vector<Counter*> node_idle_;
+};
+
+}  // namespace actrack::obs

@@ -1,0 +1,88 @@
+#include "obs/trace_recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace actrack::obs {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kStepBegin:
+      return "step";
+    case EventKind::kPageFault:
+      return "page_fault";
+    case EventKind::kCorrelationFault:
+      return "correlation_fault";
+    case EventKind::kRemoteFetchBegin:
+      return "remote_fetch_begin";
+    case EventKind::kRemoteFetchEnd:
+      return "remote_fetch_end";
+    case EventKind::kDiffCreate:
+      return "diff_create";
+    case EventKind::kDiffApply:
+      return "diff_apply";
+    case EventKind::kLockAcquire:
+      return "lock_acquire";
+    case EventKind::kLockRelease:
+      return "lock_release";
+    case EventKind::kBarrierArrive:
+      return "barrier_arrive";
+    case EventKind::kBarrierDepart:
+      return "barrier_depart";
+    case EventKind::kNodeIdle:
+      return "node_idle";
+    case EventKind::kContextSwitch:
+      return "context_switch";
+    case EventKind::kMigration:
+      return "migration";
+    case EventKind::kGc:
+      return "gc";
+  }
+  return "?";
+}
+
+const char* to_string(StepCode code) noexcept {
+  switch (code) {
+    case StepCode::kInit:
+      return "init";
+    case StepCode::kIteration:
+      return "iteration";
+    case StepCode::kTracked:
+      return "tracked";
+    case StepCode::kMigration:
+      return "migration";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events) {
+  ACTRACK_CHECK(max_events > 0);
+}
+
+void TraceRecorder::record(const Event& event) {
+  if (size_ >= max_events_) {
+    dropped_ += 1;
+    return;
+  }
+  if (chunks_.empty() || chunks_.back().size() == kChunkEvents) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkEvents);
+  }
+  chunks_.back().push_back(event);
+  size_ += 1;
+}
+
+std::vector<Event> TraceRecorder::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for_each([&out](const Event& event) { out.push_back(event); });
+  return out;
+}
+
+void TraceRecorder::clear() noexcept {
+  chunks_.clear();
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace actrack::obs

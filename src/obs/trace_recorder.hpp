@@ -1,0 +1,56 @@
+// TraceRecorder — a bounded, chunked event buffer.
+//
+// Events are appended into fixed-size chunks so recording a long run
+// never reallocates or copies what is already stored; the total event
+// count is capped (default one million) so a pathological run cannot
+// exhaust memory — beyond the cap events are counted as dropped rather
+// than stored.  The recorder is single-run state: one Probe owns one
+// recorder, and trials in a parallel sweep each own their own, so no
+// synchronisation is needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace actrack::obs {
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+  static constexpr std::size_t kChunkEvents = 4096;
+
+  explicit TraceRecorder(std::size_t max_events = kDefaultCapacity);
+
+  /// Appends one event; drops (and counts) it once the cap is reached.
+  void record(const Event& event);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return max_events_; }
+
+  /// Visits every stored event in recording order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const std::vector<Event>& chunk : chunks_) {
+      for (const Event& event : chunk) fn(event);
+    }
+  }
+
+  /// Copy of every stored event in recording order (exporters and
+  /// tests; prefer for_each when no reordering is needed).
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  void clear() noexcept;
+
+ private:
+  std::size_t max_events_;
+  std::size_t size_ = 0;
+  std::int64_t dropped_ = 0;
+  std::vector<std::vector<Event>> chunks_;
+};
+
+}  // namespace actrack::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/probe.hpp"
 #include "trace/trace_utils.hpp"
 
 namespace actrack {
@@ -30,6 +31,12 @@ ClusterRuntime::ClusterRuntime(const Workload& workload, Placement placement,
                                      config.dsm);
   sched_ = std::make_unique<ClusterScheduler>(dsm_.get(), net_.get(),
                                               config.sched);
+  probe_ = config.probe;
+  if (probe_) {
+    net_->set_probe(probe_);
+    dsm_->set_probe(probe_);
+    sched_->set_probe(probe_);
+  }
 }
 
 ClusterRuntime::Snapshot ClusterRuntime::snapshot() const {
@@ -60,6 +67,13 @@ IterationMetrics ClusterRuntime::run_init() {
 IterationMetrics ClusterRuntime::run_iteration() {
   const IterationTrace trace = workload_->iteration(next_iteration_);
   validate_trace(trace, workload_->num_pages());
+  if (probe_) {
+    // The scheduler's clocks restart at zero each step; the probe
+    // rebases its timestamps onto the cumulative simulated time.
+    probe_->begin_step(next_iteration_ == 0 ? obs::StepCode::kInit
+                                            : obs::StepCode::kIteration,
+                       next_iteration_, totals_.elapsed_us);
+  }
   const Snapshot snap = snapshot();
   const IterationResult result = sched_->run_iteration(trace, placement_);
   next_iteration_ += 1;
@@ -72,6 +86,10 @@ IterationMetrics ClusterRuntime::run_iteration() {
 TrackedIterationMetrics ClusterRuntime::run_tracked_iteration() {
   const IterationTrace trace = workload_->iteration(next_iteration_);
   validate_trace(trace, workload_->num_pages());
+  if (probe_) {
+    probe_->begin_step(obs::StepCode::kTracked, next_iteration_,
+                       totals_.elapsed_us);
+  }
   const Snapshot snap = snapshot();
   TrackedIterationMetrics out;
   out.tracking = sched_->run_tracked_iteration(trace, placement_);
@@ -82,6 +100,10 @@ TrackedIterationMetrics ClusterRuntime::run_tracked_iteration() {
 }
 
 IterationMetrics ClusterRuntime::migrate_to(const Placement& target) {
+  if (probe_) {
+    probe_->begin_step(obs::StepCode::kMigration, next_iteration_,
+                       totals_.elapsed_us);
+  }
   const Snapshot snap = snapshot();
   const MigrationResult result = sched_->migrate(placement_, target);
   placement_ = target;

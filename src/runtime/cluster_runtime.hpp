@@ -18,12 +18,20 @@
 #include "placement/placement.hpp"
 #include "sched/scheduler.hpp"
 
+namespace actrack::obs {
+class Probe;
+}
+
 namespace actrack {
 
 struct RuntimeConfig {
   CostModel cost;
   DsmConfig dsm;
   SchedConfig sched;
+  /// Optional observability probe (non-owning; must outlive the
+  /// runtime).  Null — the default — leaves every component on its
+  /// untraced path and results bit-identical.
+  obs::Probe* probe = nullptr;
 };
 
 /// Delta of protocol/network activity over one operation.
@@ -99,6 +107,7 @@ class ClusterRuntime {
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<DsmSystem> dsm_;
   std::unique_ptr<ClusterScheduler> sched_;
+  obs::Probe* probe_ = nullptr;  // non-owning, may be null
   std::int32_t next_iteration_ = 0;
   IterationMetrics totals_;
 };

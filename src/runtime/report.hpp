@@ -8,7 +8,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/cluster_runtime.hpp"
@@ -23,6 +25,10 @@ enum class StepKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(StepKind kind) noexcept;
+
+/// Inverse of to_string(StepKind): nullopt for unrecognised names.
+[[nodiscard]] std::optional<StepKind> step_kind_from_string(
+    std::string_view name) noexcept;
 
 class MetricsLog {
  public:
@@ -44,7 +50,9 @@ class MetricsLog {
   [[nodiscard]] IterationMetrics total(StepKind kind) const;
 
   /// Writes "index,kind,elapsed_us,remote_misses,read_faults,
-  /// write_faults,messages,total_bytes,diff_bytes,gc_runs" rows.
+  /// write_faults,messages,total_bytes,diff_bytes,gc_runs,sim_time_us"
+  /// rows; sim_time_us is the cumulative simulated time at which the
+  /// step began.
   void write_csv(std::ostream& out) const;
 
   /// Human-readable one-line summary of the run.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/probe.hpp"
 
 namespace actrack {
 
@@ -133,6 +134,9 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
       // The node sat idle until this thread's wake (remote fetch
       // completion or lock grant).
       result.node_idle_us[node_idx] += tr.ready_at - node.clock;
+      if (probe_) {
+        probe_->node_idle(tr.node, node.clock, tr.ready_at - node.clock);
+      }
       node.clock = tr.ready_at;
     }
 
@@ -154,7 +158,9 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
           lock.held = true;
           tr.lock_granted = true;
           result.lock_acquires += 1;
-          if (lock.last_holder != kNoNode && lock.last_holder != tr.node) {
+          const bool remote_transfer =
+              lock.last_holder != kNoNode && lock.last_holder != tr.node;
+          if (remote_transfer) {
             node.clock += cost.lock_transfer_us;
             node.clock +=
                 dsm_->lock_transfer(lock.last_holder, tr.node, seg.lock_id);
@@ -163,16 +169,32 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
             node.clock += cost.lock_local_us;
           }
           lock.last_holder = tr.node;
+          if (probe_) {
+            probe_->lock_acquire(tr.node, tr.id, seg.lock_id, remote_transfer,
+                                 node.clock);
+          }
         }
         enter_segment(tr, seg);
       }
 
       while (tr.acc < seg.accesses.size()) {
         node.clock += compute_time(tr.compute_share, tr.node);
-        const AccessOutcome outcome =
-            dsm_->access(tr.node, tr.id, seg.accesses[tr.acc]);
+        const PageAccess& pa = seg.accesses[tr.acc];
+        const SimTime access_at = node.clock;
+        if (probe_) probe_->set_context(tr.node, tr.id, node.clock);
+        const AccessOutcome outcome = dsm_->access(tr.node, tr.id, pa);
         node.clock += compute_time(outcome.local_us, tr.node);
         tr.acc += 1;
+        if (probe_) {
+          if (outcome.read_fault || outcome.write_fault) {
+            probe_->page_fault(tr.node, tr.id, pa.page, outcome.write_fault,
+                               access_at);
+          }
+          if (outcome.remote_miss) {
+            probe_->remote_fetch(tr.node, tr.id, pa.page, node.clock,
+                                 outcome.remote_us);
+          }
+        }
         if (outcome.remote_us > 0) {
           if (config_.latency_hiding && !node.runnable.empty()) {
             // Hide the fetch behind another runnable thread.
@@ -180,6 +202,7 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
             wakes.push(WakeEvent{tr.ready_at, t});
             node.clock += cost.context_switch_us;
             result.context_switches += 1;
+            if (probe_) probe_->context_switch(tr.node, tr.id, node.clock);
             return;
           }
           node.clock += outcome.remote_us;  // stall
@@ -189,7 +212,11 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
       node.clock += compute_time(tr.compute_tail, tr.node);
       if (seg.lock_id >= 0) {
         // Release is a consistency release: diff dirty pages first.
+        if (probe_) probe_->set_context(tr.node, tr.id, node.clock);
         node.clock += compute_time(dsm_->release_node(tr.node), tr.node);
+        if (probe_) {
+          probe_->lock_release(tr.node, tr.id, seg.lock_id, node.clock);
+        }
         LockRun& lock = locks[seg.lock_id];
         ACTRACK_CHECK(lock.held);
         lock.held = false;
@@ -212,6 +239,10 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
           lock.last_holder = waiter.node;
           waiter.ready_at = std::max(waiter.ready_at, grant_at);
           wakes.push(WakeEvent{waiter.ready_at, w});
+          if (probe_) {
+            probe_->lock_acquire(waiter.node, waiter.id, seg.lock_id,
+                                 waiter.node != tr.node, waiter.ready_at);
+          }
         }
       }
       tr.seg += 1;
@@ -262,17 +293,26 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
   SimTime arrival = 0;
   for (NodeId n = 0; n < num_nodes; ++n) {
     NodeRun& node = nodes[static_cast<std::size_t>(n)];
+    if (probe_) probe_->set_context(n, kNoThread, node.clock);
     node.clock += compute_time(dsm_->release_node(n), n);
+    if (probe_) probe_->barrier_arrive(n, node.clock);
     arrival = std::max(arrival, node.clock);
   }
   for (NodeId n = 0; n < num_nodes; ++n) {
     // Waiting at the barrier for the slowest node is idle time.
-    result.node_idle_us[static_cast<std::size_t>(n)] +=
-        arrival - nodes[static_cast<std::size_t>(n)].clock;
+    const SimTime node_clock = nodes[static_cast<std::size_t>(n)].clock;
+    result.node_idle_us[static_cast<std::size_t>(n)] += arrival - node_clock;
+    if (probe_) probe_->node_idle(n, node_clock, arrival - node_clock);
   }
+  if (probe_) probe_->set_context(kNoNode, kNoThread, arrival);
   const SimTime gc_cost = dsm_->barrier_epoch();
   PhaseOutcome outcome;
   outcome.phase_end_us = arrival + net_->cost().barrier_us + gc_cost;
+  if (probe_) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      probe_->barrier_depart(n, outcome.phase_end_us);
+    }
+  }
   return outcome;
 }
 
@@ -364,14 +404,22 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
 
       if (seg.lock_id >= 0) {
         TrackedLock& lock = locks[seg.lock_id];
+        if (probe_ && lock.available_at > clock) {
+          probe_->node_idle(n, clock, lock.available_at - clock);
+        }
         clock = std::max(clock, lock.available_at);
-        if (lock.holder == kNoNode || lock.holder == n) {
+        const bool remote_transfer =
+            lock.holder != kNoNode && lock.holder != n;
+        if (!remote_transfer) {
           clock += cost.lock_local_us;
         } else {
           clock += cost.lock_transfer_us;
           clock += dsm_->lock_transfer(lock.holder, n, seg.lock_id);
         }
         lock.holder = n;
+        if (probe_) {
+          probe_->lock_acquire(n, t, seg.lock_id, remote_transfer, clock);
+        }
       }
       clock += compute_time(seg.compute_us, n);
       for (const PageAccess& access : seg.accesses) {
@@ -382,16 +430,31 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
           cursor.armed.reset(access.page);
           result.access_bitmaps[static_cast<std::size_t>(t)].set(access.page);
           result.tracking_faults += 1;
+          if (probe_) probe_->correlation_fault(n, t, access.page, clock);
           clock += cost.tracking_fault_us;
         }
         // If the access would have faulted anyway, it is handled
         // normally by the protocol (an additional fault).  The thread
         // scheduler is disabled, so remote latency is not hidden.
+        const SimTime access_at = clock;
+        if (probe_) probe_->set_context(n, t, clock);
         const AccessOutcome outcome = dsm_->access(n, t, access);
-        clock += compute_time(outcome.local_us, n) + outcome.remote_us;
+        clock += compute_time(outcome.local_us, n);
+        if (probe_) {
+          if (outcome.read_fault || outcome.write_fault) {
+            probe_->page_fault(n, t, access.page, outcome.write_fault,
+                               access_at);
+          }
+          if (outcome.remote_miss) {
+            probe_->remote_fetch(n, t, access.page, clock, outcome.remote_us);
+          }
+        }
+        clock += outcome.remote_us;
       }
       if (seg.lock_id >= 0) {
+        if (probe_) probe_->set_context(n, t, clock);
         clock += compute_time(dsm_->release_node(n), n);
+        if (probe_) probe_->lock_release(n, t, seg.lock_id, clock);
         locks[seg.lock_id].available_at = clock;
       }
       cursor.segment_idx += 1;
@@ -415,11 +478,24 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
     SimTime max_node_clock = now;
     for (NodeId n = 0; n < num_nodes; ++n) {
       NodeCursor& cursor = cursors[static_cast<std::size_t>(n)];
+      if (probe_) probe_->set_context(n, kNoThread, cursor.clock);
       cursor.clock += compute_time(dsm_->release_node(n), n);
+      if (probe_) probe_->barrier_arrive(n, cursor.clock);
       max_node_clock = std::max(max_node_clock, cursor.clock);
+    }
+    if (probe_) {
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        const SimTime node_clock =
+            cursors[static_cast<std::size_t>(n)].clock;
+        probe_->node_idle(n, node_clock, max_node_clock - node_clock);
+      }
+      probe_->set_context(kNoNode, kNoThread, max_node_clock);
     }
     const SimTime gc_cost = dsm_->barrier_epoch();
     now = max_node_clock + cost.barrier_us + gc_cost;
+    if (probe_) {
+      for (NodeId n = 0; n < num_nodes; ++n) probe_->barrier_depart(n, now);
+    }
   }
 
   result.elapsed_us = now;
@@ -441,6 +517,7 @@ MigrationResult ClusterScheduler::migrate(const Placement& from,
     const NodeId dst = to.node_of(t);
     if (src == dst) continue;
     result.threads_moved += 1;
+    if (probe_) probe_->migration(t, src, dst);
     const SimTime transfer =
         net_->send(src, dst, cost.thread_stack_bytes, PayloadKind::kStack);
     outgoing[static_cast<std::size_t>(src)] += transfer;
@@ -451,8 +528,10 @@ MigrationResult ClusterScheduler::migrate(const Placement& from,
   // the source, so all nodes flush and exchange write notices.
   SimTime flush_max = 0;
   for (NodeId n = 0; n < num_nodes; ++n) {
+    if (probe_) probe_->set_context(n, kNoThread, 0);
     flush_max = std::max(flush_max, dsm_->release_node(n));
   }
+  if (probe_) probe_->set_context(kNoNode, kNoThread, flush_max);
   const SimTime gc_cost = dsm_->barrier_epoch();
 
   SimTime longest = 0;

@@ -29,6 +29,10 @@
 #include "placement/placement.hpp"
 #include "trace/access.hpp"
 
+namespace actrack::obs {
+class Probe;
+}
+
 namespace actrack {
 
 struct SchedConfig {
@@ -100,6 +104,10 @@ class ClusterScheduler {
     config_.latency_hiding = enabled;
   }
 
+  /// Attaches an observability probe (null detaches).  Hooks only read
+  /// simulation state; a probed run computes identical results.
+  void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
+
  private:
   struct PhaseOutcome {
     SimTime phase_end_us = 0;  // barrier completion time
@@ -116,6 +124,7 @@ class ClusterScheduler {
   DsmSystem* dsm_;       // non-owning
   NetworkModel* net_;    // non-owning
   SchedConfig config_;
+  obs::Probe* probe_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace actrack

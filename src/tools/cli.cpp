@@ -14,6 +14,8 @@
 #include "exp/experiment.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "obs/export.hpp"
+#include "obs/probe.hpp"
 #include "placement/heuristics.hpp"
 #include "runtime/adaptive.hpp"
 #include "runtime/cluster_runtime.hpp"
@@ -216,6 +218,7 @@ int cmd_sweep(const Options& options, std::ostream& out) {
     spec.schedule.settle_iterations = 1;
     spec.schedule.measured_iterations = options.iterations;
     spec.seed = options.seed;
+    spec.trace_dir = options.trace_dir;
     specs.push_back(std::move(spec));
   }
 
@@ -242,6 +245,58 @@ int cmd_sweep(const Options& options, std::ostream& out) {
   if (dest == &file) {
     out << "sweep results written to " << options.csv_path << '\n';
   }
+  if (!options.trace_dir.empty()) {
+    out << "per-trial traces written to " << options.trace_dir << '\n';
+  }
+  return 0;
+}
+
+int cmd_profile(const Options& options, std::ostream& out) {
+  if (options.trace_path.empty()) fail("profile: --trace PATH required");
+  const auto workload = make_workload(options.app, options.threads);
+
+  obs::Probe probe;
+  RuntimeConfig config = config_for(options);
+  config.probe = &probe;
+  ClusterRuntime runtime(*workload, placement_for(options, *workload),
+                         config);
+  runtime.run_init();
+  for (std::int32_t i = 0; i < options.iterations; ++i) {
+    runtime.run_iteration();
+  }
+  runtime.run_tracked_iteration();
+
+  {
+    std::ofstream trace(options.trace_path);
+    if (!trace.good()) fail("cannot open " + options.trace_path);
+    obs::write_chrome_trace(probe.trace(), trace);
+  }
+  out << "profiled " << workload->name() << ": " << probe.trace().size()
+      << " events";
+  if (probe.trace().dropped() > 0) {
+    out << " (" << probe.trace().dropped() << " dropped at the "
+        << probe.trace().capacity() << "-event cap)";
+  }
+  out << " -> " << options.trace_path << '\n';
+  if (!options.timeline_path.empty()) {
+    std::ofstream svg(options.timeline_path);
+    if (!svg.good()) fail("cannot open " + options.timeline_path);
+    svg << obs::render_utilization_timeline(probe.trace(), options.nodes);
+    out << "utilization timeline written to " << options.timeline_path
+        << '\n';
+  }
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv.good()) fail("cannot open " + options.csv_path);
+    obs::write_event_csv(probe.trace(), csv);
+    out << "event dump written to " << options.csv_path << '\n';
+  }
+  const obs::Histogram* fetch =
+      probe.metrics().find_histogram("fetch/latency_us");
+  out << "remote misses: " << runtime.totals().remote_misses
+      << " (fetch-latency histogram count "
+      << (fetch != nullptr ? fetch->count() : 0) << ")\n";
+  probe.metrics().write_summary(out);
   return 0;
 }
 
@@ -339,6 +394,9 @@ std::string usage() {
       "  adaptive                   adaptive controller on a drifting app\n"
       "  record   --app --trace F   dump the app's traces to a file\n"
       "  replay   --trace F         run a recorded/authored trace file\n"
+      "  profile  --app --trace F   run with event tracing: Chrome trace\n"
+      "                             JSON (Perfetto-loadable), utilization\n"
+      "                             SVG, event CSV, metric summary\n"
       "flags:\n"
       "  --app NAME            Barnes|FFT6|FFT7|FFT8|LU1k|LU2k|Ocean|\n"
       "                        Spatial|SOR|Water        (default SOR)\n"
@@ -355,8 +413,13 @@ std::string usage() {
       "  --seed N              RNG seed                  (default 1999)\n"
       "  --no-latency-hiding   disable switch-on-remote-fetch\n"
       "  --pgm PATH            write the correlation map as PGM (track)\n"
-      "  --csv PATH            write metrics to a file (run, sweep)\n"
-      "  --trace PATH          trace file to record to / replay from\n"
+      "  --csv PATH            write metrics to a file (run, sweep) or\n"
+      "                        the event dump (profile)\n"
+      "  --trace PATH          trace file to record to / replay from, or\n"
+      "                        the Chrome trace JSON output (profile)\n"
+      "  --timeline PATH       write the per-node utilization SVG (profile)\n"
+      "  --trace-dir DIR       write one Chrome trace per trial (sweep);\n"
+      "                        the directory must exist\n"
       "  --ascii               print the correlation map (track)\n";
 }
 
@@ -367,7 +430,7 @@ Options parse(const std::vector<std::string>& args) {
 
   const auto known = {"list",    "info",    "run",     "track",
                       "cutcost", "sweep",   "passive", "adaptive",
-                      "record",  "replay"};
+                      "record",  "replay",  "profile"};
   bool ok = false;
   for (const char* candidate : known) {
     if (options.command == candidate) ok = true;
@@ -413,6 +476,10 @@ Options parse(const std::vector<std::string>& args) {
       options.csv_path = next();
     } else if (flag == "--trace") {
       options.trace_path = next();
+    } else if (flag == "--timeline") {
+      options.timeline_path = next();
+    } else if (flag == "--trace-dir") {
+      options.trace_dir = next();
     } else if (flag == "--ascii") {
       options.ascii = true;
     } else {
@@ -442,6 +509,7 @@ int run(const Options& options, std::ostream& out) {
   if (options.command == "adaptive") return cmd_adaptive(options, out);
   if (options.command == "record") return cmd_record(options, out);
   if (options.command == "replay") return cmd_replay(options, out);
+  if (options.command == "profile") return cmd_profile(options, out);
   return 2;  // unreachable: parse() validates commands
 }
 

@@ -21,6 +21,8 @@
 //   actrack adaptive [--period 8] [--iterations 48]
 //   actrack record  --app FFT6 --trace out.actrace [--iterations 4]
 //   actrack replay  --trace out.actrace [--placement mincost] ...
+//   actrack profile --app SOR --trace out.json [--timeline out.svg]
+//                   [--csv events.csv] [--iterations 4]
 #pragma once
 
 #include <iosfwd>
@@ -49,6 +51,8 @@ struct Options {
   std::string pgm_path;
   std::string csv_path;
   std::string trace_path;
+  std::string timeline_path;  // profile: utilization SVG
+  std::string trace_dir;      // sweep: one Chrome trace per trial
 };
 
 /// Parses argv into Options.  Throws std::invalid_argument with a

@@ -243,6 +243,80 @@ TEST(CliRun, CsvFlagWritesMetricsFile) {
   std::remove(path.c_str());
 }
 
+TEST(CliParse, ProfileParsesObservabilityFlags) {
+  const Options o = parse_ok({"profile", "--app", "FFT6", "--trace",
+                              "t.json", "--timeline", "u.svg", "--csv",
+                              "e.csv", "--iterations", "2"});
+  EXPECT_EQ(o.command, "profile");
+  EXPECT_EQ(o.trace_path, "t.json");
+  EXPECT_EQ(o.timeline_path, "u.svg");
+  EXPECT_EQ(o.csv_path, "e.csv");
+}
+
+TEST(CliRun, ProfileWithoutTracePathFails) {
+  std::ostringstream out;
+  EXPECT_THROW((void)run(parse_ok({"profile", "--app", "SOR"}), out),
+               std::invalid_argument);
+}
+
+TEST(CliRun, ProfileWritesTraceTimelineAndEventCsv) {
+  const std::string trace = ::testing::TempDir() + "cli_profile.trace.json";
+  const std::string svg = ::testing::TempDir() + "cli_profile.svg";
+  const std::string csv = ::testing::TempDir() + "cli_profile_events.csv";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"profile", "--app", "SOR", "--threads", "16",
+                          "--nodes", "4", "--iterations", "2", "--trace",
+                          trace.c_str(), "--timeline", svg.c_str(), "--csv",
+                          csv.c_str()}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("profiled SOR"), std::string::npos);
+  EXPECT_NE(out.str().find("remote misses"), std::string::npos);
+  EXPECT_NE(out.str().find("fetch/latency_us"), std::string::npos);
+
+  std::ifstream json(trace);
+  std::string first;
+  std::getline(json, first);
+  EXPECT_NE(first.find("\"traceEvents\""), std::string::npos);
+
+  std::ifstream timeline(svg);
+  std::string svg_first;
+  std::getline(timeline, svg_first);
+  EXPECT_NE(svg_first.find("<svg"), std::string::npos);
+
+  std::ifstream events(csv);
+  std::string header;
+  std::getline(events, header);
+  EXPECT_EQ(header, "time_us,kind,node,thread,a,b");
+
+  std::remove(trace.c_str());
+  std::remove(svg.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliRun, SweepTraceDirWritesOneTracePerTrial) {
+  const std::string dir = ::testing::TempDir();
+  std::ostringstream out;
+  EXPECT_EQ(run(parse_ok({"sweep", "--app", "SOR", "--threads", "16",
+                          "--nodes", "4", "--iterations", "1",
+                          "--trace-dir", dir.c_str()}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("per-trial traces written to"),
+            std::string::npos);
+  int traces = 0;
+  for (int trial = 0; trial < 3; ++trial) {  // one per placement strategy
+    const std::string path =
+        dir + "sweep_t" + std::to_string(trial) + ".trace.json";
+    std::ifstream json(path);
+    if (json.good()) {
+      traces += 1;
+      std::remove(path.c_str());
+    }
+  }
+  EXPECT_EQ(traces, 3);
+}
+
 TEST(CliMain, BadArgsPrintUsageAndReturn2) {
   std::ostringstream out, err;
   EXPECT_EQ(main_impl({"nonsense"}, out, err), 2);

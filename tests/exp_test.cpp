@@ -3,10 +3,14 @@
 // TrialRunner is bit-identical to a serial one, and the sink pipeline.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exp/args.hpp"
 #include "exp/experiment.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
@@ -259,6 +263,64 @@ TEST(TableSinkTest, RendersHeadlineColumnsAndExtras) {
   EXPECT_NE(out.str().find("Water/min-cost"), std::string::npos);
   EXPECT_NE(out.str().find("2.500"), std::string::npos);
   EXPECT_NE(out.str().find("1234"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsDuplicateFlagDeclarations) {
+  // Declaring the same flag twice used to silently register two help
+  // entries; whichever paired *_flag call ran second would re-consume
+  // (or miss) the argv token.  Now it is a programming error.
+  char program[] = "bench";
+  char* argv[] = {program};
+  ArgParser args(1, argv, "duplicate-flag regression");
+  (void)args.int_flag("--configs", 1, "first declaration");
+  EXPECT_THROW((void)args.int_flag("--configs", 2, "second declaration"),
+               std::logic_error);
+  // Also across flag types: the registry is per-name, not per-type.
+  EXPECT_THROW((void)args.string_flag("--configs", "x", "as a string"),
+               std::logic_error);
+  EXPECT_THROW((void)args.bool_flag("--configs", "as a bool"),
+               std::logic_error);
+  // A genuinely new flag is still fine afterwards.
+  EXPECT_EQ(args.int_flag("--jobs", 4, "unrelated"), 4);
+}
+
+TEST(TrialRunner, TraceDirWritesOneChromeTracePerTrial) {
+  std::vector<ExperimentSpec> specs = standard_sweep();
+  for (ExperimentSpec& spec : specs) spec.trace_dir = ::testing::TempDir();
+  TrialRunner runner({/*jobs=*/2});
+  const std::vector<TrialRecord> records = runner.run(specs, nullptr);
+  ASSERT_EQ(records.size(), 3u);
+  // Body-less trials (0 and 1 run schedules, 2 is tracked) each write
+  // exp_test_t<trial>.trace.json; verify they exist and are non-trivial.
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::string path = ::testing::TempDir() + "exp_test_t" +
+                             std::to_string(trial) + ".trace.json";
+    std::ifstream json(path);
+    ASSERT_TRUE(json.good()) << path;
+    std::string first;
+    std::getline(json, first);
+    EXPECT_NE(first.find("\"traceEvents\""), std::string::npos) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TrialRunner, TracedSweepMatchesUntracedResults) {
+  // Attaching per-trial probes must not perturb any measured metric.
+  std::vector<ExperimentSpec> untraced = standard_sweep();
+  std::vector<ExperimentSpec> traced = standard_sweep();
+  for (ExperimentSpec& spec : traced) spec.trace_dir = ::testing::TempDir();
+  TrialRunner runner({/*jobs=*/1});
+  const std::vector<TrialRecord> a = runner.run(untraced, nullptr);
+  const std::vector<TrialRecord> b = runner.run(traced, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(records_equal(a[i], b[i])) << i;
+  }
+  for (int trial = 0; trial < 3; ++trial) {
+    std::remove((::testing::TempDir() + "exp_test_t" +
+                 std::to_string(trial) + ".trace.json")
+                    .c_str());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,290 @@
+// Exporter tests: the Chrome trace document is well-formed JSON, every
+// lane's events are time-ordered, duration (B/E) pairs nest by name,
+// and the CSV / timeline exporters render what the recorder holds.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/probe.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack::obs {
+namespace {
+
+// ---- a minimal JSON validator (no external deps) ---------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- per-event line scraping ----------------------------------------
+
+struct TraceLine {
+  std::string name;
+  char ph = '?';
+  std::int64_t ts = 0;
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+};
+
+std::int64_t field_int(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find("\"" + key + "\": ");
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << line;
+  return std::stoll(line.substr(at + key.size() + 4));
+}
+
+std::string field_string(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find("\"" + key + "\": \"");
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << line;
+  const std::size_t start = at + key.size() + 5;
+  return line.substr(start, line.find('"', start) - start);
+}
+
+/// Data events only (cat "sim"), in document order.
+std::vector<TraceLine> scrape(const std::string& json) {
+  std::vector<TraceLine> lines;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"cat\": \"sim\"") == std::string::npos) continue;
+    TraceLine t;
+    t.name = field_string(line, "name");
+    t.ph = field_string(line, "ph")[0];
+    t.ts = field_int(line, "ts");
+    t.pid = field_int(line, "pid");
+    t.tid = field_int(line, "tid");
+    lines.push_back(std::move(t));
+  }
+  return lines;
+}
+
+/// A probed mini-run covering faults, fetches, barriers and tracking.
+std::string profile_sor(Probe& probe) {
+  const auto w = make_workload("SOR", 16);
+  RuntimeConfig config;
+  config.probe = &probe;
+  ClusterRuntime runtime(*w, Placement::stretch(16, 4), config);
+  runtime.run_init();
+  runtime.run_iteration();
+  runtime.run_tracked_iteration();
+  return chrome_trace_json(probe.trace());
+}
+
+TEST(ChromeTrace, DocumentIsValidJson) {
+  Probe probe;
+  const std::string json = profile_sor(probe);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EventsAreTimeOrderedPerLane) {
+  Probe probe;
+  const std::vector<TraceLine> lines = scrape(profile_sor(probe));
+  ASSERT_FALSE(lines.empty());
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> last;
+  for (const TraceLine& t : lines) {
+    const auto lane = std::make_pair(t.pid, t.tid);
+    const auto it = last.find(lane);
+    if (it != last.end()) {
+      EXPECT_GE(t.ts, it->second) << t.name << " went backwards";
+    }
+    last[lane] = t.ts;
+  }
+  EXPECT_GE(last.size(), 4u);  // at least one lane per node
+}
+
+TEST(ChromeTrace, DurationPairsNestAndBalance) {
+  Probe probe;
+  const std::vector<TraceLine> lines = scrape(profile_sor(probe));
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<std::string>>
+      open;
+  std::int64_t pairs = 0;
+  for (const TraceLine& t : lines) {
+    auto& stack = open[{t.pid, t.tid}];
+    if (t.ph == 'B') {
+      stack.push_back(t.name);
+    } else if (t.ph == 'E') {
+      ASSERT_FALSE(stack.empty()) << "E without B: " << t.name;
+      EXPECT_EQ(stack.back(), t.name) << "mismatched nesting";
+      stack.pop_back();
+      pairs += 1;
+    }
+  }
+  for (const auto& [lane, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed " << stack.size() << " spans";
+  }
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(ChromeTrace, EqualTimestampsKeepRecordingOrder) {
+  // A fetch of zero latency records B then E at the same microsecond;
+  // the stable sort must not swap them.
+  Probe probe;
+  probe.begin_step(StepCode::kIteration, 0, 0);
+  probe.remote_fetch(0, 0, 42, /*start_us=*/10, /*latency_us=*/0);
+  probe.remote_fetch(0, 0, 43, /*start_us=*/10, /*latency_us=*/0);
+  std::vector<TraceLine> lines = scrape(chrome_trace_json(probe.trace()));
+  std::erase_if(lines, [](const TraceLine& t) {
+    return t.ph != 'B' && t.ph != 'E';  // drop the step marker
+  });
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].ph, 'B');
+  EXPECT_EQ(lines[1].ph, 'E');
+  EXPECT_EQ(lines[2].ph, 'B');
+  EXPECT_EQ(lines[3].ph, 'E');
+}
+
+TEST(EventCsv, OneRowPerEventWithHeader) {
+  Probe probe;
+  probe.begin_step(StepCode::kInit, 0, 0);
+  probe.page_fault(1, 2, 7, /*write=*/true, /*at_us=*/5);
+  probe.gc_run(3);
+  std::ostringstream out;
+  write_event_csv(probe.trace(), out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("time_us,kind,node,thread,a,b", 0), 0u);
+  EXPECT_NE(csv.find("5,page_fault,1,2,7,1"), std::string::npos);
+  EXPECT_NE(csv.find(",step,"), std::string::npos);
+  EXPECT_NE(csv.find(",gc,"), std::string::npos);
+}
+
+TEST(Timeline, RendersOneSeriesPerNode) {
+  Probe probe;
+  probe.begin_step(StepCode::kIteration, 0, 0);
+  probe.node_idle(0, /*start_us=*/0, /*duration_us=*/500);
+  probe.node_idle(1, /*start_us=*/500, /*duration_us=*/500);
+  probe.barrier_arrive(0, 1000);
+  probe.barrier_depart(0, 1000);
+  const std::string svg =
+      render_utilization_timeline(probe.trace(), 2, /*buckets=*/10);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("node 0"), std::string::npos);
+  EXPECT_NE(svg.find("node 1"), std::string::npos);
+  EXPECT_NE(svg.find("utilization"), std::string::npos);
+}
+
+TEST(Timeline, RejectsEmptyTraceAndBadArgs) {
+  Probe probe;
+  EXPECT_THROW((void)render_utilization_timeline(probe.trace(), 2),
+               std::logic_error);
+  probe.barrier_arrive(0, 10);
+  EXPECT_THROW((void)render_utilization_timeline(probe.trace(), 0),
+               std::logic_error);
+  EXPECT_NO_THROW((void)render_utilization_timeline(probe.trace(), 1));
+}
+
+TEST(Timeline, FullRunRenders) {
+  Probe probe;
+  profile_sor(probe);
+  const std::string svg = render_utilization_timeline(probe.trace(), 4);
+  EXPECT_NE(svg.find("node 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actrack::obs

@@ -1,0 +1,234 @@
+// Observability subsystem tests: the recorder's bounded-buffer
+// semantics, the metrics registry, and the two system-level guarantees
+// the Probe design makes — attaching a probe never changes simulation
+// results, and the fetch-latency histogram reconciles with the
+// runtime's remote-miss count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace_recorder.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack::obs {
+namespace {
+
+Event event_at(SimTime t, EventKind kind = EventKind::kPageFault) {
+  Event e;
+  e.time_us = t;
+  e.kind = kind;
+  e.node = 0;
+  e.thread = 0;
+  return e;
+}
+
+TEST(TraceRecorder, StoresEventsInRecordingOrder) {
+  TraceRecorder trace;
+  for (SimTime t = 0; t < 10; ++t) trace.record(event_at(t * 5));
+  EXPECT_EQ(trace.size(), 10u);
+  EXPECT_EQ(trace.dropped(), 0);
+  SimTime expect = 0;
+  trace.for_each([&](const Event& e) {
+    EXPECT_EQ(e.time_us, expect);
+    expect += 5;
+  });
+}
+
+TEST(TraceRecorder, DropsAndCountsBeyondCapacity) {
+  TraceRecorder trace(/*max_events=*/8);
+  for (SimTime t = 0; t < 20; ++t) trace.record(event_at(t));
+  EXPECT_EQ(trace.size(), 8u);
+  EXPECT_EQ(trace.dropped(), 12);
+  EXPECT_EQ(trace.capacity(), 8u);
+  // The stored prefix is the first 8 events, untouched by the drops.
+  const std::vector<Event> events = trace.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.back().time_us, 7);
+}
+
+TEST(TraceRecorder, GrowsAcrossChunksWithoutLoss) {
+  const std::size_t n = TraceRecorder::kChunkEvents * 3 + 17;
+  TraceRecorder trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.record(event_at(static_cast<SimTime>(i)));
+  }
+  EXPECT_EQ(trace.size(), n);
+  const std::vector<Event> events = trace.snapshot();
+  ASSERT_EQ(events.size(), n);
+  EXPECT_EQ(events.front().time_us, 0);
+  EXPECT_EQ(events.back().time_us, static_cast<SimTime>(n - 1));
+}
+
+TEST(TraceRecorder, ClearResetsEverything) {
+  TraceRecorder trace(/*max_events=*/4);
+  for (SimTime t = 0; t < 9; ++t) trace.record(event_at(t));
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.dropped(), 0);
+  trace.record(event_at(1));
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Metrics, CountersCreateOnFirstUseAndAccumulate) {
+  MetricsRegistry metrics;
+  metrics.counter("net/bytes").add(100);
+  metrics.counter("net/bytes").add(28);
+  EXPECT_EQ(metrics.counter_value("net/bytes"), 128);
+  EXPECT_EQ(metrics.counter_value("never-touched"), 0);
+}
+
+TEST(Metrics, HistogramTracksShapeAndBounds) {
+  MetricsRegistry metrics;
+  Histogram& h = metrics.histogram("fetch/latency_us");
+  for (std::int64_t v : {100, 200, 400, 800, 1600}) h.add(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 3100);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 1600);
+  EXPECT_GE(h.quantile(0.5), 100);
+  EXPECT_LE(h.quantile(0.5), 1600);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+  // Quantiles are clamped into [min, max] despite power-of-two buckets.
+  EXPECT_LE(h.quantile(1.0), 1600);
+  EXPECT_GE(h.quantile(0.0), 100);
+}
+
+TEST(Metrics, EmptyHistogramIsWellBehaved) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Metrics, SummaryListsNamesInCreationOrder) {
+  MetricsRegistry metrics;
+  metrics.counter("b/second").add(2);
+  metrics.counter("a/first").add(1);
+  metrics.histogram("lat").add(50);
+  std::ostringstream out;
+  metrics.write_summary(out);
+  const std::string text = out.str();
+  EXPECT_LT(text.find("b/second"), text.find("a/first"));
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST(Probe, StepRebasingProducesAGlobalTimeline) {
+  Probe probe;
+  probe.begin_step(StepCode::kInit, 0, /*base_us=*/0);
+  probe.page_fault(0, 0, 7, /*write=*/false, /*at_us=*/40);
+  probe.begin_step(StepCode::kIteration, 1, /*base_us=*/1000);
+  probe.page_fault(0, 0, 7, /*write=*/true, /*at_us=*/40);
+  const std::vector<Event> events = probe.trace().snapshot();
+  ASSERT_EQ(events.size(), 4u);  // two step markers + two faults
+  EXPECT_EQ(events[1].time_us, 40);
+  EXPECT_EQ(events[2].time_us, 1000);  // step marker at the new base
+  EXPECT_EQ(events[3].time_us, 1040);  // same local offset, rebased
+}
+
+/// Runs the paper's workflow in miniature with an optional probe and
+/// returns the per-step metrics.
+std::vector<IterationMetrics> run_workflow(Probe* probe) {
+  const auto w = make_workload("SOR", 16);
+  RuntimeConfig config;
+  config.probe = probe;
+  ClusterRuntime runtime(*w, Placement::stretch(16, 4), config);
+  std::vector<IterationMetrics> steps;
+  steps.push_back(runtime.run_init());
+  for (int i = 0; i < 3; ++i) steps.push_back(runtime.run_iteration());
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  steps.push_back(tracked.metrics);
+  steps.push_back(runtime.run_iteration());
+  return steps;
+}
+
+void expect_metrics_equal(const IterationMetrics& a,
+                          const IterationMetrics& b) {
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(a.remote_misses, b.remote_misses);
+  EXPECT_EQ(a.read_faults, b.read_faults);
+  EXPECT_EQ(a.write_faults, b.write_faults);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.diff_bytes, b.diff_bytes);
+  EXPECT_EQ(a.gc_runs, b.gc_runs);
+  EXPECT_DOUBLE_EQ(a.load_imbalance, b.load_imbalance);
+}
+
+TEST(Probe, AttachingAProbeNeverChangesResults) {
+  // The subsystem's core contract: a probed run is bit-identical to an
+  // unprobed one, step by step.
+  const std::vector<IterationMetrics> bare = run_workflow(nullptr);
+  Probe probe;
+  const std::vector<IterationMetrics> probed = run_workflow(&probe);
+  ASSERT_EQ(bare.size(), probed.size());
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_metrics_equal(bare[i], probed[i]);
+  }
+  EXPECT_GT(probe.trace().size(), 0u);
+}
+
+TEST(Probe, FetchLatencyHistogramReconcilesWithRemoteMisses) {
+  // Every remote miss the runtime counts is exactly one histogram
+  // sample, so the profile's latency distribution and the metrics CSV
+  // can be cross-checked against each other.
+  const auto w = make_workload("FFT6", 16);
+  Probe probe;
+  RuntimeConfig config;
+  config.probe = &probe;
+  ClusterRuntime runtime(*w, Placement::stretch(16, 4), config);
+  runtime.run_init();
+  for (int i = 0; i < 2; ++i) runtime.run_iteration();
+  runtime.run_tracked_iteration();
+
+  const Histogram* latency = probe.metrics().find_histogram("fetch/latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), runtime.totals().remote_misses);
+  EXPECT_EQ(probe.metrics().counter_value("fetch/remote"),
+            runtime.totals().remote_misses);
+  EXPECT_GT(latency->count(), 0);
+  EXPECT_GT(latency->min(), 0);
+}
+
+TEST(Probe, NetworkCountersMatchNetworkTotals) {
+  const auto w = make_workload("SOR", 16);
+  Probe probe;
+  RuntimeConfig config;
+  config.probe = &probe;
+  ClusterRuntime runtime(*w, Placement::stretch(16, 4), config);
+  runtime.run_init();
+  runtime.run_iteration();
+  EXPECT_EQ(probe.metrics().counter_value("net/messages"),
+            runtime.network().totals().messages);
+  EXPECT_EQ(probe.metrics().counter_value("net/bytes_total"),
+            runtime.network().totals().total_bytes);
+}
+
+TEST(Probe, MigrationEventsCoverEveryMovedThread) {
+  const auto w = make_workload("SOR", 16);
+  Probe probe;
+  RuntimeConfig config;
+  config.probe = &probe;
+  ClusterRuntime runtime(*w, Placement::stretch(16, 4), config);
+  runtime.run_init();
+  runtime.run_iteration();
+  // Reverse the stretch placement: every thread changes node.
+  std::vector<NodeId> nodes(16);
+  for (std::size_t t = 0; t < 16; ++t) {
+    nodes[t] = static_cast<NodeId>(3 - static_cast<NodeId>(t) / 4);
+  }
+  runtime.migrate_to(Placement(nodes, 4));
+  EXPECT_EQ(probe.metrics().counter_value("migration/threads"), 16);
+  std::int64_t migration_events = 0;
+  probe.trace().for_each([&](const Event& e) {
+    if (e.kind == EventKind::kMigration) migration_events += 1;
+  });
+  EXPECT_EQ(migration_events, 16);
+}
+
+}  // namespace
+}  // namespace actrack::obs

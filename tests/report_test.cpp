@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace actrack {
 namespace {
@@ -68,6 +70,44 @@ TEST(MetricsLog, StepKindNames) {
   EXPECT_STREQ(to_string(StepKind::kIteration), "iteration");
   EXPECT_STREQ(to_string(StepKind::kTrackedIteration), "tracked");
   EXPECT_STREQ(to_string(StepKind::kMigration), "migration");
+}
+
+TEST(MetricsLog, StepKindNamesRoundTrip) {
+  for (const StepKind kind :
+       {StepKind::kInit, StepKind::kIteration, StepKind::kTrackedIteration,
+        StepKind::kMigration}) {
+    const auto parsed = step_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(step_kind_from_string("").has_value());
+  EXPECT_FALSE(step_kind_from_string("warmup").has_value());
+  EXPECT_FALSE(step_kind_from_string("Iteration").has_value());
+}
+
+TEST(MetricsLog, CsvCarriesCumulativeSimulatedTime) {
+  // The sim_time_us column is the cumulative simulated time at which
+  // each step *started*, so rows can be aligned with trace timestamps.
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, metrics(100, 5));
+  log.record(StepKind::kIteration, 1, metrics(200, 7));
+  log.record(StepKind::kIteration, 2, metrics(300, 9));
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string csv = out.str();
+  const std::size_t header_end = csv.find('\n');
+  EXPECT_EQ(csv.rfind(",sim_time_us", header_end), header_end - 12);
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  std::vector<std::string> suffixes;
+  while (std::getline(lines, line)) {
+    suffixes.push_back(line.substr(line.rfind(',')));
+  }
+  ASSERT_EQ(suffixes.size(), 3u);
+  EXPECT_EQ(suffixes[0], ",0");
+  EXPECT_EQ(suffixes[1], ",100");
+  EXPECT_EQ(suffixes[2], ",300");
 }
 
 TEST(MetricsLog, EmptyLogIsWellBehaved) {
