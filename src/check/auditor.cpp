@@ -1,0 +1,243 @@
+#include "check/auditor.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace actrack::check {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw CheckFailure("auditor: " + message);
+}
+
+std::string at(NodeId node, PageId page) {
+  return "node " + std::to_string(node) + " page " + std::to_string(page);
+}
+
+bool valid(PageState state) {
+  return state == PageState::kReadOnly || state == PageState::kReadWrite;
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(const DsmSystem* dsm, FaultInjection fault)
+    : dsm_(dsm),
+      fault_(fault),
+      lrc_(dsm->config().model == ConsistencyModel::kLazyReleaseMultiWriter),
+      num_pages_(dsm->num_pages()),
+      num_nodes_(dsm->num_nodes()),
+      expected_dirty_(static_cast<std::size_t>(num_nodes_) *
+                          static_cast<std::size_t>(num_pages_),
+                      0),
+      dirty_list_(static_cast<std::size_t>(num_nodes_)),
+      expected_unconsolidated_(static_cast<std::size_t>(num_pages_), 0),
+      expected_records_(static_cast<std::size_t>(num_pages_), 0),
+      last_epoch_(dsm->epoch()) {}
+
+void InvariantAuditor::on_access(NodeId node, ThreadId thread,
+                                 const PageAccess& access,
+                                 const AccessOutcome& outcome) {
+  (void)thread;
+  (void)outcome;
+  if (!lrc_ || access.kind != AccessKind::kWrite) return;
+  std::int32_t& expected = expected_dirty_[idx(node, access.page)];
+  if (fault_ == FaultInjection::kLeakPageZeroDiffBytes && access.page == 0) {
+    // Injected bug: the books pretend this write accrued nothing.
+  } else {
+    if (expected == 0) {
+      dirty_list_[static_cast<std::size_t>(node)].push_back(access.page);
+    }
+    expected = static_cast<std::int32_t>(std::min<ByteCount>(
+        kPageSize,
+        expected + std::max<std::int32_t>(access.bytes_written, 4)));
+  }
+  const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(node, access.page);
+  if (replica.dirty_bytes != expected) {
+    fail("diff accounting mismatch at " + at(node, access.page) +
+         " — replica holds " + std::to_string(replica.dirty_bytes) +
+         " dirty bytes, books expect " + std::to_string(expected));
+  }
+}
+
+void InvariantAuditor::on_release(NodeId node) {
+  if (!lrc_) {
+    if (dsm_->outstanding_diff_bytes() != 0) {
+      fail("single-writer protocol holds diff storage (" +
+           std::to_string(dsm_->outstanding_diff_bytes()) + " bytes)");
+    }
+    return;
+  }
+  auto& dirty = dirty_list_[static_cast<std::size_t>(node)];
+  for (const PageId page : dirty) {
+    std::int32_t& expected = expected_dirty_[idx(node, page)];
+    expected_records_[static_cast<std::size_t>(page)] += 1;
+    expected_unconsolidated_[static_cast<std::size_t>(page)] += expected;
+    expected_outstanding_ += expected;
+    expected = 0;
+
+    const DsmSystem::PageAudit audit = dsm_->audit_page(page);
+    if (audit.history_records !=
+        expected_records_[static_cast<std::size_t>(page)]) {
+      fail("release published " + std::to_string(audit.history_records) +
+           " records for page " + std::to_string(page) + ", books expect " +
+           std::to_string(expected_records_[static_cast<std::size_t>(page)]));
+    }
+    if (audit.unconsolidated_bytes !=
+        expected_unconsolidated_[static_cast<std::size_t>(page)]) {
+      fail("diff accounting mismatch after release of page " +
+           std::to_string(page) + " — protocol holds " +
+           std::to_string(audit.unconsolidated_bytes) +
+           " unconsolidated bytes, books expect " +
+           std::to_string(
+               expected_unconsolidated_[static_cast<std::size_t>(page)]));
+    }
+  }
+  dirty.clear();
+  // The global ledger must balance after every release; this is the
+  // comparison the injected-fault test trips (the protocol accrued bytes
+  // the corrupted books never saw).
+  if (dsm_->outstanding_diff_bytes() != expected_outstanding_) {
+    fail("diff accounting mismatch after release by node " +
+         std::to_string(node) + " — protocol ledger " +
+         std::to_string(dsm_->outstanding_diff_bytes()) +
+         " bytes, books expect " + std::to_string(expected_outstanding_));
+  }
+}
+
+void InvariantAuditor::audit_lrc_state() {
+  const std::int64_t epoch = dsm_->epoch();
+  ByteCount page_sum = 0;
+  for (PageId page = 0; page < num_pages_; ++page) {
+    const DsmSystem::PageAudit audit = dsm_->audit_page(page);
+    if (audit.history_records !=
+        expected_records_[static_cast<std::size_t>(page)]) {
+      fail("page " + std::to_string(page) + " holds " +
+           std::to_string(audit.history_records) + " records, books expect " +
+           std::to_string(expected_records_[static_cast<std::size_t>(page)]));
+    }
+    if (audit.unconsolidated_bytes !=
+        expected_unconsolidated_[static_cast<std::size_t>(page)]) {
+      fail("page " + std::to_string(page) + " holds " +
+           std::to_string(audit.unconsolidated_bytes) +
+           " unconsolidated bytes, books expect " +
+           std::to_string(
+               expected_unconsolidated_[static_cast<std::size_t>(page)]));
+    }
+    if (audit.newest_epoch > epoch) {
+      fail("page " + std::to_string(page) + " carries a record from epoch " +
+           std::to_string(audit.newest_epoch) + ", beyond the current epoch " +
+           std::to_string(epoch));
+    }
+    page_sum += audit.unconsolidated_bytes;
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(n, page);
+      if (replica.state == PageState::kReadWrite) {
+        fail("writable replica survived the barrier at " + at(n, page));
+      }
+      if (replica.dirty_bytes != 0) {
+        fail("dirty bytes survived the barrier at " + at(n, page));
+      }
+      if (valid(replica.state) &&
+          replica.applied_upto != audit.history_records) {
+        fail("stale valid replica survived the barrier at " + at(n, page) +
+             " (applied_upto " + std::to_string(replica.applied_upto) +
+             " of " + std::to_string(audit.history_records) + ")");
+      }
+    }
+  }
+  if (page_sum != dsm_->outstanding_diff_bytes() ||
+      page_sum != expected_outstanding_) {
+    fail("diff ledger out of balance at barrier — per-page sum " +
+         std::to_string(page_sum) + ", protocol ledger " +
+         std::to_string(dsm_->outstanding_diff_bytes()) + ", books " +
+         std::to_string(expected_outstanding_));
+  }
+}
+
+void InvariantAuditor::audit_sc_state() {
+  // The single-writer protocol never creates twins or diffs; its one
+  // invariant worth walking is copyset / replica-state agreement.  Note
+  // the deliberate relaxation: a standing owner may re-write without
+  // re-invalidating later readers, so we check agreement, not writer
+  // exclusivity (docs/CHECKING.md).
+  if (dsm_->outstanding_diff_bytes() != 0) {
+    fail("single-writer protocol holds diff storage (" +
+         std::to_string(dsm_->outstanding_diff_bytes()) + " bytes)");
+  }
+  for (PageId page = 0; page < num_pages_; ++page) {
+    const DsmSystem::PageAudit audit = dsm_->audit_page(page);
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(n, page);
+      if (replica.dirty_bytes != 0) {
+        fail("single-writer replica carries dirty bytes at " + at(n, page));
+      }
+      const bool in_copyset = ((audit.sc_copyset >> n) & 1) != 0;
+      if (valid(replica.state) && !in_copyset) {
+        fail("valid replica missing from the copyset at " + at(n, page));
+      }
+      if (!valid(replica.state) && in_copyset) {
+        fail("copyset lists an invalid replica at " + at(n, page));
+      }
+      if (replica.state == PageState::kReadWrite && audit.sc_owner != n) {
+        fail("writable replica at " + at(n, page) + " but owner is node " +
+             std::to_string(audit.sc_owner));
+      }
+    }
+  }
+}
+
+void InvariantAuditor::on_barrier() {
+  const std::int64_t epoch = dsm_->epoch();
+  if (epoch <= last_epoch_) {
+    fail("barrier did not advance the epoch (" + std::to_string(last_epoch_) +
+         " -> " + std::to_string(epoch) + ")");
+  }
+  last_epoch_ = epoch;
+  if (lrc_) {
+    audit_lrc_state();
+  } else {
+    audit_sc_state();
+  }
+  barrier_audits_ += 1;
+}
+
+void InvariantAuditor::on_lock_transfer(NodeId from, NodeId to,
+                                        std::int32_t lock_id) {
+  (void)from;
+  (void)to;
+  (void)lock_id;
+  const std::int64_t epoch = dsm_->epoch();
+  if (epoch <= last_epoch_) {
+    fail("lock transfer did not advance the epoch (" +
+         std::to_string(last_epoch_) + " -> " + std::to_string(epoch) + ")");
+  }
+  last_epoch_ = epoch;
+}
+
+void InvariantAuditor::on_gc_page(PageId page, NodeId owner) {
+  if (!lrc_) return;
+  expected_outstanding_ -= expected_unconsolidated_[static_cast<std::size_t>(page)];
+  expected_unconsolidated_[static_cast<std::size_t>(page)] = 0;
+  expected_records_[static_cast<std::size_t>(page)] = 1;
+
+  const DsmSystem::PageAudit audit = dsm_->audit_page(page);
+  if (audit.history_records != 1 || audit.full_page_records != 1 ||
+      audit.unconsolidated_bytes != 0) {
+    fail("gc left page " + std::to_string(page) + " unconsolidated (" +
+         std::to_string(audit.history_records) + " records, " +
+         std::to_string(audit.unconsolidated_bytes) + " bytes)");
+  }
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(n, page);
+    if (n == owner) {
+      if (replica.state != PageState::kReadOnly || replica.applied_upto != 1) {
+        fail("gc owner replica not consolidated at " + at(n, page));
+      }
+    } else if (valid(replica.state)) {
+      fail("gc left a valid non-owner replica at " + at(n, page));
+    }
+  }
+}
+
+}  // namespace actrack::check

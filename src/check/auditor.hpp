@@ -1,0 +1,91 @@
+// Invariant auditor: cross-checks DsmSystem's internal accounting and
+// per-replica state against independently maintained expectations.
+//
+// The auditor keeps its own books from the same hook events the oracle
+// sees — per-replica dirty bytes (using the protocol's clamp rule),
+// per-page write-notice counts and unconsolidated diff bytes — and
+// compares them with the protocol's own aggregates:
+//
+//  * at every access: the replica's dirty-byte counter matches the
+//    clamp-accumulated expectation;
+//  * at every release: each published notice carries exactly the dirty
+//    bytes accrued, and outstanding_diff_bytes() matches the sum;
+//  * at every barrier: a full state walk — epoch monotonicity, no
+//    writable or dirty replica survives the barrier, every valid LRC
+//    replica is fully current, diff accounting balances page by page,
+//    and under the single-writer protocol the copyset bit of every node
+//    agrees with its replica validity;
+//  * at every GC consolidation: the page collapses to one full-page
+//    record, the books drop its bytes, and only the owner keeps a
+//    (current) replica.
+//
+// FaultInjection deliberately corrupts the auditor's books so tests can
+// prove a diff-accounting bug is detected and shrinks to a small
+// reproducer; production checking always uses kNone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check_failure.hpp"
+#include "dsm/protocol.hpp"
+
+namespace actrack::check {
+
+/// Deliberate model corruption for detection tests (test fixture only).
+enum class FaultInjection : std::uint8_t {
+  kNone,
+  /// The books ignore write bytes on page 0, emulating a protocol that
+  /// leaks diff storage: the first write to page 0 trips the dirty-byte
+  /// comparison (and the release-time ledger comparison backstops it).
+  kLeakPageZeroDiffBytes,
+};
+
+class InvariantAuditor final : public DsmCheckHook {
+ public:
+  /// `dsm` must outlive the auditor; attach with dsm->set_check_hook().
+  explicit InvariantAuditor(const DsmSystem* dsm,
+                            FaultInjection fault = FaultInjection::kNone);
+
+  void on_access(NodeId node, ThreadId thread, const PageAccess& access,
+                 const AccessOutcome& outcome) override;
+  void on_release(NodeId node) override;
+  void on_barrier() override;
+  void on_lock_transfer(NodeId from, NodeId to,
+                        std::int32_t lock_id) override;
+  void on_gc_page(PageId page, NodeId owner) override;
+
+  /// Completed barrier-time state walks (tests use this to prove the
+  /// auditor ran, not just stayed silent).
+  [[nodiscard]] std::int64_t barrier_audits() const noexcept {
+    return barrier_audits_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId node, PageId page) const {
+    return static_cast<std::size_t>(node) *
+               static_cast<std::size_t>(num_pages_) +
+           static_cast<std::size_t>(page);
+  }
+
+  void audit_lrc_state();
+  void audit_sc_state();
+
+  const DsmSystem* dsm_;  // non-owning, outlives this
+  FaultInjection fault_;
+  bool lrc_ = true;
+  PageId num_pages_ = 0;
+  NodeId num_nodes_ = 0;
+
+  // Expected books, maintained from hook events.
+  std::vector<std::int32_t> expected_dirty_;        // [node * pages + page]
+  std::vector<std::vector<PageId>> dirty_list_;     // per node
+  std::vector<ByteCount> expected_unconsolidated_;  // per page
+  std::vector<std::int32_t> expected_records_;      // per page
+  ByteCount expected_outstanding_ = 0;
+
+  std::int64_t last_epoch_ = 0;
+  std::int64_t barrier_audits_ = 0;
+};
+
+}  // namespace actrack::check

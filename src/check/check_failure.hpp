@@ -1,0 +1,19 @@
+// The failure type every checking component throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace actrack::check {
+
+/// A detected protocol violation (oracle visibility breach, auditor
+/// invariant breach).  The message names the check, the page/node
+/// involved and the offending values so a shrunk reproducer is
+/// actionable.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace actrack::check

@@ -1,0 +1,112 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/trace_workload.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack::check {
+
+namespace {
+
+/// The stretch placement with node ids mirrored — maximal migration
+/// distance, so the mid-run migration exercises replica state carried
+/// across a placement change.
+Placement reversed_stretch(std::int32_t threads, NodeId nodes) {
+  Placement stretch = Placement::stretch(threads, nodes);
+  std::vector<NodeId> map = stretch.node_of_thread();
+  for (NodeId& node : map) node = nodes - 1 - node;
+  return Placement{std::move(map), nodes};
+}
+
+}  // namespace
+
+std::string CheckVariant::name() const {
+  std::string name = model == ConsistencyModel::kLazyReleaseMultiWriter
+                         ? "lrc"
+                         : "sc";
+  if (model == ConsistencyModel::kLazyReleaseMultiWriter &&
+      causality == CausalityMode::kVectorClock) {
+    name += "-vc";
+  }
+  if (gc) name += "+gc";
+  if (migration) name += "+mig";
+  return name;
+}
+
+std::vector<CheckVariant> standard_variants(
+    std::optional<ConsistencyModel> model) {
+  std::vector<CheckVariant> variants;
+  for (const ConsistencyModel m :
+       {ConsistencyModel::kLazyReleaseMultiWriter,
+        ConsistencyModel::kSequentialSingleWriter}) {
+    if (model && *model != m) continue;
+    for (const bool gc : {false, true}) {
+      for (const bool migration : {false, true}) {
+        variants.push_back(
+            CheckVariant{m, CausalityMode::kTotalOrder, gc, migration});
+      }
+    }
+    if (m == ConsistencyModel::kLazyReleaseMultiWriter) {
+      variants.push_back(CheckVariant{m, CausalityMode::kVectorClock,
+                                      /*gc=*/true, /*migration=*/true});
+    }
+  }
+  return variants;
+}
+
+std::int64_t check_trace_variant(const TraceFile& trace,
+                                 const CheckVariant& variant,
+                                 const CheckOptions& options) {
+  TraceWorkload workload(trace, "check");
+
+  RuntimeConfig config;
+  config.dsm.model = variant.model;
+  config.dsm.causality = variant.causality;
+  config.dsm.gc_enabled = variant.gc;
+  // Small enough that the fuzz traces (a few KB of diffs per barrier)
+  // actually consolidate — same pressure the fuzz test applies.
+  if (variant.gc) config.dsm.gc_threshold_bytes = 512;
+
+  ClusterRuntime runtime(workload, Placement::stretch(workload.num_threads(),
+                                                      options.nodes),
+                         config);
+  ShadowOracle oracle(&runtime.dsm());
+  InvariantAuditor auditor(&runtime.dsm(), options.fault);
+  CheckHookChain chain;
+  chain.add(&oracle);
+  chain.add(&auditor);
+  runtime.dsm().set_check_hook(&chain);
+
+  const auto measured = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(trace.iterations.size()) - 1);
+  runtime.run_init();
+  for (std::int32_t iter = 0; iter < measured; ++iter) {
+    if (variant.migration && iter == measured / 2) {
+      runtime.migrate_to(
+          reversed_stretch(workload.num_threads(), options.nodes));
+    }
+    runtime.run_iteration();
+  }
+  // The tracked iteration drives the same protocol through the
+  // correlation-tracking path; check it too.
+  runtime.run_tracked_iteration();
+  return oracle.checks_performed();
+}
+
+std::optional<CheckReport> check_trace(const TraceFile& trace,
+                                       const std::vector<CheckVariant>& variants,
+                                       const CheckOptions& options) {
+  for (const CheckVariant& variant : variants) {
+    try {
+      check_trace_variant(trace, variant, options);
+    } catch (const std::exception& e) {
+      return CheckReport{variant.name(), e.what()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace actrack::check

@@ -1,0 +1,97 @@
+// Trace checking driver: runs one trace workload through a full
+// ClusterRuntime with the shadow oracle and the invariant auditor
+// attached, across a grid of protocol variants ({LRC, SC} × {GC on/off}
+// × {migration on/off}).  A violation anywhere — oracle freshness,
+// auditor accounting, or an ACTRACK_CHECK tripping inside the protocol
+// — is reported as a CheckReport naming the variant and the failure.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/auditor.hpp"
+#include "check/oracle.hpp"
+#include "dsm/protocol.hpp"
+#include "trace/serialize.hpp"
+
+namespace actrack::check {
+
+/// One protocol configuration a trace is checked under.
+struct CheckVariant {
+  ConsistencyModel model = ConsistencyModel::kLazyReleaseMultiWriter;
+  CausalityMode causality = CausalityMode::kTotalOrder;
+  /// Aggressive garbage collection (tiny threshold, so the fuzz traces
+  /// actually trigger consolidation); off disables GC entirely.
+  bool gc = false;
+  /// Migrate every thread to a reversed placement halfway through.
+  bool migration = false;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// The ISSUE grid: {LRC, SC} × {GC on/off} × {migration on/off}.  The
+/// LRC half additionally runs a vector-clock causality variant of the
+/// fullest configuration (GC + migration).  `model` restricts the grid
+/// to one protocol; std::nullopt keeps both.
+[[nodiscard]] std::vector<CheckVariant> standard_variants(
+    std::optional<ConsistencyModel> model = std::nullopt);
+
+struct CheckOptions {
+  NodeId nodes = 3;
+  /// Deliberate model corruption (detection tests only).
+  FaultInjection fault = FaultInjection::kNone;
+};
+
+/// A detected failure: which variant tripped, and what.
+struct CheckReport {
+  std::string variant;
+  std::string message;
+};
+
+/// Replays `trace` under one variant with oracle + auditor attached;
+/// throws CheckFailure (or std::logic_error from the protocol's own
+/// assertions) on violation.  Returns the number of oracle checks
+/// performed, so callers can assert coverage.
+std::int64_t check_trace_variant(const TraceFile& trace,
+                                 const CheckVariant& variant,
+                                 const CheckOptions& options = {});
+
+/// Replays `trace` under every variant; std::nullopt means clean.
+[[nodiscard]] std::optional<CheckReport> check_trace(
+    const TraceFile& trace, const std::vector<CheckVariant>& variants,
+    const CheckOptions& options = {});
+
+/// Fans one DsmCheckHook call out to several checkers (oracle first,
+/// then auditor, in registration order).
+class CheckHookChain final : public DsmCheckHook {
+ public:
+  void add(DsmCheckHook* hook) { hooks_.push_back(hook); }
+
+  void on_access(NodeId node, ThreadId thread, const PageAccess& access,
+                 const AccessOutcome& outcome) override {
+    for (DsmCheckHook* hook : hooks_) {
+      hook->on_access(node, thread, access, outcome);
+    }
+  }
+  void on_release(NodeId node) override {
+    for (DsmCheckHook* hook : hooks_) hook->on_release(node);
+  }
+  void on_barrier() override {
+    for (DsmCheckHook* hook : hooks_) hook->on_barrier();
+  }
+  void on_lock_transfer(NodeId from, NodeId to,
+                        std::int32_t lock_id) override {
+    for (DsmCheckHook* hook : hooks_) {
+      hook->on_lock_transfer(from, to, lock_id);
+    }
+  }
+  void on_gc_page(PageId page, NodeId owner) override {
+    for (DsmCheckHook* hook : hooks_) hook->on_gc_page(page, owner);
+  }
+
+ private:
+  std::vector<DsmCheckHook*> hooks_;
+};
+
+}  // namespace actrack::check

@@ -1,0 +1,142 @@
+#include "check/fuzz.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "apps/trace_workload.hpp"
+#include "check/shrink.hpp"
+#include "check/workload_gen.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "exp/runner.hpp"
+
+namespace actrack::check {
+
+namespace {
+
+/// Scale schedule for seed i: cycle through thread/page/iteration
+/// shapes so one run covers small crowded address spaces as well as
+/// wider sparse ones (mirrors the fuzz test's parameter grid).
+struct SeedScale {
+  std::int32_t threads;
+  PageId pages;
+  std::int32_t iterations;
+  NodeId nodes;
+};
+
+SeedScale scale_for(std::int64_t i) {
+  return SeedScale{
+      /*threads=*/static_cast<std::int32_t>(4 + i % 9),
+      /*pages=*/static_cast<PageId>(8 + (i % 4) * 8),
+      /*iterations=*/static_cast<std::int32_t>(2 + i % 3),
+      /*nodes=*/static_cast<NodeId>(2 + i % 2),
+  };
+}
+
+struct SeedOutcome {
+  std::optional<CheckReport> report;
+  std::int64_t checks = 0;
+};
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  ACTRACK_CHECK(options.seeds >= 0);
+  const std::vector<CheckVariant> variants = standard_variants(options.model);
+  const auto count = static_cast<std::size_t>(options.seeds);
+
+  // Traces are generated serially up front so they are deterministic in
+  // the seed alone and stay available for shrinking afterwards.
+  std::vector<TraceFile> traces;
+  traces.reserve(count);
+  for (std::int64_t i = 0; i < options.seeds; ++i) {
+    Rng rng(options.base_seed + static_cast<std::uint64_t>(i));
+    const SeedScale scale = scale_for(i);
+    traces.push_back(
+        random_trace(rng, scale.threads, scale.pages, scale.iterations));
+  }
+
+  std::vector<SeedOutcome> outcomes(count);
+  std::vector<exp::ExperimentSpec> specs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    exp::ExperimentSpec& spec = specs[i];
+    spec.experiment = "check-fuzz";
+    spec.label = "seed" + std::to_string(i);
+    spec.seed = options.base_seed + i;
+    const SeedScale scale = scale_for(static_cast<std::int64_t>(i));
+    spec.threads = scale.threads;
+    spec.nodes = scale.nodes;
+    const TraceFile* trace = &traces[i];
+    spec.factory = [trace] {
+      return std::make_unique<TraceWorkload>(*trace, "fuzz");
+    };
+    SeedOutcome* outcome = &outcomes[i];
+    spec.body = [trace, outcome, &variants, &options, scale](
+                    const exp::TrialContext&, exp::TrialRecord& record) {
+      CheckOptions check_options;
+      check_options.nodes = scale.nodes;
+      check_options.fault = options.fault;
+      for (const CheckVariant& variant : variants) {
+        try {
+          outcome->checks +=
+              check_trace_variant(*trace, variant, check_options);
+        } catch (const std::exception& e) {
+          outcome->report = CheckReport{variant.name(), e.what()};
+          break;
+        }
+      }
+      record.add_extra("violations", outcome->report ? 1.0 : 0.0);
+    };
+  }
+
+  exp::TrialRunner runner({options.jobs});
+  (void)runner.run(specs);
+
+  FuzzReport report;
+  report.seeds_run = options.seeds;
+  for (std::size_t i = 0; i < count; ++i) {
+    report.checks_performed += outcomes[i].checks;
+    if (!outcomes[i].report) continue;
+
+    FuzzFailure failure;
+    failure.seed_index = static_cast<std::int64_t>(i);
+    failure.variant = outcomes[i].report->variant;
+    failure.message = outcomes[i].report->message;
+
+    // Find the failing variant again for the shrink predicate: any
+    // exception under that variant counts as "still fails".
+    CheckOptions check_options;
+    check_options.nodes = scale_for(static_cast<std::int64_t>(i)).nodes;
+    check_options.fault = options.fault;
+    const std::string failing_name = failure.variant;
+    CheckVariant failing_variant;
+    for (const CheckVariant& variant : variants) {
+      if (variant.name() == failing_name) failing_variant = variant;
+    }
+    if (options.shrink) {
+      const ShrinkResult shrunk = shrink_trace(
+          traces[i], [&](const TraceFile& candidate) {
+            try {
+              check_trace_variant(candidate, failing_variant, check_options);
+              return false;
+            } catch (const std::exception&) {
+              return true;
+            }
+          });
+      failure.reproducer = shrunk.trace;
+      failure.shrink_attempts = shrunk.attempts;
+    } else {
+      failure.reproducer = traces[i];
+    }
+    if (!options.repro_dir.empty()) {
+      failure.repro_path = options.repro_dir + "/repro_seed" +
+                           std::to_string(i) + "_" + failure.variant +
+                           ".actrace";
+      save_trace_file(failure.reproducer, failure.repro_path);
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+}  // namespace actrack::check

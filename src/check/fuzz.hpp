@@ -1,0 +1,60 @@
+// Seeded fuzz driver: generate random trace workloads (the same
+// generator the fuzz test uses), run each under the shadow oracle and
+// the invariant auditor across the standard protocol-variant grid, and
+// on failure greedily shrink the trace to a minimal reproducer and
+// (optionally) serialise it for replay with `actrack check --trace`.
+//
+// Seeds are deterministic: seed i always produces the same trace at the
+// same scale (threads/pages/iterations cycle with i so one run covers a
+// range of shapes), and results are independent of --jobs (trials are
+// pre-generated and run through exp::TrialRunner's slot-per-trial
+// pattern).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "trace/serialize.hpp"
+
+namespace actrack::check {
+
+struct FuzzOptions {
+  std::int64_t seeds = 50;
+  std::uint64_t base_seed = 0x1999'0DC5ULL;  // ICDCS '99
+  /// Restrict the variant grid to one protocol; nullopt checks both.
+  std::optional<ConsistencyModel> model;
+  std::int32_t jobs = 1;
+  /// Greedily minimise failing traces before reporting them.
+  bool shrink = true;
+  /// Directory to write reproducer .actrace files into (must exist);
+  /// empty keeps reproducers in memory only.
+  std::string repro_dir;
+  /// Deliberate model corruption (detection tests only).
+  FaultInjection fault = FaultInjection::kNone;
+};
+
+struct FuzzFailure {
+  std::int64_t seed_index = 0;
+  std::string variant;
+  std::string message;
+  /// The failing trace, shrunk when FuzzOptions::shrink is set.
+  TraceFile reproducer;
+  std::string repro_path;  // empty unless written to repro_dir
+  std::int64_t shrink_attempts = 0;
+};
+
+struct FuzzReport {
+  std::int64_t seeds_run = 0;
+  /// Oracle assertions across all clean runs (coverage signal).
+  std::int64_t checks_performed = 0;
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool clean() const noexcept { return failures.empty(); }
+};
+
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace actrack::check

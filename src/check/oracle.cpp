@@ -1,0 +1,265 @@
+#include "check/oracle.hpp"
+
+#include <string>
+
+namespace actrack::check {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw CheckFailure("oracle: " + message);
+}
+
+std::string at(NodeId node, PageId page) {
+  return "node " + std::to_string(node) + " page " + std::to_string(page);
+}
+
+bool valid(PageState state) {
+  return state == PageState::kReadOnly || state == PageState::kReadWrite;
+}
+
+}  // namespace
+
+ShadowOracle::ShadowOracle(const DsmSystem* dsm)
+    : dsm_(dsm),
+      lrc_(dsm->config().model == ConsistencyModel::kLazyReleaseMultiWriter),
+      total_order_(dsm->config().causality == CausalityMode::kTotalOrder),
+      num_pages_(dsm->num_pages()),
+      num_nodes_(dsm->num_nodes()),
+      shadow_(static_cast<std::size_t>(num_pages_)),
+      shadow_dirty_(static_cast<std::size_t>(num_nodes_)),
+      is_dirty_(static_cast<std::size_t>(num_nodes_) *
+                    static_cast<std::size_t>(num_pages_),
+                0),
+      known_epoch_(static_cast<std::size_t>(num_nodes_), dsm->epoch()),
+      exempt_(static_cast<std::size_t>(num_nodes_)) {}
+
+void ShadowOracle::check_freshness(NodeId node, PageId page,
+                                   const DsmSystem::ReplicaAudit& replica,
+                                   const char* where) {
+  // A dirty replica is a concurrent multi-writer page: LRC lets the node
+  // keep reading (and writing) its twin-backed copy until its own next
+  // release, whatever the other writers published meanwhile.
+  if (!valid(replica.state) || replica.dirty_bytes > 0) return;
+  const auto& history = shadow_[static_cast<std::size_t>(page)];
+  const auto size = static_cast<std::int64_t>(history.size());
+  const auto exempt_it = exempt_[static_cast<std::size_t>(node)].find(page);
+  const std::int64_t exempt_below =
+      exempt_it == exempt_[static_cast<std::size_t>(node)].end()
+          ? 0
+          : exempt_it->second;
+  checks_ += 1;
+  for (std::int64_t i = replica.applied_upto; i < size; ++i) {
+    const ShadowRecord& rec = history[static_cast<std::size_t>(i)];
+    if (rec.writer == node) continue;      // own publication, locally current
+    if (rec.epoch >= known_epoch_[static_cast<std::size_t>(node)]) continue;
+    if (rec.epoch < exempt_below) continue;
+    fail(std::string(where) + ": stale valid replica at " + at(node, page) +
+         " — record " + std::to_string(i) + " (epoch " +
+         std::to_string(rec.epoch) + " by node " +
+         std::to_string(rec.writer) + ") was propagated by a sync acquire " +
+         "(obligation epoch " +
+         std::to_string(known_epoch_[static_cast<std::size_t>(node)]) +
+         ") but is not applied (applied_upto " +
+         std::to_string(replica.applied_upto) + " of " +
+         std::to_string(size) + ")");
+  }
+}
+
+void ShadowOracle::access_lrc(NodeId node, const PageAccess& access) {
+  const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(node, access.page);
+
+  // The access just completed, so the replica must be usable.
+  if (access.kind == AccessKind::kRead && !valid(replica.state)) {
+    fail("read completed on an invalid replica at " + at(node, access.page));
+  }
+  if (access.kind == AccessKind::kWrite) {
+    if (replica.state != PageState::kReadWrite) {
+      fail("write completed without a writable replica at " +
+           at(node, access.page));
+    }
+    if (replica.dirty_bytes <= 0) {
+      fail("write left no dirty bytes at " + at(node, access.page));
+    }
+    const std::size_t flat = idx(node, access.page);
+    if (!is_dirty_[flat]) {
+      is_dirty_[flat] = 1;
+      shadow_dirty_[static_cast<std::size_t>(node)].push_back(access.page);
+    }
+  }
+
+  // The shadow history must agree on how many notices exist before we
+  // can reason about which of them the replica has applied.
+  const DsmSystem::PageAudit page = dsm_->audit_page(access.page);
+  const auto shadow_size = static_cast<std::int32_t>(
+      shadow_[static_cast<std::size_t>(access.page)].size());
+  if (page.history_records != shadow_size) {
+    fail("write-notice history diverged from shadow at page " +
+         std::to_string(access.page) + " (protocol " +
+         std::to_string(page.history_records) + ", shadow " +
+         std::to_string(shadow_size) + ")");
+  }
+
+  check_freshness(node, access.page, replica, "access");
+}
+
+void ShadowOracle::access_sc(NodeId node, const PageAccess& access) {
+  const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(node, access.page);
+  const DsmSystem::PageAudit page = dsm_->audit_page(access.page);
+  const std::uint64_t node_bit = std::uint64_t{1} << node;
+  checks_ += 1;
+
+  if (page.sc_owner == kNoNode) {
+    fail("access completed on an ownerless page at " + at(node, access.page));
+  }
+  if (access.kind == AccessKind::kRead) {
+    if (!valid(replica.state)) {
+      fail("read completed on an invalid replica at " + at(node, access.page));
+    }
+    if ((page.sc_copyset & node_bit) == 0) {
+      fail("reader missing from the copyset at " + at(node, access.page));
+    }
+  } else {
+    if (page.sc_owner != node) {
+      fail("write completed without ownership at " + at(node, access.page) +
+           " (owner is node " + std::to_string(page.sc_owner) + ")");
+    }
+    if (replica.state != PageState::kReadWrite) {
+      fail("owner not writable after write at " + at(node, access.page));
+    }
+    if ((page.sc_copyset & node_bit) == 0) {
+      fail("owner missing from the copyset at " + at(node, access.page));
+    }
+  }
+}
+
+void ShadowOracle::on_access(NodeId node, ThreadId thread,
+                             const PageAccess& access,
+                             const AccessOutcome& outcome) {
+  (void)thread;
+  (void)outcome;
+  if (lrc_) {
+    access_lrc(node, access);
+  } else {
+    access_sc(node, access);
+  }
+}
+
+void ShadowOracle::on_release(NodeId node) {
+  if (!lrc_) return;
+  const std::int64_t epoch = dsm_->epoch();
+  auto& dirty = shadow_dirty_[static_cast<std::size_t>(node)];
+  for (const PageId page : dirty) {
+    is_dirty_[idx(node, page)] = 0;
+    shadow_[static_cast<std::size_t>(page)].push_back(
+        ShadowRecord{epoch, node});
+    const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(node, page);
+    if (replica.state != PageState::kReadOnly || replica.dirty_bytes != 0) {
+      fail("release left a dirty or writable replica at " + at(node, page));
+    }
+    const DsmSystem::PageAudit audit = dsm_->audit_page(page);
+    const auto shadow_size = static_cast<std::int32_t>(
+        shadow_[static_cast<std::size_t>(page)].size());
+    if (audit.history_records != shadow_size) {
+      fail("release did not publish the expected write notice for page " +
+           std::to_string(page) + " (protocol " +
+           std::to_string(audit.history_records) + " records, shadow " +
+           std::to_string(shadow_size) + ")");
+    }
+    checks_ += 1;
+  }
+  dirty.clear();
+}
+
+void ShadowOracle::on_barrier() {
+  const std::int64_t epoch = dsm_->epoch();
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (!shadow_dirty_[static_cast<std::size_t>(n)].empty()) {
+      fail("barrier reached with unreleased writes on node " +
+           std::to_string(n));
+    }
+    known_epoch_[static_cast<std::size_t>(n)] = epoch;
+    exempt_[static_cast<std::size_t>(n)].clear();
+  }
+  if (!lrc_) return;
+  // Post-barrier sweep: every notice has been propagated to everyone, so
+  // a valid replica must be fully current — this is the "values visible
+  // through the DSM match what LRC permits" assertion at the strongest
+  // sync point.
+  for (PageId page = 0; page < num_pages_; ++page) {
+    const auto size = static_cast<std::int32_t>(
+        shadow_[static_cast<std::size_t>(page)].size());
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(n, page);
+      checks_ += 1;
+      if (!valid(replica.state)) continue;
+      if (replica.dirty_bytes != 0) {
+        fail("post-barrier dirty bytes at " + at(n, page));
+      }
+      if (replica.applied_upto < size) {
+        fail("post-barrier stale valid replica at " + at(n, page) +
+             " (applied_upto " + std::to_string(replica.applied_upto) +
+             " of " + std::to_string(size) + ")");
+      }
+    }
+  }
+}
+
+void ShadowOracle::on_lock_transfer(NodeId from, NodeId to,
+                                    std::int32_t lock_id) {
+  (void)lock_id;
+  if (!lrc_) return;
+  if (from == to) return;  // re-acquire on the same node: no propagation
+  const std::int64_t epoch = dsm_->epoch();
+  auto& exempt = exempt_[static_cast<std::size_t>(to)];
+  if (total_order_) {
+    // Pages now clean were invalidated-if-stale by this acquire; their
+    // exemptions end here.  (Under vector clocks invalidation is only
+    // causal, so exemptions persist until the next barrier.)
+    for (auto it = exempt.begin(); it != exempt.end();) {
+      if (is_dirty_[idx(to, it->first)]) {
+        ++it;
+      } else {
+        it = exempt.erase(it);
+      }
+    }
+    known_epoch_[static_cast<std::size_t>(to)] = epoch;
+  }
+  for (const PageId page : shadow_dirty_[static_cast<std::size_t>(to)]) {
+    exempt[page] = epoch;
+  }
+}
+
+void ShadowOracle::on_gc_page(PageId page, NodeId owner) {
+  if (!lrc_) return;
+  // Consolidation rewrites the history as one full-page record at the
+  // last writer and invalidates every other replica.
+  auto& history = shadow_[static_cast<std::size_t>(page)];
+  history.clear();
+  history.push_back(ShadowRecord{dsm_->epoch(), owner});
+
+  const DsmSystem::PageAudit audit = dsm_->audit_page(page);
+  if (audit.history_records != 1 || audit.full_page_records != 1 ||
+      audit.unconsolidated_bytes != 0) {
+    fail("gc left page " + std::to_string(page) +
+         " unconsolidated (records " +
+         std::to_string(audit.history_records) + ", full " +
+         std::to_string(audit.full_page_records) + ", bytes " +
+         std::to_string(audit.unconsolidated_bytes) + ")");
+  }
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(n, page);
+    checks_ += 1;
+    if (n == owner) {
+      if (replica.state != PageState::kReadOnly ||
+          replica.applied_upto != 1) {
+        fail("gc owner replica not consolidated at " + at(n, page));
+      }
+    } else if (valid(replica.state)) {
+      fail("gc left a valid non-owner replica at " + at(n, page));
+    }
+    exempt_[static_cast<std::size_t>(n)].erase(page);
+  }
+}
+
+}  // namespace actrack::check

@@ -1,0 +1,103 @@
+// Sequentially-consistent shadow-memory oracle.
+//
+// The oracle replays every workload access against a flat shadow address
+// space: per page it mirrors the write-notice history (who published at
+// which epoch), and per replica it tracks the *visibility obligation* —
+// the epoch below which every record must be reflected in a valid
+// replica.  LRC permits a replica to lag behind concurrent writes, but
+// never behind writes that a synchronisation acquire has propagated to
+// its node, so:
+//
+//  * A barrier raises the obligation of every replica to the new epoch.
+//  * A lock acquire (total-order causality) raises the acquirer's
+//    obligation — except for pages the acquirer is itself mid-interval
+//    dirty on, which the protocol deliberately leaves writable (the twin
+//    preserves local modifications; the replica is reconciled at the
+//    node's own next release).  Those pages get a *staleness exemption*
+//    that survives until the next synchronisation at which they are
+//    clean.  Under vector-clock causality only barriers raise
+//    obligations (a lock acquire propagates only causally-prior
+//    notices, which the global epoch order cannot bound).
+//
+// At every access and at every barrier the oracle asserts that what the
+// replica exposes (its applied-record prefix) satisfies its obligation;
+// any stale-but-valid replica the protocol failed to invalidate throws
+// CheckFailure.  Under the single-writer protocol the oracle instead
+// checks reader/owner visibility against the copyset.
+//
+// The oracle only observes — a run with it attached is bit-identical to
+// an unchecked run (verified by tests/check_determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "check/check_failure.hpp"
+#include "dsm/protocol.hpp"
+
+namespace actrack::check {
+
+class ShadowOracle final : public DsmCheckHook {
+ public:
+  /// `dsm` must outlive the oracle; attach with dsm->set_check_hook().
+  explicit ShadowOracle(const DsmSystem* dsm);
+
+  void on_access(NodeId node, ThreadId thread, const PageAccess& access,
+                 const AccessOutcome& outcome) override;
+  void on_release(NodeId node) override;
+  void on_barrier() override;
+  void on_lock_transfer(NodeId from, NodeId to,
+                        std::int32_t lock_id) override;
+  void on_gc_page(PageId page, NodeId owner) override;
+
+  /// Visibility assertions performed so far (tests use this to prove
+  /// the oracle actually exercised its checks, not just stayed silent).
+  [[nodiscard]] std::int64_t checks_performed() const noexcept {
+    return checks_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId node, PageId page) const {
+    return static_cast<std::size_t>(node) *
+               static_cast<std::size_t>(num_pages_) +
+           static_cast<std::size_t>(page);
+  }
+
+  /// Asserts the replica's applied prefix satisfies its obligation.
+  void check_freshness(NodeId node, PageId page,
+                       const DsmSystem::ReplicaAudit& replica,
+                       const char* where);
+
+  void access_lrc(NodeId node, const PageAccess& access);
+  void access_sc(NodeId node, const PageAccess& access);
+
+  struct ShadowRecord {
+    std::int64_t epoch = 0;
+    NodeId writer = kNoNode;
+  };
+
+  const DsmSystem* dsm_;  // non-owning, outlives this
+  bool lrc_ = true;
+  bool total_order_ = true;
+  PageId num_pages_ = 0;
+  NodeId num_nodes_ = 0;
+
+  /// Shadow mirror of each page's write-notice history.
+  std::vector<std::vector<ShadowRecord>> shadow_;
+  /// Pages each node has written since its last release (mirror of the
+  /// protocol's dirty list), plus a flat membership flag.
+  std::vector<std::vector<PageId>> shadow_dirty_;
+  std::vector<char> is_dirty_;  // [node * num_pages + page]
+  /// Per-node obligation: records with epoch < known_epoch_[n] must be
+  /// visible in any clean valid replica held by n...
+  std::vector<std::int64_t> known_epoch_;
+  /// ...except pages with a staleness exemption: records with epoch <
+  /// exempt_[n][page] are excused (the page was dirty at the acquire
+  /// that raised the obligation).
+  std::vector<std::unordered_map<PageId, std::int64_t>> exempt_;
+
+  std::int64_t checks_ = 0;
+};
+
+}  // namespace actrack::check

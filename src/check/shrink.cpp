@@ -1,0 +1,219 @@
+#include "check/shrink.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+namespace actrack::check {
+
+namespace {
+
+/// Applies `mutate` to a copy of `current`; if the mutant still fails,
+/// commits it.  Returns whether the mutant was kept.
+template <typename Mutate>
+bool try_step(TraceFile& current, std::int64_t& attempts,
+              const FailPredicate& still_fails, Mutate mutate) {
+  TraceFile candidate = current;
+  mutate(candidate);
+  attempts += 1;
+  if (!still_fails(candidate)) return false;
+  current = std::move(candidate);
+  return true;
+}
+
+/// Deleting from the back first keeps earlier indices stable, so one
+/// sweep can try every position even as elements disappear.
+bool shrink_iterations(TraceFile& current, std::int64_t& attempts,
+                       const FailPredicate& still_fails) {
+  bool progressed = false;
+  for (auto i = static_cast<std::ptrdiff_t>(current.iterations.size()) - 1;
+       i >= 0 && current.iterations.size() > 1; --i) {
+    progressed |= try_step(current, attempts, still_fails, [i](TraceFile& t) {
+      t.iterations.erase(t.iterations.begin() + i);
+    });
+  }
+  return progressed;
+}
+
+bool shrink_phases(TraceFile& current, std::int64_t& attempts,
+                   const FailPredicate& still_fails) {
+  bool progressed = false;
+  for (std::size_t it = 0; it < current.iterations.size(); ++it) {
+    // Re-read the size through `current` each time: a kept candidate
+    // replaces the whole TraceFile, so references must not be hoisted.
+    for (auto p = static_cast<std::ptrdiff_t>(
+             current.iterations[it].phases.size()) -
+                  1;
+         p >= 0; --p) {
+      progressed |=
+          try_step(current, attempts, still_fails, [it, p](TraceFile& t) {
+            auto& ph = t.iterations[it].phases;
+            ph.erase(ph.begin() + p);
+          });
+    }
+  }
+  return progressed;
+}
+
+bool shrink_segments(TraceFile& current, std::int64_t& attempts,
+                     const FailPredicate& still_fails) {
+  bool progressed = false;
+  for (std::size_t it = 0; it < current.iterations.size(); ++it) {
+    for (std::size_t p = 0; p < current.iterations[it].phases.size(); ++p) {
+      const std::size_t threads =
+          current.iterations[it].phases[p].threads.size();
+      for (std::size_t th = 0; th < threads; ++th) {
+        for (auto s = static_cast<std::ptrdiff_t>(current.iterations[it]
+                                                      .phases[p]
+                                                      .threads[th]
+                                                      .segments.size()) -
+                      1;
+             s >= 0; --s) {
+          progressed |= try_step(
+              current, attempts, still_fails, [it, p, th, s](TraceFile& t) {
+                auto& segs =
+                    t.iterations[it].phases[p].threads[th].segments;
+                segs.erase(segs.begin() + s);
+              });
+        }
+      }
+    }
+  }
+  return progressed;
+}
+
+/// Visits every remaining segment with a mutation attempt per element.
+template <typename Visit>
+bool for_each_segment(TraceFile& current, Visit visit) {
+  bool progressed = false;
+  for (std::size_t it = 0; it < current.iterations.size(); ++it) {
+    for (std::size_t p = 0; p < current.iterations[it].phases.size(); ++p) {
+      const std::size_t threads =
+          current.iterations[it].phases[p].threads.size();
+      for (std::size_t th = 0; th < threads; ++th) {
+        const std::size_t segments =
+            current.iterations[it].phases[p].threads[th].segments.size();
+        for (std::size_t s = 0; s < segments; ++s) {
+          progressed |= visit(it, p, th, s);
+        }
+      }
+    }
+  }
+  return progressed;
+}
+
+bool shrink_accesses(TraceFile& current, std::int64_t& attempts,
+                     const FailPredicate& still_fails) {
+  return for_each_segment(
+      current, [&](std::size_t it, std::size_t p, std::size_t th,
+                   std::size_t s) {
+        bool progressed = false;
+        auto size = [&] {
+          return static_cast<std::ptrdiff_t>(current.iterations[it]
+                                                 .phases[p]
+                                                 .threads[th]
+                                                 .segments[s]
+                                                 .accesses.size());
+        };
+        for (auto a = size() - 1; a >= 0; --a) {
+          progressed |= try_step(
+              current, attempts, still_fails,
+              [it, p, th, s, a](TraceFile& t) {
+                auto& accesses = t.iterations[it]
+                                     .phases[p]
+                                     .threads[th]
+                                     .segments[s]
+                                     .accesses;
+                accesses.erase(accesses.begin() + a);
+              });
+        }
+        return progressed;
+      });
+}
+
+bool weaken_attributes(TraceFile& current, std::int64_t& attempts,
+                       const FailPredicate& still_fails) {
+  return for_each_segment(
+      current, [&](std::size_t it, std::size_t p, std::size_t th,
+                   std::size_t s) {
+        bool progressed = false;
+        const std::int32_t lock_id =
+            current.iterations[it].phases[p].threads[th].segments[s].lock_id;
+        if (lock_id >= 0) {
+          progressed |= try_step(current, attempts, still_fails,
+                                 [it, p, th, s](TraceFile& t) {
+                                   t.iterations[it]
+                                       .phases[p]
+                                       .threads[th]
+                                       .segments[s]
+                                       .lock_id = -1;
+                                 });
+        }
+        if (current.iterations[it].phases[p].threads[th].segments[s]
+                .compute_us > 0) {
+          progressed |= try_step(current, attempts, still_fails,
+                                 [it, p, th, s](TraceFile& t) {
+                                   t.iterations[it]
+                                       .phases[p]
+                                       .threads[th]
+                                       .segments[s]
+                                       .compute_us = 0;
+                                 });
+        }
+        const std::size_t accesses = current.iterations[it]
+                                         .phases[p]
+                                         .threads[th]
+                                         .segments[s]
+                                         .accesses.size();
+        for (std::size_t a = 0; a < accesses; ++a) {
+          const PageAccess& access = current.iterations[it]
+                                         .phases[p]
+                                         .threads[th]
+                                         .segments[s]
+                                         .accesses[a];
+          if (access.kind == AccessKind::kWrite) {
+            progressed |= try_step(current, attempts, still_fails,
+                                   [it, p, th, s, a](TraceFile& t) {
+                                     PageAccess& acc = t.iterations[it]
+                                                           .phases[p]
+                                                           .threads[th]
+                                                           .segments[s]
+                                                           .accesses[a];
+                                     acc.kind = AccessKind::kRead;
+                                     acc.bytes_written = 0;
+                                   });
+          }
+        }
+        return progressed;
+      });
+}
+
+}  // namespace
+
+ShrinkResult shrink_trace(TraceFile failing,
+                          const FailPredicate& still_fails) {
+  if (!still_fails(failing)) {
+    throw std::invalid_argument(
+        "shrink_trace: the input trace does not fail the predicate");
+  }
+  ShrinkResult result;
+  result.attempts = 1;
+  result.trace = std::move(failing);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    progressed |=
+        shrink_iterations(result.trace, result.attempts, still_fails);
+    progressed |= shrink_phases(result.trace, result.attempts, still_fails);
+    progressed |=
+        shrink_segments(result.trace, result.attempts, still_fails);
+    progressed |=
+        shrink_accesses(result.trace, result.attempts, still_fails);
+    progressed |=
+        weaken_attributes(result.trace, result.attempts, still_fails);
+    result.rounds += 1;
+  }
+  return result;
+}
+
+}  // namespace actrack::check

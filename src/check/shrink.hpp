@@ -1,0 +1,35 @@
+// Greedy trace shrinking: given a failing trace and a predicate that
+// re-runs the failure, repeatedly tries structural deletions (whole
+// iterations, then phases, then segments, then single accesses) and
+// attribute weakenings (write → read, drop lock, zero compute), keeping
+// every change that still fails, until a full pass makes no progress.
+// The result is a locally minimal reproducer: removing any one more
+// element makes the failure disappear.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/serialize.hpp"
+
+namespace actrack::check {
+
+/// Re-runs the candidate trace; true = the failure still reproduces.
+/// Called many times — for checker failures, wrap check_trace on the
+/// single failing variant, not the whole grid.
+using FailPredicate = std::function<bool(const TraceFile&)>;
+
+struct ShrinkResult {
+  TraceFile trace;
+  /// Full greedy passes until fixpoint.
+  std::int32_t rounds = 0;
+  /// Candidate traces tried (predicate invocations).
+  std::int64_t attempts = 0;
+};
+
+/// `failing` must satisfy the predicate; throws std::invalid_argument
+/// otherwise (a shrink of a non-failure would "minimise" to nonsense).
+[[nodiscard]] ShrinkResult shrink_trace(TraceFile failing,
+                                        const FailPredicate& still_fails);
+
+}  // namespace actrack::check

@@ -1,0 +1,62 @@
+#include "check/workload_gen.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace actrack::check {
+
+TraceFile random_trace(Rng& rng, std::int32_t threads, PageId pages,
+                       std::int32_t iterations) {
+  TraceFile file;
+  file.num_threads = threads;
+  file.num_pages = pages;
+  for (std::int32_t iter = 0; iter < iterations; ++iter) {
+    IterationTrace trace;
+    trace.num_threads = threads;
+    const std::int64_t phases = 1 + rng.uniform(3);
+    for (std::int64_t p = 0; p < phases; ++p) {
+      Phase phase;
+      phase.threads.resize(static_cast<std::size_t>(threads));
+      for (std::int32_t t = 0; t < threads; ++t) {
+        const std::int64_t segments = rng.uniform(3);
+        for (std::int64_t s = 0; s < segments; ++s) {
+          Segment seg;
+          if (rng.uniform(4) == 0) {
+            seg.lock_id = static_cast<std::int32_t>(rng.uniform(3));
+          }
+          seg.compute_us = rng.uniform(200);
+          const std::int64_t accesses = 1 + rng.uniform(6);
+          for (std::int64_t a = 0; a < accesses; ++a) {
+            PageAccess access;
+            access.page = static_cast<PageId>(rng.uniform(pages));
+            if (rng.uniform(2) == 0) {
+              access.kind = AccessKind::kWrite;
+              access.bytes_written =
+                  static_cast<std::int32_t>(1 + rng.uniform(kPageSize));
+            }
+            seg.accesses.push_back(access);
+          }
+          // The builder normally dedupes; emulate that invariant so the
+          // trace validates (one access per page per segment).
+          std::sort(seg.accesses.begin(), seg.accesses.end(),
+                    [](const PageAccess& x, const PageAccess& y) {
+                      return x.page < y.page;
+                    });
+          seg.accesses.erase(
+              std::unique(seg.accesses.begin(), seg.accesses.end(),
+                          [](const PageAccess& x, const PageAccess& y) {
+                            return x.page == y.page;
+                          }),
+              seg.accesses.end());
+          phase.threads[static_cast<std::size_t>(t)].segments.push_back(
+              std::move(seg));
+        }
+      }
+      trace.phases.push_back(std::move(phase));
+    }
+    file.iterations.push_back(std::move(trace));
+  }
+  return file;
+}
+
+}  // namespace actrack::check

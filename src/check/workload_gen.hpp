@@ -1,0 +1,23 @@
+// Random-but-valid trace generation, shared by the fuzz test
+// (tests/fuzz_test.cpp) and the seeded checker driver (`actrack
+// check`): one generator, so a seed that fails under the checker can be
+// replayed through the test pipeline and vice versa.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "trace/serialize.hpp"
+
+namespace actrack::check {
+
+/// Builds a random-but-valid trace file: 1-4 phases per iteration, 0-2
+/// segments per thread per phase, each segment a 25 % chance of a
+/// critical section over one of three locks and 1-6 page accesses with
+/// a 50 % write ratio.  Accesses are deduped to one per page per
+/// segment (the segment builder's invariant), so the tracked-iteration
+/// oracle bitmaps stay exact.
+[[nodiscard]] TraceFile random_trace(Rng& rng, std::int32_t threads,
+                                     PageId pages, std::int32_t iterations);
+
+}  // namespace actrack::check

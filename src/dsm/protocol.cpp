@@ -59,6 +59,30 @@ PageState DsmSystem::page_state(NodeId node, PageId page) const {
   return node_page(node, page).state;
 }
 
+DsmSystem::PageAudit DsmSystem::audit_page(PageId page) const {
+  ACTRACK_CHECK(page >= 0 && page < num_pages_);
+  const GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+  PageAudit audit;
+  audit.history_records = static_cast<std::int32_t>(gp.history.size());
+  for (const WriteRecord& rec : gp.history) {
+    if (rec.full_page) {
+      audit.full_page_records += 1;
+    } else {
+      audit.unconsolidated_bytes += rec.diff_bytes;
+    }
+  }
+  if (!gp.history.empty()) audit.newest_epoch = gp.history.back().epoch;
+  audit.sc_owner = gp.sc_owner;
+  audit.sc_copyset = gp.sc_copyset;
+  return audit;
+}
+
+DsmSystem::ReplicaAudit DsmSystem::audit_replica(NodeId node,
+                                                 PageId page) const {
+  const NodePage& np = node_page(node, page);
+  return ReplicaAudit{np.state, np.applied_upto, np.dirty_bytes};
+}
+
 void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
                               AccessOutcome& out) {
   const CostModel& cost = net_->cost();
@@ -251,9 +275,16 @@ AccessOutcome DsmSystem::access(NodeId node, ThreadId thread,
                                 const PageAccess& a) {
   ACTRACK_CHECK(node >= 0 && node < num_nodes_);
   ACTRACK_CHECK(a.page >= 0 && a.page < num_pages_);
-  if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
-    return access_sc(node, thread, a);
-  }
+  const AccessOutcome out =
+      config_.model == ConsistencyModel::kSequentialSingleWriter
+          ? access_sc(node, thread, a)
+          : access_lrc(node, thread, a);
+  if (check_hook_) check_hook_->on_access(node, thread, a, out);
+  return out;
+}
+
+AccessOutcome DsmSystem::access_lrc(NodeId node, ThreadId thread,
+                                    const PageAccess& a) {
   const CostModel& cost = net_->cost();
   AccessOutcome out;
   NodePage& np = node_page(node, a.page);
@@ -293,6 +324,7 @@ AccessOutcome DsmSystem::access(NodeId node, ThreadId thread,
 
 SimTime DsmSystem::release_node(NodeId node) {
   if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
+    if (check_hook_) check_hook_->on_release(node);
     return 0;  // SC has no twins/diffs; invalidations were eager
   }
   const CostModel& cost = net_->cost();
@@ -339,6 +371,7 @@ SimTime DsmSystem::release_node(NodeId node) {
     np.dirty_bytes = 0;
   }
   dirty.clear();
+  if (check_hook_) check_hook_->on_release(node);
   return local;
 }
 
@@ -385,6 +418,7 @@ SimTime DsmSystem::barrier_epoch() {
       outstanding_diff_bytes_ > config_.gc_threshold_bytes) {
     per_node_cost += run_gc();
   }
+  if (check_hook_) check_hook_->on_barrier();
   return per_node_cost;
 }
 
@@ -404,7 +438,10 @@ SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
     }
     node_vc_[static_cast<std::size_t>(to)].merge(lock_clock);
   }
-  if (from == to) return 0;
+  if (from == to) {
+    if (check_hook_) check_hook_->on_lock_transfer(from, to, lock_id);
+    return 0;
+  }
 
   // The acquirer applies the write notices the acquire propagates: all
   // unseen notices (total order), or only those in its (just extended)
@@ -443,6 +480,7 @@ SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
       stats_.invalidations += 1;
     }
   }
+  if (check_hook_) check_hook_->on_lock_transfer(from, to, lock_id);
   return 0;
 }
 
@@ -520,6 +558,7 @@ SimTime DsmSystem::run_gc() {
         stats_.gc_invalidations += 1;
       }
     }
+    if (check_hook_) check_hook_->on_gc_page(page, owner);
   }
   pages_with_diffs_.clear();
   ACTRACK_CHECK(outstanding_diff_bytes_ == 0);

@@ -125,6 +125,34 @@ struct AccessOutcome {
   bool remote_miss = false;
 };
 
+/// Observation interface for protocol checking (src/check).  Same
+/// null-by-default pattern as obs::Probe: every call site is a single
+/// `if (check_hook_)` branch, so an unchecked run is bit-identical to
+/// the unhooked code.  Hooks fire *after* the operation they describe
+/// and must not mutate protocol state; they may throw to report a
+/// detected violation (the exception propagates to the driver).
+class DsmCheckHook {
+ public:
+  virtual ~DsmCheckHook() = default;
+
+  /// One completed access() call, with the outcome it returned.
+  virtual void on_access(NodeId node, ThreadId thread,
+                         const PageAccess& access,
+                         const AccessOutcome& outcome) = 0;
+  /// release_node(node) finished (diffs published, dirty list cleared).
+  virtual void on_release(NodeId node) = 0;
+  /// barrier_epoch() finished (epoch advanced, notices applied, GC run
+  /// if due — on_gc_page fires per consolidated page before this).
+  virtual void on_barrier() = 0;
+  /// lock_transfer(from, to) finished (epoch advanced, acquirer-side
+  /// notices applied).
+  virtual void on_lock_transfer(NodeId from, NodeId to,
+                                std::int32_t lock_id) = 0;
+  /// GC consolidated `page` at `owner`: its history is now one
+  /// full-page record and every other replica is invalid.
+  virtual void on_gc_page(PageId page, NodeId owner) = 0;
+};
+
 class DsmSystem {
  public:
   /// Observer invoked on every remote miss — this is the hook passive
@@ -166,6 +194,32 @@ class DsmSystem {
   [[nodiscard]] std::int64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] PageId num_pages() const noexcept { return num_pages_; }
   [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] const DsmConfig& config() const noexcept { return config_; }
+
+  // -- introspection for the consistency checker (src/check) -----------
+  //
+  // Read-only aggregates over the internal page tables, so the oracle
+  // and invariant auditor can cross-check protocol state against their
+  // own shadow model without being friends of this class.
+
+  /// Global (per-page) protocol state summary.
+  struct PageAudit {
+    std::int32_t history_records = 0;   // write-notice records held
+    std::int32_t full_page_records = 0; // GC consolidations among them
+    ByteCount unconsolidated_bytes = 0; // diff bytes awaiting GC
+    std::int64_t newest_epoch = 0;      // epoch of the last record (0 if none)
+    NodeId sc_owner = kNoNode;          // single-writer: current owner
+    std::uint64_t sc_copyset = 0;       // single-writer: read replicas
+  };
+  [[nodiscard]] PageAudit audit_page(PageId page) const;
+
+  /// Per-replica (node × page) state summary.
+  struct ReplicaAudit {
+    PageState state = PageState::kUnmapped;
+    std::int32_t applied_upto = 0;
+    std::int32_t dirty_bytes = 0;
+  };
+  [[nodiscard]] ReplicaAudit audit_replica(NodeId node, PageId page) const;
 
   void set_remote_miss_observer(RemoteMissObserver observer) {
     remote_miss_observer_ = std::move(observer);
@@ -174,6 +228,11 @@ class DsmSystem {
   /// Attaches an observability probe (null detaches).  The probe only
   /// records what happens — protocol costs and state are unchanged.
   void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
+
+  /// Attaches a consistency-check hook (null detaches).  Like the
+  /// probe, hooks observe only; unlike the probe they may throw to
+  /// report a violation.
+  void set_check_hook(DsmCheckHook* hook) noexcept { check_hook_ = hook; }
 
   /// Outstanding (unconsolidated) diff storage across all pages.
   [[nodiscard]] ByteCount outstanding_diff_bytes() const noexcept {
@@ -210,6 +269,10 @@ class DsmSystem {
 
   [[nodiscard]] NodePage& node_page(NodeId node, PageId page);
   [[nodiscard]] const NodePage& node_page(NodeId node, PageId page) const;
+
+  /// Multi-writer lazy-release-consistency access path.
+  AccessOutcome access_lrc(NodeId node, ThreadId thread,
+                           const PageAccess& access);
 
   /// Single-writer sequentially-consistent access path.
   AccessOutcome access_sc(NodeId node, ThreadId thread,
@@ -252,6 +315,7 @@ class DsmSystem {
   DsmStats stats_;
   RemoteMissObserver remote_miss_observer_;
   obs::Probe* probe_ = nullptr;  // non-owning, may be null
+  DsmCheckHook* check_hook_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace actrack

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,8 @@
 #include "apps/drifting.hpp"
 #include "apps/trace_workload.hpp"
 #include "apps/workload.hpp"
+#include "check/checker.hpp"
+#include "check/fuzz.hpp"
 #include "correlation/sharing.hpp"
 #include "exp/experiment.hpp"
 #include "exp/runner.hpp"
@@ -377,6 +380,81 @@ int cmd_replay(const Options& options, std::ostream& out) {
   return 0;
 }
 
+int cmd_check(const Options& options, std::ostream& out) {
+  // `run`-style commands default --consistency to lrc, but a bare
+  // `check` should sweep the full grid; only an explicit flag narrows.
+  std::optional<ConsistencyModel> model;
+  if (!options.consistency_set) {
+    // keep model unset: both protocols
+  } else if (options.consistency == "lrc") {
+    model = ConsistencyModel::kLazyReleaseMultiWriter;
+  } else if (options.consistency == "sc") {
+    model = ConsistencyModel::kSequentialSingleWriter;
+  } else if (options.consistency != "both") {
+    fail("check: --consistency must be lrc, sc or both");
+  }
+  const std::vector<check::CheckVariant> variants =
+      check::standard_variants(model);
+
+  // --trace F replays one serialised trace (a shrunk reproducer, a
+  // corpus file) under the whole variant grid instead of fuzzing.
+  if (!options.trace_path.empty()) {
+    const TraceFile trace = load_trace_file(options.trace_path);
+    const std::optional<check::CheckReport> report =
+        check::check_trace(trace, variants);
+    if (report) {
+      out << "violation under " << report->variant << ":\n  "
+          << report->message << '\n';
+      return 1;
+    }
+    out << options.trace_path << ": clean under " << variants.size()
+        << " variants\n";
+    return 0;
+  }
+
+  check::FuzzOptions fuzz;
+  fuzz.seeds = options.seeds;
+  fuzz.base_seed = options.seed;
+  fuzz.model = model;
+  fuzz.jobs = options.jobs;
+  fuzz.shrink = options.shrink;
+  fuzz.repro_dir = options.repro_dir;
+  const check::FuzzReport report = check::run_fuzz(fuzz);
+
+  out << "checked " << report.seeds_run << " seeds x " << variants.size()
+      << " variants (" << report.checks_performed << " oracle checks)\n";
+  if (report.clean()) {
+    out << "no violations\n";
+    return 0;
+  }
+  for (const check::FuzzFailure& failure : report.failures) {
+    std::int64_t accesses = 0;
+    for (const IterationTrace& iter : failure.reproducer.iterations) {
+      for (const Phase& phase : iter.phases) {
+        for (const ThreadPhase& thread : phase.threads) {
+          for (const Segment& seg : thread.segments) {
+            accesses += static_cast<std::int64_t>(seg.accesses.size());
+          }
+        }
+      }
+    }
+    out << "seed " << failure.seed_index << " [" << failure.variant
+        << "]: " << failure.message << '\n';
+    out << "  reproducer: " << failure.reproducer.iterations.size()
+        << " iterations, " << accesses << " accesses";
+    if (failure.shrink_attempts > 0) {
+      out << " (shrunk in " << failure.shrink_attempts << " attempts)";
+    }
+    if (!failure.repro_path.empty()) {
+      out << " -> " << failure.repro_path;
+    }
+    out << '\n';
+  }
+  out << report.failures.size() << " of " << report.seeds_run
+      << " seeds failed\n";
+  return 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -397,6 +475,9 @@ std::string usage() {
       "  profile  --app --trace F   run with event tracing: Chrome trace\n"
       "                             JSON (Perfetto-loadable), utilization\n"
       "                             SVG, event CSV, metric summary\n"
+      "  check                      fuzz the DSM protocol under the shadow\n"
+      "                             oracle and invariant auditor; with\n"
+      "                             --trace F, replay one reproducer\n"
       "flags:\n"
       "  --app NAME            Barnes|FFT6|FFT7|FFT8|LU1k|LU2k|Ocean|\n"
       "                        Spatial|SOR|Water        (default SOR)\n"
@@ -409,8 +490,13 @@ std::string usage() {
       "  --jobs N              parallel sweep trials     (default 1)\n"
       "  --format F            table|csv|json (sweep)    (default table)\n"
       "  --placement P         stretch|mincost|random    (default stretch)\n"
-      "  --consistency C       lrc|sc                    (default lrc)\n"
+      "  --consistency C       lrc|sc; check also: both  (default lrc;\n"
+      "                        a bare `check` sweeps both)\n"
       "  --seed N              RNG seed                  (default 1999)\n"
+      "  --seeds N             fuzz seeds (check)        (default 50)\n"
+      "  --shrink              minimise failing traces (check)\n"
+      "  --repro-dir DIR       write reproducer .actrace files (check);\n"
+      "                        the directory must exist\n"
       "  --no-latency-hiding   disable switch-on-remote-fetch\n"
       "  --pgm PATH            write the correlation map as PGM (track)\n"
       "  --csv PATH            write metrics to a file (run, sweep) or\n"
@@ -430,7 +516,7 @@ Options parse(const std::vector<std::string>& args) {
 
   const auto known = {"list",    "info",    "run",     "track",
                       "cutcost", "sweep",   "passive", "adaptive",
-                      "record",  "replay",  "profile"};
+                      "record",  "replay",  "profile", "check"};
   bool ok = false;
   for (const char* candidate : known) {
     if (options.command == candidate) ok = true;
@@ -466,8 +552,15 @@ Options parse(const std::vector<std::string>& args) {
       options.placement = next();
     } else if (flag == "--consistency") {
       options.consistency = next();
+      options.consistency_set = true;
     } else if (flag == "--seed") {
       options.seed = static_cast<std::uint64_t>(parse_int(flag, next()));
+    } else if (flag == "--seeds") {
+      options.seeds = parse_int(flag, next());
+    } else if (flag == "--shrink") {
+      options.shrink = true;
+    } else if (flag == "--repro-dir") {
+      options.repro_dir = next();
     } else if (flag == "--no-latency-hiding") {
       options.latency_hiding = false;
     } else if (flag == "--pgm") {
@@ -490,6 +583,7 @@ Options parse(const std::vector<std::string>& args) {
   if (options.nodes < 1) fail("--nodes must be positive");
   if (options.threads < options.nodes) fail("--threads must be >= --nodes");
   if (options.iterations < 0) fail("--iterations must be non-negative");
+  if (options.seeds < 0) fail("--seeds must be non-negative");
   if (options.jobs < 1) fail("--jobs must be positive");
   if (options.format != "table" && options.format != "csv" &&
       options.format != "json") {
@@ -510,6 +604,7 @@ int run(const Options& options, std::ostream& out) {
   if (options.command == "record") return cmd_record(options, out);
   if (options.command == "replay") return cmd_replay(options, out);
   if (options.command == "profile") return cmd_profile(options, out);
+  if (options.command == "check") return cmd_check(options, out);
   return 2;  // unreachable: parse() validates commands
 }
 

@@ -23,6 +23,8 @@
 //   actrack replay  --trace out.actrace [--placement mincost] ...
 //   actrack profile --app SOR --trace out.json [--timeline out.svg]
 //                   [--csv events.csv] [--iterations 4]
+//   actrack check   [--seeds 50] [--shrink] [--consistency lrc|sc|both]
+//                   [--jobs 4] [--repro-dir DIR] [--trace repro.actrace]
 #pragma once
 
 #include <iosfwd>
@@ -44,8 +46,12 @@ struct Options {
   std::int32_t jobs = 1;                // parallel sweep trials
   std::string format = "table";         // table | csv | json (sweep)
   std::string placement = "stretch";    // stretch | mincost | random
-  std::string consistency = "lrc";      // lrc | sc
+  std::string consistency = "lrc";      // lrc | sc (check also: both)
+  bool consistency_set = false;         // --consistency given explicitly
   std::uint64_t seed = 1999;
+  std::int64_t seeds = 50;              // check: fuzz seeds
+  bool shrink = false;                  // check: minimise failing traces
+  std::string repro_dir;                // check: reproducer output dir
   bool latency_hiding = true;
   bool ascii = false;
   std::string pgm_path;

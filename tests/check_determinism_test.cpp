@@ -1,0 +1,129 @@
+// Property: attaching the checker (shadow oracle + invariant auditor)
+// never perturbs the simulation.  For every tier-1 workload, a checked
+// run and an unchecked run must produce bit-identical IterationMetrics
+// at every step — init, measured iterations, a migration, and the
+// tracked iteration.  This is the contract that lets `actrack check`
+// vouch for the same code paths the benchmarks measure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "check/auditor.hpp"
+#include "check/checker.hpp"
+#include "check/oracle.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+namespace {
+
+constexpr std::int32_t kThreads = 16;
+constexpr NodeId kNodes = 4;
+
+/// One full scripted run: init, two measured iterations, migration to
+/// the reversed placement, one more iteration, then the tracked
+/// iteration.  Returns the metrics of every step in order.
+std::vector<IterationMetrics> scripted_run(const Workload& workload,
+                                           const RuntimeConfig& config,
+                                           bool checked) {
+  ClusterRuntime runtime(workload,
+                         Placement::stretch(workload.num_threads(), kNodes),
+                         config);
+  check::ShadowOracle oracle(&runtime.dsm());
+  check::InvariantAuditor auditor(&runtime.dsm());
+  check::CheckHookChain chain;
+  chain.add(&oracle);
+  chain.add(&auditor);
+  if (checked) runtime.dsm().set_check_hook(&chain);
+
+  std::vector<IterationMetrics> metrics;
+  metrics.push_back(runtime.run_init());
+  metrics.push_back(runtime.run_iteration());
+  metrics.push_back(runtime.run_iteration());
+  std::vector<NodeId> reversed = runtime.placement().node_of_thread();
+  for (NodeId& node : reversed) node = kNodes - 1 - node;
+  metrics.push_back(runtime.migrate_to(Placement{std::move(reversed), kNodes}));
+  metrics.push_back(runtime.run_iteration());
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  metrics.push_back(tracked.metrics);
+  if (checked) {
+    EXPECT_GT(oracle.checks_performed(), 0) << workload.name();
+    EXPECT_GT(auditor.barrier_audits(), 0) << workload.name();
+  }
+  return metrics;
+}
+
+void expect_identical(const std::vector<IterationMetrics>& a,
+                      const std::vector<IterationMetrics>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(label + " step " + std::to_string(i));
+    EXPECT_EQ(a[i].elapsed_us, b[i].elapsed_us);
+    EXPECT_EQ(a[i].remote_misses, b[i].remote_misses);
+    EXPECT_EQ(a[i].read_faults, b[i].read_faults);
+    EXPECT_EQ(a[i].write_faults, b[i].write_faults);
+    EXPECT_EQ(a[i].messages, b[i].messages);
+    EXPECT_EQ(a[i].total_bytes, b[i].total_bytes);
+    EXPECT_EQ(a[i].diff_bytes, b[i].diff_bytes);
+    EXPECT_EQ(a[i].gc_runs, b[i].gc_runs);
+    EXPECT_DOUBLE_EQ(a[i].load_imbalance, b[i].load_imbalance);
+  }
+}
+
+class CheckDeterminismTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CheckDeterminismTest, CheckedRunMatchesUncheckedRun) {
+  const std::unique_ptr<Workload> workload =
+      make_workload(GetParam(), kThreads);
+  RuntimeConfig config;  // default LRC, total order
+  expect_identical(scripted_run(*workload, config, /*checked=*/false),
+                   scripted_run(*workload, config, /*checked=*/true),
+                   GetParam());
+}
+
+TEST_P(CheckDeterminismTest, CheckedRunMatchesUncheckedRunUnderGc) {
+  const std::unique_ptr<Workload> workload =
+      make_workload(GetParam(), kThreads);
+  RuntimeConfig config;
+  config.dsm.gc_enabled = true;
+  config.dsm.gc_threshold_bytes = 4096;
+  expect_identical(scripted_run(*workload, config, /*checked=*/false),
+                   scripted_run(*workload, config, /*checked=*/true),
+                   GetParam() + "+gc");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CheckDeterminismTest,
+    ::testing::ValuesIn(all_workload_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+// The non-default protocol configurations, spot-checked on one
+// representative workload each (the full grid runs in check_test's
+// fuzz sweep).
+TEST(CheckDeterminismConfigs, SingleWriterProtocol) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig config;
+  config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  expect_identical(scripted_run(*workload, config, /*checked=*/false),
+                   scripted_run(*workload, config, /*checked=*/true), "sc");
+}
+
+TEST(CheckDeterminismConfigs, VectorClockCausality) {
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  RuntimeConfig config;
+  config.dsm.causality = CausalityMode::kVectorClock;
+  config.dsm.gc_enabled = true;
+  config.dsm.gc_threshold_bytes = 4096;
+  expect_identical(scripted_run(*workload, config, /*checked=*/false),
+                   scripted_run(*workload, config, /*checked=*/true),
+                   "lrc-vc+gc");
+}
+
+}  // namespace
+}  // namespace actrack

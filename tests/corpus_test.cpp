@@ -1,0 +1,102 @@
+// Replays every checked-in corpus trace (tests/corpus/*.actrace)
+// through the full checker grid.  The corpus pins down scenarios the
+// random fuzzer only hits probabilistically — lock handoff chains, GC
+// churn, migration with live multi-writer pages — so a protocol
+// regression in one of them fails here deterministically with the
+// trace name attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/trace_workload.hpp"
+#include "check/checker.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_paths() {
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(ACTRACK_CORPUS_DIR)) {
+    if (entry.path().extension() == ".actrace") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+bool uses_lock(const TraceFile& trace) {
+  for (const auto& iteration : trace.iterations) {
+    for (const auto& phase : iteration.phases) {
+      for (const auto& thread : phase.threads) {
+        for (const auto& segment : thread.segments) {
+          if (segment.lock_id >= 0) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+TEST(Corpus, HasAtLeastThreeTraces) {
+  EXPECT_GE(corpus_paths().size(), 3u);
+}
+
+TEST(Corpus, EveryTraceIsValidAndUsesLocks) {
+  for (const fs::path& path : corpus_paths()) {
+    SCOPED_TRACE(path.filename().string());
+    const TraceFile trace = load_trace_file(path.string());
+    EXPECT_GE(trace.num_threads, 2);
+    ASSERT_FALSE(trace.iterations.empty());
+    for (const auto& iteration : trace.iterations) {
+      EXPECT_NO_THROW(validate_trace(iteration, trace.num_pages));
+    }
+    // Each corpus scenario includes at least one critical section, so
+    // lock-transfer propagation is exercised by every replay.
+    EXPECT_TRUE(uses_lock(trace));
+  }
+}
+
+TEST(Corpus, EveryTraceIsCleanUnderTheFullVariantGrid) {
+  const std::vector<CheckVariant> variants = standard_variants();
+  for (const fs::path& path : corpus_paths()) {
+    SCOPED_TRACE(path.filename().string());
+    const TraceFile trace = load_trace_file(path.string());
+    std::int64_t checks = 0;
+    for (const CheckVariant& variant : variants) {
+      SCOPED_TRACE(variant.name());
+      ASSERT_NO_THROW(checks += check_trace_variant(trace, variant));
+    }
+    EXPECT_GT(checks, 0);
+  }
+}
+
+TEST(Corpus, GcChurnTraceActuallyTriggersGc) {
+  // The gc_churn trace exists to exercise consolidation; make sure it
+  // really trips the aggressive-GC threshold the +gc variants use
+  // (otherwise the corpus would silently stop covering GC).
+  const fs::path path = fs::path(ACTRACK_CORPUS_DIR) / "gc_churn.actrace";
+  const TraceFile trace = load_trace_file(path.string());
+  TraceWorkload workload(trace, "gc_churn");
+  RuntimeConfig config;
+  config.dsm.gc_enabled = true;
+  config.dsm.gc_threshold_bytes = 512;
+  ClusterRuntime runtime(workload, Placement::stretch(workload.num_threads(), 3),
+                         config);
+  runtime.run_init();
+  for (std::size_t i = 1; i < trace.iterations.size(); ++i) {
+    runtime.run_iteration();
+  }
+  EXPECT_GT(runtime.dsm().stats().gc_runs, 0);
+}
+
+}  // namespace
+}  // namespace actrack::check

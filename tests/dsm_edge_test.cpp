@@ -1,11 +1,22 @@
 // Protocol edge cases beyond the main suite: multi-page GC, epoch
 // arithmetic across mixed sync, mid-interval multi-writer survival,
-// page-home distribution, and cost-accounting invariants.
+// page-home distribution, and cost-accounting invariants.  The newer
+// cases run with the src/check oracle + auditor attached, so the edge
+// behaviour is asserted protocol-clean, not merely non-crashing.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "apps/trace_workload.hpp"
+#include "check/auditor.hpp"
+#include "check/checker.hpp"
+#include "check/oracle.hpp"
+#include "check/workload_gen.hpp"
+#include "common/rng.hpp"
 #include "dsm/protocol.hpp"
+#include "runtime/cluster_runtime.hpp"
 
 namespace actrack {
 namespace {
@@ -145,6 +156,103 @@ TEST_F(DsmEdgeTest, SixtyFourNodesSupported) {
   for (NodeId n = 0; n < 63; ++n) {
     EXPECT_NE(dsm_->page_state(n, 0), PageState::kReadOnly);
   }
+}
+
+// Edge fixture with the shadow oracle + invariant auditor attached:
+// every access, release, lock transfer, barrier and GC pass in these
+// scenarios is asserted protocol-clean, not merely non-crashing.
+class CheckedDsmEdgeTest : public DsmEdgeTest {
+ protected:
+  void attach() {
+    oracle_ = std::make_unique<check::ShadowOracle>(dsm_.get());
+    auditor_ = std::make_unique<check::InvariantAuditor>(dsm_.get());
+    chain_.add(oracle_.get());
+    chain_.add(auditor_.get());
+    dsm_->set_check_hook(&chain_);
+  }
+  std::unique_ptr<check::ShadowOracle> oracle_;
+  std::unique_ptr<check::InvariantAuditor> auditor_;
+  check::CheckHookChain chain_;
+};
+
+TEST_F(CheckedDsmEdgeTest, GcAtMigrationSyncPointIsAuditorClean) {
+  DsmConfig config;
+  config.gc_threshold_bytes = 300;
+  make(8, 3, config);
+  attach();
+  // Writers on every node pile up diffs well past the GC threshold...
+  dsm_->access(0, 0, write_of(0, 200));
+  dsm_->access(0, 0, write_of(1, 200));
+  dsm_->access(1, 1, write_of(2, 200));
+  dsm_->access(1, 1, write_of(0, 100));  // multi-writer on page 0
+  dsm_->access(2, 2, write_of(3, 200));
+  // ...then the migration synchronisation point (ClusterScheduler::
+  // migrate flushes every node and barriers) consolidates mid-move.
+  ASSERT_NO_THROW(barrier());
+  EXPECT_EQ(dsm_->stats().gc_runs, 1);
+  EXPECT_EQ(dsm_->outstanding_diff_bytes(), 0);
+  // The migrated threads' first faults land on post-GC full pages.
+  ASSERT_NO_THROW(dsm_->access(2, 2, read_of(0)));
+  ASSERT_NO_THROW(dsm_->access(0, 0, read_of(2)));
+  ASSERT_NO_THROW(barrier());
+  EXPECT_GE(auditor_->barrier_audits(), 2);
+  EXPECT_GT(oracle_->checks_performed(), 0);
+}
+
+TEST_F(CheckedDsmEdgeTest, BackToBackLockReleasesStayAuditorClean) {
+  make(8, 3);
+  attach();
+  // Node 0 releases twice in a row (the second one empty), then the
+  // lock bounces through every node with releases packed back to back
+  // and no intervening barrier.
+  dsm_->lock_transfer(kNoNode, 0);
+  dsm_->access(0, 0, write_of(0, 64));
+  dsm_->release_node(0);  // publishes the diff
+  dsm_->release_node(0);  // immediate empty re-release
+  dsm_->lock_transfer(0, 1);
+  dsm_->access(1, 1, write_of(0, 32));
+  dsm_->access(1, 1, write_of(1, 48));
+  dsm_->release_node(1);
+  dsm_->release_node(1);
+  dsm_->lock_transfer(1, 2);  // acquirer holds no stale replica
+  dsm_->lock_transfer(2, 0);  // ...and passes the lock straight on
+  // Node 0's clean-but-stale replica of page 0 was invalidated by the
+  // re-acquire; this read must fetch node 1's diff, and the oracle
+  // flags it if the protocol had left the stale copy valid.
+  ASSERT_NO_THROW(dsm_->access(0, 0, read_of(0)));
+  ASSERT_NO_THROW(barrier());
+  EXPECT_GT(oracle_->checks_performed(), 0);
+  EXPECT_EQ(auditor_->barrier_audits(), 1);
+}
+
+TEST_F(DsmEdgeTest, MigrationUnderAggressiveGcIsCheckerClean) {
+  // Full-runtime version of the GC-during-migration case: a random
+  // trace replayed with a mid-run migration to the reversed placement
+  // and the GC threshold squeezed, the oracle + auditor watching every
+  // barrier (including the migration's own flush + barrier).
+  Rng rng(0xace);
+  const TraceFile trace = check::random_trace(rng, 6, 8, 3);
+  TraceWorkload workload(trace, "edge");
+  RuntimeConfig config;
+  config.dsm.gc_enabled = true;
+  config.dsm.gc_threshold_bytes = 512;
+  ClusterRuntime runtime(workload, Placement::stretch(6, 3), config);
+  check::ShadowOracle oracle(&runtime.dsm());
+  check::InvariantAuditor auditor(&runtime.dsm());
+  check::CheckHookChain chain;
+  chain.add(&oracle);
+  chain.add(&auditor);
+  runtime.dsm().set_check_hook(&chain);
+
+  runtime.run_init();
+  runtime.run_iteration();
+  std::vector<NodeId> reversed = runtime.placement().node_of_thread();
+  for (NodeId& node : reversed) node = 2 - node;
+  ASSERT_NO_THROW(runtime.migrate_to(Placement{std::move(reversed), 3}));
+  runtime.run_iteration();
+  EXPECT_GT(runtime.dsm().stats().gc_runs, 0);
+  EXPECT_GT(oracle.checks_performed(), 0);
+  EXPECT_GT(auditor.barrier_audits(), 0);
 }
 
 TEST_F(DsmEdgeTest, ManyWritersOnePageAllReconcile) {
