@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "apps/trace_workload.hpp"
+#include "fault/plan.hpp"
 #include "runtime/cluster_runtime.hpp"
 
 namespace actrack::check {
@@ -33,6 +34,7 @@ std::string CheckVariant::name() const {
   }
   if (gc) name += "+gc";
   if (migration) name += "+mig";
+  if (faulted) name += "+fault";
   return name;
 }
 
@@ -53,6 +55,9 @@ std::vector<CheckVariant> standard_variants(
       variants.push_back(CheckVariant{m, CausalityMode::kVectorClock,
                                       /*gc=*/true, /*migration=*/true});
     }
+    variants.push_back(CheckVariant{m, CausalityMode::kTotalOrder,
+                                    /*gc=*/true, /*migration=*/true,
+                                    /*faulted=*/true});
   }
   return variants;
 }
@@ -69,6 +74,11 @@ std::int64_t check_trace_variant(const TraceFile& trace,
   // Small enough that the fuzz traces (a few KB of diffs per barrier)
   // actually consolidate — same pressure the fuzz test applies.
   if (variant.gc) config.dsm.gc_threshold_bytes = 512;
+  if (variant.faulted) {
+    // Fixed seed: a failing faulted variant reproduces exactly.
+    config.fault = fault::make_plan(fault::FaultClass::kMixed, options.nodes,
+                                    /*seed=*/0xC3EC'FA17ULL);
+  }
 
   ClusterRuntime runtime(workload, Placement::stretch(workload.num_threads(),
                                                       options.nodes),

@@ -26,14 +26,19 @@ struct CheckVariant {
   bool gc = false;
   /// Migrate every thread to a reversed placement halfway through.
   bool migration = false;
+  /// Run under a deterministic mixed fault plan (drops, duplicates,
+  /// latency spikes, a slow node): the protocol's recovery machinery
+  /// must keep the oracle and auditor clean even on a faulty network.
+  bool faulted = false;
 
   [[nodiscard]] std::string name() const;
 };
 
 /// The ISSUE grid: {LRC, SC} × {GC on/off} × {migration on/off}.  The
 /// LRC half additionally runs a vector-clock causality variant of the
-/// fullest configuration (GC + migration).  `model` restricts the grid
-/// to one protocol; std::nullopt keeps both.
+/// fullest configuration (GC + migration).  Each protocol also runs its
+/// fullest configuration on a faulty network (`+fault`).  `model`
+/// restricts the grid to one protocol; std::nullopt keeps both.
 [[nodiscard]] std::vector<CheckVariant> standard_variants(
     std::optional<ConsistencyModel> model = std::nullopt);
 

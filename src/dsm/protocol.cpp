@@ -27,6 +27,7 @@ DsmSystem::DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
       node_pages_(static_cast<std::size_t>(num_pages) *
                   static_cast<std::size_t>(num_nodes)),
       dirty_pages_(static_cast<std::size_t>(num_nodes)),
+      notice_pending_(static_cast<std::size_t>(num_nodes)),
       node_vc_(static_cast<std::size_t>(num_nodes),
                VectorClock(num_nodes)) {
   ACTRACK_CHECK(num_pages > 0);
@@ -124,11 +125,10 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
   }
 
   if (page_source != kNoNode && page_source != node) {
-    const SimTime request = net_->send(node, page_source, 0,
-                                       PayloadKind::kControl);
-    const SimTime reply =
-        net_->send(page_source, node, kPageSize, PayloadKind::kFullPage);
-    longest_exchange = std::max(longest_exchange, request + reply);
+    const ExchangeResult fetch = net_->exchange(
+        node, page_source, kPageSize, PayloadKind::kFullPage, config_.retry);
+    stats_.fetch_retries += fetch.attempts - 1;
+    longest_exchange = std::max(longest_exchange, fetch.latency_us);
     out.local_us += apply_cost(cost, kPageSize);
     stats_.full_page_fetches += 1;
     any_remote = true;
@@ -156,11 +156,10 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
     }
   }
   for (const WriterDiffs& group : groups) {
-    const SimTime request =
-        net_->send(node, group.writer, 0, PayloadKind::kControl);
-    const SimTime reply =
-        net_->send(group.writer, node, group.bytes, PayloadKind::kDiff);
-    longest_exchange = std::max(longest_exchange, request + reply);
+    const ExchangeResult fetch = net_->exchange(
+        node, group.writer, group.bytes, PayloadKind::kDiff, config_.retry);
+    stats_.fetch_retries += fetch.attempts - 1;
+    longest_exchange = std::max(longest_exchange, fetch.latency_us);
     out.local_us += apply_cost(cost, group.bytes);
     stats_.diff_fetches += 1;
     any_remote = true;
@@ -199,11 +198,10 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
     out.read_fault = true;
     out.local_us += cost.fault_trap_us;
     if (owner != node) {
-      const SimTime request = net_->send(node, owner, 0,
-                                         PayloadKind::kControl);
-      const SimTime reply =
-          net_->send(owner, node, kPageSize, PayloadKind::kFullPage);
-      out.remote_us += request + reply;
+      const ExchangeResult fetch = net_->exchange(
+          node, owner, kPageSize, PayloadKind::kFullPage, config_.retry);
+      stats_.fetch_retries += fetch.attempts - 1;
+      out.remote_us += fetch.latency_us;
       out.local_us += cost.diff_apply_us_per_kb * (kPageSize / 1024);
       out.remote_miss = true;
       stats_.remote_misses += 1;
@@ -232,11 +230,10 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
       out.remote_us += config_.delta_interval_us;
       stats_.delta_stalls += 1;
     }
-    const SimTime request =
-        net_->send(node, owner, 0, PayloadKind::kControl);
-    const SimTime reply =
-        net_->send(owner, node, kPageSize, PayloadKind::kFullPage);
-    out.remote_us += request + reply;
+    const ExchangeResult fetch = net_->exchange(
+        node, owner, kPageSize, PayloadKind::kFullPage, config_.retry);
+    stats_.fetch_retries += fetch.attempts - 1;
+    out.remote_us += fetch.latency_us;
     out.local_us += cost.diff_apply_us_per_kb * (kPageSize / 1024);
     out.remote_miss = true;
     stats_.remote_misses += 1;
@@ -254,7 +251,10 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
   for (NodeId n = 0; n < num_nodes_; ++n) {
     if (n == node) continue;
     if ((copyset >> n) & 1) {
-      net_->send(node, n, 0, PayloadKind::kControl);
+      // Invalidations must reach every replica: a lost one would leave a
+      // stale readable copy.  The replica state flip below models the
+      // eventual delivery; send_reliable charges the retransmissions.
+      net_->send_reliable(node, n, 0, PayloadKind::kControl, config_.retry);
       NodePage& replica = node_page(n, a.page);
       if (replica.state != PageState::kUnmapped) {
         replica.state = PageState::kInvalid;
@@ -330,6 +330,7 @@ SimTime DsmSystem::release_node(NodeId node) {
   const CostModel& cost = net_->cost();
   SimTime local = 0;
   auto& dirty = dirty_pages_[static_cast<std::size_t>(node)];
+  if (!dirty.empty()) notice_pending_[static_cast<std::size_t>(node)] = 1;
   if (config_.causality == CausalityMode::kVectorClock && !dirty.empty()) {
     node_vc_[static_cast<std::size_t>(node)].increment(node);
   }
@@ -414,6 +415,32 @@ SimTime DsmSystem::barrier_epoch() {
   recently_flushed_.clear();
 
   SimTime per_node_cost = 0;
+
+  // Lost-notice detection: write notices piggyback on the barrier, and a
+  // faulty network can drop them, which would leave a peer reading a
+  // stale replica forever.  Under a fault hook each flushing node
+  // confirms its notice summary with every peer; a missing ack times out
+  // and the notice is resent (counted as recovered).  Unhooked runs send
+  // nothing here, keeping fault-free traffic bit-identical.
+  if (net_->fault_hook_attached()) {
+    SimTime sync_cost = 0;
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      if (!notice_pending_[static_cast<std::size_t>(n)]) continue;
+      for (NodeId peer = 0; peer < num_nodes_; ++peer) {
+        if (peer == n) continue;
+        std::int32_t attempts = 1;
+        sync_cost += net_->send_reliable(n, peer, 0, PayloadKind::kControl,
+                                         config_.retry, &attempts);
+        stats_.notices_recovered += attempts - 1;
+      }
+    }
+    // Notice confirmation happens cluster-wide in parallel; charge an
+    // even per-node share like GC below.
+    per_node_cost += sync_cost / num_nodes_;
+  }
+  std::fill(notice_pending_.begin(), notice_pending_.end(),
+            std::uint8_t{0});
+
   if (config_.gc_enabled &&
       outstanding_diff_bytes_ > config_.gc_threshold_bytes) {
     per_node_cost += run_gc();
@@ -516,16 +543,17 @@ SimTime DsmSystem::run_gc() {
       }
       fetched += rec.diff_bytes;
     }
-    for (const NodeId writer : writers_seen) {
-      total_cost += net_->send(owner, writer, 0, PayloadKind::kControl);
-    }
     ByteCount remaining = fetched;
     for (const NodeId writer : writers_seen) {
       // Attribute the fetched bytes evenly across writers; only the
       // aggregate matters for accounting.
       const ByteCount share = remaining / static_cast<ByteCount>(
                                   writers_seen.size());
-      total_cost += net_->send(writer, owner, share, PayloadKind::kDiff);
+      const ExchangeResult fetch =
+          net_->exchange(owner, writer, share, PayloadKind::kDiff,
+                         config_.retry);
+      stats_.fetch_retries += fetch.attempts - 1;
+      total_cost += fetch.latency_us;
       remaining -= share;
       stats_.diff_fetches += 1;
     }

@@ -96,6 +96,12 @@ struct DsmConfig {
   /// pages ... before allowing them to be stolen away", §6).  0 disables
   /// it.  (SC only.)
   SimTime delta_interval_us = 0;
+
+  /// Timeout/retry schedule for recoverable message exchanges (remote
+  /// page/diff fetches, invalidations, barrier notice sync, stack
+  /// copies).  Only consulted while a fault hook is attached to the
+  /// network; fault-free runs never time out.
+  RetryPolicy retry;
 };
 
 struct DsmStats {
@@ -110,6 +116,9 @@ struct DsmStats {
   std::int64_t gc_invalidations = 0;  // replicas invalidated by GC
   std::int64_t ownership_transfers = 0;  // SC: page ownership steals
   std::int64_t delta_stalls = 0;         // SC: steals delayed by delta
+  std::int64_t fetch_retries = 0;        // fault: fetch attempts retried
+  std::int64_t notices_recovered = 0;    // fault: lost notices resent at
+                                         // barrier (detected by timeout)
 
   [[nodiscard]] std::int64_t coherence_faults() const noexcept {
     return read_faults + write_faults;
@@ -305,6 +314,11 @@ class DsmSystem {
 
   /// SC: pages whose ownership moved this epoch (delta-interval state).
   std::vector<PageId> sc_active_;
+
+  /// Nodes that published write notices since the last barrier.  Only
+  /// consumed when a fault hook is attached (barrier-time lost-notice
+  /// detection); maintaining it is a plain flag write otherwise.
+  std::vector<std::uint8_t> notice_pending_;
 
   /// kVectorClock state: per-node clocks and per-lock carried clocks.
   std::vector<VectorClock> node_vc_;

@@ -53,6 +53,8 @@ struct MetricsNames {
   const char* messages;
   const char* total_bytes;
   const char* diff_bytes;
+  const char* control_bytes;
+  const char* stack_bytes;
   const char* gc_runs;
   const char* load_imbalance;
 };
@@ -60,11 +62,13 @@ struct MetricsNames {
 constexpr MetricsNames kMeasuredNames = {
     "m_elapsed_us", "m_remote_misses", "m_read_faults",
     "m_write_faults", "m_messages", "m_total_bytes",
-    "m_diff_bytes", "m_gc_runs", "m_load_imbalance"};
+    "m_diff_bytes", "m_control_bytes", "m_stack_bytes",
+    "m_gc_runs", "m_load_imbalance"};
 constexpr MetricsNames kTotalsNames = {
     "t_elapsed_us", "t_remote_misses", "t_read_faults",
     "t_write_faults", "t_messages", "t_total_bytes",
-    "t_diff_bytes", "t_gc_runs", "t_load_imbalance"};
+    "t_diff_bytes", "t_control_bytes", "t_stack_bytes",
+    "t_gc_runs", "t_load_imbalance"};
 
 void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
                     const IterationMetrics& m) {
@@ -75,6 +79,8 @@ void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
   out.push_back(int_field(names.messages, m.messages));
   out.push_back(int_field(names.total_bytes, m.total_bytes));
   out.push_back(int_field(names.diff_bytes, m.diff_bytes));
+  out.push_back(int_field(names.control_bytes, m.control_bytes));
+  out.push_back(int_field(names.stack_bytes, m.stack_bytes));
   out.push_back(int_field(names.gc_runs, m.gc_runs));
   out.push_back(real_field(names.load_imbalance, m.load_imbalance));
 }
@@ -106,10 +112,15 @@ std::vector<FieldValue> flatten(const TrialRecord& r) {
   out.push_back(
       int_field("dsm_ownership_transfers", r.dsm.ownership_transfers));
   out.push_back(int_field("dsm_delta_stalls", r.dsm.delta_stalls));
+  out.push_back(int_field("dsm_fetch_retries", r.dsm.fetch_retries));
+  out.push_back(
+      int_field("dsm_notices_recovered", r.dsm.notices_recovered));
   out.push_back(int_field("net_messages", r.net.messages));
   out.push_back(int_field("net_total_bytes", r.net.total_bytes));
   out.push_back(int_field("net_diff_bytes", r.net.diff_bytes));
   out.push_back(int_field("net_page_bytes", r.net.page_bytes));
+  out.push_back(int_field("net_control_bytes", r.net.control_bytes));
+  out.push_back(int_field("net_stack_bytes", r.net.stack_bytes));
   out.push_back(int_field("tracking_faults", r.tracking_faults));
   out.push_back(int_field("tracking_coherence_faults",
                           r.tracking_coherence_faults));

@@ -1,0 +1,122 @@
+#include "fault/inject.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace actrack::fault {
+
+namespace {
+
+/// Both substreams come from one generator seeded with the plan's seed,
+/// so net and compute draws are independent of each other and of every
+/// workload stream.
+Rng substream(std::uint64_t seed, int index) {
+  Rng base(seed);
+  Rng stream = base.fork();
+  for (int i = 0; i < index; ++i) stream = base.fork();
+  return stream;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, NodeId num_nodes)
+    : plan_(std::move(plan)),
+      net_rng_(substream(plan_.seed, 0)),
+      compute_rng_(substream(plan_.seed, 1)),
+      base_us_(static_cast<std::size_t>(num_nodes), 0),
+      penalty_us_(static_cast<std::size_t>(num_nodes), 0) {
+  ACTRACK_CHECK(num_nodes > 0);
+  ACTRACK_CHECK_MSG(
+      plan_.node_slowdown.empty() ||
+          static_cast<NodeId>(plan_.node_slowdown.size()) == num_nodes,
+      "fault plan node_slowdown must have one entry per node");
+  ACTRACK_CHECK(plan_.drop_probability >= 0.0 &&
+                plan_.drop_probability <= 1.0);
+  ACTRACK_CHECK(plan_.duplicate_probability >= 0.0 &&
+                plan_.duplicate_probability <= 1.0);
+  ACTRACK_CHECK(plan_.spike_probability >= 0.0 &&
+                plan_.spike_probability <= 1.0);
+  ACTRACK_CHECK(plan_.stall_probability >= 0.0 &&
+                plan_.stall_probability <= 1.0);
+  ACTRACK_CHECK(plan_.spike_us >= 0 && plan_.stall_us >= 0);
+  for (const double slowdown : plan_.node_slowdown) {
+    ACTRACK_CHECK_MSG(slowdown >= 1.0, "node slowdown factors are >= 1.0");
+  }
+}
+
+MessageFate FaultInjector::on_message(NodeId from, NodeId to,
+                                      ByteCount payload, PayloadKind kind) {
+  (void)from;
+  (void)to;
+  (void)payload;
+  (void)kind;
+  stats_.messages_seen += 1;
+  MessageFate fate;
+  // One draw per configured fault dimension, in a fixed order, so the
+  // fate stream depends only on the plan and the message sequence.
+  if (plan_.drop_probability > 0.0 &&
+      net_rng_.uniform_real() < plan_.drop_probability) {
+    fate.dropped = true;
+    stats_.drops += 1;
+  }
+  if (plan_.duplicate_probability > 0.0 &&
+      net_rng_.uniform_real() < plan_.duplicate_probability) {
+    if (!fate.dropped) {
+      fate.copies = 2;
+      stats_.duplicates += 1;
+    }
+  }
+  if (plan_.spike_probability > 0.0 &&
+      net_rng_.uniform_real() < plan_.spike_probability) {
+    fate.extra_latency_us = plan_.spike_us;
+    stats_.spikes += 1;
+    stats_.spike_us_total += plan_.spike_us;
+  }
+  return fate;
+}
+
+void FaultInjector::on_retry(NodeId from, NodeId to, std::int32_t attempt) {
+  (void)from;
+  (void)to;
+  (void)attempt;
+  stats_.retransmits += 1;
+}
+
+SimTime FaultInjector::compute_penalty(NodeId node, SimTime us) {
+  ACTRACK_CHECK(node >= 0 && node < num_nodes());
+  if (us <= 0) return 0;
+  const auto n = static_cast<std::size_t>(node);
+  base_us_[n] += us;
+  SimTime penalty = 0;
+  if (!plan_.node_slowdown.empty() && plan_.node_slowdown[n] > 1.0) {
+    penalty += static_cast<SimTime>(static_cast<double>(us) *
+                                    (plan_.node_slowdown[n] - 1.0));
+  }
+  if (plan_.stall_probability > 0.0 &&
+      compute_rng_.uniform_real() < plan_.stall_probability) {
+    penalty += plan_.stall_us;
+    stats_.stalls += 1;
+    stats_.stall_us_total += plan_.stall_us;
+  }
+  penalty_us_[n] += penalty;
+  return penalty;
+}
+
+double FaultInjector::observed_slowdown(NodeId node) const {
+  ACTRACK_CHECK(node >= 0 && node < num_nodes());
+  const auto n = static_cast<std::size_t>(node);
+  if (base_us_[n] <= 0) return 1.0;
+  return static_cast<double>(base_us_[n] + penalty_us_[n]) /
+         static_cast<double>(base_us_[n]);
+}
+
+std::vector<double> FaultInjector::observed_slowdowns() const {
+  std::vector<double> slowdowns(base_us_.size(), 1.0);
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    slowdowns[static_cast<std::size_t>(n)] = observed_slowdown(n);
+  }
+  return slowdowns;
+}
+
+}  // namespace actrack::fault

@@ -1,0 +1,90 @@
+// FaultInjector — executes a FaultPlan against one simulated cluster.
+//
+// Implements net::NetFaultHook (message fates: drop, duplicate, latency
+// spike) and the scheduler's compute-penalty query (persistent slowdown
+// + transient stalls).  All randomness comes from two RNG substreams
+// forked from the plan's own seed — one for message fates, one for
+// compute stalls — so fault arrivals are a deterministic function of
+// the plan alone and never perturb any workload or placement RNG.
+//
+// The injector also keeps the books the recovery and repair layers
+// read: FaultStats (what was injected, what was retransmitted) and
+// per-node charged-vs-penalised compute time, from which
+// observed_slowdown() derives the capacity signal migration-as-repair
+// (fault/repair.hpp) feeds into the placement engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+
+namespace actrack::fault {
+
+/// Everything the injector did to one run.
+struct FaultStats {
+  std::int64_t messages_seen = 0;   // messages whose fate was decided
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t spikes = 0;
+  SimTime spike_us_total = 0;
+  std::int64_t stalls = 0;
+  SimTime stall_us_total = 0;
+  std::int64_t retransmits = 0;     // retry timeouts that fired
+};
+
+class FaultInjector final : public NetFaultHook {
+ public:
+  /// `num_nodes` sizes the per-node slowdown accounting; a non-empty
+  /// plan.node_slowdown must match it.
+  FaultInjector(FaultPlan plan, NodeId num_nodes);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// False for an empty plan.  Callers must not attach an inactive
+  /// injector — the hooked paths add recovery traffic (barrier notice
+  /// sync) even when no fault fires, and the bit-identical guarantee
+  /// for fault-free runs only holds with no hook attached.
+  [[nodiscard]] bool active() const noexcept { return !plan_.empty(); }
+
+  // -- NetFaultHook ------------------------------------------------------
+  MessageFate on_message(NodeId from, NodeId to, ByteCount payload,
+                         PayloadKind kind) override;
+  void on_retry(NodeId from, NodeId to, std::int32_t attempt) override;
+
+  // -- scheduler hook ----------------------------------------------------
+
+  /// Extra compute time `node` loses on a quantum of `us` of work:
+  /// persistent slowdown scaling plus a probabilistic transient stall.
+  /// Also accrues the per-node observed-slowdown accounting.
+  [[nodiscard]] SimTime compute_penalty(NodeId node, SimTime us);
+
+  // -- introspection -----------------------------------------------------
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(base_us_.size());
+  }
+
+  /// Observed compute slowdown of `node`: (charged + penalty) / charged
+  /// over everything compute_penalty has seen so far; 1.0 for a node
+  /// with no compute history.  This is the runtime's *measurement* of
+  /// node health — repair_placement uses it, not the plan.
+  [[nodiscard]] double observed_slowdown(NodeId node) const;
+  [[nodiscard]] std::vector<double> observed_slowdowns() const;
+
+ private:
+  FaultPlan plan_;
+  Rng net_rng_;      // substream: message fates
+  Rng compute_rng_;  // substream: transient stalls
+  FaultStats stats_;
+  std::vector<SimTime> base_us_;     // per-node compute charged
+  std::vector<SimTime> penalty_us_;  // per-node penalty added
+};
+
+}  // namespace actrack::fault

@@ -1,0 +1,212 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace actrack::fault {
+
+namespace {
+
+/// Shortest round-trippable rendering of a probability/factor.
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    throw std::runtime_error("fault plan: bad value for " + key + ": " +
+                             value);
+  }
+  return parsed;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t parsed = std::stoll(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("fault plan: bad value for " + key + ": " +
+                             value);
+  }
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t parsed = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("fault plan: bad value for " + key + ": " +
+                             value);
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const noexcept {
+  if (drop_probability > 0.0 || duplicate_probability > 0.0 ||
+      spike_probability > 0.0 || stall_probability > 0.0) {
+    return false;
+  }
+  for (const double slowdown : node_slowdown) {
+    if (slowdown != 1.0) return false;
+  }
+  return true;
+}
+
+const char* to_string(FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::kDrop:
+      return "drop";
+    case FaultClass::kDuplicate:
+      return "dup";
+    case FaultClass::kLatencySpike:
+      return "latency";
+    case FaultClass::kSlowNode:
+      return "slow";
+    case FaultClass::kStall:
+      return "stall";
+    case FaultClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::optional<FaultClass> fault_class_from_string(
+    std::string_view name) noexcept {
+  for (const FaultClass cls : all_fault_classes()) {
+    if (name == to_string(cls)) return cls;
+  }
+  return std::nullopt;
+}
+
+std::vector<FaultClass> all_fault_classes() {
+  return {FaultClass::kDrop,     FaultClass::kDuplicate,
+          FaultClass::kLatencySpike, FaultClass::kSlowNode,
+          FaultClass::kStall,    FaultClass::kMixed};
+}
+
+FaultPlan make_plan(FaultClass cls, NodeId num_nodes, std::uint64_t seed) {
+  ACTRACK_CHECK(num_nodes > 0);
+  FaultPlan plan;
+  plan.seed = seed;
+  switch (cls) {
+    case FaultClass::kDrop:
+      plan.drop_probability = 0.05;
+      break;
+    case FaultClass::kDuplicate:
+      plan.duplicate_probability = 0.05;
+      break;
+    case FaultClass::kLatencySpike:
+      plan.spike_probability = 0.10;
+      plan.spike_us = 2000;
+      break;
+    case FaultClass::kSlowNode:
+      plan.node_slowdown.assign(static_cast<std::size_t>(num_nodes), 1.0);
+      plan.node_slowdown.back() = 4.0;
+      break;
+    case FaultClass::kStall:
+      plan.stall_probability = 0.02;
+      plan.stall_us = 1500;
+      break;
+    case FaultClass::kMixed:
+      plan.drop_probability = 0.02;
+      plan.duplicate_probability = 0.02;
+      plan.spike_probability = 0.05;
+      plan.spike_us = 1000;
+      plan.stall_probability = 0.01;
+      plan.stall_us = 500;
+      plan.node_slowdown.assign(static_cast<std::size_t>(num_nodes), 1.0);
+      plan.node_slowdown.back() = 2.0;
+      break;
+  }
+  return plan;
+}
+
+std::string to_text(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "seed=" << plan.seed << '\n'
+      << "drop_probability=" << format_double(plan.drop_probability) << '\n'
+      << "duplicate_probability=" << format_double(plan.duplicate_probability)
+      << '\n'
+      << "spike_probability=" << format_double(plan.spike_probability) << '\n'
+      << "spike_us=" << plan.spike_us << '\n'
+      << "stall_probability=" << format_double(plan.stall_probability) << '\n'
+      << "stall_us=" << plan.stall_us << '\n';
+  out << "node_slowdown=";
+  for (std::size_t i = 0; i < plan.node_slowdown.size(); ++i) {
+    out << (i > 0 ? "," : "") << format_double(plan.node_slowdown[i]);
+  }
+  out << '\n';
+  return out.str();
+}
+
+FaultPlan plan_from_text(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("fault plan: malformed line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_uint(key, value);
+    } else if (key == "drop_probability") {
+      plan.drop_probability = parse_double(key, value);
+    } else if (key == "duplicate_probability") {
+      plan.duplicate_probability = parse_double(key, value);
+    } else if (key == "spike_probability") {
+      plan.spike_probability = parse_double(key, value);
+    } else if (key == "spike_us") {
+      plan.spike_us = parse_int(key, value);
+    } else if (key == "stall_probability") {
+      plan.stall_probability = parse_double(key, value);
+    } else if (key == "stall_us") {
+      plan.stall_us = parse_int(key, value);
+    } else if (key == "node_slowdown") {
+      plan.node_slowdown.clear();
+      if (!value.empty()) {
+        std::istringstream list(value);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+          plan.node_slowdown.push_back(parse_double(key, item));
+        }
+      }
+    } else {
+      throw std::runtime_error("fault plan: unknown key: " + key);
+    }
+  }
+  return plan;
+}
+
+void save_plan(const FaultPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open " + path);
+  out << to_text(plan);
+}
+
+FaultPlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return plan_from_text(text.str());
+}
+
+}  // namespace actrack::fault

@@ -1,0 +1,91 @@
+// Deterministic failure plans.
+//
+// The paper's testbed is a perfectly reliable Myrinet cluster; a
+// FaultPlan describes one reproducible way the simulated cluster
+// misbehaves instead.  A plan is pure data — probabilities, magnitudes
+// and per-node slowdown factors plus the seed of the dedicated RNG
+// substream the injector draws fates from — so the same plan and seed
+// always produce the same faults, failing runs can be re-run exactly,
+// and CI can serialise the plan of a failing sweep as an artifact
+// (save_plan/load_plan, a line-oriented key=value text format).
+//
+// Fault classes (the ablation and the CI matrix sweep one at a time):
+//   drop     message loss; the DSM's timeout/retry machinery recovers
+//   dup      duplicate delivery; protocol state is idempotent under it
+//   latency  per-link latency spikes on delivered messages
+//   slow     a persistently degraded node (migration-as-repair target)
+//   stall    transient node stalls charged to compute time
+//   mixed    a little of everything (the checker's default)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace actrack::fault {
+
+struct FaultPlan {
+  /// Seed of the injector's dedicated RNG substream.  Changing it
+  /// reshuffles fault arrivals without touching any workload RNG.
+  std::uint64_t seed = 0xFA17'0DC5ULL;
+
+  /// Per-message probability the message is lost in transit.
+  double drop_probability = 0.0;
+  /// Per-message probability a duplicate copy is delivered.
+  double duplicate_probability = 0.0;
+  /// Per-message probability of a latency spike, and its magnitude.
+  double spike_probability = 0.0;
+  SimTime spike_us = 0;
+  /// Per-compute-quantum probability a node stalls, and for how long.
+  double stall_probability = 0.0;
+  SimTime stall_us = 0;
+  /// Persistent per-node compute slowdown factors (>= 1.0; 1.0 = healthy).
+  /// Empty means every node is healthy.
+  std::vector<double> node_slowdown;
+
+  /// True when the plan injects nothing: no probabilities, no slow
+  /// nodes.  An empty plan is never attached to the simulator, so a run
+  /// configured with one is bit-identical to a run with no plan at all
+  /// (tests/fault_test.cpp guards this).
+  [[nodiscard]] bool empty() const noexcept;
+};
+
+/// The named fault classes the bench, CLI and CI matrix sweep.
+enum class FaultClass : std::uint8_t {
+  kDrop,
+  kDuplicate,
+  kLatencySpike,
+  kSlowNode,
+  kStall,
+  kMixed,
+};
+
+[[nodiscard]] const char* to_string(FaultClass cls) noexcept;
+[[nodiscard]] std::optional<FaultClass> fault_class_from_string(
+    std::string_view name) noexcept;
+
+/// All classes in declaration order (sweep helpers).
+[[nodiscard]] std::vector<FaultClass> all_fault_classes();
+
+/// Default plan for one fault class at the given cluster size.  Slow-node
+/// plans degrade the last node (the CI matrix and the resilience bench
+/// rely on that being stable).  Magnitudes are calibrated so a default
+/// run limps but completes: retry budgets are effectively inexhaustible
+/// at these probabilities.
+[[nodiscard]] FaultPlan make_plan(FaultClass cls, NodeId num_nodes,
+                                  std::uint64_t seed = 0xFA17'0DC5ULL);
+
+/// Text round trip (key=value lines; node_slowdown comma-separated).
+[[nodiscard]] std::string to_text(const FaultPlan& plan);
+[[nodiscard]] FaultPlan plan_from_text(const std::string& text);
+
+/// File round trip.  load_plan throws std::runtime_error on a missing
+/// or malformed file.
+void save_plan(const FaultPlan& plan, const std::string& path);
+[[nodiscard]] FaultPlan load_plan(const std::string& path);
+
+}  // namespace actrack::fault

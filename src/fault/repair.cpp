@@ -1,0 +1,25 @@
+#include "fault/repair.hpp"
+
+#include "common/check.hpp"
+#include "placement/weighted.hpp"
+
+namespace actrack::fault {
+
+std::vector<double> capacity_weights(const FaultInjector& injector) {
+  std::vector<double> weights(static_cast<std::size_t>(injector.num_nodes()),
+                              1.0);
+  for (NodeId n = 0; n < injector.num_nodes(); ++n) {
+    const double slowdown = injector.observed_slowdown(n);
+    ACTRACK_CHECK(slowdown >= 1.0);
+    weights[static_cast<std::size_t>(n)] = 1.0 / slowdown;
+  }
+  return weights;
+}
+
+Placement repair_placement(const CorrelationMatrix& matrix,
+                           const FaultInjector& injector,
+                           const MinCostOptions& options) {
+  return weighted_min_cost(matrix, capacity_weights(injector), options);
+}
+
+}  // namespace actrack::fault

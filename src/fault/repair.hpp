@@ -1,0 +1,34 @@
+// Migration-as-repair: route the paper's own migration machinery around
+// degraded nodes.
+//
+// The active tracker gives the runtime a correlation matrix; the fault
+// injector gives it a measured per-node slowdown.  Repair closes the
+// loop: convert observed slowdown into capacity weights (a degraded
+// node deserves proportionally fewer threads) and hand both to the
+// existing weighted min-cost placement engine, so one migration
+// evacuates load off sick nodes while still minimising the sharing cut.
+#pragma once
+
+#include <vector>
+
+#include "correlation/matrix.hpp"
+#include "fault/inject.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/placement.hpp"
+
+namespace actrack::fault {
+
+/// Per-node capacity weights from the injector's observed slowdowns:
+/// weight = 1 / slowdown, so a node running 4x slow gets a quarter of a
+/// healthy node's thread share.
+[[nodiscard]] std::vector<double> capacity_weights(
+    const FaultInjector& injector);
+
+/// A placement that minimises the correlation cut under
+/// capacity-proportional populations derived from the observed
+/// slowdowns — the repair target the runtime migrates to.
+[[nodiscard]] Placement repair_placement(const CorrelationMatrix& matrix,
+                                         const FaultInjector& injector,
+                                         const MinCostOptions& options = {});
+
+}  // namespace actrack::fault

@@ -15,31 +15,121 @@ static_assert(static_cast<int>(obs::Probe::Wire::kDiff) ==
 static_assert(static_cast<int>(obs::Probe::Wire::kStack) ==
               static_cast<int>(PayloadKind::kStack));
 
-SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
+void NetworkModel::account(NodeId from, NodeId to, ByteCount payload,
                            PayloadKind kind) {
-  ACTRACK_CHECK(from >= 0 && from < num_nodes());
-  ACTRACK_CHECK(to >= 0 && to < num_nodes());
-  ACTRACK_CHECK_MSG(from != to, "loopback messages are free and not sent");
-  ACTRACK_CHECK(payload >= 0);
-
   NetCounters& node = per_node_[static_cast<std::size_t>(from)];
   const ByteCount wire = payload + cost_.message_header_bytes;
   node.messages += 1;
   node.total_bytes += wire;
   totals_.messages += 1;
   totals_.total_bytes += wire;
-  if (kind == PayloadKind::kDiff) {
-    node.diff_bytes += payload;
-    totals_.diff_bytes += payload;
-  } else if (kind == PayloadKind::kFullPage) {
-    node.page_bytes += payload;
-    totals_.page_bytes += payload;
+  switch (kind) {
+    case PayloadKind::kControl:
+      node.control_bytes += wire;
+      totals_.control_bytes += wire;
+      break;
+    case PayloadKind::kDiff:
+      node.diff_bytes += payload;
+      totals_.diff_bytes += payload;
+      break;
+    case PayloadKind::kFullPage:
+      node.page_bytes += payload;
+      totals_.page_bytes += payload;
+      break;
+    case PayloadKind::kStack:
+      node.stack_bytes += payload;
+      totals_.stack_bytes += payload;
+      break;
   }
   if (probe_) {
     probe_->message(from, to, payload, wire,
                     static_cast<obs::Probe::Wire>(kind));
   }
-  return cost_.transfer_us(payload);
+}
+
+SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
+                           PayloadKind kind, bool* delivered) {
+  ACTRACK_CHECK(from >= 0 && from < num_nodes());
+  ACTRACK_CHECK(to >= 0 && to < num_nodes());
+  ACTRACK_CHECK_MSG(from != to, "loopback messages are free and not sent");
+  ACTRACK_CHECK(payload >= 0);
+
+  account(from, to, payload, kind);
+  SimTime transfer = cost_.transfer_us(payload);
+  if (delivered) *delivered = true;
+  if (!fault_hook_) return transfer;
+
+  const MessageFate fate = fault_hook_->on_message(from, to, payload, kind);
+  transfer += fate.extra_latency_us;
+  if (fate.dropped) {
+    // The bytes crossed (part of) the wire and are accounted above; the
+    // message simply never arrives.
+    if (delivered) *delivered = false;
+    if (probe_) probe_->message_drop(from, to);
+    return transfer;
+  }
+  for (std::int32_t copy = 1; copy < fate.copies; ++copy) {
+    // Duplicate delivery: an extra wire copy of the same message.  The
+    // receiver's protocol state is idempotent under re-delivery, so
+    // only the traffic accounting sees the copy.
+    account(from, to, payload, kind);
+    if (probe_) probe_->message_dup(from, to);
+  }
+  return transfer;
+}
+
+ExchangeResult NetworkModel::exchange(NodeId requester, NodeId responder,
+                                      ByteCount reply_payload,
+                                      PayloadKind reply_kind,
+                                      const RetryPolicy& retry) {
+  ExchangeResult result;
+  if (!fault_hook_) {
+    result.latency_us =
+        send(requester, responder, 0, PayloadKind::kControl) +
+        send(responder, requester, reply_payload, reply_kind);
+    return result;
+  }
+  for (std::int32_t attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    bool request_arrived = false;
+    const SimTime request_us = send(requester, responder, 0,
+                                    PayloadKind::kControl, &request_arrived);
+    if (request_arrived) {
+      bool reply_arrived = false;
+      const SimTime reply_us = send(responder, requester, reply_payload,
+                                    reply_kind, &reply_arrived);
+      if (reply_arrived) {
+        result.latency_us += request_us + reply_us;
+        return result;
+      }
+    }
+    // The requester cannot tell a lost request from a lost reply; it
+    // waits the full timeout either way, then retransmits.
+    if (attempt >= retry.max_attempts) {
+      throw RetryExhausted(requester, responder, attempt);
+    }
+    result.latency_us += retry.timeout_for(attempt);
+    fault_hook_->on_retry(requester, responder, attempt);
+    if (probe_) probe_->retransmit(requester, responder, attempt);
+  }
+}
+
+SimTime NetworkModel::send_reliable(NodeId from, NodeId to, ByteCount payload,
+                                    PayloadKind kind, const RetryPolicy& retry,
+                                    std::int32_t* attempts) {
+  if (attempts) *attempts = 1;
+  if (!fault_hook_) return send(from, to, payload, kind);
+  SimTime latency = 0;
+  for (std::int32_t attempt = 1;; ++attempt) {
+    if (attempts) *attempts = attempt;
+    bool arrived = false;
+    const SimTime transfer = send(from, to, payload, kind, &arrived);
+    if (arrived) return latency + transfer;
+    if (attempt >= retry.max_attempts) throw RetryExhausted(from, to, attempt);
+    latency += retry.timeout_for(attempt);
+    fault_hook_->on_retry(from, to, attempt);
+    if (probe_) probe_->retransmit(from, to, attempt);
+  }
 }
 
 void NetworkModel::reset_counters() noexcept {

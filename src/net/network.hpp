@@ -3,9 +3,19 @@
 // Table 6 of the paper reports, per run, total MBytes moved and MBytes of
 // diffs.  NetworkModel owns the cost model and tallies every message the
 // DSM and the migration engine send, per node and in aggregate.
+//
+// The paper's Myrinet is perfectly reliable; a fault hook (src/fault)
+// may be attached to decide the fate of each message — drop, duplicate,
+// latency spike.  The recovery layer lives here too: exchange() is a
+// request/reply with timeout/retry and exponential backoff, and
+// send_reliable() retransmits a one-way message until it is delivered.
+// With no hook attached both reduce to exactly the plain send()
+// sequence, so an unfaulted run is bit-identical to the pre-fault code.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -27,16 +37,79 @@ enum class PayloadKind : std::uint8_t {
 
 struct NetCounters {
   std::int64_t messages = 0;
-  ByteCount total_bytes = 0;  // headers + payloads, everything on the wire
-  ByteCount diff_bytes = 0;   // payload bytes of kDiff messages only
-  ByteCount page_bytes = 0;   // payload bytes of kFullPage messages only
+  ByteCount total_bytes = 0;    // headers + payloads, everything on the wire
+  ByteCount diff_bytes = 0;     // payload bytes of kDiff messages only
+  ByteCount page_bytes = 0;     // payload bytes of kFullPage messages only
+  ByteCount control_bytes = 0;  // wire bytes of kControl messages (headers)
+  ByteCount stack_bytes = 0;    // payload bytes of kStack messages only
 
   void add(const NetCounters& other) noexcept {
     messages += other.messages;
     total_bytes += other.total_bytes;
     diff_bytes += other.diff_bytes;
     page_bytes += other.page_bytes;
+    control_bytes += other.control_bytes;
+    stack_bytes += other.stack_bytes;
   }
+};
+
+/// Fate of one message on the wire, decided by the fault hook.
+struct MessageFate {
+  bool dropped = false;          // lost in transit: sent but never delivered
+  std::int32_t copies = 1;       // >1 models duplicate delivery
+  SimTime extra_latency_us = 0;  // per-link latency spike
+};
+
+/// Fault-injection interface (implemented by fault::FaultInjector; net
+/// sits below fault in the layering, so only the abstract hook lives
+/// here).  Same null-by-default contract as obs::Probe: every call site
+/// is one `if (fault_hook_)` branch and an unhooked run is bit-identical
+/// to the pre-fault code.  Unlike the probe, the hook's verdict feeds
+/// back into delivery and timing — that is its whole purpose.
+class NetFaultHook {
+ public:
+  virtual ~NetFaultHook() = default;
+
+  /// Decides what happens to one message about to cross the wire.
+  virtual MessageFate on_message(NodeId from, NodeId to, ByteCount payload,
+                                 PayloadKind kind) = 0;
+
+  /// A retry timeout fired: `attempt` (1-based) timed out and the
+  /// message is being retransmitted.
+  virtual void on_retry(NodeId from, NodeId to, std::int32_t attempt) = 0;
+};
+
+/// Timeout/retry schedule for recoverable message exchanges.  The
+/// timeout doubles per attempt (exponential backoff) up to the cap; the
+/// attempt budget bounds how long a faulted run can limp before the
+/// failure is surfaced.
+struct RetryPolicy {
+  SimTime timeout_us = 1500;     // first-attempt timeout
+  SimTime timeout_cap_us = 24000;
+  std::int32_t max_attempts = 8;
+
+  /// Timeout charged to attempt number `attempt` (1-based).
+  [[nodiscard]] SimTime timeout_for(std::int32_t attempt) const noexcept {
+    SimTime t = timeout_us;
+    for (std::int32_t i = 1; i < attempt && t < timeout_cap_us; ++i) t *= 2;
+    return t < timeout_cap_us ? t : timeout_cap_us;
+  }
+};
+
+/// A recoverable exchange ran out of retry attempts.
+class RetryExhausted : public std::runtime_error {
+ public:
+  RetryExhausted(NodeId from, NodeId to, std::int32_t attempts)
+      : std::runtime_error("retry budget exhausted after " +
+                           std::to_string(attempts) + " attempts (" +
+                           std::to_string(from) + " -> " +
+                           std::to_string(to) + ")") {}
+};
+
+/// Latency and attempt count of one recoverable request/reply.
+struct ExchangeResult {
+  SimTime latency_us = 0;    // timeouts + successful round trip
+  std::int32_t attempts = 1;
 };
 
 class NetworkModel {
@@ -51,8 +124,28 @@ class NetworkModel {
     return static_cast<NodeId>(per_node_.size());
   }
 
-  /// Records a message from `from` to `to` and returns its transfer time.
-  SimTime send(NodeId from, NodeId to, ByteCount payload, PayloadKind kind);
+  /// Records a message from `from` to `to` and returns its transfer
+  /// time.  With a fault hook attached the hook decides the message's
+  /// fate; `delivered` (optional) reports whether it arrived.  Dropped
+  /// and duplicated copies are still accounted — they crossed the wire.
+  SimTime send(NodeId from, NodeId to, ByteCount payload, PayloadKind kind,
+               bool* delivered = nullptr);
+
+  /// Request/reply with timeout/retry: a control request from
+  /// `requester`, a `reply_payload` reply back.  Retries with
+  /// exponential backoff until both legs are delivered; throws
+  /// RetryExhausted past the attempt budget.  Without a fault hook this
+  /// is exactly two send() calls.
+  ExchangeResult exchange(NodeId requester, NodeId responder,
+                          ByteCount reply_payload, PayloadKind reply_kind,
+                          const RetryPolicy& retry);
+
+  /// One-way message retransmitted until delivered (write notices,
+  /// invalidations, stack copies).  Returns the delivered copy's
+  /// transfer time plus timeouts; reports attempts via `attempts`.
+  SimTime send_reliable(NodeId from, NodeId to, ByteCount payload,
+                        PayloadKind kind, const RetryPolicy& retry,
+                        std::int32_t* attempts = nullptr);
 
   [[nodiscard]] const NetCounters& totals() const noexcept { return totals_; }
   [[nodiscard]] const NetCounters& node_counters(NodeId node) const {
@@ -66,9 +159,20 @@ class NetworkModel {
   /// then mirrored into its metrics.  Accounting is unchanged either way.
   void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
 
+  /// Attaches a fault hook (null detaches).  While attached, every
+  /// send() consults it and the recovery paths become live.
+  void set_fault_hook(NetFaultHook* hook) noexcept { fault_hook_ = hook; }
+  [[nodiscard]] bool fault_hook_attached() const noexcept {
+    return fault_hook_ != nullptr;
+  }
+
  private:
+  /// Books one wire copy into the totals and the sender's counters.
+  void account(NodeId from, NodeId to, ByteCount payload, PayloadKind kind);
+
   CostModel cost_;
-  obs::Probe* probe_ = nullptr;  // non-owning, may be null
+  obs::Probe* probe_ = nullptr;           // non-owning, may be null
+  NetFaultHook* fault_hook_ = nullptr;    // non-owning, may be null
   NetCounters totals_;
   std::vector<NetCounters> per_node_;  // attributed to the sender
 };

@@ -33,6 +33,9 @@ enum class EventKind : std::uint8_t {
   kContextSwitch,     // switch-on-remote-fetch
   kMigration,         // thread = mover, node = source, a = destination node
   kGc,                // a = pages consolidated
+  kMessageDrop,       // node = sender, a = destination node (injected loss)
+  kMessageDup,        // node = sender, a = destination node (duplicate copy)
+  kRetransmit,        // node = sender, a = destination node, b = attempt
 };
 
 /// Stable lower-case name, used by the CSV exporter and trace names.

@@ -105,6 +105,18 @@ EmittedEvent emit(const Event& event) {
       out.name = "gc";
       args << "\"pages\": " << event.a;
       break;
+    case EventKind::kMessageDrop:
+      out.name = "message drop";
+      args << "\"to_node\": " << event.a;
+      break;
+    case EventKind::kMessageDup:
+      out.name = "message dup";
+      args << "\"to_node\": " << event.a;
+      break;
+    case EventKind::kRetransmit:
+      out.name = "retransmit";
+      args << "\"to_node\": " << event.a << ", \"attempt\": " << event.b;
+      break;
   }
   out.args = args.str();
   return out;

@@ -24,7 +24,10 @@ Probe::Probe(ProbeOptions options)
       bytes_control_(metrics_.counter("net/bytes_control")),
       bytes_page_(metrics_.counter("net/bytes_page")),
       bytes_diff_(metrics_.counter("net/bytes_diff")),
-      bytes_stack_(metrics_.counter("net/bytes_stack")) {}
+      bytes_stack_(metrics_.counter("net/bytes_stack")),
+      net_drops_(metrics_.counter("net/drops")),
+      net_dups_(metrics_.counter("net/dups")),
+      net_retransmits_(metrics_.counter("net/retransmits")) {}
 
 void Probe::record(EventKind kind, SimTime local_us, NodeId node,
                    ThreadId thread, std::int64_t a, std::int64_t b) {
@@ -157,6 +160,24 @@ void Probe::message(NodeId from, NodeId to, ByteCount payload,
       bytes_stack_.add(payload);
       break;
   }
+}
+
+void Probe::message_drop(NodeId from, NodeId to) {
+  net_drops_.add();
+  record(EventKind::kMessageDrop, context_time_us_ - base_us_, from,
+         context_thread_, to);
+}
+
+void Probe::message_dup(NodeId from, NodeId to) {
+  net_dups_.add();
+  record(EventKind::kMessageDup, context_time_us_ - base_us_, from,
+         context_thread_, to);
+}
+
+void Probe::retransmit(NodeId from, NodeId to, std::int32_t attempt) {
+  net_retransmits_.add();
+  record(EventKind::kRetransmit, context_time_us_ - base_us_, from,
+         context_thread_, to, attempt);
 }
 
 }  // namespace actrack::obs

@@ -102,6 +102,16 @@ class Probe {
   void message(NodeId from, NodeId to, ByteCount payload,
                ByteCount wire_bytes, Wire kind);
 
+  // -- fault-injection hooks (network recovery paths) ------------------
+
+  /// An injected fault dropped the message `from` -> `to`.
+  void message_drop(NodeId from, NodeId to);
+  /// An injected fault delivered an extra copy of a message.
+  void message_dup(NodeId from, NodeId to);
+  /// A retry timeout fired and the message is being retransmitted
+  /// (`attempt` is the 1-based attempt that timed out).
+  void retransmit(NodeId from, NodeId to, std::int32_t attempt);
+
  private:
   void record(EventKind kind, SimTime local_us, NodeId node,
               ThreadId thread, std::int64_t a = 0, std::int64_t b = 0);
@@ -139,6 +149,9 @@ class Probe {
   Counter& bytes_page_;
   Counter& bytes_diff_;
   Counter& bytes_stack_;
+  Counter& net_drops_;
+  Counter& net_dups_;
+  Counter& net_retransmits_;
   std::vector<Counter*> node_idle_;
 };
 

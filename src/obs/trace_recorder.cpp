@@ -36,6 +36,12 @@ const char* to_string(EventKind kind) noexcept {
       return "migration";
     case EventKind::kGc:
       return "gc";
+    case EventKind::kMessageDrop:
+      return "message_drop";
+    case EventKind::kMessageDup:
+      return "message_dup";
+    case EventKind::kRetransmit:
+      return "retransmit";
   }
   return "?";
 }

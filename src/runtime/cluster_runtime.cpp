@@ -18,6 +18,8 @@ void IterationMetrics::add(const IterationMetrics& other) noexcept {
   messages += other.messages;
   total_bytes += other.total_bytes;
   diff_bytes += other.diff_bytes;
+  control_bytes += other.control_bytes;
+  stack_bytes += other.stack_bytes;
   gc_runs += other.gc_runs;
 }
 
@@ -37,6 +39,16 @@ ClusterRuntime::ClusterRuntime(const Workload& workload, Placement placement,
     dsm_->set_probe(probe_);
     sched_->set_probe(probe_);
   }
+  if (!config.fault.empty()) {
+    // Only a non-empty plan attaches anything: the hooked recovery paths
+    // (barrier notice sync, exchange retries) add traffic even when
+    // every probability is zero, and healthy runs must stay
+    // bit-identical to the unhooked build.
+    fault_ = std::make_unique<fault::FaultInjector>(config.fault,
+                                                    placement_.num_nodes());
+    net_->set_fault_hook(fault_.get());
+    sched_->set_fault_injector(fault_.get());
+  }
 }
 
 ClusterRuntime::Snapshot ClusterRuntime::snapshot() const {
@@ -55,6 +67,8 @@ IterationMetrics ClusterRuntime::delta_since(const Snapshot& snap,
   m.messages = n.messages - snap.net.messages;
   m.total_bytes = n.total_bytes - snap.net.total_bytes;
   m.diff_bytes = n.diff_bytes - snap.net.diff_bytes;
+  m.control_bytes = n.control_bytes - snap.net.control_bytes;
+  m.stack_bytes = n.stack_bytes - snap.net.stack_bytes;
   m.gc_runs = d.gc_runs - snap.dsm.gc_runs;
   return m;
 }

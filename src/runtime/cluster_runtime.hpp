@@ -14,6 +14,8 @@
 #include "apps/workload.hpp"
 #include "correlation/matrix.hpp"
 #include "dsm/protocol.hpp"
+#include "fault/inject.hpp"
+#include "fault/plan.hpp"
 #include "net/network.hpp"
 #include "placement/placement.hpp"
 #include "sched/scheduler.hpp"
@@ -32,6 +34,11 @@ struct RuntimeConfig {
   /// runtime).  Null — the default — leaves every component on its
   /// untraced path and results bit-identical.
   obs::Probe* probe = nullptr;
+  /// Deterministic failure plan.  The default (empty) plan attaches no
+  /// injector at all, so healthy runs take the exact pre-fault code
+  /// paths; a non-empty plan makes the runtime own a FaultInjector and
+  /// wire it into the network and scheduler.
+  fault::FaultPlan fault;
 };
 
 /// Delta of protocol/network activity over one operation.
@@ -43,6 +50,8 @@ struct IterationMetrics {
   std::int64_t messages = 0;
   ByteCount total_bytes = 0;
   ByteCount diff_bytes = 0;
+  ByteCount control_bytes = 0;
+  ByteCount stack_bytes = 0;
   std::int64_t gc_runs = 0;
   /// max/mean per-node active time for this step (1.0 = balanced; only
   /// meaningful for measured iterations).
@@ -88,6 +97,14 @@ class ClusterRuntime {
   [[nodiscard]] ClusterScheduler& scheduler() noexcept { return *sched_; }
   [[nodiscard]] NetworkModel& network() noexcept { return *net_; }
 
+  /// The runtime's fault injector, or null when the plan was empty.
+  [[nodiscard]] fault::FaultInjector* fault_injector() noexcept {
+    return fault_.get();
+  }
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const noexcept {
+    return fault_.get();
+  }
+
   /// Cumulative metrics since construction.
   [[nodiscard]] const IterationMetrics& totals() const noexcept {
     return totals_;
@@ -107,6 +124,7 @@ class ClusterRuntime {
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<DsmSystem> dsm_;
   std::unique_ptr<ClusterScheduler> sched_;
+  std::unique_ptr<fault::FaultInjector> fault_;  // null when plan is empty
   obs::Probe* probe_ = nullptr;  // non-owning, may be null
   std::int32_t next_iteration_ = 0;
   IterationMetrics totals_;

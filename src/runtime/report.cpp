@@ -49,14 +49,16 @@ IterationMetrics MetricsLog::total(StepKind kind) const {
 
 void MetricsLog::write_csv(std::ostream& out) const {
   out << "index,kind,elapsed_us,remote_misses,read_faults,write_faults,"
-         "messages,total_bytes,diff_bytes,gc_runs,sim_time_us\n";
+         "messages,total_bytes,diff_bytes,control_bytes,stack_bytes,"
+         "gc_runs,sim_time_us\n";
   SimTime sim_time_us = 0;  // cumulative simulated time at step start
   for (const Entry& entry : entries_) {
     const IterationMetrics& m = entry.metrics;
     out << entry.index << ',' << to_string(entry.kind) << ','
         << m.elapsed_us << ',' << m.remote_misses << ',' << m.read_faults
         << ',' << m.write_faults << ',' << m.messages << ','
-        << m.total_bytes << ',' << m.diff_bytes << ',' << m.gc_runs << ','
+        << m.total_bytes << ',' << m.diff_bytes << ',' << m.control_bytes
+        << ',' << m.stack_bytes << ',' << m.gc_runs << ','
         << sim_time_us << '\n';
     sim_time_us += m.elapsed_us;
   }

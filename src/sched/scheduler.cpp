@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "fault/inject.hpp"
 #include "obs/probe.hpp"
 
 namespace actrack {
@@ -89,10 +90,14 @@ ClusterScheduler::ClusterScheduler(DsmSystem* dsm, NetworkModel* net,
 }
 
 SimTime ClusterScheduler::compute_time(SimTime us, NodeId node) const {
-  if (config_.node_speed.empty()) return us;
-  return static_cast<SimTime>(
-      static_cast<double>(us) /
-      config_.node_speed[static_cast<std::size_t>(node)]);
+  SimTime scaled = us;
+  if (!config_.node_speed.empty()) {
+    scaled = static_cast<SimTime>(
+        static_cast<double>(us) /
+        config_.node_speed[static_cast<std::size_t>(node)]);
+  }
+  if (fault_) scaled += fault_->compute_penalty(node, scaled);
+  return scaled;
 }
 
 ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
@@ -518,8 +523,10 @@ MigrationResult ClusterScheduler::migrate(const Placement& from,
     if (src == dst) continue;
     result.threads_moved += 1;
     if (probe_) probe_->migration(t, src, dst);
-    const SimTime transfer =
-        net_->send(src, dst, cost.thread_stack_bytes, PayloadKind::kStack);
+    // A half-copied stack is unusable: the copy retries until it lands.
+    const SimTime transfer = net_->send_reliable(
+        src, dst, cost.thread_stack_bytes, PayloadKind::kStack,
+        dsm_->config().retry);
     outgoing[static_cast<std::size_t>(src)] += transfer;
   }
 

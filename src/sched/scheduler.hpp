@@ -33,6 +33,10 @@ namespace actrack::obs {
 class Probe;
 }
 
+namespace actrack::fault {
+class FaultInjector;
+}
+
 namespace actrack {
 
 struct SchedConfig {
@@ -108,6 +112,12 @@ class ClusterScheduler {
   /// simulation state; a probed run computes identical results.
   void set_probe(obs::Probe* probe) noexcept { probe_ = probe; }
 
+  /// Attaches a fault injector (null detaches): compute time then pays
+  /// the injector's per-node slowdown/stall penalties.
+  void set_fault_injector(fault::FaultInjector* fault) noexcept {
+    fault_ = fault;
+  }
+
  private:
   struct PhaseOutcome {
     SimTime phase_end_us = 0;  // barrier completion time
@@ -125,6 +135,7 @@ class ClusterScheduler {
   NetworkModel* net_;    // non-owning
   SchedConfig config_;
   obs::Probe* probe_ = nullptr;  // non-owning, may be null
+  fault::FaultInjector* fault_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace actrack

@@ -15,6 +15,8 @@
 #include "check/fuzz.hpp"
 #include "correlation/sharing.hpp"
 #include "exp/experiment.hpp"
+#include "fault/plan.hpp"
+#include "fault/repair.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
 #include "obs/export.hpp"
@@ -455,6 +457,112 @@ int cmd_check(const Options& options, std::ostream& out) {
   return 1;
 }
 
+/// One `faults` run of the workload: init + the measured iterations,
+/// optionally with a mid-run repair migration driven by the injector's
+/// observed slowdowns.
+struct FaultLeg {
+  SimTime elapsed_us = 0;
+  std::int64_t fetch_retries = 0;
+  std::int64_t notices_recovered = 0;
+  fault::FaultStats stats;
+};
+
+FaultLeg run_fault_leg(const Workload& workload, const Options& options,
+                       const fault::FaultPlan& plan, bool repair) {
+  RuntimeConfig config = config_for(options);
+  config.fault = plan;
+  ClusterRuntime runtime(workload, placement_for(options, workload), config);
+  runtime.run_init();
+  // Every leg measures the same window — the iterations after the
+  // repair point — so the repaired column isolates the placement's
+  // effect from the one-off tracking + migration cost.
+  const std::int32_t split = options.iterations / 2;
+  for (std::int32_t i = 0; i < split; ++i) runtime.run_iteration();
+  if (repair) {
+    // Track correlations, then migrate to the placement that weights
+    // node capacity by the slowdown the injector has been observed to
+    // cause so far (migration-as-repair).
+    const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+    if (const fault::FaultInjector* injector = runtime.fault_injector()) {
+      runtime.migrate_to(fault::repair_placement(
+          CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps),
+          *injector));
+    }
+  }
+  IterationMetrics window;
+  for (std::int32_t i = split; i < options.iterations; ++i) {
+    window.add(runtime.run_iteration());
+  }
+  FaultLeg leg;
+  leg.elapsed_us = window.elapsed_us;
+  leg.fetch_retries = runtime.dsm().stats().fetch_retries;
+  leg.notices_recovered = runtime.dsm().stats().notices_recovered;
+  if (const fault::FaultInjector* injector = runtime.fault_injector()) {
+    leg.stats = injector->stats();
+  }
+  return leg;
+}
+
+int cmd_faults(const Options& options, std::ostream& out) {
+  const auto workload = make_workload(options.app, options.threads);
+
+  std::vector<std::pair<std::string, fault::FaultPlan>> plans;
+  if (!options.plan_path.empty()) {
+    plans.emplace_back("plan-file", fault::load_plan(options.plan_path));
+  } else if (options.fault_class == "all") {
+    for (const fault::FaultClass cls : fault::all_fault_classes()) {
+      plans.emplace_back(fault::to_string(cls),
+                         fault::make_plan(cls, options.nodes, options.seed));
+    }
+  } else {
+    const std::optional<fault::FaultClass> cls =
+        fault::fault_class_from_string(options.fault_class);
+    if (!cls) {
+      fail("--fault-class must be drop, dup, latency, slow, stall, mixed "
+           "or all");
+    }
+    plans.emplace_back(fault::to_string(*cls),
+                       fault::make_plan(*cls, options.nodes, options.seed));
+  }
+  if (!options.plan_out_path.empty()) {
+    if (plans.size() != 1) {
+      fail("--plan-out needs one plan (--fault-class CLS or --plan F)");
+    }
+    fault::save_plan(plans[0].second, options.plan_out_path);
+    out << "fault plan written to " << options.plan_out_path << '\n';
+  }
+
+  const FaultLeg healthy = run_fault_leg(*workload, options, {}, false);
+  const std::int32_t window = options.iterations - options.iterations / 2;
+  out << "healthy baseline: " << std::fixed << std::setprecision(3)
+      << static_cast<double>(healthy.elapsed_us) / 1e6 << " s ("
+      << workload->name() << ", " << options.threads << " threads, "
+      << options.nodes << " nodes; the last " << window << " of "
+      << options.iterations << " iterations — the repaired leg migrates "
+      << "once\nto an observed-slowdown-weighted placement before that "
+      << "window)\n";
+  out << "plan       faulted-x  repaired-x  retries  recovered  drops  "
+         "dups  stalls\n";
+  for (const auto& [name, plan] : plans) {
+    const FaultLeg faulted = run_fault_leg(*workload, options, plan, false);
+    const FaultLeg repaired = run_fault_leg(*workload, options, plan, true);
+    const auto slowdown = [&](const FaultLeg& leg) {
+      return healthy.elapsed_us > 0
+                 ? static_cast<double>(leg.elapsed_us) /
+                       static_cast<double>(healthy.elapsed_us)
+                 : 1.0;
+    };
+    out << std::left << std::setw(11) << name << std::right << std::fixed
+        << std::setprecision(2) << std::setw(9) << slowdown(faulted)
+        << std::setw(12) << slowdown(repaired) << std::setw(9)
+        << faulted.fetch_retries << std::setw(11)
+        << faulted.notices_recovered << std::setw(7) << faulted.stats.drops
+        << std::setw(6) << faulted.stats.duplicates << std::setw(8)
+        << faulted.stats.stalls << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -478,6 +586,8 @@ std::string usage() {
       "  check                      fuzz the DSM protocol under the shadow\n"
       "                             oracle and invariant auditor; with\n"
       "                             --trace F, replay one reproducer\n"
+      "  faults   --app NAME        run under deterministic fault plans and\n"
+      "                             compare healthy / faulted / repaired\n"
       "flags:\n"
       "  --app NAME            Barnes|FFT6|FFT7|FFT8|LU1k|LU2k|Ocean|\n"
       "                        Spatial|SOR|Water        (default SOR)\n"
@@ -497,6 +607,10 @@ std::string usage() {
       "  --shrink              minimise failing traces (check)\n"
       "  --repro-dir DIR       write reproducer .actrace files (check);\n"
       "                        the directory must exist\n"
+      "  --fault-class C       drop|dup|latency|slow|stall|mixed|all\n"
+      "                        (faults; default all)\n"
+      "  --plan PATH           load a saved fault plan (faults)\n"
+      "  --plan-out PATH       save the selected fault plan (faults)\n"
       "  --no-latency-hiding   disable switch-on-remote-fetch\n"
       "  --pgm PATH            write the correlation map as PGM (track)\n"
       "  --csv PATH            write metrics to a file (run, sweep) or\n"
@@ -516,7 +630,8 @@ Options parse(const std::vector<std::string>& args) {
 
   const auto known = {"list",    "info",    "run",     "track",
                       "cutcost", "sweep",   "passive", "adaptive",
-                      "record",  "replay",  "profile", "check"};
+                      "record",  "replay",  "profile", "check",
+                      "faults"};
   bool ok = false;
   for (const char* candidate : known) {
     if (options.command == candidate) ok = true;
@@ -561,6 +676,12 @@ Options parse(const std::vector<std::string>& args) {
       options.shrink = true;
     } else if (flag == "--repro-dir") {
       options.repro_dir = next();
+    } else if (flag == "--fault-class") {
+      options.fault_class = next();
+    } else if (flag == "--plan") {
+      options.plan_path = next();
+    } else if (flag == "--plan-out") {
+      options.plan_out_path = next();
     } else if (flag == "--no-latency-hiding") {
       options.latency_hiding = false;
     } else if (flag == "--pgm") {
@@ -605,6 +726,7 @@ int run(const Options& options, std::ostream& out) {
   if (options.command == "replay") return cmd_replay(options, out);
   if (options.command == "profile") return cmd_profile(options, out);
   if (options.command == "check") return cmd_check(options, out);
+  if (options.command == "faults") return cmd_faults(options, out);
   return 2;  // unreachable: parse() validates commands
 }
 

@@ -25,6 +25,8 @@
 //                   [--csv events.csv] [--iterations 4]
 //   actrack check   [--seeds 50] [--shrink] [--consistency lrc|sc|both]
 //                   [--jobs 4] [--repro-dir DIR] [--trace repro.actrace]
+//   actrack faults  --app SOR [--fault-class drop|dup|latency|slow|stall|
+//                   mixed|all] [--plan plan.txt] [--plan-out plan.txt]
 #pragma once
 
 #include <iosfwd>
@@ -52,6 +54,9 @@ struct Options {
   std::int64_t seeds = 50;              // check: fuzz seeds
   bool shrink = false;                  // check: minimise failing traces
   std::string repro_dir;                // check: reproducer output dir
+  std::string fault_class = "all";      // faults: preset plan selector
+  std::string plan_path;                // faults: load a saved plan
+  std::string plan_out_path;            // faults: save the plan used
   bool latency_hiding = true;
   bool ascii = false;
   std::string pgm_path;

@@ -59,23 +59,34 @@ void expect_valid(const TraceFile& trace) {
 
 TEST(CheckVariants, StandardGridShape) {
   const auto both = standard_variants();
-  EXPECT_EQ(both.size(), 9u);  // 4 SC + 4 LRC + 1 LRC vector-clock
+  // 4 SC + 4 LRC + 1 LRC vector-clock, each model once more on a
+  // faulty network.
+  EXPECT_EQ(both.size(), 11u);
   std::set<std::string> names;
   for (const CheckVariant& variant : both) names.insert(variant.name());
   EXPECT_EQ(names.size(), both.size()) << "variant names must be unique";
 
   EXPECT_EQ(standard_variants(ConsistencyModel::kLazyReleaseMultiWriter)
                 .size(),
-            5u);
+            6u);
   EXPECT_EQ(standard_variants(ConsistencyModel::kSequentialSingleWriter)
                 .size(),
-            4u);
+            5u);
   // The fullest LRC configuration also runs under vector-clock
   // causality.
   const auto lrc = standard_variants(ConsistencyModel::kLazyReleaseMultiWriter);
   EXPECT_TRUE(std::any_of(lrc.begin(), lrc.end(), [](const CheckVariant& v) {
     return v.causality == CausalityMode::kVectorClock && v.gc && v.migration;
   }));
+  // Each model runs its fullest configuration once on a faulty network.
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kLazyReleaseMultiWriter,
+        ConsistencyModel::kSequentialSingleWriter}) {
+    const auto grid = standard_variants(model);
+    EXPECT_EQ(std::count_if(grid.begin(), grid.end(),
+                            [](const CheckVariant& v) { return v.faulted; }),
+              1);
+  }
 }
 
 TEST(CheckTrace, SingleVariantPerformsChecks) {

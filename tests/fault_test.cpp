@@ -1,0 +1,564 @@
+// Fault-injection & resilience subsystem (src/fault).
+//
+// Four contracts under test:
+//   1. Retry arithmetic — the exponential-backoff timeout schedule, the
+//      attempt budget (RetryExhausted), and recovery after partial loss.
+//   2. Determinism — fates are a pure function of the plan; an *empty*
+//      plan attaches nothing, so a run configured with one is
+//      bit-identical to a run with no plan at all; the same non-empty
+//      plan twice yields bit-identical runs.
+//   3. Resilience — faults change timing and traffic, never protocol
+//      state: duplicate delivery is idempotent, dropped messages are
+//      recovered by retries and barrier notice sync, and the shadow
+//      oracle + invariant auditor stay green under the mixed plan.
+//   4. Repair — observed slowdown, capacity weights, and the repair
+//      placement evacuating the degraded node.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "check/auditor.hpp"
+#include "check/checker.hpp"
+#include "check/oracle.hpp"
+#include "fault/inject.hpp"
+#include "fault/plan.hpp"
+#include "fault/repair.hpp"
+#include "net/network.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+namespace {
+
+constexpr std::int32_t kThreads = 16;
+constexpr NodeId kNodes = 4;
+
+// ---------------------------------------------------------------------------
+// Retry arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(FaultRetryPolicy, TimeoutScheduleDoublesToTheCap) {
+  const RetryPolicy policy;  // 1500us doubling, capped at 24000us
+  EXPECT_EQ(policy.timeout_for(1), 1500);
+  EXPECT_EQ(policy.timeout_for(2), 3000);
+  EXPECT_EQ(policy.timeout_for(3), 6000);
+  EXPECT_EQ(policy.timeout_for(4), 12000);
+  EXPECT_EQ(policy.timeout_for(5), 24000);
+  EXPECT_EQ(policy.timeout_for(6), 24000);
+  EXPECT_EQ(policy.timeout_for(8), 24000);
+}
+
+TEST(FaultRetryPolicy, CustomScheduleRespectsCap) {
+  RetryPolicy policy;
+  policy.timeout_us = 100;
+  policy.timeout_cap_us = 350;
+  EXPECT_EQ(policy.timeout_for(1), 100);
+  EXPECT_EQ(policy.timeout_for(2), 200);
+  EXPECT_EQ(policy.timeout_for(3), 350);  // 400 clamped
+  EXPECT_EQ(policy.timeout_for(4), 350);
+}
+
+TEST(FaultRetry, ExchangeThrowsRetryExhaustedOnTotalLoss) {
+  NetworkModel net(2, CostModel{});
+  fault::FaultPlan plan;
+  plan.drop_probability = 1.0;
+  fault::FaultInjector injector(plan, 2);
+  net.set_fault_hook(&injector);
+
+  const RetryPolicy retry;
+  try {
+    (void)net.exchange(0, 1, 4096, PayloadKind::kFullPage, retry);
+    FAIL() << "exchange on a fully lossy link must exhaust its budget";
+  } catch (const RetryExhausted& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "retry budget exhausted after 8 attempts (0 -> 1)");
+  }
+  // Every attempt sent one request that was dropped; the last timeout
+  // throws instead of retransmitting.
+  EXPECT_EQ(injector.stats().messages_seen, retry.max_attempts);
+  EXPECT_EQ(injector.stats().drops, retry.max_attempts);
+  EXPECT_EQ(injector.stats().retransmits, retry.max_attempts - 1);
+}
+
+TEST(FaultRetry, SendReliableThrowsRetryExhaustedOnTotalLoss) {
+  NetworkModel net(2, CostModel{});
+  fault::FaultPlan plan;
+  plan.drop_probability = 1.0;
+  fault::FaultInjector injector(plan, 2);
+  net.set_fault_hook(&injector);
+
+  EXPECT_THROW(
+      (void)net.send_reliable(1, 0, 0, PayloadKind::kControl, RetryPolicy{}),
+      RetryExhausted);
+  EXPECT_EQ(injector.stats().retransmits, RetryPolicy{}.max_attempts - 1);
+}
+
+/// Test-only hook with a scripted fate queue: the first `drop_first`
+/// messages are lost, everything after is delivered clean.
+class DropFirstHook final : public NetFaultHook {
+ public:
+  explicit DropFirstHook(std::int32_t drop_first) : remaining_(drop_first) {}
+
+  MessageFate on_message(NodeId, NodeId, ByteCount, PayloadKind) override {
+    MessageFate fate;
+    if (remaining_ > 0) {
+      --remaining_;
+      fate.dropped = true;
+    }
+    return fate;
+  }
+  void on_retry(NodeId, NodeId, std::int32_t) override { ++retries_; }
+
+  [[nodiscard]] std::int32_t retries() const noexcept { return retries_; }
+
+ private:
+  std::int32_t remaining_;
+  std::int32_t retries_ = 0;
+};
+
+TEST(FaultRetry, ExchangeRecoversAfterPartialLossAndChargesTimeouts) {
+  NetworkModel net(2, CostModel{});
+  DropFirstHook hook(/*drop_first=*/3);
+  net.set_fault_hook(&hook);
+
+  const RetryPolicy retry;
+  const ExchangeResult result =
+      net.exchange(0, 1, 1024, PayloadKind::kDiff, retry);
+  // Attempts 1-3 lose their request and wait 1500, 3000, 6000us; attempt
+  // 4 completes the round trip.
+  EXPECT_EQ(result.attempts, 4);
+  EXPECT_EQ(hook.retries(), 3);
+  const SimTime timeouts =
+      retry.timeout_for(1) + retry.timeout_for(2) + retry.timeout_for(3);
+  const SimTime round_trip = net.cost().transfer_us(0) +
+                             net.cost().transfer_us(1024);
+  EXPECT_EQ(result.latency_us, timeouts + round_trip);
+  // 4 requests + 1 reply crossed the wire, dropped copies included.
+  EXPECT_EQ(net.totals().messages, 5);
+}
+
+TEST(FaultRetry, SendReliableRecoversAfterPartialLoss) {
+  NetworkModel net(2, CostModel{});
+  DropFirstHook hook(/*drop_first=*/2);
+  net.set_fault_hook(&hook);
+
+  std::int32_t attempts = 0;
+  const RetryPolicy retry;
+  const SimTime latency = net.send_reliable(0, 1, 256, PayloadKind::kStack,
+                                            retry, &attempts);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(latency, retry.timeout_for(1) + retry.timeout_for(2) +
+                         net.cost().transfer_us(256));
+  EXPECT_EQ(net.totals().messages, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Plans: presets, classification, serialisation
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultPlanIsEmpty) {
+  EXPECT_TRUE(fault::FaultPlan{}.empty());
+}
+
+TEST(FaultPlan, AllHealthySlowdownsAreStillEmpty) {
+  // A plan that names every node healthy injects nothing and must never
+  // cause an injector to be attached.
+  fault::FaultPlan plan;
+  plan.seed = 42;  // a non-default seed alone injects nothing either
+  plan.node_slowdown.assign(static_cast<std::size_t>(kNodes), 1.0);
+  EXPECT_TRUE(plan.empty());
+  plan.node_slowdown.back() = 1.5;
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, EveryPresetClassIsNonEmpty) {
+  for (const fault::FaultClass cls : fault::all_fault_classes()) {
+    SCOPED_TRACE(fault::to_string(cls));
+    EXPECT_FALSE(fault::make_plan(cls, kNodes).empty());
+  }
+}
+
+TEST(FaultPlan, ClassNamesRoundTrip) {
+  for (const fault::FaultClass cls : fault::all_fault_classes()) {
+    const auto parsed = fault::fault_class_from_string(fault::to_string(cls));
+    ASSERT_TRUE(parsed.has_value()) << fault::to_string(cls);
+    EXPECT_EQ(*parsed, cls);
+  }
+  EXPECT_FALSE(fault::fault_class_from_string("hurricane").has_value());
+  EXPECT_FALSE(fault::fault_class_from_string("").has_value());
+}
+
+void expect_plans_equal(const fault::FaultPlan& a, const fault::FaultPlan& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.drop_probability, b.drop_probability);
+  EXPECT_EQ(a.duplicate_probability, b.duplicate_probability);
+  EXPECT_EQ(a.spike_probability, b.spike_probability);
+  EXPECT_EQ(a.spike_us, b.spike_us);
+  EXPECT_EQ(a.stall_probability, b.stall_probability);
+  EXPECT_EQ(a.stall_us, b.stall_us);
+  EXPECT_EQ(a.node_slowdown, b.node_slowdown);
+}
+
+TEST(FaultPlan, TextRoundTripPreservesEveryPreset) {
+  for (const fault::FaultClass cls : fault::all_fault_classes()) {
+    SCOPED_TRACE(fault::to_string(cls));
+    const fault::FaultPlan plan = fault::make_plan(cls, kNodes, 0xBEEF);
+    expect_plans_equal(plan, fault::plan_from_text(fault::to_text(plan)));
+  }
+}
+
+TEST(FaultPlan, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fault_plan.txt";
+  const fault::FaultPlan plan =
+      fault::make_plan(fault::FaultClass::kMixed, kNodes, 7);
+  fault::save_plan(plan, path);
+  expect_plans_equal(plan, fault::load_plan(path));
+}
+
+TEST(FaultPlan, MalformedTextThrows) {
+  EXPECT_THROW((void)fault::plan_from_text("no equals sign"),
+               std::runtime_error);
+  EXPECT_THROW((void)fault::plan_from_text("unknown_key=1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)fault::plan_from_text("drop_probability=lossy\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)fault::plan_from_text("spike_us=12q\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)fault::load_plan("/nonexistent/fault_plan.txt"),
+               std::runtime_error);
+}
+
+TEST(FaultPlan, CommentsAndBlankLinesAreIgnored) {
+  const fault::FaultPlan plan = fault::plan_from_text(
+      "# a CI artifact\n\ndrop_probability=0.25\nnode_slowdown=1,2.5\n");
+  EXPECT_EQ(plan.drop_probability, 0.25);
+  ASSERT_EQ(plan.node_slowdown.size(), 2u);
+  EXPECT_EQ(plan.node_slowdown[1], 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Injector determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SamePlanYieldsTheSameFateSequence) {
+  const fault::FaultPlan plan =
+      fault::make_plan(fault::FaultClass::kMixed, kNodes);
+  fault::FaultInjector a(plan, kNodes);
+  fault::FaultInjector b(plan, kNodes);
+  for (int i = 0; i < 512; ++i) {
+    const MessageFate fa = a.on_message(0, 1, 128, PayloadKind::kControl);
+    const MessageFate fb = b.on_message(0, 1, 128, PayloadKind::kControl);
+    EXPECT_EQ(fa.dropped, fb.dropped) << "message " << i;
+    EXPECT_EQ(fa.copies, fb.copies) << "message " << i;
+    EXPECT_EQ(fa.extra_latency_us, fb.extra_latency_us) << "message " << i;
+  }
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  EXPECT_EQ(a.stats().duplicates, b.stats().duplicates);
+  EXPECT_EQ(a.stats().spikes, b.stats().spikes);
+}
+
+TEST(FaultInjector, DifferentSeedReshufflesFates) {
+  fault::FaultInjector a(fault::make_plan(fault::FaultClass::kMixed, kNodes,
+                                          /*seed=*/1),
+                         kNodes);
+  fault::FaultInjector b(fault::make_plan(fault::FaultClass::kMixed, kNodes,
+                                          /*seed=*/2),
+                         kNodes);
+  bool any_difference = false;
+  for (int i = 0; i < 512; ++i) {
+    const MessageFate fa = a.on_message(0, 1, 128, PayloadKind::kControl);
+    const MessageFate fb = b.on_message(0, 1, 128, PayloadKind::kControl);
+    any_difference = any_difference || fa.dropped != fb.dropped ||
+                     fa.copies != fb.copies ||
+                     fa.extra_latency_us != fb.extra_latency_us;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---------------------------------------------------------------------------
+// Full-run determinism and resilience
+// ---------------------------------------------------------------------------
+
+/// Everything a scripted run produces: per-step metrics plus the final
+/// protocol and injector books.
+struct RunResult {
+  std::vector<IterationMetrics> steps;
+  DsmStats dsm;
+  NetCounters net;
+  fault::FaultStats injected;  // zero when no injector was attached
+};
+
+/// Init, three measured iterations, migration to the reversed placement,
+/// one more iteration, then the tracked iteration — the same script the
+/// checker-determinism suite uses, under an optional fault plan.
+RunResult scripted_run(const Workload& workload, const RuntimeConfig& config,
+                       bool checked = false) {
+  ClusterRuntime runtime(workload,
+                         Placement::stretch(workload.num_threads(), kNodes),
+                         config);
+  check::ShadowOracle oracle(&runtime.dsm());
+  check::InvariantAuditor auditor(&runtime.dsm());
+  check::CheckHookChain chain;
+  chain.add(&oracle);
+  chain.add(&auditor);
+  if (checked) runtime.dsm().set_check_hook(&chain);
+
+  RunResult result;
+  result.steps.push_back(runtime.run_init());
+  result.steps.push_back(runtime.run_iteration());
+  result.steps.push_back(runtime.run_iteration());
+  result.steps.push_back(runtime.run_iteration());
+  std::vector<NodeId> reversed = runtime.placement().node_of_thread();
+  for (NodeId& node : reversed) node = kNodes - 1 - node;
+  result.steps.push_back(
+      runtime.migrate_to(Placement{std::move(reversed), kNodes}));
+  result.steps.push_back(runtime.run_iteration());
+  result.steps.push_back(runtime.run_tracked_iteration().metrics);
+  result.dsm = runtime.dsm().stats();
+  result.net = runtime.network().totals();
+  if (runtime.fault_injector() != nullptr) {
+    result.injected = runtime.fault_injector()->stats();
+  }
+  if (checked) {
+    EXPECT_GT(oracle.checks_performed(), 0) << workload.name();
+    EXPECT_GT(auditor.barrier_audits(), 0) << workload.name();
+  }
+  return result;
+}
+
+void expect_identical_steps(const std::vector<IterationMetrics>& a,
+                            const std::vector<IterationMetrics>& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(label + " step " + std::to_string(i));
+    EXPECT_EQ(a[i].elapsed_us, b[i].elapsed_us);
+    EXPECT_EQ(a[i].remote_misses, b[i].remote_misses);
+    EXPECT_EQ(a[i].read_faults, b[i].read_faults);
+    EXPECT_EQ(a[i].write_faults, b[i].write_faults);
+    EXPECT_EQ(a[i].messages, b[i].messages);
+    EXPECT_EQ(a[i].total_bytes, b[i].total_bytes);
+    EXPECT_EQ(a[i].diff_bytes, b[i].diff_bytes);
+    EXPECT_EQ(a[i].control_bytes, b[i].control_bytes);
+    EXPECT_EQ(a[i].stack_bytes, b[i].stack_bytes);
+    EXPECT_EQ(a[i].gc_runs, b[i].gc_runs);
+    EXPECT_DOUBLE_EQ(a[i].load_imbalance, b[i].load_imbalance);
+  }
+}
+
+/// Protocol *state* counters must not depend on message fates: faults
+/// cost time and traffic, never correctness.  fetch_retries and
+/// notices_recovered are recovery-effort counters, compared separately.
+void expect_same_protocol_state(const DsmStats& faulted,
+                                const DsmStats& clean) {
+  EXPECT_EQ(faulted.read_faults, clean.read_faults);
+  EXPECT_EQ(faulted.write_faults, clean.write_faults);
+  EXPECT_EQ(faulted.remote_misses, clean.remote_misses);
+  EXPECT_EQ(faulted.diff_fetches, clean.diff_fetches);
+  EXPECT_EQ(faulted.full_page_fetches, clean.full_page_fetches);
+  EXPECT_EQ(faulted.diffs_created, clean.diffs_created);
+  EXPECT_EQ(faulted.invalidations, clean.invalidations);
+  EXPECT_EQ(faulted.gc_runs, clean.gc_runs);
+  EXPECT_EQ(faulted.gc_invalidations, clean.gc_invalidations);
+  EXPECT_EQ(faulted.ownership_transfers, clean.ownership_transfers);
+  EXPECT_EQ(faulted.delta_stalls, clean.delta_stalls);
+}
+
+TEST(FaultEmptyPlan, AttachesNoInjector) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig config;
+  config.fault.node_slowdown.assign(static_cast<std::size_t>(kNodes), 1.0);
+  ClusterRuntime runtime(*workload, Placement::stretch(kThreads, kNodes),
+                         config);
+  EXPECT_EQ(runtime.fault_injector(), nullptr);
+  EXPECT_FALSE(runtime.network().fault_hook_attached());
+}
+
+class FaultDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultDeterminismTest, EmptyPlanRunIsBitIdenticalToNoPlanRun) {
+  const std::unique_ptr<Workload> workload =
+      make_workload(GetParam(), kThreads);
+  const RuntimeConfig bare;  // no plan at all
+  RuntimeConfig configured;  // an explicitly healthy plan, odd seed
+  configured.fault.seed = 0xD15EA5EULL;
+  configured.fault.node_slowdown.assign(static_cast<std::size_t>(kNodes),
+                                        1.0);
+  ASSERT_TRUE(configured.fault.empty());
+  expect_identical_steps(scripted_run(*workload, bare).steps,
+                         scripted_run(*workload, configured).steps,
+                         GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, FaultDeterminismTest,
+    ::testing::ValuesIn(all_workload_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(FaultedRunDeterminism, SamePlanTwiceIsBitIdentical) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig config;
+  config.fault = fault::make_plan(fault::FaultClass::kMixed, kNodes);
+  const RunResult first = scripted_run(*workload, config);
+  const RunResult second = scripted_run(*workload, config);
+  expect_identical_steps(first.steps, second.steps, "mixed twice");
+  EXPECT_EQ(first.injected.drops, second.injected.drops);
+  EXPECT_EQ(first.injected.duplicates, second.injected.duplicates);
+  EXPECT_EQ(first.injected.spikes, second.injected.spikes);
+  EXPECT_EQ(first.injected.stalls, second.injected.stalls);
+  EXPECT_EQ(first.injected.retransmits, second.injected.retransmits);
+  EXPECT_GT(first.injected.messages_seen, 0);
+}
+
+TEST(FaultResilience, DuplicateDeliveryIsIdempotent) {
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  const RunResult clean = scripted_run(*workload, RuntimeConfig{});
+  RuntimeConfig config;
+  config.fault = fault::make_plan(fault::FaultClass::kDuplicate, kNodes);
+  const RunResult faulted = scripted_run(*workload, config);
+
+  EXPECT_GT(faulted.injected.duplicates, 0);
+  expect_same_protocol_state(faulted.dsm, clean.dsm);
+  // Nothing was lost, so nothing needed retrying...
+  EXPECT_EQ(faulted.dsm.fetch_retries, 0);
+  EXPECT_EQ(faulted.injected.retransmits, 0);
+  // ...but every duplicate crossed the wire and was accounted.
+  EXPECT_GT(faulted.net.messages, clean.net.messages);
+  EXPECT_GT(faulted.net.total_bytes, clean.net.total_bytes);
+}
+
+TEST(FaultResilience, DroppedMessagesAreRecoveredByRetries) {
+  // SOR is barrier-structured, so its data-movement counts are
+  // independent of message timing and must match the clean run exactly.
+  // (Lock-based apps are excluded on purpose: retry timeouts shift lock
+  // acquisition order, which legitimately reshapes diff traffic.  Raw
+  // trap counts can still drift by a few — slower fetches change which
+  // threads overlap and trap on pages whose fetch is already in flight —
+  // so the comparison pins what actually moved, not who trapped.)
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  const RunResult clean = scripted_run(*workload, RuntimeConfig{});
+  RuntimeConfig config;
+  config.fault = fault::make_plan(fault::FaultClass::kDrop, kNodes);
+  const RunResult faulted = scripted_run(*workload, config);
+
+  EXPECT_GT(faulted.injected.drops, 0);
+  EXPECT_GT(faulted.dsm.fetch_retries, 0);
+  EXPECT_GT(faulted.injected.retransmits, 0);
+  // Recovery costs time and retransmitted traffic, never data movement.
+  EXPECT_EQ(faulted.dsm.remote_misses, clean.dsm.remote_misses);
+  EXPECT_EQ(faulted.dsm.diff_fetches, clean.dsm.diff_fetches);
+  EXPECT_EQ(faulted.dsm.full_page_fetches, clean.dsm.full_page_fetches);
+  EXPECT_EQ(faulted.dsm.diffs_created, clean.dsm.diffs_created);
+  EXPECT_EQ(faulted.dsm.invalidations, clean.dsm.invalidations);
+  EXPECT_EQ(faulted.dsm.gc_runs, clean.dsm.gc_runs);
+  EXPECT_GT(faulted.net.messages, clean.net.messages);
+  SimTime clean_us = 0;
+  SimTime faulted_us = 0;
+  for (const IterationMetrics& m : clean.steps) clean_us += m.elapsed_us;
+  for (const IterationMetrics& m : faulted.steps) faulted_us += m.elapsed_us;
+  EXPECT_GT(faulted_us, clean_us);
+}
+
+TEST(FaultResilience, DropsRecoverUnderTheSingleWriterProtocol) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig clean_config;
+  clean_config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  const RunResult clean = scripted_run(*workload, clean_config);
+  RuntimeConfig config = clean_config;
+  config.fault = fault::make_plan(fault::FaultClass::kDrop, kNodes);
+  const RunResult faulted = scripted_run(*workload, config);
+
+  EXPECT_GT(faulted.injected.drops, 0);
+  expect_same_protocol_state(faulted.dsm, clean.dsm);
+}
+
+TEST(FaultResilience, LostWriteNoticesAreResentAtTheBarrier) {
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  RuntimeConfig config;
+  config.fault.drop_probability = 0.08;  // lossy enough to hit notice sync
+  const RunResult faulted = scripted_run(*workload, config);
+  EXPECT_GT(faulted.dsm.notices_recovered, 0);
+}
+
+TEST(FaultResilience, CheckerStaysCleanUnderTheMixedPlan) {
+  // The shadow oracle and invariant auditor must not report violations
+  // when every fault class fires at once: faults never corrupt protocol
+  // state, and the checker itself never perturbs fault arrivals.
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  RuntimeConfig config;
+  config.fault = fault::make_plan(fault::FaultClass::kMixed, kNodes);
+  const RunResult unchecked = scripted_run(*workload, config, false);
+  const RunResult checked = scripted_run(*workload, config, true);
+  expect_identical_steps(unchecked.steps, checked.steps, "mixed+checked");
+}
+
+// ---------------------------------------------------------------------------
+// Migration-as-repair
+// ---------------------------------------------------------------------------
+
+TEST(FaultRepair, ObservedSlowdownMatchesTheInjectedFactor) {
+  fault::FaultInjector injector(
+      fault::make_plan(fault::FaultClass::kSlowNode, kNodes), kNodes);
+  EXPECT_EQ(injector.observed_slowdown(kNodes - 1), 1.0)
+      << "no compute history yet";
+  for (NodeId node = 0; node < kNodes; ++node) {
+    // The penalty for the slow node is exactly (4.0 - 1.0) * 1000us.
+    const SimTime penalty = injector.compute_penalty(node, 1000);
+    EXPECT_EQ(penalty, node == kNodes - 1 ? 3000 : 0);
+  }
+  EXPECT_DOUBLE_EQ(injector.observed_slowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.observed_slowdown(kNodes - 1), 4.0);
+  const std::vector<double> all = injector.observed_slowdowns();
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kNodes));
+  EXPECT_DOUBLE_EQ(all.back(), 4.0);
+}
+
+TEST(FaultRepair, CapacityWeightsAreInverseObservedSlowdown) {
+  fault::FaultInjector injector(
+      fault::make_plan(fault::FaultClass::kSlowNode, kNodes), kNodes);
+  for (NodeId node = 0; node < kNodes; ++node) {
+    (void)injector.compute_penalty(node, 1000);
+  }
+  const std::vector<double> weights = fault::capacity_weights(injector);
+  ASSERT_EQ(weights.size(), static_cast<std::size_t>(kNodes));
+  for (NodeId node = 0; node + 1 < kNodes; ++node) {
+    EXPECT_DOUBLE_EQ(weights[static_cast<std::size_t>(node)], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(weights.back(), 0.25);
+}
+
+TEST(FaultRepair, RepairPlacementEvacuatesTheSlowNode) {
+  fault::FaultInjector injector(
+      fault::make_plan(fault::FaultClass::kSlowNode, kNodes), kNodes);
+  for (NodeId node = 0; node < kNodes; ++node) {
+    (void)injector.compute_penalty(node, 1000);
+  }
+  // Uniform correlations: every balanced cut costs the same, so only
+  // the capacity weights decide the node populations.
+  CorrelationMatrix matrix(kThreads);
+  for (ThreadId a = 0; a < kThreads; ++a) {
+    for (ThreadId b = a + 1; b < kThreads; ++b) {
+      matrix.set(a, b, 1);
+    }
+  }
+  const Placement repaired = fault::repair_placement(matrix, injector);
+  ASSERT_EQ(repaired.num_threads(), kThreads);
+  std::array<std::int32_t, static_cast<std::size_t>(kNodes)> population{};
+  for (const NodeId node : repaired.node_of_thread()) {
+    population[static_cast<std::size_t>(node)] += 1;
+  }
+  const std::int32_t slow = population.back();
+  EXPECT_LT(slow, kThreads / kNodes) << "slow node must lose threads";
+  for (NodeId node = 0; node + 1 < kNodes; ++node) {
+    EXPECT_GT(population[static_cast<std::size_t>(node)], slow);
+  }
+}
+
+}  // namespace
+}  // namespace actrack
