@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json files and fail on perf regressions.
+
+Usage:
+    compare_perf.py BASELINE CANDIDATE [--tolerance 0.15] [--strict-wall]
+
+The harness (bench/perf_regression) reports two kinds of numbers:
+
+* Speedup ratios (incremental vs full matrix rebuild, gain-table vs
+  reference refinement).  These are machine-independent, so they are
+  always compared: a candidate fails if a ratio drops more than
+  --tolerance below the baseline's, or below the absolute floors the
+  kernels are contracted to clear (3x matrix-epoch-update, 2x swap
+  refinement at the 64-thread scale).
+
+* Wall-clock numbers (wall_ms, events_per_sec, ns/epoch, ns/swap).
+  These only compare meaningfully on the same hardware, so they are
+  checked only under --strict-wall (local runs); CI compares ratios.
+
+Workloads are matched by name over the intersection of the two files
+(the CI smoke run uses the reduced grid against the full-grid
+baseline).  Exit code 0 = no regression, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+MATRIX_SPEEDUP_FLOOR = 3.0
+REFINE_SPEEDUP_FLOOR = 2.0
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if data.get("schema") != "actrack-perf-v1":
+        sys.exit(f"error: {path}: unknown schema {data.get('schema')!r}")
+    return {w["name"]: w for w in data["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--strict-wall",
+        action="store_true",
+        help="also compare wall-clock numbers (same-machine runs only)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        sys.exit("error: the two reports share no workloads")
+
+    failures = []
+
+    def check(workload, metric, candidate, threshold, direction):
+        """direction=+1: candidate must be >= threshold; -1: <=."""
+        ok = candidate >= threshold if direction > 0 else candidate <= threshold
+        line = (
+            f"{workload:8s} {metric:28s} {candidate:12.2f} "
+            f"(threshold {'>=' if direction > 0 else '<='} {threshold:.2f})"
+        )
+        if ok:
+            print(f"  ok   {line}")
+        else:
+            print(f"  FAIL {line}")
+            failures.append(f"{workload}: {metric}")
+
+    tol = args.tolerance
+    for name in shared:
+        b, c = base[name], cand[name]
+        print(f"{name}:")
+        for key, floor in (
+            ("matrix_update", MATRIX_SPEEDUP_FLOOR),
+            ("refine", REFINE_SPEEDUP_FLOOR),
+        ):
+            check(name, f"{key}.speedup floor", c[key]["speedup"], floor, +1)
+            check(
+                name,
+                f"{key}.speedup vs baseline",
+                c[key]["speedup"],
+                b[key]["speedup"] * (1.0 - tol),
+                +1,
+            )
+        if args.strict_wall:
+            check(name, "wall_ms", c["wall_ms"], b["wall_ms"] * (1.0 + tol), -1)
+            check(
+                name,
+                "events_per_sec",
+                c["events_per_sec"],
+                b["events_per_sec"] * (1.0 - tol),
+                +1,
+            )
+            for key, field in (
+                ("matrix_update", "incremental_ns_per_epoch"),
+                ("refine", "gain_table_ns_per_swap"),
+            ):
+                check(
+                    name,
+                    f"{key}.{field}",
+                    c[key][field],
+                    b[key][field] * (1.0 + tol),
+                    -1,
+                )
+
+    skipped = sorted(set(base) ^ set(cand))
+    if skipped:
+        print(f"note: workloads present in only one report: {', '.join(skipped)}")
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} check(s) failed:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nno regressions across {len(shared)} workload(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,17 @@ class DynamicBitset {
   /// Indices of all set bits, ascending.
   [[nodiscard]] std::vector<std::int64_t> to_indices() const;
 
+  /// Read-only view of the packed 64-bit words (word_count() of them,
+  /// bit b lives in word b/64).  This is the interface the correlation
+  /// kernels (src/correlation/incremental) use to diff bitmaps
+  /// word-at-a-time and to popcount in blocks without per-bit calls.
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return words_.data();
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
  private:
   static constexpr std::int64_t kWordBits = 64;
 

@@ -1,0 +1,323 @@
+#include "correlation/incremental.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+// ---------------------------------------------------------------------------
+// IncrementalCorrelation
+
+const CorrelationMatrix& IncrementalCorrelation::matrix() const {
+  ACTRACK_CHECK(matrix_.has_value());
+  return *matrix_;
+}
+
+void IncrementalCorrelation::invalidate() noexcept { matrix_.reset(); }
+
+void IncrementalCorrelation::snapshot_bitmaps(
+    const std::vector<DynamicBitset>& bitmaps) {
+  snapshot_.resize(static_cast<std::size_t>(n_) * words_per_thread_);
+  for (std::size_t i = 0; i < bitmaps.size(); ++i) {
+    std::memcpy(snapshot_.data() + i * words_per_thread_, bitmaps[i].words(),
+                words_per_thread_ * sizeof(std::uint64_t));
+  }
+}
+
+void IncrementalCorrelation::rebuild(
+    const std::vector<DynamicBitset>& bitmaps) {
+  n_ = static_cast<std::int32_t>(bitmaps.size());
+  bits_ = bitmaps[0].size();
+  words_per_thread_ = bitmaps[0].word_count();
+  matrix_.emplace(CorrelationMatrix::from_bitmaps(bitmaps));
+  snapshot_bitmaps(bitmaps);
+  last_was_rebuild_ = true;
+  last_dirty_words_ = 0;
+}
+
+const CorrelationMatrix& IncrementalCorrelation::update(
+    const std::vector<DynamicBitset>& bitmaps) {
+  ACTRACK_CHECK(!bitmaps.empty());
+  const std::size_t n = bitmaps.size();
+  if (!matrix_.has_value() || static_cast<std::size_t>(n_) != n ||
+      bitmaps[0].size() != bits_) {
+    rebuild(bitmaps);
+    return *matrix_;
+  }
+  for (const DynamicBitset& b : bitmaps) {
+    ACTRACK_CHECK(b.size() == bits_);
+  }
+  last_was_rebuild_ = false;
+
+  // Pass 1: diff every bitmap against the snapshot, recording the dirty
+  // word indices per thread.
+  dirty_begin_.assign(n + 1, 0);
+  dirty_words_.clear();
+  changed_.clear();
+  is_changed_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* now = bitmaps[i].words();
+    const std::uint64_t* old = snapshot_.data() + i * words_per_thread_;
+    const std::size_t before = dirty_words_.size();
+    for (std::size_t w = 0; w < words_per_thread_; ++w) {
+      if (now[w] != old[w]) {
+        dirty_words_.push_back(static_cast<std::uint32_t>(w));
+      }
+    }
+    dirty_begin_[i + 1] = dirty_words_.size();
+    if (dirty_words_.size() != before) {
+      changed_.push_back(static_cast<ThreadId>(i));
+      is_changed_[i] = 1;
+    }
+  }
+  last_dirty_words_ = static_cast<std::int64_t>(dirty_words_.size());
+  if (changed_.empty()) {
+    return *matrix_;
+  }
+
+  // Adaptive cutover: pair patching costs ≈ dirty_words × n indexed word
+  // ops against the blocked rebuild's ≈ n²/2 × words streaming ones, so
+  // churn-heavy epochs (irregular apps re-touching much of their
+  // footprint, e.g. Barnes) lose to rebuilding outright.  The 1/6
+  // average-dirty-fraction threshold leaves the rebuild a constant-factor
+  // margin for its tighter inner loop.
+  if (dirty_words_.size() * 6 >= static_cast<std::size_t>(n) *
+                                     words_per_thread_) {
+    const std::int64_t dirty = last_dirty_words_;
+    rebuild(bitmaps);
+    last_dirty_words_ = dirty;
+    return *matrix_;
+  }
+
+  std::int64_t* cells = matrix_->cells_.data();
+  const auto add = [&](std::size_t a, std::size_t b, std::int64_t delta) {
+    cells[a * n + b] += delta;
+    if (a != b) {
+      cells[b * n + a] += delta;
+    }
+  };
+
+  // Pass 2: patch only the affected pairs.  For (changed i, clean j) the
+  // only words whose AND can differ are i's dirty words; for two changed
+  // threads it is the merged union of both dirty lists, with both old
+  // values taken from the snapshot.
+  for (std::size_t ci = 0; ci < changed_.size(); ++ci) {
+    const std::size_t i = static_cast<std::size_t>(changed_[ci]);
+    const std::uint64_t* now_i = bitmaps[i].words();
+    const std::uint64_t* old_i = snapshot_.data() + i * words_per_thread_;
+    const std::uint32_t* di = dirty_words_.data() + dirty_begin_[i];
+    const std::size_t di_len = dirty_begin_[i + 1] - dirty_begin_[i];
+
+    // Diagonal: |pages(i)| over dirty words only.
+    {
+      std::int64_t delta = 0;
+      for (std::size_t k = 0; k < di_len; ++k) {
+        const std::uint32_t w = di[k];
+        delta += std::popcount(now_i[w]) - std::popcount(old_i[w]);
+      }
+      add(i, i, delta);
+    }
+
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || is_changed_[j] != 0) {
+        continue;  // changed×changed handled below, once per pair
+      }
+      const std::uint64_t* w_j = bitmaps[j].words();
+      std::int64_t delta = 0;
+      for (std::size_t k = 0; k < di_len; ++k) {
+        const std::uint32_t w = di[k];
+        delta += std::popcount(now_i[w] & w_j[w]) -
+                 std::popcount(old_i[w] & w_j[w]);
+      }
+      add(i, j, delta);
+    }
+
+    // Changed×changed pairs, each handled once (cj > ci): merge the two
+    // dirty lists and compare new∧new against snapshot∧snapshot.
+    for (std::size_t cj = ci + 1; cj < changed_.size(); ++cj) {
+      const std::size_t j = static_cast<std::size_t>(changed_[cj]);
+      const std::uint64_t* now_j = bitmaps[j].words();
+      const std::uint64_t* old_j = snapshot_.data() + j * words_per_thread_;
+      const std::uint32_t* dj = dirty_words_.data() + dirty_begin_[j];
+      const std::size_t dj_len = dirty_begin_[j + 1] - dirty_begin_[j];
+      std::int64_t delta = 0;
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < di_len || b < dj_len) {
+        std::uint32_t w;
+        if (b >= dj_len || (a < di_len && di[a] <= dj[b])) {
+          w = di[a];
+          if (b < dj_len && dj[b] == w) {
+            ++b;
+          }
+          ++a;
+        } else {
+          w = dj[b];
+          ++b;
+        }
+        delta += std::popcount(now_i[w] & now_j[w]) -
+                 std::popcount(old_i[w] & old_j[w]);
+      }
+      add(i, j, delta);
+    }
+  }
+
+  // Pass 3: fold the dirty words into the snapshot.
+  for (const ThreadId t : changed_) {
+    const std::size_t i = static_cast<std::size_t>(t);
+    const std::uint64_t* now = bitmaps[i].words();
+    std::uint64_t* old = snapshot_.data() + i * words_per_thread_;
+    const std::uint32_t* di = dirty_words_.data() + dirty_begin_[i];
+    const std::size_t di_len = dirty_begin_[i + 1] - dirty_begin_[i];
+    for (std::size_t k = 0; k < di_len; ++k) {
+      old[di[k]] = now[di[k]];
+    }
+  }
+  return *matrix_;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalCutCost
+
+std::int64_t& IncrementalCutCost::aff(ThreadId t, NodeId node) {
+  return affinity_[static_cast<std::size_t>(t) *
+                       static_cast<std::size_t>(num_nodes_) +
+                   static_cast<std::size_t>(node)];
+}
+
+std::int64_t IncrementalCutCost::aff(ThreadId t, NodeId node) const {
+  return affinity_[static_cast<std::size_t>(t) *
+                       static_cast<std::size_t>(num_nodes_) +
+                   static_cast<std::size_t>(node)];
+}
+
+void IncrementalCutCost::reset(const CorrelationMatrix& matrix,
+                               const std::vector<NodeId>& node_of_thread,
+                               std::int32_t num_nodes) {
+  n_ = matrix.num_threads();
+  ACTRACK_CHECK(static_cast<std::int32_t>(node_of_thread.size()) == n_);
+  ACTRACK_CHECK(num_nodes > 0);
+  matrix_ = &matrix;
+  num_nodes_ = num_nodes;
+  node_of_ = node_of_thread;
+  affinity_.assign(static_cast<std::size_t>(n_) *
+                       static_cast<std::size_t>(num_nodes),
+                   0);
+  cut_ = 0;
+  const std::size_t n = static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node_i = node_of_[i];
+    ACTRACK_CHECK(node_i >= 0 && node_i < num_nodes_);
+    const std::span<const std::int64_t> row =
+        matrix.cells(static_cast<ThreadId>(i));
+    std::int64_t* aff_row =
+        affinity_.data() + i * static_cast<std::size_t>(num_nodes_);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      const NodeId node_j = node_of_[j];
+      aff_row[static_cast<std::size_t>(node_j)] += row[j];
+      if (j > i && node_j != node_i) {
+        cut_ += row[j];
+      }
+    }
+  }
+}
+
+NodeId IncrementalCutCost::node_of(ThreadId t) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  return node_of_[static_cast<std::size_t>(t)];
+}
+
+std::int64_t IncrementalCutCost::affinity(ThreadId t, NodeId node) const {
+  ACTRACK_CHECK(t >= 0 && t < n_ && node >= 0 && node < num_nodes_);
+  return aff(t, node);
+}
+
+std::span<const std::int64_t> IncrementalCutCost::affinity_row(
+    ThreadId t) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  return {affinity_.data() + static_cast<std::size_t>(t) *
+                                 static_cast<std::size_t>(num_nodes_),
+          static_cast<std::size_t>(num_nodes_)};
+}
+
+std::int64_t IncrementalCutCost::move_delta(ThreadId t, NodeId to) const {
+  ACTRACK_CHECK(t >= 0 && t < n_ && to >= 0 && to < num_nodes_);
+  const NodeId from = node_of_[static_cast<std::size_t>(t)];
+  if (from == to) {
+    return 0;
+  }
+  // Edges to `from` peers become cross; edges to `to` peers become local.
+  return aff(t, from) - aff(t, to);
+}
+
+std::int64_t IncrementalCutCost::swap_delta(ThreadId a, ThreadId b) const {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  const NodeId na = node_of_[static_cast<std::size_t>(a)];
+  const NodeId nb = node_of_[static_cast<std::size_t>(b)];
+  if (na == nb) {
+    return 0;
+  }
+  // Both one-thread moves, plus a correction: the (a, b) edge is counted
+  // as turning local by each move's affinity term, yet it stays cross.
+  return aff(a, na) - aff(a, nb) + aff(b, nb) - aff(b, na) +
+         2 * matrix_->at(a, b);
+}
+
+void IncrementalCutCost::apply_move(ThreadId t, NodeId to) {
+  ACTRACK_CHECK(t >= 0 && t < n_ && to >= 0 && to < num_nodes_);
+  const NodeId from = node_of_[static_cast<std::size_t>(t)];
+  if (from == to) {
+    return;
+  }
+  cut_ += move_delta(t, to);
+  const std::span<const std::int64_t> row = matrix_->cells(t);
+  const std::size_t n = static_cast<std::size_t>(n_);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (static_cast<ThreadId>(u) == t) {
+      continue;
+    }
+    std::int64_t* aff_row =
+        affinity_.data() + u * static_cast<std::size_t>(num_nodes_);
+    aff_row[static_cast<std::size_t>(from)] -= row[u];
+    aff_row[static_cast<std::size_t>(to)] += row[u];
+  }
+  node_of_[static_cast<std::size_t>(t)] = to;
+}
+
+void IncrementalCutCost::apply_swap(ThreadId a, ThreadId b) {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  const NodeId na = node_of_[static_cast<std::size_t>(a)];
+  const NodeId nb = node_of_[static_cast<std::size_t>(b)];
+  if (na == nb) {
+    return;
+  }
+  cut_ += swap_delta(a, b);
+  const std::span<const std::int64_t> row_a = matrix_->cells(a);
+  const std::span<const std::int64_t> row_b = matrix_->cells(b);
+  const std::size_t n = static_cast<std::size_t>(n_);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (static_cast<ThreadId>(u) == a || static_cast<ThreadId>(u) == b) {
+      continue;
+    }
+    std::int64_t* aff_row =
+        affinity_.data() + u * static_cast<std::size_t>(num_nodes_);
+    // a left na for nb; b left nb for na.
+    aff_row[static_cast<std::size_t>(na)] += row_b[u] - row_a[u];
+    aff_row[static_cast<std::size_t>(nb)] += row_a[u] - row_b[u];
+  }
+  const std::int64_t c_ab = matrix_->at(a, b);
+  // From a's view b moved nb→na; from b's view a moved na→nb.
+  aff(a, nb) -= c_ab;
+  aff(a, na) += c_ab;
+  aff(b, na) -= c_ab;
+  aff(b, nb) += c_ab;
+  node_of_[static_cast<std::size_t>(a)] = nb;
+  node_of_[static_cast<std::size_t>(b)] = na;
+}
+
+}  // namespace actrack

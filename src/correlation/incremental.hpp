@@ -1,0 +1,127 @@
+// Incremental correlation kernels — the fast path for online tracking.
+//
+// The paper's claim (§5, Table 5) is that correlation tracking is cheap
+// enough to leave on; rebuilding the full O(n²·pages/64) matrix every
+// epoch is not.  Two helpers keep the hot loops incremental while staying
+// bit-identical to the naive rebuilds:
+//
+//  * IncrementalCorrelation keeps a word-level snapshot of the previous
+//    epoch's access bitmaps.  update() diffs each bitmap against the
+//    snapshot, and only pairs involving a changed thread are touched —
+//    and only over the words that actually changed.  The maintained
+//    matrix is always exactly CorrelationMatrix::from_bitmaps(bitmaps).
+//
+//  * IncrementalCutCost maintains per-thread node-affinity tables
+//    (affinity(t, node) = Σ correlation(t, u) over u currently on node)
+//    for one thread→node assignment, giving O(1) swap/move deltas and
+//    O(n) updates per applied swap instead of O(n²) rescans.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+#include "correlation/matrix.hpp"
+
+namespace actrack {
+
+class IncrementalCorrelation {
+ public:
+  IncrementalCorrelation() = default;
+
+  /// True once the helper holds a matrix (after the first update()).
+  [[nodiscard]] bool primed() const noexcept { return matrix_.has_value(); }
+
+  /// The maintained matrix; requires primed().
+  [[nodiscard]] const CorrelationMatrix& matrix() const;
+
+  /// Brings the maintained matrix in sync with `bitmaps` and returns it.
+  /// First call (or a shape change: thread count or bitmap size) does a
+  /// cold blocked rebuild; subsequent calls apply word-level deltas,
+  /// falling back to the rebuild when so many words changed that
+  /// patching would cost more.  Result is bit-identical to
+  /// CorrelationMatrix::from_bitmaps(bitmaps) on every path.
+  const CorrelationMatrix& update(const std::vector<DynamicBitset>& bitmaps);
+
+  /// Forces a cold rebuild on the next update() (drops the snapshot but
+  /// keeps allocated storage).
+  void invalidate() noexcept;
+
+  /// Dirty words the last update() found (0 after a cold rebuild, which
+  /// never diffs); last_was_rebuild() tells which path applied them.
+  [[nodiscard]] std::int64_t last_dirty_words() const noexcept {
+    return last_dirty_words_;
+  }
+  [[nodiscard]] bool last_was_rebuild() const noexcept {
+    return last_was_rebuild_;
+  }
+
+ private:
+  void rebuild(const std::vector<DynamicBitset>& bitmaps);
+  void snapshot_bitmaps(const std::vector<DynamicBitset>& bitmaps);
+
+  std::int32_t n_ = 0;
+  std::size_t words_per_thread_ = 0;
+  std::int64_t bits_ = 0;
+  std::optional<CorrelationMatrix> matrix_;
+  std::vector<std::uint64_t> snapshot_;  // n_ rows × words_per_thread_
+
+  // Scratch, reused across epochs.
+  std::vector<std::uint32_t> dirty_words_;  // concatenated per-thread lists
+  std::vector<std::size_t> dirty_begin_;    // n_ + 1 offsets into the above
+  std::vector<ThreadId> changed_;
+  std::vector<std::uint8_t> is_changed_;
+
+  std::int64_t last_dirty_words_ = 0;
+  bool last_was_rebuild_ = false;
+};
+
+class IncrementalCutCost {
+ public:
+  IncrementalCutCost() = default;
+
+  /// Binds to a matrix and an assignment; rebuilds the affinity tables
+  /// in O(n²) reusing previously allocated storage.  The matrix must
+  /// outlive this helper (only a pointer is kept).
+  void reset(const CorrelationMatrix& matrix,
+             const std::vector<NodeId>& node_of_thread,
+             std::int32_t num_nodes);
+
+  /// Current cut cost; equals matrix.cut_cost(assignment) at all times.
+  [[nodiscard]] std::int64_t cost() const noexcept { return cut_; }
+
+  [[nodiscard]] NodeId node_of(ThreadId t) const;
+
+  /// Σ correlation(t, u) over threads u ≠ t currently assigned to `node`.
+  [[nodiscard]] std::int64_t affinity(ThreadId t, NodeId node) const;
+
+  /// Thread t's affinities to all nodes as a span (affinity_row(t)[n] ==
+  /// affinity(t, n)); one bounds check per row for tight scan loops.
+  [[nodiscard]] std::span<const std::int64_t> affinity_row(ThreadId t) const;
+
+  /// Cut-cost change if `t` moved to node `to` (O(1); negative = better).
+  [[nodiscard]] std::int64_t move_delta(ThreadId t, NodeId to) const;
+
+  /// Cut-cost change if `a` and `b` exchanged nodes (O(1)).
+  [[nodiscard]] std::int64_t swap_delta(ThreadId a, ThreadId b) const;
+
+  /// Applies the move/swap and updates tables in O(n · 1) per thread.
+  void apply_move(ThreadId t, NodeId to);
+  void apply_swap(ThreadId a, ThreadId b);
+
+ private:
+  [[nodiscard]] std::int64_t& aff(ThreadId t, NodeId node);
+  [[nodiscard]] std::int64_t aff(ThreadId t, NodeId node) const;
+
+  const CorrelationMatrix* matrix_ = nullptr;
+  std::int32_t n_ = 0;
+  std::int32_t num_nodes_ = 0;
+  std::int64_t cut_ = 0;
+  std::vector<NodeId> node_of_;
+  std::vector<std::int64_t> affinity_;  // n_ × num_nodes_, row-major
+};
+
+}  // namespace actrack

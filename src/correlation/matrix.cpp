@@ -1,10 +1,19 @@
 #include "correlation/matrix.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.hpp"
 
 namespace actrack {
+namespace {
+
+// Word-block width for the cold-rebuild kernel: 256 words = 2 KiB per
+// bitmap slice, so a tile of bitmap slices stays cache-resident while
+// every pair (i, j) consumes it.
+constexpr std::size_t kRebuildBlockWords = 256;
+
+}  // namespace
 
 CorrelationMatrix::CorrelationMatrix(std::int32_t num_threads)
     : n_(num_threads),
@@ -17,13 +26,40 @@ CorrelationMatrix::CorrelationMatrix(std::int32_t num_threads)
 CorrelationMatrix CorrelationMatrix::from_bitmaps(
     const std::vector<DynamicBitset>& bitmaps) {
   ACTRACK_CHECK(!bitmaps.empty());
-  CorrelationMatrix m(static_cast<std::int32_t>(bitmaps.size()));
-  for (std::int32_t i = 0; i < m.n_; ++i) {
-    for (std::int32_t j = i; j < m.n_; ++j) {
-      const std::int64_t shared =
-          bitmaps[static_cast<std::size_t>(i)].intersection_count(
-              bitmaps[static_cast<std::size_t>(j)]);
-      m.set(i, j, shared);
+  const std::size_t n = bitmaps.size();
+  CorrelationMatrix m(static_cast<std::int32_t>(n));
+
+  const std::size_t words = bitmaps[0].word_count();
+  std::vector<const std::uint64_t*> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ACTRACK_CHECK(bitmaps[i].size() == bitmaps[0].size());
+    rows[i] = bitmaps[i].words();
+  }
+
+  // Blocked over words so each pass reuses a hot slice of every bitmap
+  // instead of streaming full bitmaps per pair.  Popcounts are summed in
+  // the same integer domain as intersection_count, so the result is
+  // bit-identical to the naive pairwise build.
+  std::int64_t* cells = m.cells_.data();
+  for (std::size_t w0 = 0; w0 < words; w0 += kRebuildBlockWords) {
+    const std::size_t w1 = std::min(words, w0 + kRebuildBlockWords);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t* wi = rows[i];
+      std::int64_t* row_out = cells + i * n;
+      for (std::size_t j = i; j < n; ++j) {
+        const std::uint64_t* wj = rows[j];
+        std::int64_t shared = 0;
+        for (std::size_t w = w0; w < w1; ++w) {
+          shared += std::popcount(wi[w] & wj[w]);
+        }
+        row_out[j] += shared;
+      }
+    }
+  }
+  // Mirror the upper triangle; the blocked pass only filled j >= i.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cells[j * n + i] = cells[i * n + j];
     }
   }
   return m;
@@ -40,15 +76,26 @@ void CorrelationMatrix::set(ThreadId a, ThreadId b, std::int64_t value) {
   ACTRACK_CHECK(value >= 0);
   cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
          static_cast<std::size_t>(b)] = value;
-  cells_[static_cast<std::size_t>(b) * static_cast<std::size_t>(n_) +
-         static_cast<std::size_t>(a)] = value;
+  if (a != b) {
+    cells_[static_cast<std::size_t>(b) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(a)] = value;
+  }
+}
+
+std::span<const std::int64_t> CorrelationMatrix::cells(ThreadId a) const {
+  ACTRACK_CHECK(a >= 0 && a < n_);
+  return {cells_.data() +
+              static_cast<std::size_t>(a) * static_cast<std::size_t>(n_),
+          static_cast<std::size_t>(n_)};
 }
 
 std::int64_t CorrelationMatrix::max_off_diagonal() const noexcept {
+  const std::size_t n = static_cast<std::size_t>(n_);
   std::int64_t best = 0;
-  for (std::int32_t i = 0; i < n_; ++i) {
-    for (std::int32_t j = i + 1; j < n_; ++j) {
-      best = std::max(best, at(i, j));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t* row = cells_.data() + i * n;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      best = std::max(best, row[j]);
     }
   }
   return best;
@@ -57,12 +104,14 @@ std::int64_t CorrelationMatrix::max_off_diagonal() const noexcept {
 std::int64_t CorrelationMatrix::cut_cost(
     const std::vector<NodeId>& node_of_thread) const {
   ACTRACK_CHECK(static_cast<std::int32_t>(node_of_thread.size()) == n_);
+  const std::size_t n = static_cast<std::size_t>(n_);
   std::int64_t cut = 0;
-  for (std::int32_t i = 0; i < n_; ++i) {
-    for (std::int32_t j = i + 1; j < n_; ++j) {
-      if (node_of_thread[static_cast<std::size_t>(i)] !=
-          node_of_thread[static_cast<std::size_t>(j)]) {
-        cut += at(i, j);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t* row = cells_.data() + i * n;
+    const NodeId node_i = node_of_thread[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (node_of_thread[j] != node_i) {
+        cut += row[j];
       }
     }
   }
@@ -70,10 +119,12 @@ std::int64_t CorrelationMatrix::cut_cost(
 }
 
 std::int64_t CorrelationMatrix::total_pair_correlation() const noexcept {
+  const std::size_t n = static_cast<std::size_t>(n_);
   std::int64_t total = 0;
-  for (std::int32_t i = 0; i < n_; ++i) {
-    for (std::int32_t j = i + 1; j < n_; ++j) {
-      total += at(i, j);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t* row = cells_.data() + i * n;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      total += row[j];
     }
   }
   return total;

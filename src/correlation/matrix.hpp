@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bitset.hpp"
 #include "common/types.hpp"
 
 namespace actrack {
+
+class IncrementalCorrelation;
 
 class CorrelationMatrix {
  public:
@@ -30,6 +33,11 @@ class CorrelationMatrix {
   [[nodiscard]] std::int64_t at(ThreadId a, ThreadId b) const;
   void set(ThreadId a, ThreadId b, std::int64_t value);
 
+  /// Row `a` as a contiguous span of n entries (cells(a)[b] == at(a, b)).
+  /// Kernels iterate rows through this instead of at() so release builds
+  /// pay one bounds CHECK per row rather than one per element.
+  [[nodiscard]] std::span<const std::int64_t> cells(ThreadId a) const;
+
   /// Maximum off-diagonal entry (for map normalisation).
   [[nodiscard]] std::int64_t max_off_diagonal() const noexcept;
 
@@ -44,6 +52,8 @@ class CorrelationMatrix {
   [[nodiscard]] std::int64_t total_pair_correlation() const noexcept;
 
  private:
+  friend class IncrementalCorrelation;  // patches cells_ in place
+
   std::int32_t n_;
   std::vector<std::int64_t> cells_;  // row-major n×n, symmetric
 };

@@ -41,6 +41,16 @@ DsmSystem::DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
       config_.model != ConsistencyModel::kSequentialSingleWriter ||
           num_nodes <= 64,
       "single-writer copyset is a 64-bit mask; use <= 64 nodes");
+  // Pre-size the per-sync work lists so the steady state never grows
+  // them on the access path; they are cleared (capacity kept) on use.
+  const auto page_list_reserve =
+      static_cast<std::size_t>(std::min<PageId>(num_pages, 1024));
+  for (auto& dirty : dirty_pages_) dirty.reserve(page_list_reserve);
+  recently_flushed_.reserve(page_list_reserve);
+  pages_with_diffs_.reserve(page_list_reserve);
+  sc_active_.reserve(page_list_reserve);
+  writer_groups_scratch_.reserve(static_cast<std::size_t>(num_nodes));
+  gc_writers_scratch_.reserve(static_cast<std::size_t>(num_nodes));
 }
 
 DsmSystem::NodePage& DsmSystem::node_page(NodeId node, PageId page) {
@@ -137,11 +147,8 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
 
   // Group unseen diff records by writer: one exchange per distinct
   // writer, fetched in parallel (CVM requests all diffs concurrently).
-  struct WriterDiffs {
-    NodeId writer;
-    ByteCount bytes;
-  };
-  std::vector<WriterDiffs> groups;
+  std::vector<WriterDiffs>& groups = writer_groups_scratch_;
+  groups.clear();
   for (std::int32_t i = diffs_from; i < size; ++i) {
     const WriteRecord& rec = gp.history[static_cast<std::size_t>(i)];
     if (rec.full_page || rec.writer == node) continue;
@@ -532,7 +539,8 @@ SimTime DsmSystem::run_gc() {
     // remote fetches, §2: "garbage collections consolidate all
     // modifications of a single page at a single site").
     ByteCount fetched = 0;
-    std::vector<NodeId> writers_seen;
+    std::vector<NodeId>& writers_seen = gc_writers_scratch_;
+    writers_seen.clear();
     for (std::size_t i = static_cast<std::size_t>(onp.applied_upto);
          i < gp.history.size(); ++i) {
       const WriteRecord& rec = gp.history[i];

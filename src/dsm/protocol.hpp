@@ -324,6 +324,16 @@ class DsmSystem {
   std::vector<VectorClock> node_vc_;
   std::unordered_map<std::int32_t, VectorClock> lock_vc_;
 
+  /// Scratch for validate_page (per-writer unseen diff totals) and
+  /// run_gc (distinct writers per consolidated page), reused across
+  /// calls so the per-access and GC paths stop allocating.
+  struct WriterDiffs {
+    NodeId writer;
+    ByteCount bytes;
+  };
+  std::vector<WriterDiffs> writer_groups_scratch_;
+  std::vector<NodeId> gc_writers_scratch_;
+
   ByteCount outstanding_diff_bytes_ = 0;
   std::int64_t epoch_ = 1;
   DsmStats stats_;

@@ -1,0 +1,28 @@
+#include "exp/parallel_placement.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace actrack::exp {
+
+Placement parallel_min_cost_placement(const TrialRunner& runner,
+                                      const CorrelationMatrix& matrix,
+                                      NodeId num_nodes,
+                                      const MinCostOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<NodeId>> seeds =
+      min_cost_seeds(matrix, num_nodes, options, rng);
+  runner.run_tasks(
+      static_cast<std::int32_t>(seeds.size()), [&](std::int32_t i) {
+        refine_swaps_in_place(matrix, seeds[static_cast<std::size_t>(i)],
+                              num_nodes);
+      });
+  // Serial merge in seed order: strict `<` best pick, then basin hopping
+  // with the rng exactly where the serial path would have left it.
+  return min_cost_from_refined_seeds(matrix, num_nodes, options, rng,
+                                     std::move(seeds));
+}
+
+}  // namespace actrack::exp

@@ -1,0 +1,27 @@
+// Parallel multi-start min-cost placement.
+//
+// min_cost_placement refines several independent seed placements and
+// keeps the best; the refinements dominate its cost and share nothing,
+// so they fan out over the TrialRunner worker pool.  Determinism is
+// preserved by construction: the seeds are generated serially (same Rng
+// draws as the serial path), each refinement is a pure function of its
+// seed, and the merge (best pick + basin hopping) runs serially in seed
+// order — so the result is bit-identical to min_cost_placement for any
+// jobs count.  (This lives in exp, not placement, because placement
+// cannot depend on the experiment engine: exp → runtime → placement.)
+#pragma once
+
+#include "correlation/matrix.hpp"
+#include "exp/runner.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/placement.hpp"
+
+namespace actrack::exp {
+
+/// Bit-identical to min_cost_placement(matrix, num_nodes, options) with
+/// the seed refinements spread over `runner`'s worker pool.
+[[nodiscard]] Placement parallel_min_cost_placement(
+    const TrialRunner& runner, const CorrelationMatrix& matrix,
+    NodeId num_nodes, const MinCostOptions& options = {});
+
+}  // namespace actrack::exp

@@ -200,4 +200,38 @@ std::vector<TrialRecord> TrialRunner::run(
   return records;
 }
 
+void TrialRunner::run_tasks(
+    std::int32_t count, const std::function<void(std::int32_t)>& task) const {
+  ACTRACK_CHECK(count >= 0);
+  ACTRACK_CHECK(task != nullptr);
+  const std::int32_t jobs = std::min(options_.jobs, std::max(count, 1));
+
+  if (jobs <= 1) {
+    for (std::int32_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<std::int32_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto worker = [&]() {
+    for (;;) {
+      const std::int32_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(count);  // drain remaining work
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (std::int32_t j = 0; j < jobs; ++j) workers.emplace_back(worker);
+  for (std::thread& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace actrack::exp

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "exp/experiment.hpp"
@@ -37,6 +38,15 @@ class TrialRunner {
   /// workers have drained.
   std::vector<TrialRecord> run(const std::vector<ExperimentSpec>& specs,
                                ResultSink* sink = nullptr) const;
+
+  /// Runs task(0..count-1), each exactly once, on the runner's worker
+  /// pool (serially on the calling thread when jobs == 1).  Tasks must
+  /// be independent; like run(), the first exception is rethrown once
+  /// the workers have drained.  This is the generic leg under run() for
+  /// callers with work that is not an ExperimentSpec (e.g. refining
+  /// placement seeds in parallel).
+  void run_tasks(std::int32_t count,
+                 const std::function<void(std::int32_t)>& task) const;
 
   [[nodiscard]] const RunnerOptions& options() const noexcept {
     return options_;

@@ -19,7 +19,25 @@ std::vector<double> capacity_weights(const FaultInjector& injector) {
 Placement repair_placement(const CorrelationMatrix& matrix,
                            const FaultInjector& injector,
                            const MinCostOptions& options) {
-  return weighted_min_cost(matrix, capacity_weights(injector), options);
+  std::vector<std::vector<ThreadId>> by_node;
+  return repair_placement(matrix, injector, options, by_node);
+}
+
+Placement repair_placement(const CorrelationMatrix& matrix,
+                           const FaultInjector& injector,
+                           const MinCostOptions& options,
+                           std::vector<std::vector<ThreadId>>& by_node) {
+  Placement repaired =
+      weighted_min_cost(matrix, capacity_weights(injector), options);
+  // Audit the repair contract with caller-reusable scratch: capacity
+  // weighting shrinks a degraded node's share but never evacuates a node
+  // entirely (capacity_populations guarantees ≥ 1 thread per node), so
+  // the DSM always keeps a home replica owner on every node.
+  repaired.threads_by_node(by_node);
+  for (const auto& node_threads : by_node) {
+    ACTRACK_CHECK(!node_threads.empty());
+  }
+  return repaired;
 }
 
 }  // namespace actrack::fault

@@ -31,4 +31,12 @@ namespace actrack::fault {
                                          const FaultInjector& injector,
                                          const MinCostOptions& options = {});
 
+/// As above with caller-provided scratch for the per-node thread rosters
+/// (filled with the repaired placement's rosters on return), for repair
+/// loops that re-place repeatedly.
+[[nodiscard]] Placement repair_placement(
+    const CorrelationMatrix& matrix, const FaultInjector& injector,
+    const MinCostOptions& options,
+    std::vector<std::vector<ThreadId>>& by_node);
+
 }  // namespace actrack::fault

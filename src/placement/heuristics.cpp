@@ -132,10 +132,11 @@ std::vector<NodeId> greedy_cluster_seed(const CorrelationMatrix& m,
   return assignment;
 }
 
-/// Kernighan–Lin-style steepest-descent pairwise swaps: exchanging two
-/// threads across nodes keeps every node's population fixed.
-void refine_swaps_in_place(const CorrelationMatrix& m,
-                           std::vector<NodeId>& assignment) {
+/// The historical Kernighan–Lin-style steepest-descent pairwise swaps,
+/// rescanning the whole matrix for every candidate pair.  Kept verbatim
+/// as the equivalence oracle for the gain-table implementation below.
+void reference_refine_swaps_in_place(const CorrelationMatrix& m,
+                                     std::vector<NodeId>& assignment) {
   const std::int32_t n = m.num_threads();
   bool improved = true;
   while (improved) {
@@ -178,6 +179,57 @@ void refine_swaps_in_place(const CorrelationMatrix& m,
 
 }  // namespace
 
+void refine_swaps_in_place(const CorrelationMatrix& m,
+                           std::vector<NodeId>& assignment, NodeId num_nodes,
+                           IncrementalCutCost& scratch) {
+  const std::int32_t n = m.num_threads();
+  ACTRACK_CHECK(static_cast<std::int32_t>(assignment.size()) == n);
+  scratch.reset(m, assignment, num_nodes);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::int64_t best_gain = 0;
+    std::int32_t best_i = -1, best_j = -1;
+    for (std::int32_t i = 0; i < n; ++i) {
+      const NodeId ni = assignment[static_cast<std::size_t>(i)];
+      const std::span<const std::int64_t> aff_i = scratch.affinity_row(i);
+      const std::span<const std::int64_t> row_i = m.cells(i);
+      const std::int64_t aff_i_ni = aff_i[static_cast<std::size_t>(ni)];
+      for (std::int32_t j = i + 1; j < n; ++j) {
+        const NodeId nj = assignment[static_cast<std::size_t>(j)];
+        if (ni == nj) continue;
+        const std::span<const std::int64_t> aff_j = scratch.affinity_row(j);
+        // Same gain the reference rescan computes, read off the cached
+        // affinity tables: swapped external ties become internal and
+        // vice versa, with both (i, j) edge corrections folded into the
+        // −4·m(i,j) term.
+        const std::int64_t gain = aff_i[static_cast<std::size_t>(nj)] +
+                                  aff_j[static_cast<std::size_t>(ni)] -
+                                  aff_i_ni -
+                                  aff_j[static_cast<std::size_t>(nj)] -
+                                  4 * row_i[static_cast<std::size_t>(j)];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i >= 0) {
+      scratch.apply_swap(best_i, best_j);
+      std::swap(assignment[static_cast<std::size_t>(best_i)],
+                assignment[static_cast<std::size_t>(best_j)]);
+      improved = true;
+    }
+  }
+}
+
+void refine_swaps_in_place(const CorrelationMatrix& m,
+                           std::vector<NodeId>& assignment, NodeId num_nodes) {
+  IncrementalCutCost scratch;
+  refine_swaps_in_place(m, assignment, num_nodes, scratch);
+}
+
 Placement random_placement(Rng& rng, std::int32_t num_threads,
                            NodeId num_nodes, std::int32_t min_per_node) {
   ACTRACK_CHECK(num_threads >= num_nodes * min_per_node);
@@ -216,43 +268,53 @@ Placement balanced_random_placement(Rng& rng, std::int32_t num_threads,
   return Placement(std::move(slots), num_nodes);
 }
 
-Placement min_cost_placement(const CorrelationMatrix& matrix,
-                             NodeId num_nodes,
-                             const MinCostOptions& options) {
+std::vector<std::vector<NodeId>> min_cost_seeds(const CorrelationMatrix& matrix,
+                                                NodeId num_nodes,
+                                                const MinCostOptions& options,
+                                                Rng& rng) {
   const std::int32_t n = matrix.num_threads();
   ACTRACK_CHECK(n >= num_nodes);
-  Rng rng(options.seed);
-
   std::vector<std::vector<NodeId>> seeds;
+  seeds.reserve(static_cast<std::size_t>(2 + options.random_restarts));
   seeds.push_back(greedy_cluster_seed(matrix, num_nodes));
   seeds.push_back(Placement::stretch(n, num_nodes).node_of_thread());
   for (std::int32_t r = 0; r < options.random_restarts; ++r) {
     seeds.push_back(
         balanced_random_placement(rng, n, num_nodes).node_of_thread());
   }
+  return seeds;
+}
+
+Placement min_cost_from_refined_seeds(
+    const CorrelationMatrix& matrix, NodeId num_nodes,
+    const MinCostOptions& options, Rng& rng,
+    std::vector<std::vector<NodeId>> refined_seeds) {
+  const std::int32_t n = matrix.num_threads();
+  ACTRACK_CHECK(!refined_seeds.empty());
 
   std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
   std::vector<NodeId> best;
-  for (auto& seed : seeds) {
-    refine_swaps_in_place(matrix, seed);
+  for (auto& seed : refined_seeds) {
     const std::int64_t cut = matrix.cut_cost(seed);
     if (cut < best_cut) {
       best_cut = cut;
-      best = seed;
+      best = std::move(seed);
     }
   }
 
   // Basin hopping: kick the best local optimum with a few random swaps
   // and re-descend; keeps quality within the paper's "1 % of optimal"
   // even on dense unstructured matrices.
+  IncrementalCutCost scratch;
+  std::vector<NodeId> candidate;
   for (std::int32_t round = 0; round < options.perturbation_rounds; ++round) {
-    std::vector<NodeId> candidate = best;
+    candidate = best;
     for (int kick = 0; kick < 3; ++kick) {
       const auto i = static_cast<std::size_t>(rng.uniform(n));
       const auto j = static_cast<std::size_t>(rng.uniform(n));
       std::swap(candidate[i], candidate[j]);
     }
-    refine_swaps_in_place(matrix, candidate);
+    refine_swaps_in_place(matrix, candidate, num_nodes, scratch);
     const std::int64_t cut = matrix.cut_cost(candidate);
     if (cut < best_cut) {
       best_cut = cut;
@@ -262,10 +324,31 @@ Placement min_cost_placement(const CorrelationMatrix& matrix,
   return Placement(std::move(best), num_nodes);
 }
 
+Placement min_cost_placement(const CorrelationMatrix& matrix,
+                             NodeId num_nodes,
+                             const MinCostOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<NodeId>> seeds =
+      min_cost_seeds(matrix, num_nodes, options, rng);
+  IncrementalCutCost scratch;
+  for (auto& seed : seeds) {
+    refine_swaps_in_place(matrix, seed, num_nodes, scratch);
+  }
+  return min_cost_from_refined_seeds(matrix, num_nodes, options, rng,
+                                     std::move(seeds));
+}
+
 Placement refine_by_swaps(const CorrelationMatrix& matrix,
                           Placement placement) {
   std::vector<NodeId> assignment = placement.node_of_thread();
-  refine_swaps_in_place(matrix, assignment);
+  refine_swaps_in_place(matrix, assignment, placement.num_nodes());
+  return Placement(std::move(assignment), placement.num_nodes());
+}
+
+Placement refine_by_swaps_reference(const CorrelationMatrix& matrix,
+                                    Placement placement) {
+  std::vector<NodeId> assignment = placement.node_of_thread();
+  reference_refine_swaps_in_place(matrix, assignment);
   return Placement(std::move(assignment), placement.num_nodes());
 }
 
@@ -278,58 +361,57 @@ Placement min_cost_within_budget(const CorrelationMatrix& matrix,
   std::vector<NodeId> assignment = current.node_of_thread();
   const std::vector<NodeId>& origin = current.node_of_thread();
 
-  auto moved_count = [&]() {
-    std::int32_t moved = 0;
-    for (std::size_t t = 0; t < assignment.size(); ++t) {
-      if (assignment[t] != origin[t]) ++moved;
-    }
-    return moved;
-  };
+  IncrementalCutCost cut;
+  cut.reset(matrix, assignment, current.num_nodes());
+  std::int32_t moved = 0;  // |{t : assignment[t] != origin[t]}|
 
   while (true) {
     // Swaps that return threads home are allowed even at zero budget
     // (they free budget); only net new moves are constrained.
-    const std::int32_t budget_left = max_moves - moved_count();
+    const std::int32_t budget_left = max_moves - moved;
 
-    // Best swap that both improves the cut and fits the move budget.
+    // Best swap that both improves the cut and fits the move budget,
+    // evaluated from the cached affinity tables (same gain the
+    // historical full rescan computed).
     std::int64_t best_gain = 0;
     std::int32_t best_i = -1, best_j = -1;
+    std::int32_t best_extra = 0;
     for (std::int32_t i = 0; i < n; ++i) {
       const NodeId ni = assignment[static_cast<std::size_t>(i)];
+      const std::span<const std::int64_t> aff_i = cut.affinity_row(i);
+      const std::span<const std::int64_t> row_i = matrix.cells(i);
+      const std::int64_t aff_i_ni = aff_i[static_cast<std::size_t>(ni)];
+      const NodeId origin_i = origin[static_cast<std::size_t>(i)];
       for (std::int32_t j = i + 1; j < n; ++j) {
         const NodeId nj = assignment[static_cast<std::size_t>(j)];
         if (ni == nj) continue;
         // Net new moves this swap would cause (a thread swapping back
         // to its original node *reduces* the count).
         std::int32_t extra = 0;
-        extra += (nj != origin[static_cast<std::size_t>(i)] ? 1 : 0) -
-                 (ni != origin[static_cast<std::size_t>(i)] ? 1 : 0);
+        extra += (nj != origin_i ? 1 : 0) - (ni != origin_i ? 1 : 0);
         extra += (ni != origin[static_cast<std::size_t>(j)] ? 1 : 0) -
                  (nj != origin[static_cast<std::size_t>(j)] ? 1 : 0);
         if (extra > budget_left) continue;
 
-        std::int64_t gain = -2 * matrix.at(i, j);
-        for (std::int32_t x = 0; x < n; ++x) {
-          if (x == i || x == j) continue;
-          const NodeId nx = assignment[static_cast<std::size_t>(x)];
-          if (nx == ni) {
-            gain -= matrix.at(i, x);
-            gain += matrix.at(j, x);
-          } else if (nx == nj) {
-            gain += matrix.at(i, x);
-            gain -= matrix.at(j, x);
-          }
-        }
+        const std::span<const std::int64_t> aff_j = cut.affinity_row(j);
+        const std::int64_t gain = aff_i[static_cast<std::size_t>(nj)] +
+                                  aff_j[static_cast<std::size_t>(ni)] -
+                                  aff_i_ni -
+                                  aff_j[static_cast<std::size_t>(nj)] -
+                                  4 * row_i[static_cast<std::size_t>(j)];
         if (gain > best_gain) {
           best_gain = gain;
           best_i = i;
           best_j = j;
+          best_extra = extra;
         }
       }
     }
     if (best_i < 0) break;
+    cut.apply_swap(best_i, best_j);
     std::swap(assignment[static_cast<std::size_t>(best_i)],
               assignment[static_cast<std::size_t>(best_j)]);
+    moved += best_extra;
   }
   return Placement(std::move(assignment), current.num_nodes());
 }

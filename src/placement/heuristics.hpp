@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "correlation/incremental.hpp"
 #include "correlation/matrix.hpp"
 #include "placement/placement.hpp"
 
@@ -59,6 +61,45 @@ struct MinCostOptions {
 /// placement in place with pairwise swaps until no swap improves the cut.
 [[nodiscard]] Placement refine_by_swaps(const CorrelationMatrix& matrix,
                                         Placement placement);
+
+/// Steepest-descent pairwise-swap refinement on an assignment vector:
+/// repeatedly applies the single best-gain swap until no swap improves
+/// the cut.  Runs on cached per-thread node-affinity (gain) tables kept
+/// by an IncrementalCutCost — O(n²) per pass plus O(n) per accepted swap
+/// instead of the O(n³)-per-pass rescan — and selects swaps identically
+/// to the historical rescan implementation, so results are bit-identical
+/// (see refine_by_swaps_reference).  The scratch overload reuses the
+/// helper's tables across calls.
+void refine_swaps_in_place(const CorrelationMatrix& matrix,
+                           std::vector<NodeId>& assignment, NodeId num_nodes);
+void refine_swaps_in_place(const CorrelationMatrix& matrix,
+                           std::vector<NodeId>& assignment, NodeId num_nodes,
+                           IncrementalCutCost& scratch);
+
+/// The historical O(n³)-per-pass refinement, kept as the equivalence
+/// oracle for tests and the perf-regression baseline.  Must return the
+/// same placement as refine_by_swaps for every input.
+[[nodiscard]] Placement refine_by_swaps_reference(const CorrelationMatrix& matrix,
+                                                  Placement placement);
+
+/// The seed placements min_cost_placement refines: greedy agglomerative
+/// clustering, stretch, then options.random_restarts balanced-random
+/// placements drawn from `rng`.  Exposed so callers (exp layer) can
+/// refine the seeds in parallel; draw order in `rng` matters for
+/// bit-identity with the serial path.
+[[nodiscard]] std::vector<std::vector<NodeId>> min_cost_seeds(
+    const CorrelationMatrix& matrix, NodeId num_nodes,
+    const MinCostOptions& options, Rng& rng);
+
+/// Second half of min_cost_placement: given the *refined* seeds (in the
+/// order min_cost_seeds produced them), pick the best by cut cost and
+/// basin-hop with `rng` (which must have consumed exactly the
+/// min_cost_seeds draws).  min_cost_placement(m, k, o) ==
+/// min_cost_from_refined_seeds over serially refined min_cost_seeds.
+[[nodiscard]] Placement min_cost_from_refined_seeds(
+    const CorrelationMatrix& matrix, NodeId num_nodes,
+    const MinCostOptions& options, Rng& rng,
+    std::vector<std::vector<NodeId>> refined_seeds);
 
 /// Migration-budget-constrained re-placement (paper §5: a migration
 /// round's cost is proportional to the number of threads moved, and

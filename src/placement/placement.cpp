@@ -37,12 +37,21 @@ NodeId Placement::node_of(ThreadId thread) const {
 }
 
 std::vector<std::vector<ThreadId>> Placement::threads_by_node() const {
-  std::vector<std::vector<ThreadId>> result(
-      static_cast<std::size_t>(num_nodes_));
-  for (std::int32_t t = 0; t < num_threads(); ++t) {
-    result[static_cast<std::size_t>(node_of(t))].push_back(t);
-  }
+  std::vector<std::vector<ThreadId>> result;
+  threads_by_node(result);
   return result;
+}
+
+void Placement::threads_by_node(
+    std::vector<std::vector<ThreadId>>& out) const {
+  out.resize(static_cast<std::size_t>(num_nodes_));
+  for (auto& node_threads : out) {
+    node_threads.clear();
+  }
+  for (std::int32_t t = 0; t < num_threads(); ++t) {
+    out[static_cast<std::size_t>(node_of_thread_[static_cast<std::size_t>(t)])]
+        .push_back(t);
+  }
 }
 
 std::int32_t Placement::threads_on(NodeId node) const {

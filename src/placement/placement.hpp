@@ -32,6 +32,12 @@ class Placement {
   /// Threads on each node, ascending thread ids.
   [[nodiscard]] std::vector<std::vector<ThreadId>> threads_by_node() const;
 
+  /// As above, but filling caller-provided storage: `out` is resized to
+  /// num_nodes() and each per-node vector is cleared, keeping its
+  /// capacity.  Lets per-iteration/refinement loops avoid reallocating
+  /// the nested vectors every call.
+  void threads_by_node(std::vector<std::vector<ThreadId>>& out) const;
+
   [[nodiscard]] std::int32_t threads_on(NodeId node) const;
 
   /// Number of threads whose node differs between the two placements —

@@ -83,25 +83,39 @@ Placement weighted_min_cost(const CorrelationMatrix& matrix,
 
   // Seeds with the required populations; pairwise-swap refinement
   // preserves them, so every candidate stays capacity-proportional.
-  std::vector<Placement> seeds;
-  seeds.push_back(weighted_stretch(n, node_speed));
+  std::vector<std::vector<NodeId>> seeds;
+  seeds.push_back(weighted_stretch(n, node_speed).node_of_thread());
   for (std::int32_t r = 0; r < options.random_restarts + 2; ++r) {
-    std::vector<NodeId> shuffled = seeds.front().node_of_thread();
+    std::vector<NodeId> shuffled = seeds.front();
     rng.shuffle(shuffled);
-    seeds.emplace_back(std::move(shuffled), num_nodes);
+    seeds.push_back(std::move(shuffled));
   }
 
+  // One gain-table scratch shared across all seed refinements.
+  IncrementalCutCost scratch;
   std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
-  Placement best = seeds.front();
-  for (const Placement& seed : seeds) {
-    const Placement refined = refine_by_swaps(matrix, seed);
-    const std::int64_t cut = matrix.cut_cost(refined.node_of_thread());
+  std::vector<NodeId> best;
+  for (auto& seed : seeds) {
+    refine_swaps_in_place(matrix, seed, num_nodes, scratch);
+    const std::int64_t cut = matrix.cut_cost(seed);
     if (cut < best_cut) {
       best_cut = cut;
-      best = refined;
+      best = std::move(seed);
     }
   }
-  return best;
+  Placement placement(std::move(best), num_nodes);
+
+  // Swap refinement must preserve the capacity-proportional populations
+  // exactly; audit via the scratch threads_by_node overload so the check
+  // costs no nested reallocation.
+  const std::vector<std::int32_t> want = capacity_populations(n, node_speed);
+  std::vector<std::vector<ThreadId>> by_node;
+  placement.threads_by_node(by_node);
+  for (std::size_t node = 0; node < by_node.size(); ++node) {
+    ACTRACK_CHECK(static_cast<std::int32_t>(by_node[node].size()) ==
+                  want[node]);
+  }
+  return placement;
 }
 
 }  // namespace actrack

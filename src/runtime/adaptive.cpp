@@ -24,8 +24,7 @@ AdaptiveStep AdaptiveController::track_and_migrate() {
   const TrackedIterationMetrics tracked = runtime_->run_tracked_iteration();
   step.remote_misses = tracked.metrics.remote_misses;
   step.elapsed_us = tracked.metrics.elapsed_us;
-  aged_.observe(
-      CorrelationMatrix::from_bitmaps(tracked.tracking.access_bitmaps));
+  aged_.observe(tracker_.update(tracked.tracking.access_bitmaps));
 
   const CorrelationMatrix estimate = aged_.snapshot();
   const Placement target = min_cost_placement(

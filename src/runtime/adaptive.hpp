@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "correlation/aging.hpp"
+#include "correlation/incremental.hpp"
 #include "placement/heuristics.hpp"
 #include "runtime/cluster_runtime.hpp"
 
@@ -70,6 +71,10 @@ class AdaptiveController {
   ClusterRuntime* runtime_;  // non-owning
   AdaptivePolicy policy_;
   AgedCorrelation aged_;
+  /// Correlation matrix over the latest tracked bitmaps, maintained
+  /// incrementally: successive trackings overlap heavily unless the
+  /// sharing pattern shifts wholesale.
+  IncrementalCorrelation tracker_;
   std::optional<std::int64_t> baseline_misses_;
   bool settle_pending_ = false;
   std::int32_t since_track_ = 0;

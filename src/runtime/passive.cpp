@@ -51,9 +51,9 @@ std::vector<PassiveRound> PassiveTrackingExperiment::run(
 
     // Re-place threads using whatever information has been gathered,
     // then migrate — the passive system's only way to expose the
-    // affinities between threads still sharing a node.
-    const CorrelationMatrix partial =
-        CorrelationMatrix::from_bitmaps(observed_);
+    // affinities between threads still sharing a node.  The incremental
+    // tracker only touches the bitmap words that changed this round.
+    const CorrelationMatrix& partial = partial_.update(observed_);
     const Placement next = min_cost_placement(partial, num_nodes_);
     record.threads_moved = runtime_.placement().migration_distance(next);
     if (record.threads_moved > 0) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bitset.hpp"
+#include "correlation/incremental.hpp"
 #include "placement/placement.hpp"
 #include "runtime/cluster_runtime.hpp"
 
@@ -48,6 +49,10 @@ class PassiveTrackingExperiment {
   ClusterRuntime runtime_;
   std::vector<DynamicBitset> observed_;
   std::vector<DynamicBitset> truth_;
+  /// Maintains the correlation matrix over `observed_` across rounds:
+  /// observed bits only accumulate, so each round's matrix is a small
+  /// delta on the previous one.
+  IncrementalCorrelation partial_;
 };
 
 }  // namespace actrack

@@ -62,8 +62,32 @@ struct WakeEvent {
   bool operator>(const WakeEvent& other) const { return time > other.time; }
 };
 
-using WakeQueue =
-    std::priority_queue<WakeEvent, std::vector<WakeEvent>, std::greater<>>;
+/// Min-heap of wake events whose underlying vector can be reserved and
+/// cleared without deallocating, so the per-access fetch path reuses the
+/// same storage every phase.
+struct WakeHeap
+    : std::priority_queue<WakeEvent, std::vector<WakeEvent>, std::greater<>> {
+  void reserve(std::size_t n) { c.reserve(n); }
+  void clear() noexcept { c.clear(); }
+};
+
+/// Lock state across a whole tracked iteration: nodes still run in
+/// parallel (only each node's *thread scheduler* is disabled), so
+/// critical sections serialise through each lock's availability time
+/// and ownership transfers cost network time.
+struct TrackedLock {
+  NodeId holder = kNoNode;
+  SimTime available_at = 0;
+};
+
+/// Per-node cursor over its threads' segments within a tracked phase.
+struct NodeCursor {
+  SimTime clock = 0;
+  std::size_t thread_idx = 0;   // into by_node[n]
+  std::size_t segment_idx = 0;  // into the current thread's segments
+  bool thread_entered = false;  // protect pass charged for this thread
+  DynamicBitset armed;          // correlation bits of the running thread
+};
 
 /// Splits a segment's compute time into a per-access share plus tail, so
 /// remote fetches interleave with computation realistically.
@@ -76,9 +100,30 @@ void enter_segment(ThreadRun& tr, const Segment& seg) {
 
 }  // namespace
 
+// All per-phase working state lives here and is reused across phases and
+// iterations; every container is cleared (capacity kept) rather than
+// reconstructed, which removes the allocation churn from the per-access
+// simulation path.
+struct ClusterScheduler::Scratch {
+  // run_phase
+  std::vector<ThreadRun> threads;
+  std::vector<NodeRun> nodes;
+  std::unordered_map<std::int32_t, LockRun> locks;
+  WakeHeap wakes;
+  // run_tracked_iteration
+  std::vector<std::vector<ThreadId>> by_node;
+  std::vector<NodeCursor> cursors;
+  std::unordered_map<std::int32_t, TrackedLock> tracked_locks;
+};
+
+ClusterScheduler::~ClusterScheduler() = default;
+
 ClusterScheduler::ClusterScheduler(DsmSystem* dsm, NetworkModel* net,
                                    SchedConfig config)
-    : dsm_(dsm), net_(net), config_(std::move(config)) {
+    : dsm_(dsm),
+      net_(net),
+      config_(std::move(config)),
+      scratch_(std::make_unique<Scratch>()) {
   ACTRACK_CHECK(dsm != nullptr && net != nullptr);
   if (!config_.node_speed.empty()) {
     ACTRACK_CHECK(static_cast<NodeId>(config_.node_speed.size()) ==
@@ -108,9 +153,15 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
   const auto num_threads = static_cast<std::size_t>(placement.num_threads());
   ACTRACK_CHECK(phase.threads.size() == num_threads);
 
-  std::vector<ThreadRun> threads(num_threads);
-  std::vector<NodeRun> nodes(static_cast<std::size_t>(num_nodes));
-  for (auto& node : nodes) node.clock = start_us;
+  std::vector<ThreadRun>& threads = scratch_->threads;
+  threads.assign(num_threads, ThreadRun{});
+  std::vector<NodeRun>& nodes = scratch_->nodes;
+  nodes.resize(static_cast<std::size_t>(num_nodes));
+  for (auto& node : nodes) {
+    node.clock = start_us;
+    node.runnable.clear();
+    node.remaining = 0;
+  }
   if (result.node_idle_us.empty()) {
     result.node_idle_us.assign(static_cast<std::size_t>(num_nodes), 0);
   }
@@ -125,8 +176,11 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
     node.remaining += 1;
   }
 
-  std::unordered_map<std::int32_t, LockRun> locks;
-  WakeQueue wakes;
+  std::unordered_map<std::int32_t, LockRun>& locks = scratch_->locks;
+  locks.clear();
+  WakeHeap& wakes = scratch_->wakes;
+  wakes.clear();
+  wakes.reserve(num_threads);
 
   // Runs the front runnable thread of `node_idx` until it blocks on a
   // lock, switches away on a remote fetch, or finishes its phase work.
@@ -346,36 +400,30 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       static_cast<std::size_t>(trace.num_threads), DynamicBitset(num_pages));
 
   const std::int64_t faults_before = dsm_->stats().coherence_faults();
-  const std::vector<std::vector<ThreadId>> by_node =
-      placement.threads_by_node();
+  std::vector<std::vector<ThreadId>>& by_node = scratch_->by_node;
+  placement.threads_by_node(by_node);
 
-  // Lock state across the whole tracked iteration: nodes still run in
-  // parallel (only each node's *thread scheduler* is disabled), so
-  // critical sections serialise through each lock's availability time
-  // and ownership transfers cost network time.  To keep that
-  // serialisation causally sensible, nodes are advanced one segment at
-  // a time in simulated-time order.
-  struct TrackedLock {
-    NodeId holder = kNoNode;
-    SimTime available_at = 0;
-  };
-  std::unordered_map<std::int32_t, TrackedLock> locks;
-
-  // Per-node cursor over its threads' segments within the phase.
-  struct NodeCursor {
-    SimTime clock = 0;
-    std::size_t thread_idx = 0;   // into by_node[n]
-    std::size_t segment_idx = 0;  // into the current thread's segments
-    bool thread_entered = false;  // protect pass charged for this thread
-    DynamicBitset armed;          // correlation bits of the running thread
-  };
+  // To keep lock serialisation causally sensible, nodes are advanced one
+  // segment at a time in simulated-time order.  Lock table and per-node
+  // cursors live in the scheduler scratch; each cursor's `armed` bitset
+  // is set_all()-initialised before any thread runs, so reusing stale
+  // storage cannot change results.
+  std::unordered_map<std::int32_t, TrackedLock>& locks =
+      scratch_->tracked_locks;
+  locks.clear();
 
   SimTime now = 0;
   for (const Phase& phase : trace.phases) {
-    std::vector<NodeCursor> cursors(static_cast<std::size_t>(num_nodes));
+    std::vector<NodeCursor>& cursors = scratch_->cursors;
+    cursors.resize(static_cast<std::size_t>(num_nodes));
     for (auto& cursor : cursors) {
       cursor.clock = now;
-      cursor.armed = DynamicBitset(num_pages);
+      cursor.thread_idx = 0;
+      cursor.segment_idx = 0;
+      cursor.thread_entered = false;
+      if (cursor.armed.size() != num_pages) {
+        cursor.armed = DynamicBitset(num_pages);
+      }
     }
 
     auto node_done = [&](NodeId n) {

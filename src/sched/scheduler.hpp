@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitset.hpp"
@@ -89,6 +90,9 @@ struct MigrationResult {
 class ClusterScheduler {
  public:
   ClusterScheduler(DsmSystem* dsm, NetworkModel* net, SchedConfig config = {});
+  ~ClusterScheduler();
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
 
   /// Executes one application iteration under the given placement.
   IterationResult run_iteration(const IterationTrace& trace,
@@ -136,6 +140,12 @@ class ClusterScheduler {
   SchedConfig config_;
   obs::Probe* probe_ = nullptr;  // non-owning, may be null
   fault::FaultInjector* fault_ = nullptr;  // non-owning, may be null
+
+  /// Per-phase working state (thread cursors, run queues, wake heap,
+  /// tracked-iteration cursors) reused across phases and iterations so
+  /// the per-access path stops allocating; see scheduler.cpp.
+  struct Scratch;
+  std::unique_ptr<Scratch> scratch_;
 };
 
 }  // namespace actrack

@@ -1,0 +1,324 @@
+// Equivalence suites for the incremental perf kernels: whatever the
+// fast paths do, they must be bit-identical to the naive formulations
+// they replace.  IncrementalCorrelation == from_bitmaps, gain-table
+// refinement == the historical rescan, parallel multi-start == serial
+// min-cost, scratch accessors == their allocating twins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "apps/workload.hpp"
+#include "common/bitset.hpp"
+#include "common/rng.hpp"
+#include "correlation/incremental.hpp"
+#include "correlation/matrix.hpp"
+#include "exp/parallel_placement.hpp"
+#include "exp/runner.hpp"
+#include "placement/heuristics.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+namespace {
+
+void expect_same_matrix(const CorrelationMatrix& a,
+                        const CorrelationMatrix& b) {
+  ASSERT_EQ(a.num_threads(), b.num_threads());
+  for (ThreadId i = 0; i < a.num_threads(); ++i) {
+    const auto row_a = a.cells(i);
+    const auto row_b = b.cells(i);
+    for (ThreadId j = 0; j < a.num_threads(); ++j) {
+      ASSERT_EQ(row_a[static_cast<std::size_t>(j)],
+                row_b[static_cast<std::size_t>(j)])
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+CorrelationMatrix random_matrix(Rng& rng, std::int32_t n,
+                                std::int64_t max_value) {
+  CorrelationMatrix m(n);
+  for (ThreadId i = 0; i < n; ++i) {
+    for (ThreadId j = i + 1; j < n; ++j) {
+      m.set(i, j, rng.uniform(max_value));
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// IncrementalCorrelation == CorrelationMatrix::from_bitmaps, exactly,
+// across epochs of random word-level churn.
+
+class IncrementalCorrelationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalCorrelationProperty, MatchesFullRebuildAcrossEpochs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 97);
+  const std::int32_t threads = 10;
+  const std::int64_t pages = 300;  // several words, partial last word
+  std::vector<DynamicBitset> bitmaps(static_cast<std::size_t>(threads),
+                                     DynamicBitset(pages));
+  IncrementalCorrelation inc;
+  EXPECT_FALSE(inc.primed());
+
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    // Flip a random number of bits on a random subset of threads —
+    // including epochs where nothing changes at all.
+    const std::int64_t flips = rng.uniform(40);
+    for (std::int64_t f = 0; f < flips; ++f) {
+      auto& bm = bitmaps[static_cast<std::size_t>(rng.uniform(threads))];
+      const std::int64_t page = rng.uniform(pages);
+      if (bm.test(page)) {
+        bm.reset(page);
+      } else {
+        bm.set(page);
+      }
+    }
+    // Equality must hold whichever path update() picks — patching or
+    // the churn-triggered rebuild fallback.
+    const CorrelationMatrix& fast = inc.update(bitmaps);
+    expect_same_matrix(fast, CorrelationMatrix::from_bitmaps(bitmaps));
+    EXPECT_TRUE(inc.primed());
+    if (epoch == 0) {
+      EXPECT_TRUE(inc.last_was_rebuild());
+    } else if (flips == 0) {
+      EXPECT_FALSE(inc.last_was_rebuild());
+      EXPECT_EQ(inc.last_dirty_words(), 0);
+    }
+  }
+}
+
+TEST_P(IncrementalCorrelationProperty, ShapeChangeForcesExactRebuild) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 31);
+  IncrementalCorrelation inc;
+  for (const std::int64_t pages : {64L, 200L, 64L}) {
+    std::vector<DynamicBitset> bitmaps(6, DynamicBitset(pages));
+    for (auto& bm : bitmaps) {
+      for (std::int64_t p = 0; p < pages; ++p) {
+        if (rng.uniform(3) == 0) bm.set(p);
+      }
+    }
+    expect_same_matrix(inc.update(bitmaps),
+                       CorrelationMatrix::from_bitmaps(bitmaps));
+    EXPECT_TRUE(inc.last_was_rebuild());
+  }
+  // invalidate() drops the snapshot but the next update is still exact.
+  std::vector<DynamicBitset> bitmaps(6, DynamicBitset(64));
+  bitmaps[0].set(3);
+  bitmaps[1].set(3);
+  inc.invalidate();
+  expect_same_matrix(inc.update(bitmaps),
+                     CorrelationMatrix::from_bitmaps(bitmaps));
+  EXPECT_TRUE(inc.last_was_rebuild());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCorrelationProperty,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// The same equivalence over real tracked-iteration bitmaps, under both
+// consistency protocols: accumulate observed pages across iterations
+// (the passive/adaptive usage pattern) and re-derive the matrix each
+// round.
+
+class TrackedBitmapProperty
+    : public ::testing::TestWithParam<std::tuple<int, ConsistencyModel>> {};
+
+TEST_P(TrackedBitmapProperty, IncrementalMatchesRebuildOnTrackedBitmaps) {
+  const auto [seed, model] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 5);
+  const std::unique_ptr<Workload> w =
+      make_workload(seed % 2 == 0 ? "SOR" : "Water", 12);
+  RuntimeConfig config;
+  config.dsm.model = model;
+  ClusterRuntime runtime(*w, random_placement(rng, 12, 3, 2), config);
+  runtime.run_init();
+
+  std::vector<DynamicBitset> accumulated(
+      12, DynamicBitset(w->num_pages()));
+  IncrementalCorrelation inc;
+  for (int round = 0; round < 3; ++round) {
+    const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+    for (std::size_t t = 0; t < accumulated.size(); ++t) {
+      accumulated[t].merge(tracked.tracking.access_bitmaps[t]);
+    }
+    expect_same_matrix(inc.update(accumulated),
+                       CorrelationMatrix::from_bitmaps(accumulated));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndProtocols, TrackedBitmapProperty,
+    ::testing::Combine(
+        ::testing::Range(0, 4),
+        ::testing::Values(ConsistencyModel::kLazyReleaseMultiWriter,
+                          ConsistencyModel::kSequentialSingleWriter)));
+
+// ---------------------------------------------------------------------
+// IncrementalCutCost tracks matrix.cut_cost exactly through arbitrary
+// move/swap sequences, and its deltas predict the ground truth.
+
+class CutCostProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutCostProperty, DeltasAndCostMatchGroundTruth) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 41);
+  const std::int32_t n = 14;
+  const NodeId nodes = 4;
+  const CorrelationMatrix m = random_matrix(rng, n, 60);
+  std::vector<NodeId> assignment;
+  for (ThreadId t = 0; t < n; ++t) {
+    assignment.push_back(static_cast<NodeId>(rng.uniform(nodes)));
+  }
+
+  IncrementalCutCost cut;
+  cut.reset(m, assignment, nodes);
+  EXPECT_EQ(cut.cost(), m.cut_cost(assignment));
+
+  // Affinity tables against the brute-force definition.
+  for (ThreadId t = 0; t < n; ++t) {
+    const auto row = cut.affinity_row(t);
+    for (NodeId node = 0; node < nodes; ++node) {
+      std::int64_t expected = 0;
+      for (ThreadId u = 0; u < n; ++u) {
+        if (u != t && assignment[static_cast<std::size_t>(u)] == node) {
+          expected += m.at(t, u);
+        }
+      }
+      EXPECT_EQ(cut.affinity(t, node), expected);
+      EXPECT_EQ(row[static_cast<std::size_t>(node)], expected);
+    }
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    if (rng.uniform(2) == 0) {
+      const ThreadId t = static_cast<ThreadId>(rng.uniform(n));
+      const NodeId to = static_cast<NodeId>(rng.uniform(nodes));
+      std::vector<NodeId> after = assignment;
+      after[static_cast<std::size_t>(t)] = to;
+      EXPECT_EQ(cut.move_delta(t, to),
+                m.cut_cost(after) - m.cut_cost(assignment));
+      cut.apply_move(t, to);
+      assignment = after;
+    } else {
+      const ThreadId a = static_cast<ThreadId>(rng.uniform(n));
+      const ThreadId b = static_cast<ThreadId>(rng.uniform(n));
+      if (a == b) continue;
+      std::vector<NodeId> after = assignment;
+      std::swap(after[static_cast<std::size_t>(a)],
+                after[static_cast<std::size_t>(b)]);
+      EXPECT_EQ(cut.swap_delta(a, b),
+                m.cut_cost(after) - m.cut_cost(assignment));
+      cut.apply_swap(a, b);
+      assignment = after;
+    }
+    ASSERT_EQ(cut.cost(), m.cut_cost(assignment)) << "step " << step;
+    for (ThreadId t = 0; t < n; ++t) {
+      EXPECT_EQ(cut.node_of(t), assignment[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutCostProperty, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Gain-table refinement == the historical rescan implementation, and
+// the parallel multi-start == the serial min-cost, bit for bit.
+
+class RefineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefineEquivalence, GainTableRefineMatchesReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 19);
+  for (const NodeId nodes : {2, 3, 5}) {
+    const std::int32_t n = 12 + GetParam() % 5;
+    const CorrelationMatrix m = random_matrix(rng, n, 80);
+    const Placement start = balanced_random_placement(rng, n, nodes);
+    const Placement fast = refine_by_swaps(m, start);
+    const Placement reference = refine_by_swaps_reference(m, start);
+    EXPECT_EQ(fast, reference);
+    // The scratch overload converges to the same fixpoint.
+    IncrementalCutCost scratch;
+    std::vector<NodeId> assignment = start.node_of_thread();
+    refine_swaps_in_place(m, assignment, nodes, scratch);
+    EXPECT_EQ(assignment, fast.node_of_thread());
+  }
+}
+
+TEST_P(RefineEquivalence, ParallelMinCostMatchesSerial) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 8191 + 29);
+  const CorrelationMatrix m = random_matrix(rng, 16, 50);
+  MinCostOptions options;
+  options.seed = 0x5EEDu + static_cast<std::uint64_t>(GetParam());
+  const Placement serial = min_cost_placement(m, 4, options);
+  for (const std::int32_t jobs : {1, 4}) {
+    exp::RunnerOptions ro;
+    ro.jobs = jobs;
+    const exp::TrialRunner runner(ro);
+    EXPECT_EQ(exp::parallel_min_cost_placement(runner, m, 4, options),
+              serial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineEquivalence, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Satellite accessors: matrix diagonal stores, row spans, the
+// threads_by_node scratch overload, and the exp task fan-out.
+
+TEST(MatrixAccessors, DiagonalSetStoresOnce) {
+  CorrelationMatrix m(4);
+  m.set(1, 1, 7);
+  EXPECT_EQ(m.at(1, 1), 7);
+  m.set(1, 2, 3);
+  EXPECT_EQ(m.at(2, 1), 3);
+  // The diagonal does not contribute to pair totals or cut costs.
+  EXPECT_EQ(m.total_pair_correlation(), 3);
+  EXPECT_EQ(m.cut_cost({0, 1, 2, 0}), 3);
+}
+
+TEST(MatrixAccessors, CellsSpansMirrorAt) {
+  Rng rng(123);
+  const CorrelationMatrix m = random_matrix(rng, 7, 40);
+  for (ThreadId i = 0; i < 7; ++i) {
+    const auto row = m.cells(i);
+    ASSERT_EQ(row.size(), 7u);
+    for (ThreadId j = 0; j < 7; ++j) {
+      EXPECT_EQ(row[static_cast<std::size_t>(j)], m.at(i, j));
+    }
+  }
+}
+
+TEST(PlacementAccessors, ThreadsByNodeScratchMatchesAllocating) {
+  Rng rng(99);
+  std::vector<std::vector<ThreadId>> scratch;
+  // Reuse the same scratch across placements of different shapes.
+  for (const NodeId nodes : {4, 2, 5}) {
+    const Placement p = random_placement(rng, 13, nodes, 1);
+    p.threads_by_node(scratch);
+    EXPECT_EQ(scratch, p.threads_by_node());
+  }
+}
+
+TEST(RunTasks, CoversEveryIndexOnceAndPropagatesErrors) {
+  for (const std::int32_t jobs : {1, 3}) {
+    exp::RunnerOptions ro;
+    ro.jobs = jobs;
+    const exp::TrialRunner runner(ro);
+    std::vector<std::atomic<int>> hits(17);
+    runner.run_tasks(17, [&hits](std::int32_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_THROW(
+        runner.run_tasks(5,
+                         [](std::int32_t i) {
+                           if (i == 3) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace actrack
