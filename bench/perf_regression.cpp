@@ -16,10 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "correlation/incremental.hpp"
+#include "correlation/sparse.hpp"
 #include "exp/parallel_placement.hpp"
 #include "exp/presets.hpp"
 #include "placement/heuristics.hpp"
+#include "placement/hierarchical.hpp"
 #include "runtime/cluster_runtime.hpp"
 #include "trace/trace_utils.hpp"
 
@@ -190,10 +193,142 @@ struct WorkloadResult {
   double mincost_parallel_ms = 0.0;
 };
 
+// ---------------------------------------------------------------------
+// Thread-count scaling sweep: sparse correlation build + hierarchical
+// two-level placement against the dense matrix + flat refinement, from
+// the paper's 64 threads up to 4096.  The dense side is measured only
+// up to kDenseBaselineCeiling threads — past that its n² cells are the
+// very cost the sparse path exists to avoid, and the sweep's point is
+// that the sparse column keeps going where the dense column stops.
+
+constexpr std::int32_t kDenseBaselineCeiling = 1024;
+
+/// Deterministic sparse sharing at any scale: per-thread private pages
+/// plus a band shared with the ring successor, under a seeded thread
+/// permutation so placement has to rediscover the ring.
+std::vector<DynamicBitset> permuted_ring_bitmaps(std::int32_t threads) {
+  constexpr std::int32_t kPrivate = 4;
+  constexpr std::int32_t kShared = 2;
+  constexpr std::int32_t kStride = kPrivate + kShared;
+  std::vector<ThreadId> order(static_cast<std::size_t>(threads));
+  for (std::int32_t t = 0; t < threads; ++t) {
+    order[static_cast<std::size_t>(t)] = t;
+  }
+  Rng rng(exp::kSeed ^ static_cast<std::uint64_t>(threads));
+  rng.shuffle(order);
+
+  std::vector<DynamicBitset> maps(
+      static_cast<std::size_t>(threads),
+      DynamicBitset(static_cast<std::int64_t>(threads) * kStride));
+  for (std::int32_t i = 0; i < threads; ++i) {
+    const auto t =
+        static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+    const auto next = static_cast<std::size_t>(
+        order[static_cast<std::size_t>((i + 1) % threads)]);
+    const std::int64_t base = static_cast<std::int64_t>(i) * kStride;
+    for (std::int32_t p = 0; p < kPrivate; ++p) maps[t].set(base + p);
+    for (std::int32_t p = 0; p < kShared; ++p) {
+      maps[t].set(base + kPrivate + p);
+      maps[next].set(base + kPrivate + p);
+    }
+  }
+  return maps;
+}
+
+struct ScaleResult {
+  std::int32_t threads = 0;
+  NodeId nodes = 0;
+  double sparse_build_ms = 0.0;
+  double dense_build_ms = -1.0;  // -1: dense column not measured
+  std::int64_t sparse_nnz = 0;
+  double hier_place_ms = 0.0;
+  double flat_place_ms = -1.0;  // -1: flat baseline not measured
+  std::int64_t hier_cut = 0;
+  std::int64_t flat_cut = -1;
+  std::int64_t stretch_cut = 0;
+  double build_speedup = -1.0;  // dense_build / sparse_build
+  double place_speedup = -1.0;  // flat_place / hier_place
+};
+
+ScaleResult run_scale_point(std::int32_t threads, std::int32_t reps) {
+  ScaleResult r;
+  r.threads = threads;
+  r.nodes = std::max<NodeId>(2, threads / 8);
+  const std::vector<DynamicBitset> bitmaps = permuted_ring_bitmaps(threads);
+
+  double best_sparse = 1e300;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    const SparseCorrelation sparse = SparseCorrelation::from_bitmaps(bitmaps);
+    g_sink += sparse.nonzero_pairs();
+    best_sparse = std::min(best_sparse, ms_since(t0));
+  }
+  r.sparse_build_ms = best_sparse;
+  const SparseCorrelation sparse = SparseCorrelation::from_bitmaps(bitmaps);
+  r.sparse_nnz = sparse.nonzero_pairs();
+
+  double best_hier = 1e300;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    g_sink += hierarchical_min_cost_placement(sparse, r.nodes).node_of(0);
+    best_hier = std::min(best_hier, ms_since(t0));
+  }
+  r.hier_place_ms = best_hier;
+  const Placement hier = hierarchical_min_cost_placement(sparse, r.nodes);
+  r.hier_cut = sparse.cut_cost(hier.node_of_thread());
+  const Placement stretch = Placement::stretch(threads, r.nodes);
+  r.stretch_cut = sparse.cut_cost(stretch.node_of_thread());
+
+  if (threads <= kDenseBaselineCeiling) {
+    double best_dense = 1e300;
+    for (std::int32_t rep = 0; rep < reps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      g_sink += CorrelationMatrix::from_bitmaps(bitmaps).at(0, 0);
+      best_dense = std::min(best_dense, ms_since(t0));
+    }
+    r.dense_build_ms = best_dense;
+    r.build_speedup = r.dense_build_ms / r.sparse_build_ms;
+
+    // The flat baseline is one steepest-descent pass from stretch over
+    // the dense gain table — already the cheapest flat search; the full
+    // multi-start pipeline only widens the gap.
+    const CorrelationMatrix dense = CorrelationMatrix::from_bitmaps(bitmaps);
+    double best_flat = 1e300;
+    for (std::int32_t rep = 0; rep < reps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      g_sink += refine_by_swaps(dense, stretch).node_of(0);
+      best_flat = std::min(best_flat, ms_since(t0));
+    }
+    r.flat_place_ms = best_flat;
+    r.place_speedup = r.flat_place_ms / r.hier_place_ms;
+    r.flat_cut =
+        dense.cut_cost(refine_by_swaps(dense, stretch).node_of_thread());
+  }
+  return r;
+}
+
+std::vector<ScaleResult> run_scale_sweep(std::int32_t scale_max,
+                                         std::int32_t reps) {
+  std::vector<ScaleResult> results;
+  for (const std::int32_t threads : {64, 256, 1024, 4096}) {
+    if (threads > scale_max) break;
+    ScaleResult r = run_scale_point(threads, reps);
+    std::printf(
+        "scale %5d thr %4d nodes | sparse build %8.2f ms (nnz %8lld) "
+        "dense %8.2f ms | hier place %8.2f ms flat %8.2f ms | "
+        "cut hier %8lld flat %8lld stretch %8lld\n",
+        r.threads, r.nodes, r.sparse_build_ms, exp::ll(r.sparse_nnz),
+        r.dense_build_ms, r.hier_place_ms, r.flat_place_ms,
+        exp::ll(r.hier_cut), exp::ll(r.flat_cut), exp::ll(r.stretch_cut));
+    results.push_back(r);
+  }
+  return results;
+}
+
 void write_json(std::FILE* out, const std::vector<WorkloadResult>& results,
-                std::int32_t jobs) {
+                const std::vector<ScaleResult>& scale, std::int32_t jobs) {
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"actrack-perf-v1\",\n");
+  std::fprintf(out, "  \"schema\": \"actrack-perf-v2\",\n");
   std::fprintf(out, "  \"threads\": %d,\n", exp::kThreads);
   std::fprintf(out, "  \"nodes\": %d,\n", exp::kNodes);
   std::fprintf(out, "  \"jobs\": %d,\n", jobs);
@@ -228,6 +363,26 @@ void write_json(std::FILE* out, const std::vector<WorkloadResult>& results,
     std::fprintf(out, "      }\n");
     std::fprintf(out, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"scale_sweep\": [\n");
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const ScaleResult& r = scale[i];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"threads\": %d,\n", r.threads);
+    std::fprintf(out, "      \"nodes\": %d,\n", r.nodes);
+    std::fprintf(out, "      \"sparse_build_ms\": %.3f,\n", r.sparse_build_ms);
+    std::fprintf(out, "      \"dense_build_ms\": %.3f,\n", r.dense_build_ms);
+    std::fprintf(out, "      \"sparse_nnz\": %lld,\n", exp::ll(r.sparse_nnz));
+    std::fprintf(out, "      \"hier_place_ms\": %.3f,\n", r.hier_place_ms);
+    std::fprintf(out, "      \"flat_place_ms\": %.3f,\n", r.flat_place_ms);
+    std::fprintf(out, "      \"hier_cut\": %lld,\n", exp::ll(r.hier_cut));
+    std::fprintf(out, "      \"flat_cut\": %lld,\n", exp::ll(r.flat_cut));
+    std::fprintf(out, "      \"stretch_cut\": %lld,\n",
+                 exp::ll(r.stretch_cut));
+    std::fprintf(out, "      \"build_speedup\": %.2f,\n", r.build_speedup);
+    std::fprintf(out, "      \"place_speedup\": %.2f\n", r.place_speedup);
+    std::fprintf(out, "    }%s\n", i + 1 < scale.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n");
   std::fprintf(out, "}\n");
 }
@@ -250,7 +405,12 @@ int main(int argc, char** argv) {
   const std::int32_t reps =
       args.int_flag("--reps", 5, "timing repetitions (best-of)");
   const bool reduced =
-      args.bool_flag("--reduced", "CI smoke grid (SOR + Water only)");
+      args.bool_flag("--reduced", "CI smoke grid (SOR + Water only, "
+                                  "scale sweep skipped)");
+  const std::int32_t scale_max = args.int_flag(
+      "--scale-max", 4096, "largest thread count in the scaling sweep");
+  const bool scale_only = args.bool_flag(
+      "--scale-only", "run only the thread-count scaling sweep");
   const std::string out_path = args.string_flag(
       "--out", "BENCH_perf.json", "output path for the JSON report");
   args.finish();
@@ -265,7 +425,8 @@ int main(int argc, char** argv) {
                                          "Ocean"};
 
   std::vector<WorkloadResult> results;
-  for (const std::string& name : grid) {
+  for (const std::string& name : scale_only ? std::vector<std::string>{}
+                                            : grid) {
     WorkloadResult r;
     r.name = name;
     const std::unique_ptr<Workload> workload =
@@ -321,12 +482,19 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  // The scaling sweep: skipped on the reduced CI grid (the scale-smoke
+  // job runs it with --scale-only instead, so the two stay fast).
+  std::vector<ScaleResult> scale;
+  if (scale_only || !reduced) {
+    scale = run_scale_sweep(scale_max, reps);
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  write_json(out, results, jobs);
+  write_json(out, results, scale, jobs);
   std::fclose(out);
   std::printf("wrote %s (sink %lld)\n", out_path.c_str(), exp::ll(g_sink));
   return 0;

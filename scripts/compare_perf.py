@@ -17,9 +17,16 @@ The harness (bench/perf_regression) reports two kinds of numbers:
   These only compare meaningfully on the same hardware, so they are
   checked only under --strict-wall (local runs); CI compares ratios.
 
+* Scaling-sweep ratios (schema v2): sparse-vs-dense correlation build
+  and hierarchical-vs-flat placement speedups per thread count, plus
+  the two-level cut-quality bound (hier_cut <= 2x flat_cut).  Like the
+  kernel speedups these are machine-independent: floors apply from 256
+  threads up, and entries are matched to the baseline by thread count.
+
 Workloads are matched by name over the intersection of the two files
 (the CI smoke run uses the reduced grid against the full-grid
-baseline).  Exit code 0 = no regression, 1 = regression, 2 = bad input.
+baseline); a v1 report simply has no scale sweep to check.  Exit code
+0 = no regression, 1 = regression, 2 = bad input.
 """
 
 import argparse
@@ -28,6 +35,17 @@ import sys
 
 MATRIX_SPEEDUP_FLOOR = 3.0
 REFINE_SPEEDUP_FLOOR = 2.0
+# Scaling sweep (>= SCALE_FLOOR_THREADS threads).  Measured headroom is
+# ~19x/35x at 256 threads and grows with n; the floors only catch a
+# sparse path that has collapsed back to n² behaviour.
+SCALE_BUILD_SPEEDUP_FLOOR = 3.0
+SCALE_PLACE_SPEEDUP_FLOOR = 3.0
+SCALE_FLOOR_THREADS = 256
+# Two-level placement may trade cut quality for O(n·k) search, but only
+# within this factor of the flat single-descent baseline.
+SCALE_QUALITY_FACTOR = 2.0
+
+SCHEMAS = ("actrack-perf-v1", "actrack-perf-v2")
 
 
 def load(path):
@@ -36,9 +54,11 @@ def load(path):
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"error: cannot read {path}: {err}")
-    if data.get("schema") != "actrack-perf-v1":
+    if data.get("schema") not in SCHEMAS:
         sys.exit(f"error: {path}: unknown schema {data.get('schema')!r}")
-    return {w["name"]: w for w in data["workloads"]}
+    workloads = {w["name"]: w for w in data["workloads"]}
+    scale = {s["threads"]: s for s in data.get("scale_sweep", [])}
+    return workloads, scale
 
 
 def main():
@@ -60,10 +80,10 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    base, base_scale = load(args.baseline)
+    cand, cand_scale = load(args.candidate)
     shared = sorted(set(base) & set(cand))
-    if not shared:
+    if not shared and not cand_scale:
         sys.exit("error: the two reports share no workloads")
 
     failures = []
@@ -118,9 +138,34 @@ def main():
                     -1,
                 )
 
+    for threads in sorted(cand_scale):
+        c = cand_scale[threads]
+        name = f"scale@{threads}"
+        print(f"{name}:")
+        if threads >= SCALE_FLOOR_THREADS and c["build_speedup"] > 0:
+            check(name, "build_speedup floor", c["build_speedup"],
+                  SCALE_BUILD_SPEEDUP_FLOOR, +1)
+        if threads >= SCALE_FLOOR_THREADS and c["place_speedup"] > 0:
+            check(name, "place_speedup floor", c["place_speedup"],
+                  SCALE_PLACE_SPEEDUP_FLOOR, +1)
+        if c["flat_cut"] > 0:
+            check(name, "hier_cut quality", c["hier_cut"],
+                  SCALE_QUALITY_FACTOR * c["flat_cut"], -1)
+        check(name, "hier_cut vs stretch", c["hier_cut"], c["stretch_cut"], -1)
+        b = base_scale.get(threads)
+        if b is not None:
+            for field in ("build_speedup", "place_speedup"):
+                if b[field] > 0 and c[field] > 0:
+                    check(name, f"{field} vs baseline", c[field],
+                          b[field] * (1.0 - tol), +1)
+
     skipped = sorted(set(base) ^ set(cand))
     if skipped:
         print(f"note: workloads present in only one report: {', '.join(skipped)}")
+    scale_skipped = sorted(set(base_scale) ^ set(cand_scale))
+    if scale_skipped:
+        print("note: scale entries present in only one report: "
+              + ", ".join(str(t) for t in scale_skipped))
     if failures:
         print(f"\nREGRESSION: {len(failures)} check(s) failed:")
         for f in failures:

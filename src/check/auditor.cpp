@@ -172,7 +172,7 @@ void InvariantAuditor::audit_sc_state() {
       if (replica.dirty_bytes != 0) {
         fail("single-writer replica carries dirty bytes at " + at(n, page));
       }
-      const bool in_copyset = ((audit.sc_copyset >> n) & 1) != 0;
+      const bool in_copyset = audit.sc_copyset.test(n);
       if (valid(replica.state) && !in_copyset) {
         fail("valid replica missing from the copyset at " + at(n, page));
       }

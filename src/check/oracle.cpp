@@ -106,7 +106,6 @@ void ShadowOracle::access_lrc(NodeId node, const PageAccess& access) {
 void ShadowOracle::access_sc(NodeId node, const PageAccess& access) {
   const DsmSystem::ReplicaAudit replica = dsm_->audit_replica(node, access.page);
   const DsmSystem::PageAudit page = dsm_->audit_page(access.page);
-  const std::uint64_t node_bit = std::uint64_t{1} << node;
   checks_ += 1;
 
   if (page.sc_owner == kNoNode) {
@@ -116,7 +115,7 @@ void ShadowOracle::access_sc(NodeId node, const PageAccess& access) {
     if (!valid(replica.state)) {
       fail("read completed on an invalid replica at " + at(node, access.page));
     }
-    if ((page.sc_copyset & node_bit) == 0) {
+    if (!page.sc_copyset.test(node)) {
       fail("reader missing from the copyset at " + at(node, access.page));
     }
   } else {
@@ -127,7 +126,7 @@ void ShadowOracle::access_sc(NodeId node, const PageAccess& access) {
     if (replica.state != PageState::kReadWrite) {
       fail("owner not writable after write at " + at(node, access.page));
     }
-    if ((page.sc_copyset & node_bit) == 0) {
+    if (!page.sc_copyset.test(node)) {
       fail("owner missing from the copyset at " + at(node, access.page));
     }
   }

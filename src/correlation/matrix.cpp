@@ -118,6 +118,19 @@ std::int64_t CorrelationMatrix::cut_cost(
   return cut;
 }
 
+void CorrelationMatrix::for_each_neighbor(ThreadId t,
+                                          const NeighborVisitor& visit) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::int64_t* row = cells_.data() + static_cast<std::size_t>(t) * n;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (static_cast<ThreadId>(u) == t || row[u] == 0) {
+      continue;
+    }
+    visit(static_cast<ThreadId>(u), row[u]);
+  }
+}
+
 std::int64_t CorrelationMatrix::total_pair_correlation() const noexcept {
   const std::size_t n = static_cast<std::size_t>(n_);
   std::int64_t total = 0;

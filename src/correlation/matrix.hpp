@@ -13,12 +13,13 @@
 
 #include "common/bitset.hpp"
 #include "common/types.hpp"
+#include "correlation/view.hpp"
 
 namespace actrack {
 
 class IncrementalCorrelation;
 
-class CorrelationMatrix {
+class CorrelationMatrix final : public CorrelationView {
  public:
   /// Zero matrix over `num_threads` threads.
   explicit CorrelationMatrix(std::int32_t num_threads);
@@ -28,9 +29,11 @@ class CorrelationMatrix {
   static CorrelationMatrix from_bitmaps(
       const std::vector<DynamicBitset>& bitmaps);
 
-  [[nodiscard]] std::int32_t num_threads() const noexcept { return n_; }
+  [[nodiscard]] std::int32_t num_threads() const noexcept override {
+    return n_;
+  }
 
-  [[nodiscard]] std::int64_t at(ThreadId a, ThreadId b) const;
+  [[nodiscard]] std::int64_t at(ThreadId a, ThreadId b) const override;
   void set(ThreadId a, ThreadId b, std::int64_t value);
 
   /// Row `a` as a contiguous span of n entries (cells(a)[b] == at(a, b)).
@@ -39,17 +42,26 @@ class CorrelationMatrix {
   [[nodiscard]] std::span<const std::int64_t> cells(ThreadId a) const;
 
   /// Maximum off-diagonal entry (for map normalisation).
-  [[nodiscard]] std::int64_t max_off_diagonal() const noexcept;
+  [[nodiscard]] std::int64_t max_off_diagonal() const noexcept override;
 
   /// Sum of correlations over all unordered cross-node pairs for the
   /// given thread→node assignment (must have size num_threads()).
   [[nodiscard]] std::int64_t cut_cost(
-      const std::vector<NodeId>& node_of_thread) const;
+      const std::vector<NodeId>& node_of_thread) const override;
 
   /// Total correlation over all unordered off-diagonal pairs — the cut
   /// cost of the "every thread on its own node" mapping; an upper bound
   /// on any cut cost.
-  [[nodiscard]] std::int64_t total_pair_correlation() const noexcept;
+  [[nodiscard]] std::int64_t total_pair_correlation() const noexcept override;
+
+  /// Visits the nonzero off-diagonal entries of row t, ascending.
+  void for_each_neighbor(ThreadId t,
+                         const NeighborVisitor& visit) const override;
+
+  /// Kernels with a dense fast path dispatch on this.
+  [[nodiscard]] const CorrelationMatrix* dense() const noexcept override {
+    return this;
+  }
 
  private:
   friend class IncrementalCorrelation;  // patches cells_ in place

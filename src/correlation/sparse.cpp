@@ -1,0 +1,349 @@
+#include "correlation/sparse.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// Strongest-first ordering for top-k selection: value descending,
+/// thread ascending on ties (deterministic across builds).
+bool stronger(const CorrelationNeighbor& a, const CorrelationNeighbor& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.thread < b.thread;
+}
+
+}  // namespace
+
+SparseCorrelation::SparseCorrelation(SparseCorrelationOptions options)
+    : options_(options) {
+  ACTRACK_CHECK(options.min_correlation >= 1);
+  ACTRACK_CHECK(options.top_k >= 0);
+}
+
+SparseCorrelation SparseCorrelation::from_bitmaps(
+    const std::vector<DynamicBitset>& bitmaps,
+    SparseCorrelationOptions options) {
+  SparseCorrelation sparse(options);
+  sparse.update(bitmaps);
+  return sparse;
+}
+
+void SparseCorrelation::invalidate() noexcept { primed_ = false; }
+
+void SparseCorrelation::snapshot_bitmaps(
+    const std::vector<DynamicBitset>& bitmaps) {
+  snapshot_.resize(static_cast<std::size_t>(n_) * words_per_thread_);
+  for (std::size_t i = 0; i < bitmaps.size(); ++i) {
+    std::memcpy(snapshot_.data() + i * words_per_thread_, bitmaps[i].words(),
+                words_per_thread_ * sizeof(std::uint64_t));
+  }
+}
+
+void SparseCorrelation::rebuild_row(ThreadId t, const DynamicBitset& bitmap) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  if (count_scratch_.size() < n) {
+    count_scratch_.assign(n, 0);
+  }
+  touched_scratch_.clear();
+
+  const std::uint64_t* words = bitmap.words();
+  const std::size_t word_count = bitmap.word_count();
+  for (std::size_t w = 0; w < word_count; ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      const auto p = static_cast<std::size_t>(w) * 64 +
+                     static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      for (const ThreadId j : page_threads_[p]) {
+        if (j == t) continue;
+        if (count_scratch_[static_cast<std::size_t>(j)]++ == 0) {
+          touched_scratch_.push_back(j);
+        }
+      }
+    }
+  }
+
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  std::vector<CorrelationNeighbor>& row =
+      candidates_[static_cast<std::size_t>(t)];
+  row.clear();
+  row.reserve(touched_scratch_.size());
+  for (const ThreadId j : touched_scratch_) {
+    row.push_back({j, count_scratch_[static_cast<std::size_t>(j)]});
+    count_scratch_[static_cast<std::size_t>(j)] = 0;  // restore invariant
+  }
+  diag_[static_cast<std::size_t>(t)] = bitmap.count();
+}
+
+void SparseCorrelation::finalize() {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  rows_.resize(n);
+  const bool cap = options_.top_k > 0;
+  const bool threshold = options_.min_correlation > 1;
+
+  if (!cap) {
+    // No per-row cap: the value filter alone is symmetric (both
+    // endpoints see the same value), so rows follow candidates directly.
+    for (std::size_t i = 0; i < n; ++i) {
+      rows_[i].clear();
+      for (const CorrelationNeighbor& e : candidates_[i]) {
+        if (!threshold || e.value >= options_.min_correlation) {
+          rows_[i].push_back(e);
+        }
+      }
+    }
+  } else {
+    // Top-k: each row nominates its k strongest (above the threshold);
+    // a pair survives when either endpoint nominated it, keeping the
+    // stored graph symmetric.
+    kept_.resize(n);
+    std::vector<CorrelationNeighbor> pool;
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.clear();
+      for (const CorrelationNeighbor& e : candidates_[i]) {
+        if (e.value >= options_.min_correlation) {
+          pool.push_back(e);
+        }
+      }
+      const std::size_t keep =
+          std::min(pool.size(), static_cast<std::size_t>(options_.top_k));
+      std::partial_sort(pool.begin(),
+                        pool.begin() + static_cast<std::ptrdiff_t>(keep),
+                        pool.end(), stronger);
+      kept_[i].clear();
+      for (std::size_t s = 0; s < keep; ++s) {
+        kept_[i].push_back(pool[s].thread);
+      }
+      std::sort(kept_[i].begin(), kept_[i].end());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      rows_[i].clear();
+      for (const CorrelationNeighbor& e : candidates_[i]) {
+        if (e.value < options_.min_correlation) continue;
+        const bool nominated_by_i =
+            std::binary_search(kept_[i].begin(), kept_[i].end(), e.thread);
+        const bool nominated_by_peer = std::binary_search(
+            kept_[static_cast<std::size_t>(e.thread)].begin(),
+            kept_[static_cast<std::size_t>(e.thread)].end(),
+            static_cast<ThreadId>(i));
+        if (nominated_by_i || nominated_by_peer) {
+          rows_[i].push_back(e);
+        }
+      }
+    }
+  }
+
+  max_off_diagonal_ = 0;
+  total_pair_ = 0;
+  nnz_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const CorrelationNeighbor& e : rows_[i]) {
+      max_off_diagonal_ = std::max(max_off_diagonal_, e.value);
+      if (e.thread > static_cast<ThreadId>(i)) {
+        total_pair_ += e.value;
+        nnz_ += 1;
+      }
+    }
+  }
+}
+
+void SparseCorrelation::rebuild(const std::vector<DynamicBitset>& bitmaps) {
+  n_ = static_cast<std::int32_t>(bitmaps.size());
+  bits_ = bitmaps[0].size();
+  words_per_thread_ = bitmaps[0].word_count();
+
+  page_threads_.resize(static_cast<std::size_t>(bits_));
+  for (auto& holders : page_threads_) {
+    holders.clear();
+  }
+  for (std::size_t i = 0; i < bitmaps.size(); ++i) {
+    const std::uint64_t* words = bitmaps[i].words();
+    for (std::size_t w = 0; w < words_per_thread_; ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        const std::size_t p =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        page_threads_[p].push_back(static_cast<ThreadId>(i));
+      }
+    }
+  }
+
+  candidates_.resize(static_cast<std::size_t>(n_));
+  diag_.resize(static_cast<std::size_t>(n_));
+  for (ThreadId t = 0; t < n_; ++t) {
+    rebuild_row(t, bitmaps[static_cast<std::size_t>(t)]);
+  }
+  snapshot_bitmaps(bitmaps);
+  primed_ = true;
+  last_was_rebuild_ = true;
+  last_affected_rows_ = n_;
+  finalize();
+}
+
+const SparseCorrelation& SparseCorrelation::update(
+    const std::vector<DynamicBitset>& bitmaps) {
+  ACTRACK_CHECK(!bitmaps.empty());
+  const std::size_t n = bitmaps.size();
+  if (!primed_ || static_cast<std::size_t>(n_) != n ||
+      bitmaps[0].size() != bits_) {
+    rebuild(bitmaps);
+    return *this;
+  }
+  for (const DynamicBitset& b : bitmaps) {
+    ACTRACK_CHECK(b.size() == bits_);
+  }
+  last_was_rebuild_ = false;
+
+  // Pass 1: diff against the snapshot, collecting every flipped
+  // (thread, page) incidence.  A pair count can only change when one
+  // endpoint flipped a page the other holds (before or after), so the
+  // affected rows are the changed threads plus the current index
+  // holders of the flipped pages.
+  struct Flip {
+    ThreadId thread;
+    std::size_t page;
+    bool set;  // page newly accessed (vs dropped)
+  };
+  std::vector<Flip> flips;
+  std::vector<ThreadId> changed;
+  affected_flag_.assign(n, 0);
+  affected_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* now = bitmaps[i].words();
+    const std::uint64_t* old = snapshot_.data() + i * words_per_thread_;
+    bool any = false;
+    for (std::size_t w = 0; w < words_per_thread_; ++w) {
+      std::uint64_t diff = now[w] ^ old[w];
+      if (diff == 0) continue;
+      any = true;
+      while (diff != 0) {
+        const std::size_t bit =
+            static_cast<std::size_t>(std::countr_zero(diff));
+        diff &= diff - 1;
+        const std::size_t p = w * 64 + bit;
+        flips.push_back({static_cast<ThreadId>(i), p,
+                         (now[w] >> bit & 1) != 0});
+      }
+    }
+    if (any) {
+      changed.push_back(static_cast<ThreadId>(i));
+      affected_flag_[i] = 1;
+      affected_.push_back(static_cast<ThreadId>(i));
+    }
+  }
+  if (flips.empty()) {
+    last_affected_rows_ = 0;
+    return *this;
+  }
+  for (const Flip& flip : flips) {
+    for (const ThreadId j : page_threads_[flip.page]) {
+      if (affected_flag_[static_cast<std::size_t>(j)] == 0) {
+        affected_flag_[static_cast<std::size_t>(j)] = 1;
+        affected_.push_back(j);
+      }
+    }
+  }
+
+  // Cutover: recomputing a row costs about as much as the fresh build's
+  // per-row work, so once half the rows are affected the rebuild (which
+  // also refreshes the inverted index wholesale) wins outright.
+  if (affected_.size() * 2 >= n) {
+    rebuild(bitmaps);
+    return *this;
+  }
+
+  // Fold the flips into the inverted index, then recompute the affected
+  // rows against the updated index.
+  for (const Flip& flip : flips) {
+    std::vector<ThreadId>& holders = page_threads_[flip.page];
+    const auto it =
+        std::lower_bound(holders.begin(), holders.end(), flip.thread);
+    if (flip.set) {
+      holders.insert(it, flip.thread);
+    } else {
+      ACTRACK_CHECK(it != holders.end() && *it == flip.thread);
+      holders.erase(it);
+    }
+  }
+  std::sort(affected_.begin(), affected_.end());
+  for (const ThreadId t : affected_) {
+    rebuild_row(t, bitmaps[static_cast<std::size_t>(t)]);
+  }
+  for (const ThreadId t : changed) {
+    const std::size_t i = static_cast<std::size_t>(t);
+    std::memcpy(snapshot_.data() + i * words_per_thread_, bitmaps[i].words(),
+                words_per_thread_ * sizeof(std::uint64_t));
+  }
+  last_affected_rows_ = static_cast<std::int64_t>(affected_.size());
+  finalize();
+  return *this;
+}
+
+std::span<const CorrelationNeighbor> SparseCorrelation::neighbors(
+    ThreadId t) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  return rows_[static_cast<std::size_t>(t)];
+}
+
+std::int64_t SparseCorrelation::at(ThreadId a, ThreadId b) const {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  if (a == b) {
+    return diag_[static_cast<std::size_t>(a)];
+  }
+  const std::vector<CorrelationNeighbor>& row =
+      rows_[static_cast<std::size_t>(a)];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), b,
+      [](const CorrelationNeighbor& e, ThreadId t) { return e.thread < t; });
+  if (it != row.end() && it->thread == b) {
+    return it->value;
+  }
+  return 0;
+}
+
+std::int64_t SparseCorrelation::cut_cost(
+    const std::vector<NodeId>& node_of_thread) const {
+  ACTRACK_CHECK(static_cast<std::int32_t>(node_of_thread.size()) == n_);
+  std::int64_t cut = 0;
+  for (ThreadId i = 0; i < n_; ++i) {
+    const NodeId node_i = node_of_thread[static_cast<std::size_t>(i)];
+    for (const CorrelationNeighbor& e : rows_[static_cast<std::size_t>(i)]) {
+      if (e.thread > i &&
+          node_of_thread[static_cast<std::size_t>(e.thread)] != node_i) {
+        cut += e.value;
+      }
+    }
+  }
+  return cut;
+}
+
+void SparseCorrelation::for_each_neighbor(ThreadId t,
+                                          const NeighborVisitor& visit) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  for (const CorrelationNeighbor& e : rows_[static_cast<std::size_t>(t)]) {
+    visit(e.thread, e.value);
+  }
+}
+
+std::vector<CorrelationNeighbor> SparseCorrelation::top_neighbors(
+    ThreadId t, std::int32_t k) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  ACTRACK_CHECK(k >= 0);
+  std::vector<CorrelationNeighbor> all(
+      rows_[static_cast<std::size_t>(t)].begin(),
+      rows_[static_cast<std::size_t>(t)].end());
+  const std::size_t keep = std::min(all.size(), static_cast<std::size_t>(k));
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep),
+                    all.end(), stronger);
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace actrack

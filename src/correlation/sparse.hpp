@@ -1,0 +1,147 @@
+// SparseCorrelation — per-thread neighbour lists for the scaling axis.
+//
+// The dense CorrelationMatrix materialises all n² pairs; fine at the
+// paper's 64 threads, hopeless at thousands.  Real sharing graphs are
+// sparse — a thread shares pages with a bounded neighbourhood, not with
+// every other thread — so this class stores, CSR-style, only each
+// thread's nonzero correlations as a sorted neighbour list, built from
+// the access bitmaps through an inverted page→threads index: cost is
+// Σ_page |threads(page)|², never n² cells.
+//
+// Pruning is configurable: `min_correlation` drops weak pairs and
+// `top_k` caps each row at its k strongest neighbours (a pair survives
+// if *either* endpoint keeps it, preserving symmetry).  With the default
+// threshold (keep every nonzero) and unlimited k, every stored value —
+// and every aggregate (cut cost, max, total) — is exactly equal to the
+// dense from_bitmaps result.
+//
+// Like IncrementalCorrelation, update() is incremental: it diffs the
+// bitmaps against a word-level snapshot, recomputes only the rows whose
+// pair counts can have changed (threads that changed plus holders of
+// the flipped pages), and falls back to a full rebuild when the change
+// is wholesale.  The result is identical to a fresh build on every path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+#include "correlation/view.hpp"
+
+namespace actrack {
+
+struct SparseCorrelationOptions {
+  /// Keep pairs with correlation >= this.  1 keeps every nonzero pair
+  /// (the exact setting); raise it to shed noise-level sharing.
+  std::int64_t min_correlation = 1;
+  /// Per-thread cap on stored neighbours, strongest first (value
+  /// descending, thread ascending on ties).  0 = unlimited.  A pair is
+  /// kept when either endpoint ranks it within its top k.
+  std::int32_t top_k = 0;
+};
+
+class SparseCorrelation final : public CorrelationView {
+ public:
+  explicit SparseCorrelation(SparseCorrelationOptions options = {});
+
+  /// One-shot build (equivalent to update() on a fresh instance).
+  [[nodiscard]] static SparseCorrelation from_bitmaps(
+      const std::vector<DynamicBitset>& bitmaps,
+      SparseCorrelationOptions options = {});
+
+  /// True once the instance holds a graph (after the first update()).
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+  /// Brings the neighbour lists in sync with `bitmaps` and returns
+  /// *this.  First call (or a shape change) builds from scratch;
+  /// subsequent calls recompute only the affected rows.
+  const SparseCorrelation& update(const std::vector<DynamicBitset>& bitmaps);
+
+  /// Forces a full rebuild on the next update().
+  void invalidate() noexcept;
+
+  [[nodiscard]] const SparseCorrelationOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Stored unordered off-diagonal pairs (after pruning).
+  [[nodiscard]] std::int64_t nonzero_pairs() const noexcept { return nnz_; }
+
+  /// Rows the last update() recomputed; last_was_rebuild() tells whether
+  /// it took the full-rebuild path (affected == n).
+  [[nodiscard]] std::int64_t last_affected_rows() const noexcept {
+    return last_affected_rows_;
+  }
+  [[nodiscard]] bool last_was_rebuild() const noexcept {
+    return last_was_rebuild_;
+  }
+
+  /// Thread t's stored (pruned) neighbour list, ascending thread id.
+  [[nodiscard]] std::span<const CorrelationNeighbor> neighbors(
+      ThreadId t) const;
+
+  // CorrelationView:
+  [[nodiscard]] std::int32_t num_threads() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] std::int64_t at(ThreadId a, ThreadId b) const override;
+  [[nodiscard]] std::int64_t max_off_diagonal() const noexcept override {
+    return max_off_diagonal_;
+  }
+  [[nodiscard]] std::int64_t cut_cost(
+      const std::vector<NodeId>& node_of_thread) const override;
+  [[nodiscard]] std::int64_t total_pair_correlation() const noexcept override {
+    return total_pair_;
+  }
+  void for_each_neighbor(ThreadId t,
+                         const NeighborVisitor& visit) const override;
+  [[nodiscard]] std::vector<CorrelationNeighbor> top_neighbors(
+      ThreadId t, std::int32_t k) const override;
+
+ private:
+  void rebuild(const std::vector<DynamicBitset>& bitmaps);
+  /// Recomputes candidates_[t] (all nonzero counts) from bitmaps[t] and
+  /// the inverted index, which must already reflect `bitmaps`.
+  void rebuild_row(ThreadId t, const DynamicBitset& bitmap);
+  /// Applies threshold/top-k pruning over all candidate rows and
+  /// refreshes rows_ plus the cached aggregates.
+  void finalize();
+  void snapshot_bitmaps(const std::vector<DynamicBitset>& bitmaps);
+
+  SparseCorrelationOptions options_;
+  bool primed_ = false;
+  std::int32_t n_ = 0;
+  std::int64_t bits_ = 0;
+  std::size_t words_per_thread_ = 0;
+
+  /// Inverted index: threads holding each page, ascending.
+  std::vector<std::vector<ThreadId>> page_threads_;
+  /// All nonzero off-diagonal counts per thread, ascending thread id —
+  /// the unpruned graph the incremental path maintains.
+  std::vector<std::vector<CorrelationNeighbor>> candidates_;
+  /// |pages(t)| — the dense diagonal.
+  std::vector<std::int64_t> diag_;
+  /// Pruned rows (threshold/top-k applied), ascending thread id.
+  std::vector<std::vector<CorrelationNeighbor>> rows_;
+
+  std::vector<std::uint64_t> snapshot_;  // n_ rows × words_per_thread_
+
+  // Cached aggregates over the pruned graph.
+  std::int64_t max_off_diagonal_ = 0;
+  std::int64_t total_pair_ = 0;
+  std::int64_t nnz_ = 0;
+
+  std::int64_t last_affected_rows_ = 0;
+  bool last_was_rebuild_ = false;
+
+  // Scratch, reused across updates.
+  std::vector<std::int64_t> count_scratch_;
+  std::vector<ThreadId> touched_scratch_;
+  std::vector<std::uint8_t> affected_flag_;
+  std::vector<ThreadId> affected_;
+  std::vector<std::vector<ThreadId>> kept_;  // per-row top-k survivors
+};
+
+}  // namespace actrack

@@ -1,0 +1,173 @@
+#include "correlation/view.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+std::vector<CorrelationNeighbor> CorrelationView::top_neighbors(
+    ThreadId t, std::int32_t k) const {
+  ACTRACK_CHECK(k >= 0);
+  std::vector<CorrelationNeighbor> all;
+  for_each_neighbor(t, [&](ThreadId u, std::int64_t value) {
+    all.push_back({u, value});
+  });
+  const auto stronger = [](const CorrelationNeighbor& a,
+                           const CorrelationNeighbor& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.thread < b.thread;
+  };
+  const std::size_t keep =
+      std::min(all.size(), static_cast<std::size_t>(k));
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep),
+                    all.end(), stronger);
+  all.resize(keep);
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// ViewCutCost
+
+std::int64_t& ViewCutCost::aff(ThreadId t, NodeId node) {
+  return affinity_[static_cast<std::size_t>(t) *
+                       static_cast<std::size_t>(num_nodes_) +
+                   static_cast<std::size_t>(node)];
+}
+
+std::int64_t ViewCutCost::aff(ThreadId t, NodeId node) const {
+  return affinity_[static_cast<std::size_t>(t) *
+                       static_cast<std::size_t>(num_nodes_) +
+                   static_cast<std::size_t>(node)];
+}
+
+void ViewCutCost::reset(const CorrelationView& view,
+                        const std::vector<NodeId>& node_of_thread,
+                        std::int32_t num_nodes) {
+  n_ = view.num_threads();
+  ACTRACK_CHECK(static_cast<std::int32_t>(node_of_thread.size()) == n_);
+  ACTRACK_CHECK(num_nodes > 0);
+  view_ = &view;
+  num_nodes_ = num_nodes;
+  node_of_ = node_of_thread;
+  affinity_.assign(static_cast<std::size_t>(n_) *
+                       static_cast<std::size_t>(num_nodes),
+                   0);
+  cut_ = 0;
+  for (ThreadId i = 0; i < n_; ++i) {
+    const NodeId node_i = node_of_[static_cast<std::size_t>(i)];
+    ACTRACK_CHECK(node_i >= 0 && node_i < num_nodes_);
+    std::int64_t* aff_row = affinity_.data() +
+                            static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(num_nodes_);
+    view.for_each_neighbor(i, [&](ThreadId u, std::int64_t value) {
+      aff_row[static_cast<std::size_t>(
+          node_of_[static_cast<std::size_t>(u)])] += value;
+      if (u > i && node_of_[static_cast<std::size_t>(u)] != node_i) {
+        cut_ += value;
+      }
+    });
+  }
+}
+
+NodeId ViewCutCost::node_of(ThreadId t) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  return node_of_[static_cast<std::size_t>(t)];
+}
+
+std::int64_t ViewCutCost::affinity(ThreadId t, NodeId node) const {
+  ACTRACK_CHECK(t >= 0 && t < n_ && node >= 0 && node < num_nodes_);
+  return aff(t, node);
+}
+
+std::span<const std::int64_t> ViewCutCost::affinity_row(ThreadId t) const {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  return {affinity_.data() + static_cast<std::size_t>(t) *
+                                 static_cast<std::size_t>(num_nodes_),
+          static_cast<std::size_t>(num_nodes_)};
+}
+
+std::int64_t ViewCutCost::move_delta(ThreadId t, NodeId to) const {
+  ACTRACK_CHECK(t >= 0 && t < n_ && to >= 0 && to < num_nodes_);
+  const NodeId from = node_of_[static_cast<std::size_t>(t)];
+  if (from == to) {
+    return 0;
+  }
+  return aff(t, from) - aff(t, to);
+}
+
+std::int64_t ViewCutCost::swap_delta(ThreadId a, ThreadId b) const {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  const NodeId na = node_of_[static_cast<std::size_t>(a)];
+  const NodeId nb = node_of_[static_cast<std::size_t>(b)];
+  if (na == nb) {
+    return 0;
+  }
+  // Both one-thread moves, plus the (a, b) edge correction: each move's
+  // affinity term counts it as turning local, yet it stays cross.
+  return aff(a, na) - aff(a, nb) + aff(b, nb) - aff(b, na) +
+         2 * view_->at(a, b);
+}
+
+void ViewCutCost::apply_move(ThreadId t, NodeId to) {
+  ACTRACK_CHECK(t >= 0 && t < n_ && to >= 0 && to < num_nodes_);
+  const NodeId from = node_of_[static_cast<std::size_t>(t)];
+  if (from == to) {
+    return;
+  }
+  cut_ += move_delta(t, to);
+  view_->for_each_neighbor(t, [&](ThreadId u, std::int64_t value) {
+    std::int64_t* aff_row = affinity_.data() +
+                            static_cast<std::size_t>(u) *
+                                static_cast<std::size_t>(num_nodes_);
+    aff_row[static_cast<std::size_t>(from)] -= value;
+    aff_row[static_cast<std::size_t>(to)] += value;
+  });
+  node_of_[static_cast<std::size_t>(t)] = to;
+}
+
+void ViewCutCost::apply_swap(ThreadId a, ThreadId b) {
+  ACTRACK_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  const NodeId na = node_of_[static_cast<std::size_t>(a)];
+  const NodeId nb = node_of_[static_cast<std::size_t>(b)];
+  if (na == nb) {
+    return;
+  }
+  cut_ += swap_delta(a, b);
+  view_->for_each_neighbor(a, [&](ThreadId u, std::int64_t value) {
+    if (u == b) return;
+    std::int64_t* aff_row = affinity_.data() +
+                            static_cast<std::size_t>(u) *
+                                static_cast<std::size_t>(num_nodes_);
+    aff_row[static_cast<std::size_t>(na)] -= value;
+    aff_row[static_cast<std::size_t>(nb)] += value;
+  });
+  view_->for_each_neighbor(b, [&](ThreadId u, std::int64_t value) {
+    if (u == a) return;
+    std::int64_t* aff_row = affinity_.data() +
+                            static_cast<std::size_t>(u) *
+                                static_cast<std::size_t>(num_nodes_);
+    aff_row[static_cast<std::size_t>(na)] += value;
+    aff_row[static_cast<std::size_t>(nb)] -= value;
+  });
+  const std::int64_t c_ab = view_->at(a, b);
+  // From a's view b moved nb→na; from b's view a moved na→nb.
+  aff(a, nb) -= c_ab;
+  aff(a, na) += c_ab;
+  aff(b, na) -= c_ab;
+  aff(b, nb) += c_ab;
+  node_of_[static_cast<std::size_t>(a)] = nb;
+  node_of_[static_cast<std::size_t>(b)] = na;
+}
+
+const std::vector<std::int64_t>& ViewCutCost::dense_row(ThreadId t) {
+  ACTRACK_CHECK(t >= 0 && t < n_);
+  row_scratch_.assign(static_cast<std::size_t>(n_), 0);
+  view_->for_each_neighbor(t, [&](ThreadId u, std::int64_t value) {
+    row_scratch_[static_cast<std::size_t>(u)] = value;
+  });
+  return row_scratch_;
+}
+
+}  // namespace actrack

@@ -1,0 +1,166 @@
+// CorrelationView — the pair structure as an interface, not an array.
+//
+// Every placement kernel consumes thread-pair correlations through a
+// small read-only surface: entry lookup, row iteration, cut cost, the
+// normalisation maximum.  CorrelationView captures that surface so the
+// dense CorrelationMatrix (exact, O(n²) storage, the ≤64-thread regime
+// of the paper's experiments) and SparseCorrelation (per-thread
+// neighbour lists, the scaling axis) are interchangeable everywhere a
+// kernel only *reads* correlations.  Kernels that exploit dense row
+// layout for speed dispatch through dense(): when it returns non-null
+// the caller may use the bit-identical dense fast path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace actrack {
+
+class CorrelationMatrix;
+
+/// One off-diagonal correlation entry of a thread's row.
+struct CorrelationNeighbor {
+  ThreadId thread = kNoThread;
+  std::int64_t value = 0;
+};
+
+/// Non-owning callable reference for neighbour visitation — keeps
+/// for_each_neighbor allocation-free regardless of the lambda's capture
+/// size.  The referenced callable must outlive the call (always true for
+/// an immediate visitation).
+class NeighborVisitor {
+ public:
+  template <typename F>
+  NeighborVisitor(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, ThreadId t, std::int64_t v) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(t, v);
+        }) {}
+
+  void operator()(ThreadId t, std::int64_t value) const {
+    call_(obj_, t, value);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, ThreadId, std::int64_t);
+};
+
+class CorrelationView {
+ public:
+  virtual ~CorrelationView() = default;
+
+  [[nodiscard]] virtual std::int32_t num_threads() const = 0;
+
+  /// Pairwise correlation; the diagonal holds |pages(t)|.
+  [[nodiscard]] virtual std::int64_t at(ThreadId a, ThreadId b) const = 0;
+
+  /// Maximum off-diagonal entry (for map normalisation).
+  [[nodiscard]] virtual std::int64_t max_off_diagonal() const = 0;
+
+  /// Sum of correlations over all unordered cross-node pairs for the
+  /// given thread→node assignment (must have size num_threads()).
+  [[nodiscard]] virtual std::int64_t cut_cost(
+      const std::vector<NodeId>& node_of_thread) const = 0;
+
+  /// Total correlation over all unordered off-diagonal pairs — an upper
+  /// bound on any cut cost.
+  [[nodiscard]] virtual std::int64_t total_pair_correlation() const = 0;
+
+  /// Visits every stored off-diagonal neighbour (u, value) of thread t
+  /// in ascending u order.  Dense views skip zero entries, so visited
+  /// entries always have value != 0.
+  virtual void for_each_neighbor(ThreadId t,
+                                 const NeighborVisitor& visit) const = 0;
+
+  /// Thread t's k strongest neighbours, ordered by value descending with
+  /// ascending-thread tie-break.  Returns fewer when the row has fewer
+  /// stored neighbours.
+  [[nodiscard]] virtual std::vector<CorrelationNeighbor> top_neighbors(
+      ThreadId t, std::int32_t k) const;
+
+  /// The dense matrix behind this view, or nullptr.  Kernels with a
+  /// dense fast path (contiguous row scans) dispatch on this; the
+  /// generic path must select identical results when values agree.
+  [[nodiscard]] virtual const CorrelationMatrix* dense() const {
+    return nullptr;
+  }
+
+ protected:
+  CorrelationView() = default;
+  CorrelationView(const CorrelationView&) = default;
+  CorrelationView& operator=(const CorrelationView&) = default;
+  CorrelationView(CorrelationView&&) = default;
+  CorrelationView& operator=(CorrelationView&&) = default;
+};
+
+/// Largest thread count for which the runtime keeps the exact dense
+/// pipeline — the paper's experimental regime.  Above it the trackers
+/// switch to sparse correlation + hierarchical placement.
+inline constexpr std::int32_t kDenseThreadCeiling = 64;
+
+[[nodiscard]] constexpr bool use_sparse_correlation(
+    std::int32_t num_threads) noexcept {
+  return num_threads > kDenseThreadCeiling;
+}
+
+/// Gain tables over a CorrelationView — the view-generic counterpart of
+/// IncrementalCutCost.  reset() costs O(nnz + n·nodes) instead of O(n²),
+/// and deltas/updates touch only stored neighbours, so pairwise-swap
+/// descent over a sparse view is O(nnz) per accepted swap.  The
+/// arithmetic mirrors IncrementalCutCost exactly: with equal correlation
+/// values the two produce identical costs, deltas and table contents.
+class ViewCutCost {
+ public:
+  ViewCutCost() = default;
+
+  /// Binds to a view and an assignment; the view must outlive this
+  /// helper (only a pointer is kept).  Reuses allocated storage.
+  void reset(const CorrelationView& view,
+             const std::vector<NodeId>& node_of_thread, std::int32_t num_nodes);
+
+  /// Current cut cost; equals view.cut_cost(assignment) at all times.
+  [[nodiscard]] std::int64_t cost() const noexcept { return cut_; }
+
+  [[nodiscard]] NodeId node_of(ThreadId t) const;
+
+  /// Σ correlation(t, u) over threads u ≠ t currently assigned to `node`.
+  [[nodiscard]] std::int64_t affinity(ThreadId t, NodeId node) const;
+
+  /// Thread t's affinities to all nodes as a span (affinity_row(t)[n] ==
+  /// affinity(t, n)); one bounds check per row for tight scan loops.
+  [[nodiscard]] std::span<const std::int64_t> affinity_row(ThreadId t) const;
+
+  /// Cut-cost change if `t` moved to node `to` (O(1); negative = better).
+  [[nodiscard]] std::int64_t move_delta(ThreadId t, NodeId to) const;
+
+  /// Cut-cost change if `a` and `b` exchanged nodes (O(row lookup)).
+  [[nodiscard]] std::int64_t swap_delta(ThreadId a, ThreadId b) const;
+
+  /// Applies the move/swap; updates tables in O(deg) per thread.
+  void apply_move(ThreadId t, NodeId to);
+  void apply_swap(ThreadId a, ThreadId b);
+
+  /// Thread t's row materialised as n dense entries (zero-filled, then
+  /// stored neighbours scattered in; the diagonal stays 0).  Scratch —
+  /// invalidated by the next dense_row() call on this helper.
+  [[nodiscard]] const std::vector<std::int64_t>& dense_row(ThreadId t);
+
+ private:
+  [[nodiscard]] std::int64_t& aff(ThreadId t, NodeId node);
+  [[nodiscard]] std::int64_t aff(ThreadId t, NodeId node) const;
+
+  const CorrelationView* view_ = nullptr;
+  std::int32_t n_ = 0;
+  std::int32_t num_nodes_ = 0;
+  std::int64_t cut_ = 0;
+  std::vector<NodeId> node_of_;
+  std::vector<std::int64_t> affinity_;  // n_ × num_nodes_, row-major
+  std::vector<std::int64_t> row_scratch_;
+};
+
+}  // namespace actrack

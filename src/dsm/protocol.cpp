@@ -34,13 +34,6 @@ DsmSystem::DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
   ACTRACK_CHECK(num_nodes > 0);
   ACTRACK_CHECK(net != nullptr);
   ACTRACK_CHECK(net->num_nodes() == num_nodes);
-  // The single-writer protocol keeps each page's read copyset as one
-  // 64-bit mask (GlobalPage::sc_copyset); beyond 64 nodes the shifts
-  // would silently wrap and corrupt replica tracking.
-  ACTRACK_CHECK_MSG(
-      config_.model != ConsistencyModel::kSequentialSingleWriter ||
-          num_nodes <= 64,
-      "single-writer copyset is a 64-bit mask; use <= 64 nodes");
   // Pre-size the per-sync work lists so the steady state never grows
   // them on the access path; they are cleared (capacity kept) on use.
   const auto page_list_reserve =
@@ -84,7 +77,10 @@ DsmSystem::PageAudit DsmSystem::audit_page(PageId page) const {
   }
   if (!gp.history.empty()) audit.newest_epoch = gp.history.back().epoch;
   audit.sc_owner = gp.sc_owner;
-  audit.sc_copyset = gp.sc_copyset;
+  // Untouched pages carry an unsized copyset; hand the auditors a
+  // properly-sized empty one so test(n) is always well-defined.
+  audit.sc_copyset = gp.sc_copyset.size() != 0 ? gp.sc_copyset
+                                               : DynamicBitset(num_nodes_);
   return audit;
 }
 
@@ -190,7 +186,7 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
   AccessOutcome out;
   GlobalPage& gp = pages_[static_cast<std::size_t>(a.page)];
   NodePage& np = node_page(node, a.page);
-  const std::uint64_t node_bit = std::uint64_t{1} << node;
+  if (gp.sc_copyset.size() == 0) gp.sc_copyset = DynamicBitset(num_nodes_);
 
   // The page home holds the initial copy and implicit initial ownership.
   const NodeId home = a.page % num_nodes_;
@@ -217,7 +213,7 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
       if (probe_) probe_->diff_apply(node, a.page, kPageSize);
     }
     gp.sc_owner = owner;
-    gp.sc_copyset |= node_bit;
+    gp.sc_copyset.set(node);
     np.state = PageState::kReadOnly;
     return out;
   }
@@ -254,10 +250,10 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
 
   // Invalidate every other replica before the write may proceed
   // (sequential consistency is eager).
-  std::uint64_t copyset = gp.sc_copyset | node_bit;
+  bool had_other_replicas = false;
   for (NodeId n = 0; n < num_nodes_; ++n) {
     if (n == node) continue;
-    if ((copyset >> n) & 1) {
+    if (gp.sc_copyset.test(n)) {
       // Invalidations must reach every replica: a lost one would leave a
       // stale readable copy.  The replica state flip below models the
       // eventual delivery; send_reliable charges the retransmissions.
@@ -267,13 +263,15 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
         replica.state = PageState::kInvalid;
       }
       stats_.invalidations += 1;
+      had_other_replicas = true;
     }
   }
-  if (copyset != node_bit) {
+  if (had_other_replicas) {
     out.remote_us += 2 * cost.net_latency_us;  // invalidation round + acks
   }
   gp.sc_owner = node;
-  gp.sc_copyset = node_bit;
+  gp.sc_copyset.clear();
+  gp.sc_copyset.set(node);
   np.state = PageState::kReadWrite;
   return out;
 }

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "common/types.hpp"
 #include "common/vector_clock.hpp"
 #include "net/network.hpp"
@@ -218,7 +219,7 @@ class DsmSystem {
     ByteCount unconsolidated_bytes = 0; // diff bytes awaiting GC
     std::int64_t newest_epoch = 0;      // epoch of the last record (0 if none)
     NodeId sc_owner = kNoNode;          // single-writer: current owner
-    std::uint64_t sc_copyset = 0;       // single-writer: read replicas
+    DynamicBitset sc_copyset;           // single-writer: read replicas
   };
   [[nodiscard]] PageAudit audit_page(PageId page) const;
 
@@ -262,9 +263,10 @@ class DsmSystem {
     bool in_flush_list = false;  // already on recently_flushed_
     bool in_diff_list = false;   // already on pages_with_diffs_
     // Single-writer state: current exclusive owner and the set of
-    // nodes holding read replicas.
+    // nodes holding read replicas.  The copyset is lazily sized on the
+    // first SC touch so LRC runs never pay a per-page allocation.
     NodeId sc_owner = kNoNode;
-    std::uint64_t sc_copyset = 0;
+    DynamicBitset sc_copyset;
     std::int32_t sc_transfers_this_epoch = 0;
   };
 

@@ -8,20 +8,28 @@
 namespace actrack::exp {
 
 Placement parallel_min_cost_placement(const TrialRunner& runner,
-                                      const CorrelationMatrix& matrix,
+                                      const CorrelationView& view,
                                       NodeId num_nodes,
                                       const MinCostOptions& options) {
   Rng rng(options.seed);
   std::vector<std::vector<NodeId>> seeds =
-      min_cost_seeds(matrix, num_nodes, options, rng);
+      min_cost_seeds(view, num_nodes, options, rng);
+  const CorrelationMatrix* dense = view.dense();
   runner.run_tasks(
       static_cast<std::int32_t>(seeds.size()), [&](std::int32_t i) {
-        refine_swaps_in_place(matrix, seeds[static_cast<std::size_t>(i)],
-                              num_nodes);
+        // Each task owns its scratch; the dense kernel keeps the
+        // bit-identical historical path.
+        if (dense != nullptr) {
+          refine_swaps_in_place(*dense, seeds[static_cast<std::size_t>(i)],
+                                num_nodes);
+        } else {
+          view_refine_swaps_in_place(view, seeds[static_cast<std::size_t>(i)],
+                                     num_nodes);
+        }
       });
   // Serial merge in seed order: strict `<` best pick, then basin hopping
   // with the rng exactly where the serial path would have left it.
-  return min_cost_from_refined_seeds(matrix, num_nodes, options, rng,
+  return min_cost_from_refined_seeds(view, num_nodes, options, rng,
                                      std::move(seeds));
 }
 

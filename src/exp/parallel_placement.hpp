@@ -18,10 +18,11 @@
 
 namespace actrack::exp {
 
-/// Bit-identical to min_cost_placement(matrix, num_nodes, options) with
-/// the seed refinements spread over `runner`'s worker pool.
+/// Bit-identical to min_cost_placement(view, num_nodes, options) with
+/// the seed refinements spread over `runner`'s worker pool.  Accepts
+/// any CorrelationView; dense views run the dense refinement kernels.
 [[nodiscard]] Placement parallel_min_cost_placement(
-    const TrialRunner& runner, const CorrelationMatrix& matrix,
-    NodeId num_nodes, const MinCostOptions& options = {});
+    const TrialRunner& runner, const CorrelationView& view, NodeId num_nodes,
+    const MinCostOptions& options = {});
 
 }  // namespace actrack::exp

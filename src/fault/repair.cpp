@@ -16,19 +16,19 @@ std::vector<double> capacity_weights(const FaultInjector& injector) {
   return weights;
 }
 
-Placement repair_placement(const CorrelationMatrix& matrix,
+Placement repair_placement(const CorrelationView& view,
                            const FaultInjector& injector,
                            const MinCostOptions& options) {
   std::vector<std::vector<ThreadId>> by_node;
-  return repair_placement(matrix, injector, options, by_node);
+  return repair_placement(view, injector, options, by_node);
 }
 
-Placement repair_placement(const CorrelationMatrix& matrix,
+Placement repair_placement(const CorrelationView& view,
                            const FaultInjector& injector,
                            const MinCostOptions& options,
                            std::vector<std::vector<ThreadId>>& by_node) {
   Placement repaired =
-      weighted_min_cost(matrix, capacity_weights(injector), options);
+      weighted_min_cost(view, capacity_weights(injector), options);
   // Audit the repair contract with caller-reusable scratch: capacity
   // weighting shrinks a degraded node's share but never evacuates a node
   // entirely (capacity_populations guarantees ≥ 1 thread per node), so

@@ -26,8 +26,9 @@ namespace actrack::fault {
 
 /// A placement that minimises the correlation cut under
 /// capacity-proportional populations derived from the observed
-/// slowdowns — the repair target the runtime migrates to.
-[[nodiscard]] Placement repair_placement(const CorrelationMatrix& matrix,
+/// slowdowns — the repair target the runtime migrates to.  Accepts any
+/// CorrelationView (dense or sparse).
+[[nodiscard]] Placement repair_placement(const CorrelationView& view,
                                          const FaultInjector& injector,
                                          const MinCostOptions& options = {});
 
@@ -35,7 +36,7 @@ namespace actrack::fault {
 /// (filled with the repaired placement's rosters on return), for repair
 /// loops that re-place repeatedly.
 [[nodiscard]] Placement repair_placement(
-    const CorrelationMatrix& matrix, const FaultInjector& injector,
+    const CorrelationView& view, const FaultInjector& injector,
     const MinCostOptions& options,
     std::vector<std::vector<ThreadId>>& by_node);
 

@@ -8,12 +8,10 @@
 
 namespace actrack {
 
-namespace {
-
-/// Target node sizes for a balanced placement: n/k each, remainder
-/// spread over the first nodes (matches Placement::stretch).
-std::vector<std::int32_t> balanced_sizes(std::int32_t num_threads,
-                                         NodeId num_nodes) {
+std::vector<std::int32_t> balanced_node_sizes(std::int32_t num_threads,
+                                              NodeId num_nodes) {
+  ACTRACK_CHECK(num_nodes > 0);
+  ACTRACK_CHECK(num_threads >= num_nodes);
   std::vector<std::int32_t> sizes(static_cast<std::size_t>(num_nodes),
                                   num_threads / num_nodes);
   for (std::int32_t r = 0; r < num_threads % num_nodes; ++r) {
@@ -22,9 +20,11 @@ std::vector<std::int32_t> balanced_sizes(std::int32_t num_threads,
   return sizes;
 }
 
+namespace {
+
 /// Sum of correlations between thread t and all threads currently on
 /// `node` (excluding t itself).
-std::int64_t affinity_to_node(const CorrelationMatrix& m, ThreadId t,
+std::int64_t affinity_to_node(const CorrelationView& m, ThreadId t,
                               NodeId node,
                               const std::vector<NodeId>& assignment) {
   std::int64_t total = 0;
@@ -38,10 +38,10 @@ std::int64_t affinity_to_node(const CorrelationMatrix& m, ThreadId t,
 /// Greedy agglomerative clustering: repeatedly merge the cluster pair
 /// with the largest inter-cluster correlation whose combined size fits
 /// the largest node, then pack clusters onto nodes by best affinity.
-std::vector<NodeId> greedy_cluster_seed(const CorrelationMatrix& m,
+std::vector<NodeId> greedy_cluster_seed(const CorrelationView& m,
                                         NodeId num_nodes) {
   const std::int32_t n = m.num_threads();
-  const std::vector<std::int32_t> sizes = balanced_sizes(n, num_nodes);
+  const std::vector<std::int32_t> sizes = balanced_node_sizes(n, num_nodes);
   const std::int32_t cap =
       *std::max_element(sizes.begin(), sizes.end());
 
@@ -177,6 +177,24 @@ void reference_refine_swaps_in_place(const CorrelationMatrix& m,
   }
 }
 
+/// Dense + generic gain-table scratch for kernels that dispatch on
+/// view.dense(): the dense path must keep its contiguous-row kernel
+/// (and bit-identical behaviour), the generic path its O(deg) updates.
+struct RefineScratch {
+  IncrementalCutCost dense;
+  ViewCutCost generic;
+};
+
+void refine_dispatch(const CorrelationView& view,
+                     std::vector<NodeId>& assignment, NodeId num_nodes,
+                     RefineScratch& scratch) {
+  if (const CorrelationMatrix* m = view.dense()) {
+    refine_swaps_in_place(*m, assignment, num_nodes, scratch.dense);
+  } else {
+    view_refine_swaps_in_place(view, assignment, num_nodes, scratch.generic);
+  }
+}
+
 }  // namespace
 
 void refine_swaps_in_place(const CorrelationMatrix& m,
@@ -230,6 +248,57 @@ void refine_swaps_in_place(const CorrelationMatrix& m,
   refine_swaps_in_place(m, assignment, num_nodes, scratch);
 }
 
+void view_refine_swaps_in_place(const CorrelationView& view,
+                                std::vector<NodeId>& assignment,
+                                NodeId num_nodes, ViewCutCost& scratch) {
+  const std::int32_t n = view.num_threads();
+  ACTRACK_CHECK(static_cast<std::int32_t>(assignment.size()) == n);
+  scratch.reset(view, assignment, num_nodes);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::int64_t best_gain = 0;
+    std::int32_t best_i = -1, best_j = -1;
+    for (std::int32_t i = 0; i < n; ++i) {
+      const NodeId ni = assignment[static_cast<std::size_t>(i)];
+      const std::span<const std::int64_t> aff_i = scratch.affinity_row(i);
+      // Row i scattered into dense scratch once per i; the scan below is
+      // then identical — same gains, same strict-> tie-breaks — to the
+      // dense kernel's contiguous-row loop.
+      const std::vector<std::int64_t>& row_i = scratch.dense_row(i);
+      const std::int64_t aff_i_ni = aff_i[static_cast<std::size_t>(ni)];
+      for (std::int32_t j = i + 1; j < n; ++j) {
+        const NodeId nj = assignment[static_cast<std::size_t>(j)];
+        if (ni == nj) continue;
+        const std::span<const std::int64_t> aff_j = scratch.affinity_row(j);
+        const std::int64_t gain = aff_i[static_cast<std::size_t>(nj)] +
+                                  aff_j[static_cast<std::size_t>(ni)] -
+                                  aff_i_ni -
+                                  aff_j[static_cast<std::size_t>(nj)] -
+                                  4 * row_i[static_cast<std::size_t>(j)];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i >= 0) {
+      scratch.apply_swap(best_i, best_j);
+      std::swap(assignment[static_cast<std::size_t>(best_i)],
+                assignment[static_cast<std::size_t>(best_j)]);
+      improved = true;
+    }
+  }
+}
+
+void view_refine_swaps_in_place(const CorrelationView& view,
+                                std::vector<NodeId>& assignment,
+                                NodeId num_nodes) {
+  ViewCutCost scratch;
+  view_refine_swaps_in_place(view, assignment, num_nodes, scratch);
+}
+
 Placement random_placement(Rng& rng, std::int32_t num_threads,
                            NodeId num_nodes, std::int32_t min_per_node) {
   ACTRACK_CHECK(num_threads >= num_nodes * min_per_node);
@@ -258,7 +327,7 @@ Placement balanced_random_placement(Rng& rng, std::int32_t num_threads,
   std::vector<NodeId> slots;
   slots.reserve(static_cast<std::size_t>(num_threads));
   const std::vector<std::int32_t> sizes =
-      balanced_sizes(num_threads, num_nodes);
+      balanced_node_sizes(num_threads, num_nodes);
   for (NodeId node = 0; node < num_nodes; ++node) {
     for (std::int32_t k = 0; k < sizes[static_cast<std::size_t>(node)]; ++k) {
       slots.push_back(node);
@@ -268,15 +337,15 @@ Placement balanced_random_placement(Rng& rng, std::int32_t num_threads,
   return Placement(std::move(slots), num_nodes);
 }
 
-std::vector<std::vector<NodeId>> min_cost_seeds(const CorrelationMatrix& matrix,
+std::vector<std::vector<NodeId>> min_cost_seeds(const CorrelationView& view,
                                                 NodeId num_nodes,
                                                 const MinCostOptions& options,
                                                 Rng& rng) {
-  const std::int32_t n = matrix.num_threads();
+  const std::int32_t n = view.num_threads();
   ACTRACK_CHECK(n >= num_nodes);
   std::vector<std::vector<NodeId>> seeds;
   seeds.reserve(static_cast<std::size_t>(2 + options.random_restarts));
-  seeds.push_back(greedy_cluster_seed(matrix, num_nodes));
+  seeds.push_back(greedy_cluster_seed(view, num_nodes));
   seeds.push_back(Placement::stretch(n, num_nodes).node_of_thread());
   for (std::int32_t r = 0; r < options.random_restarts; ++r) {
     seeds.push_back(
@@ -286,16 +355,19 @@ std::vector<std::vector<NodeId>> min_cost_seeds(const CorrelationMatrix& matrix,
 }
 
 Placement min_cost_from_refined_seeds(
-    const CorrelationMatrix& matrix, NodeId num_nodes,
+    const CorrelationView& view, NodeId num_nodes,
     const MinCostOptions& options, Rng& rng,
     std::vector<std::vector<NodeId>> refined_seeds) {
-  const std::int32_t n = matrix.num_threads();
+  const std::int32_t n = view.num_threads();
   ACTRACK_CHECK(!refined_seeds.empty());
+  for (const auto& seed : refined_seeds) {
+    ACTRACK_CHECK(static_cast<std::int32_t>(seed.size()) == n);
+  }
 
   std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
   std::vector<NodeId> best;
   for (auto& seed : refined_seeds) {
-    const std::int64_t cut = matrix.cut_cost(seed);
+    const std::int64_t cut = view.cut_cost(seed);
     if (cut < best_cut) {
       best_cut = cut;
       best = std::move(seed);
@@ -305,7 +377,7 @@ Placement min_cost_from_refined_seeds(
   // Basin hopping: kick the best local optimum with a few random swaps
   // and re-descend; keeps quality within the paper's "1 % of optimal"
   // even on dense unstructured matrices.
-  IncrementalCutCost scratch;
+  RefineScratch scratch;
   std::vector<NodeId> candidate;
   for (std::int32_t round = 0; round < options.perturbation_rounds; ++round) {
     candidate = best;
@@ -314,8 +386,8 @@ Placement min_cost_from_refined_seeds(
       const auto j = static_cast<std::size_t>(rng.uniform(n));
       std::swap(candidate[i], candidate[j]);
     }
-    refine_swaps_in_place(matrix, candidate, num_nodes, scratch);
-    const std::int64_t cut = matrix.cut_cost(candidate);
+    refine_dispatch(view, candidate, num_nodes, scratch);
+    const std::int64_t cut = view.cut_cost(candidate);
     if (cut < best_cut) {
       best_cut = cut;
       best = candidate;
@@ -324,24 +396,24 @@ Placement min_cost_from_refined_seeds(
   return Placement(std::move(best), num_nodes);
 }
 
-Placement min_cost_placement(const CorrelationMatrix& matrix,
-                             NodeId num_nodes,
+Placement min_cost_placement(const CorrelationView& view, NodeId num_nodes,
                              const MinCostOptions& options) {
   Rng rng(options.seed);
   std::vector<std::vector<NodeId>> seeds =
-      min_cost_seeds(matrix, num_nodes, options, rng);
-  IncrementalCutCost scratch;
+      min_cost_seeds(view, num_nodes, options, rng);
+  RefineScratch scratch;
   for (auto& seed : seeds) {
-    refine_swaps_in_place(matrix, seed, num_nodes, scratch);
+    refine_dispatch(view, seed, num_nodes, scratch);
   }
-  return min_cost_from_refined_seeds(matrix, num_nodes, options, rng,
+  return min_cost_from_refined_seeds(view, num_nodes, options, rng,
                                      std::move(seeds));
 }
 
-Placement refine_by_swaps(const CorrelationMatrix& matrix,
-                          Placement placement) {
+Placement refine_by_swaps(const CorrelationView& view, Placement placement) {
+  ACTRACK_CHECK(view.num_threads() == placement.num_threads());
   std::vector<NodeId> assignment = placement.node_of_thread();
-  refine_swaps_in_place(matrix, assignment, placement.num_nodes());
+  RefineScratch scratch;
+  refine_dispatch(view, assignment, placement.num_nodes(), scratch);
   return Placement(std::move(assignment), placement.num_nodes());
 }
 
@@ -474,7 +546,7 @@ std::optional<Placement> optimal_placement(const CorrelationMatrix& matrix,
                                            std::int64_t node_budget) {
   BnbState state;
   state.m = &matrix;
-  state.sizes = balanced_sizes(matrix.num_threads(), num_nodes);
+  state.sizes = balanced_node_sizes(matrix.num_threads(), num_nodes);
   state.population.assign(static_cast<std::size_t>(num_nodes), 0);
   state.assignment.assign(static_cast<std::size_t>(matrix.num_threads()),
                           kNoNode);

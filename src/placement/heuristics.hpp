@@ -18,9 +18,15 @@
 #include "common/rng.hpp"
 #include "correlation/incremental.hpp"
 #include "correlation/matrix.hpp"
+#include "correlation/view.hpp"
 #include "placement/placement.hpp"
 
 namespace actrack {
+
+/// Target node sizes for a balanced placement: n/k each, remainder
+/// spread over the first nodes (matches Placement::stretch).
+[[nodiscard]] std::vector<std::int32_t> balanced_node_sizes(
+    std::int32_t num_threads, NodeId num_nodes);
 
 /// Random configuration in the paper's Table 2 sense: node counts need
 /// not be equal but every node receives at least `min_per_node` threads.
@@ -45,7 +51,10 @@ struct MinCostOptions {
 /// The paper's *min-cost* heuristic family: returns a balanced placement
 /// whose cut cost is locally minimal under pairwise thread swaps, seeded
 /// by greedy agglomerative clustering, stretch, and random restarts.
-[[nodiscard]] Placement min_cost_placement(const CorrelationMatrix& matrix,
+/// Accepts any CorrelationView; when the view is a dense matrix the
+/// dense gain-table kernels run and the result is bit-identical to the
+/// historical dense-only implementation.
+[[nodiscard]] Placement min_cost_placement(const CorrelationView& view,
                                            NodeId num_nodes,
                                            const MinCostOptions& options = {});
 
@@ -59,7 +68,7 @@ struct MinCostOptions {
 
 /// One pass API used by the trackers: refine an existing balanced
 /// placement in place with pairwise swaps until no swap improves the cut.
-[[nodiscard]] Placement refine_by_swaps(const CorrelationMatrix& matrix,
+[[nodiscard]] Placement refine_by_swaps(const CorrelationView& view,
                                         Placement placement);
 
 /// Steepest-descent pairwise-swap refinement on an assignment vector:
@@ -76,6 +85,19 @@ void refine_swaps_in_place(const CorrelationMatrix& matrix,
                            std::vector<NodeId>& assignment, NodeId num_nodes,
                            IncrementalCutCost& scratch);
 
+/// View-generic steepest-descent pairwise-swap refinement: the same scan
+/// order, gain arithmetic and tie-breaks as refine_swaps_in_place, read
+/// off ViewCutCost tables, so it selects identical swaps whenever the
+/// view's values equal the dense matrix's.  O(n²) scan per pass but only
+/// O(deg) per applied swap; use the dense overload when a matrix is
+/// available (it reads rows contiguously).
+void view_refine_swaps_in_place(const CorrelationView& view,
+                                std::vector<NodeId>& assignment,
+                                NodeId num_nodes);
+void view_refine_swaps_in_place(const CorrelationView& view,
+                                std::vector<NodeId>& assignment,
+                                NodeId num_nodes, ViewCutCost& scratch);
+
 /// The historical O(n³)-per-pass refinement, kept as the equivalence
 /// oracle for tests and the perf-regression baseline.  Must return the
 /// same placement as refine_by_swaps for every input.
@@ -88,7 +110,7 @@ void refine_swaps_in_place(const CorrelationMatrix& matrix,
 /// refine the seeds in parallel; draw order in `rng` matters for
 /// bit-identity with the serial path.
 [[nodiscard]] std::vector<std::vector<NodeId>> min_cost_seeds(
-    const CorrelationMatrix& matrix, NodeId num_nodes,
+    const CorrelationView& view, NodeId num_nodes,
     const MinCostOptions& options, Rng& rng);
 
 /// Second half of min_cost_placement: given the *refined* seeds (in the
@@ -97,7 +119,7 @@ void refine_swaps_in_place(const CorrelationMatrix& matrix,
 /// min_cost_seeds draws).  min_cost_placement(m, k, o) ==
 /// min_cost_from_refined_seeds over serially refined min_cost_seeds.
 [[nodiscard]] Placement min_cost_from_refined_seeds(
-    const CorrelationMatrix& matrix, NodeId num_nodes,
+    const CorrelationView& view, NodeId num_nodes,
     const MinCostOptions& options, Rng& rng,
     std::vector<std::vector<NodeId>> refined_seeds);
 

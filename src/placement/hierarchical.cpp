@@ -1,0 +1,404 @@
+#include "placement/hierarchical.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "placement/heuristics.hpp"
+
+namespace actrack {
+
+namespace {
+
+struct GroupEdge {
+  std::int32_t a = 0;  // a < b
+  std::int32_t b = 0;
+  std::int64_t weight = 0;
+};
+
+/// Contracts the view's off-diagonal edges under `group_of`: one
+/// aggregated edge per cross-group pair, sorted by (a, b).
+std::vector<GroupEdge> contracted_edges(
+    const CorrelationView& view, const std::vector<std::int32_t>& group_of) {
+  std::vector<GroupEdge> edges;
+  const std::int32_t n = view.num_threads();
+  for (ThreadId t = 0; t < n; ++t) {
+    const std::int32_t ga = group_of[static_cast<std::size_t>(t)];
+    view.for_each_neighbor(t, [&](ThreadId u, std::int64_t w) {
+      if (u <= t) return;
+      const std::int32_t gb = group_of[static_cast<std::size_t>(u)];
+      if (ga == gb) return;
+      edges.push_back({std::min(ga, gb), std::max(ga, gb), w});
+    });
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const GroupEdge& x, const GroupEdge& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges.size();) {
+    GroupEdge merged = edges[i];
+    std::size_t j = i + 1;
+    while (j < edges.size() && edges[j].a == merged.a &&
+           edges[j].b == merged.b) {
+      merged.weight += edges[j].weight;
+      ++j;
+    }
+    edges[out++] = merged;
+    i = j;
+  }
+  edges.resize(out);
+  return edges;
+}
+
+/// The contracted group graph as a CorrelationView, so the group-level
+/// refinement reuses the same gain tables (ViewCutCost) as every other
+/// kernel.  The diagonal (intra-group correlation) is irrelevant to cut
+/// arithmetic and reported as 0.
+class GroupGraphView final : public CorrelationView {
+ public:
+  GroupGraphView(std::int32_t num_groups, const std::vector<GroupEdge>& edges)
+      : rows_(static_cast<std::size_t>(num_groups)) {
+    // Edges arrive sorted by (a, b), so each row's neighbour list comes
+    // out ascending.
+    for (const GroupEdge& e : edges) {
+      rows_[static_cast<std::size_t>(e.a)].push_back({e.b, e.weight});
+      rows_[static_cast<std::size_t>(e.b)].push_back({e.a, e.weight});
+    }
+    for (auto& row : rows_) {
+      std::sort(row.begin(), row.end(),
+                [](const CorrelationNeighbor& x, const CorrelationNeighbor& y) {
+                  return x.thread < y.thread;
+                });
+    }
+  }
+
+  [[nodiscard]] std::int32_t num_threads() const noexcept override {
+    return static_cast<std::int32_t>(rows_.size());
+  }
+
+  [[nodiscard]] std::int64_t at(ThreadId a, ThreadId b) const override {
+    const auto n = static_cast<ThreadId>(rows_.size());
+    ACTRACK_CHECK(a >= 0 && a < n && b >= 0 && b < n);
+    if (a == b) return 0;
+    const auto& row = rows_[static_cast<std::size_t>(a)];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), b,
+        [](const CorrelationNeighbor& e, ThreadId t) { return e.thread < t; });
+    return (it != row.end() && it->thread == b) ? it->value : 0;
+  }
+
+  [[nodiscard]] std::int64_t max_off_diagonal() const override {
+    std::int64_t best = 0;
+    for (const auto& row : rows_) {
+      for (const CorrelationNeighbor& e : row) best = std::max(best, e.value);
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::int64_t cut_cost(
+      const std::vector<NodeId>& node_of_group) const override {
+    ACTRACK_CHECK(node_of_group.size() == rows_.size());
+    std::int64_t cut = 0;
+    for (std::size_t g = 0; g < rows_.size(); ++g) {
+      for (const CorrelationNeighbor& e : rows_[g]) {
+        if (e.thread > static_cast<ThreadId>(g) &&
+            node_of_group[static_cast<std::size_t>(e.thread)] !=
+                node_of_group[g]) {
+          cut += e.value;
+        }
+      }
+    }
+    return cut;
+  }
+
+  [[nodiscard]] std::int64_t total_pair_correlation() const override {
+    std::int64_t total = 0;
+    for (std::size_t g = 0; g < rows_.size(); ++g) {
+      for (const CorrelationNeighbor& e : rows_[g]) {
+        if (e.thread > static_cast<ThreadId>(g)) total += e.value;
+      }
+    }
+    return total;
+  }
+
+  void for_each_neighbor(ThreadId t,
+                         const NeighborVisitor& visit) const override {
+    ACTRACK_CHECK(t >= 0 && t < static_cast<ThreadId>(rows_.size()));
+    for (const CorrelationNeighbor& e : rows_[static_cast<std::size_t>(t)]) {
+      visit(e.thread, e.value);
+    }
+  }
+
+ private:
+  std::vector<std::vector<CorrelationNeighbor>> rows_;
+};
+
+}  // namespace
+
+Placement hierarchical_min_cost_placement(const CorrelationView& view,
+                                          NodeId num_nodes,
+                                          const HierarchicalOptions& options,
+                                          HierarchicalStats* stats) {
+  const std::int32_t n = view.num_threads();
+  ACTRACK_CHECK(num_nodes > 0);
+  ACTRACK_CHECK(n >= num_nodes);
+  ACTRACK_CHECK(options.groups_per_node >= 1);
+  ACTRACK_CHECK(options.refine_passes >= 0);
+
+  const std::vector<std::int32_t> capacities =
+      balanced_node_sizes(n, num_nodes);
+  const std::int32_t node_cap =
+      *std::max_element(capacities.begin(), capacities.end());
+  const std::int32_t target_groups =
+      std::min(n, num_nodes * options.groups_per_node);
+
+  // -------------------------------------------------------------------
+  // Phase 1: coarsen by heavy-edge matching.  Start from singleton
+  // groups; each round matches disjoint group pairs strongest-edge
+  // first (size-capped at a node's capacity), with a smallest-pair
+  // fallback when no edge can merge, until the target count.
+  std::vector<std::int32_t> group_of(static_cast<std::size_t>(n));
+  for (std::int32_t t = 0; t < n; ++t) {
+    group_of[static_cast<std::size_t>(t)] = t;
+  }
+  std::int32_t num_groups = n;
+  std::vector<std::int32_t> group_size(static_cast<std::size_t>(n), 1);
+  std::int32_t rounds = 0;
+
+  std::vector<std::int32_t> parent;
+  std::vector<std::int32_t> new_id;
+  while (num_groups > target_groups) {
+    std::vector<GroupEdge> edges = contracted_edges(view, group_of);
+    std::sort(edges.begin(), edges.end(),
+              [](const GroupEdge& x, const GroupEdge& y) {
+                if (x.weight != y.weight) return x.weight > y.weight;
+                return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+              });
+    parent.resize(static_cast<std::size_t>(num_groups));
+    for (std::int32_t g = 0; g < num_groups; ++g) {
+      parent[static_cast<std::size_t>(g)] = g;
+    }
+    std::int32_t merges = 0;
+    for (const GroupEdge& e : edges) {
+      if (num_groups - merges <= target_groups) break;
+      const auto a = static_cast<std::size_t>(e.a);
+      const auto b = static_cast<std::size_t>(e.b);
+      if (parent[a] != e.a || parent[b] != e.b) continue;  // already matched
+      if (group_size[a] + group_size[b] > node_cap) continue;
+      parent[b] = e.a;
+      group_size[a] += group_size[b];
+      merges += 1;
+    }
+    if (merges == 0) {
+      // No correlated pair fits: merge the two smallest groups that do
+      // (ties by id), so disconnected graphs still coarsen.
+      std::vector<std::int32_t> by_size(static_cast<std::size_t>(num_groups));
+      for (std::int32_t g = 0; g < num_groups; ++g) {
+        by_size[static_cast<std::size_t>(g)] = g;
+      }
+      std::sort(by_size.begin(), by_size.end(),
+                [&](std::int32_t x, std::int32_t y) {
+                  if (group_size[static_cast<std::size_t>(x)] !=
+                      group_size[static_cast<std::size_t>(y)]) {
+                    return group_size[static_cast<std::size_t>(x)] <
+                           group_size[static_cast<std::size_t>(y)];
+                  }
+                  return x < y;
+                });
+      bool merged = false;
+      for (std::size_t i = 0; i + 1 < by_size.size() && !merged; ++i) {
+        for (std::size_t j = i + 1; j < by_size.size(); ++j) {
+          const auto a = static_cast<std::size_t>(by_size[i]);
+          const auto b = static_cast<std::size_t>(by_size[j]);
+          if (group_size[a] + group_size[b] > node_cap) continue;
+          const std::int32_t lo = std::min(by_size[i], by_size[j]);
+          const std::int32_t hi = std::max(by_size[i], by_size[j]);
+          parent[static_cast<std::size_t>(hi)] = lo;
+          group_size[static_cast<std::size_t>(lo)] +=
+              group_size[static_cast<std::size_t>(hi)];
+          merges = 1;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) break;  // every pair exceeds capacity; stop coarsening
+    }
+    // Compress ids (representatives keep relative order).
+    new_id.assign(static_cast<std::size_t>(num_groups), -1);
+    std::int32_t next = 0;
+    for (std::int32_t g = 0; g < num_groups; ++g) {
+      if (parent[static_cast<std::size_t>(g)] == g) {
+        new_id[static_cast<std::size_t>(g)] = next++;
+      }
+    }
+    for (std::int32_t g = 0; g < num_groups; ++g) {
+      if (parent[static_cast<std::size_t>(g)] != g) {
+        new_id[static_cast<std::size_t>(g)] =
+            new_id[static_cast<std::size_t>(parent[static_cast<std::size_t>(g)])];
+      }
+    }
+    for (std::int32_t t = 0; t < n; ++t) {
+      group_of[static_cast<std::size_t>(t)] =
+          new_id[static_cast<std::size_t>(group_of[static_cast<std::size_t>(t)])];
+    }
+    num_groups -= merges;
+    group_size.assign(static_cast<std::size_t>(num_groups), 0);
+    for (std::int32_t t = 0; t < n; ++t) {
+      group_size[static_cast<std::size_t>(group_of[static_cast<std::size_t>(t)])] += 1;
+    }
+    rounds += 1;
+  }
+
+  // -------------------------------------------------------------------
+  // Phase 2: pack groups onto nodes (largest first, best group→node
+  // affinity with room), then refine with first-improvement equal-size
+  // group swaps over the contracted graph.
+  const std::vector<GroupEdge> edges = contracted_edges(view, group_of);
+  const GroupGraphView group_graph(num_groups, edges);
+
+  std::vector<std::vector<ThreadId>> members(
+      static_cast<std::size_t>(num_groups));
+  for (std::int32_t t = 0; t < n; ++t) {
+    members[static_cast<std::size_t>(group_of[static_cast<std::size_t>(t)])]
+        .push_back(t);
+  }
+
+  std::vector<std::int32_t> order(static_cast<std::size_t>(num_groups));
+  for (std::int32_t g = 0; g < num_groups; ++g) {
+    order[static_cast<std::size_t>(g)] = g;
+  }
+  std::sort(order.begin(), order.end(), [&](std::int32_t x, std::int32_t y) {
+    const auto sx = members[static_cast<std::size_t>(x)].size();
+    const auto sy = members[static_cast<std::size_t>(y)].size();
+    if (sx != sy) return sx > sy;
+    return members[static_cast<std::size_t>(x)].front() <
+           members[static_cast<std::size_t>(y)].front();
+  });
+
+  std::vector<NodeId> assignment(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> node_of_group(static_cast<std::size_t>(num_groups),
+                                    kNoNode);
+  std::vector<std::uint8_t> pinned(static_cast<std::size_t>(num_groups), 0);
+  std::vector<std::int32_t> room = capacities;
+  for (const std::int32_t g : order) {
+    const auto need = static_cast<std::int32_t>(
+        members[static_cast<std::size_t>(g)].size());
+    NodeId best_node = kNoNode;
+    std::int64_t best_affinity = -1;
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      if (room[static_cast<std::size_t>(node)] < need) continue;
+      std::int64_t affinity = 0;
+      group_graph.for_each_neighbor(g, [&](ThreadId h, std::int64_t w) {
+        if (node_of_group[static_cast<std::size_t>(h)] == node) affinity += w;
+      });
+      if (affinity > best_affinity) {
+        best_affinity = affinity;
+        best_node = node;
+      }
+    }
+    if (best_node == kNoNode) {
+      // The group fits nowhere whole: split it over the nodes with the
+      // most room and pin it (a single-node address would be a lie).
+      for (const ThreadId t : members[static_cast<std::size_t>(g)]) {
+        const auto it = std::max_element(room.begin(), room.end());
+        ACTRACK_CHECK(*it > 0);
+        const auto node = static_cast<NodeId>(std::distance(room.begin(), it));
+        assignment[static_cast<std::size_t>(t)] = node;
+        *it -= 1;
+      }
+      node_of_group[static_cast<std::size_t>(g)] =
+          assignment[static_cast<std::size_t>(
+              members[static_cast<std::size_t>(g)].front())];
+      pinned[static_cast<std::size_t>(g)] = 1;
+      continue;
+    }
+    node_of_group[static_cast<std::size_t>(g)] = best_node;
+    for (const ThreadId t : members[static_cast<std::size_t>(g)]) {
+      assignment[static_cast<std::size_t>(t)] = best_node;
+    }
+    room[static_cast<std::size_t>(best_node)] -= need;
+  }
+
+  // Equal-size group swaps keep every node population intact; pinned
+  // (split) groups sit out.  First-improvement passes keep the cost at
+  // O(G²) per pass regardless of how many swaps land.
+  std::int64_t group_swaps = 0;
+  {
+    ViewCutCost gcut;
+    gcut.reset(group_graph, node_of_group, num_nodes);
+    constexpr std::int32_t kGroupSwapPassCap = 8;
+    for (std::int32_t pass = 0; pass < kGroupSwapPassCap; ++pass) {
+      bool changed = false;
+      for (std::int32_t g = 0; g < num_groups; ++g) {
+        if (pinned[static_cast<std::size_t>(g)] != 0) continue;
+        for (std::int32_t h = g + 1; h < num_groups; ++h) {
+          if (pinned[static_cast<std::size_t>(h)] != 0) continue;
+          if (members[static_cast<std::size_t>(g)].size() !=
+              members[static_cast<std::size_t>(h)].size()) {
+            continue;
+          }
+          if (node_of_group[static_cast<std::size_t>(g)] ==
+              node_of_group[static_cast<std::size_t>(h)]) {
+            continue;
+          }
+          if (gcut.swap_delta(g, h) < 0) {
+            gcut.apply_swap(g, h);
+            std::swap(node_of_group[static_cast<std::size_t>(g)],
+                      node_of_group[static_cast<std::size_t>(h)]);
+            group_swaps += 1;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    for (std::int32_t g = 0; g < num_groups; ++g) {
+      if (pinned[static_cast<std::size_t>(g)] != 0) continue;
+      for (const ThreadId t : members[static_cast<std::size_t>(g)]) {
+        assignment[static_cast<std::size_t>(t)] =
+            node_of_group[static_cast<std::size_t>(g)];
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Phase 3: thread-level polish — first-improvement swaps restricted
+  // to stored neighbour pairs, O(nnz) candidate evaluations per pass.
+  std::int64_t polish_swaps = 0;
+  if (options.refine_passes > 0) {
+    ViewCutCost tcut;
+    tcut.reset(view, assignment, num_nodes);
+    for (std::int32_t pass = 0; pass < options.refine_passes; ++pass) {
+      bool changed = false;
+      for (ThreadId t = 0; t < n; ++t) {
+        view.for_each_neighbor(t, [&](ThreadId u, std::int64_t /*w*/) {
+          if (u <= t) return;
+          if (assignment[static_cast<std::size_t>(u)] ==
+              assignment[static_cast<std::size_t>(t)]) {
+            return;
+          }
+          if (tcut.swap_delta(t, u) < 0) {
+            tcut.apply_swap(t, u);
+            std::swap(assignment[static_cast<std::size_t>(t)],
+                      assignment[static_cast<std::size_t>(u)]);
+            polish_swaps += 1;
+            changed = true;
+          }
+        });
+      }
+      if (!changed) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_groups = num_groups;
+    stats->coarsen_rounds = rounds;
+    stats->group_swaps = group_swaps;
+    stats->polish_swaps = polish_swaps;
+  }
+  return Placement(std::move(assignment), num_nodes);
+}
+
+}  // namespace actrack

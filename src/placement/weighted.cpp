@@ -74,11 +74,12 @@ Placement weighted_stretch(std::int32_t num_threads,
                    static_cast<NodeId>(node_speed.size()));
 }
 
-Placement weighted_min_cost(const CorrelationMatrix& matrix,
+Placement weighted_min_cost(const CorrelationView& view,
                             const std::vector<double>& node_speed,
                             const MinCostOptions& options) {
-  const std::int32_t n = matrix.num_threads();
+  const std::int32_t n = view.num_threads();
   const auto num_nodes = static_cast<NodeId>(node_speed.size());
+  const CorrelationMatrix* dense = view.dense();
   Rng rng(options.seed);
 
   // Seeds with the required populations; pairwise-swap refinement
@@ -91,13 +92,19 @@ Placement weighted_min_cost(const CorrelationMatrix& matrix,
     seeds.push_back(std::move(shuffled));
   }
 
-  // One gain-table scratch shared across all seed refinements.
-  IncrementalCutCost scratch;
+  // One gain-table scratch shared across all seed refinements; the
+  // dense kernel keeps the historical bit-identical path.
+  IncrementalCutCost dense_scratch;
+  ViewCutCost view_scratch;
   std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
   std::vector<NodeId> best;
   for (auto& seed : seeds) {
-    refine_swaps_in_place(matrix, seed, num_nodes, scratch);
-    const std::int64_t cut = matrix.cut_cost(seed);
+    if (dense != nullptr) {
+      refine_swaps_in_place(*dense, seed, num_nodes, dense_scratch);
+    } else {
+      view_refine_swaps_in_place(view, seed, num_nodes, view_scratch);
+    }
+    const std::int64_t cut = view.cut_cost(seed);
     if (cut < best_cut) {
       best_cut = cut;
       best = std::move(seed);

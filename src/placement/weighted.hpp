@@ -30,9 +30,10 @@ namespace actrack {
 
 /// min-cost under capacity-proportional populations: seeds (weighted
 /// stretch + random restarts) refined by pairwise swaps, which preserve
-/// the populations exactly.
+/// the populations exactly.  View-generic; dense views keep the
+/// bit-identical dense kernels.
 [[nodiscard]] Placement weighted_min_cost(
-    const CorrelationMatrix& matrix, const std::vector<double>& node_speed,
+    const CorrelationView& view, const std::vector<double>& node_speed,
     const MinCostOptions& options = {});
 
 }  // namespace actrack

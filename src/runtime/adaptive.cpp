@@ -1,17 +1,25 @@
 #include "runtime/adaptive.hpp"
 
 #include "common/check.hpp"
+#include "placement/hierarchical.hpp"
 
 namespace actrack {
 
 AdaptiveController::AdaptiveController(ClusterRuntime* runtime,
                                        AdaptivePolicy policy)
-    : runtime_(runtime),
-      policy_(policy),
-      aged_(runtime->workload().num_threads(), policy.aging_alpha) {
+    : runtime_(runtime), policy_(policy) {
   ACTRACK_CHECK(runtime != nullptr);
   ACTRACK_CHECK(policy.degradation_factor >= 1.0);
   ACTRACK_CHECK(policy.cooldown_iterations >= 0);
+  if (!use_sparse_correlation(runtime->workload().num_threads())) {
+    aged_.emplace(runtime->workload().num_threads(), policy.aging_alpha);
+  }
+}
+
+const AgedCorrelation& AdaptiveController::correlation() const {
+  ACTRACK_CHECK_MSG(aged_.has_value(),
+                    "aged estimate exists only on the dense path");
+  return *aged_;
 }
 
 AdaptiveStep AdaptiveController::track_and_migrate() {
@@ -24,11 +32,22 @@ AdaptiveStep AdaptiveController::track_and_migrate() {
   const TrackedIterationMetrics tracked = runtime_->run_tracked_iteration();
   step.remote_misses = tracked.metrics.remote_misses;
   step.elapsed_us = tracked.metrics.elapsed_us;
-  aged_.observe(tracker_.update(tracked.tracking.access_bitmaps));
 
-  const CorrelationMatrix estimate = aged_.snapshot();
-  const Placement target = min_cost_placement(
-      estimate, runtime_->placement().num_nodes(), policy_.min_cost);
+  // Dense path (the paper's regime): age the fresh correlations into
+  // the running estimate and run flat min-cost — bit-identical to the
+  // historical controller.  Sparse path: the latest tracking *is* the
+  // estimate (no n² aged matrix), placed hierarchically.
+  const Placement target = [&] {
+    if (aged_.has_value()) {
+      aged_->observe(tracker_.update(tracked.tracking.access_bitmaps));
+      const CorrelationMatrix estimate = aged_->snapshot();
+      return min_cost_placement(estimate, runtime_->placement().num_nodes(),
+                                policy_.min_cost);
+    }
+    sparse_.update(tracked.tracking.access_bitmaps);
+    return hierarchical_min_cost_placement(sparse_,
+                                           runtime_->placement().num_nodes());
+  }();
   step.threads_migrated = runtime_->placement().migration_distance(target);
   if (step.threads_migrated > 0) {
     step.elapsed_us += runtime_->migrate_to(target).elapsed_us;

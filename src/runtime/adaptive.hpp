@@ -17,6 +17,7 @@
 
 #include "correlation/aging.hpp"
 #include "correlation/incremental.hpp"
+#include "correlation/sparse.hpp"
 #include "placement/heuristics.hpp"
 #include "runtime/cluster_runtime.hpp"
 
@@ -54,9 +55,9 @@ class AdaptiveController {
   /// Runs `iterations` steps and returns the log.
   std::vector<AdaptiveStep> run(std::int32_t iterations);
 
-  [[nodiscard]] const AgedCorrelation& correlation() const noexcept {
-    return aged_;
-  }
+  /// The aged dense estimate; only available on the dense path
+  /// (num_threads <= kDenseThreadCeiling).
+  [[nodiscard]] const AgedCorrelation& correlation() const;
   [[nodiscard]] std::int64_t tracked_iterations() const noexcept {
     return tracked_count_;
   }
@@ -70,11 +71,17 @@ class AdaptiveController {
 
   ClusterRuntime* runtime_;  // non-owning
   AdaptivePolicy policy_;
-  AgedCorrelation aged_;
+  /// Dense path only (≤ kDenseThreadCeiling threads): the aged estimate
+  /// holds n² doubles, which the sparse path exists to avoid.
+  std::optional<AgedCorrelation> aged_;
   /// Correlation matrix over the latest tracked bitmaps, maintained
   /// incrementally: successive trackings overlap heavily unless the
-  /// sharing pattern shifts wholesale.
+  /// sharing pattern shifts wholesale.  Dense path only.
   IncrementalCorrelation tracker_;
+  /// Sparse path (> kDenseThreadCeiling threads): neighbour lists over
+  /// the latest tracked bitmaps, no aging (each tracking is taken as
+  /// the current estimate), hierarchical placement.
+  SparseCorrelation sparse_;
   std::optional<std::int64_t> baseline_misses_;
   bool settle_pending_ = false;
   std::int32_t since_track_ = 0;

@@ -2,6 +2,7 @@
 
 #include "correlation/sharing.hpp"
 #include "placement/heuristics.hpp"
+#include "placement/hierarchical.hpp"
 #include "trace/trace_utils.hpp"
 
 namespace actrack {
@@ -52,9 +53,17 @@ std::vector<PassiveRound> PassiveTrackingExperiment::run(
     // Re-place threads using whatever information has been gathered,
     // then migrate — the passive system's only way to expose the
     // affinities between threads still sharing a node.  The incremental
-    // tracker only touches the bitmap words that changed this round.
-    const CorrelationMatrix& partial = partial_.update(observed_);
-    const Placement next = min_cost_placement(partial, num_nodes_);
+    // trackers only touch the bitmap words that changed this round.
+    // Past the dense ceiling the flat pipeline's n² matrix and O(n²+)
+    // search are replaced by sparse rows + two-level placement.
+    const Placement next = [&] {
+      if (use_sparse_correlation(workload_->num_threads())) {
+        const SparseCorrelation& partial = sparse_partial_.update(observed_);
+        return hierarchical_min_cost_placement(partial, num_nodes_);
+      }
+      const CorrelationMatrix& partial = partial_.update(observed_);
+      return min_cost_placement(partial, num_nodes_);
+    }();
     record.threads_moved = runtime_.placement().migration_distance(next);
     if (record.threads_moved > 0) {
       runtime_.migrate_to(next);

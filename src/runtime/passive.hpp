@@ -15,6 +15,7 @@
 
 #include "common/bitset.hpp"
 #include "correlation/incremental.hpp"
+#include "correlation/sparse.hpp"
 #include "placement/placement.hpp"
 #include "runtime/cluster_runtime.hpp"
 
@@ -51,8 +52,12 @@ class PassiveTrackingExperiment {
   std::vector<DynamicBitset> truth_;
   /// Maintains the correlation matrix over `observed_` across rounds:
   /// observed bits only accumulate, so each round's matrix is a small
-  /// delta on the previous one.
+  /// delta on the previous one.  Used up to kDenseThreadCeiling threads
+  /// (the paper's regime; bit-identical to the historical pipeline).
   IncrementalCorrelation partial_;
+  /// Above the ceiling the same rounds run on the sparse neighbour
+  /// lists + hierarchical placement — no n² allocation anywhere.
+  SparseCorrelation sparse_partial_;
 };
 
 }  // namespace actrack

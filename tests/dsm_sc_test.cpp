@@ -118,18 +118,38 @@ TEST_F(ScDsmTest, ReleaseAndBarrierAreCheapNoOps) {
   EXPECT_EQ(dsm_->page_state(0, 0), PageState::kReadWrite);
 }
 
-TEST_F(ScDsmTest, RejectsClustersBeyondTheCopysetWidth) {
-  // sc_copyset is a 64-bit mask; a 65-node cluster would silently wrap
-  // the per-node bit shifts and corrupt replica tracking.
-  EXPECT_THROW(make(8, 65), std::logic_error);
-  make(8, 64);  // exactly the mask width is fine
+TEST_F(ScDsmTest, CopysetTracksClustersBeyondSixtyFourNodes) {
+  // sc_copyset used to be a raw 64-bit mask with a hard num_nodes <= 64
+  // ceiling; it is a DynamicBitset now, so wide clusters run the
+  // single-writer protocol too.
+  make(8, 96);
   dsm_->access(63, 63, write_of(0));
   EXPECT_EQ(dsm_->page_state(63, 0), PageState::kReadWrite);
+  dsm_->access(95, 95, write_of(0));  // node past the old mask width
+  EXPECT_EQ(dsm_->page_state(95, 0), PageState::kReadWrite);
+  EXPECT_EQ(dsm_->page_state(63, 0), PageState::kInvalid);
+}
+
+TEST_F(ScDsmTest, WideClusterInvalidatesEveryReplica) {
+  // Readers on both sides of bit 64 must all be invalidated by one
+  // write — the exact corruption the old mask would have wrapped into.
+  make(8, 96);
+  for (NodeId n : {1, 40, 64, 65, 95}) {
+    dsm_->access(n, n, read_of(0));
+    EXPECT_EQ(dsm_->page_state(n, 0), PageState::kReadOnly);
+  }
+  const std::int64_t before = dsm_->stats().invalidations;
+  dsm_->access(70, 70, write_of(0));
+  EXPECT_EQ(dsm_->stats().invalidations - before, 5);
+  for (NodeId n : {1, 40, 64, 65, 95}) {
+    EXPECT_EQ(dsm_->page_state(n, 0), PageState::kInvalid);
+  }
+  EXPECT_EQ(dsm_->page_state(70, 0), PageState::kReadWrite);
 }
 
 TEST(LrcNodeWidth, LazyReleaseProtocolHasNoCopysetLimit) {
-  // Only the single-writer path keeps a 64-bit copyset; LRC tracks
-  // write notices per page history and accepts wider clusters.
+  // LRC tracks write notices per page history; it never consults the
+  // copyset and accepts wide clusters just the same.
   NetworkModel net(65, CostModel{});
   DsmConfig config;  // default: multi-writer LRC
   EXPECT_NO_THROW(DsmSystem(8, 65, &net, config));

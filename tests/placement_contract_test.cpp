@@ -1,0 +1,96 @@
+// Size-contract regression tests (satellite of the scaling-axis PR):
+// every cut-cost / placement entry point must CHECK that an assignment
+// covers exactly num_threads() threads instead of reading out of bounds
+// or silently truncating.  ACTRACK_CHECK throws std::logic_error.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "correlation/matrix.hpp"
+#include "correlation/sparse.hpp"
+#include "correlation/view.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/hierarchical.hpp"
+#include "placement/placement.hpp"
+
+namespace actrack {
+namespace {
+
+std::vector<DynamicBitset> ring_bitmaps(std::int32_t threads,
+                                        std::int32_t pages_per_thread = 3) {
+  std::vector<DynamicBitset> maps(
+      static_cast<std::size_t>(threads),
+      DynamicBitset(threads * pages_per_thread));
+  for (std::int32_t t = 0; t < threads; ++t) {
+    for (std::int32_t p = 0; p < pages_per_thread; ++p) {
+      maps[static_cast<std::size_t>(t)].set(t * pages_per_thread + p);
+      // Shared page with the next thread: nonzero off-diagonal band.
+      maps[static_cast<std::size_t>((t + 1) % threads)].set(
+          t * pages_per_thread + p);
+    }
+  }
+  return maps;
+}
+
+TEST(PlacementContract, DenseCutCostRejectsWrongSizeAssignment) {
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(ring_bitmaps(8));
+  EXPECT_THROW((void)m.cut_cost(std::vector<NodeId>(7, 0)), std::logic_error);
+  EXPECT_THROW((void)m.cut_cost(std::vector<NodeId>(9, 0)), std::logic_error);
+  EXPECT_NO_THROW((void)m.cut_cost(std::vector<NodeId>(8, 0)));
+}
+
+TEST(PlacementContract, SparseCutCostRejectsWrongSizeAssignment) {
+  const SparseCorrelation s = SparseCorrelation::from_bitmaps(ring_bitmaps(8));
+  EXPECT_THROW((void)s.cut_cost(std::vector<NodeId>(7, 0)), std::logic_error);
+  EXPECT_THROW((void)s.cut_cost(std::vector<NodeId>(9, 0)), std::logic_error);
+  EXPECT_NO_THROW((void)s.cut_cost(std::vector<NodeId>(8, 0)));
+}
+
+TEST(PlacementContract, ViewCutCostResetRejectsWrongSizeAssignment) {
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(ring_bitmaps(8));
+  ViewCutCost scratch;
+  EXPECT_THROW(scratch.reset(m, std::vector<NodeId>(6, 0), 2),
+               std::logic_error);
+  EXPECT_NO_THROW(scratch.reset(m, std::vector<NodeId>(8, 0), 2));
+}
+
+TEST(PlacementContract, RefineBySwapsRejectsMismatchedPlacement) {
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(ring_bitmaps(8));
+  EXPECT_THROW((void)refine_by_swaps(m, Placement::stretch(6, 2)),
+               std::logic_error);
+  EXPECT_NO_THROW((void)refine_by_swaps(m, Placement::stretch(8, 2)));
+}
+
+TEST(PlacementContract, RefinedSeedsMustEachCoverEveryThread) {
+  const CorrelationMatrix m = CorrelationMatrix::from_bitmaps(ring_bitmaps(8));
+  Rng rng(1);
+  std::vector<std::vector<NodeId>> seeds = {
+      Placement::stretch(8, 2).node_of_thread(),
+      std::vector<NodeId>(5, 0),  // short seed must be rejected
+  };
+  EXPECT_THROW(
+      (void)min_cost_from_refined_seeds(m, 2, MinCostOptions{}, rng, seeds),
+      std::logic_error);
+  seeds[1] = Placement::stretch(8, 2).node_of_thread();
+  EXPECT_NO_THROW(
+      (void)min_cost_from_refined_seeds(m, 2, MinCostOptions{}, rng, seeds));
+}
+
+TEST(PlacementContract, HierarchicalRejectsMoreNodesThanThreads) {
+  const SparseCorrelation s = SparseCorrelation::from_bitmaps(ring_bitmaps(8));
+  EXPECT_THROW((void)hierarchical_min_cost_placement(s, 9), std::logic_error);
+  EXPECT_THROW((void)hierarchical_min_cost_placement(s, 0), std::logic_error);
+  EXPECT_NO_THROW((void)hierarchical_min_cost_placement(s, 4));
+}
+
+TEST(PlacementContract, BalancedNodeSizesValidatesShape) {
+  EXPECT_THROW((void)balanced_node_sizes(4, 5), std::logic_error);
+  EXPECT_THROW((void)balanced_node_sizes(4, 0), std::logic_error);
+  const std::vector<std::int32_t> sizes = balanced_node_sizes(10, 4);
+  EXPECT_EQ(sizes, (std::vector<std::int32_t>{3, 3, 2, 2}));
+}
+
+}  // namespace
+}  // namespace actrack

@@ -1,0 +1,219 @@
+// SparseCorrelation ↔ CorrelationMatrix equivalence (the scaling-axis
+// contract): with the exact settings (min_correlation = 1, unlimited
+// top_k) the sparse neighbour lists must reproduce the dense matrix
+// bit-for-bit — every entry, every aggregate, and every placement the
+// min-cost pipeline derives from them — across the paper's application
+// kernels.  The pruned configurations get their own semantic checks.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "common/rng.hpp"
+#include "correlation/matrix.hpp"
+#include "correlation/sparse.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/placement.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack {
+namespace {
+
+constexpr std::array<const char*, 8> kApps = {
+    "SOR", "Water", "FFT7", "LU2k", "Ocean", "Barnes", "Spatial", "FFT6"};
+constexpr std::int32_t kThreads = 64;
+constexpr NodeId kNodes = 8;
+
+/// The §4.2 collection pass, kept at the bitmap level so both builders
+/// start from the same input.
+std::vector<DynamicBitset> tracked_bitmaps(const std::string& app) {
+  const std::unique_ptr<Workload> workload = make_workload(app, kThreads);
+  ClusterRuntime runtime(*workload, Placement::stretch(kThreads, kNodes));
+  runtime.run_init();
+  return runtime.run_tracked_iteration().tracking.access_bitmaps;
+}
+
+void expect_equal_views(const CorrelationMatrix& dense,
+                        const SparseCorrelation& sparse,
+                        const std::string& app) {
+  ASSERT_EQ(sparse.num_threads(), dense.num_threads()) << app;
+  for (ThreadId a = 0; a < dense.num_threads(); ++a) {
+    for (ThreadId b = 0; b < dense.num_threads(); ++b) {
+      ASSERT_EQ(sparse.at(a, b), dense.at(a, b))
+          << app << " at(" << a << "," << b << ")";
+    }
+  }
+  EXPECT_EQ(sparse.max_off_diagonal(), dense.max_off_diagonal()) << app;
+  EXPECT_EQ(sparse.total_pair_correlation(), dense.total_pair_correlation())
+      << app;
+
+  Rng rng(0xE0u);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::vector<NodeId> assignment =
+        balanced_random_placement(rng, kThreads, kNodes).node_of_thread();
+    EXPECT_EQ(sparse.cut_cost(assignment), dense.cut_cost(assignment)) << app;
+  }
+  const std::vector<NodeId> stretch =
+      Placement::stretch(kThreads, kNodes).node_of_thread();
+  EXPECT_EQ(sparse.cut_cost(stretch), dense.cut_cost(stretch)) << app;
+
+  for (ThreadId t = 0; t < dense.num_threads(); t += 7) {
+    for (const std::int32_t k : {1, 4, kThreads}) {
+      const auto expected = dense.top_neighbors(t, k);
+      const auto actual = sparse.top_neighbors(t, k);
+      ASSERT_EQ(actual.size(), expected.size()) << app;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i].thread, expected[i].thread) << app;
+        EXPECT_EQ(actual[i].value, expected[i].value) << app;
+      }
+    }
+  }
+}
+
+TEST(SparseEquivalence, ExactSettingsMatchDenseOnEveryAppKernel) {
+  for (const char* app : kApps) {
+    const std::vector<DynamicBitset> bitmaps = tracked_bitmaps(app);
+    const CorrelationMatrix dense = CorrelationMatrix::from_bitmaps(bitmaps);
+    const SparseCorrelation sparse = SparseCorrelation::from_bitmaps(bitmaps);
+    expect_equal_views(dense, sparse, app);
+  }
+}
+
+TEST(SparseEquivalence, MinCostPlacementIsIdenticalThroughEitherView) {
+  // The whole flat pipeline — greedy seed, stretch/random restarts,
+  // swap refinement, basin hopping — must pick the same placement
+  // whether it reads the dense matrix or the exact sparse view.
+  for (const char* app : kApps) {
+    const std::vector<DynamicBitset> bitmaps = tracked_bitmaps(app);
+    const CorrelationMatrix dense = CorrelationMatrix::from_bitmaps(bitmaps);
+    const SparseCorrelation sparse = SparseCorrelation::from_bitmaps(bitmaps);
+    const Placement from_dense = min_cost_placement(dense, kNodes);
+    const Placement from_sparse = min_cost_placement(sparse, kNodes);
+    EXPECT_EQ(from_sparse.node_of_thread(), from_dense.node_of_thread())
+        << app;
+  }
+}
+
+/// Sparsely-shared pattern (each page held by at most two threads), so
+/// localized drift keeps the incremental affected set small.  App
+/// workloads like Water share pages globally — flipping one of those
+/// legitimately touches every row and takes the rebuild path, which
+/// WholesaleChangeFallsBackToRebuildAndStaysExact covers.
+std::vector<DynamicBitset> band_bitmaps(std::int32_t threads) {
+  constexpr std::int32_t kStride = 6;
+  std::vector<DynamicBitset> maps(
+      static_cast<std::size_t>(threads),
+      DynamicBitset(static_cast<std::int64_t>(threads) * kStride));
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const std::int64_t base = static_cast<std::int64_t>(t) * kStride;
+    for (std::int32_t p = 0; p < kStride; ++p) {
+      maps[static_cast<std::size_t>(t)].set(base + p);
+      if (p >= 4) {  // two pages shared with the next thread
+        maps[static_cast<std::size_t>((t + 1) % threads)].set(base + p);
+      }
+    }
+  }
+  return maps;
+}
+
+TEST(SparseEquivalence, IncrementalUpdateMatchesFreshBuild) {
+  std::vector<DynamicBitset> bitmaps = band_bitmaps(kThreads);
+  SparseCorrelation incremental;
+  incremental.update(bitmaps);
+  EXPECT_TRUE(incremental.last_was_rebuild());
+
+  // Drift a handful of threads' working sets and re-sync: the affected
+  // set must stay local, and the result must equal both a fresh sparse
+  // build and the dense matrix.
+  Rng rng(7);
+  for (int round = 0; round < 3; ++round) {
+    for (int change = 0; change < 4; ++change) {
+      auto& map = bitmaps[static_cast<std::size_t>(
+          rng.uniform(static_cast<std::int64_t>(bitmaps.size())))];
+      const std::int64_t page = rng.uniform(map.size());
+      if (map.test(page)) {
+        map.reset(page);
+      } else {
+        map.set(page);
+      }
+    }
+    incremental.update(bitmaps);
+    EXPECT_FALSE(incremental.last_was_rebuild());
+    EXPECT_LT(incremental.last_affected_rows(),
+              static_cast<std::int64_t>(bitmaps.size()));
+
+    const CorrelationMatrix dense = CorrelationMatrix::from_bitmaps(bitmaps);
+    expect_equal_views(dense, incremental, "band drift");
+    const SparseCorrelation fresh = SparseCorrelation::from_bitmaps(bitmaps);
+    EXPECT_EQ(incremental.nonzero_pairs(), fresh.nonzero_pairs());
+  }
+}
+
+TEST(SparseEquivalence, WholesaleChangeFallsBackToRebuildAndStaysExact) {
+  std::vector<DynamicBitset> bitmaps = tracked_bitmaps("SOR");
+  SparseCorrelation incremental;
+  incremental.update(bitmaps);
+
+  // Shift every thread's working set: the affected set covers most rows,
+  // so the incremental path must hand over to the rebuild — same answer.
+  for (auto& map : bitmaps) {
+    for (std::int64_t bit = 0; bit < map.size(); bit += 2) {
+      if (map.test(bit)) {
+        map.reset(bit);
+      } else {
+        map.set(bit);
+      }
+    }
+  }
+  incremental.update(bitmaps);
+  EXPECT_TRUE(incremental.last_was_rebuild());
+  expect_equal_views(CorrelationMatrix::from_bitmaps(bitmaps), incremental,
+                     "SOR wholesale");
+}
+
+TEST(SparsePruning, ThresholdDropsWeakPairsSymmetrically) {
+  const std::vector<DynamicBitset> bitmaps = tracked_bitmaps("Water");
+  const CorrelationMatrix dense = CorrelationMatrix::from_bitmaps(bitmaps);
+  SparseCorrelationOptions options;
+  options.min_correlation = 3;
+  const SparseCorrelation pruned =
+      SparseCorrelation::from_bitmaps(bitmaps, options);
+  for (ThreadId a = 0; a < kThreads; ++a) {
+    for (ThreadId b = 0; b < kThreads; ++b) {
+      if (a == b) continue;
+      const std::int64_t full = dense.at(a, b);
+      const std::int64_t kept = pruned.at(a, b);
+      EXPECT_EQ(kept, full >= options.min_correlation ? full : 0);
+      EXPECT_EQ(pruned.at(b, a), kept);  // symmetry survives pruning
+    }
+  }
+}
+
+TEST(SparsePruning, TopKKeepsEachThreadsStrongestNeighbors) {
+  const std::vector<DynamicBitset> bitmaps = tracked_bitmaps("Barnes");
+  const CorrelationMatrix dense = CorrelationMatrix::from_bitmaps(bitmaps);
+  SparseCorrelationOptions options;
+  options.top_k = 4;
+  const SparseCorrelation pruned =
+      SparseCorrelation::from_bitmaps(bitmaps, options);
+  for (ThreadId t = 0; t < kThreads; ++t) {
+    // Everything the dense view ranks in t's top k must be stored (a
+    // pair may additionally survive through its other endpoint).
+    for (const CorrelationNeighbor& top :
+         dense.top_neighbors(t, options.top_k)) {
+      EXPECT_EQ(pruned.at(t, top.thread), top.value);
+    }
+    EXPECT_LE(pruned.neighbors(t).size(),
+              static_cast<std::size_t>(2 * kThreads));
+    for (const CorrelationNeighbor& kept : pruned.neighbors(t)) {
+      EXPECT_EQ(kept.value, dense.at(t, kept.thread));  // values unchanged
+      EXPECT_EQ(pruned.at(kept.thread, t), kept.value);  // symmetric
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actrack
