@@ -35,6 +35,7 @@ std::string CheckVariant::name() const {
   if (gc) name += "+gc";
   if (migration) name += "+mig";
   if (faulted) name += "+fault";
+  if (linked) name += "+link";
   return name;
 }
 
@@ -58,6 +59,12 @@ std::vector<CheckVariant> standard_variants(
     variants.push_back(CheckVariant{m, CausalityMode::kTotalOrder,
                                     /*gc=*/true, /*migration=*/true,
                                     /*faulted=*/true});
+    // Fullest configuration again, with every message packetized
+    // through the link layer: per-frame fault fates must be absorbed
+    // by selective-repeat ARQ with the oracle and auditor still clean.
+    variants.push_back(CheckVariant{m, CausalityMode::kTotalOrder,
+                                    /*gc=*/true, /*migration=*/true,
+                                    /*faulted=*/true, /*linked=*/true});
   }
   return variants;
 }
@@ -78,6 +85,12 @@ std::int64_t check_trace_variant(const TraceFile& trace,
     // Fixed seed: a failing faulted variant reproduces exactly.
     config.fault = fault::make_plan(fault::FaultClass::kMixed, options.nodes,
                                     /*seed=*/0xC3EC'FA17ULL);
+  }
+  if (variant.linked) {
+    config.cost.link.enabled = true;
+    // Seeded reordering on top of the per-frame fault fates, so the
+    // selective-repeat path is exercised out of order as well.
+    config.cost.link.reorder_probability = 0.2;
   }
 
   ClusterRuntime runtime(workload, Placement::stretch(workload.num_threads(),

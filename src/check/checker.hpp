@@ -30,6 +30,11 @@ struct CheckVariant {
   /// latency spikes, a slow node): the protocol's recovery machinery
   /// must keep the oracle and auditor clean even on a faulty network.
   bool faulted = false;
+  /// Packetize every message through the selective-repeat link layer
+  /// (src/link) with seeded reordering; composed with `faulted`, fault
+  /// fates then apply per frame and must be absorbed by ARQ recovery
+  /// without a single protocol message lost or duplicated.
+  bool linked = false;
 
   [[nodiscard]] std::string name() const;
 };
@@ -37,8 +42,9 @@ struct CheckVariant {
 /// The ISSUE grid: {LRC, SC} × {GC on/off} × {migration on/off}.  The
 /// LRC half additionally runs a vector-clock causality variant of the
 /// fullest configuration (GC + migration).  Each protocol also runs its
-/// fullest configuration on a faulty network (`+fault`).  `model`
-/// restricts the grid to one protocol; std::nullopt keeps both.
+/// fullest configuration on a faulty network (`+fault`) and on the
+/// packetized link layer with per-frame faults (`+fault+link`).
+/// `model` restricts the grid to one protocol; std::nullopt keeps both.
 [[nodiscard]] std::vector<CheckVariant> standard_variants(
     std::optional<ConsistencyModel> model = std::nullopt);
 

@@ -56,6 +56,11 @@ struct MetricsNames {
   const char* control_bytes;
   const char* stack_bytes;
   const char* gc_runs;
+  const char* link_frames;
+  const char* link_retransmits;
+  const char* link_acks;
+  const char* link_bytes;
+  const char* link_stall_us;
   const char* load_imbalance;
 };
 
@@ -63,12 +68,16 @@ constexpr MetricsNames kMeasuredNames = {
     "m_elapsed_us", "m_remote_misses", "m_read_faults",
     "m_write_faults", "m_messages", "m_total_bytes",
     "m_diff_bytes", "m_control_bytes", "m_stack_bytes",
-    "m_gc_runs", "m_load_imbalance"};
+    "m_gc_runs", "m_link_frames", "m_link_retransmits",
+    "m_link_acks", "m_link_bytes", "m_link_stall_us",
+    "m_load_imbalance"};
 constexpr MetricsNames kTotalsNames = {
     "t_elapsed_us", "t_remote_misses", "t_read_faults",
     "t_write_faults", "t_messages", "t_total_bytes",
     "t_diff_bytes", "t_control_bytes", "t_stack_bytes",
-    "t_gc_runs", "t_load_imbalance"};
+    "t_gc_runs", "t_link_frames", "t_link_retransmits",
+    "t_link_acks", "t_link_bytes", "t_link_stall_us",
+    "t_load_imbalance"};
 
 void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
                     const IterationMetrics& m) {
@@ -82,6 +91,11 @@ void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
   out.push_back(int_field(names.control_bytes, m.control_bytes));
   out.push_back(int_field(names.stack_bytes, m.stack_bytes));
   out.push_back(int_field(names.gc_runs, m.gc_runs));
+  out.push_back(int_field(names.link_frames, m.link_frames));
+  out.push_back(int_field(names.link_retransmits, m.link_retransmits));
+  out.push_back(int_field(names.link_acks, m.link_acks));
+  out.push_back(int_field(names.link_bytes, m.link_bytes));
+  out.push_back(int_field(names.link_stall_us, m.link_stall_us));
   out.push_back(real_field(names.load_imbalance, m.load_imbalance));
 }
 
@@ -121,6 +135,11 @@ std::vector<FieldValue> flatten(const TrialRecord& r) {
   out.push_back(int_field("net_page_bytes", r.net.page_bytes));
   out.push_back(int_field("net_control_bytes", r.net.control_bytes));
   out.push_back(int_field("net_stack_bytes", r.net.stack_bytes));
+  out.push_back(int_field("net_frames", r.net.frames));
+  out.push_back(int_field("net_frame_retransmits", r.net.frame_retransmits));
+  out.push_back(int_field("net_acks", r.net.acks));
+  out.push_back(int_field("net_link_bytes", r.net.link_bytes));
+  out.push_back(int_field("net_link_stall_us", r.net.link_stall_us));
   out.push_back(int_field("tracking_faults", r.tracking_faults));
   out.push_back(int_field("tracking_coherence_faults",
                           r.tracking_coherence_faults));

@@ -1,0 +1,78 @@
+// Link-layer configuration.
+//
+// LinkConfig is pure data, split from the LinkLayer machinery so that
+// CostModel (src/net) can embed one without pulling in the ARQ engine.
+// The layering is: common < link < net < dsm/sched — the link layer is
+// the wire beneath NetworkModel's message abstraction.
+//
+// Null-by-default contract: `enabled` is false, NetworkModel then never
+// constructs a LinkLayer, and every send()/exchange() takes exactly the
+// pre-link code path, so default runs are bit-identical to the code
+// before this subsystem existed (tests/link_test.cpp pins this against
+// golden metrics).  With `enabled` set, messages are packetized into
+// MTU-sized frames carried over a per-link selective-repeat sliding
+// window — see src/link/link.hpp for the delivery model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace actrack {
+
+struct LinkConfig {
+  /// Master switch.  False = NetworkModel's flat latency/bandwidth
+  /// model (the paper's perfectly reliable Myrinet wire).
+  bool enabled = false;
+
+  /// Maximum frame payload.  A message of `wire` bytes becomes
+  /// ceil(wire / mtu_bytes) frames.  Myrinet's MTU was effectively the
+  /// host page; 4 KiB keeps one page per frame at the defaults.
+  ByteCount mtu_bytes = 4096;
+
+  /// Per-frame link header on the wire (sequence number, checksum).
+  ByteCount frame_header_bytes = 16;
+
+  /// Wire size of one ack frame (cumulative + selective ack fields).
+  ByteCount ack_bytes = 16;
+
+  /// Selective-repeat send window, in frames.  The sender may have at
+  /// most this many unacked frames outstanding; a full window stalls
+  /// transmission until the cumulative ack advances.
+  std::int32_t window_frames = 8;
+
+  /// Retransmit timer: a frame unacknowledged this long after its
+  /// transmission completes is sent again (sim time, deterministic).
+  SimTime retransmit_timeout_us = 1500;
+
+  /// Per-frame retransmission budget.  A frame dropped this many times
+  /// fails the whole message (delivered=false), surfacing the loss to
+  /// the message-level recovery machinery (exchange/send_reliable
+  /// retries).  At the fault plans' drop probabilities (<= 0.1) the
+  /// chance of exhaustion is p^16 — never in practice, which is the
+  /// "per-frame drop under ARQ always recovers" contract.
+  std::int32_t max_frame_attempts = 16;
+
+  /// Per-frame probability the network delivers this frame late enough
+  /// to arrive out of order (drawn from the link's own seeded RNG
+  /// substream, never from any workload or fault stream).
+  double reorder_probability = 0.0;
+
+  /// Extra one-way latency of a reordered frame.
+  SimTime reorder_jitter_us = 200;
+
+  /// Seed of the per-link RNG substreams (reordering).  Each directed
+  /// link (from, to) forks its own stream from this seed, so fates on
+  /// one link are independent of traffic on every other link.
+  std::uint64_t seed = 0x11A7'ACC5ULL;
+
+  /// Congestion model: one-way frame latency grows once the bytes in
+  /// flight on the link (unacked window occupancy plus the decaying
+  /// backlog of recent messages) exceed the knee.
+  ByteCount congestion_knee_bytes = 32 * 1024;
+
+  /// Added latency per KiB of in-flight bytes beyond the knee.
+  SimTime congestion_us_per_kb = 2;
+};
+
+}  // namespace actrack

@@ -1,0 +1,239 @@
+#include "link/link.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+namespace {
+
+/// splitmix64 finaliser — decorrelates per-link seeds derived from one
+/// base seed (same construction Rng uses internally for seeding).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LinkLayer::LinkLayer(const LinkConfig& config, NodeId num_nodes,
+                     SimTime one_way_latency_us, double bytes_per_us)
+    : config_(config),
+      num_nodes_(num_nodes),
+      one_way_us_(one_way_latency_us),
+      bytes_per_us_(bytes_per_us) {
+  ACTRACK_CHECK(config_.enabled);
+  ACTRACK_CHECK(num_nodes_ > 0);
+  ACTRACK_CHECK_MSG(config_.mtu_bytes > 0, "link MTU must be positive");
+  ACTRACK_CHECK_MSG(config_.window_frames > 0,
+                    "selective-repeat window must hold at least one frame");
+  ACTRACK_CHECK(config_.max_frame_attempts > 0);
+  ACTRACK_CHECK(config_.retransmit_timeout_us > 0);
+  ACTRACK_CHECK(config_.reorder_probability >= 0.0 &&
+                config_.reorder_probability <= 1.0);
+  ACTRACK_CHECK(config_.frame_header_bytes >= 0 && config_.ack_bytes >= 0);
+  ACTRACK_CHECK(one_way_us_ >= 0);
+  ACTRACK_CHECK_MSG(bytes_per_us_ > 0.0, "link bandwidth must be non-zero");
+  const std::size_t link_count = static_cast<std::size_t>(num_nodes_) *
+                                 static_cast<std::size_t>(num_nodes_);
+  links_.reserve(link_count);
+  for (std::size_t i = 0; i < link_count; ++i) {
+    // Every directed link draws reordering from its own substream, so
+    // one link's traffic never perturbs fates on another.
+    links_.emplace_back(mix(config_.seed ^ mix(static_cast<std::uint64_t>(i))));
+  }
+}
+
+LinkLayer::LinkState& LinkLayer::link(NodeId from, NodeId to) {
+  ACTRACK_CHECK(from >= 0 && from < num_nodes_);
+  ACTRACK_CHECK(to >= 0 && to < num_nodes_);
+  return links_[static_cast<std::size_t>(from) *
+                    static_cast<std::size_t>(num_nodes_) +
+                static_cast<std::size_t>(to)];
+}
+
+ByteCount LinkLayer::backlog_bytes(NodeId from, NodeId to) const {
+  return const_cast<LinkLayer*>(this)->link(from, to).backlog;
+}
+
+SimTime LinkLayer::congestion_us(ByteCount in_flight_bytes) const {
+  const ByteCount excess = in_flight_bytes - config_.congestion_knee_bytes;
+  if (excess <= 0 || config_.congestion_us_per_kb <= 0) return 0;
+  return config_.congestion_us_per_kb * (excess / 1024);
+}
+
+LinkLayer::Delivery LinkLayer::transmit(NodeId from, NodeId to,
+                                        ByteCount message_wire_bytes,
+                                        FrameFateSource& fates) {
+  ACTRACK_CHECK(message_wire_bytes >= 0);
+  LinkState& state = link(from, to);
+
+  // Packetize: the message header rides in the first frame; every frame
+  // carries its own link header on the wire.
+  const std::int32_t frame_count = static_cast<std::int32_t>(
+      std::max<ByteCount>(1, (message_wire_bytes + config_.mtu_bytes - 1) /
+                                 config_.mtu_bytes));
+
+  struct Frame {
+    ByteCount payload = 0;     // slice of the message in this frame
+    ByteCount wire = 0;        // payload + frame header
+    std::int32_t attempts = 0;
+    bool delivered = false;
+    bool acked = false;
+    bool counted_in_flight = false;
+  };
+  std::vector<Frame> frames(static_cast<std::size_t>(frame_count));
+  ByteCount remaining = message_wire_bytes;
+  for (Frame& f : frames) {
+    f.payload = std::min<ByteCount>(remaining, config_.mtu_bytes);
+    f.wire = f.payload + config_.frame_header_bytes;
+    remaining -= f.payload;
+  }
+
+  // The per-message event queue.  Ordering is (time, kind, seq) with
+  // delivery before ack before timer at equal times — a total order, so
+  // the simulation is deterministic.
+  enum class Ev : std::uint8_t { kDeliver = 0, kAck = 1, kTimer = 2 };
+  struct Event {
+    SimTime t;
+    Ev kind;
+    std::int32_t seq;
+    std::int32_t cum;  // kAck: receiver's cumulative count at send time
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+
+  Delivery d;
+  SimTime wire_free = 0;       // sender NIC busy-until (serialization)
+  ByteCount in_flight = 0;     // unacked bytes charged to the window
+  std::int32_t base = 0;       // lowest unacked sequence number
+  std::int32_t next_new = 0;   // next never-sent sequence number
+  std::int32_t delivered_count = 0;
+  std::int32_t receiver_cum = 0;  // in-order delivered prefix length
+
+  const auto send_frame = [&](std::int32_t seq, SimTime now) {
+    Frame& f = frames[static_cast<std::size_t>(seq)];
+    f.attempts += 1;
+    if (now > wire_free) {
+      // The NIC sat idle: the window was closed (or a timer fired) and
+      // transmission could not resume until now.
+      d.stall_us += now - wire_free;
+      wire_free = now;
+    }
+    const SimTime serialize =
+        static_cast<SimTime>(static_cast<double>(f.wire) / bytes_per_us_);
+    wire_free += serialize;
+    if (f.attempts == 1) {
+      d.frames += 1;
+    } else {
+      d.retransmits += 1;
+    }
+    d.frame_bytes += f.wire;
+    if (!f.counted_in_flight) {
+      f.counted_in_flight = true;
+      in_flight += f.wire;
+      d.max_in_flight_bytes = std::max(d.max_in_flight_bytes, in_flight);
+    }
+    const FrameFate fate = fates.frame_fate(f.payload);
+    SimTime latency = one_way_us_ + congestion_us(in_flight + state.backlog) +
+                      fate.extra_latency_us;
+    if (config_.reorder_probability > 0.0 &&
+        state.rng.uniform_real() < config_.reorder_probability) {
+      latency += config_.reorder_jitter_us;
+    }
+    if (fate.dropped) {
+      d.dropped_frames += 1;
+      events.push(Event{wire_free + config_.retransmit_timeout_us,
+                        Ev::kTimer, seq, 0});
+      return;
+    }
+    events.push(Event{wire_free + latency, Ev::kDeliver, seq, 0});
+    for (std::int32_t copy = 1; copy < fate.copies; ++copy) {
+      // Duplicate delivery: an extra wire copy; the receiver's
+      // selective-repeat buffer is idempotent, so only the traffic
+      // accounting sees it.
+      d.dup_frames += 1;
+      d.frame_bytes += f.wire;
+    }
+  };
+
+  const auto pump = [&](SimTime now) {
+    while (next_new < frame_count && next_new < base + config_.window_frames) {
+      send_frame(next_new, now);
+      next_new += 1;
+    }
+  };
+
+  pump(0);
+  while (!events.empty() && delivered_count < frame_count && d.delivered) {
+    const Event ev = events.top();
+    events.pop();
+    Frame& f = frames[static_cast<std::size_t>(ev.seq)];
+    switch (ev.kind) {
+      case Ev::kDeliver: {
+        f.delivered = true;
+        delivered_count += 1;
+        d.latency_us = std::max(d.latency_us, ev.t);
+        while (receiver_cum < frame_count &&
+               frames[static_cast<std::size_t>(receiver_cum)].delivered) {
+          receiver_cum += 1;
+        }
+        d.acks += 1;
+        d.ack_bytes += config_.ack_bytes;
+        events.push(Event{ev.t + one_way_us_, Ev::kAck, ev.seq, receiver_cum});
+        break;
+      }
+      case Ev::kAck: {
+        // Cumulative part: everything below `cum` is acknowledged.
+        for (std::int32_t i = base; i < ev.cum; ++i) {
+          Frame& g = frames[static_cast<std::size_t>(i)];
+          if (!g.acked) {
+            g.acked = true;
+            in_flight -= g.wire;
+          }
+        }
+        // Selective part: this frame specifically.
+        if (!f.acked) {
+          f.acked = true;
+          in_flight -= f.wire;
+        }
+        while (base < frame_count &&
+               frames[static_cast<std::size_t>(base)].acked) {
+          base += 1;
+        }
+        pump(ev.t);
+        break;
+      }
+      case Ev::kTimer: {
+        if (f.delivered || f.acked) break;  // recovered meanwhile
+        if (f.attempts >= config_.max_frame_attempts) {
+          // The frame is undeliverable within budget; surface the loss
+          // to the message-level recovery machinery.
+          d.delivered = false;
+          d.latency_us = std::max(d.latency_us, ev.t);
+          break;
+        }
+        send_frame(ev.seq, ev.t);
+        break;
+      }
+    }
+  }
+
+  // Cross-message congestion: the link remembers (a decaying half of)
+  // what just crossed it, so a burst of large messages sees growing
+  // latency even though each message's window drains in between.
+  state.backlog = (state.backlog + d.frame_bytes) / 2;
+  return d;
+}
+
+}  // namespace actrack

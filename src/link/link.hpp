@@ -1,0 +1,127 @@
+// LinkLayer — a deterministic packetized ARQ wire beneath NetworkModel.
+//
+// The paper's Myrinet is modelled one layer up as a perfectly reliable
+// fixed-cost message pipe.  This class models what that pipe is made
+// of: each message is packetized into MTU-sized frames, frames cross a
+// directed link under a bounded selective-repeat sliding window
+// (cumulative + selective acknowledgements, retransmit timers driven by
+// simulated time), frame delivery order can be perturbed by seeded
+// reordering, and the one-way frame latency grows once the bytes in
+// flight on the link exceed a congestion knee.
+//
+// transmit() runs a small event-driven simulation of one message and
+// returns its delivery latency plus full frame/ack/retransmit
+// accounting; NetworkModel books the result into NetCounters and the
+// observability probe.  Everything is deterministic: the only
+// randomness is the per-link RNG substream (reordering), forked from
+// LinkConfig::seed, and frame fates (drop/duplicate/latency, per frame)
+// are supplied by the caller — NetworkModel adapts its NetFaultHook, so
+// fault plans compose with ARQ recovery instead of killing messages.
+//
+// Modelling notes (see docs/NETWORK.md for the full contract):
+//  * Retransmit timers are armed only for frames the fate source
+//    dropped.  At the default timeouts a delivered frame is always
+//    acked long before its timer would fire, so modelling spurious
+//    retransmissions would add code and noise without changing any
+//    cost this layer exists to study.
+//  * Acks cross the reverse direction at the flat one-way latency;
+//    they are tiny and never congest.
+//  * A frame dropped max_frame_attempts times fails the whole message
+//    (Delivery::delivered = false), handing recovery to the
+//    message-level retry machinery above.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "link/config.hpp"
+
+namespace actrack {
+
+/// Fate of one frame on the wire (the per-frame analogue of net's
+/// MessageFate, decided by the fault hook when one is attached).
+struct FrameFate {
+  bool dropped = false;          // lost: the retransmit timer recovers it
+  std::int32_t copies = 1;       // >1 models duplicate delivery
+  SimTime extra_latency_us = 0;  // per-frame latency spike
+};
+
+/// Supplies the fate of each frame about to cross the wire.
+/// NetworkModel adapts its NetFaultHook through this; with no hook the
+/// default source delivers everything untouched.
+class FrameFateSource {
+ public:
+  virtual ~FrameFateSource() = default;
+  virtual FrameFate frame_fate(ByteCount frame_payload) = 0;
+};
+
+class LinkLayer {
+ public:
+  /// `one_way_latency_us` and `bytes_per_us` come from the CostModel
+  /// (link sits below net, so the scalars are passed in, not the
+  /// struct).  `config.enabled` must be true.
+  LinkLayer(const LinkConfig& config, NodeId num_nodes,
+            SimTime one_way_latency_us, double bytes_per_us);
+
+  LinkLayer(const LinkLayer&) = delete;
+  LinkLayer& operator=(const LinkLayer&) = delete;
+
+  /// Everything one message's transit did on the wire.
+  struct Delivery {
+    SimTime latency_us = 0;  // time the last frame reached the receiver
+    bool delivered = true;   // false: a frame exhausted its attempts
+    std::int64_t frames = 0;           // first transmissions
+    std::int64_t retransmits = 0;      // timer-driven re-sends
+    std::int64_t dup_frames = 0;       // extra copies delivered (fates)
+    std::int64_t dropped_frames = 0;   // frame losses ARQ recovered from
+    std::int64_t acks = 0;             // ack frames on the reverse path
+    ByteCount frame_bytes = 0;  // frame wire bytes (headers, rexmits, dups)
+    ByteCount ack_bytes = 0;    // ack wire bytes
+    SimTime stall_us = 0;       // sender idle, window closed awaiting acks
+    ByteCount max_in_flight_bytes = 0;  // peak unacked window occupancy
+  };
+
+  /// Carries `message_wire_bytes` (payload + message header) from
+  /// `from` to `to` as MTU frames under the selective-repeat window.
+  /// `fates` decides each frame's fate; pass the default source for a
+  /// healthy wire.
+  Delivery transmit(NodeId from, NodeId to, ByteCount message_wire_bytes,
+                    FrameFateSource& fates);
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Decaying backlog of the directed link (from, to) — the
+  /// cross-message component of the congestion model.
+  [[nodiscard]] ByteCount backlog_bytes(NodeId from, NodeId to) const;
+
+ private:
+  /// Per-directed-link persistent state.
+  struct LinkState {
+    Rng rng;                  // reordering draws for this link only
+    ByteCount backlog = 0;    // EWMA of recent message wire bytes
+    explicit LinkState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  [[nodiscard]] LinkState& link(NodeId from, NodeId to);
+
+  /// Congestion contribution to one frame's one-way latency given the
+  /// bytes currently in flight (window occupancy + link backlog).
+  [[nodiscard]] SimTime congestion_us(ByteCount in_flight_bytes) const;
+
+  LinkConfig config_;
+  NodeId num_nodes_;
+  SimTime one_way_us_;
+  double bytes_per_us_;
+  std::vector<LinkState> links_;  // [from * num_nodes + to]
+};
+
+/// The healthy wire: every frame delivered exactly once, on time.
+class NullFrameFates final : public FrameFateSource {
+ public:
+  FrameFate frame_fate(ByteCount) override { return FrameFate{}; }
+};
+
+}  // namespace actrack

@@ -11,7 +11,9 @@
 // insensitive to them, which the ablation benches demonstrate.
 #pragma once
 
+#include "common/check.hpp"
 #include "common/types.hpp"
+#include "link/config.hpp"
 
 namespace actrack {
 
@@ -60,11 +62,27 @@ struct CostModel {
   /// Fixed per-message header/DMA setup bytes.
   ByteCount message_header_bytes = 64;
 
+  /// Link-layer configuration (src/link).  Disabled by default:
+  /// NetworkModel then never constructs a LinkLayer and every send()
+  /// takes exactly the flat transfer_us() path below.
+  LinkConfig link;
+
+  /// Bandwidth converted to bytes per microsecond — the one place the
+  /// unit convention lives.  The whole cost model uses MB = 1e6, under
+  /// which MB/s and B/µs are the same number: X MB/s = X·1e6 B / 1e6 µs
+  /// = X B/µs, exactly.  (With MiB = 2^20 the shortcut would be ~5% off;
+  /// we deliberately use decimal megabytes, as NIC datasheets do.)
+  [[nodiscard]] double bytes_per_us() const {
+    ACTRACK_CHECK_MSG(net_bandwidth_mb_per_s > 0.0,
+                      "cost model bandwidth must be positive");
+    return net_bandwidth_mb_per_s;
+  }
+
   /// Time for a message of `payload` bytes to cross the network.
   [[nodiscard]] SimTime transfer_us(ByteCount payload) const {
     const double bytes =
         static_cast<double>(payload + message_header_bytes);
-    const double us = bytes / net_bandwidth_mb_per_s;  // MB/s == B/µs
+    const double us = bytes / bytes_per_us();
     return net_latency_us + static_cast<SimTime>(us);
   }
 

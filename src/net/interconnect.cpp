@@ -1,0 +1,38 @@
+#include "net/interconnect.hpp"
+
+#include <string>
+
+namespace actrack {
+
+const std::vector<InterconnectPreset>& interconnect_presets() {
+  // Barrier and lock-transfer costs follow the Myrinet calibration's
+  // shape: ~2 one-way legs plus a fixed software overhead (30 µs and
+  // 20 µs respectively), which is what 250/240 decompose to at 110 µs.
+  static const std::vector<InterconnectPreset> kPresets = {
+      {"myrinet99", "1999 Myrinet, the paper's testbed", 110, 35.0, 250, 240},
+      {"gigabit03", "early-2000s gigabit Ethernet cluster", 40, 110.0, 110,
+       100},
+      {"tengig10", "10 GbE with kernel-bypass stacks", 12, 1200.0, 54, 44},
+      {"infiniband16", "FDR/EDR InfiniBand verbs", 4, 5000.0, 38, 28},
+      {"rdma26", "modern RDMA fabric (~2 us, 10 GB/s)", 2, 10000.0, 34, 24},
+  };
+  return kPresets;
+}
+
+const InterconnectPreset* find_interconnect(std::string_view name) {
+  for (const InterconnectPreset& preset : interconnect_presets()) {
+    if (name == preset.name) return &preset;
+  }
+  return nullptr;
+}
+
+std::string interconnect_names() {
+  std::string out;
+  for (const InterconnectPreset& preset : interconnect_presets()) {
+    if (!out.empty()) out += ",";
+    out += preset.name;
+  }
+  return out;
+}
+
+}  // namespace actrack

@@ -1,0 +1,53 @@
+// Interconnect generations, 1999 → RDMA era.
+//
+// The paper's question — does correlation-driven migration pay for
+// itself? — was answered on 1999 Myrinet (110 µs one-way, 35 MB/s
+// user-to-user).  Each preset here is a named point on the
+// latency/bandwidth curve since then, so the sweep bench and the CLI
+// can re-ask the question per generation.  `myrinet99` is exactly the
+// CostModel defaults (the calibrated testbed); the others scale the
+// four network-bound costs together: one-way latency, bulk bandwidth,
+// and the latency-dominated barrier/lock rendezvous costs (which track
+// ~2 round-trip legs plus a fixed software overhead, the same ratio the
+// Myrinet calibration has).  CPU-side costs (faults, diffs, context
+// switches) are deliberately untouched — that is the point: the
+// hardware got faster around a protocol whose software costs did not.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/cost_model.hpp"
+
+namespace actrack {
+
+struct InterconnectPreset {
+  const char* name;
+  const char* description;
+  SimTime net_latency_us;
+  double net_bandwidth_mb_per_s;
+  SimTime barrier_us;
+  SimTime lock_transfer_us;
+
+  /// `base` with the four network-bound costs replaced by this preset.
+  [[nodiscard]] CostModel apply(CostModel base = {}) const {
+    base.net_latency_us = net_latency_us;
+    base.net_bandwidth_mb_per_s = net_bandwidth_mb_per_s;
+    base.barrier_us = barrier_us;
+    base.lock_transfer_us = lock_transfer_us;
+    return base;
+  }
+};
+
+/// All presets, oldest first (myrinet99 ... rdma26).
+[[nodiscard]] const std::vector<InterconnectPreset>& interconnect_presets();
+
+/// Preset by name, or null if unknown.
+[[nodiscard]] const InterconnectPreset* find_interconnect(
+    std::string_view name);
+
+/// Comma-separated preset names for CLI usage strings.
+[[nodiscard]] std::string interconnect_names();
+
+}  // namespace actrack

@@ -47,6 +47,74 @@ void NetworkModel::account(NodeId from, NodeId to, ByteCount payload,
   }
 }
 
+namespace {
+
+/// Adapts the per-message NetFaultHook to per-frame fates: under the
+/// link layer the injector rules on every frame crossing the wire, so
+/// drop/dup/latency compose with ARQ recovery instead of deciding a
+/// whole message's fate at once.  With no hook every frame is healthy.
+class HookFrameFates final : public FrameFateSource {
+ public:
+  HookFrameFates(NetFaultHook* hook, NodeId from, NodeId to,
+                 PayloadKind kind) noexcept
+      : hook_(hook), from_(from), to_(to), kind_(kind) {}
+
+  FrameFate frame_fate(ByteCount frame_payload) override {
+    FrameFate frame;
+    if (!hook_) return frame;
+    const MessageFate fate =
+        hook_->on_message(from_, to_, frame_payload, kind_);
+    frame.dropped = fate.dropped;
+    frame.copies = fate.copies;
+    frame.extra_latency_us = fate.extra_latency_us;
+    return frame;
+  }
+
+ private:
+  NetFaultHook* hook_;
+  NodeId from_;
+  NodeId to_;
+  PayloadKind kind_;
+};
+
+}  // namespace
+
+SimTime NetworkModel::send_linked(NodeId from, NodeId to, ByteCount payload,
+                                  PayloadKind kind, bool* delivered) {
+  HookFrameFates fates(fault_hook_, from, to, kind);
+  const LinkLayer::Delivery d =
+      link_->transmit(from, to, payload + cost_.message_header_bytes, fates);
+
+  NetCounters& node = per_node_[static_cast<std::size_t>(from)];
+  const ByteCount wire_total = d.frame_bytes + d.ack_bytes;
+  node.frames += d.frames;
+  node.frame_retransmits += d.retransmits;
+  node.acks += d.acks;
+  node.link_bytes += wire_total;
+  node.link_stall_us += d.stall_us;
+  totals_.frames += d.frames;
+  totals_.frame_retransmits += d.retransmits;
+  totals_.acks += d.acks;
+  totals_.link_bytes += wire_total;
+  totals_.link_stall_us += d.stall_us;
+
+  if (probe_) {
+    probe_->link_frames(from, to, d.frames, d.retransmits, d.acks, wire_total,
+                        d.max_in_flight_bytes);
+    for (std::int64_t copy = 0; copy < d.dup_frames; ++copy) {
+      probe_->message_dup(from, to);
+    }
+  }
+  if (!d.delivered) {
+    // A frame exhausted its retransmission budget: the message as a
+    // whole is lost and the message-level recovery machinery
+    // (exchange/send_reliable retries) takes over.
+    if (delivered) *delivered = false;
+    if (probe_) probe_->message_drop(from, to);
+  }
+  return d.latency_us;
+}
+
 SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
                            PayloadKind kind, bool* delivered) {
   ACTRACK_CHECK(from >= 0 && from < num_nodes());
@@ -55,8 +123,9 @@ SimTime NetworkModel::send(NodeId from, NodeId to, ByteCount payload,
   ACTRACK_CHECK(payload >= 0);
 
   account(from, to, payload, kind);
-  SimTime transfer = cost_.transfer_us(payload);
   if (delivered) *delivered = true;
+  if (link_) return send_linked(from, to, payload, kind, delivered);
+  SimTime transfer = cost_.transfer_us(payload);
   if (!fault_hook_) return transfer;
 
   const MessageFate fate = fault_hook_->on_message(from, to, payload, kind);

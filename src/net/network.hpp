@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "link/link.hpp"
 #include "net/cost_model.hpp"
 
 namespace actrack::obs {
@@ -43,6 +45,16 @@ struct NetCounters {
   ByteCount control_bytes = 0;  // wire bytes of kControl messages (headers)
   ByteCount stack_bytes = 0;    // payload bytes of kStack messages only
 
+  // Link-layer accounting (all zero unless CostModel::link is enabled).
+  // Message-level counters above keep their pre-link meaning either
+  // way, so data-movement comparisons across link on/off stay
+  // apples-to-apples; these add the frame-level truth on top.
+  std::int64_t frames = 0;             // first frame transmissions
+  std::int64_t frame_retransmits = 0;  // timer-driven frame re-sends
+  std::int64_t acks = 0;               // ack frames on the reverse path
+  ByteCount link_bytes = 0;  // frame+ack wire bytes (headers, rexmits, dups)
+  SimTime link_stall_us = 0;  // sender idle with the window closed
+
   void add(const NetCounters& other) noexcept {
     messages += other.messages;
     total_bytes += other.total_bytes;
@@ -50,6 +62,11 @@ struct NetCounters {
     page_bytes += other.page_bytes;
     control_bytes += other.control_bytes;
     stack_bytes += other.stack_bytes;
+    frames += other.frames;
+    frame_retransmits += other.frame_retransmits;
+    acks += other.acks;
+    link_bytes += other.link_bytes;
+    link_stall_us += other.link_stall_us;
   }
 };
 
@@ -117,6 +134,11 @@ class NetworkModel {
   NetworkModel(NodeId num_nodes, CostModel cost)
       : cost_(cost), per_node_(static_cast<std::size_t>(num_nodes)) {
     ACTRACK_CHECK(num_nodes > 0);
+    if (cost_.link.enabled) {
+      link_ = std::make_unique<LinkLayer>(cost_.link, num_nodes,
+                                          cost_.net_latency_us,
+                                          cost_.bytes_per_us());
+    }
   }
 
   [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
@@ -166,11 +188,22 @@ class NetworkModel {
     return fault_hook_ != nullptr;
   }
 
+  /// True when CostModel::link.enabled constructed a link layer and
+  /// every send() is packetized through it.
+  [[nodiscard]] bool link_enabled() const noexcept { return link_ != nullptr; }
+  [[nodiscard]] const LinkLayer* link() const noexcept { return link_.get(); }
+
  private:
   /// Books one wire copy into the totals and the sender's counters.
   void account(NodeId from, NodeId to, ByteCount payload, PayloadKind kind);
 
+  /// The link-enabled tail of send(): packetizes the already-accounted
+  /// message into frames and books the frame-level accounting.
+  SimTime send_linked(NodeId from, NodeId to, ByteCount payload,
+                      PayloadKind kind, bool* delivered);
+
   CostModel cost_;
+  std::unique_ptr<LinkLayer> link_;  // null unless cost_.link.enabled
   obs::Probe* probe_ = nullptr;           // non-owning, may be null
   NetFaultHook* fault_hook_ = nullptr;    // non-owning, may be null
   NetCounters totals_;

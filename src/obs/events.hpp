@@ -36,6 +36,9 @@ enum class EventKind : std::uint8_t {
   kMessageDrop,       // node = sender, a = destination node (injected loss)
   kMessageDup,        // node = sender, a = destination node (duplicate copy)
   kRetransmit,        // node = sender, a = destination node, b = attempt
+  kLinkFrames,        // node = sender, a = destination node, b = frames sent
+  kLinkRetransmit,    // node = sender, a = destination, b = frame re-sends
+  kLinkOccupancy,     // node = sender, a = destination, b = peak in-flight B
 };
 
 /// Stable lower-case name, used by the CSV exporter and trace names.

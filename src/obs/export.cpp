@@ -117,6 +117,18 @@ EmittedEvent emit(const Event& event) {
       out.name = "retransmit";
       args << "\"to_node\": " << event.a << ", \"attempt\": " << event.b;
       break;
+    case EventKind::kLinkFrames:
+      out.name = "link frames";
+      args << "\"to_node\": " << event.a << ", \"frames\": " << event.b;
+      break;
+    case EventKind::kLinkRetransmit:
+      out.name = "link retransmit";
+      args << "\"to_node\": " << event.a << ", \"resends\": " << event.b;
+      break;
+    case EventKind::kLinkOccupancy:
+      out.name = "link occupancy";
+      args << "\"to_node\": " << event.a << ", \"peak_bytes\": " << event.b;
+      break;
   }
   out.args = args.str();
   return out;

@@ -27,7 +27,12 @@ Probe::Probe(ProbeOptions options)
       bytes_stack_(metrics_.counter("net/bytes_stack")),
       net_drops_(metrics_.counter("net/drops")),
       net_dups_(metrics_.counter("net/dups")),
-      net_retransmits_(metrics_.counter("net/retransmits")) {}
+      net_retransmits_(metrics_.counter("net/retransmits")),
+      link_frames_(metrics_.counter("link/frames")),
+      link_retransmits_(metrics_.counter("link/retransmits")),
+      link_acks_(metrics_.counter("link/acks")),
+      link_bytes_(metrics_.counter("link/bytes")),
+      link_occupancy_bytes_(metrics_.histogram("link/occupancy_bytes")) {}
 
 void Probe::record(EventKind kind, SimTime local_us, NodeId node,
                    ThreadId thread, std::int64_t a, std::int64_t b) {
@@ -178,6 +183,24 @@ void Probe::retransmit(NodeId from, NodeId to, std::int32_t attempt) {
   net_retransmits_.add();
   record(EventKind::kRetransmit, context_time_us_ - base_us_, from,
          context_thread_, to, attempt);
+}
+
+void Probe::link_frames(NodeId from, NodeId to, std::int64_t frames,
+                        std::int64_t retransmits, std::int64_t acks,
+                        ByteCount link_bytes, ByteCount max_in_flight_bytes) {
+  link_frames_.add(frames);
+  link_retransmits_.add(retransmits);
+  link_acks_.add(acks);
+  link_bytes_.add(link_bytes);
+  link_occupancy_bytes_.add(max_in_flight_bytes);
+  record(EventKind::kLinkFrames, context_time_us_ - base_us_, from,
+         context_thread_, to, frames);
+  if (retransmits > 0) {
+    record(EventKind::kLinkRetransmit, context_time_us_ - base_us_, from,
+           context_thread_, to, retransmits);
+  }
+  record(EventKind::kLinkOccupancy, context_time_us_ - base_us_, from,
+         context_thread_, to, max_in_flight_bytes);
 }
 
 }  // namespace actrack::obs

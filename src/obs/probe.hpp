@@ -112,6 +112,16 @@ class Probe {
   /// (`attempt` is the 1-based attempt that timed out).
   void retransmit(NodeId from, NodeId to, std::int32_t attempt);
 
+  // -- link-layer hooks (src/link, one call per transmitted message) ---
+
+  /// One message crossed the link layer: `frames` first transmissions,
+  /// `retransmits` timer-driven re-sends, `acks` ack frames on the
+  /// reverse path, `link_bytes` total frame+ack wire bytes, and the
+  /// selective-repeat window peaking at `max_in_flight_bytes`.
+  void link_frames(NodeId from, NodeId to, std::int64_t frames,
+                   std::int64_t retransmits, std::int64_t acks,
+                   ByteCount link_bytes, ByteCount max_in_flight_bytes);
+
  private:
   void record(EventKind kind, SimTime local_us, NodeId node,
               ThreadId thread, std::int64_t a = 0, std::int64_t b = 0);
@@ -152,6 +162,11 @@ class Probe {
   Counter& net_drops_;
   Counter& net_dups_;
   Counter& net_retransmits_;
+  Counter& link_frames_;
+  Counter& link_retransmits_;
+  Counter& link_acks_;
+  Counter& link_bytes_;
+  Histogram& link_occupancy_bytes_;
   std::vector<Counter*> node_idle_;
 };
 

@@ -42,6 +42,12 @@ const char* to_string(EventKind kind) noexcept {
       return "message_dup";
     case EventKind::kRetransmit:
       return "retransmit";
+    case EventKind::kLinkFrames:
+      return "link_frames";
+    case EventKind::kLinkRetransmit:
+      return "link_retransmit";
+    case EventKind::kLinkOccupancy:
+      return "link_occupancy";
   }
   return "?";
 }

@@ -21,6 +21,11 @@ void IterationMetrics::add(const IterationMetrics& other) noexcept {
   control_bytes += other.control_bytes;
   stack_bytes += other.stack_bytes;
   gc_runs += other.gc_runs;
+  link_frames += other.link_frames;
+  link_retransmits += other.link_retransmits;
+  link_acks += other.link_acks;
+  link_bytes += other.link_bytes;
+  link_stall_us += other.link_stall_us;
 }
 
 ClusterRuntime::ClusterRuntime(const Workload& workload, Placement placement,
@@ -70,6 +75,11 @@ IterationMetrics ClusterRuntime::delta_since(const Snapshot& snap,
   m.control_bytes = n.control_bytes - snap.net.control_bytes;
   m.stack_bytes = n.stack_bytes - snap.net.stack_bytes;
   m.gc_runs = d.gc_runs - snap.dsm.gc_runs;
+  m.link_frames = n.frames - snap.net.frames;
+  m.link_retransmits = n.frame_retransmits - snap.net.frame_retransmits;
+  m.link_acks = n.acks - snap.net.acks;
+  m.link_bytes = n.link_bytes - snap.net.link_bytes;
+  m.link_stall_us = n.link_stall_us - snap.net.link_stall_us;
   return m;
 }
 

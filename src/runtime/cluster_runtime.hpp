@@ -53,6 +53,12 @@ struct IterationMetrics {
   ByteCount control_bytes = 0;
   ByteCount stack_bytes = 0;
   std::int64_t gc_runs = 0;
+  /// Link-layer activity (all zero unless CostModel::link is enabled).
+  std::int64_t link_frames = 0;
+  std::int64_t link_retransmits = 0;
+  std::int64_t link_acks = 0;
+  ByteCount link_bytes = 0;
+  SimTime link_stall_us = 0;
   /// max/mean per-node active time for this step (1.0 = balanced; only
   /// meaningful for measured iterations).
   double load_imbalance = 1.0;

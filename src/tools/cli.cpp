@@ -17,6 +17,7 @@
 #include "exp/experiment.hpp"
 #include "fault/plan.hpp"
 #include "fault/repair.hpp"
+#include "net/interconnect.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
 #include "obs/export.hpp"
@@ -58,6 +59,15 @@ RuntimeConfig config_for(const Options& options) {
     fail("--consistency must be lrc or sc");
   }
   config.sched.latency_hiding = options.latency_hiding;
+  if (!options.interconnect.empty()) {
+    const InterconnectPreset* preset =
+        find_interconnect(options.interconnect);
+    if (preset == nullptr) {
+      fail("--interconnect must be one of " + interconnect_names());
+    }
+    config.cost = preset->apply(config.cost);
+  }
+  config.cost.link.enabled = options.link;
   return config;
 }
 
@@ -464,6 +474,8 @@ struct FaultLeg {
   SimTime elapsed_us = 0;
   std::int64_t fetch_retries = 0;
   std::int64_t notices_recovered = 0;
+  std::int64_t link_frames = 0;       // zero unless --link
+  std::int64_t link_retransmits = 0;  // zero unless --link
   fault::FaultStats stats;
 };
 
@@ -497,6 +509,8 @@ FaultLeg run_fault_leg(const Workload& workload, const Options& options,
   leg.elapsed_us = window.elapsed_us;
   leg.fetch_retries = runtime.dsm().stats().fetch_retries;
   leg.notices_recovered = runtime.dsm().stats().notices_recovered;
+  leg.link_frames = runtime.network().totals().frames;
+  leg.link_retransmits = runtime.network().totals().frame_retransmits;
   if (const fault::FaultInjector* injector = runtime.fault_injector()) {
     leg.stats = injector->stats();
   }
@@ -541,8 +555,8 @@ int cmd_faults(const Options& options, std::ostream& out) {
       << options.iterations << " iterations — the repaired leg migrates "
       << "once\nto an observed-slowdown-weighted placement before that "
       << "window)\n";
-  out << "plan       faulted-x  repaired-x  retries  recovered  drops  "
-         "dups  stalls\n";
+  out << "plan       faulted-x  repaired-x  retries  recovered  frames  "
+         "rexmits  drops  dups  stalls\n";
   for (const auto& [name, plan] : plans) {
     const FaultLeg faulted = run_fault_leg(*workload, options, plan, false);
     const FaultLeg repaired = run_fault_leg(*workload, options, plan, true);
@@ -556,9 +570,10 @@ int cmd_faults(const Options& options, std::ostream& out) {
         << std::setprecision(2) << std::setw(9) << slowdown(faulted)
         << std::setw(12) << slowdown(repaired) << std::setw(9)
         << faulted.fetch_retries << std::setw(11)
-        << faulted.notices_recovered << std::setw(7) << faulted.stats.drops
-        << std::setw(6) << faulted.stats.duplicates << std::setw(8)
-        << faulted.stats.stalls << '\n';
+        << faulted.notices_recovered << std::setw(8) << faulted.link_frames
+        << std::setw(9) << faulted.link_retransmits << std::setw(7)
+        << faulted.stats.drops << std::setw(6) << faulted.stats.duplicates
+        << std::setw(8) << faulted.stats.stalls << '\n';
   }
   return 0;
 }
@@ -611,6 +626,11 @@ std::string usage() {
       "                        (faults; default all)\n"
       "  --plan PATH           load a saved fault plan (faults)\n"
       "  --plan-out PATH       save the selected fault plan (faults)\n"
+      "  --interconnect NAME   cost preset: myrinet99|gigabit03|tengig10|\n"
+      "                        infiniband16|rdma26  (default: myrinet99\n"
+      "                        calibration, i.e. the CostModel defaults)\n"
+      "  --link                packetize messages through the\n"
+      "                        selective-repeat link layer (src/link)\n"
       "  --no-latency-hiding   disable switch-on-remote-fetch\n"
       "  --pgm PATH            write the correlation map as PGM (track)\n"
       "  --csv PATH            write metrics to a file (run, sweep) or\n"
@@ -682,6 +702,10 @@ Options parse(const std::vector<std::string>& args) {
       options.plan_path = next();
     } else if (flag == "--plan-out") {
       options.plan_out_path = next();
+    } else if (flag == "--interconnect") {
+      options.interconnect = next();
+    } else if (flag == "--link") {
+      options.link = true;
     } else if (flag == "--no-latency-hiding") {
       options.latency_hiding = false;
     } else if (flag == "--pgm") {

@@ -27,6 +27,11 @@
 //                   [--jobs 4] [--repro-dir DIR] [--trace repro.actrace]
 //   actrack faults  --app SOR [--fault-class drop|dup|latency|slow|stall|
 //                   mixed|all] [--plan plan.txt] [--plan-out plan.txt]
+//
+// Every run/sweep/faults-style command also takes `--interconnect NAME`
+// (a named cost preset from the Myrinet-to-RDMA table in
+// src/net/interconnect.hpp) and `--link` (packetize messages through
+// the selective-repeat link layer, src/link).
 #pragma once
 
 #include <iosfwd>
@@ -57,6 +62,8 @@ struct Options {
   std::string fault_class = "all";      // faults: preset plan selector
   std::string plan_path;                // faults: load a saved plan
   std::string plan_out_path;            // faults: save the plan used
+  std::string interconnect;             // named cost preset ("" = myrinet99)
+  bool link = false;                    // enable the packetized link layer
   bool latency_hiding = true;
   bool ascii = false;
   std::string pgm_path;

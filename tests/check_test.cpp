@@ -60,31 +60,39 @@ void expect_valid(const TraceFile& trace) {
 TEST(CheckVariants, StandardGridShape) {
   const auto both = standard_variants();
   // 4 SC + 4 LRC + 1 LRC vector-clock, each model once more on a
-  // faulty network.
-  EXPECT_EQ(both.size(), 11u);
+  // faulty network and once more with per-frame faults under the
+  // packetized link layer.
+  EXPECT_EQ(both.size(), 13u);
   std::set<std::string> names;
   for (const CheckVariant& variant : both) names.insert(variant.name());
   EXPECT_EQ(names.size(), both.size()) << "variant names must be unique";
 
   EXPECT_EQ(standard_variants(ConsistencyModel::kLazyReleaseMultiWriter)
                 .size(),
-            6u);
+            7u);
   EXPECT_EQ(standard_variants(ConsistencyModel::kSequentialSingleWriter)
                 .size(),
-            5u);
+            6u);
   // The fullest LRC configuration also runs under vector-clock
   // causality.
   const auto lrc = standard_variants(ConsistencyModel::kLazyReleaseMultiWriter);
   EXPECT_TRUE(std::any_of(lrc.begin(), lrc.end(), [](const CheckVariant& v) {
     return v.causality == CausalityMode::kVectorClock && v.gc && v.migration;
   }));
-  // Each model runs its fullest configuration once on a faulty network.
+  // Each model runs its fullest configuration on a faulty network
+  // twice: message-level fates, then per-frame fates under the link
+  // layer.
   for (const ConsistencyModel model :
        {ConsistencyModel::kLazyReleaseMultiWriter,
         ConsistencyModel::kSequentialSingleWriter}) {
     const auto grid = standard_variants(model);
     EXPECT_EQ(std::count_if(grid.begin(), grid.end(),
                             [](const CheckVariant& v) { return v.faulted; }),
+              2);
+    EXPECT_EQ(std::count_if(grid.begin(), grid.end(),
+                            [](const CheckVariant& v) {
+                              return v.faulted && v.linked;
+                            }),
               1);
   }
 }

@@ -346,6 +346,11 @@ void expect_identical_steps(const std::vector<IterationMetrics>& a,
     EXPECT_EQ(a[i].control_bytes, b[i].control_bytes);
     EXPECT_EQ(a[i].stack_bytes, b[i].stack_bytes);
     EXPECT_EQ(a[i].gc_runs, b[i].gc_runs);
+    EXPECT_EQ(a[i].link_frames, b[i].link_frames);
+    EXPECT_EQ(a[i].link_retransmits, b[i].link_retransmits);
+    EXPECT_EQ(a[i].link_acks, b[i].link_acks);
+    EXPECT_EQ(a[i].link_bytes, b[i].link_bytes);
+    EXPECT_EQ(a[i].link_stall_us, b[i].link_stall_us);
     EXPECT_DOUBLE_EQ(a[i].load_imbalance, b[i].load_imbalance);
   }
 }
@@ -496,6 +501,95 @@ TEST(FaultResilience, CheckerStaysCleanUnderTheMixedPlan) {
   const RunResult unchecked = scripted_run(*workload, config, false);
   const RunResult checked = scripted_run(*workload, config, true);
   expect_identical_steps(unchecked.steps, checked.steps, "mixed+checked");
+}
+
+// ---------------------------------------------------------------------------
+// Fault x link composition: fates apply per frame, ARQ recovers them
+// ---------------------------------------------------------------------------
+
+TEST(FaultLinkComposition, EmptyPlanWithLinkIsBitIdenticalToLinkOnly) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig link_only;
+  link_only.cost.link.enabled = true;
+  RuntimeConfig with_empty_plan = link_only;
+  with_empty_plan.fault.seed = 0xD15EA5EULL;
+  with_empty_plan.fault.node_slowdown.assign(static_cast<std::size_t>(kNodes),
+                                             1.0);
+  ASSERT_TRUE(with_empty_plan.fault.empty());
+  expect_identical_steps(scripted_run(*workload, link_only).steps,
+                         scripted_run(*workload, with_empty_plan).steps,
+                         "link-only vs link+empty-plan");
+}
+
+TEST(FaultLinkComposition, PerFrameDropsAreAbsorbedByArqNotMessageRetries) {
+  // With the link enabled, the fault plan's drops land on individual
+  // frames, and the selective-repeat timers recover every one of them:
+  // protocol state matches the clean linked run, frame retransmits are
+  // booked, and the message-level retry machinery never has to fire
+  // (a message is only lost after 16 consecutive frame drops).
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig clean_config;
+  clean_config.cost.link.enabled = true;
+  const RunResult clean = scripted_run(*workload, clean_config);
+  RuntimeConfig config = clean_config;
+  config.fault = fault::make_plan(fault::FaultClass::kDrop, kNodes);
+  const RunResult faulted = scripted_run(*workload, config);
+
+  EXPECT_GT(faulted.injected.drops, 0);
+  EXPECT_GT(faulted.net.frame_retransmits, 0);
+  // Data movement is pinned exactly; raw trap counts are not compared
+  // (as in DroppedMessagesAreRecoveredByRetries, slower fetches change
+  // which threads trap on pages whose fetch is already in flight).
+  EXPECT_EQ(faulted.dsm.remote_misses, clean.dsm.remote_misses);
+  EXPECT_EQ(faulted.dsm.diff_fetches, clean.dsm.diff_fetches);
+  EXPECT_EQ(faulted.dsm.full_page_fetches, clean.dsm.full_page_fetches);
+  EXPECT_EQ(faulted.dsm.diffs_created, clean.dsm.diffs_created);
+  EXPECT_EQ(faulted.dsm.invalidations, clean.dsm.invalidations);
+  EXPECT_EQ(faulted.dsm.gc_runs, clean.dsm.gc_runs);
+  // Exactly-once delivery at the message layer: no message was ever
+  // lost, so the retry machinery stayed cold and only the frame books
+  // (and the clock) grew.
+  EXPECT_EQ(faulted.dsm.fetch_retries, 0);
+  EXPECT_EQ(faulted.dsm.notices_recovered, 0);
+  EXPECT_EQ(faulted.injected.retransmits, 0);
+  EXPECT_GT(faulted.net.link_bytes, clean.net.link_bytes);
+  SimTime clean_us = 0;
+  SimTime faulted_us = 0;
+  for (const IterationMetrics& m : clean.steps) clean_us += m.elapsed_us;
+  for (const IterationMetrics& m : faulted.steps) faulted_us += m.elapsed_us;
+  EXPECT_GT(faulted_us, clean_us);
+}
+
+TEST(FaultLinkComposition, MixedPlanWithReorderingLinkTwiceIsBitIdentical) {
+  // The +fault+link checker-grid cell, as a direct pin: mixed fates on
+  // a reordering link are a pure function of (plan, link seed).
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  RuntimeConfig config;
+  config.cost.link.enabled = true;
+  config.cost.link.reorder_probability = 0.2;
+  config.fault = fault::make_plan(fault::FaultClass::kMixed, kNodes);
+  const RunResult first = scripted_run(*workload, config);
+  const RunResult second = scripted_run(*workload, config);
+  expect_identical_steps(first.steps, second.steps, "mixed+link twice");
+  EXPECT_EQ(first.net.frames, second.net.frames);
+  EXPECT_EQ(first.net.frame_retransmits, second.net.frame_retransmits);
+  EXPECT_EQ(first.net.acks, second.net.acks);
+  EXPECT_EQ(first.net.link_bytes, second.net.link_bytes);
+  EXPECT_EQ(first.net.link_stall_us, second.net.link_stall_us);
+  EXPECT_EQ(first.injected.drops, second.injected.drops);
+  EXPECT_GT(first.net.frames, 0);
+}
+
+TEST(FaultLinkComposition, CheckerStaysCleanUnderTheMixedPlanWithLink) {
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  RuntimeConfig config;
+  config.cost.link.enabled = true;
+  config.cost.link.reorder_probability = 0.2;
+  config.fault = fault::make_plan(fault::FaultClass::kMixed, kNodes);
+  const RunResult unchecked = scripted_run(*workload, config, false);
+  const RunResult checked = scripted_run(*workload, config, true);
+  expect_identical_steps(unchecked.steps, checked.steps,
+                         "mixed+link+checked");
 }
 
 // ---------------------------------------------------------------------------

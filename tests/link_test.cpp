@@ -1,0 +1,482 @@
+// Link layer (src/link) — packetized selective-repeat ARQ beneath
+// NetworkModel — plus the interconnect presets built on top of it.
+//
+// Five contracts under test:
+//   1. Packetization & accounting — MTU framing, frame/ack byte books,
+//      and the exact latency arithmetic of a healthy transmit.
+//   2. ARQ — dropped frames are recovered by retransmit timers, exactly
+//      once; a frame that exhausts its attempt budget fails the whole
+//      message (delivered = false) instead of looping forever.
+//   3. Determinism — reordering draws come from per-link substreams of
+//      LinkConfig::seed: same config twice is bit-identical, and one
+//      link's traffic never perturbs another link's fates.  Enabled
+//      runs are identical across --jobs.
+//   4. Congestion — latency grows once in-flight bytes pass the knee,
+//      and the link's decaying backlog carries congestion across
+//      messages; a one-frame window stalls the sender measurably.
+//   5. Null-by-default — CostModel::link.enabled defaults to false and
+//      a disabled run is bit-identical to the pre-link seed, pinned by
+//      golden metrics captured before the subsystem existed.
+//
+// The interconnect presets ride along: myrinet99 must equal the
+// calibrated CostModel defaults, and transfer_us() must follow the
+// MB = 1e6 convention (MB/s == B/µs) at both ends of the table.
+#include "link/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/interconnect.hpp"
+#include "net/network.hpp"
+#include "tools/cli.hpp"
+
+namespace actrack {
+namespace {
+
+constexpr NodeId kNodes = 4;
+constexpr SimTime kOneWayUs = 110;   // Myrinet calibration
+constexpr double kBytesPerUs = 35.0;
+
+LinkConfig enabled_config() {
+  LinkConfig config;
+  config.enabled = true;
+  return config;
+}
+
+/// Scripted fate source: drops the first `drop_first` frame
+/// transmissions it is asked about, delivers everything after.
+class DropFirstFates final : public FrameFateSource {
+ public:
+  explicit DropFirstFates(std::int32_t drop_first)
+      : remaining_(drop_first) {}
+  FrameFate frame_fate(ByteCount) override {
+    FrameFate fate;
+    if (remaining_ > 0) {
+      --remaining_;
+      fate.dropped = true;
+    }
+    return fate;
+  }
+
+ private:
+  std::int32_t remaining_;
+};
+
+class AlwaysDropFates final : public FrameFateSource {
+ public:
+  FrameFate frame_fate(ByteCount) override {
+    FrameFate fate;
+    fate.dropped = true;
+    return fate;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Packetization & accounting
+// ---------------------------------------------------------------------------
+
+TEST(LinkPacketize, SingleFrameMessageHasExactLatencyAndBooks) {
+  LinkLayer link(enabled_config(), kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates fates;
+  const LinkLayer::Delivery d = link.transmit(0, 1, 100, fates);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.frames, 1);
+  EXPECT_EQ(d.retransmits, 0);
+  EXPECT_EQ(d.dropped_frames, 0);
+  EXPECT_EQ(d.dup_frames, 0);
+  EXPECT_EQ(d.acks, 1);
+  // 100 payload + 16 link header on the wire, one 16-byte ack back.
+  EXPECT_EQ(d.frame_bytes, 116);
+  EXPECT_EQ(d.ack_bytes, 16);
+  EXPECT_EQ(d.max_in_flight_bytes, 116);
+  EXPECT_EQ(d.stall_us, 0);
+  // Serialization (116 B / 35 B/us -> 3us) plus one-way latency.
+  EXPECT_EQ(d.latency_us, 3 + kOneWayUs);
+}
+
+TEST(LinkPacketize, MessagesSplitIntoCeilMtuFrames) {
+  LinkLayer link(enabled_config(), kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates fates;
+  // 10000 bytes over a 4096 MTU: frames of 4096 + 4096 + 1808.
+  const LinkLayer::Delivery d = link.transmit(0, 1, 10000, fates);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.frames, 3);
+  EXPECT_EQ(d.acks, 3);
+  EXPECT_EQ(d.frame_bytes, 10000 + 3 * 16);
+  EXPECT_EQ(d.ack_bytes, 3 * 16);
+  // All three frames fit in the default 8-frame window at once.
+  EXPECT_EQ(d.max_in_flight_bytes, 10000 + 3 * 16);
+  // Last frame starts after the first two serialize (117 + 117 us),
+  // takes 52us itself, then one way across.
+  EXPECT_EQ(d.latency_us, 117 + 117 + 52 + kOneWayUs);
+}
+
+TEST(LinkPacketize, EmptyMessageStillCostsOneFrame) {
+  // A zero-payload control message still crosses as one header-only
+  // frame — the wire has no free lunch.
+  LinkLayer link(enabled_config(), kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates fates;
+  const LinkLayer::Delivery d = link.transmit(0, 1, 0, fates);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.frames, 1);
+  EXPECT_EQ(d.frame_bytes, 16);
+}
+
+TEST(LinkConfigValidation, ConstructorRejectsNonsense) {
+  const auto build = [](LinkConfig config) {
+    LinkLayer link(config, kNodes, kOneWayUs, kBytesPerUs);
+    (void)link;
+  };
+  EXPECT_THROW(build(LinkConfig{}), std::logic_error);  // not enabled
+  LinkConfig bad = enabled_config();
+  bad.mtu_bytes = 0;
+  EXPECT_THROW(build(bad), std::logic_error);
+  bad = enabled_config();
+  bad.window_frames = 0;
+  EXPECT_THROW(build(bad), std::logic_error);
+  bad = enabled_config();
+  bad.reorder_probability = 1.5;
+  EXPECT_THROW(build(bad), std::logic_error);
+  EXPECT_THROW(LinkLayer(enabled_config(), kNodes, kOneWayUs, 0.0),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// ARQ recovery
+// ---------------------------------------------------------------------------
+
+TEST(LinkArq, DroppedFramesAreRetransmittedExactlyOnce) {
+  LinkLayer link(enabled_config(), kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates healthy;
+  const LinkLayer::Delivery clean = link.transmit(0, 1, 10000, healthy);
+
+  // All three initial transmissions are lost; the retransmit timers
+  // recover each frame on its second attempt.
+  DropFirstFates fates(3);
+  const LinkLayer::Delivery d = link.transmit(2, 3, 10000, fates);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.frames, 3);
+  EXPECT_EQ(d.dropped_frames, 3);
+  EXPECT_EQ(d.retransmits, 3);
+  EXPECT_EQ(d.acks, 3);
+  // Dropped copies still crossed (and were charged) once each.
+  EXPECT_EQ(d.frame_bytes, 2 * (10000 + 3 * 16));
+  // Recovery costs a timeout's worth of latency and sender stall.
+  EXPECT_GT(d.latency_us,
+            clean.latency_us + link.config().retransmit_timeout_us);
+  EXPECT_GT(d.stall_us, 0);
+}
+
+TEST(LinkArq, ExhaustedAttemptBudgetFailsTheMessage) {
+  LinkConfig config = enabled_config();
+  config.max_frame_attempts = 3;
+  LinkLayer link(config, kNodes, kOneWayUs, kBytesPerUs);
+  AlwaysDropFates fates;
+  const LinkLayer::Delivery d = link.transmit(0, 1, 100, fates);
+  EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.frames, 1);
+  EXPECT_EQ(d.retransmits, config.max_frame_attempts - 1);
+  EXPECT_EQ(d.dropped_frames, config.max_frame_attempts);
+  EXPECT_EQ(d.acks, 0);
+}
+
+TEST(LinkArq, DuplicateFatesOnlyInflateTheTrafficBooks) {
+  class DuplicateFates final : public FrameFateSource {
+   public:
+    FrameFate frame_fate(ByteCount) override {
+      FrameFate fate;
+      fate.copies = 2;
+      return fate;
+    }
+  };
+  LinkLayer link(enabled_config(), kNodes, kOneWayUs, kBytesPerUs);
+  DuplicateFates fates;
+  const LinkLayer::Delivery d = link.transmit(0, 1, 100, fates);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.frames, 1);
+  EXPECT_EQ(d.dup_frames, 1);
+  EXPECT_EQ(d.retransmits, 0);
+  EXPECT_EQ(d.frame_bytes, 2 * 116);  // the copy is charged to the wire
+  EXPECT_EQ(d.acks, 1);               // but delivered exactly once
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+std::vector<LinkLayer::Delivery> reordered_burst(LinkLayer& link,
+                                                 NodeId from, NodeId to) {
+  NullFrameFates fates;
+  std::vector<LinkLayer::Delivery> out;
+  for (int i = 0; i < 16; ++i) {
+    out.push_back(link.transmit(from, to, 3000 + i * 977, fates));
+  }
+  return out;
+}
+
+void expect_same_delivery(const LinkLayer::Delivery& a,
+                          const LinkLayer::Delivery& b, int index) {
+  SCOPED_TRACE("message " + std::to_string(index));
+  EXPECT_EQ(a.latency_us, b.latency_us);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.acks, b.acks);
+  EXPECT_EQ(a.frame_bytes, b.frame_bytes);
+  EXPECT_EQ(a.stall_us, b.stall_us);
+  EXPECT_EQ(a.max_in_flight_bytes, b.max_in_flight_bytes);
+}
+
+TEST(LinkDeterminism, SameSeedYieldsIdenticalReorderedDeliveries) {
+  LinkConfig config = enabled_config();
+  config.reorder_probability = 0.5;
+  LinkLayer first(config, kNodes, kOneWayUs, kBytesPerUs);
+  LinkLayer second(config, kNodes, kOneWayUs, kBytesPerUs);
+  const auto a = reordered_burst(first, 0, 1);
+  const auto b = reordered_burst(second, 0, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_delivery(a[i], b[i], static_cast<int>(i));
+  }
+}
+
+TEST(LinkDeterminism, DifferentSeedReshufflesJitter) {
+  LinkConfig config = enabled_config();
+  config.reorder_probability = 0.5;
+  LinkLayer first(config, kNodes, kOneWayUs, kBytesPerUs);
+  config.seed ^= 0xABCDEF;
+  LinkLayer second(config, kNodes, kOneWayUs, kBytesPerUs);
+  const auto a = reordered_burst(first, 0, 1);
+  const auto b = reordered_burst(second, 0, 1);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference = any_difference || a[i].latency_us != b[i].latency_us;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(LinkDeterminism, LinksDrawFromIndependentSubstreams) {
+  // Heavy traffic on (0,1) must not perturb the fates (2,3) sees: its
+  // deliveries match a fresh layer where (2,3) is the only user.
+  LinkConfig config = enabled_config();
+  config.reorder_probability = 0.5;
+  LinkLayer busy(config, kNodes, kOneWayUs, kBytesPerUs);
+  (void)reordered_burst(busy, 0, 1);
+  LinkLayer quiet(config, kNodes, kOneWayUs, kBytesPerUs);
+  const auto a = reordered_burst(busy, 2, 3);
+  const auto b = reordered_burst(quiet, 2, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_delivery(a[i], b[i], static_cast<int>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Congestion & windowing
+// ---------------------------------------------------------------------------
+
+TEST(LinkCongestion, LatencyGrowsOncePastTheKnee) {
+  LinkConfig congested = enabled_config();
+  congested.congestion_knee_bytes = 1024;
+  congested.congestion_us_per_kb = 100;
+  LinkConfig flat = congested;
+  flat.congestion_us_per_kb = 0;
+  LinkLayer slow(congested, kNodes, kOneWayUs, kBytesPerUs);
+  LinkLayer fast(flat, kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates fates;
+  // Three full frames push in-flight bytes well past the 1 KiB knee.
+  const LinkLayer::Delivery d_slow = slow.transmit(0, 1, 12288, fates);
+  const LinkLayer::Delivery d_fast = fast.transmit(0, 1, 12288, fates);
+  EXPECT_GT(d_slow.latency_us, d_fast.latency_us);
+}
+
+TEST(LinkCongestion, BacklogCarriesCongestionAcrossMessages) {
+  LinkConfig config = enabled_config();
+  config.congestion_knee_bytes = 1024;
+  config.congestion_us_per_kb = 100;
+  LinkLayer link(config, kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates fates;
+  const LinkLayer::Delivery first = link.transmit(0, 1, 12288, fates);
+  EXPECT_GT(link.backlog_bytes(0, 1), 0);
+  EXPECT_EQ(link.backlog_bytes(1, 0), 0) << "backlog is per directed link";
+  // The second identical message rides on the first one's backlog.
+  const LinkLayer::Delivery second = link.transmit(0, 1, 12288, fates);
+  EXPECT_GT(second.latency_us, first.latency_us);
+}
+
+TEST(LinkWindow, OneFrameWindowStallsTheSender) {
+  LinkConfig config = enabled_config();
+  config.window_frames = 1;
+  LinkLayer link(config, kNodes, kOneWayUs, kBytesPerUs);
+  NullFrameFates fates;
+  const LinkLayer::Delivery d = link.transmit(0, 1, 12288, fates);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.frames, 3);
+  // Each frame waits for the previous frame's ack: the sender stalls
+  // about one round trip per follow-on frame...
+  EXPECT_GE(d.stall_us, 2 * (2 * kOneWayUs));
+  // ...and the window never holds more than one frame.
+  EXPECT_EQ(d.max_in_flight_bytes, 4096 + 16);
+}
+
+// ---------------------------------------------------------------------------
+// Interconnect presets & the MB = 1e6 unit convention
+// ---------------------------------------------------------------------------
+
+TEST(Interconnect, Myrinet99IsExactlyTheCalibratedDefaults) {
+  const InterconnectPreset* preset = find_interconnect("myrinet99");
+  ASSERT_NE(preset, nullptr);
+  const CostModel applied = preset->apply();
+  const CostModel defaults;
+  EXPECT_EQ(applied.net_latency_us, defaults.net_latency_us);
+  EXPECT_EQ(applied.net_bandwidth_mb_per_s, defaults.net_bandwidth_mb_per_s);
+  EXPECT_EQ(applied.barrier_us, defaults.barrier_us);
+  EXPECT_EQ(applied.lock_transfer_us, defaults.lock_transfer_us);
+  // apply() replaces only the four network-bound costs.
+  EXPECT_EQ(applied.fault_trap_us, defaults.fault_trap_us);
+  EXPECT_EQ(applied.diff_create_us_per_kb, defaults.diff_create_us_per_kb);
+}
+
+TEST(Interconnect, TransferCostFollowsTheDecimalMegabyteConvention) {
+  // MB = 1e6, so X MB/s is exactly X bytes/us — bytes_per_us() is the
+  // single place that conversion happens.
+  const CostModel myrinet = find_interconnect("myrinet99")->apply();
+  EXPECT_DOUBLE_EQ(myrinet.bytes_per_us(), 35.0);
+  // 4096 B + 64 B header at 35 B/us = 118.8 -> 118us, plus 110us latency.
+  EXPECT_EQ(myrinet.transfer_us(4096), 110 + 118);
+  // A decimal megabyte takes 1000064/35 = 28573us on the wire.
+  EXPECT_EQ(myrinet.transfer_us(1'000'000), 110 + 28573);
+
+  const CostModel rdma = find_interconnect("rdma26")->apply();
+  EXPECT_DOUBLE_EQ(rdma.bytes_per_us(), 10000.0);
+  // The same page is sub-microsecond on the wire: latency dominates.
+  EXPECT_EQ(rdma.transfer_us(4096), 2);
+  EXPECT_EQ(rdma.transfer_us(1'000'000), 2 + 100);
+}
+
+TEST(Interconnect, ZeroBandwidthIsRejectedNotDividedBy) {
+  CostModel cost;
+  cost.net_bandwidth_mb_per_s = 0.0;
+  EXPECT_THROW((void)cost.bytes_per_us(), std::logic_error);
+  EXPECT_THROW((void)cost.transfer_us(4096), std::logic_error);
+}
+
+TEST(Interconnect, TableIsOrderedAndWellFormed) {
+  const std::vector<InterconnectPreset>& presets = interconnect_presets();
+  ASSERT_GE(presets.size(), 5u);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    names.insert(presets[i].name);
+    EXPECT_EQ(find_interconnect(presets[i].name), &presets[i]);
+    EXPECT_NE(interconnect_names().find(presets[i].name),
+              std::string::npos);
+    if (i == 0) continue;
+    // Oldest first: latency falls, bandwidth rises, and the
+    // latency-dominated rendezvous costs shrink with them.
+    EXPECT_LT(presets[i].net_latency_us, presets[i - 1].net_latency_us);
+    EXPECT_GT(presets[i].net_bandwidth_mb_per_s,
+              presets[i - 1].net_bandwidth_mb_per_s);
+    EXPECT_LT(presets[i].barrier_us, presets[i - 1].barrier_us);
+    EXPECT_LT(presets[i].lock_transfer_us, presets[i - 1].lock_transfer_us);
+  }
+  EXPECT_EQ(names.size(), presets.size()) << "preset names must be unique";
+  EXPECT_EQ(find_interconnect("token-ring"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// NetworkModel integration: null-by-default and --jobs determinism
+// ---------------------------------------------------------------------------
+
+TEST(LinkNetwork, DisabledCostModelAttachesNoLinkLayer) {
+  NetworkModel net(kNodes, CostModel{});
+  EXPECT_FALSE(net.link_enabled());
+  // The flat path books no frame activity at all.
+  (void)net.send(0, 1, 4096, PayloadKind::kFullPage);
+  EXPECT_EQ(net.totals().frames, 0);
+  EXPECT_EQ(net.totals().acks, 0);
+  EXPECT_EQ(net.totals().link_bytes, 0);
+}
+
+TEST(LinkNetwork, EnabledSendBooksFramesAndMatchesTheLinkClock) {
+  CostModel cost;
+  cost.link.enabled = true;
+  NetworkModel net(kNodes, cost);
+  ASSERT_TRUE(net.link_enabled());
+  const SimTime latency = net.send(0, 1, 4096, PayloadKind::kFullPage);
+  // 4096 + 64 message header packetizes into 2 frames (4096 + 64).
+  EXPECT_EQ(net.totals().frames, 2);
+  EXPECT_EQ(net.totals().acks, 2);
+  EXPECT_EQ(net.totals().messages, 1);
+  EXPECT_EQ(net.totals().total_bytes, 4096 + 64);
+  EXPECT_EQ(net.totals().link_bytes, 4096 + 64 + 2 * 16 + 2 * 16);
+  EXPECT_GT(latency, 0);
+}
+
+std::string sweep_json(std::initializer_list<const char*> args) {
+  std::vector<std::string> v;
+  for (const char* arg : args) v.emplace_back(arg);
+  std::ostringstream out;
+  EXPECT_EQ(cli::run(cli::parse(v), out), 0);
+  return out.str();
+}
+
+TEST(LinkNullByDefault, DisabledSweepMatchesThePreLinkGoldenMetrics) {
+  // Golden values captured from the seed build, before src/link existed.
+  // A disabled link must leave every one of them bit-identical — this
+  // is the pin for the "null by default" contract at full-stack scope.
+  const std::string json =
+      sweep_json({"sweep", "--format", "json", "--app", "SOR", "--threads",
+                  "16", "--nodes", "4", "--iterations", "2"});
+  for (const char* golden : {
+           // stretch (and mincost, which coincides for SOR at this size)
+           "\"m_elapsed_us\": 844164", "\"m_remote_misses\": 48",
+           "\"m_messages\": 96", "\"m_total_bytes\": 129024",
+           "\"m_diff_bytes\": 73728", "\"t_elapsed_us\": 1599517",
+           "\"net_messages\": 6308", "\"net_total_bytes\": 13224192",
+           "\"dsm_remote_misses\": 3146",
+           // random placement
+           "\"m_elapsed_us\": 856940", "\"m_remote_misses\": 208",
+           "\"t_elapsed_us\": 1617821", "\"net_messages\": 6850",
+           "\"net_total_bytes\": 14041216", "\"dsm_remote_misses\": 3386",
+       }) {
+    EXPECT_NE(json.find(golden), std::string::npos) << golden;
+  }
+  // And the disabled link books exactly nothing.
+  EXPECT_EQ(json.find("\"net_frames\": 0") == std::string::npos, false);
+  EXPECT_EQ(json.find("\"net_frames\": 1"), std::string::npos);
+}
+
+TEST(LinkJobsDeterminism, EnabledSweepIsIdenticalAcrossJobCounts) {
+  const std::string serial =
+      sweep_json({"sweep", "--format", "json", "--app", "Water", "--threads",
+                  "16", "--nodes", "4", "--iterations", "2", "--link",
+                  "--jobs", "1"});
+  const std::string parallel =
+      sweep_json({"sweep", "--format", "json", "--app", "Water", "--threads",
+                  "16", "--nodes", "4", "--iterations", "2", "--link",
+                  "--jobs", "4"});
+  EXPECT_EQ(serial, parallel);
+  // The link actually ran: frames were booked.
+  EXPECT_EQ(serial.find("\"net_frames\": 0"), std::string::npos);
+}
+
+TEST(LinkCli, InterconnectFlagAppliesThePresetAndRejectsUnknowns) {
+  const std::string rdma =
+      sweep_json({"sweep", "--format", "json", "--app", "SOR", "--threads",
+                  "16", "--nodes", "4", "--iterations", "2",
+                  "--interconnect", "rdma26"});
+  // 55x lower latency: the whole run is far faster than the golden
+  // myrinet numbers above.
+  EXPECT_EQ(rdma.find("\"t_elapsed_us\": 1599517"), std::string::npos);
+  std::vector<std::string> v{"sweep", "--interconnect", "arcnet"};
+  std::ostringstream out;
+  EXPECT_THROW((void)cli::run(cli::parse(v), out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace actrack
