@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -194,6 +195,103 @@ struct WorkloadResult {
 };
 
 // ---------------------------------------------------------------------
+// Single-trial parallel DES leg: the same trial stepped serially and
+// with --des-jobs workers, timed for events/sec.  The speedup is only
+// meaningful on multi-core hardware, so the report records the
+// machine's hardware thread count and compare_perf.py gates its floor
+// on it; the part that must hold *everywhere* — and is checked fatally
+// right here — is bit-identity between the two runs.
+
+struct SingleTrialResult {
+  std::string workload;
+  std::int32_t des_jobs = 0;
+  std::int64_t events = 0;
+  double serial_wall_ms = 0.0;
+  double parallel_wall_ms = 0.0;
+  double serial_events_per_sec = 0.0;
+  double parallel_events_per_sec = 0.0;
+  double speedup = 0.0;
+  bool measured = false;
+};
+
+/// Init + one settle iteration outside the clock, `iters` measured
+/// iterations inside it.  Returns the per-step metrics (for the
+/// identity check) and the best-of-reps wall time.
+std::vector<IterationMetrics> timed_single_trial(const Workload& workload,
+                                                 std::int32_t des_jobs,
+                                                 std::int32_t iters,
+                                                 std::int32_t reps,
+                                                 double& best_wall_ms) {
+  std::vector<IterationMetrics> steps;
+  best_wall_ms = 1e300;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    RuntimeConfig config;
+    config.sched.des_jobs = des_jobs;
+    ClusterRuntime runtime(
+        workload, Placement::stretch(exp::kThreads, exp::kNodes), config);
+    runtime.run_init();
+    runtime.run_iteration();  // settle
+    steps.clear();
+    const Clock::time_point t0 = Clock::now();
+    for (std::int32_t i = 0; i < iters; ++i) {
+      steps.push_back(runtime.run_iteration());
+    }
+    best_wall_ms = std::min(best_wall_ms, ms_since(t0));
+    g_sink += runtime.totals().remote_misses;
+  }
+  return steps;
+}
+
+SingleTrialResult run_single_trial(const std::string& name,
+                                   std::int32_t des_jobs, std::int32_t iters,
+                                   std::int32_t reps, bool* diverged) {
+  SingleTrialResult r;
+  r.workload = name;
+  r.des_jobs = des_jobs;
+  const std::unique_ptr<Workload> workload =
+      make_workload(name, exp::kThreads);
+  {
+    ClusterRuntime counter(*workload,
+                           Placement::stretch(exp::kThreads, exp::kNodes));
+    counter.run_init();
+    counter.run_iteration();
+    for (std::int32_t i = 0; i < iters; ++i) {
+      r.events += count_events(workload->iteration(counter.next_iteration()));
+      counter.run_iteration();
+    }
+  }
+
+  const std::vector<IterationMetrics> serial =
+      timed_single_trial(*workload, 1, iters, reps, r.serial_wall_ms);
+  const std::vector<IterationMetrics> parallel =
+      timed_single_trial(*workload, des_jobs, iters, reps,
+                         r.parallel_wall_ms);
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const IterationMetrics& a = serial[i];
+    const IterationMetrics& b = parallel[i];
+    if (a.elapsed_us != b.elapsed_us || a.remote_misses != b.remote_misses ||
+        a.read_faults != b.read_faults || a.write_faults != b.write_faults ||
+        a.messages != b.messages || a.total_bytes != b.total_bytes ||
+        a.diff_bytes != b.diff_bytes || a.gc_runs != b.gc_runs) {
+      std::fprintf(stderr,
+                   "FATAL: --des-jobs %d diverged from serial on %s at "
+                   "iteration %zu\n",
+                   des_jobs, name.c_str(), i);
+      *diverged = true;
+      return r;
+    }
+  }
+
+  const double events = static_cast<double>(r.events);
+  r.serial_events_per_sec = events / (r.serial_wall_ms / 1000.0);
+  r.parallel_events_per_sec = events / (r.parallel_wall_ms / 1000.0);
+  r.speedup = r.serial_wall_ms / r.parallel_wall_ms;
+  r.measured = true;
+  return r;
+}
+
+// ---------------------------------------------------------------------
 // Thread-count scaling sweep: sparse correlation build + hierarchical
 // two-level placement against the dense matrix + flat refinement, from
 // the paper's 64 threads up to 4096.  The dense side is measured only
@@ -326,12 +424,34 @@ std::vector<ScaleResult> run_scale_sweep(std::int32_t scale_max,
 }
 
 void write_json(std::FILE* out, const std::vector<WorkloadResult>& results,
-                const std::vector<ScaleResult>& scale, std::int32_t jobs) {
+                const std::vector<ScaleResult>& scale, std::int32_t jobs,
+                const SingleTrialResult& single_trial) {
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"actrack-perf-v2\",\n");
+  std::fprintf(out, "  \"schema\": \"actrack-perf-v3\",\n");
   std::fprintf(out, "  \"threads\": %d,\n", exp::kThreads);
   std::fprintf(out, "  \"nodes\": %d,\n", exp::kNodes);
   std::fprintf(out, "  \"jobs\": %d,\n", jobs);
+  std::fprintf(out, "  \"hw_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  if (single_trial.measured) {
+    std::fprintf(out, "  \"single_trial\": {\n");
+    std::fprintf(out, "    \"workload\": \"%s\",\n",
+                 single_trial.workload.c_str());
+    std::fprintf(out, "    \"des_jobs\": %d,\n", single_trial.des_jobs);
+    std::fprintf(out, "    \"events\": %lld,\n", exp::ll(single_trial.events));
+    std::fprintf(out, "    \"serial_wall_ms\": %.3f,\n",
+                 single_trial.serial_wall_ms);
+    std::fprintf(out, "    \"parallel_wall_ms\": %.3f,\n",
+                 single_trial.parallel_wall_ms);
+    std::fprintf(out, "    \"serial_events_per_sec\": %.1f,\n",
+                 single_trial.serial_events_per_sec);
+    std::fprintf(out, "    \"parallel_events_per_sec\": %.1f,\n",
+                 single_trial.parallel_events_per_sec);
+    std::fprintf(out, "    \"speedup\": %.2f\n", single_trial.speedup);
+    std::fprintf(out, "  },\n");
+  } else {
+    std::fprintf(out, "  \"single_trial\": null,\n");
+  }
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];
@@ -396,6 +516,8 @@ int main(int argc, char** argv) {
                       "placement kernels, writes BENCH_perf.json");
   const std::int32_t jobs =
       args.int_flag("--jobs", 4, "worker threads for parallel min-cost");
+  const std::int32_t des_jobs = args.int_flag(
+      "--des-jobs", 8, "sim worker threads for the single-trial leg");
   const std::int32_t iters =
       args.int_flag("--iters", 3, "measured simulation iterations");
   const std::int32_t epochs =
@@ -489,12 +611,31 @@ int main(int argc, char** argv) {
     scale = run_scale_sweep(scale_max, reps);
   }
 
+  // Single-trial parallel DES: serial vs --des-jobs on one trial, with
+  // the fatal bit-identity check.  SOR's barrier phases are lock-free
+  // LRC, so the parallel engine carries the whole iteration.
+  SingleTrialResult single_trial;
+  if (!scale_only) {
+    bool diverged = false;
+    single_trial =
+        run_single_trial("SOR", des_jobs, iters, reps, &diverged);
+    if (diverged) return 1;
+    std::printf(
+        "single   SOR des-jobs %d | serial %8.1f ms (%10.0f events/s) | "
+        "parallel %8.1f ms (%10.0f events/s) | speedup %5.2fx on %u hw "
+        "threads\n",
+        single_trial.des_jobs, single_trial.serial_wall_ms,
+        single_trial.serial_events_per_sec, single_trial.parallel_wall_ms,
+        single_trial.parallel_events_per_sec, single_trial.speedup,
+        std::thread::hardware_concurrency());
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  write_json(out, results, scale, jobs);
+  write_json(out, results, scale, jobs, single_trial);
   std::fclose(out);
   std::printf("wrote %s (sink %lld)\n", out_path.c_str(), exp::ll(g_sink));
   return 0;

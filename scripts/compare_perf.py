@@ -23,6 +23,14 @@ The harness (bench/perf_regression) reports two kinds of numbers:
   kernel speedups these are machine-independent: floors apply from 256
   threads up, and entries are matched to the baseline by thread count.
 
+* Single-trial parallel DES speedup (schema v3): serial vs --des-jobs
+  wall clock for one trial.  Unlike the kernel ratios this one needs
+  real cores — a 1-core machine's honest speedup is ~1x — so its >= 4x
+  floor applies only when the candidate report was produced on a
+  machine with at least SINGLE_TRIAL_MIN_HW_THREADS hardware threads
+  and des_jobs >= 8 (the harness's fatal in-run bit-identity check
+  holds everywhere regardless).
+
 Workloads are matched by name over the intersection of the two files
 (the CI smoke run uses the reduced grid against the full-grid
 baseline); a v1 report simply has no scale sweep to check.  Exit code
@@ -44,8 +52,14 @@ SCALE_FLOOR_THREADS = 256
 # Two-level placement may trade cut quality for O(n·k) search, but only
 # within this factor of the flat single-descent baseline.
 SCALE_QUALITY_FACTOR = 2.0
+# Single-trial parallel DES (schema v3): the speedup floor only binds
+# when the candidate machine has enough hardware parallelism to express
+# it and the run used at least 8 sim workers.
+SINGLE_TRIAL_SPEEDUP_FLOOR = 4.0
+SINGLE_TRIAL_MIN_HW_THREADS = 8
+SINGLE_TRIAL_MIN_DES_JOBS = 8
 
-SCHEMAS = ("actrack-perf-v1", "actrack-perf-v2")
+SCHEMAS = ("actrack-perf-v1", "actrack-perf-v2", "actrack-perf-v3")
 
 
 def load(path):
@@ -58,7 +72,7 @@ def load(path):
         sys.exit(f"error: {path}: unknown schema {data.get('schema')!r}")
     workloads = {w["name"]: w for w in data["workloads"]}
     scale = {s["threads"]: s for s in data.get("scale_sweep", [])}
-    return workloads, scale
+    return workloads, scale, data
 
 
 def main():
@@ -80,8 +94,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base, base_scale = load(args.baseline)
-    cand, cand_scale = load(args.candidate)
+    base, base_scale, base_data = load(args.baseline)
+    cand, cand_scale, cand_data = load(args.candidate)
     shared = sorted(set(base) & set(cand))
     if not shared and not cand_scale:
         sys.exit("error: the two reports share no workloads")
@@ -158,6 +172,31 @@ def main():
                 if b[field] > 0 and c[field] > 0:
                     check(name, f"{field} vs baseline", c[field],
                           b[field] * (1.0 - tol), +1)
+
+    single = cand_data.get("single_trial")
+    if single:
+        name = f"single@{single.get('workload', '?')}"
+        print(f"{name}:")
+        hw = cand_data.get("hw_threads", 0)
+        if (hw >= SINGLE_TRIAL_MIN_HW_THREADS
+                and single.get("des_jobs", 0) >= SINGLE_TRIAL_MIN_DES_JOBS):
+            check(name, "des speedup floor", single["speedup"],
+                  SINGLE_TRIAL_SPEEDUP_FLOOR, +1)
+            base_single = base_data.get("single_trial")
+            if base_single and base_data.get(
+                    "hw_threads", 0) >= SINGLE_TRIAL_MIN_HW_THREADS:
+                check(name, "des speedup vs baseline", single["speedup"],
+                      base_single["speedup"] * (1.0 - tol), +1)
+        else:
+            print(f"  note {name}: speedup {single['speedup']:.2f}x at "
+                  f"des_jobs {single.get('des_jobs', 0)} on {hw} hw "
+                  f"thread(s) — floor needs >= {SINGLE_TRIAL_MIN_HW_THREADS} "
+                  "hw threads, skipped")
+        if args.strict_wall and base_data.get("single_trial"):
+            check(name, "serial_events_per_sec",
+                  single["serial_events_per_sec"],
+                  base_data["single_trial"]["serial_events_per_sec"]
+                  * (1.0 - tol), +1)
 
     skipped = sorted(set(base) ^ set(cand))
     if skipped:

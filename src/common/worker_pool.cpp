@@ -1,0 +1,97 @@
+#include "common/worker_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace actrack {
+
+WorkerPool::WorkerPool(std::int32_t workers) {
+  ACTRACK_CHECK(workers >= 1);
+  threads_.reserve(static_cast<std::size_t>(workers - 1));
+  for (std::int32_t i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::work_through(Batch& batch) {
+  for (;;) {
+    const std::int32_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    try {
+      (*batch.task)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.error) batch.error = std::current_exception();
+      batch.next.store(batch.count);  // drain remaining work
+      return;
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    work_through(*batch);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      active_ -= 1;
+      if (active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(std::int32_t count,
+                     const std::function<void(std::int32_t)>& task) {
+  ACTRACK_CHECK(count >= 0);
+  ACTRACK_CHECK(task != nullptr);
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::int32_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  Batch batch;
+  batch.task = &task;
+  batch.count = count;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (busy_) {
+      // Nested or concurrent batch: execute inline rather than wait on
+      // workers that may themselves be blocked on this call.
+      lock.unlock();
+      for (std::int32_t i = 0; i < count; ++i) task(i);
+      return;
+    }
+    busy_ = true;
+    batch_ = &batch;
+    active_ = static_cast<std::int32_t>(threads_.size());
+    generation_ += 1;
+  }
+  work_cv_.notify_all();
+  work_through(batch);  // the caller is an executor too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    batch_ = nullptr;
+    busy_ = false;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace actrack

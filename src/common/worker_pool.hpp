@@ -1,0 +1,69 @@
+// A persistent pool of worker threads executing indexed task batches.
+//
+// run(count, task) executes task(0), ..., task(count-1) exactly once
+// each across the spawned workers plus the calling thread, blocking
+// until every index finished.  Tasks must be independent: the pool
+// makes no ordering guarantee between indices, so deterministic
+// callers keep per-index state disjoint and merge results in index
+// order afterwards — the contract both the parallel DES engine
+// (src/sched) and the trial runner (src/exp) are built on.
+//
+// Exceptions thrown by tasks cancel the remaining indices; the first
+// one (in completion order) is rethrown from run().  A nested or
+// concurrent run() call while the pool is busy executes inline on the
+// calling thread instead of deadlocking, so which thread executes an
+// index is never observable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace actrack {
+
+class WorkerPool {
+ public:
+  /// `workers` counts the calling thread: a pool of N spawns N-1
+  /// threads and the caller works through batches alongside them.
+  explicit WorkerPool(std::int32_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Executors available to a batch (spawned threads + the caller).
+  [[nodiscard]] std::int32_t workers() const noexcept {
+    return static_cast<std::int32_t>(threads_.size()) + 1;
+  }
+
+  /// Runs task(i) for i in [0, count); returns when all are done.
+  void run(std::int32_t count, const std::function<void(std::int32_t)>& task);
+
+ private:
+  struct Batch {
+    const std::function<void(std::int32_t)>* task = nullptr;
+    std::int32_t count = 0;
+    std::atomic<std::int32_t> next{0};
+    std::exception_ptr error;  // guarded by mutex_
+  };
+
+  void worker_loop();
+  void work_through(Batch& batch);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;     // guarded by mutex_
+  std::uint64_t generation_ = 0;
+  std::int32_t active_ = 0;    // workers still draining the batch
+  bool busy_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace actrack

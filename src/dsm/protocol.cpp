@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "obs/probe.hpp"
+#include "obs/replay_buffer.hpp"
 
 namespace actrack {
 
@@ -90,12 +91,48 @@ DsmSystem::ReplicaAudit DsmSystem::audit_replica(NodeId node,
   return ReplicaAudit{np.state, np.applied_upto, np.dirty_bytes};
 }
 
+void DsmSystem::begin_parallel(std::vector<ParallelContext>* contexts) {
+  ACTRACK_CHECK(contexts != nullptr);
+  ACTRACK_CHECK(static_cast<NodeId>(contexts->size()) == num_nodes_);
+  ACTRACK_CHECK_MSG(par_ == nullptr, "parallel mode is not reentrant");
+  ACTRACK_CHECK_MSG(config_.model == ConsistencyModel::kLazyReleaseMultiWriter,
+                    "parallel DES runs the LRC access path only");
+  ACTRACK_CHECK_MSG(check_hook_ == nullptr,
+                    "check hooks audit live replica state per access and "
+                    "cannot be replayed; checked runs are serial");
+  for (ParallelContext& ctx : *contexts) {
+    ctx.stats = DsmStats{};
+    ctx.misses.clear();
+  }
+  par_ = contexts;
+}
+
+void DsmSystem::end_parallel() {
+  ACTRACK_CHECK(par_ != nullptr);
+  std::vector<ParallelContext>* contexts = par_;
+  par_ = nullptr;
+  // Fold in node order; every counter is a commutative int64 sum, so
+  // the result is bit-identical to the serial interleaved accumulation.
+  for (ParallelContext& ctx : *contexts) {
+    stats_.add(ctx.stats);
+    net_->merge_shard(ctx.net);
+  }
+}
+
 void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
                               AccessOutcome& out) {
   const CostModel& cost = net_->cost();
   GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
   NodePage& np = node_page(node, page);
   const auto size = static_cast<std::int32_t>(gp.history.size());
+
+  // Parallel DES: route every side effect (stats, network accounting,
+  // probe events, miss records, grouping scratch) into this node's
+  // context; shared protocol state (gp.history) is only read — all
+  // mutations to it happen at fences, which run serially.
+  ParallelContext* ctx =
+      par_ ? &(*par_)[static_cast<std::size_t>(node)] : nullptr;
+  DsmStats& st = ctx ? ctx->stats : stats_;
 
   // Find the most recent full-page record the node has not applied (GC
   // consolidation or initial content): everything before it is subsumed.
@@ -131,19 +168,27 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
   }
 
   if (page_source != kNoNode && page_source != node) {
-    const ExchangeResult fetch = net_->exchange(
-        node, page_source, kPageSize, PayloadKind::kFullPage, config_.retry);
-    stats_.fetch_retries += fetch.attempts - 1;
+    const ExchangeResult fetch =
+        ctx ? net_->exchange_sharded(node, page_source, kPageSize,
+                                     PayloadKind::kFullPage, ctx->net)
+            : net_->exchange(node, page_source, kPageSize,
+                             PayloadKind::kFullPage, config_.retry);
+    st.fetch_retries += fetch.attempts - 1;
     longest_exchange = std::max(longest_exchange, fetch.latency_us);
     out.local_us += apply_cost(cost, kPageSize);
-    stats_.full_page_fetches += 1;
+    st.full_page_fetches += 1;
     any_remote = true;
-    if (probe_) probe_->diff_apply(node, page, kPageSize);
+    if (ctx) {
+      if (ctx->probe) ctx->probe->diff_apply(node, page, kPageSize);
+    } else if (probe_) {
+      probe_->diff_apply(node, page, kPageSize);
+    }
   }
 
   // Group unseen diff records by writer: one exchange per distinct
   // writer, fetched in parallel (CVM requests all diffs concurrently).
-  std::vector<WriterDiffs>& groups = writer_groups_scratch_;
+  std::vector<WriterDiffs>& groups =
+      ctx ? ctx->scratch : writer_groups_scratch_;
   groups.clear();
   for (std::int32_t i = diffs_from; i < size; ++i) {
     const WriteRecord& rec = gp.history[static_cast<std::size_t>(i)];
@@ -159,21 +204,34 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
     }
   }
   for (const WriterDiffs& group : groups) {
-    const ExchangeResult fetch = net_->exchange(
-        node, group.writer, group.bytes, PayloadKind::kDiff, config_.retry);
-    stats_.fetch_retries += fetch.attempts - 1;
+    const ExchangeResult fetch =
+        ctx ? net_->exchange_sharded(node, group.writer, group.bytes,
+                                     PayloadKind::kDiff, ctx->net)
+            : net_->exchange(node, group.writer, group.bytes,
+                             PayloadKind::kDiff, config_.retry);
+    st.fetch_retries += fetch.attempts - 1;
     longest_exchange = std::max(longest_exchange, fetch.latency_us);
     out.local_us += apply_cost(cost, group.bytes);
-    stats_.diff_fetches += 1;
+    st.diff_fetches += 1;
     any_remote = true;
-    if (probe_) probe_->diff_apply(node, page, group.bytes);
+    if (ctx) {
+      if (ctx->probe) ctx->probe->diff_apply(node, page, group.bytes);
+    } else if (probe_) {
+      probe_->diff_apply(node, page, group.bytes);
+    }
   }
 
   out.remote_us += longest_exchange;
   if (any_remote) {
     out.remote_miss = true;
-    stats_.remote_misses += 1;
-    if (remote_miss_observer_) remote_miss_observer_(node, thread, page);
+    st.remote_misses += 1;
+    if (remote_miss_observer_) {
+      if (ctx) {
+        ctx->misses.push_back({node, thread, page});
+      } else {
+        remote_miss_observer_(node, thread, page);
+      }
+    }
   }
 
   np.applied_upto = size;
@@ -182,6 +240,10 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
 
 AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
                                    const PageAccess& a) {
+  // SC writes mutate other nodes' replica states and the page's global
+  // owner/copyset — inherently cross-node, so the scheduler never runs
+  // SC phases in parallel (conservative zero lookahead: serial).
+  ACTRACK_CHECK_MSG(par_ == nullptr, "SC access path in parallel mode");
   const CostModel& cost = net_->cost();
   AccessOutcome out;
   GlobalPage& gp = pages_[static_cast<std::size_t>(a.page)];
@@ -284,6 +346,8 @@ AccessOutcome DsmSystem::access(NodeId node, ThreadId thread,
       config_.model == ConsistencyModel::kSequentialSingleWriter
           ? access_sc(node, thread, a)
           : access_lrc(node, thread, a);
+  // Never reached in parallel mode with a hook attached: begin_parallel
+  // asserts no check hook (its audits read live replica state).
   if (check_hook_) check_hook_->on_access(node, thread, a, out);
   return out;
 }
@@ -293,13 +357,15 @@ AccessOutcome DsmSystem::access_lrc(NodeId node, ThreadId thread,
   const CostModel& cost = net_->cost();
   AccessOutcome out;
   NodePage& np = node_page(node, a.page);
+  DsmStats& st =
+      par_ ? (*par_)[static_cast<std::size_t>(node)].stats : stats_;
 
   if (a.kind == AccessKind::kRead) {
     if (np.state == PageState::kReadOnly ||
         np.state == PageState::kReadWrite) {
       return out;  // access proceeds transparently
     }
-    stats_.read_faults += 1;
+    st.read_faults += 1;
     out.read_fault = true;
     out.local_us += cost.fault_trap_us;
     validate_page(node, thread, a.page, out);
@@ -310,7 +376,7 @@ AccessOutcome DsmSystem::access_lrc(NodeId node, ThreadId thread,
   if (np.state == PageState::kReadWrite) {
     // Twin exists; the write proceeds transparently.
   } else {
-    stats_.write_faults += 1;
+    st.write_faults += 1;
     out.write_fault = true;
     out.local_us += cost.fault_trap_us;
     if (np.state != PageState::kReadOnly) {
@@ -328,6 +394,9 @@ AccessOutcome DsmSystem::access_lrc(NodeId node, ThreadId thread,
 }
 
 SimTime DsmSystem::release_node(NodeId node) {
+  // Sync operations mutate shared history/epoch state: they are the
+  // fences that bound parallel lookahead windows and must run serially.
+  ACTRACK_CHECK_MSG(par_ == nullptr, "release_node in parallel mode");
   if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
     if (check_hook_) check_hook_->on_release(node);
     return 0;  // SC has no twins/diffs; invalidations were eager
@@ -382,6 +451,7 @@ SimTime DsmSystem::release_node(NodeId node) {
 }
 
 SimTime DsmSystem::barrier_epoch() {
+  ACTRACK_CHECK_MSG(par_ == nullptr, "barrier_epoch in parallel mode");
   for (NodeId n = 0; n < num_nodes_; ++n) {
     ACTRACK_CHECK_MSG(dirty_pages_[static_cast<std::size_t>(n)].empty(),
                       "barrier_epoch before release_node");
@@ -456,6 +526,7 @@ SimTime DsmSystem::barrier_epoch() {
 
 SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
                                  std::int32_t lock_id) {
+  ACTRACK_CHECK_MSG(par_ == nullptr, "lock_transfer in parallel mode");
   ACTRACK_CHECK(to >= 0 && to < num_nodes_);
   epoch_ += 1;
 

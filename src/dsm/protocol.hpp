@@ -38,6 +38,7 @@
 
 namespace actrack::obs {
 class Probe;
+class ReplayBuffer;
 }
 
 namespace actrack {
@@ -123,6 +124,24 @@ struct DsmStats {
 
   [[nodiscard]] std::int64_t coherence_faults() const noexcept {
     return read_faults + write_faults;
+  }
+
+  /// Folds another stats block in (used to merge the per-node shards of
+  /// a parallel DES phase; all counters are commutative sums).
+  void add(const DsmStats& other) noexcept {
+    read_faults += other.read_faults;
+    write_faults += other.write_faults;
+    remote_misses += other.remote_misses;
+    diff_fetches += other.diff_fetches;
+    full_page_fetches += other.full_page_fetches;
+    diffs_created += other.diffs_created;
+    invalidations += other.invalidations;
+    gc_runs += other.gc_runs;
+    gc_invalidations += other.gc_invalidations;
+    ownership_transfers += other.ownership_transfers;
+    delta_stalls += other.delta_stalls;
+    fetch_retries += other.fetch_retries;
+    notices_recovered += other.notices_recovered;
   }
 };
 
@@ -231,6 +250,77 @@ class DsmSystem {
   };
   [[nodiscard]] ReplicaAudit audit_replica(NodeId node, PageId page) const;
 
+  // -- deterministic parallel DES support (src/sched) ------------------
+  //
+  // During a lock-free LRC phase the scheduler runs each node's event
+  // queue on a worker thread.  The access path then touches only
+  // per-node replica state plus the caller-supplied per-node context
+  // below, so workers never race; everything a serial run would have
+  // written to shared state (stats, network counters) or emitted to an
+  // observer (probe events, miss notifications) is recorded per node
+  // and folded/replayed by the scheduler afterwards in the serial
+  // schedule's total order.  Check hooks are the one observer that
+  // cannot be deferred — they audit live replica state on every access
+  // (src/check reads audit_replica() inside on_access) — so checked
+  // runs always take the serial path (begin_parallel asserts).
+
+  /// Per-writer unseen-diff totals, grouped by validate_page.  Public
+  /// so the parallel context can carry per-context scratch.
+  struct WriterDiffs {
+    NodeId writer;
+    ByteCount bytes;
+  };
+
+  /// One remote miss recorded for deferred observer replay.
+  struct MissRecord {
+    NodeId node;
+    ThreadId thread;
+    PageId page;
+  };
+
+  /// Everything access() routes per node while parallel mode is active.
+  struct ParallelContext {
+    DsmStats stats;
+    NetShard net;
+    obs::ReplayBuffer* probe = nullptr;  // non-owning; null = no probe
+    std::vector<MissRecord> misses;      // deferred observer stream
+    std::vector<WriterDiffs> scratch;    // per-context validate scratch
+  };
+
+  /// Enters parallel mode: `contexts` must hold one entry per node with
+  /// its net shard sized via NetworkModel::init_shard().  Stats and the
+  /// record streams are reset here (capacity kept).  Only the LRC
+  /// access path may run while active; synchronisation operations
+  /// (release_node, barrier_epoch, lock_transfer, GC) are fences and
+  /// assert serial mode, and a check hook must not be attached (its
+  /// audits read live replica state, which deferred replay cannot
+  /// reproduce — the scheduler treats checked runs as ineligible).
+  void begin_parallel(std::vector<ParallelContext>* contexts);
+
+  /// Leaves parallel mode, folding every context's stats and network
+  /// shard into the shared state in node order (bit-identical to the
+  /// serial accumulation: all counters are commutative sums).  The
+  /// deferred observer streams stay in the contexts for the scheduler
+  /// to replay in total order.
+  void end_parallel();
+
+  [[nodiscard]] bool parallel() const noexcept { return par_ != nullptr; }
+
+  /// Replays a deferred miss-observer record (scheduler replay path;
+  /// a no-op when the observer is detached).
+  void replay_miss(const MissRecord& rec) {
+    if (remote_miss_observer_) {
+      remote_miss_observer_(rec.node, rec.thread, rec.page);
+    }
+  }
+
+  [[nodiscard]] bool has_check_hook() const noexcept {
+    return check_hook_ != nullptr;
+  }
+  [[nodiscard]] bool has_miss_observer() const noexcept {
+    return remote_miss_observer_ != nullptr;
+  }
+
   void set_remote_miss_observer(RemoteMissObserver observer) {
     remote_miss_observer_ = std::move(observer);
   }
@@ -328,13 +418,13 @@ class DsmSystem {
 
   /// Scratch for validate_page (per-writer unseen diff totals) and
   /// run_gc (distinct writers per consolidated page), reused across
-  /// calls so the per-access and GC paths stop allocating.
-  struct WriterDiffs {
-    NodeId writer;
-    ByteCount bytes;
-  };
+  /// calls so the per-access and GC paths stop allocating.  In parallel
+  /// mode validate_page uses the context's scratch instead.
   std::vector<WriterDiffs> writer_groups_scratch_;
   std::vector<NodeId> gc_writers_scratch_;
+
+  /// Non-null while parallel mode is active (one context per node).
+  std::vector<ParallelContext>* par_ = nullptr;
 
   ByteCount outstanding_diff_bytes_ = 0;
   std::int64_t epoch_ = 1;

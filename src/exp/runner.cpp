@@ -1,15 +1,11 @@
 #include "exp/runner.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
 #include <fstream>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/worker_pool.hpp"
 #include "obs/export.hpp"
 #include "obs/probe.hpp"
 
@@ -63,6 +59,14 @@ PlacementFn mincost_placement(CorrelationMatrix matrix) {
 
 TrialRunner::TrialRunner(RunnerOptions options) : options_(options) {
   ACTRACK_CHECK(options_.jobs >= 1);
+}
+
+TrialRunner::~TrialRunner() = default;
+
+WorkerPool& TrialRunner::pool() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) pool_ = std::make_unique<WorkerPool>(options_.jobs);
+  return *pool_;
 }
 
 TrialRecord TrialRunner::run_trial(const Trial& trial) {
@@ -162,36 +166,17 @@ std::vector<TrialRecord> TrialRunner::run(
     const std::vector<ExperimentSpec>& specs, ResultSink* sink) const {
   std::vector<TrialRecord> records(specs.size());
   const auto count = static_cast<std::int32_t>(specs.size());
-  const std::int32_t jobs = std::min(options_.jobs, std::max(count, 1));
 
-  if (jobs <= 1) {
+  if (options_.jobs <= 1 || count <= 1) {
     for (std::int32_t i = 0; i < count; ++i) {
-      records[static_cast<std::size_t>(i)] = run_trial({&specs[static_cast<std::size_t>(i)], i});
+      records[static_cast<std::size_t>(i)] =
+          run_trial({&specs[static_cast<std::size_t>(i)], i});
     }
   } else {
-    std::atomic<std::int32_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-    auto worker = [&]() {
-      for (;;) {
-        const std::int32_t i = next.fetch_add(1);
-        if (i >= count) return;
-        try {
-          records[static_cast<std::size_t>(i)] =
-              run_trial({&specs[static_cast<std::size_t>(i)], i});
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-          next.store(count);  // drain remaining work
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(jobs));
-    for (std::int32_t j = 0; j < jobs; ++j) workers.emplace_back(worker);
-    for (std::thread& w : workers) w.join();
-    if (error) std::rethrow_exception(error);
+    pool().run(count, [&](std::int32_t i) {
+      records[static_cast<std::size_t>(i)] =
+          run_trial({&specs[static_cast<std::size_t>(i)], i});
+    });
   }
 
   if (sink != nullptr) {
@@ -204,34 +189,12 @@ void TrialRunner::run_tasks(
     std::int32_t count, const std::function<void(std::int32_t)>& task) const {
   ACTRACK_CHECK(count >= 0);
   ACTRACK_CHECK(task != nullptr);
-  const std::int32_t jobs = std::min(options_.jobs, std::max(count, 1));
 
-  if (jobs <= 1) {
+  if (options_.jobs <= 1 || count <= 1) {
     for (std::int32_t i = 0; i < count; ++i) task(i);
     return;
   }
-  std::atomic<std::int32_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  auto worker = [&]() {
-    for (;;) {
-      const std::int32_t i = next.fetch_add(1);
-      if (i >= count) return;
-      try {
-        task(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        next.store(count);  // drain remaining work
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(jobs));
-  for (std::int32_t j = 0; j < jobs; ++j) workers.emplace_back(worker);
-  for (std::thread& w : workers) w.join();
-  if (error) std::rethrow_exception(error);
+  pool().run(count, task);
 }
 
 }  // namespace actrack::exp

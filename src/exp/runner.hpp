@@ -2,19 +2,26 @@
 // parallel.
 //
 // Each trial owns its Workload, Rng and ClusterRuntime, so parallelism
-// is embarrassingly safe: `jobs` worker threads pull trial indices from
-// an atomic counter and write finished records into pre-allocated
-// slots.  Records therefore come back in *trial order* regardless of
-// completion order, and a parallel run is bit-identical to a serial one
-// (tests/exp_test.cpp asserts this).
+// is embarrassingly safe: the runner's persistent WorkerPool
+// (src/common/worker_pool.hpp, shared across run()/run_tasks() calls)
+// pulls trial indices from an atomic counter and writes finished
+// records into pre-allocated slots.  Records therefore come back in
+// *trial order* regardless of completion order, and a parallel run is
+// bit-identical to a serial one (tests/exp_test.cpp asserts this).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "exp/experiment.hpp"
 #include "exp/sink.hpp"
+
+namespace actrack {
+class WorkerPool;
+}
 
 namespace actrack::exp {
 
@@ -27,6 +34,9 @@ struct RunnerOptions {
 class TrialRunner {
  public:
   explicit TrialRunner(RunnerOptions options = {});
+  ~TrialRunner();
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
 
   /// Executes one trial (always on the calling thread).
   [[nodiscard]] static TrialRecord run_trial(const Trial& trial);
@@ -53,7 +63,16 @@ class TrialRunner {
   }
 
  private:
+  /// The lazily-created shared worker pool (jobs > 1 only).  Reused
+  /// across run()/run_tasks() calls so repeated batches stop paying
+  /// thread spawn/join costs; a nested call while the pool is busy
+  /// falls back to inline execution (WorkerPool's contract), so
+  /// callers may freely run tasks that themselves use the runner.
+  [[nodiscard]] WorkerPool& pool() const;
+
   RunnerOptions options_;
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace actrack::exp

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include "obs/probe.hpp"
+#include "obs/replay_buffer.hpp"
 
 namespace actrack {
 
@@ -44,6 +45,85 @@ void NetworkModel::account(NodeId from, NodeId to, ByteCount payload,
   if (probe_) {
     probe_->message(from, to, payload, wire,
                     static_cast<obs::Probe::Wire>(kind));
+  }
+}
+
+namespace {
+
+/// Books one wire copy into `totals` and the sender's entry of
+/// `per_node` — the shard-local mirror of NetworkModel::account(),
+/// byte-for-byte the same arithmetic so folded shards reproduce the
+/// serial counters exactly.
+void account_into(NetCounters& totals, NetCounters& node, NodeId from,
+                  NodeId to, ByteCount payload, PayloadKind kind,
+                  ByteCount header_bytes, obs::ReplayBuffer* probe) {
+  const ByteCount wire = payload + header_bytes;
+  node.messages += 1;
+  node.total_bytes += wire;
+  totals.messages += 1;
+  totals.total_bytes += wire;
+  switch (kind) {
+    case PayloadKind::kControl:
+      node.control_bytes += wire;
+      totals.control_bytes += wire;
+      break;
+    case PayloadKind::kDiff:
+      node.diff_bytes += payload;
+      totals.diff_bytes += payload;
+      break;
+    case PayloadKind::kFullPage:
+      node.page_bytes += payload;
+      totals.page_bytes += payload;
+      break;
+    case PayloadKind::kStack:
+      node.stack_bytes += payload;
+      totals.stack_bytes += payload;
+      break;
+  }
+  if (probe) {
+    probe->message(from, to, payload, wire,
+                   static_cast<obs::Probe::Wire>(kind));
+  }
+}
+
+}  // namespace
+
+ExchangeResult NetworkModel::exchange_sharded(NodeId requester,
+                                              NodeId responder,
+                                              ByteCount reply_payload,
+                                              PayloadKind reply_kind,
+                                              NetShard& shard) const {
+  ACTRACK_CHECK_MSG(!fault_hook_ && !link_,
+                    "sharded exchange on a fenced (fault/link) network");
+  ACTRACK_CHECK(requester >= 0 && requester < num_nodes());
+  ACTRACK_CHECK(responder >= 0 && responder < num_nodes());
+  ACTRACK_CHECK_MSG(requester != responder,
+                    "loopback messages are free and not sent");
+  ACTRACK_CHECK(reply_payload >= 0);
+
+  auto& per_node = shard.per_node;
+  account_into(shard.totals, per_node[static_cast<std::size_t>(requester)],
+               requester, responder, 0, PayloadKind::kControl,
+               cost_.message_header_bytes, shard.probe);
+  account_into(shard.totals, per_node[static_cast<std::size_t>(responder)],
+               responder, requester, reply_payload, reply_kind,
+               cost_.message_header_bytes, shard.probe);
+  ExchangeResult result;
+  result.latency_us =
+      cost_.transfer_us(0) + cost_.transfer_us(reply_payload);
+  return result;
+}
+
+void NetworkModel::init_shard(NetShard& shard) const {
+  shard.totals = NetCounters{};
+  shard.per_node.assign(per_node_.size(), NetCounters{});
+}
+
+void NetworkModel::merge_shard(const NetShard& shard) {
+  ACTRACK_CHECK(shard.per_node.size() == per_node_.size());
+  totals_.add(shard.totals);
+  for (std::size_t n = 0; n < per_node_.size(); ++n) {
+    per_node_[n].add(shard.per_node[n]);
   }
 }
 

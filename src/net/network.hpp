@@ -26,6 +26,7 @@
 
 namespace actrack::obs {
 class Probe;
+class ReplayBuffer;
 }
 
 namespace actrack {
@@ -68,6 +69,19 @@ struct NetCounters {
     link_bytes += other.link_bytes;
     link_stall_us += other.link_stall_us;
   }
+};
+
+/// Per-execution-context slice of the network accounting, used by the
+/// deterministic parallel DES path (src/sched).  Each worker books its
+/// node's messages into its own shard — aggregate and per-sender
+/// counters, plus an optional probe replay buffer — and the scheduler
+/// folds the shards back into the shared NetworkModel counters in node
+/// order after the phase.  Counter folding is pure int64 addition, so
+/// the merged totals are bit-identical to a serial run's.
+struct NetShard {
+  NetCounters totals;
+  std::vector<NetCounters> per_node;  // attributed to the sender
+  obs::ReplayBuffer* probe = nullptr;  // non-owning, may be null
 };
 
 /// Fate of one message on the wire, decided by the fault hook.
@@ -168,6 +182,25 @@ class NetworkModel {
   SimTime send_reliable(NodeId from, NodeId to, ByteCount payload,
                         PayloadKind kind, const RetryPolicy& retry,
                         std::int32_t* attempts = nullptr);
+
+  /// exchange() restricted to the fault-free, link-free fast path,
+  /// accounting into `shard` instead of the shared counters.  The
+  /// parallel DES engine calls this from worker threads: it only reads
+  /// shared state (the cost model), so concurrent calls with distinct
+  /// shards are race-free.  The caller guarantees no fault hook and no
+  /// link layer are attached (both are serial-only fences).
+  ExchangeResult exchange_sharded(NodeId requester, NodeId responder,
+                                  ByteCount reply_payload,
+                                  PayloadKind reply_kind,
+                                  NetShard& shard) const;
+
+  /// Sizes `shard` for this cluster and zeroes its counters (capacity
+  /// kept across phases); the probe pointer is left to the caller.
+  void init_shard(NetShard& shard) const;
+
+  /// Folds one shard's counters into the shared totals (the shard's
+  /// probe buffer is replayed separately, in total event order).
+  void merge_shard(const NetShard& shard);
 
   [[nodiscard]] const NetCounters& totals() const noexcept { return totals_; }
   [[nodiscard]] const NetCounters& node_counters(NodeId node) const {

@@ -1,0 +1,144 @@
+// obs::ReplayBuffer — deferred probe emission for the deterministic
+// parallel DES path (src/sched).
+//
+// When a phase executes per-node on worker threads, the probe cannot be
+// called directly: Probe is single-threaded and the global event order
+// would depend on thread interleaving.  Instead each worker records the
+// probe calls its node would have made into a per-node ReplayBuffer, in
+// node-local execution order, and the scheduler replays the buffers on
+// the real Probe afterwards in the serial schedule's total order — so a
+// probed parallel run produces the bit-identical event stream of a
+// probed serial run (tests/obs_test.cpp asserts this at --des-jobs 4).
+//
+// Only the calls reachable from a lock-free phase are representable:
+// set_context, page_fault, remote_fetch, node_idle, context_switch and
+// correlation_fault from the scheduler, diff_apply from the DSM, and
+// message from the network.  Fence-time calls (locks, barriers,
+// diff_create, GC) happen serially on the coordinator and never need
+// buffering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "obs/probe.hpp"
+
+namespace actrack::obs {
+
+/// One recorded probe call.  The field meanings depend on `kind`; each
+/// push helper below documents its packing.
+struct ProbeCall {
+  enum class Kind : std::uint8_t {
+    kSetContext,
+    kPageFault,
+    kRemoteFetch,
+    kNodeIdle,
+    kContextSwitch,
+    kCorrelationFault,
+    kDiffApply,
+    kMessage,
+  };
+
+  Kind kind = Kind::kSetContext;
+  std::uint8_t flag = 0;        // page_fault: write; message: Wire kind
+  NodeId node = kNoNode;        // message: from
+  ThreadId thread = kNoThread;  // message: to
+  std::int64_t a = 0;           // page / payload bytes
+  std::int64_t b = 0;           // diff bytes / wire bytes
+  SimTime t0 = 0;               // at / start / local_now
+  SimTime t1 = 0;               // duration / latency
+};
+
+class ReplayBuffer {
+ public:
+  void clear() noexcept { calls_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return calls_.size(); }
+
+  // -- push helpers (signatures mirror obs::Probe) ---------------------
+
+  void set_context(NodeId node, ThreadId thread, SimTime local_now_us) {
+    calls_.push_back({ProbeCall::Kind::kSetContext, 0, node, thread, 0, 0,
+                      local_now_us, 0});
+  }
+  void page_fault(NodeId node, ThreadId thread, PageId page, bool write,
+                  SimTime at_us) {
+    calls_.push_back({ProbeCall::Kind::kPageFault,
+                      static_cast<std::uint8_t>(write ? 1 : 0), node, thread,
+                      page, 0, at_us, 0});
+  }
+  void remote_fetch(NodeId node, ThreadId thread, PageId page,
+                    SimTime start_us, SimTime latency_us) {
+    calls_.push_back({ProbeCall::Kind::kRemoteFetch, 0, node, thread, page, 0,
+                      start_us, latency_us});
+  }
+  void node_idle(NodeId node, SimTime start_us, SimTime duration_us) {
+    calls_.push_back({ProbeCall::Kind::kNodeIdle, 0, node, kNoThread, 0, 0,
+                      start_us, duration_us});
+  }
+  void context_switch(NodeId node, ThreadId thread, SimTime at_us) {
+    calls_.push_back(
+        {ProbeCall::Kind::kContextSwitch, 0, node, thread, 0, 0, at_us, 0});
+  }
+  void correlation_fault(NodeId node, ThreadId thread, PageId page,
+                         SimTime at_us) {
+    calls_.push_back({ProbeCall::Kind::kCorrelationFault, 0, node, thread,
+                      page, 0, at_us, 0});
+  }
+  void diff_apply(NodeId node, PageId page, ByteCount bytes) {
+    calls_.push_back({ProbeCall::Kind::kDiffApply, 0, node, kNoThread, page,
+                      bytes, 0, 0});
+  }
+  void message(NodeId from, NodeId to, ByteCount payload, ByteCount wire_bytes,
+               Probe::Wire kind) {
+    calls_.push_back({ProbeCall::Kind::kMessage,
+                      static_cast<std::uint8_t>(kind), from, to, payload,
+                      wire_bytes, 0, 0});
+  }
+
+  /// Replays calls [begin, end) onto `probe`, reproducing the original
+  /// call sequence exactly.
+  void replay(Probe& probe, std::size_t begin, std::size_t end) const {
+    ACTRACK_CHECK(begin <= end && end <= calls_.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const ProbeCall& c = calls_[i];
+      switch (c.kind) {
+        case ProbeCall::Kind::kSetContext:
+          probe.set_context(c.node, c.thread, c.t0);
+          break;
+        case ProbeCall::Kind::kPageFault:
+          probe.page_fault(c.node, c.thread, static_cast<PageId>(c.a),
+                           c.flag != 0, c.t0);
+          break;
+        case ProbeCall::Kind::kRemoteFetch:
+          probe.remote_fetch(c.node, c.thread, static_cast<PageId>(c.a), c.t0,
+                             c.t1);
+          break;
+        case ProbeCall::Kind::kNodeIdle:
+          probe.node_idle(c.node, c.t0, c.t1);
+          break;
+        case ProbeCall::Kind::kContextSwitch:
+          probe.context_switch(c.node, c.thread, c.t0);
+          break;
+        case ProbeCall::Kind::kCorrelationFault:
+          probe.correlation_fault(c.node, c.thread, static_cast<PageId>(c.a),
+                                  c.t0);
+          break;
+        case ProbeCall::Kind::kDiffApply:
+          probe.diff_apply(c.node, static_cast<PageId>(c.a), c.b);
+          break;
+        case ProbeCall::Kind::kMessage:
+          probe.message(c.node, c.thread, c.a, c.b,
+                        static_cast<Probe::Wire>(c.flag));
+          break;
+      }
+    }
+  }
+
+ private:
+  std::vector<ProbeCall> calls_;
+};
+
+}  // namespace actrack::obs

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/worker_pool.hpp"
 #include "fault/inject.hpp"
 #include "obs/probe.hpp"
+#include "obs/replay_buffer.hpp"
 
 namespace actrack {
 
@@ -59,7 +61,15 @@ struct LockRun {
 struct WakeEvent {
   SimTime time = 0;
   std::size_t thread = 0;
-  bool operator>(const WakeEvent& other) const { return time > other.time; }
+  /// Total (time, thread) order.  A thread has at most one outstanding
+  /// wake, so the order is strict — the heap's pop sequence is then a
+  /// pure function of the set of pushed events, independent of push
+  /// order, which is what lets the parallel DES replay reproduce the
+  /// serial delivery sequence exactly.
+  bool operator>(const WakeEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return thread > other.thread;
+  }
 };
 
 /// Min-heap of wake events whose underlying vector can be reserved and
@@ -69,6 +79,47 @@ struct WakeHeap
     : std::priority_queue<WakeEvent, std::vector<WakeEvent>, std::greater<>> {
   void reserve(std::size_t n) { c.reserve(n); }
   void clear() noexcept { c.clear(); }
+};
+
+/// One scheduling decision recorded by a parallel DES worker: the state
+/// its node reached after one run_one() (or tracked step()) call, plus
+/// the wake event that call pushed, if any.  The coordinator replays
+/// the recorded slices through the serial argmin loop afterwards —
+/// node clocks evolve identically, so the serial schedule's total
+/// order is recovered without re-executing any work — and emits each
+/// slice's deferred observer events (probe calls, remote-miss
+/// notifications) in exactly the order a serial run produces them.
+struct NodeSlice {
+  SimTime clock_after = 0;
+  SimTime wake_time = 0;
+  std::size_t wake_thread = 0;
+  bool has_wake = false;
+  std::uint32_t probe_end = 0;  // end offset into the node's probe buffer
+  std::uint32_t miss_end = 0;   // end offset into the node's miss records
+};
+
+/// Per-node event-queue engine for the parallel DES path: the node's
+/// share of the serial loop's state (clock, run queue, wake heap) plus
+/// the per-node accumulators that fold into the shared result in node
+/// order after the phase.
+struct NodeEngine {
+  SimTime clock = 0;
+  std::deque<std::size_t> runnable;
+  WakeHeap wakes;
+  SimTime idle_us = 0;
+  std::int64_t context_switches = 0;
+  std::int64_t tracking_faults = 0;
+  std::vector<NodeSlice> slices;
+
+  void reset(SimTime start_us) {
+    clock = start_us;
+    runnable.clear();
+    wakes.clear();
+    idle_us = 0;
+    context_switches = 0;
+    tracking_faults = 0;
+    slices.clear();
+  }
 };
 
 /// Lock state across a whole tracked iteration: nodes still run in
@@ -114,6 +165,10 @@ struct ClusterScheduler::Scratch {
   std::vector<std::vector<ThreadId>> by_node;
   std::vector<NodeCursor> cursors;
   std::unordered_map<std::int32_t, TrackedLock> tracked_locks;
+  // parallel DES (run_phase_parallel and the tracked parallel branch)
+  std::vector<NodeEngine> engines;
+  std::vector<DsmSystem::ParallelContext> dsm_ctx;
+  std::vector<obs::ReplayBuffer> replay;
 };
 
 ClusterScheduler::~ClusterScheduler() = default;
@@ -125,6 +180,7 @@ ClusterScheduler::ClusterScheduler(DsmSystem* dsm, NetworkModel* net,
       config_(std::move(config)),
       scratch_(std::make_unique<Scratch>()) {
   ACTRACK_CHECK(dsm != nullptr && net != nullptr);
+  ACTRACK_CHECK_MSG(config_.des_jobs >= 1, "des_jobs must be >= 1");
   if (!config_.node_speed.empty()) {
     ACTRACK_CHECK(static_cast<NodeId>(config_.node_speed.size()) ==
                   dsm_->num_nodes());
@@ -132,6 +188,43 @@ ClusterScheduler::ClusterScheduler(DsmSystem* dsm, NetworkModel* net,
       ACTRACK_CHECK_MSG(speed > 0.0, "node speeds must be positive");
     }
   }
+}
+
+WorkerPool& ClusterScheduler::pool(NodeId num_nodes) {
+  // One executor per node at most: extra workers would only idle.
+  const std::int32_t workers =
+      std::min(config_.des_jobs, static_cast<std::int32_t>(num_nodes));
+  if (!pool_ || pool_->workers() != workers) {
+    pool_ = std::make_unique<WorkerPool>(workers);
+  }
+  return *pool_;
+}
+
+bool ClusterScheduler::phase_parallel_eligible(const Phase& phase,
+                                               NodeId num_nodes) const {
+  if (config_.des_jobs <= 1 || num_nodes <= 1) return false;
+  // Fault injection consults shared injector state on every compute
+  // charge and message; faulted runs are serial.
+  if (fault_ != nullptr) return false;
+  // The link layer serialises frames through shared per-pair channel
+  // state, and a net fault hook rules on every message: both are
+  // exchange points with zero lookahead.
+  if (net_->link_enabled() || net_->fault_hook_attached()) return false;
+  // SC accesses mutate other nodes' replicas (inherently cross-node),
+  // and check hooks audit live replica state on every access, which
+  // deferred replay cannot reproduce.
+  if (dsm_->config().model != ConsistencyModel::kLazyReleaseMultiWriter) {
+    return false;
+  }
+  if (dsm_->has_check_hook()) return false;
+  // Locks are the remaining sync operations inside a phase; a phase
+  // that takes any lock falls back to the serial loop.
+  for (const ThreadPhase& tp : phase.threads) {
+    for (const Segment& seg : tp.segments) {
+      if (seg.lock_id >= 0) return false;
+    }
+  }
+  return true;
 }
 
 SimTime ClusterScheduler::compute_time(SimTime us, NodeId node) const {
@@ -375,13 +468,288 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
   return outcome;
 }
 
+ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
+    const Phase& phase, const Placement& placement, SimTime start_us,
+    IterationResult& result) {
+  const CostModel& cost = net_->cost();
+  const NodeId num_nodes = placement.num_nodes();
+  const auto num_threads = static_cast<std::size_t>(placement.num_threads());
+  ACTRACK_CHECK(phase.threads.size() == num_threads);
+
+  std::vector<ThreadRun>& threads = scratch_->threads;
+  threads.assign(num_threads, ThreadRun{});
+  std::vector<NodeEngine>& engines = scratch_->engines;
+  engines.resize(static_cast<std::size_t>(num_nodes));
+  for (NodeEngine& eng : engines) eng.reset(start_us);
+  if (result.node_idle_us.empty()) {
+    result.node_idle_us.assign(static_cast<std::size_t>(num_nodes), 0);
+  }
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    ThreadRun& tr = threads[t];
+    tr.id = static_cast<ThreadId>(t);
+    tr.node = placement.node_of(tr.id);
+    tr.work = &phase.threads[t];
+    engines[static_cast<std::size_t>(tr.node)].runnable.push_back(t);
+  }
+
+  // Per-node DSM contexts: network shards always, probe replay buffers
+  // only when a probe is attached.  The same buffer backs both the
+  // scheduler's and the DSM/network's emissions for a node, so the
+  // intra-node interleaving of probe events is recorded exactly.
+  std::vector<DsmSystem::ParallelContext>& ctxs = scratch_->dsm_ctx;
+  ctxs.resize(static_cast<std::size_t>(num_nodes));
+  std::vector<obs::ReplayBuffer>& replay = scratch_->replay;
+  if (probe_) replay.resize(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    DsmSystem::ParallelContext& ctx = ctxs[static_cast<std::size_t>(n)];
+    net_->init_shard(ctx.net);
+    obs::ReplayBuffer* buf = nullptr;
+    if (probe_) {
+      buf = &replay[static_cast<std::size_t>(n)];
+      buf->clear();
+    }
+    ctx.probe = buf;
+    ctx.net.probe = buf;
+  }
+  // Slices are only needed to replay deferred observer streams; an
+  // unobserved run skips recording them entirely.
+  const bool observed = probe_ != nullptr || dsm_->has_miss_observer();
+
+  dsm_->begin_parallel(&ctxs);
+
+  // Runs node n's entire event queue to completion.  The conservative
+  // lookahead window spans the whole phase: with no locks, no faults
+  // and the LRC access path, no cross-node event can affect n before
+  // the closing barrier, so each node's queue drains independently.
+  // This is the serial loop restricted to one node — run_one below is
+  // the lock-free subset of run_phase's run_one, statement for
+  // statement, so per-node clocks advance through the identical
+  // sequence of values.
+  auto run_node = [&](NodeId n) {
+    NodeEngine& eng = engines[static_cast<std::size_t>(n)];
+    obs::ReplayBuffer* buf =
+        probe_ ? &replay[static_cast<std::size_t>(n)] : nullptr;
+    const std::vector<DsmSystem::MissRecord>& misses =
+        ctxs[static_cast<std::size_t>(n)].misses;
+
+    auto record_slice = [&](bool has_wake, SimTime wake_time,
+                            std::size_t wake_thread) {
+      if (!observed) return;
+      NodeSlice s;
+      s.clock_after = eng.clock;
+      s.has_wake = has_wake;
+      s.wake_time = wake_time;
+      s.wake_thread = wake_thread;
+      s.probe_end = buf ? static_cast<std::uint32_t>(buf->size()) : 0;
+      s.miss_end = static_cast<std::uint32_t>(misses.size());
+      eng.slices.push_back(s);
+    };
+
+    auto run_one = [&]() {
+      const std::size_t t = eng.runnable.front();
+      eng.runnable.pop_front();
+      ThreadRun& tr = threads[t];
+      if (tr.ready_at > eng.clock) {
+        eng.idle_us += tr.ready_at - eng.clock;
+        if (buf) buf->node_idle(n, eng.clock, tr.ready_at - eng.clock);
+        eng.clock = tr.ready_at;
+      }
+      while (true) {
+        if (tr.seg == tr.work->segments.size()) {
+          tr.done = true;
+          record_slice(false, 0, 0);
+          return;
+        }
+        const Segment& seg = tr.work->segments[tr.seg];
+        if (!tr.in_segment) enter_segment(tr, seg);
+        while (tr.acc < seg.accesses.size()) {
+          eng.clock += compute_time(tr.compute_share, tr.node);
+          const PageAccess& pa = seg.accesses[tr.acc];
+          const SimTime access_at = eng.clock;
+          if (buf) buf->set_context(tr.node, tr.id, eng.clock);
+          const AccessOutcome outcome = dsm_->access(tr.node, tr.id, pa);
+          eng.clock += compute_time(outcome.local_us, tr.node);
+          tr.acc += 1;
+          if (buf) {
+            if (outcome.read_fault || outcome.write_fault) {
+              buf->page_fault(tr.node, tr.id, pa.page, outcome.write_fault,
+                              access_at);
+            }
+            if (outcome.remote_miss) {
+              buf->remote_fetch(tr.node, tr.id, pa.page, eng.clock,
+                                outcome.remote_us);
+            }
+          }
+          if (outcome.remote_us > 0) {
+            if (config_.latency_hiding && !eng.runnable.empty()) {
+              tr.ready_at = eng.clock + outcome.remote_us;
+              eng.wakes.push(WakeEvent{tr.ready_at, t});
+              eng.clock += cost.context_switch_us;
+              eng.context_switches += 1;
+              if (buf) buf->context_switch(tr.node, tr.id, eng.clock);
+              record_slice(true, tr.ready_at, t);
+              return;
+            }
+            eng.clock += outcome.remote_us;  // stall
+          }
+        }
+        eng.clock += compute_time(tr.compute_tail, tr.node);
+        tr.seg += 1;
+        tr.acc = 0;
+        tr.in_segment = false;
+      }
+    };
+
+    // The serial loop delivers a wake w to node n before n's k-th
+    // run_one exactly when w.time < n's clock at that run (strictly:
+    // a wake landing exactly on the clock is delivered after — the
+    // window-boundary case tests/parallel_des_test.cpp pins), and
+    // deliveries arrive in (time, thread) heap order.  This solo loop
+    // makes the same decisions from n's state alone, so n's runnable
+    // queue holds the identical sequence at every step.
+    while (true) {
+      if (eng.runnable.empty()) {
+        if (eng.wakes.empty()) break;
+        const WakeEvent ev = eng.wakes.top();
+        eng.wakes.pop();
+        eng.runnable.push_back(ev.thread);
+        continue;
+      }
+      if (!eng.wakes.empty() && eng.wakes.top().time < eng.clock) {
+        const WakeEvent ev = eng.wakes.top();
+        eng.wakes.pop();
+        eng.runnable.push_back(ev.thread);
+        continue;
+      }
+      run_one();
+    }
+  };
+
+  pool(num_nodes).run(static_cast<std::int32_t>(num_nodes),
+                      [&](std::int32_t n) {
+                        run_node(static_cast<NodeId>(n));
+                      });
+
+  dsm_->end_parallel();
+
+  for (const ThreadRun& tr : threads) {
+    ACTRACK_CHECK_MSG(tr.done, "phase ended with a thread still blocked");
+  }
+  // Fold the per-node accumulators in node order; every counter is a
+  // commutative int64 sum, so the totals match the serial loop's
+  // interleaved accumulation bit for bit.
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const NodeEngine& eng = engines[static_cast<std::size_t>(n)];
+    result.node_idle_us[static_cast<std::size_t>(n)] += eng.idle_us;
+    result.context_switches += eng.context_switches;
+  }
+
+  if (observed) {
+    // Recover the serial schedule: re-run the argmin loop over the
+    // recorded slices (consuming a slice stands in for run_one; its
+    // recorded wake re-arms the heap) and emit each slice's deferred
+    // probe / miss events at its turn.  Clocks evolve through the
+    // same values as a serial run, so the decisions — and therefore
+    // the replayed event order — are the serial ones.
+    std::vector<std::size_t> si(static_cast<std::size_t>(num_nodes), 0);
+    std::vector<std::size_t> p0(static_cast<std::size_t>(num_nodes), 0);
+    std::vector<std::size_t> m0(static_cast<std::size_t>(num_nodes), 0);
+    std::vector<SimTime> clock(static_cast<std::size_t>(num_nodes), start_us);
+    std::vector<std::int32_t> left(static_cast<std::size_t>(num_nodes), 0);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      left[static_cast<std::size_t>(threads[t].node)] += 1;
+    }
+    WakeHeap& wakes = scratch_->wakes;
+    wakes.clear();
+    while (true) {
+      NodeId best = kNoNode;
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        if (left[static_cast<std::size_t>(n)] <= 0) continue;
+        if (best == kNoNode ||
+            clock[static_cast<std::size_t>(n)] <
+                clock[static_cast<std::size_t>(best)]) {
+          best = n;
+        }
+      }
+      if (best == kNoNode) {
+        if (wakes.empty()) break;
+        const WakeEvent ev = wakes.top();
+        wakes.pop();
+        left[static_cast<std::size_t>(
+            threads[ev.thread].node)] += 1;
+        continue;
+      }
+      if (!wakes.empty() &&
+          wakes.top().time < clock[static_cast<std::size_t>(best)]) {
+        const WakeEvent ev = wakes.top();
+        wakes.pop();
+        left[static_cast<std::size_t>(
+            threads[ev.thread].node)] += 1;
+        continue;
+      }
+      const auto b = static_cast<std::size_t>(best);
+      NodeEngine& eng = engines[b];
+      ACTRACK_CHECK(si[b] < eng.slices.size());
+      const NodeSlice& s = eng.slices[si[b]];
+      si[b] += 1;
+      if (probe_) {
+        replay[b].replay(*probe_, p0[b], s.probe_end);
+        p0[b] = s.probe_end;
+      }
+      const auto& misses = ctxs[b].misses;
+      for (std::size_t i = m0[b]; i < s.miss_end; ++i) {
+        dsm_->replay_miss(misses[i]);
+      }
+      m0[b] = s.miss_end;
+      clock[b] = s.clock_after;
+      left[b] -= 1;
+      if (s.has_wake) wakes.push(WakeEvent{s.wake_time, s.wake_thread});
+    }
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      ACTRACK_CHECK_MSG(
+          si[static_cast<std::size_t>(n)] ==
+              engines[static_cast<std::size_t>(n)].slices.size(),
+          "parallel DES replay consumed a different schedule");
+    }
+  }
+
+  // Barrier tail: identical to run_phase's, running serially on the
+  // already-merged protocol state.
+  SimTime arrival = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    NodeEngine& eng = engines[static_cast<std::size_t>(n)];
+    if (probe_) probe_->set_context(n, kNoThread, eng.clock);
+    eng.clock += compute_time(dsm_->release_node(n), n);
+    if (probe_) probe_->barrier_arrive(n, eng.clock);
+    arrival = std::max(arrival, eng.clock);
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const SimTime node_clock = engines[static_cast<std::size_t>(n)].clock;
+    result.node_idle_us[static_cast<std::size_t>(n)] += arrival - node_clock;
+    if (probe_) probe_->node_idle(n, node_clock, arrival - node_clock);
+  }
+  if (probe_) probe_->set_context(kNoNode, kNoThread, arrival);
+  const SimTime gc_cost = dsm_->barrier_epoch();
+  PhaseOutcome outcome;
+  outcome.phase_end_us = arrival + net_->cost().barrier_us + gc_cost;
+  if (probe_) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      probe_->barrier_depart(n, outcome.phase_end_us);
+    }
+  }
+  return outcome;
+}
+
 IterationResult ClusterScheduler::run_iteration(const IterationTrace& trace,
                                                 const Placement& placement) {
   ACTRACK_CHECK(trace.num_threads == placement.num_threads());
   IterationResult result;
   SimTime now = 0;
   for (const Phase& phase : trace.phases) {
-    const PhaseOutcome outcome = run_phase(phase, placement, now, result);
+    const PhaseOutcome outcome =
+        phase_parallel_eligible(phase, placement.num_nodes())
+            ? run_phase_parallel(phase, placement, now, result)
+            : run_phase(phase, placement, now, result);
     now = outcome.phase_end_us;
   }
   result.elapsed_us = now;
@@ -431,8 +799,13 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       return cursor.thread_idx >= by_node[static_cast<std::size_t>(n)].size();
     };
 
-    // Runs one segment of node n's current thread.
-    auto step = [&](NodeId n) {
+    // Runs one segment of node n's current thread.  Probe emissions go
+    // to `buf` when the phase runs on the parallel DES path (deferred,
+    // replayed in serial order afterwards) and straight to the probe
+    // otherwise; `tracking_faults` is the caller's accumulator (the
+    // shared result counter serially, a per-node counter in parallel).
+    auto step = [&](NodeId n, obs::ReplayBuffer* buf,
+                    std::int64_t& tracking_faults) {
       NodeCursor& cursor = cursors[static_cast<std::size_t>(n)];
       const ThreadId t =
           by_node[static_cast<std::size_t>(n)][cursor.thread_idx];
@@ -482,18 +855,33 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
           // restore the page's previous protection.
           cursor.armed.reset(access.page);
           result.access_bitmaps[static_cast<std::size_t>(t)].set(access.page);
-          result.tracking_faults += 1;
-          if (probe_) probe_->correlation_fault(n, t, access.page, clock);
+          tracking_faults += 1;
+          if (buf) {
+            buf->correlation_fault(n, t, access.page, clock);
+          } else if (probe_) {
+            probe_->correlation_fault(n, t, access.page, clock);
+          }
           clock += cost.tracking_fault_us;
         }
         // If the access would have faulted anyway, it is handled
         // normally by the protocol (an additional fault).  The thread
         // scheduler is disabled, so remote latency is not hidden.
         const SimTime access_at = clock;
-        if (probe_) probe_->set_context(n, t, clock);
+        if (buf) {
+          buf->set_context(n, t, clock);
+        } else if (probe_) {
+          probe_->set_context(n, t, clock);
+        }
         const AccessOutcome outcome = dsm_->access(n, t, access);
         clock += compute_time(outcome.local_us, n);
-        if (probe_) {
+        if (buf) {
+          if (outcome.read_fault || outcome.write_fault) {
+            buf->page_fault(n, t, access.page, outcome.write_fault, access_at);
+          }
+          if (outcome.remote_miss) {
+            buf->remote_fetch(n, t, access.page, clock, outcome.remote_us);
+          }
+        } else if (probe_) {
           if (outcome.read_fault || outcome.write_fault) {
             probe_->page_fault(n, t, access.page, outcome.write_fault,
                                access_at);
@@ -513,18 +901,105 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       cursor.segment_idx += 1;
     };
 
-    while (true) {
-      NodeId best = kNoNode;
+    if (phase_parallel_eligible(phase, num_nodes)) {
+      // Parallel DES: with no locks in the phase each node's segment
+      // stream is independent (the min-clock interleave below only
+      // fixes observer event order), so each worker drives its node's
+      // cursor to completion with side effects routed per node.
+      std::vector<NodeEngine>& engines = scratch_->engines;
+      engines.resize(static_cast<std::size_t>(num_nodes));
+      for (NodeEngine& eng : engines) eng.reset(now);
+      std::vector<DsmSystem::ParallelContext>& ctxs = scratch_->dsm_ctx;
+      ctxs.resize(static_cast<std::size_t>(num_nodes));
+      std::vector<obs::ReplayBuffer>& replay = scratch_->replay;
+      if (probe_) replay.resize(static_cast<std::size_t>(num_nodes));
       for (NodeId n = 0; n < num_nodes; ++n) {
-        if (node_done(n)) continue;
-        if (best == kNoNode ||
-            cursors[static_cast<std::size_t>(n)].clock <
-                cursors[static_cast<std::size_t>(best)].clock) {
-          best = n;
+        DsmSystem::ParallelContext& ctx = ctxs[static_cast<std::size_t>(n)];
+        net_->init_shard(ctx.net);
+        obs::ReplayBuffer* buf = nullptr;
+        if (probe_) {
+          buf = &replay[static_cast<std::size_t>(n)];
+          buf->clear();
+        }
+        ctx.probe = buf;
+        ctx.net.probe = buf;
+      }
+      const bool observed = probe_ != nullptr || dsm_->has_miss_observer();
+
+      dsm_->begin_parallel(&ctxs);
+      pool(num_nodes).run(
+          static_cast<std::int32_t>(num_nodes), [&](std::int32_t ni) {
+            const auto n = static_cast<NodeId>(ni);
+            const auto ns = static_cast<std::size_t>(n);
+            NodeEngine& eng = engines[ns];
+            obs::ReplayBuffer* buf = probe_ ? &replay[ns] : nullptr;
+            const std::vector<DsmSystem::MissRecord>& misses =
+                ctxs[ns].misses;
+            while (!node_done(n)) {
+              step(n, buf, eng.tracking_faults);
+              if (observed) {
+                NodeSlice s;
+                s.clock_after = cursors[ns].clock;
+                s.probe_end =
+                    buf ? static_cast<std::uint32_t>(buf->size()) : 0;
+                s.miss_end = static_cast<std::uint32_t>(misses.size());
+                eng.slices.push_back(s);
+              }
+            }
+          });
+      dsm_->end_parallel();
+
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        result.tracking_faults +=
+            engines[static_cast<std::size_t>(n)].tracking_faults;
+      }
+      if (observed) {
+        // Replay the serial min-clock schedule over the recorded
+        // slices, emitting each step's deferred events at its turn.
+        std::vector<std::size_t> si(static_cast<std::size_t>(num_nodes), 0);
+        std::vector<std::size_t> p0(static_cast<std::size_t>(num_nodes), 0);
+        std::vector<std::size_t> m0(static_cast<std::size_t>(num_nodes), 0);
+        std::vector<SimTime> clock(static_cast<std::size_t>(num_nodes), now);
+        while (true) {
+          NodeId best = kNoNode;
+          for (NodeId n = 0; n < num_nodes; ++n) {
+            const auto ns = static_cast<std::size_t>(n);
+            if (si[ns] >= engines[ns].slices.size()) continue;
+            if (best == kNoNode ||
+                clock[ns] < clock[static_cast<std::size_t>(best)]) {
+              best = n;
+            }
+          }
+          if (best == kNoNode) break;
+          const auto b = static_cast<std::size_t>(best);
+          const NodeSlice& s = engines[b].slices[si[b]];
+          si[b] += 1;
+          if (probe_) {
+            replay[b].replay(*probe_, p0[b], s.probe_end);
+            p0[b] = s.probe_end;
+          }
+          const auto& misses = ctxs[b].misses;
+          for (std::size_t i = m0[b]; i < s.miss_end; ++i) {
+            dsm_->replay_miss(misses[i]);
+          }
+          m0[b] = s.miss_end;
+          clock[b] = s.clock_after;
         }
       }
-      if (best == kNoNode) break;
-      step(best);
+    } else {
+      while (true) {
+        NodeId best = kNoNode;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          if (node_done(n)) continue;
+          if (best == kNoNode ||
+              cursors[static_cast<std::size_t>(n)].clock <
+                  cursors[static_cast<std::size_t>(best)].clock) {
+            best = n;
+          }
+        }
+        if (best == kNoNode) break;
+        step(best, nullptr, result.tracking_faults);
+      }
     }
 
     // Barrier at the end of the tracked phase.

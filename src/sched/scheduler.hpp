@@ -40,6 +40,8 @@ class FaultInjector;
 
 namespace actrack {
 
+class WorkerPool;
+
 struct SchedConfig {
   /// Switch to another runnable thread while a remote fetch is in
   /// flight.  Off reproduces the single-threaded-node ablation (the
@@ -51,6 +53,18 @@ struct SchedConfig {
   /// otherwise one positive entry per node, scaling computation time by
   /// 1/speed (network and fault-handling costs are unscaled).
   std::vector<double> node_speed;
+
+  /// Deterministic parallel DES: worker threads for single-trial
+  /// execution (CLI `--des-jobs`).  1 (the default) is the serial
+  /// golden-reference event loop.  With N > 1, lock-free LRC phases
+  /// run their per-node event queues on a pool of min(N, nodes)
+  /// workers between sync epochs, with results merged in total
+  /// (time, node) order — bit-identical to serial at any N
+  /// (tests/parallel_des_test.cpp).  Phases with locks, the SC
+  /// protocol, the link layer or fault injection are exchange points
+  /// with zero conservative lookahead: they fall back to the serial
+  /// loop, so those layers compose unchanged.
+  std::int32_t des_jobs = 1;
 };
 
 struct IterationResult {
@@ -132,6 +146,23 @@ class ClusterScheduler {
   PhaseOutcome run_phase(const Phase& phase, const Placement& placement,
                          SimTime start_us, IterationResult& result);
 
+  /// The parallel-DES variant of run_phase: per-node event queues on
+  /// the worker pool, results merged in total (time, node) order.
+  /// Bit-identical to run_phase for every eligible phase.
+  PhaseOutcome run_phase_parallel(const Phase& phase,
+                                  const Placement& placement,
+                                  SimTime start_us, IterationResult& result);
+
+  /// True when `phase` may run on the worker pool: des_jobs > 1, more
+  /// than one node, LRC, no locks anywhere in the phase, and no link
+  /// layer or fault injection (all of which are exchange points that
+  /// force the conservative serial fallback).
+  [[nodiscard]] bool phase_parallel_eligible(const Phase& phase,
+                                             NodeId num_nodes) const;
+
+  /// The lazily-created DES worker pool (des_jobs > 1 only).
+  [[nodiscard]] WorkerPool& pool(NodeId num_nodes);
+
   /// Computation time of `us` of work on `node`, given its speed.
   [[nodiscard]] SimTime compute_time(SimTime us, NodeId node) const;
 
@@ -146,6 +177,9 @@ class ClusterScheduler {
   /// the per-access path stops allocating; see scheduler.cpp.
   struct Scratch;
   std::unique_ptr<Scratch> scratch_;
+
+  /// DES worker pool, created on the first parallel phase.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace actrack

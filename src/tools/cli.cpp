@@ -59,6 +59,7 @@ RuntimeConfig config_for(const Options& options) {
     fail("--consistency must be lrc or sc");
   }
   config.sched.latency_hiding = options.latency_hiding;
+  config.sched.des_jobs = options.des_jobs;
   if (!options.interconnect.empty()) {
     const InterconnectPreset* preset =
         find_interconnect(options.interconnect);
@@ -613,6 +614,8 @@ std::string usage() {
       "  --samples N           random placements         (default 5)\n"
       "  --period N            drift period              (default 8)\n"
       "  --jobs N              parallel sweep trials     (default 1)\n"
+      "  --des-jobs N          sim worker threads for one trial; results\n"
+      "                        are bit-identical at any N  (default 1)\n"
       "  --format F            table|csv|json (sweep)    (default table)\n"
       "  --placement P         stretch|mincost|random    (default stretch)\n"
       "  --consistency C       lrc|sc; check also: both  (default lrc;\n"
@@ -681,6 +684,8 @@ Options parse(const std::vector<std::string>& args) {
       options.period = static_cast<std::int32_t>(parse_int(flag, next()));
     } else if (flag == "--jobs") {
       options.jobs = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--des-jobs") {
+      options.des_jobs = static_cast<std::int32_t>(parse_int(flag, next()));
     } else if (flag == "--format") {
       options.format = next();
     } else if (flag == "--placement") {
@@ -730,6 +735,7 @@ Options parse(const std::vector<std::string>& args) {
   if (options.iterations < 0) fail("--iterations must be non-negative");
   if (options.seeds < 0) fail("--seeds must be non-negative");
   if (options.jobs < 1) fail("--jobs must be positive");
+  if (options.des_jobs < 1) fail("--des-jobs must be positive");
   if (options.format != "table" && options.format != "csv" &&
       options.format != "json") {
     fail("--format must be table, csv or json");

@@ -114,6 +114,39 @@ TEST(CheckDeterminismConfigs, SingleWriterProtocol) {
                    scripted_run(*workload, config, /*checked=*/true), "sc");
 }
 
+// Checked runs under --des-jobs: the check hooks audit live replica
+// state per access, so the scheduler must route every phase through the
+// serial engine regardless of des_jobs (scheduler.cpp's eligibility
+// predicate; begin_parallel asserts no hook).  The observable contract
+// is that a checked run with any des_jobs is bit-identical to the
+// checked serial run — for both protocols.
+TEST(CheckDeterminismConfigs, CheckedRunIgnoresDesJobsLrc) {
+  const std::unique_ptr<Workload> workload = make_workload("Ocean", kThreads);
+  RuntimeConfig config;
+  const std::vector<IterationMetrics> serial =
+      scripted_run(*workload, config, /*checked=*/true);
+  for (const std::int32_t jobs : {2, 4, 8}) {
+    RuntimeConfig parallel = config;
+    parallel.sched.des_jobs = jobs;
+    expect_identical(serial, scripted_run(*workload, parallel, /*checked=*/true),
+                     "lrc-checked-jobs" + std::to_string(jobs));
+  }
+}
+
+TEST(CheckDeterminismConfigs, CheckedRunIgnoresDesJobsSc) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  RuntimeConfig config;
+  config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  const std::vector<IterationMetrics> serial =
+      scripted_run(*workload, config, /*checked=*/true);
+  for (const std::int32_t jobs : {2, 4, 8}) {
+    RuntimeConfig parallel = config;
+    parallel.sched.des_jobs = jobs;
+    expect_identical(serial, scripted_run(*workload, parallel, /*checked=*/true),
+                     "sc-checked-jobs" + std::to_string(jobs));
+  }
+}
+
 TEST(CheckDeterminismConfigs, VectorClockCausality) {
   const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
   RuntimeConfig config;

@@ -1,0 +1,290 @@
+// Determinism conformance suite for the parallel DES path.
+//
+// The contract under test: a trial executed with sched.des_jobs = N is
+// bit-identical to the serial golden reference for every N — same
+// IterationMetrics at every step, same DsmStats, same NetCounters, same
+// tracking bitmaps.  The matrix crosses every tier-1 workload with
+// {lrc, sc} x {link on/off} x {fault plan on/off}; the combinations
+// with SC, the link layer or a fault plan must fall back to the serial
+// loop (exchange points with zero lookahead), so identity there pins
+// the fallback contract, while plain LRC runs exercise the real
+// worker-pool engine.
+//
+// The window-boundary test pins the strict-inequality delivery rule: a
+// remote-fetch wake landing *exactly* on the node's clock is delivered
+// after the runnable thread, not before (WakeEvent total order and the
+// `top.time < clock` comparison in scheduler.cpp).  A one-microsecond
+// sweep of a competing thread's compute time walks the wake across the
+// decision boundary and asserts serial/parallel identity on both sides
+// and at the crossing itself.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "fault/plan.hpp"
+#include "runtime/cluster_runtime.hpp"
+#include "runtime/passive.hpp"
+
+namespace actrack {
+namespace {
+
+constexpr std::int32_t kThreads = 16;
+constexpr NodeId kNodes = 4;
+
+/// Everything a trial can observe, captured after a scripted run.
+struct RunOutput {
+  std::vector<IterationMetrics> steps;
+  DsmStats dsm;
+  NetCounters net;
+  std::int64_t tracking_faults = 0;
+  std::int64_t tracking_coherence = 0;
+  std::vector<DynamicBitset> bitmaps;
+};
+
+/// Init, two measured iterations, the tracked iteration, one more
+/// measured iteration — enough to cross several sync epochs and to run
+/// both the phase engine and the tracked engine.
+RunOutput scripted_run(const Workload& workload, RuntimeConfig config,
+                       std::int32_t des_jobs) {
+  config.sched.des_jobs = des_jobs;
+  ClusterRuntime runtime(workload,
+                         Placement::stretch(workload.num_threads(), kNodes),
+                         config);
+  RunOutput out;
+  out.steps.push_back(runtime.run_init());
+  out.steps.push_back(runtime.run_iteration());
+  out.steps.push_back(runtime.run_iteration());
+  const TrackedIterationMetrics tracked = runtime.run_tracked_iteration();
+  out.steps.push_back(tracked.metrics);
+  out.tracking_faults = tracked.tracking.tracking_faults;
+  out.tracking_coherence = tracked.tracking.coherence_faults;
+  out.bitmaps = tracked.tracking.access_bitmaps;
+  out.steps.push_back(runtime.run_iteration());
+  out.dsm = runtime.dsm().stats();
+  out.net = runtime.network().totals();
+  return out;
+}
+
+void expect_identical(const RunOutput& serial, const RunOutput& parallel,
+                      const std::string& label) {
+  ASSERT_EQ(serial.steps.size(), parallel.steps.size()) << label;
+  for (std::size_t i = 0; i < serial.steps.size(); ++i) {
+    SCOPED_TRACE(label + " step " + std::to_string(i));
+    const IterationMetrics& a = serial.steps[i];
+    const IterationMetrics& b = parallel.steps[i];
+    EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+    EXPECT_EQ(a.remote_misses, b.remote_misses);
+    EXPECT_EQ(a.read_faults, b.read_faults);
+    EXPECT_EQ(a.write_faults, b.write_faults);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_EQ(a.diff_bytes, b.diff_bytes);
+    EXPECT_EQ(a.control_bytes, b.control_bytes);
+    EXPECT_EQ(a.stack_bytes, b.stack_bytes);
+    EXPECT_EQ(a.gc_runs, b.gc_runs);
+    EXPECT_EQ(a.link_frames, b.link_frames);
+    EXPECT_EQ(a.link_retransmits, b.link_retransmits);
+    EXPECT_EQ(a.link_bytes, b.link_bytes);
+    EXPECT_EQ(a.link_stall_us, b.link_stall_us);
+    EXPECT_DOUBLE_EQ(a.load_imbalance, b.load_imbalance);
+  }
+  SCOPED_TRACE(label);
+  EXPECT_EQ(serial.dsm.read_faults, parallel.dsm.read_faults);
+  EXPECT_EQ(serial.dsm.write_faults, parallel.dsm.write_faults);
+  EXPECT_EQ(serial.dsm.remote_misses, parallel.dsm.remote_misses);
+  EXPECT_EQ(serial.dsm.diff_fetches, parallel.dsm.diff_fetches);
+  EXPECT_EQ(serial.dsm.full_page_fetches, parallel.dsm.full_page_fetches);
+  EXPECT_EQ(serial.dsm.diffs_created, parallel.dsm.diffs_created);
+  EXPECT_EQ(serial.dsm.invalidations, parallel.dsm.invalidations);
+  EXPECT_EQ(serial.dsm.gc_runs, parallel.dsm.gc_runs);
+  EXPECT_EQ(serial.dsm.gc_invalidations, parallel.dsm.gc_invalidations);
+  EXPECT_EQ(serial.dsm.ownership_transfers, parallel.dsm.ownership_transfers);
+  EXPECT_EQ(serial.dsm.delta_stalls, parallel.dsm.delta_stalls);
+  EXPECT_EQ(serial.dsm.fetch_retries, parallel.dsm.fetch_retries);
+  EXPECT_EQ(serial.dsm.notices_recovered, parallel.dsm.notices_recovered);
+  EXPECT_EQ(serial.net.messages, parallel.net.messages);
+  EXPECT_EQ(serial.net.total_bytes, parallel.net.total_bytes);
+  EXPECT_EQ(serial.net.diff_bytes, parallel.net.diff_bytes);
+  EXPECT_EQ(serial.net.page_bytes, parallel.net.page_bytes);
+  EXPECT_EQ(serial.net.control_bytes, parallel.net.control_bytes);
+  EXPECT_EQ(serial.net.stack_bytes, parallel.net.stack_bytes);
+  EXPECT_EQ(serial.tracking_faults, parallel.tracking_faults);
+  EXPECT_EQ(serial.tracking_coherence, parallel.tracking_coherence);
+  ASSERT_EQ(serial.bitmaps.size(), parallel.bitmaps.size());
+  for (std::size_t t = 0; t < serial.bitmaps.size(); ++t) {
+    EXPECT_TRUE(serial.bitmaps[t] == parallel.bitmaps[t])
+        << label << " bitmap of thread " << t;
+  }
+}
+
+/// One cell of the {consistency} x {link} x {fault} grid.
+struct Variant {
+  const char* label;
+  bool sc;
+  bool link;
+  bool fault;
+};
+
+constexpr Variant kVariants[] = {
+    {"lrc", false, false, false},
+    {"sc", true, false, false},
+    {"lrc+link", false, true, false},
+    {"sc+link", true, true, false},
+    {"lrc+fault", false, false, true},
+    {"sc+fault", true, false, true},
+    {"lrc+link+fault", false, true, true},
+    {"sc+link+fault", true, true, true},
+};
+
+RuntimeConfig config_for(const Variant& variant) {
+  RuntimeConfig config;
+  if (variant.sc) {
+    config.dsm.model = ConsistencyModel::kSequentialSingleWriter;
+  }
+  config.cost.link.enabled = variant.link;
+  if (variant.fault) {
+    config.fault = fault::make_plan(fault::FaultClass::kMixed, kNodes);
+  }
+  return config;
+}
+
+class ParallelDesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelDesTest, BitIdenticalAtAnyJobCount) {
+  const std::unique_ptr<Workload> workload =
+      make_workload(GetParam(), kThreads);
+  for (const Variant& variant : kVariants) {
+    const RuntimeConfig config = config_for(variant);
+    const RunOutput serial = scripted_run(*workload, config, 1);
+    for (const std::int32_t jobs : {2, 4, 8}) {
+      expect_identical(serial, scripted_run(*workload, config, jobs),
+                       GetParam() + "/" + variant.label + "/jobs" +
+                           std::to_string(jobs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ParallelDesTest,
+    ::testing::ValuesIn(all_workload_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(ParallelDesGc, GcChurnStaysIdentical) {
+  const std::unique_ptr<Workload> workload = make_workload("Water", kThreads);
+  RuntimeConfig config;
+  config.dsm.gc_enabled = true;
+  config.dsm.gc_threshold_bytes = 4096;
+  const RunOutput serial = scripted_run(*workload, config, 1);
+  for (const std::int32_t jobs : {2, 4, 8}) {
+    expect_identical(serial, scripted_run(*workload, config, jobs),
+                     "Water+gc/jobs" + std::to_string(jobs));
+  }
+}
+
+TEST(ParallelDesGc, VectorClockCausalityStaysIdentical) {
+  const std::unique_ptr<Workload> workload = make_workload("Ocean", kThreads);
+  RuntimeConfig config;
+  config.dsm.causality = CausalityMode::kVectorClock;
+  const RunOutput serial = scripted_run(*workload, config, 1);
+  expect_identical(serial, scripted_run(*workload, config, 4), "Ocean+vc");
+}
+
+// The remote-miss observer is the one deferred observer stream without
+// a dedicated probe test: passive tracking's whole experiment is built
+// on it, so identical PassiveRound sequences pin the replay path.
+TEST(ParallelDesMissObserver, PassiveTrackingStaysIdentical) {
+  const std::unique_ptr<Workload> workload = make_workload("SOR", kThreads);
+  auto rounds_at = [&](std::int32_t des_jobs) {
+    RuntimeConfig config;
+    config.sched.des_jobs = des_jobs;
+    PassiveTrackingExperiment experiment(*workload, kNodes, config);
+    return experiment.run(4);
+  };
+  const std::vector<PassiveRound> serial = rounds_at(1);
+  for (const std::int32_t jobs : {2, 8}) {
+    const std::vector<PassiveRound> parallel = rounds_at(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(i) + " jobs " +
+                   std::to_string(jobs));
+      EXPECT_EQ(serial[i].round, parallel[i].round);
+      EXPECT_DOUBLE_EQ(serial[i].completeness, parallel[i].completeness);
+      EXPECT_EQ(serial[i].threads_moved, parallel[i].threads_moved);
+      EXPECT_EQ(serial[i].remote_misses, parallel[i].remote_misses);
+    }
+  }
+}
+
+// -- window boundary ---------------------------------------------------
+//
+// Node 0 runs three threads: thread 0 faults remotely and switches away
+// (wake at W), thread 1 computes C us, thread 2 faults remotely.  After
+// thread 1 finishes, the scheduler compares W against node 0's clock
+// (affine in C): W < clock resumes thread 0 before thread 2 runs, so
+// thread 2's fetch overlaps a runnable thread and context-switches;
+// W >= clock — including W == clock exactly, the boundary — runs
+// thread 2 first, whose fetch then stalls.  Sweeping C by 1 us walks W
+// across the boundary; identity must hold at every value, and both
+// regimes must appear (proving the sweep actually crossed it).
+TEST(ParallelDesWindowBoundary, WakeOnEpochEdgeIsBitIdentical) {
+  IterationTrace trace;
+  trace.num_threads = 4;
+  Phase warm;  // thread 3 (node 1) writes the pages the others will miss
+  warm.threads.resize(4);
+  Segment writes;
+  writes.accesses.push_back({5, AccessKind::kWrite, 512});
+  writes.accesses.push_back({7, AccessKind::kWrite, 512});
+  warm.threads[3].segments.push_back(writes);
+  trace.phases.push_back(warm);
+
+  const Placement placement(std::vector<NodeId>{0, 0, 0, 1}, 2);
+  std::set<std::int64_t> switch_counts;
+  for (SimTime c = 0; c <= 500; c += 1) {
+    Phase race;
+    race.threads.resize(4);
+    Segment remote5;
+    remote5.accesses.push_back({5, AccessKind::kRead, 0});
+    race.threads[0].segments.push_back(remote5);
+    Segment compute;
+    compute.compute_us = c;
+    race.threads[1].segments.push_back(compute);
+    Segment remote7;
+    remote7.accesses.push_back({7, AccessKind::kRead, 0});
+    race.threads[2].segments.push_back(remote7);
+
+    IterationTrace sweep = trace;
+    sweep.phases.push_back(race);
+
+    auto run = [&](std::int32_t des_jobs) {
+      NetworkModel net(2, CostModel{});
+      DsmSystem dsm(16, 2, &net);
+      SchedConfig config;
+      config.des_jobs = des_jobs;
+      ClusterScheduler sched(&dsm, &net, config);
+      return sched.run_iteration(sweep, placement);
+    };
+    const IterationResult serial = run(1);
+    const IterationResult parallel = run(8);
+    SCOPED_TRACE("compute " + std::to_string(c));
+    EXPECT_EQ(serial.elapsed_us, parallel.elapsed_us);
+    EXPECT_EQ(serial.context_switches, parallel.context_switches);
+    EXPECT_EQ(serial.lock_acquires, parallel.lock_acquires);
+    ASSERT_EQ(serial.node_idle_us.size(), parallel.node_idle_us.size());
+    for (std::size_t n = 0; n < serial.node_idle_us.size(); ++n) {
+      EXPECT_EQ(serial.node_idle_us[n], parallel.node_idle_us[n]);
+    }
+    switch_counts.insert(serial.context_switches);
+  }
+  // Both delivery regimes occurred, so the sweep crossed the boundary
+  // (the first value on the not-delivered side is the exact-tie case).
+  EXPECT_EQ(switch_counts.size(), 2u) << "sweep never crossed the boundary";
+}
+
+}  // namespace
+}  // namespace actrack
