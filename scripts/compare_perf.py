@@ -35,6 +35,15 @@ Workloads are matched by name over the intersection of the two files
 (the CI smoke run uses the reduced grid against the full-grid
 baseline); a v1 report simply has no scale sweep to check.  Exit code
 0 = no regression, 1 = regression, 2 = bad input.
+
+Serving reports (bench/ablation_serving --out, schema
+actrack-serving-v1) are compared by a separate rule set when both
+inputs carry that schema.  Every number in them is simulated time, so
+all checks are machine-independent: per service, tracked p99 must not
+exceed static p99 (the subsystem's reason to exist) and tracked
+migration must stay within the per-window budget; per (service, mode)
+cell, p99 and served-request counts must stay within --tolerance of
+the baseline.
 """
 
 import argparse
@@ -59,7 +68,9 @@ SINGLE_TRIAL_SPEEDUP_FLOOR = 4.0
 SINGLE_TRIAL_MIN_HW_THREADS = 8
 SINGLE_TRIAL_MIN_DES_JOBS = 8
 
-SCHEMAS = ("actrack-perf-v1", "actrack-perf-v2", "actrack-perf-v3")
+SERVING_SCHEMA = "actrack-serving-v1"
+SCHEMAS = ("actrack-perf-v1", "actrack-perf-v2", "actrack-perf-v3",
+           SERVING_SCHEMA)
 
 
 def load(path):
@@ -70,9 +81,63 @@ def load(path):
         sys.exit(f"error: cannot read {path}: {err}")
     if data.get("schema") not in SCHEMAS:
         sys.exit(f"error: {path}: unknown schema {data.get('schema')!r}")
+    if data.get("schema") == SERVING_SCHEMA:
+        return {}, {}, data
     workloads = {w["name"]: w for w in data["workloads"]}
     scale = {s["threads"]: s for s in data.get("scale_sweep", [])}
     return workloads, scale, data
+
+
+def compare_serving(base, cand, tol):
+    """Serving-ablation comparison; returns the process exit code."""
+    bcells = {(c["service"], c["mode"]): c for c in base.get("cells", [])}
+    ccells = {(c["service"], c["mode"]): c for c in cand.get("cells", [])}
+    shared = sorted(set(bcells) & set(ccells))
+    if not shared:
+        sys.exit("error: the two serving reports share no cells")
+    failures = []
+
+    def check(cell, metric, candidate, threshold, direction):
+        ok = candidate >= threshold if direction > 0 else candidate <= threshold
+        line = (
+            f"{cell:16s} {metric:28s} {candidate:12.2f} "
+            f"(threshold {'>=' if direction > 0 else '<='} {threshold:.2f})"
+        )
+        if ok:
+            print(f"  ok   {line}")
+        else:
+            print(f"  FAIL {line}")
+            failures.append(f"{cell}: {metric}")
+
+    budget = cand.get("budget_bytes", 0)
+    for service in sorted({s for s, _ in ccells}):
+        static = ccells.get((service, "static"))
+        tracked = ccells.get((service, "tracked"))
+        print(f"{service}:")
+        if static and tracked:
+            check(service, "tracked p99 <= static p99",
+                  tracked["p99_us"], static["p99_us"], -1)
+            check(service, "tracked moved <= budget",
+                  tracked["moved_bytes_max"], budget, -1)
+        for key in sorted(k for k in shared if k[0] == service):
+            cell = f"{key[0]}/{key[1]}"
+            b, c = bcells[key], ccells[key]
+            check(cell, "p99 vs baseline", c["p99_us"],
+                  b["p99_us"] * (1.0 + tol), -1)
+            check(cell, "served vs baseline", c["served"],
+                  b["served"] * (1.0 - tol), +1)
+
+    skipped = sorted(set(bcells) ^ set(ccells))
+    if skipped:
+        print("note: cells present in only one report: "
+              + ", ".join(f"{s}/{m}" for s, m in skipped))
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} check(s) failed:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nno regressions across {len(shared)} serving cell(s)")
+    return 0
 
 
 def main():
@@ -96,6 +161,11 @@ def main():
 
     base, base_scale, base_data = load(args.baseline)
     cand, cand_scale, cand_data = load(args.candidate)
+    if SERVING_SCHEMA in (base_data.get("schema"), cand_data.get("schema")):
+        if base_data.get("schema") != cand_data.get("schema"):
+            sys.exit("error: cannot compare a serving report against a "
+                     "perf report")
+        return compare_serving(base_data, cand_data, args.tolerance)
     shared = sorted(set(base) & set(cand))
     if not shared and not cand_scale:
         sys.exit("error: the two reports share no workloads")

@@ -1,0 +1,30 @@
+#include "apps/drift_schedule.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace actrack {
+
+DriftSchedule::DriftSchedule(std::int32_t period, std::int32_t shift,
+                             std::int32_t modulus, std::uint64_t seed)
+    : period_(period), shift_(shift), modulus_(modulus), seed_(seed) {
+  ACTRACK_CHECK_MSG(period >= 1, "drift period must be >= 1");
+  ACTRACK_CHECK_MSG(shift >= 0, "drift shift must be >= 0");
+  ACTRACK_CHECK_MSG(modulus >= 1, "drift modulus must be >= 1");
+}
+
+std::int32_t DriftSchedule::rotation_of(std::int64_t step) const {
+  const auto epoch = static_cast<std::int64_t>(epoch_of(step));
+  if (seed_ == 0) {
+    return static_cast<std::int32_t>((epoch * shift_) %
+                                     static_cast<std::int64_t>(modulus_));
+  }
+  if (epoch == 0) return 0;  // every run starts un-rotated
+  // Random-access: one throwaway generator keyed by (seed, epoch), so
+  // any step's rotation is computable without walking earlier epochs.
+  Rng rng(seed_ + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(epoch));
+  return static_cast<std::int32_t>(
+      rng.uniform(static_cast<std::int64_t>(modulus_)));
+}
+
+}  // namespace actrack

@@ -1,0 +1,51 @@
+// DriftSchedule — one seeded hot-set rotation model shared by the
+// drifting kernel (apps/drifting.cpp) and the service workloads
+// (src/serve).
+//
+// Both model the same phenomenon: the sharing structure is stable for
+// `period` steps (an *epoch*), then rotates.  DriftingWorkload rotates
+// its neighbourhood-exchange partner; the serve request generators
+// rotate the base of the Zipfian hot set.  Factoring the schedule out
+// gives the two the same epoch arithmetic and, when seeded, the same
+// deterministic pseudorandom jump sequence — iteration(i) stays a pure
+// function of (config, i), which the --jobs/--des-jobs bit-identity
+// contract depends on.
+#pragma once
+
+#include <cstdint>
+
+namespace actrack {
+
+class DriftSchedule {
+ public:
+  /// `modulus` is the size of the rotation space (threads for the
+  /// drifting app, key shards or vertex partitions for serve).  With
+  /// seed 0 (the default) the rotation is the historical linear ramp
+  /// `(epoch * shift) % modulus` — DriftingWorkload's exact schedule,
+  /// pinned by a bit-identity regression test.  A nonzero seed replaces
+  /// the ramp with a per-epoch pseudorandom offset (random-access
+  /// deterministic, no sequential state), which serve uses so hot-set
+  /// jumps are unpredictable rather than a fixed stride.
+  DriftSchedule(std::int32_t period, std::int32_t shift, std::int32_t modulus,
+                std::uint64_t seed = 0);
+
+  /// The epoch a step belongs to (schedule constant within an epoch).
+  [[nodiscard]] std::int32_t epoch_of(std::int64_t step) const {
+    return static_cast<std::int32_t>(step / period_);
+  }
+
+  /// Rotation offset in [0, modulus) applied throughout `step`'s epoch.
+  [[nodiscard]] std::int32_t rotation_of(std::int64_t step) const;
+
+  [[nodiscard]] std::int32_t period() const noexcept { return period_; }
+  [[nodiscard]] std::int32_t shift() const noexcept { return shift_; }
+  [[nodiscard]] std::int32_t modulus() const noexcept { return modulus_; }
+
+ private:
+  std::int32_t period_;
+  std::int32_t shift_;
+  std::int32_t modulus_;
+  std::uint64_t seed_;
+};
+
+}  // namespace actrack

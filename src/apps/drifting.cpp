@@ -10,8 +10,7 @@ DriftingWorkload::DriftingWorkload(std::int32_t num_threads,
                                    std::int32_t pages_per_thread,
                                    std::int32_t shared_pages)
     : Workload("Drifting", num_threads),
-      period_(period),
-      shift_(shift),
+      drift_(period, shift, num_threads),
       pages_per_thread_(pages_per_thread),
       shared_pages_(shared_pages) {
   ACTRACK_CHECK(num_threads >= 2);
@@ -24,8 +23,8 @@ DriftingWorkload::DriftingWorkload(std::int32_t num_threads,
 }
 
 std::string DriftingWorkload::input_description() const {
-  return "rotate " + std::to_string(shift_) + " every " +
-         std::to_string(period_) + " iters";
+  return "rotate " + std::to_string(drift_.shift()) + " every " +
+         std::to_string(drift_.period()) + " iters";
 }
 
 IterationTrace DriftingWorkload::iteration(std::int32_t iter) const {
@@ -40,7 +39,7 @@ IterationTrace DriftingWorkload::iteration(std::int32_t iter) const {
       // The exchange partner drifts across epochs: at epoch e, thread t
       // reads from (t + 1 + e*shift) mod n — yesterday's optimal
       // placement slowly becomes a bad one.
-      const std::int32_t peer = (t + 1 + epoch_of(iter) * shift_) % n;
+      const std::int32_t peer = (t + 1 + drift_.rotation_of(iter)) % n;
       sb.read(data_, static_cast<ByteCount>(peer) * region,
               static_cast<ByteCount>(shared_pages_) * kPageSize);
     }

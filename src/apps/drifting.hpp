@@ -11,6 +11,7 @@
 // the way particles migrate between spatial regions.
 #pragma once
 
+#include "apps/drift_schedule.hpp"
 #include "apps/workload.hpp"
 
 namespace actrack {
@@ -34,13 +35,17 @@ class DriftingWorkload final : public Workload {
   /// The sharing epoch a given iteration belongs to (pattern constant
   /// within an epoch).
   [[nodiscard]] std::int32_t epoch_of(std::int32_t iter) const {
-    return iter / period_;
+    return drift_.epoch_of(iter);
   }
-  [[nodiscard]] std::int32_t period() const noexcept { return period_; }
+  [[nodiscard]] std::int32_t period() const noexcept {
+    return drift_.period();
+  }
 
  private:
-  std::int32_t period_;
-  std::int32_t shift_;
+  /// Unseeded (linear-ramp) schedule: serve's seeded drift and this
+  /// app's historical rotation are the same DriftSchedule code path,
+  /// pinned by a bit-identity test (tests/serve_test.cpp).
+  DriftSchedule drift_;
   std::int32_t pages_per_thread_;
   std::int32_t shared_pages_;
   SharedBuffer data_;

@@ -8,6 +8,8 @@
 #include "apps/spatial.hpp"
 #include "apps/water.hpp"
 #include "apps/workload.hpp"
+#include "serve/graph_service.hpp"
+#include "serve/kv_service.hpp"
 
 namespace actrack {
 
@@ -36,6 +38,15 @@ std::unique_ptr<Workload> make_workload(const std::string& paper_name,
   }
   if (paper_name == "Water") {
     return std::make_unique<WaterWorkload>(num_threads);
+  }
+  // Service workloads (src/serve): constructible everywhere Table-1
+  // apps are, but deliberately absent from all_workload_names() so the
+  // paper's sweeps keep their historical grid.
+  if (paper_name == "KV") {
+    return std::make_unique<serve::KvServiceWorkload>(num_threads);
+  }
+  if (paper_name == "Graph") {
+    return std::make_unique<serve::GraphServiceWorkload>(num_threads);
   }
   throw std::invalid_argument("unknown workload: " + paper_name);
 }

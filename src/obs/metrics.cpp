@@ -98,8 +98,8 @@ void MetricsRegistry::write_summary(std::ostream& out) const {
     const Histogram* h = find_histogram(name);
     out << "  " << std::left << std::setw(28) << name << std::right
         << "count=" << h->count() << " sum=" << h->sum()
-        << " min=" << h->min() << " p50=" << h->quantile(0.5)
-        << " p95=" << h->quantile(0.95) << " max=" << h->max() << '\n';
+        << " min=" << h->min() << " p50=" << h->p50() << " p95=" << h->p95()
+        << " p99=" << h->p99() << " max=" << h->max() << '\n';
   }
 }
 

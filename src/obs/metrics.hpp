@@ -50,8 +50,18 @@ class Histogram {
   [[nodiscard]] double mean() const noexcept;
 
   /// Smallest bucket upper bound below which at least `q` (0..1) of the
-  /// samples fall; clamped to [min(), max()].  0 when empty.
+  /// samples fall; clamped to [min(), max()].  0 when empty.  Because
+  /// buckets are powers of two, the answer overstates the true quantile
+  /// by at most 2x — the right trade for latency tails spanning orders
+  /// of magnitude, and every consumer (profile summaries, serve SLO
+  /// reporting, sweep CSVs) shares this one resolution rule.
   [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+  /// The SLO trio, spelled out so call sites agree on the exact
+  /// quantile arguments.
+  [[nodiscard]] std::int64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::int64_t p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] std::int64_t p99() const noexcept { return quantile(0.99); }
 
   [[nodiscard]] const std::int64_t* buckets() const noexcept {
     return buckets_;
@@ -91,7 +101,7 @@ class MetricsRegistry {
   }
 
   /// Aligned human-readable dump: every counter, then every histogram
-  /// with count/sum/min/p50/p95/max.
+  /// with count/sum/min/p50/p95/p99/max.
   void write_summary(std::ostream& out) const;
 
  private:

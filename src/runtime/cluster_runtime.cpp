@@ -1,6 +1,7 @@
 #include "runtime/cluster_runtime.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 #include "obs/probe.hpp"
@@ -89,6 +90,10 @@ IterationMetrics ClusterRuntime::run_init() {
 }
 
 IterationMetrics ClusterRuntime::run_iteration() {
+  return run_iteration(nullptr);
+}
+
+IterationMetrics ClusterRuntime::run_iteration(IterationResult* detail) {
   const IterationTrace trace = workload_->iteration(next_iteration_);
   validate_trace(trace, workload_->num_pages());
   if (probe_) {
@@ -99,11 +104,12 @@ IterationMetrics ClusterRuntime::run_iteration() {
                        next_iteration_, totals_.elapsed_us);
   }
   const Snapshot snap = snapshot();
-  const IterationResult result = sched_->run_iteration(trace, placement_);
+  IterationResult result = sched_->run_iteration(trace, placement_);
   next_iteration_ += 1;
   IterationMetrics metrics = delta_since(snap, result.elapsed_us);
   metrics.load_imbalance = result.load_imbalance();
   totals_.add(metrics);
+  if (detail != nullptr) *detail = std::move(result);
   return metrics;
 }
 

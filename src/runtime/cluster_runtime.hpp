@@ -84,6 +84,13 @@ class ClusterRuntime {
   /// Runs the next measured iteration under the current placement.
   IterationMetrics run_iteration();
 
+  /// As run_iteration(), additionally copying the scheduler-level
+  /// IterationResult into `*detail` (per-thread segment completion
+  /// times when SchedConfig::record_segment_ends is on, idle vectors).
+  /// The serving runtime uses this to turn segments-with-arrivals into
+  /// per-request latencies.
+  IterationMetrics run_iteration(IterationResult* detail);
+
   /// Runs the next iteration with active correlation tracking (§4.2).
   TrackedIterationMetrics run_tracked_iteration();
 

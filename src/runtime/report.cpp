@@ -30,7 +30,13 @@ std::optional<StepKind> step_kind_from_string(std::string_view name) noexcept {
 
 void MetricsLog::record(StepKind kind, std::int32_t index,
                         const IterationMetrics& metrics) {
-  entries_.push_back(Entry{index, kind, metrics});
+  entries_.push_back(Entry{index, kind, metrics, std::nullopt});
+}
+
+void MetricsLog::record_window(std::int32_t index,
+                               const IterationMetrics& metrics,
+                               const ServiceLatency& latency) {
+  entries_.push_back(Entry{index, StepKind::kIteration, metrics, latency});
 }
 
 IterationMetrics MetricsLog::total() const {
@@ -48,9 +54,15 @@ IterationMetrics MetricsLog::total(StepKind kind) const {
 }
 
 void MetricsLog::write_csv(std::ostream& out) const {
+  bool any_latency = false;
+  for (const Entry& entry : entries_) {
+    if (entry.latency.has_value()) any_latency = true;
+  }
   out << "index,kind,elapsed_us,remote_misses,read_faults,write_faults,"
          "messages,total_bytes,diff_bytes,control_bytes,stack_bytes,"
-         "gc_runs,sim_time_us\n";
+         "gc_runs,sim_time_us";
+  if (any_latency) out << ",served,p50_us,p95_us,p99_us";
+  out << '\n';
   SimTime sim_time_us = 0;  // cumulative simulated time at step start
   for (const Entry& entry : entries_) {
     const IterationMetrics& m = entry.metrics;
@@ -59,7 +71,13 @@ void MetricsLog::write_csv(std::ostream& out) const {
         << ',' << m.write_faults << ',' << m.messages << ','
         << m.total_bytes << ',' << m.diff_bytes << ',' << m.control_bytes
         << ',' << m.stack_bytes << ',' << m.gc_runs << ','
-        << sim_time_us << '\n';
+        << sim_time_us;
+    if (any_latency) {
+      const ServiceLatency lat = entry.latency.value_or(ServiceLatency{});
+      out << ',' << lat.served << ',' << lat.p50_us << ',' << lat.p95_us
+          << ',' << lat.p99_us;
+    }
+    out << '\n';
     sim_time_us += m.elapsed_us;
   }
 }

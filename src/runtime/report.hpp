@@ -30,16 +30,34 @@ enum class StepKind : std::uint8_t {
 [[nodiscard]] std::optional<StepKind> step_kind_from_string(
     std::string_view name) noexcept;
 
+/// Per-step request-latency digest for serving runs (quantiles come
+/// from obs::Histogram::p50/p95/p99, the one shared resolution rule).
+struct ServiceLatency {
+  std::int64_t served = 0;
+  SimTime p50_us = 0;
+  SimTime p95_us = 0;
+  SimTime p99_us = 0;
+};
+
 class MetricsLog {
  public:
   struct Entry {
     std::int32_t index = 0;  // iteration number, or -1 for migrations
     StepKind kind = StepKind::kIteration;
     IterationMetrics metrics;
+    /// Only serving windows carry latency; CSV output grows the
+    /// latency columns only when at least one entry has it, so
+    /// non-serving logs stay byte-identical to the historical format.
+    std::optional<ServiceLatency> latency;
   };
 
   void record(StepKind kind, std::int32_t index,
               const IterationMetrics& metrics);
+
+  /// As record(), additionally attaching a serving-window latency
+  /// digest (enables the p50/p95/p99 CSV columns).
+  void record_window(std::int32_t index, const IterationMetrics& metrics,
+                     const ServiceLatency& latency);
 
   [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
     return entries_;
@@ -52,7 +70,9 @@ class MetricsLog {
   /// Writes "index,kind,elapsed_us,remote_misses,read_faults,
   /// write_faults,messages,total_bytes,diff_bytes,gc_runs,sim_time_us"
   /// rows; sim_time_us is the cumulative simulated time at which the
-  /// step began.
+  /// step began.  When any entry carries a ServiceLatency, four extra
+  /// columns (served,p50_us,p95_us,p99_us) are appended — empty-valued
+  /// (0) for steps without one.
   void write_csv(std::ostream& out) const;
 
   /// Human-readable one-line summary of the run.

@@ -258,6 +258,9 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
   if (result.node_idle_us.empty()) {
     result.node_idle_us.assign(static_cast<std::size_t>(num_nodes), 0);
   }
+  if (config_.record_segment_ends && result.segment_end_us.empty()) {
+    result.segment_end_us.resize(num_threads);
+  }
 
   for (std::size_t t = 0; t < num_threads; ++t) {
     ThreadRun& tr = threads[t];
@@ -300,6 +303,16 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
       }
       const Segment& seg = tr.work->segments[tr.seg];
 
+      if (!tr.in_segment && seg.start_at_us > node.clock) {
+        // Open-loop arrival: the segment's request has not arrived yet.
+        // Park the thread until its arrival; the wake machinery treats
+        // this exactly like a remote-fetch completion, so other
+        // runnable threads (and other nodes) proceed meanwhile.
+        tr.ready_at = seg.start_at_us;
+        wakes.push(WakeEvent{tr.ready_at, t});
+        return;
+      }
+
       if (!tr.in_segment) {
         if (seg.lock_id >= 0 && !tr.lock_granted) {
           LockRun& lock = locks[seg.lock_id];
@@ -332,6 +345,10 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
       while (tr.acc < seg.accesses.size()) {
         node.clock += compute_time(tr.compute_share, tr.node);
         const PageAccess& pa = seg.accesses[tr.acc];
+        if (inline_tracker_ && !inline_tracker_->bitmaps[t].test(pa.page)) {
+          inline_tracker_->bitmaps[t].set(pa.page);
+          node.clock += compute_time(inline_tracker_->per_page_us, tr.node);
+        }
         const SimTime access_at = node.clock;
         if (probe_) probe_->set_context(tr.node, tr.id, node.clock);
         const AccessOutcome outcome = dsm_->access(tr.node, tr.id, pa);
@@ -396,6 +413,9 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase(
                                  waiter.node != tr.node, waiter.ready_at);
           }
         }
+      }
+      if (config_.record_segment_ends) {
+        result.segment_end_us[t].push_back(node.clock);
       }
       tr.seg += 1;
       tr.acc = 0;
@@ -484,6 +504,11 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
   if (result.node_idle_us.empty()) {
     result.node_idle_us.assign(static_cast<std::size_t>(num_nodes), 0);
   }
+  // Pre-sized before the pool runs; workers then touch only their own
+  // threads' inner vectors (a thread lives on exactly one node).
+  if (config_.record_segment_ends && result.segment_end_us.empty()) {
+    result.segment_end_us.resize(num_threads);
+  }
   for (std::size_t t = 0; t < num_threads; ++t) {
     ThreadRun& tr = threads[t];
     tr.id = static_cast<ThreadId>(t);
@@ -561,10 +586,20 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
           return;
         }
         const Segment& seg = tr.work->segments[tr.seg];
+        if (!tr.in_segment && seg.start_at_us > eng.clock) {
+          tr.ready_at = seg.start_at_us;
+          eng.wakes.push(WakeEvent{tr.ready_at, t});
+          record_slice(true, tr.ready_at, t);
+          return;
+        }
         if (!tr.in_segment) enter_segment(tr, seg);
         while (tr.acc < seg.accesses.size()) {
           eng.clock += compute_time(tr.compute_share, tr.node);
           const PageAccess& pa = seg.accesses[tr.acc];
+          if (inline_tracker_ && !inline_tracker_->bitmaps[t].test(pa.page)) {
+            inline_tracker_->bitmaps[t].set(pa.page);
+            eng.clock += compute_time(inline_tracker_->per_page_us, tr.node);
+          }
           const SimTime access_at = eng.clock;
           if (buf) buf->set_context(tr.node, tr.id, eng.clock);
           const AccessOutcome outcome = dsm_->access(tr.node, tr.id, pa);
@@ -594,6 +629,9 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
           }
         }
         eng.clock += compute_time(tr.compute_tail, tr.node);
+        if (config_.record_segment_ends) {
+          result.segment_end_us[t].push_back(eng.clock);
+        }
         tr.seg += 1;
         tr.acc = 0;
         tr.in_segment = false;
@@ -827,6 +865,9 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       }
       const Segment& seg = segments[cursor.segment_idx];
       SimTime& clock = cursor.clock;
+      // Open-loop arrival: with the thread scheduler disabled there is
+      // nothing to overlap with, so the node simply waits it out.
+      clock = std::max(clock, seg.start_at_us);
 
       if (seg.lock_id >= 0) {
         TrackedLock& lock = locks[seg.lock_id];

@@ -65,6 +65,35 @@ struct SchedConfig {
   /// with zero conservative lookahead: they fall back to the serial
   /// loop, so those layers compose unchanged.
   std::int32_t des_jobs = 1;
+
+  /// Record each thread's segment completion times into
+  /// IterationResult::segment_end_us.  Off (the default) skips the
+  /// recording entirely; the simulated schedule is identical either
+  /// way.  The serving runtime (src/serve) turns this on to measure
+  /// per-request latency: a request is one segment with a start_at_us
+  /// arrival, so latency = completion - arrival.
+  bool record_segment_ends = false;
+};
+
+/// Online access tracking without stopping the world (src/serve).
+///
+/// The paper's tracker (run_tracked_iteration, §4.2) read-protects the
+/// whole segment and runs threads atomically — fine for a one-shot
+/// measurement, unusable while serving latency-sensitive requests.  An
+/// attached InlineTracker instead models cheap software first-touch
+/// tracking on the *normal* scheduling path: the first access a thread
+/// makes to a page with its tracking bit still clear sets the bit in
+/// that thread's bitmap and charges `per_page_us` of local compute (one
+/// lightweight trap).  Bitmaps are per thread and a thread runs on
+/// exactly one node, so the parallel DES path stays race-free and
+/// bit-identical.  Null (the default) is the zero-cost off-path.
+struct InlineTracker {
+  /// One bitset per thread, sized to the page count.  The caller owns
+  /// clearing between windows (clearing re-arms first-touch traps).
+  std::vector<DynamicBitset> bitmaps;
+  /// Simulated cost of one tracking trap (set-bit + re-arm), charged as
+  /// node-local compute on the accessing thread.
+  SimTime per_page_us = 3;
 };
 
 struct IterationResult {
@@ -78,6 +107,12 @@ struct IterationResult {
   /// spread quantifies load imbalance (§5.1: placement "must also
   /// address load balancing").
   std::vector<SimTime> node_idle_us;
+
+  /// Per-thread segment completion times (node clock at each segment's
+  /// end, in the thread's segment order, phases concatenated).  Only
+  /// filled when SchedConfig::record_segment_ends is set; empty
+  /// otherwise.
+  std::vector<std::vector<SimTime>> segment_end_us;
 
   /// max/mean of per-node active time; 1.0 is perfectly balanced.
   [[nodiscard]] double load_imbalance() const;
@@ -136,6 +171,13 @@ class ClusterScheduler {
     fault_ = fault;
   }
 
+  /// Attaches an inline first-touch tracker (null detaches).  The
+  /// tracker's bitmaps must be sized num_threads × num_pages before any
+  /// tracked iteration runs.
+  void set_inline_tracker(InlineTracker* tracker) noexcept {
+    inline_tracker_ = tracker;
+  }
+
  private:
   struct PhaseOutcome {
     SimTime phase_end_us = 0;  // barrier completion time
@@ -171,6 +213,7 @@ class ClusterScheduler {
   SchedConfig config_;
   obs::Probe* probe_ = nullptr;  // non-owning, may be null
   fault::FaultInjector* fault_ = nullptr;  // non-owning, may be null
+  InlineTracker* inline_tracker_ = nullptr;  // non-owning, may be null
 
   /// Per-phase working state (thread cursors, run queues, wake heap,
   /// tracked-iteration cursors) reused across phases and iterations so

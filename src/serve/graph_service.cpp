@@ -1,0 +1,126 @@
+#include "serve/graph_service.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack::serve {
+
+GraphServiceWorkload::GraphServiceWorkload(std::int32_t num_threads,
+                                           GraphConfig config)
+    : Workload("Graph", num_threads),
+      config_(config),
+      drift_(config.traffic.drift_period, 1, num_threads,
+             (config.traffic.seed << 1) | 1),
+      gen_(config.traffic,
+           static_cast<std::int64_t>(num_threads) *
+               config.pages_per_partition * config.vertices_per_page) {
+  ACTRACK_CHECK(num_threads >= 2);
+  ACTRACK_CHECK(config.pages_per_partition >= 1);
+  ACTRACK_CHECK(config.vertices_per_page >= 1);
+  ACTRACK_CHECK(config.hops >= 1);
+  adjacency_ = space_.allocate(static_cast<ByteCount>(num_threads) *
+                                   config.pages_per_partition * kPageSize,
+                               "graph.adjacency");
+}
+
+std::int64_t GraphServiceWorkload::num_vertices() const noexcept {
+  return static_cast<std::int64_t>(num_threads()) *
+         config_.pages_per_partition * config_.vertices_per_page;
+}
+
+std::int32_t GraphServiceWorkload::num_communities() const noexcept {
+  return std::max(1, num_threads() / 4);
+}
+
+std::int32_t GraphServiceWorkload::hop_target(
+    std::int32_t partition) const noexcept {
+  // Ring over the members of `partition`'s community (partitions
+  // congruent mod C).  Every community has >= 2 members for T >= 2, so
+  // a hop never stays put.
+  const std::int32_t c = num_communities();
+  const std::int32_t next = partition + c;
+  return next < num_threads() ? next : partition % c;
+}
+
+std::string GraphServiceWorkload::input_description() const {
+  return std::to_string(num_vertices()) + " vertices, " +
+         std::to_string(config_.hops) + " hops, " +
+         std::to_string(
+             static_cast<std::int64_t>(config_.traffic.rate_per_sec)) +
+         " req/s";
+}
+
+IterationTrace GraphServiceWorkload::iteration(std::int32_t iter) const {
+  IterationTrace trace = make_trace(1);
+  const std::int32_t n = num_threads();
+  const ByteCount part_bytes =
+      static_cast<ByteCount>(config_.pages_per_partition) * kPageSize;
+  if (iter == 0) {
+    for (std::int32_t t = 0; t < n; ++t) {
+      SegmentBuilder sb;
+      sb.write(adjacency_, static_cast<ByteCount>(t) * part_bytes,
+               part_bytes);
+      sb.add_compute(500);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  // Maintenance ingest: every owner dirties each of its pages, so
+  // remote copies fetched by last window's walks are invalid again.
+  const ByteCount ingest =
+      std::min<ByteCount>(config_.ingest_bytes, kPageSize);
+  for (std::int32_t t = 0; t < n; ++t) {
+    SegmentBuilder sb;
+    for (std::int32_t pg = 0; pg < config_.pages_per_partition; ++pg) {
+      sb.write(adjacency_,
+               static_cast<ByteCount>(t) * part_bytes +
+                   static_cast<ByteCount>(pg) * kPageSize,
+               ingest);
+    }
+    sb.add_compute(config_.maintenance_compute_us);
+    trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+        sb.take());
+  }
+
+  const std::int32_t w = iter - 1;
+  const std::int64_t vertices_per_partition =
+      static_cast<std::int64_t>(config_.pages_per_partition) *
+      config_.vertices_per_page;
+  const std::int64_t hot_base =
+      drift_.rotation_of(w) * vertices_per_partition;
+  for (const Request& req : gen_.window(w, hot_base)) {
+    std::int64_t v = req.item;
+    auto part = static_cast<std::int32_t>(v / vertices_per_partition);
+    const std::int32_t server = part;  // walks run at the start partition
+    SegmentBuilder sb;
+    for (std::int32_t hop = 0; hop <= config_.hops; ++hop) {
+      const std::int64_t in_part = v % vertices_per_partition;
+      const auto page =
+          static_cast<std::int32_t>(in_part / config_.vertices_per_page);
+      sb.read(adjacency_,
+              static_cast<ByteCount>(part) * part_bytes +
+                  static_cast<ByteCount>(page) * kPageSize,
+              kPageSize / 4);
+      // Next vertex lives in the community ring's next partition, at a
+      // slot scrambled by the walk so different hops hit different
+      // pages.
+      part = hop_target(part);
+      v = static_cast<std::int64_t>(part) * vertices_per_partition +
+          (v * 7 + hop + 1) % vertices_per_partition;
+    }
+    sb.add_compute(config_.hop_compute_us *
+                   static_cast<SimTime>(config_.hops + 1));
+    Segment seg = sb.take();
+    seg.start_at_us = req.arrival_us;
+    trace.phases[0]
+        .threads[static_cast<std::size_t>(server)]
+        .segments.push_back(std::move(seg));
+  }
+  return trace;
+}
+
+}  // namespace actrack::serve

@@ -1,0 +1,75 @@
+// GraphServiceWorkload — a partitioned graph-traversal service.
+//
+// T threads own T vertex partitions (contiguous page runs).  Each
+// serving window opens with a maintenance segment per thread
+// (start_at_us = 0, i.e. unconstrained): the owner rewrites part of
+// every page it owns, modelling background ingest.  Those writes
+// invalidate any remote copies, so a walk crossing partitions pays a
+// fresh remote miss per foreign page every window — unless the walked
+// partitions share a node.
+//
+// Requests are multi-hop walks: the start vertex is Zipf-popular with
+// a drifting hot set, the serving thread is the start partition's
+// owner, and each hop rings through the start partition's *community*
+// — partitions congruent mod C (C = max(1, T/4)).  Communities are
+// deliberately interleaved, not contiguous: the default stretch
+// placement (consecutive threads per node) cuts every community edge,
+// while a placement that groups a community onto one node makes its
+// walks entirely node-local.  Drift rotates which community is hot,
+// so a budgeted tracker keeps chasing the structure the static
+// placement can never express.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/drift_schedule.hpp"
+#include "apps/workload.hpp"
+#include "serve/reqgen.hpp"
+
+namespace actrack::serve {
+
+struct GraphConfig {
+  std::int32_t pages_per_partition = 4;
+  std::int32_t vertices_per_page = 64;
+  /// Hops per walk (pages read beyond the start vertex's page).
+  std::int32_t hops = 3;
+  /// CPU cost charged per hop (including the start vertex).
+  SimTime hop_compute_us = 12;
+  /// Bytes rewritten per owned page by the per-window maintenance pass.
+  std::int32_t ingest_bytes = 256;
+  SimTime maintenance_compute_us = 200;
+  TrafficConfig traffic;
+};
+
+class GraphServiceWorkload final : public Workload {
+ public:
+  GraphServiceWorkload(std::int32_t num_threads, GraphConfig config = {});
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier (window boundary)";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 24;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+  [[nodiscard]] const GraphConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::int64_t num_vertices() const noexcept;
+  /// Number of walk communities, max(1, T/4); community of partition p
+  /// is p mod num_communities().
+  [[nodiscard]] std::int32_t num_communities() const noexcept;
+  /// Partition reached by one hop out of partition p: the next member
+  /// of p's community (a ring over partitions congruent mod
+  /// num_communities()).
+  [[nodiscard]] std::int32_t hop_target(std::int32_t partition) const noexcept;
+  [[nodiscard]] const DriftSchedule& drift() const noexcept { return drift_; }
+
+ private:
+  GraphConfig config_;
+  DriftSchedule drift_;
+  RequestGenerator gen_;
+  SharedBuffer adjacency_;
+};
+
+}  // namespace actrack::serve

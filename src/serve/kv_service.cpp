@@ -1,0 +1,153 @@
+#include "serve/kv_service.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/segment_builder.hpp"
+
+namespace actrack::serve {
+
+namespace {
+
+/// Replica placement stride T/2: for even T the (primary, replica)
+/// pairing is an involution (t <-> t + T/2), so a zero-cut placement
+/// of the pairs exists — but it interleaves the thread order, so the
+/// contiguous stretch placement cuts every single pair.
+std::int32_t replica_offset(std::int32_t num_threads) {
+  return std::max(1, num_threads / 2);
+}
+
+}  // namespace
+
+KvServiceWorkload::KvServiceWorkload(std::int32_t num_threads, KvConfig config)
+    : Workload("KV", num_threads),
+      config_(config),
+      // Drift modulus is the shard count; the shifted-odd seed keeps the
+      // schedule in its seeded (pseudorandom-jump) mode for every
+      // traffic seed, including 0.
+      drift_(config.traffic.drift_period, 1, num_threads,
+             (config.traffic.seed << 1) | 1),
+      gen_(config.traffic, static_cast<std::int64_t>(num_threads) *
+                               config.pages_per_shard * config.keys_per_page) {
+  ACTRACK_CHECK(num_threads >= 2);
+  ACTRACK_CHECK(config.pages_per_shard >= 1);
+  ACTRACK_CHECK(config.keys_per_page >= 1 &&
+                config.keys_per_page <= kPageSize);
+  ACTRACK_CHECK(config.put_ratio >= 0.0 && config.scan_ratio >= 0.0 &&
+                config.put_ratio + config.scan_ratio <= 1.0);
+  ACTRACK_CHECK(config.replica_read_ratio >= 0.0 &&
+                config.replica_read_ratio <= 1.0);
+  const ByteCount table = static_cast<ByteCount>(num_threads) *
+                          config.pages_per_shard * kPageSize;
+  primary_ = space_.allocate(table, "kv.primary");
+  replica_ = space_.allocate(table, "kv.replica");
+}
+
+std::int64_t KvServiceWorkload::num_keys() const noexcept {
+  return static_cast<std::int64_t>(num_threads()) * config_.pages_per_shard *
+         config_.keys_per_page;
+}
+
+std::int32_t KvServiceWorkload::replica_host(
+    std::int32_t shard) const noexcept {
+  return (shard + replica_offset(num_threads())) % num_threads();
+}
+
+std::string KvServiceWorkload::input_description() const {
+  return std::to_string(num_keys()) + " keys, " +
+         std::to_string(static_cast<std::int64_t>(
+             config_.traffic.rate_per_sec)) +
+         " req/s, zipf " + std::to_string(config_.traffic.zipf_s);
+}
+
+IterationTrace KvServiceWorkload::iteration(std::int32_t iter) const {
+  IterationTrace trace = make_trace(1);
+  const std::int32_t n = num_threads();
+  const ByteCount shard_bytes =
+      static_cast<ByteCount>(config_.pages_per_shard) * kPageSize;
+  if (iter == 0) {
+    // First-touch: thread t owns primary shard t and hosts the replica
+    // region of the shard that maps onto it.
+    const std::int32_t off = replica_offset(n);
+    for (std::int32_t t = 0; t < n; ++t) {
+      SegmentBuilder sb;
+      sb.write(primary_, static_cast<ByteCount>(t) * shard_bytes,
+               shard_bytes);
+      const std::int32_t hosted = (t - off + n) % n;  // rep(hosted) == t
+      sb.write(replica_, static_cast<ByteCount>(hosted) * shard_bytes,
+               shard_bytes);
+      sb.add_compute(500);
+      trace.phases[0].threads[static_cast<std::size_t>(t)].segments.push_back(
+          sb.take());
+    }
+    return trace;
+  }
+
+  const std::int32_t w = iter - 1;  // first measured window is 0
+  const std::int64_t keys_per_shard =
+      static_cast<std::int64_t>(config_.pages_per_shard) *
+      config_.keys_per_page;
+  const std::int64_t hot_base = drift_.rotation_of(w) * keys_per_shard;
+  const std::vector<Request> reqs = gen_.window(w, hot_base);
+  // Separate per-window stream for the op mix so adding an op class
+  // never perturbs arrivals or key choice.
+  Rng op_rng(config_.traffic.seed +
+             0xBF58476D1CE4E5B9ULL * (static_cast<std::uint64_t>(w) + 1));
+  const ByteCount slot_bytes = kPageSize / config_.keys_per_page;
+  const ByteCount write_bytes =
+      std::min<ByteCount>(config_.put_bytes, slot_bytes);
+  for (const Request& req : reqs) {
+    const std::int64_t key = req.item;
+    const auto shard = static_cast<std::int32_t>(key / keys_per_shard);
+    const std::int64_t in_shard = key % keys_per_shard;
+    const auto page_in_shard =
+        static_cast<std::int32_t>(in_shard / config_.keys_per_page);
+    const ByteCount offset =
+        static_cast<ByteCount>(shard) * shard_bytes +
+        static_cast<ByteCount>(page_in_shard) * kPageSize +
+        static_cast<ByteCount>(in_shard % config_.keys_per_page) * slot_bytes;
+    std::int32_t server = shard;
+    SegmentBuilder sb;
+    const double u = op_rng.uniform_real();
+    const double v = op_rng.uniform_real();  // drawn always, for stability
+    if (u < config_.put_ratio) {
+      // Upstream write + synchronous replica update: the replica write
+      // is the cross-node invalidation that keeps the (shard,
+      // replica-host) pair correlated.  The version bump on the
+      // shard's index page (its first page) invalidates the replica
+      // host's cached index on *every* put to the shard.
+      sb.write(primary_, static_cast<ByteCount>(shard) * shard_bytes, 16);
+      sb.write(primary_, offset, write_bytes);
+      sb.write(replica_, offset, write_bytes);
+    } else if (u < config_.put_ratio + config_.scan_ratio) {
+      // Short range scan across the shard's primary pages.
+      for (std::int32_t s = 0; s < 2; ++s) {
+        const std::int32_t pg =
+            (page_in_shard + s) % config_.pages_per_shard;
+        sb.read(primary_,
+                static_cast<ByteCount>(shard) * shard_bytes +
+                    static_cast<ByteCount>(pg) * kPageSize,
+                kPageSize);
+      }
+    } else if (v < config_.replica_read_ratio) {
+      // Read-repair at the replica host: validate against the
+      // primary's index page, then serve from the local replica slot.
+      // When the pair is split across nodes this is two foreign pages
+      // back to back; co-located it is entirely node-local.
+      server = replica_host(shard);
+      sb.read(primary_, static_cast<ByteCount>(shard) * shard_bytes, 64);
+      sb.read(replica_, offset, slot_bytes);
+    } else {
+      sb.read(primary_, offset, slot_bytes);
+    }
+    sb.add_compute(config_.service_compute_us);
+    Segment seg = sb.take();
+    seg.start_at_us = req.arrival_us;
+    trace.phases[0]
+        .threads[static_cast<std::size_t>(server)]
+        .segments.push_back(std::move(seg));
+  }
+  return trace;
+}
+
+}  // namespace actrack::serve

@@ -1,0 +1,79 @@
+// KvServiceWorkload — a sharded key-value store over the paged address
+// space, driven by the open-loop request generator.
+//
+// Layout: T threads own T primary shards (contiguous page runs in one
+// buffer) plus a replica table in a second buffer.  The replica region
+// of shard p is hosted by thread rep(p) = (p + T/2) mod T — for even T
+// an involution, so a placement that co-locates every (primary,
+// replica) pair exists, but it interleaves thread order and the
+// default contiguous stretch placement cuts every pair.  Rolling
+// correlation windows see exactly that structure, hottest pairs first,
+// which is what budgeted re-placement needs.
+//
+// Traffic: each measured iteration is one serving window.  PUTs bump a
+// version on the shard's index page (first primary page) and write the
+// key's primary + replica pages (the cross-node writes that invalidate
+// the replica host's copies); GETs read the primary locally, except a
+// configurable fraction served by the replica host as a read-repair —
+// index-page validate then local replica slot, i.e. two foreign pages
+// back to back whenever the pair is split; SCANs read a short run of
+// primary pages.  The Zipf hot set re-bases on a seeded DriftSchedule,
+// so the placement pressure keeps rotating across pairs.
+//
+// Every request is one Segment with start_at_us = its arrival time
+// (>= 1); iteration(i) is a pure function of (config, i), preserving
+// the --jobs/--des-jobs bit-identity contract.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/drift_schedule.hpp"
+#include "apps/workload.hpp"
+#include "serve/reqgen.hpp"
+
+namespace actrack::serve {
+
+struct KvConfig {
+  std::int32_t pages_per_shard = 4;
+  std::int32_t keys_per_page = 16;
+  /// Request mix; the remainder of gets after `replica_read_ratio` is
+  /// served at the primary.
+  double put_ratio = 0.30;
+  double scan_ratio = 0.05;
+  double replica_read_ratio = 0.45;
+  /// CPU cost charged per request on the serving thread.
+  SimTime service_compute_us = 40;
+  /// Payload written by a PUT (to both primary and replica pages).
+  std::int32_t put_bytes = 256;
+  TrafficConfig traffic;
+};
+
+class KvServiceWorkload final : public Workload {
+ public:
+  KvServiceWorkload(std::int32_t num_threads, KvConfig config = {});
+
+  [[nodiscard]] std::string synchronization() const override {
+    return "barrier (window boundary)";
+  }
+  [[nodiscard]] std::string input_description() const override;
+  [[nodiscard]] std::int32_t default_iterations() const override {
+    return 24;
+  }
+  [[nodiscard]] IterationTrace iteration(std::int32_t iter) const override;
+
+  [[nodiscard]] const KvConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::int64_t num_keys() const noexcept;
+  /// Replica host of shard p (a fixed-point-free permutation of
+  /// threads for every T >= 2).
+  [[nodiscard]] std::int32_t replica_host(std::int32_t shard) const noexcept;
+  [[nodiscard]] const DriftSchedule& drift() const noexcept { return drift_; }
+
+ private:
+  KvConfig config_;
+  DriftSchedule drift_;
+  RequestGenerator gen_;
+  SharedBuffer primary_;
+  SharedBuffer replica_;
+};
+
+}  // namespace actrack::serve

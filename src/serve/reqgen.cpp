@@ -1,0 +1,65 @@
+#include "serve/reqgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace actrack::serve {
+
+ZipfSampler::ZipfSampler(std::int64_t num_items, double s) {
+  ACTRACK_CHECK_MSG(num_items >= 1, "zipf needs at least one item");
+  ACTRACK_CHECK_MSG(s >= 0.0, "zipf skew must be non-negative");
+  cdf_.resize(static_cast<std::size_t>(num_items));
+  double acc = 0.0;
+  for (std::int64_t r = 0; r < num_items; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[static_cast<std::size_t>(r)] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::int64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_real();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::int64_t>(it - cdf_.begin());
+  return std::min(rank, num_items() - 1);
+}
+
+double ZipfSampler::probability(std::int64_t rank) const {
+  ACTRACK_CHECK(rank >= 0 && rank < num_items());
+  const auto r = static_cast<std::size_t>(rank);
+  return rank == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+RequestGenerator::RequestGenerator(const TrafficConfig& config,
+                                   std::int64_t num_items)
+    : config_(config), zipf_(num_items, config.zipf_s) {
+  ACTRACK_CHECK_MSG(config.rate_per_sec > 0.0, "arrival rate must be > 0");
+  ACTRACK_CHECK_MSG(config.window_us >= 1, "window must be >= 1 us");
+}
+
+std::vector<Request> RequestGenerator::window(std::int32_t w,
+                                              std::int64_t hot_base) const {
+  ACTRACK_CHECK(w >= 0);
+  // Golden-ratio stride keeps adjacent windows' seeds far apart; the
+  // +1 keeps window 0 off the raw config seed.
+  Rng rng(config_.seed +
+          0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(w) + 1));
+  const std::int64_t n = zipf_.num_items();
+  std::vector<Request> out;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival; 1 - u keeps the argument of log in
+    // (0, 1] since uniform_real() is [0, 1).
+    t += -std::log(1.0 - rng.uniform_real()) * 1e6 / config_.rate_per_sec;
+    const auto arrival = static_cast<SimTime>(t) + 1;  // >= 1 by contract
+    if (arrival > config_.window_us) break;
+    const std::int64_t item = (hot_base + zipf_.sample(rng)) % n;
+    out.push_back(Request{arrival, item});
+  }
+  return out;
+}
+
+}  // namespace actrack::serve

@@ -1,0 +1,88 @@
+// Open-loop request generation for the service workloads.
+//
+// Scientific workloads (src/apps) are closed-loop: every thread always
+// has its next segment ready, and "performance" is iteration elapsed
+// time.  Services are open-loop: requests arrive on a wall clock that
+// does not care whether the server is keeping up, so a placement that
+// inflates service times builds queues and blows up tail latency —
+// which is the quantity the serving runtime optimises.
+//
+// The generator produces, per rolling window, a deterministic Poisson
+// arrival stream whose items are drawn from a Zipfian popularity
+// distribution re-based by a seeded DriftSchedule (the hot set jumps
+// every `drift_period` windows).  window(w) is a pure function of
+// (config, w): it seeds a throwaway Rng from (seed, w), so any window
+// is computable without generating its predecessors and the request
+// stream is bit-identical at any --jobs/--des-jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace actrack::serve {
+
+/// One request: when it arrives (µs from the start of its window,
+/// always >= 1 so a Segment carrying it is distinguishable from
+/// unconstrained maintenance work) and which item it targets.
+struct Request {
+  SimTime arrival_us = 0;
+  std::int64_t item = 0;
+};
+
+/// Zipfian sampler over ranks [0, n): P(rank r) proportional to
+/// 1/(r+1)^s.  Precomputes the CDF once; each draw is one uniform plus
+/// a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t num_items, double s);
+
+  /// Rank in [0, n); rank 0 is the most popular.
+  [[nodiscard]] std::int64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::int64_t num_items() const noexcept {
+    return static_cast<std::int64_t>(cdf_.size());
+  }
+  [[nodiscard]] double probability(std::int64_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); back() == 1.0
+};
+
+/// Knobs shared by every service workload.
+struct TrafficConfig {
+  /// Aggregate open-loop arrival rate across the whole service, in
+  /// requests per second of simulated time.
+  double rate_per_sec = 20'000.0;
+  /// Zipf skew; 0 is uniform, ~0.9 is web-cache-like.
+  double zipf_s = 0.9;
+  /// Simulated length of one serving window.
+  SimTime window_us = 50'000;
+  /// Windows per hot-set epoch (DriftSchedule period).
+  std::int32_t drift_period = 6;
+  /// Seed for both the arrival stream and the drift jumps.
+  std::uint64_t seed = 0x5E2FE5EEDULL;
+};
+
+/// Deterministic per-window stream: Poisson arrivals at
+/// `rate_per_sec`, items Zipf-ranked then rotated so rank 0 lands on
+/// `hot_base` (the caller derives hot_base from its DriftSchedule).
+class RequestGenerator {
+ public:
+  RequestGenerator(const TrafficConfig& config, std::int64_t num_items);
+
+  /// All requests arriving within window `w`, in arrival order.
+  /// item = (hot_base + zipf_rank) mod num_items.
+  [[nodiscard]] std::vector<Request> window(std::int32_t w,
+                                            std::int64_t hot_base) const;
+
+  [[nodiscard]] const ZipfSampler& zipf() const noexcept { return zipf_; }
+
+ private:
+  TrafficConfig config_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace actrack::serve

@@ -1,0 +1,309 @@
+#include "serve/serving_runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "correlation/view.hpp"
+#include "placement/heuristics.hpp"
+#include "placement/hierarchical.hpp"
+
+namespace actrack::serve {
+
+namespace {
+
+constexpr NodeId kNoDest = -1;
+
+/// Per-request latency needs completion clocks whatever the caller
+/// passed; recording them has no effect on simulated time.
+RuntimeConfig with_segment_ends(RuntimeConfig config) {
+  config.sched.record_segment_ends = true;
+  return config;
+}
+
+}  // namespace
+
+const char* to_string(ServeMode mode) noexcept {
+  switch (mode) {
+    case ServeMode::kStatic:
+      return "static";
+    case ServeMode::kOneShot:
+      return "oneshot";
+    case ServeMode::kTracked:
+      return "tracked";
+  }
+  return "?";
+}
+
+ServingRuntime::ServingRuntime(const Workload& workload, Placement placement,
+                               RuntimeConfig config, ServeConfig serve)
+    : runtime_(workload, std::move(placement), with_segment_ends(config)),
+      serve_(serve),
+      stack_bytes_per_move_(config.cost.thread_stack_bytes),
+      sparse_mode_(use_sparse_correlation(workload.num_threads())),
+      tracking_enabled_(serve.mode != ServeMode::kStatic),
+      aged_(workload.num_threads(), serve.decay),
+      aged_snapshot_(workload.num_threads()),
+      streak_dest_(static_cast<std::size_t>(workload.num_threads()), kNoDest),
+      streak_(static_cast<std::size_t>(workload.num_threads()), 0) {
+  ACTRACK_CHECK_MSG(serve.track_every >= 1, "track_every must be >= 1");
+  ACTRACK_CHECK_MSG(serve.hysteresis_windows >= 1,
+                    "hysteresis must be >= 1 window");
+  ACTRACK_CHECK_MSG(serve.budget_bytes >= 0, "budget must be >= 0");
+  ACTRACK_CHECK_MSG(serve.oneshot_warmup >= 1,
+                    "one-shot needs at least one tracked window");
+  tracker_.per_page_us = serve.track_per_page_us;
+  tracker_.bitmaps.assign(static_cast<std::size_t>(workload.num_threads()),
+                          DynamicBitset(workload.num_pages()));
+}
+
+IterationMetrics ServingRuntime::run_init() {
+  // Init is first-touch plumbing, not service traffic: keep it out of
+  // the correlation estimate.
+  runtime_.scheduler().set_inline_tracker(nullptr);
+  return runtime_.run_init();
+}
+
+void ServingRuntime::attach_tracker() {
+  runtime_.scheduler().set_inline_tracker(tracking_enabled_ ? &tracker_
+                                                            : nullptr);
+}
+
+void ServingRuntime::harvest_latencies(std::int32_t iter,
+                                       const IterationResult& detail,
+                                       obs::Histogram& window_hist) {
+  if (detail.segment_end_us.empty()) return;
+  const IterationTrace trace = runtime_.workload().iteration(iter);
+  std::vector<std::size_t> next(detail.segment_end_us.size(), 0);
+  for (const Phase& phase : trace.phases) {
+    for (std::size_t t = 0; t < phase.threads.size(); ++t) {
+      for (const Segment& seg : phase.threads[t].segments) {
+        const std::size_t idx = next[t]++;
+        if (seg.start_at_us < 1) continue;  // maintenance/init work
+        ACTRACK_CHECK(idx < detail.segment_end_us[t].size());
+        const SimTime end = detail.segment_end_us[t][idx];
+        const SimTime lat = end - seg.start_at_us;
+        window_hist.add(lat);
+        latency_.add(lat);
+      }
+    }
+  }
+}
+
+Placement ServingRuntime::propose(std::int32_t max_moves) {
+  if (sparse_mode_) {
+    // The sparse path re-solves from scratch; the budget and
+    // hysteresis are applied afterwards by qualify().
+    return hierarchical_min_cost_placement(sparse_,
+                                           runtime_.placement().num_nodes());
+  }
+  aged_snapshot_ = aged_.snapshot();
+  return min_cost_within_budget(aged_snapshot_, runtime_.placement(),
+                                max_moves);
+}
+
+std::vector<std::int64_t> ServingRuntime::gains(const Placement& proposal) {
+  const Placement& current = runtime_.placement();
+  const std::int32_t n = current.num_threads();
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+  if (sparse_mode_) {
+    ViewCutCost cc;
+    cc.reset(sparse_, current.node_of_thread(), current.num_nodes());
+    for (ThreadId t = 0; t < n; ++t) {
+      const NodeId to = proposal.node_of(t);
+      if (to == current.node_of(t)) continue;
+      out[static_cast<std::size_t>(t)] =
+          cc.affinity(t, to) - cc.affinity(t, current.node_of(t));
+    }
+    return out;
+  }
+  IncrementalCutCost cc;
+  cc.reset(aged_snapshot_, current.node_of_thread(), current.num_nodes());
+  for (ThreadId t = 0; t < n; ++t) {
+    const NodeId to = proposal.node_of(t);
+    if (to == current.node_of(t)) continue;
+    out[static_cast<std::size_t>(t)] =
+        cc.affinity(t, to) - cc.affinity(t, current.node_of(t));
+  }
+  return out;
+}
+
+std::vector<ServingRuntime::Move> ServingRuntime::qualify(
+    const Placement& proposal, std::int32_t max_moves) {
+  const Placement& current = runtime_.placement();
+  const std::int32_t n = current.num_threads();
+  const std::vector<std::int64_t> gain = gains(proposal);
+
+  // Hysteresis streaks: a thread accumulates one tick per evaluation
+  // in which the proposal keeps wanting the same destination with a
+  // qualifying gain; anything else resets it.
+  std::vector<bool> eligible(static_cast<std::size_t>(n), false);
+  for (ThreadId t = 0; t < n; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    const NodeId to = proposal.node_of(t);
+    const bool wants = to != current.node_of(t);
+    const bool qualifies = wants && gain[i] >= serve_.gain_threshold;
+    if (!qualifies) {
+      streak_[i] = 0;
+      streak_dest_[i] = kNoDest;
+      continue;
+    }
+    if (streak_dest_[i] == to) {
+      streak_[i] += 1;
+    } else {
+      streak_dest_[i] = to;
+      streak_[i] = 1;
+    }
+    eligible[i] = streak_[i] >= serve_.hysteresis_windows;
+  }
+
+  // Decompose the full proposal diff into node cycles (for balanced
+  // endpoints every node's arrivals equal its departures, so the walk
+  // below closes; a dead end just drops that walk's moves for this
+  // window).  A cycle commits only when every thread in it is
+  // eligible, keeping node populations exactly intact.
+  std::vector<Move> diff;
+  for (ThreadId t = 0; t < n; ++t) {
+    if (proposal.node_of(t) != current.node_of(t)) {
+      diff.push_back(Move{t, current.node_of(t), proposal.node_of(t)});
+    }
+  }
+  std::vector<std::vector<std::size_t>> by_src(
+      static_cast<std::size_t>(current.num_nodes()));
+  for (std::size_t m = diff.size(); m > 0; --m) {
+    by_src[static_cast<std::size_t>(diff[m - 1].from)].push_back(m - 1);
+  }  // reverse push => pop_back yields lowest thread id first
+  std::vector<bool> used(diff.size(), false);
+  std::vector<Move> committed;
+  std::int32_t moves_total = 0;
+  for (std::size_t start = 0; start < diff.size(); ++start) {
+    if (used[start]) continue;
+    std::vector<std::size_t> cycle;
+    std::size_t cur = start;
+    bool closed = false;
+    for (;;) {
+      used[cur] = true;
+      cycle.push_back(cur);
+      const auto at = static_cast<std::size_t>(diff[cur].to);
+      auto& queue = by_src[at];
+      while (!queue.empty() && used[queue.back()]) queue.pop_back();
+      if (diff[cur].to == diff[start].from) {
+        closed = true;
+        break;
+      }
+      if (queue.empty()) break;  // unbalanced endpoints; drop this walk
+      cur = queue.back();
+      queue.pop_back();
+    }
+    if (!closed) continue;
+    const bool all_eligible = std::all_of(
+        cycle.begin(), cycle.end(), [&](std::size_t m) {
+          return eligible[static_cast<std::size_t>(diff[m].thread)];
+        });
+    if (!all_eligible) continue;
+    if (moves_total + static_cast<std::int32_t>(cycle.size()) > max_moves) {
+      continue;  // over budget; maybe a smaller later cycle still fits
+    }
+    moves_total += static_cast<std::int32_t>(cycle.size());
+    for (const std::size_t m : cycle) committed.push_back(diff[m]);
+  }
+  for (const Move& m : committed) {
+    // The streak restarts from zero, so a committed thread cannot be
+    // moved again (in particular, back) for hysteresis_windows more
+    // evaluations.
+    streak_[static_cast<std::size_t>(m.thread)] = 0;
+    streak_dest_[static_cast<std::size_t>(m.thread)] = kNoDest;
+  }
+  return committed;
+}
+
+WindowStats ServingRuntime::run_window() {
+  const std::int32_t window = windows_run_;
+  const std::int32_t iter = runtime_.next_iteration();
+  ACTRACK_CHECK_MSG(iter >= 1, "run_init() must run before windows");
+  attach_tracker();
+
+  WindowStats stats;
+  stats.window = window;
+  IterationResult detail;
+  stats.metrics = runtime_.run_iteration(&detail);
+  obs::Histogram window_hist;
+  harvest_latencies(iter, detail, window_hist);
+  stats.served = window_hist.count();
+  stats.p50_us = window_hist.p50();
+  stats.p95_us = window_hist.p95();
+  stats.p99_us = window_hist.p99();
+  stats.mean_us = window_hist.mean();
+  for (const DynamicBitset& b : tracker_.bitmaps) {
+    stats.tracked_pages += b.count();
+  }
+
+  const bool evaluate =
+      tracking_enabled_ && ((window + 1) % serve_.track_every == 0);
+  if (evaluate) {
+    if (sparse_mode_) {
+      sparse_.update(tracker_.bitmaps);
+    } else {
+      aged_.observe(incremental_.update(tracker_.bitmaps));
+    }
+    for (DynamicBitset& b : tracker_.bitmaps) b.clear();
+
+    if (serve_.mode == ServeMode::kTracked) {
+      const auto max_moves = static_cast<std::int32_t>(
+          stack_bytes_per_move_ > 0 ? serve_.budget_bytes /
+                                          stack_bytes_per_move_
+                                    : 0);
+      if (max_moves > 0) {
+        const Placement proposal = propose(max_moves);
+        const std::vector<Move> moves = qualify(proposal, max_moves);
+        if (!moves.empty()) {
+          std::vector<NodeId> target =
+              runtime_.placement().node_of_thread();
+          for (const Move& m : moves) {
+            target[static_cast<std::size_t>(m.thread)] = m.to;
+          }
+          const IterationMetrics mig = runtime_.migrate_to(
+              Placement(std::move(target), runtime_.placement().num_nodes()));
+          stats.moved_threads = static_cast<std::int32_t>(moves.size());
+          stats.moved_bytes =
+              static_cast<ByteCount>(moves.size()) * stack_bytes_per_move_;
+          stats.migration_us = mig.elapsed_us;
+        }
+      }
+    } else if (serve_.mode == ServeMode::kOneShot) {
+      oneshot_evals_ += 1;
+      if (oneshot_evals_ >= serve_.oneshot_warmup) {
+        Placement proposal =
+            sparse_mode_
+                ? hierarchical_min_cost_placement(
+                      sparse_, runtime_.placement().num_nodes())
+                : min_cost_placement((aged_snapshot_ = aged_.snapshot()),
+                                     runtime_.placement().num_nodes());
+        const std::int32_t moved =
+            runtime_.placement().migration_distance(proposal);
+        if (moved > 0) {
+          const IterationMetrics mig = runtime_.migrate_to(proposal);
+          stats.moved_threads = moved;
+          stats.moved_bytes =
+              static_cast<ByteCount>(moved) * stack_bytes_per_move_;
+          stats.migration_us = mig.elapsed_us;
+        }
+        tracking_enabled_ = false;  // one shot: tracker off from here on
+        runtime_.scheduler().set_inline_tracker(nullptr);
+      }
+    }
+  }
+  windows_run_ += 1;
+  return stats;
+}
+
+std::vector<WindowStats> ServingRuntime::run(std::int32_t windows) {
+  ACTRACK_CHECK(windows >= 1);
+  run_init();
+  std::vector<WindowStats> out;
+  out.reserve(static_cast<std::size_t>(windows));
+  for (std::int32_t w = 0; w < windows; ++w) out.push_back(run_window());
+  return out;
+}
+
+}  // namespace actrack::serve

@@ -1,0 +1,177 @@
+// ServingRuntime — continuous correlation tracking for open-loop
+// services (the third runtime, alongside runtime/passive and
+// runtime/adaptive).
+//
+// The paper's adaptive runtime re-tracks with a stop-the-world §4.2
+// iteration: every access faults, which is fine between batch
+// iterations but would destroy the tail latency of a live service.
+// The serving runtime instead leaves a cheap inline first-touch
+// tracker (sched::InlineTracker) attached to the normal scheduling
+// path, and turns the stream of per-window access bitmaps into
+// placement decisions under serving constraints:
+//
+//  * rolling windows — each serving window's bitmaps feed
+//    IncrementalCorrelation, blended by exponential decay
+//    (AgedCorrelation) so the estimate follows hot-set drift without
+//    chasing noise; above kDenseThreadCeiling threads the
+//    SparseCorrelation path is used instead;
+//  * budgeted re-placement — per window at most
+//    budget_bytes / thread_stack_bytes threads may move
+//    (min_cost_within_budget / hierarchical proposals);
+//  * hysteresis — a thread moves only after the proposal has wanted it
+//    on the same destination, with affinity gain >= gain_threshold,
+//    for `hysteresis_windows` consecutive evaluations; committed moves
+//    reset the streak, so a thread cannot bounce back within K
+//    windows;
+//  * balance preservation — the proposal-vs-current diff is
+//    decomposed into node cycles and only cycles whose every thread
+//    qualifies are committed, so node populations never skew.
+//
+// Latency: every request segment carries its open-loop arrival
+// (Segment::start_at_us); the scheduler records completion clocks
+// (SchedConfig::record_segment_ends), and the runtime folds
+// (completion - arrival) into obs::Histogram for p50/p95/p99.
+//
+// Mode kStatic performs no tracking and no migration; kOneShot tracks
+// for `oneshot_warmup` windows, migrates once (unbudgeted), then
+// stops tracking; kTracked runs the full continuous loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "correlation/aging.hpp"
+#include "correlation/incremental.hpp"
+#include "correlation/sparse.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/cluster_runtime.hpp"
+
+namespace actrack::serve {
+
+enum class ServeMode { kStatic, kOneShot, kTracked };
+
+[[nodiscard]] const char* to_string(ServeMode mode) noexcept;
+
+struct ServeConfig {
+  ServeMode mode = ServeMode::kTracked;
+  /// Correlation windows between re-placement evaluations (1 =
+  /// evaluate every window).
+  std::int32_t track_every = 1;
+  /// AgedCorrelation blend factor for fresh windows.
+  double decay = 0.5;
+  /// Migration budget per window, in bytes of thread stack moved.
+  std::int64_t budget_bytes = 256 * 1024;
+  /// Consecutive qualifying windows before a move commits.
+  std::int32_t hysteresis_windows = 2;
+  /// Minimum aged-affinity gain (correlation units) for a move to
+  /// count toward its hysteresis streak.
+  std::int64_t gain_threshold = 1;
+  /// Windows of tracking before the single kOneShot migration.
+  std::int32_t oneshot_warmup = 3;
+  /// Simulated cost of the inline tracker's per-first-touch hook.
+  SimTime track_per_page_us = 3;
+};
+
+/// Everything observable about one serving window.
+struct WindowStats {
+  std::int32_t window = 0;
+  /// Requests completed this window (segments with an arrival time).
+  std::int64_t served = 0;
+  SimTime p50_us = 0;
+  SimTime p95_us = 0;
+  SimTime p99_us = 0;
+  double mean_us = 0.0;
+  /// Threads migrated at this window's boundary and the stack bytes
+  /// that cost (always within ServeConfig::budget_bytes for kTracked).
+  std::int32_t moved_threads = 0;
+  ByteCount moved_bytes = 0;
+  /// Simulated time spent in the migration (0 when nothing moved).
+  SimTime migration_us = 0;
+  /// Distinct (thread, page) first touches the inline tracker saw.
+  std::int64_t tracked_pages = 0;
+  /// Scheduler/DSM/network activity of the window's iteration.
+  IterationMetrics metrics;
+};
+
+class ServingRuntime {
+ public:
+  /// `workload` must outlive the runtime.  record_segment_ends is
+  /// forced on; everything else in `config` is honoured as-is.
+  ServingRuntime(const Workload& workload, Placement placement,
+                 RuntimeConfig config, ServeConfig serve);
+
+  /// Runs the first-touch pass (iteration 0).  Must be called once,
+  /// before the first window.
+  IterationMetrics run_init();
+
+  /// Runs the next serving window (one workload iteration), then — in
+  /// the tracking modes — updates the correlation estimate and
+  /// possibly migrates within budget.
+  WindowStats run_window();
+
+  /// run_init() plus `windows` serving windows.
+  std::vector<WindowStats> run(std::int32_t windows);
+
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return runtime_.placement();
+  }
+  /// Latency distribution over all windows since construction (or the
+  /// last reset_latency()).
+  [[nodiscard]] const obs::Histogram& latency() const noexcept {
+    return latency_;
+  }
+  /// Clears the cumulative latency digest so steady-state SLOs can be
+  /// measured after warmup windows.  Per-window WindowStats, the
+  /// placement and the correlation state are untouched.
+  void reset_latency() noexcept { latency_ = obs::Histogram{}; }
+  [[nodiscard]] std::int64_t total_served() const noexcept {
+    return latency_.count();
+  }
+  [[nodiscard]] ClusterRuntime& cluster() noexcept { return runtime_; }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return serve_; }
+
+ private:
+  struct Move {
+    ThreadId thread = 0;
+    NodeId from = 0;
+    NodeId to = 0;
+  };
+
+  void attach_tracker();
+  void harvest_latencies(std::int32_t iter, const IterationResult& detail,
+                         obs::Histogram& window_hist);
+  /// Feeds the window's bitmaps into the correlation estimate; returns
+  /// the proposed full placement for the current estimate.
+  [[nodiscard]] Placement propose(std::int32_t max_moves);
+  /// Per-thread affinity gain of `proposal` over the current placement
+  /// under the current estimate (dense or sparse path).
+  [[nodiscard]] std::vector<std::int64_t> gains(const Placement& proposal);
+  /// Applies hysteresis and cycle decomposition; returns the moves to
+  /// commit this window (size <= max_moves).
+  [[nodiscard]] std::vector<Move> qualify(const Placement& proposal,
+                                          std::int32_t max_moves);
+
+  ClusterRuntime runtime_;
+  ServeConfig serve_;
+  std::int64_t stack_bytes_per_move_;
+  bool sparse_mode_;
+
+  InlineTracker tracker_;
+  bool tracking_enabled_;  // false for kStatic, drops after one-shot
+
+  IncrementalCorrelation incremental_;  // dense path
+  AgedCorrelation aged_;                // dense path
+  SparseCorrelation sparse_;            // sparse path (n > ceiling)
+  CorrelationMatrix aged_snapshot_;     // dense proposal/gain basis
+
+  // Hysteresis state: the destination each thread's streak is building
+  // toward and its current consecutive-window count.
+  std::vector<NodeId> streak_dest_;
+  std::vector<std::int32_t> streak_;
+
+  std::int32_t windows_run_ = 0;
+  std::int32_t oneshot_evals_ = 0;
+  obs::Histogram latency_;
+};
+
+}  // namespace actrack::serve

@@ -27,6 +27,9 @@
 #include "runtime/cluster_runtime.hpp"
 #include "runtime/passive.hpp"
 #include "runtime/report.hpp"
+#include "serve/graph_service.hpp"
+#include "serve/kv_service.hpp"
+#include "serve/serving_runtime.hpp"
 #include "trace/serialize.hpp"
 #include "viz/map_render.hpp"
 
@@ -46,6 +49,19 @@ std::int64_t parse_int(const std::string& flag, const std::string& value) {
     return parsed;
   } catch (const std::invalid_argument&) {
     fail(flag + ": not an integer: " + value);
+  } catch (const std::out_of_range&) {
+    fail(flag + ": out of range: " + value);
+  }
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) fail(flag + ": not a number: " + value);
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    fail(flag + ": not a number: " + value);
   } catch (const std::out_of_range&) {
     fail(flag + ": out of range: " + value);
   }
@@ -93,6 +109,7 @@ int cmd_list(std::ostream& out) {
     out << name << '\n';
   }
   out << "Drifting (adaptive-workload demo; see 'actrack adaptive')\n";
+  out << "KV, Graph (service workloads; see 'actrack serve')\n";
   return 0;
 }
 
@@ -579,6 +596,84 @@ int cmd_faults(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Builds the service workload named by --app from the serve flags.
+/// Shared with nothing else: only `serve` reads the traffic knobs.
+std::unique_ptr<Workload> make_service(const Options& options) {
+  serve::TrafficConfig traffic;
+  traffic.rate_per_sec = options.rate;
+  traffic.zipf_s = options.zipf_s;
+  traffic.window_us = static_cast<SimTime>(options.window_ms) * 1000;
+  traffic.drift_period = options.drift_period;
+  traffic.seed = options.seed;
+  if (options.app == "KV") {
+    serve::KvConfig config;
+    config.traffic = traffic;
+    return std::make_unique<serve::KvServiceWorkload>(options.threads,
+                                                      config);
+  }
+  if (options.app == "Graph") {
+    serve::GraphConfig config;
+    config.traffic = traffic;
+    return std::make_unique<serve::GraphServiceWorkload>(options.threads,
+                                                         config);
+  }
+  fail("serve: --app must be KV or Graph");
+}
+
+int cmd_serve(const Options& options, std::ostream& out) {
+  const auto workload = make_service(options);
+  serve::ServeConfig serve_config;
+  if (options.serve_mode == "static") {
+    serve_config.mode = serve::ServeMode::kStatic;
+  } else if (options.serve_mode == "oneshot") {
+    serve_config.mode = serve::ServeMode::kOneShot;
+  } else if (options.serve_mode != "tracked") {
+    fail("serve: --mode must be static, oneshot or tracked");
+  }
+  serve_config.track_every = options.track_every;
+  serve_config.decay = options.decay;
+  serve_config.budget_bytes = static_cast<std::int64_t>(options.budget_kb)
+                              * 1024;
+  serve_config.hysteresis_windows = options.hysteresis;
+
+  serve::ServingRuntime runtime(*workload,
+                                placement_for(options, *workload),
+                                config_for(options), serve_config);
+  MetricsLog log;
+  log.record(StepKind::kInit, 0, runtime.run_init());
+  out << "win   served  p50(us)  p95(us)  p99(us)  moved  moved-kb  "
+         "remote-misses\n";
+  for (std::int32_t w = 0; w < options.windows; ++w) {
+    const serve::WindowStats s = runtime.run_window();
+    log.record_window(s.window,
+                      s.metrics,
+                      ServiceLatency{s.served, s.p50_us, s.p95_us,
+                                     s.p99_us});
+    if (s.moved_threads > 0) {
+      IterationMetrics migration;
+      migration.elapsed_us = s.migration_us;
+      migration.stack_bytes = s.moved_bytes;
+      log.record(StepKind::kMigration, -1, migration);
+    }
+    out << std::left << std::setw(6) << s.window << std::setw(8) << s.served
+        << std::setw(9) << s.p50_us << std::setw(9) << s.p95_us
+        << std::setw(9) << s.p99_us << std::setw(7) << s.moved_threads
+        << std::setw(10) << s.moved_bytes / 1024 << s.metrics.remote_misses
+        << '\n';
+  }
+  const obs::Histogram& lat = runtime.latency();
+  out << "total: " << runtime.total_served() << " requests ("
+      << options.serve_mode << " mode), p50=" << lat.p50()
+      << "us p95=" << lat.p95() << "us p99=" << lat.p99() << "us\n";
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv.good()) fail("cannot open " + options.csv_path);
+    log.write_csv(csv);
+    out << "window metrics written to " << options.csv_path << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -604,9 +699,14 @@ std::string usage() {
       "                             --trace F, replay one reproducer\n"
       "  faults   --app NAME        run under deterministic fault plans and\n"
       "                             compare healthy / faulted / repaired\n"
+      "  serve    --app KV|Graph    open-loop service under the continuous\n"
+      "                             serving runtime: rolling correlation\n"
+      "                             windows, budgeted re-placement, SLO\n"
+      "                             percentiles per window\n"
       "flags:\n"
       "  --app NAME            Barnes|FFT6|FFT7|FFT8|LU1k|LU2k|Ocean|\n"
-      "                        Spatial|SOR|Water        (default SOR)\n"
+      "                        Spatial|SOR|Water        (default SOR);\n"
+      "                        serve also: KV|Graph\n"
       "  --threads N           application threads       (default 64)\n"
       "  --nodes N             cluster nodes             (default 8)\n"
       "  --iterations N        measured iterations       (default 10)\n"
@@ -629,6 +729,19 @@ std::string usage() {
       "                        (faults; default all)\n"
       "  --plan PATH           load a saved fault plan (faults)\n"
       "  --plan-out PATH       save the selected fault plan (faults)\n"
+      "  --mode M              serve: static|oneshot|tracked\n"
+      "                        (default tracked)\n"
+      "  --rate N              serve: requests/second    (default 20000)\n"
+      "  --zipf-s S            serve: popularity skew    (default 0.9)\n"
+      "  --drift-period N      serve: windows per hot-set epoch (default 6)\n"
+      "  --windows N           serve: serving windows    (default 24)\n"
+      "  --window-ms N         serve: window length      (default 50)\n"
+      "  --budget-kb N         serve: per-window migration budget\n"
+      "                        (default 256, i.e. 4 thread stacks)\n"
+      "  --hysteresis N        serve: consecutive qualifying windows\n"
+      "                        before a move commits     (default 2)\n"
+      "  --track-every N       serve: windows per evaluation (default 1)\n"
+      "  --decay A             serve: correlation aging  (default 0.5)\n"
       "  --interconnect NAME   cost preset: myrinet99|gigabit03|tengig10|\n"
       "                        infiniband16|rdma26  (default: myrinet99\n"
       "                        calibration, i.e. the CostModel defaults)\n"
@@ -654,7 +767,7 @@ Options parse(const std::vector<std::string>& args) {
   const auto known = {"list",    "info",    "run",     "track",
                       "cutcost", "sweep",   "passive", "adaptive",
                       "record",  "replay",  "profile", "check",
-                      "faults"};
+                      "faults",  "serve"};
   bool ok = false;
   for (const char* candidate : known) {
     if (options.command == candidate) ok = true;
@@ -707,6 +820,28 @@ Options parse(const std::vector<std::string>& args) {
       options.plan_path = next();
     } else if (flag == "--plan-out") {
       options.plan_out_path = next();
+    } else if (flag == "--mode") {
+      options.serve_mode = next();
+    } else if (flag == "--rate") {
+      options.rate = parse_double(flag, next());
+    } else if (flag == "--zipf-s") {
+      options.zipf_s = parse_double(flag, next());
+    } else if (flag == "--drift-period") {
+      options.drift_period =
+          static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--windows") {
+      options.windows = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--window-ms") {
+      options.window_ms = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--budget-kb") {
+      options.budget_kb = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--hysteresis") {
+      options.hysteresis = static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--track-every") {
+      options.track_every =
+          static_cast<std::int32_t>(parse_int(flag, next()));
+    } else if (flag == "--decay") {
+      options.decay = parse_double(flag, next());
     } else if (flag == "--interconnect") {
       options.interconnect = next();
     } else if (flag == "--link") {
@@ -736,6 +871,13 @@ Options parse(const std::vector<std::string>& args) {
   if (options.seeds < 0) fail("--seeds must be non-negative");
   if (options.jobs < 1) fail("--jobs must be positive");
   if (options.des_jobs < 1) fail("--des-jobs must be positive");
+  if (options.rate <= 0) fail("--rate must be positive");
+  if (options.windows < 1) fail("--windows must be positive");
+  if (options.window_ms < 1) fail("--window-ms must be positive");
+  if (options.drift_period < 1) fail("--drift-period must be positive");
+  if (options.budget_kb < 0) fail("--budget-kb must be non-negative");
+  if (options.hysteresis < 1) fail("--hysteresis must be positive");
+  if (options.track_every < 1) fail("--track-every must be positive");
   if (options.format != "table" && options.format != "csv" &&
       options.format != "json") {
     fail("--format must be table, csv or json");
@@ -757,6 +899,7 @@ int run(const Options& options, std::ostream& out) {
   if (options.command == "profile") return cmd_profile(options, out);
   if (options.command == "check") return cmd_check(options, out);
   if (options.command == "faults") return cmd_faults(options, out);
+  if (options.command == "serve") return cmd_serve(options, out);
   return 2;  // unreachable: parse() validates commands
 }
 

@@ -27,6 +27,11 @@
 //                   [--jobs 4] [--repro-dir DIR] [--trace repro.actrace]
 //   actrack faults  --app SOR [--fault-class drop|dup|latency|slow|stall|
 //                   mixed|all] [--plan plan.txt] [--plan-out plan.txt]
+//   actrack serve   --app KV|Graph [--mode static|oneshot|tracked]
+//                   [--rate N] [--zipf-s S] [--drift-period N]
+//                   [--windows N] [--window-ms N] [--budget-kb N]
+//                   [--hysteresis N] [--track-every N] [--decay A]
+//                   [--csv windows.csv]
 //
 // Every run/sweep/faults-style command also takes `--interconnect NAME`
 // (a named cost preset from the Myrinet-to-RDMA table in
@@ -64,6 +69,17 @@ struct Options {
   std::string plan_path;                // faults: load a saved plan
   std::string plan_out_path;            // faults: save the plan used
   std::string interconnect;             // named cost preset ("" = myrinet99)
+  // serve: open-loop traffic and the continuous-tracking policy.
+  std::string serve_mode = "tracked";   // static | oneshot | tracked
+  double rate = 20'000.0;               // requests per second
+  double zipf_s = 0.9;                  // popularity skew
+  std::int32_t drift_period = 6;        // windows per hot-set epoch
+  std::int32_t windows = 24;            // serving windows to run
+  std::int32_t window_ms = 50;          // window length
+  std::int32_t budget_kb = 256;         // migration budget per window
+  std::int32_t hysteresis = 2;          // consecutive windows before a move
+  std::int32_t track_every = 1;         // windows per re-placement evaluation
+  double decay = 0.5;                   // correlation aging factor
   bool link = false;                    // enable the packetized link layer
   bool latency_hiding = true;
   bool ascii = false;

@@ -35,6 +35,13 @@ struct Segment {
   std::int32_t lock_id = -1;
   /// Pure computation time attributed to this segment (µs).
   SimTime compute_us = 0;
+  /// Earliest simulated time (µs, phase-relative as seen on the node
+  /// clock) at which the segment may start.  0 means unconstrained —
+  /// every pre-existing trace keeps its exact schedule.  Service
+  /// workloads (src/serve) use this for open-loop request arrival: a
+  /// request is one segment whose start_at_us is its arrival time, so
+  /// queueing delay emerges when a thread falls behind its arrivals.
+  SimTime start_at_us = 0;
   std::vector<PageAccess> accesses;
 };
 

@@ -42,6 +42,9 @@ void write_trace_file(const TraceFile& file, std::ostream& out) {
           out << "seg";
           if (seg.lock_id >= 0) out << " lock=" << seg.lock_id;
           if (seg.compute_us > 0) out << " compute=" << seg.compute_us;
+          // Written only when set, so files from arrival-free traces
+          // are byte-identical to the pre-`start=` format.
+          if (seg.start_at_us > 0) out << " start=" << seg.start_at_us;
           out << '\n';
           for (const PageAccess& access : seg.accesses) {
             if (access.kind == AccessKind::kRead) {
@@ -152,6 +155,11 @@ TraceFile read_trace_file(std::istream& in) {
               static_cast<std::int32_t>(std::stoll(attr.substr(5)));
         } else if (attr.rfind("compute=", 0) == 0) {
           segment->compute_us = std::stoll(attr.substr(8));
+        } else if (attr.rfind("start=", 0) == 0) {
+          segment->start_at_us = std::stoll(attr.substr(6));
+          if (segment->start_at_us < 0) {
+            parse_fail(line_no, "negative seg start time");
+          }
         } else {
           parse_fail(line_no, "unknown seg attribute: " + attr);
         }

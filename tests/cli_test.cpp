@@ -317,6 +317,45 @@ TEST(CliRun, SweepTraceDirWritesOneTracePerTrial) {
   EXPECT_EQ(traces, 3);
 }
 
+TEST(CliParse, ServeParsesItsFlags) {
+  const Options o = parse_ok(
+      {"serve", "--app", "KV", "--mode", "oneshot", "--rate", "8000",
+       "--zipf-s", "1.2", "--drift-period", "4", "--windows", "12",
+       "--window-ms", "20", "--budget-kb", "128", "--hysteresis", "3",
+       "--track-every", "2", "--decay", "0.25"});
+  EXPECT_EQ(o.command, "serve");
+  EXPECT_EQ(o.serve_mode, "oneshot");
+  EXPECT_DOUBLE_EQ(o.rate, 8000.0);
+  EXPECT_DOUBLE_EQ(o.zipf_s, 1.2);
+  EXPECT_EQ(o.drift_period, 4);
+  EXPECT_EQ(o.windows, 12);
+  EXPECT_EQ(o.window_ms, 20);
+  EXPECT_EQ(o.budget_kb, 128);
+  EXPECT_EQ(o.hysteresis, 3);
+  EXPECT_EQ(o.track_every, 2);
+  EXPECT_DOUBLE_EQ(o.decay, 0.25);
+  EXPECT_THROW(parse_ok({"serve", "--windows", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_ok({"serve", "--rate", "-1"}), std::invalid_argument);
+}
+
+TEST(CliRun, ServeReportsWindowsAndTotals) {
+  Options o = parse_ok({"serve", "--app", "KV", "--threads", "8", "--nodes",
+                        "2", "--windows", "3", "--rate", "4000"});
+  std::ostringstream out;
+  ASSERT_EQ(run(o, out), 0);
+  EXPECT_NE(out.str().find("p99(us)"), std::string::npos);
+  EXPECT_NE(out.str().find("total:"), std::string::npos);
+  EXPECT_NE(out.str().find("tracked mode"), std::string::npos);
+}
+
+TEST(CliMain, ServeRejectsNonServiceApps) {
+  std::ostringstream out, err;
+  EXPECT_EQ(main_impl({"serve", "--app", "SOR", "--windows", "2"}, out, err),
+            2);
+  EXPECT_NE(err.str().find("KV or Graph"), std::string::npos);
+}
+
 TEST(CliMain, BadArgsPrintUsageAndReturn2) {
   std::ostringstream out, err;
   EXPECT_EQ(main_impl({"nonsense"}, out, err), 2);

@@ -97,6 +97,33 @@ TEST(Metrics, HistogramTracksShapeAndBounds) {
   EXPECT_GE(h.quantile(0.0), 100);
 }
 
+TEST(Metrics, QuantileHelpersShareBucketUpperBoundSemantics) {
+  Histogram h;
+  // 100 samples: 98 fast (3 us), 2 slow (1000 us).  p50/p95 resolve in
+  // the fast bucket; p99 must cross into the slow one.
+  for (int i = 0; i < 98; ++i) h.add(3);
+  h.add(1000);
+  h.add(1000);
+  EXPECT_EQ(h.p50(), h.quantile(0.50));
+  EXPECT_EQ(h.p95(), h.quantile(0.95));
+  EXPECT_EQ(h.p99(), h.quantile(0.99));
+  // Bucket-upper-bound semantics: the answer is the exclusive upper
+  // bound of the bucket where the quantile lands (clamped to the
+  // observed range), so it may overstate the true quantile by < 2x but
+  // never understate which bucket the tail lives in.
+  EXPECT_EQ(h.p50(), 4);     // bucket [2, 4) upper bound
+  EXPECT_EQ(h.p95(), 4);
+  EXPECT_EQ(h.p99(), 1000);  // bucket [512, 1024) upper bound, clamped to max
+}
+
+TEST(Metrics, SummaryIncludesP99) {
+  MetricsRegistry metrics;
+  metrics.histogram("lat").add(50);
+  std::ostringstream out;
+  metrics.write_summary(out);
+  EXPECT_NE(out.str().find("p99="), std::string::npos);
+}
+
 TEST(Metrics, EmptyHistogramIsWellBehaved) {
   Histogram h;
   EXPECT_EQ(h.count(), 0);

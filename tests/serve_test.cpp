@@ -1,0 +1,355 @@
+// Tests of the serving subsystem (src/serve): deterministic open-loop
+// request generation, the KV/Graph service workloads, the shared
+// DriftSchedule, and the continuous serving runtime's budget and
+// hysteresis contracts.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "apps/drift_schedule.hpp"
+#include "apps/drifting.hpp"
+#include "apps/workload.hpp"
+#include "serve/graph_service.hpp"
+#include "serve/kv_service.hpp"
+#include "serve/reqgen.hpp"
+#include "check/checker.hpp"
+#include "serve/serving_runtime.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_utils.hpp"
+
+namespace actrack::serve {
+namespace {
+
+// --- DriftSchedule -----------------------------------------------------
+
+TEST(DriftSchedule, UnseededModeIsTheHistoricalLinearRamp) {
+  const DriftSchedule d(/*period=*/4, /*shift=*/3, /*modulus=*/16);
+  for (std::int64_t step = 0; step < 64; ++step) {
+    const std::int64_t epoch = step / 4;
+    EXPECT_EQ(d.rotation_of(step), (epoch * 3) % 16) << "step " << step;
+  }
+}
+
+TEST(DriftSchedule, SeededModeStartsUnrotatedAndIsRandomAccess) {
+  const DriftSchedule d(6, 1, 16, /*seed=*/0xFEEDULL);
+  EXPECT_EQ(d.rotation_of(0), 0);
+  EXPECT_EQ(d.rotation_of(5), 0);  // epoch 0 stays un-rotated
+  // Random access: querying epoch 7 directly matches querying it after
+  // walking the earlier epochs (no sequential generator state).
+  const std::int32_t direct = d.rotation_of(7 * 6);
+  for (std::int64_t s = 0; s < 7 * 6; ++s) (void)d.rotation_of(s);
+  EXPECT_EQ(d.rotation_of(7 * 6), direct);
+  // Rotations stay in range and actually move at some point.
+  std::set<std::int32_t> seen;
+  for (std::int64_t e = 0; e < 12; ++e) {
+    const std::int32_t r = d.rotation_of(e * 6);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 16);
+    seen.insert(r);
+  }
+  EXPECT_GT(seen.size(), 2u);
+}
+
+// Pins the DriftingWorkload refactor onto DriftSchedule: every epoch's
+// exchange peer must match the historical closed form
+// (t + 1 + epoch*shift) mod n, access for access.
+TEST(DriftSchedule, DriftingWorkloadTracesAreBitIdentical) {
+  const std::int32_t n = 16, period = 8, shift = 5, pages = 4, shared = 2;
+  const DriftingWorkload w(n, period, shift, pages, shared);
+  for (std::int32_t iter = 1; iter < 40; ++iter) {
+    const IterationTrace trace = w.iteration(iter);
+    const std::int32_t epoch = iter / period;
+    for (std::int32_t t = 0; t < n; ++t) {
+      const std::int32_t peer = (t + 1 + epoch * shift) % n;
+      const auto& segs =
+          trace.phases[0].threads[static_cast<std::size_t>(t)].segments;
+      ASSERT_EQ(segs.size(), 1u);
+      bool touched_peer = false;
+      for (const PageAccess& pa : segs[0].accesses) {
+        if (pa.page >= static_cast<PageId>(peer) * pages &&
+            pa.page < static_cast<PageId>(peer + 1) * pages &&
+            // When the ramp wraps onto the thread itself (epochs where
+            // 1 + epoch*shift ≡ 0 mod n) the self-read folds into the
+            // write; otherwise the peer region must appear as a read.
+            (peer == t || pa.kind == AccessKind::kRead)) {
+          touched_peer = true;
+        }
+      }
+      EXPECT_TRUE(touched_peer)
+          << "iter " << iter << " thread " << t << " peer " << peer;
+    }
+  }
+}
+
+// --- Request generation ------------------------------------------------
+
+TEST(ZipfSampler, DistributionIsNormalizedAndSkewed) {
+  const ZipfSampler z(1024, 0.9);
+  double total = 0.0;
+  for (std::int64_t r = 0; r < z.num_items(); ++r) {
+    total += z.probability(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(z.probability(0), z.probability(1));
+  EXPECT_GT(z.probability(0), 20.0 * z.probability(1023));
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t r = z.sample(rng);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 1024);
+  }
+}
+
+TEST(ZipfSampler, ZeroSkewIsUniform) {
+  const ZipfSampler z(64, 0.0);
+  EXPECT_NEAR(z.probability(0), 1.0 / 64.0, 1e-12);
+  EXPECT_NEAR(z.probability(63), 1.0 / 64.0, 1e-12);
+}
+
+TEST(RequestGenerator, WindowsAreDeterministicSortedAndInRange) {
+  TrafficConfig traffic;
+  traffic.rate_per_sec = 40'000;
+  traffic.window_us = 20'000;
+  const RequestGenerator gen(traffic, 512);
+  const std::vector<Request> a = gen.window(3, 100);
+  const std::vector<Request> b = gen.window(3, 100);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  SimTime last = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_GE(a[i].arrival_us, 1);
+    EXPECT_LE(a[i].arrival_us, traffic.window_us);
+    EXPECT_GE(a[i].arrival_us, last);
+    last = a[i].arrival_us;
+    EXPECT_GE(a[i].item, 0);
+    EXPECT_LT(a[i].item, 512);
+  }
+  // Different windows and different hot bases give different streams.
+  EXPECT_NE(gen.window(4, 100).size(), 0u);
+}
+
+// --- Service workloads -------------------------------------------------
+
+TEST(KvService, TracesAreValidAndCarryArrivals) {
+  const KvServiceWorkload w(16);
+  validate_trace(w.iteration(0), w.num_pages());
+  const IterationTrace win = w.iteration(1);
+  validate_trace(win, w.num_pages());
+  std::int64_t requests = 0;
+  for (const auto& tp : win.phases[0].threads) {
+    SimTime last = 0;
+    for (const Segment& seg : tp.segments) {
+      EXPECT_GE(seg.start_at_us, 1);  // every KV segment is a request
+      EXPECT_GE(seg.start_at_us, last);
+      last = seg.start_at_us;
+      requests += 1;
+    }
+  }
+  EXPECT_GT(requests, 0);
+}
+
+TEST(KvService, ReplicaHostIsAFixedPointFreePermutation) {
+  for (std::int32_t n : {2, 3, 16, 64}) {
+    const KvServiceWorkload w(n);
+    std::set<std::int32_t> hosts;
+    for (std::int32_t p = 0; p < n; ++p) {
+      const std::int32_t h = w.replica_host(p);
+      EXPECT_NE(h, p) << "n=" << n << " shard " << p;
+      hosts.insert(h);
+    }
+    EXPECT_EQ(hosts.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(GraphService, TracesAreValidWithMaintenanceAndWalks) {
+  const GraphServiceWorkload w(16);
+  validate_trace(w.iteration(0), w.num_pages());
+  const IterationTrace win = w.iteration(2);
+  validate_trace(win, w.num_pages());
+  std::int64_t requests = 0, maintenance = 0;
+  for (const auto& tp : win.phases[0].threads) {
+    for (const Segment& seg : tp.segments) {
+      (seg.start_at_us >= 1 ? requests : maintenance) += 1;
+    }
+  }
+  EXPECT_EQ(maintenance, 16);  // one ingest segment per owner
+  EXPECT_GT(requests, 0);
+  // Hops ring within an interleaved community (partitions congruent
+  // mod C) and visit every member of it.
+  EXPECT_EQ(w.num_communities(), 4);
+  for (std::int32_t p = 0; p < 16; ++p) {
+    EXPECT_NE(w.hop_target(p), p);
+    EXPECT_EQ(w.hop_target(p) % w.num_communities(),
+              p % w.num_communities());
+  }
+  std::int32_t member = 1, visited = 0;
+  do {
+    member = w.hop_target(member);
+    ++visited;
+  } while (member != 1);
+  EXPECT_EQ(visited, 4);  // 16 partitions / 4 communities
+}
+
+// The service traces run through the full protocol checker grid —
+// every LRC variant, including aggressive GC, mid-run migration, a
+// faulty network, and the packetized link layer — after a round trip
+// through the trace serializer, so open-loop arrivals survive both the
+// text format and every protocol configuration.
+TEST(KvService, PassesTheLrcCheckerGridWithFaultsAndLink) {
+  KvConfig config;
+  config.traffic.rate_per_sec = 4'000.0;  // keep the grid cheap
+  const KvServiceWorkload w(8, config);
+  TraceFile file;
+  file.num_threads = w.num_threads();
+  file.num_pages = w.num_pages();
+  for (std::int32_t i = 0; i < 4; ++i) {
+    file.iterations.push_back(w.iteration(i));
+  }
+  std::stringstream buffer;
+  write_trace_file(file, buffer);
+  const TraceFile replay = read_trace_file(buffer);
+  const Segment& orig = file.iterations[2].phases[0].threads[1].segments[0];
+  const Segment& back = replay.iterations[2].phases[0].threads[1].segments[0];
+  ASSERT_EQ(back.start_at_us, orig.start_at_us);
+
+  const auto verdict = check::check_trace(
+      replay,
+      check::standard_variants(ConsistencyModel::kLazyReleaseMultiWriter));
+  EXPECT_FALSE(verdict.has_value())
+      << verdict->variant << ": " << verdict->message;
+}
+
+TEST(ServiceWorkloads, RegisteredInTheFactoryButNotTheTableGrid) {
+  EXPECT_EQ(make_workload("KV", 8)->name(), "KV");
+  EXPECT_EQ(make_workload("Graph", 8)->name(), "Graph");
+  for (const std::string& name : all_workload_names()) {
+    EXPECT_NE(name, "KV");
+    EXPECT_NE(name, "Graph");
+  }
+}
+
+// --- Serving runtime ---------------------------------------------------
+
+RuntimeConfig serve_runtime_config(std::int32_t des_jobs = 1) {
+  RuntimeConfig config;
+  config.sched.des_jobs = des_jobs;
+  return config;
+}
+
+TEST(ServingRuntime, ServesRequestsAndReportsPercentiles) {
+  const KvServiceWorkload w(16);
+  ServingRuntime rt(w, Placement::stretch(16, 4), serve_runtime_config(),
+                    ServeConfig{});
+  const std::vector<WindowStats> stats = rt.run(6);
+  ASSERT_EQ(stats.size(), 6u);
+  for (const WindowStats& s : stats) {
+    EXPECT_GT(s.served, 0) << "window " << s.window;
+    EXPECT_GE(s.p99_us, s.p95_us);
+    EXPECT_GE(s.p95_us, s.p50_us);
+    EXPECT_GT(s.p50_us, 0);
+  }
+  EXPECT_EQ(rt.total_served(), rt.latency().count());
+  EXPECT_GT(rt.total_served(), 0);
+}
+
+TEST(ServingRuntime, StaticModeMatchesPlainClusterRuntime) {
+  // The serve-off contract: kStatic must not perturb the simulation at
+  // all relative to running the same iterations directly.
+  const KvServiceWorkload w(16);
+  ClusterRuntime plain(w, Placement::stretch(16, 4),
+                       serve_runtime_config());
+  plain.run_init();
+  ServeConfig off;
+  off.mode = ServeMode::kStatic;
+  ServingRuntime rt(w, Placement::stretch(16, 4), serve_runtime_config(),
+                    off);
+  rt.run_init();
+  for (int i = 0; i < 4; ++i) {
+    const IterationMetrics a = plain.run_iteration();
+    const WindowStats s = rt.run_window();
+    EXPECT_EQ(a.elapsed_us, s.metrics.elapsed_us) << "window " << i;
+    EXPECT_EQ(a.remote_misses, s.metrics.remote_misses);
+    EXPECT_EQ(a.total_bytes, s.metrics.total_bytes);
+    EXPECT_EQ(s.moved_threads, 0);
+    EXPECT_EQ(s.tracked_pages, 0);
+  }
+}
+
+TEST(ServingRuntime, BitIdenticalAcrossDesJobs) {
+  const KvServiceWorkload w(16);
+  ServeConfig cfg;
+  ServingRuntime serial(w, Placement::stretch(16, 4),
+                        serve_runtime_config(1), cfg);
+  ServingRuntime parallel(w, Placement::stretch(16, 4),
+                          serve_runtime_config(4), cfg);
+  const std::vector<WindowStats> a = serial.run(8);
+  const std::vector<WindowStats> b = parallel.run(8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].served, b[i].served) << "window " << i;
+    EXPECT_EQ(a[i].p50_us, b[i].p50_us) << "window " << i;
+    EXPECT_EQ(a[i].p99_us, b[i].p99_us) << "window " << i;
+    EXPECT_EQ(a[i].metrics.elapsed_us, b[i].metrics.elapsed_us);
+    EXPECT_EQ(a[i].moved_threads, b[i].moved_threads);
+    EXPECT_EQ(a[i].tracked_pages, b[i].tracked_pages);
+  }
+  EXPECT_EQ(serial.placement().node_of_thread(),
+            parallel.placement().node_of_thread());
+}
+
+TEST(ServingRuntime, TrackedStaysWithinBudgetAndHysteresis) {
+  const KvServiceWorkload w(16);
+  ServeConfig cfg;
+  cfg.budget_bytes = 3 * 64 * 1024;  // three stack moves per window
+  cfg.hysteresis_windows = 2;
+  ServingRuntime rt(w, Placement::stretch(16, 4), serve_runtime_config(),
+                    cfg);
+  rt.run_init();
+  std::vector<NodeId> prev = rt.placement().node_of_thread();
+  // last_moved[t] = window index of t's most recent migration.
+  std::vector<std::int32_t> last_moved(16, -100);
+  for (std::int32_t win = 0; win < 12; ++win) {
+    const WindowStats s = rt.run_window();
+    EXPECT_LE(s.moved_bytes, cfg.budget_bytes) << "window " << win;
+    const std::vector<NodeId>& now = rt.placement().node_of_thread();
+    for (std::int32_t t = 0; t < 16; ++t) {
+      if (now[static_cast<std::size_t>(t)] !=
+          prev[static_cast<std::size_t>(t)]) {
+        EXPECT_GT(win - last_moved[static_cast<std::size_t>(t)],
+                  cfg.hysteresis_windows)
+            << "thread " << t << " bounced at window " << win;
+        last_moved[static_cast<std::size_t>(t)] = win;
+      }
+    }
+    prev = now;
+  }
+}
+
+TEST(ServingRuntime, OneShotMigratesAtMostOnce) {
+  const GraphServiceWorkload w(16);
+  ServeConfig cfg;
+  cfg.mode = ServeMode::kOneShot;
+  cfg.oneshot_warmup = 3;
+  ServingRuntime rt(w, Placement::stretch(16, 4), serve_runtime_config(),
+                    cfg);
+  rt.run_init();
+  std::int32_t migrations = 0;
+  for (std::int32_t win = 0; win < 10; ++win) {
+    const WindowStats s = rt.run_window();
+    if (s.moved_threads > 0) {
+      migrations += 1;
+      EXPECT_EQ(win, cfg.oneshot_warmup - 1);
+    }
+    if (win >= cfg.oneshot_warmup) {
+      EXPECT_EQ(s.tracked_pages, 0) << "tracker still on at " << win;
+    }
+  }
+  EXPECT_LE(migrations, 1);
+}
+
+}  // namespace
+}  // namespace actrack::serve
