@@ -201,9 +201,18 @@ struct WorkloadResult {
 // machine's hardware thread count and compare_perf.py gates its floor
 // on it; the part that must hold *everywhere* — and is checked fatally
 // right here — is bit-identity between the two runs.
+//
+// Three cells span the eligibility classes the conflict-component
+// engine widened: SOR/lrc (lock-free barrier phases, the original
+// per-node path), SOR/sc (sequential consistency, formerly a serial
+// fallback) and Water/lrc (lock-bearing phases partitioned by lock
+// chain).  Each cell also reports eligible_phase_fraction — the share
+// of phases that ran on the worker pool — which must stay above 0.9
+// everywhere now that SC and locks no longer bail.
 
 struct SingleTrialResult {
   std::string workload;
+  std::string consistency;  // "lrc" or "sc"
   std::int32_t des_jobs = 0;
   std::int64_t events = 0;
   double serial_wall_ms = 0.0;
@@ -211,6 +220,7 @@ struct SingleTrialResult {
   double serial_events_per_sec = 0.0;
   double parallel_events_per_sec = 0.0;
   double speedup = 0.0;
+  double eligible_phase_fraction = 0.0;
   bool measured = false;
 };
 
@@ -218,6 +228,7 @@ struct SingleTrialResult {
 /// iterations inside it.  Returns the per-step metrics (for the
 /// identity check) and the best-of-reps wall time.
 std::vector<IterationMetrics> timed_single_trial(const Workload& workload,
+                                                 const RuntimeConfig& base,
                                                  std::int32_t des_jobs,
                                                  std::int32_t iters,
                                                  std::int32_t reps,
@@ -225,7 +236,7 @@ std::vector<IterationMetrics> timed_single_trial(const Workload& workload,
   std::vector<IterationMetrics> steps;
   best_wall_ms = 1e300;
   for (std::int32_t rep = 0; rep < reps; ++rep) {
-    RuntimeConfig config;
+    RuntimeConfig config = base;
     config.sched.des_jobs = des_jobs;
     ClusterRuntime runtime(
         workload, Placement::stretch(exp::kThreads, exp::kNodes), config);
@@ -242,17 +253,21 @@ std::vector<IterationMetrics> timed_single_trial(const Workload& workload,
   return steps;
 }
 
-SingleTrialResult run_single_trial(const std::string& name,
+SingleTrialResult run_single_trial(const std::string& name, bool sc,
                                    std::int32_t des_jobs, std::int32_t iters,
                                    std::int32_t reps, bool* diverged) {
   SingleTrialResult r;
   r.workload = name;
+  r.consistency = sc ? "sc" : "lrc";
   r.des_jobs = des_jobs;
+  RuntimeConfig base;
+  if (sc) base.dsm.model = ConsistencyModel::kSequentialSingleWriter;
   const std::unique_ptr<Workload> workload =
       make_workload(name, exp::kThreads);
   {
     ClusterRuntime counter(*workload,
-                           Placement::stretch(exp::kThreads, exp::kNodes));
+                           Placement::stretch(exp::kThreads, exp::kNodes),
+                           base);
     counter.run_init();
     counter.run_iteration();
     for (std::int32_t i = 0; i < iters; ++i) {
@@ -262,11 +277,13 @@ SingleTrialResult run_single_trial(const std::string& name,
   }
 
   const std::vector<IterationMetrics> serial =
-      timed_single_trial(*workload, 1, iters, reps, r.serial_wall_ms);
+      timed_single_trial(*workload, base, 1, iters, reps, r.serial_wall_ms);
   const std::vector<IterationMetrics> parallel =
-      timed_single_trial(*workload, des_jobs, iters, reps,
+      timed_single_trial(*workload, base, des_jobs, iters, reps,
                          r.parallel_wall_ms);
 
+  std::int64_t phases_total = 0;
+  std::int64_t phases_parallel = 0;
   for (std::size_t i = 0; i < serial.size(); ++i) {
     const IterationMetrics& a = serial[i];
     const IterationMetrics& b = parallel[i];
@@ -275,13 +292,19 @@ SingleTrialResult run_single_trial(const std::string& name,
         a.messages != b.messages || a.total_bytes != b.total_bytes ||
         a.diff_bytes != b.diff_bytes || a.gc_runs != b.gc_runs) {
       std::fprintf(stderr,
-                   "FATAL: --des-jobs %d diverged from serial on %s at "
+                   "FATAL: --des-jobs %d diverged from serial on %s/%s at "
                    "iteration %zu\n",
-                   des_jobs, name.c_str(), i);
+                   des_jobs, name.c_str(), r.consistency.c_str(), i);
       *diverged = true;
       return r;
     }
+    phases_total += b.des_phases_total;
+    phases_parallel += b.des_phases_parallel;
   }
+  r.eligible_phase_fraction =
+      phases_total > 0 ? static_cast<double>(phases_parallel) /
+                             static_cast<double>(phases_total)
+                       : 0.0;
 
   const double events = static_cast<double>(r.events);
   r.serial_events_per_sec = events / (r.serial_wall_ms / 1000.0);
@@ -425,33 +448,36 @@ std::vector<ScaleResult> run_scale_sweep(std::int32_t scale_max,
 
 void write_json(std::FILE* out, const std::vector<WorkloadResult>& results,
                 const std::vector<ScaleResult>& scale, std::int32_t jobs,
-                const SingleTrialResult& single_trial) {
+                const std::vector<SingleTrialResult>& single_trials) {
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"actrack-perf-v3\",\n");
+  std::fprintf(out, "  \"schema\": \"actrack-perf-v4\",\n");
   std::fprintf(out, "  \"threads\": %d,\n", exp::kThreads);
   std::fprintf(out, "  \"nodes\": %d,\n", exp::kNodes);
   std::fprintf(out, "  \"jobs\": %d,\n", jobs);
   std::fprintf(out, "  \"hw_threads\": %u,\n",
                std::thread::hardware_concurrency());
-  if (single_trial.measured) {
-    std::fprintf(out, "  \"single_trial\": {\n");
-    std::fprintf(out, "    \"workload\": \"%s\",\n",
-                 single_trial.workload.c_str());
-    std::fprintf(out, "    \"des_jobs\": %d,\n", single_trial.des_jobs);
-    std::fprintf(out, "    \"events\": %lld,\n", exp::ll(single_trial.events));
-    std::fprintf(out, "    \"serial_wall_ms\": %.3f,\n",
-                 single_trial.serial_wall_ms);
-    std::fprintf(out, "    \"parallel_wall_ms\": %.3f,\n",
-                 single_trial.parallel_wall_ms);
-    std::fprintf(out, "    \"serial_events_per_sec\": %.1f,\n",
-                 single_trial.serial_events_per_sec);
-    std::fprintf(out, "    \"parallel_events_per_sec\": %.1f,\n",
-                 single_trial.parallel_events_per_sec);
-    std::fprintf(out, "    \"speedup\": %.2f\n", single_trial.speedup);
-    std::fprintf(out, "  },\n");
-  } else {
-    std::fprintf(out, "  \"single_trial\": null,\n");
+  std::fprintf(out, "  \"single_trials\": [\n");
+  for (std::size_t i = 0; i < single_trials.size(); ++i) {
+    const SingleTrialResult& st = single_trials[i];
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"workload\": \"%s\",\n", st.workload.c_str());
+    std::fprintf(out, "      \"consistency\": \"%s\",\n",
+                 st.consistency.c_str());
+    std::fprintf(out, "      \"des_jobs\": %d,\n", st.des_jobs);
+    std::fprintf(out, "      \"events\": %lld,\n", exp::ll(st.events));
+    std::fprintf(out, "      \"serial_wall_ms\": %.3f,\n", st.serial_wall_ms);
+    std::fprintf(out, "      \"parallel_wall_ms\": %.3f,\n",
+                 st.parallel_wall_ms);
+    std::fprintf(out, "      \"serial_events_per_sec\": %.1f,\n",
+                 st.serial_events_per_sec);
+    std::fprintf(out, "      \"parallel_events_per_sec\": %.1f,\n",
+                 st.parallel_events_per_sec);
+    std::fprintf(out, "      \"speedup\": %.2f,\n", st.speedup);
+    std::fprintf(out, "      \"eligible_phase_fraction\": %.4f\n",
+                 st.eligible_phase_fraction);
+    std::fprintf(out, "    }%s\n", i + 1 < single_trials.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];
@@ -611,23 +637,34 @@ int main(int argc, char** argv) {
     scale = run_scale_sweep(scale_max, reps);
   }
 
-  // Single-trial parallel DES: serial vs --des-jobs on one trial, with
-  // the fatal bit-identity check.  SOR's barrier phases are lock-free
-  // LRC, so the parallel engine carries the whole iteration.
-  SingleTrialResult single_trial;
+  // Single-trial parallel DES cells: serial vs --des-jobs on one trial
+  // per eligibility class, each with the fatal bit-identity check.
+  // SOR/lrc is the lock-free barrier baseline; SOR/sc and Water/lrc
+  // are the classes the conflict-component engine made eligible.
+  std::vector<SingleTrialResult> single_trials;
   if (!scale_only) {
-    bool diverged = false;
-    single_trial =
-        run_single_trial("SOR", des_jobs, iters, reps, &diverged);
-    if (diverged) return 1;
-    std::printf(
-        "single   SOR des-jobs %d | serial %8.1f ms (%10.0f events/s) | "
-        "parallel %8.1f ms (%10.0f events/s) | speedup %5.2fx on %u hw "
-        "threads\n",
-        single_trial.des_jobs, single_trial.serial_wall_ms,
-        single_trial.serial_events_per_sec, single_trial.parallel_wall_ms,
-        single_trial.parallel_events_per_sec, single_trial.speedup,
-        std::thread::hardware_concurrency());
+    struct Cell {
+      const char* workload;
+      bool sc;
+    };
+    constexpr Cell kCells[] = {
+        {"SOR", false}, {"SOR", true}, {"Water", false}};
+    for (const Cell& cell : kCells) {
+      bool diverged = false;
+      SingleTrialResult st = run_single_trial(cell.workload, cell.sc,
+                                              des_jobs, iters, reps,
+                                              &diverged);
+      if (diverged) return 1;
+      std::printf(
+          "single   %-5s/%-3s des-jobs %d | serial %8.1f ms (%10.0f "
+          "events/s) | parallel %8.1f ms (%10.0f events/s) | speedup "
+          "%5.2fx on %u hw threads | eligible %.2f\n",
+          st.workload.c_str(), st.consistency.c_str(), st.des_jobs,
+          st.serial_wall_ms, st.serial_events_per_sec, st.parallel_wall_ms,
+          st.parallel_events_per_sec, st.speedup,
+          std::thread::hardware_concurrency(), st.eligible_phase_fraction);
+      single_trials.push_back(std::move(st));
+    }
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -635,7 +672,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  write_json(out, results, scale, jobs, single_trial);
+  write_json(out, results, scale, jobs, single_trials);
   std::fclose(out);
   std::printf("wrote %s (sink %lld)\n", out_path.c_str(), exp::ll(g_sink));
   return 0;

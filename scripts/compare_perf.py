@@ -23,13 +23,20 @@ The harness (bench/perf_regression) reports two kinds of numbers:
   kernel speedups these are machine-independent: floors apply from 256
   threads up, and entries are matched to the baseline by thread count.
 
-* Single-trial parallel DES speedup (schema v3): serial vs --des-jobs
-  wall clock for one trial.  Unlike the kernel ratios this one needs
-  real cores — a 1-core machine's honest speedup is ~1x — so its >= 4x
-  floor applies only when the candidate report was produced on a
-  machine with at least SINGLE_TRIAL_MIN_HW_THREADS hardware threads
-  and des_jobs >= 8 (the harness's fatal in-run bit-identity check
-  holds everywhere regardless).
+* Single-trial parallel DES speedup (schema v3/v4): serial vs
+  --des-jobs wall clock for one trial.  Unlike the kernel ratios this
+  one needs real cores — a 1-core machine's honest speedup is ~1x — so
+  its >= 4x floor applies only when the candidate report was produced
+  on a machine with at least SINGLE_TRIAL_MIN_HW_THREADS hardware
+  threads and des_jobs >= 8 (the harness's fatal in-run bit-identity
+  check holds everywhere regardless).  Schema v4 replaces the single
+  `single_trial` object with a `single_trials` array of cells — one
+  per eligibility class (SOR/lrc, SOR/sc, Water/lrc) — and adds
+  eligible_phase_fraction, the share of phases that ran on the worker
+  pool.  That fraction is simulation-determined, not hardware-
+  determined, so its > 0.9 floor is enforced on every machine; cells
+  are matched to the baseline by (workload, consistency), a v3
+  baseline contributing its one cell as (workload, "lrc").
 
 Workloads are matched by name over the intersection of the two files
 (the CI smoke run uses the reduced grid against the full-grid
@@ -61,16 +68,34 @@ SCALE_FLOOR_THREADS = 256
 # Two-level placement may trade cut quality for O(n·k) search, but only
 # within this factor of the flat single-descent baseline.
 SCALE_QUALITY_FACTOR = 2.0
-# Single-trial parallel DES (schema v3): the speedup floor only binds
-# when the candidate machine has enough hardware parallelism to express
-# it and the run used at least 8 sim workers.
+# Single-trial parallel DES (schema v3/v4): the speedup floor only
+# binds when the candidate machine has enough hardware parallelism to
+# express it and the run used at least 8 sim workers.
 SINGLE_TRIAL_SPEEDUP_FLOOR = 4.0
 SINGLE_TRIAL_MIN_HW_THREADS = 8
 SINGLE_TRIAL_MIN_DES_JOBS = 8
+# Eligibility (schema v4) is decided by the simulation alone, so this
+# floor binds on any hardware: with SC, locks and the link layer all
+# component-partitioned, almost every phase must run on the pool.
+ELIGIBLE_PHASE_FRACTION_FLOOR = 0.9
 
 SERVING_SCHEMA = "actrack-serving-v1"
 SCHEMAS = ("actrack-perf-v1", "actrack-perf-v2", "actrack-perf-v3",
-           SERVING_SCHEMA)
+           "actrack-perf-v4", SERVING_SCHEMA)
+
+
+def single_trial_cells(data):
+    """Single-trial cells keyed by (workload, consistency).
+
+    Normalises both shapes: v4's `single_trials` array, and v3's lone
+    `single_trial` object (always an lrc SOR cell).
+    """
+    cells = data.get("single_trials")
+    if cells is None:
+        single = data.get("single_trial")
+        cells = [single] if single else []
+    return {(c.get("workload", "?"), c.get("consistency", "lrc")): c
+            for c in cells}
 
 
 def load(path):
@@ -243,30 +268,34 @@ def main():
                     check(name, f"{field} vs baseline", c[field],
                           b[field] * (1.0 - tol), +1)
 
-    single = cand_data.get("single_trial")
-    if single:
-        name = f"single@{single.get('workload', '?')}"
+    base_cells = single_trial_cells(base_data)
+    for key, single in sorted(single_trial_cells(cand_data).items()):
+        name = f"single@{key[0]}/{key[1]}"
         print(f"{name}:")
         hw = cand_data.get("hw_threads", 0)
+        base_cell = base_cells.get(key)
+        if "eligible_phase_fraction" in single:
+            # Simulation-determined: enforced on every machine.
+            check(name, "eligible_phase_fraction",
+                  single["eligible_phase_fraction"],
+                  ELIGIBLE_PHASE_FRACTION_FLOOR, +1)
         if (hw >= SINGLE_TRIAL_MIN_HW_THREADS
                 and single.get("des_jobs", 0) >= SINGLE_TRIAL_MIN_DES_JOBS):
             check(name, "des speedup floor", single["speedup"],
                   SINGLE_TRIAL_SPEEDUP_FLOOR, +1)
-            base_single = base_data.get("single_trial")
-            if base_single and base_data.get(
+            if base_cell and base_data.get(
                     "hw_threads", 0) >= SINGLE_TRIAL_MIN_HW_THREADS:
                 check(name, "des speedup vs baseline", single["speedup"],
-                      base_single["speedup"] * (1.0 - tol), +1)
+                      base_cell["speedup"] * (1.0 - tol), +1)
         else:
             print(f"  note {name}: speedup {single['speedup']:.2f}x at "
                   f"des_jobs {single.get('des_jobs', 0)} on {hw} hw "
                   f"thread(s) — floor needs >= {SINGLE_TRIAL_MIN_HW_THREADS} "
                   "hw threads, skipped")
-        if args.strict_wall and base_data.get("single_trial"):
+        if args.strict_wall and base_cell:
             check(name, "serial_events_per_sec",
                   single["serial_events_per_sec"],
-                  base_data["single_trial"]["serial_events_per_sec"]
-                  * (1.0 - tol), +1)
+                  base_cell["serial_events_per_sec"] * (1.0 - tol), +1)
 
     skipped = sorted(set(base) ^ set(cand))
     if skipped:

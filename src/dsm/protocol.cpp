@@ -45,6 +45,12 @@ DsmSystem::DsmSystem(PageId num_pages, NodeId num_nodes, NetworkModel* net,
   sc_active_.reserve(page_list_reserve);
   writer_groups_scratch_.reserve(static_cast<std::size_t>(num_nodes));
   gc_writers_scratch_.reserve(static_cast<std::size_t>(num_nodes));
+  // Single-writer runs size every copyset up front so the lazy per-touch
+  // init on the access path never mutates a page entry that parallel
+  // readers in other conflict components may be scanning concurrently.
+  if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
+    for (GlobalPage& gp : pages_) gp.sc_copyset = DynamicBitset(num_nodes);
+  }
 }
 
 DsmSystem::NodePage& DsmSystem::node_page(NodeId node, PageId page) {
@@ -91,31 +97,86 @@ DsmSystem::ReplicaAudit DsmSystem::audit_replica(NodeId node,
   return ReplicaAudit{np.state, np.applied_upto, np.dirty_bytes};
 }
 
-void DsmSystem::begin_parallel(std::vector<ParallelContext>* contexts) {
+void DsmSystem::begin_parallel(std::vector<ParallelContext>* contexts,
+                               ParallelPhase* phase) {
   ACTRACK_CHECK(contexts != nullptr);
   ACTRACK_CHECK(static_cast<NodeId>(contexts->size()) == num_nodes_);
   ACTRACK_CHECK_MSG(par_ == nullptr, "parallel mode is not reentrant");
-  ACTRACK_CHECK_MSG(config_.model == ConsistencyModel::kLazyReleaseMultiWriter,
-                    "parallel DES runs the LRC access path only");
   ACTRACK_CHECK_MSG(check_hook_ == nullptr,
                     "check hooks audit live replica state per access and "
                     "cannot be replayed; checked runs are serial");
+  if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
+    ACTRACK_CHECK_MSG(phase != nullptr && phase->sc_written != nullptr,
+                      "parallel SC needs the phase's written-page set");
+  }
+  // Phases start at a sync-epoch boundary: the previous barrier cleared
+  // the flush list, which is what makes the shard-local write-notice
+  // walks in lock_transfer() equivalent to the serial global walk (the
+  // barrier sweep performs the cross-component invalidations with the
+  // identical count and final state — DESIGN.md §13).
+  ACTRACK_CHECK_MSG(recently_flushed_.empty(),
+                    "parallel phase must start at an epoch boundary");
+  if (phase != nullptr) {
+    ACTRACK_CHECK(static_cast<NodeId>(phase->comp_of_node.size()) ==
+                  num_nodes_);
+    for (SyncShard& shard : phase->sync) {
+      shard.flushed.clear();
+      shard.with_diffs.clear();
+      shard.sc_thawed.clear();
+      shard.epoch_delta = 0;
+      shard.outstanding_delta = 0;
+    }
+  }
   for (ParallelContext& ctx : *contexts) {
     ctx.stats = DsmStats{};
     ctx.misses.clear();
+    ctx.sc_reads.clear();
   }
   par_ = contexts;
+  par_phase_ = phase;
 }
 
 void DsmSystem::end_parallel() {
   ACTRACK_CHECK(par_ != nullptr);
   std::vector<ParallelContext>* contexts = par_;
+  ParallelPhase* phase = par_phase_;
   par_ = nullptr;
+  par_phase_ = nullptr;
   // Fold in node order; every counter is a commutative int64 sum, so
   // the result is bit-identical to the serial interleaved accumulation.
   for (ParallelContext& ctx : *contexts) {
     stats_.add(ctx.stats);
     net_->merge_shard(ctx.net);
+  }
+  if (phase != nullptr) {
+    // Sync shards fold in component order.  The epoch and outstanding
+    // counters are commutative sums; the list splices reproduce the
+    // serial push order wherever order is observable (the scheduler
+    // keeps every mid-phase flusher in one component whenever GC under
+    // the link layer could replay pages_with_diffs_ order).
+    for (SyncShard& shard : phase->sync) {
+      epoch_ += shard.epoch_delta;
+      outstanding_diff_bytes_ += shard.outstanding_delta;
+      recently_flushed_.insert(recently_flushed_.end(), shard.flushed.begin(),
+                               shard.flushed.end());
+      pages_with_diffs_.insert(pages_with_diffs_.end(),
+                               shard.with_diffs.begin(),
+                               shard.with_diffs.end());
+      sc_active_.insert(sc_active_.end(), shard.sc_thawed.begin(),
+                        shard.sc_thawed.end());
+    }
+  }
+  // Deferred SC read bookkeeping, applied in node order: the owner
+  // assignment is idempotent (first touch pins the home) and copyset
+  // sets commute, so the fold reproduces the serial end state exactly.
+  NodeId n = 0;
+  for (ParallelContext& ctx : *contexts) {
+    for (const PageId page : ctx.sc_reads) {
+      GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+      if (gp.sc_owner == kNoNode) gp.sc_owner = page % num_nodes_;
+      gp.sc_copyset.set(n);
+    }
+    ++n;
   }
 }
 
@@ -240,15 +301,27 @@ void DsmSystem::validate_page(NodeId node, ThreadId thread, PageId page,
 
 AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
                                    const PageAccess& a) {
-  // SC writes mutate other nodes' replica states and the page's global
-  // owner/copyset — inherently cross-node, so the scheduler never runs
-  // SC phases in parallel (conservative zero lookahead: serial).
-  ACTRACK_CHECK_MSG(par_ == nullptr, "SC access path in parallel mode");
   const CostModel& cost = net_->cost();
   AccessOutcome out;
   GlobalPage& gp = pages_[static_cast<std::size_t>(a.page)];
   NodePage& np = node_page(node, a.page);
   if (gp.sc_copyset.size() == 0) gp.sc_copyset = DynamicBitset(num_nodes_);
+
+  // Parallel DES: the scheduler's conflict partition puts every toucher
+  // of a page written this phase into one component (a single
+  // executor), so the owner/copyset/replica mutations below stay
+  // single-threaded; reads of pages nobody writes this phase leave the
+  // global entry untouched and defer their bookkeeping to the
+  // end_parallel fold.  The copyset lazy-init above never fires while
+  // parallel — the constructor pre-sizes every copyset under SC.
+  ParallelContext* ctx =
+      par_ ? &(*par_)[static_cast<std::size_t>(node)] : nullptr;
+  if (ctx) {
+    ACTRACK_CHECK_MSG(par_phase_ != nullptr && par_phase_->sc_written,
+                      "parallel SC access without a phase written-set");
+  }
+  const bool deferred = ctx && !par_phase_->sc_written->test(a.page);
+  DsmStats& st = ctx ? ctx->stats : stats_;
 
   // The page home holds the initial copy and implicit initial ownership.
   const NodeId home = a.page % num_nodes_;
@@ -259,32 +332,54 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
         np.state == PageState::kReadWrite) {
       return out;
     }
-    stats_.read_faults += 1;
+    st.read_faults += 1;
     out.read_fault = true;
     out.local_us += cost.fault_trap_us;
     if (owner != node) {
-      const ExchangeResult fetch = net_->exchange(
-          node, owner, kPageSize, PayloadKind::kFullPage, config_.retry);
-      stats_.fetch_retries += fetch.attempts - 1;
+      const ExchangeResult fetch =
+          ctx ? net_->exchange_sharded(node, owner, kPageSize,
+                                       PayloadKind::kFullPage, ctx->net)
+              : net_->exchange(node, owner, kPageSize, PayloadKind::kFullPage,
+                               config_.retry);
+      st.fetch_retries += fetch.attempts - 1;
       out.remote_us += fetch.latency_us;
       out.local_us += cost.diff_apply_us_per_kb * (kPageSize / 1024);
       out.remote_miss = true;
-      stats_.remote_misses += 1;
-      stats_.full_page_fetches += 1;
-      if (remote_miss_observer_) remote_miss_observer_(node, thread, a.page);
-      if (probe_) probe_->diff_apply(node, a.page, kPageSize);
+      st.remote_misses += 1;
+      st.full_page_fetches += 1;
+      if (remote_miss_observer_) {
+        if (ctx) {
+          ctx->misses.push_back({node, thread, a.page});
+        } else {
+          remote_miss_observer_(node, thread, a.page);
+        }
+      }
+      if (ctx) {
+        if (ctx->probe) ctx->probe->diff_apply(node, a.page, kPageSize);
+      } else if (probe_) {
+        probe_->diff_apply(node, a.page, kPageSize);
+      }
     }
-    gp.sc_owner = owner;
-    gp.sc_copyset.set(node);
+    if (deferred) {
+      // Readers in other components may be scanning this entry
+      // concurrently; record the owner/copyset update and apply it at
+      // the fold (idempotent + commutative, so node order reproduces
+      // the serial end state).
+      ctx->sc_reads.push_back(a.page);
+    } else {
+      gp.sc_owner = owner;
+      gp.sc_copyset.set(node);
+    }
     np.state = PageState::kReadOnly;
     return out;
   }
 
   // Write: requires exclusive ownership.
+  ACTRACK_CHECK_MSG(!deferred, "SC write to a page outside the written-set");
   if (np.state == PageState::kReadWrite && owner == node) {
     return out;  // already exclusive
   }
-  stats_.write_faults += 1;
+  st.write_faults += 1;
   out.write_fault = true;
   out.local_us += cost.fault_trap_us;
 
@@ -293,21 +388,42 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
     // this epoch is frozen before it can be stolen again (§6).
     if (config_.delta_interval_us > 0 && gp.sc_transfers_this_epoch > 0) {
       out.remote_us += config_.delta_interval_us;
-      stats_.delta_stalls += 1;
+      st.delta_stalls += 1;
     }
-    const ExchangeResult fetch = net_->exchange(
-        node, owner, kPageSize, PayloadKind::kFullPage, config_.retry);
-    stats_.fetch_retries += fetch.attempts - 1;
+    const ExchangeResult fetch =
+        ctx ? net_->exchange_sharded(node, owner, kPageSize,
+                                     PayloadKind::kFullPage, ctx->net)
+            : net_->exchange(node, owner, kPageSize, PayloadKind::kFullPage,
+                             config_.retry);
+    st.fetch_retries += fetch.attempts - 1;
     out.remote_us += fetch.latency_us;
     out.local_us += cost.diff_apply_us_per_kb * (kPageSize / 1024);
     out.remote_miss = true;
-    stats_.remote_misses += 1;
-    stats_.full_page_fetches += 1;
-    stats_.ownership_transfers += 1;
-    if (gp.sc_transfers_this_epoch == 0) sc_active_.push_back(a.page);
+    st.remote_misses += 1;
+    st.full_page_fetches += 1;
+    st.ownership_transfers += 1;
+    if (gp.sc_transfers_this_epoch == 0) {
+      if (ctx) {
+        par_phase_->sync[static_cast<std::size_t>(
+            par_phase_->comp_of_node[static_cast<std::size_t>(node)])]
+            .sc_thawed.push_back(a.page);
+      } else {
+        sc_active_.push_back(a.page);
+      }
+    }
     gp.sc_transfers_this_epoch += 1;
-    if (remote_miss_observer_) remote_miss_observer_(node, thread, a.page);
-    if (probe_) probe_->diff_apply(node, a.page, kPageSize);
+    if (remote_miss_observer_) {
+      if (ctx) {
+        ctx->misses.push_back({node, thread, a.page});
+      } else {
+        remote_miss_observer_(node, thread, a.page);
+      }
+    }
+    if (ctx) {
+      if (ctx->probe) ctx->probe->diff_apply(node, a.page, kPageSize);
+    } else if (probe_) {
+      probe_->diff_apply(node, a.page, kPageSize);
+    }
   }
 
   // Invalidate every other replica before the write may proceed
@@ -319,12 +435,20 @@ AccessOutcome DsmSystem::access_sc(NodeId node, ThreadId thread,
       // Invalidations must reach every replica: a lost one would leave a
       // stale readable copy.  The replica state flip below models the
       // eventual delivery; send_reliable charges the retransmissions.
-      net_->send_reliable(node, n, 0, PayloadKind::kControl, config_.retry);
+      // Parallel phases run fault-free by eligibility, so the sharded
+      // send is the same single transmission; a copyset member outside
+      // this component is a node that does not touch the page this
+      // phase, so flipping its replica slot here cannot race.
+      if (ctx) {
+        net_->send_sharded(node, n, 0, PayloadKind::kControl, ctx->net);
+      } else {
+        net_->send_reliable(node, n, 0, PayloadKind::kControl, config_.retry);
+      }
       NodePage& replica = node_page(n, a.page);
       if (replica.state != PageState::kUnmapped) {
         replica.state = PageState::kInvalid;
       }
-      stats_.invalidations += 1;
+      st.invalidations += 1;
       had_other_replicas = true;
     }
   }
@@ -394,13 +518,26 @@ AccessOutcome DsmSystem::access_lrc(NodeId node, ThreadId thread,
 }
 
 SimTime DsmSystem::release_node(NodeId node) {
-  // Sync operations mutate shared history/epoch state: they are the
-  // fences that bound parallel lookahead windows and must run serially.
-  ACTRACK_CHECK_MSG(par_ == nullptr, "release_node in parallel mode");
   if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
     if (check_hook_) check_hook_->on_release(node);
     return 0;  // SC has no twins/diffs; invalidations were eager
   }
+  // Mid-phase releases (lock handoffs) run on parallel workers too:
+  // every page this node flushes has all its touchers inside the
+  // executing conflict component, so the history/list-flag mutations
+  // below are component-exclusive; the order-sensitive work lists and
+  // the epoch/outstanding counters route through the component's shard
+  // and fold at end_parallel.
+  ParallelContext* ctx =
+      par_ ? &(*par_)[static_cast<std::size_t>(node)] : nullptr;
+  SyncShard* shard = nullptr;
+  if (ctx) {
+    ACTRACK_CHECK_MSG(par_phase_ != nullptr,
+                      "release_node in parallel mode needs a phase");
+    shard = &par_phase_->sync[static_cast<std::size_t>(
+        par_phase_->comp_of_node[static_cast<std::size_t>(node)])];
+  }
+  DsmStats& st = ctx ? ctx->stats : stats_;
   const CostModel& cost = net_->cost();
   SimTime local = 0;
   auto& dirty = dirty_pages_[static_cast<std::size_t>(node)];
@@ -414,23 +551,35 @@ SimTime DsmSystem::release_node(NodeId node) {
     ACTRACK_CHECK(np.dirty_bytes > 0);
     GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
 
-    WriteRecord record{epoch_, node, np.dirty_bytes, /*full_page=*/false,
-                       VectorClock{}};
+    // The component-local transfer count keeps the epoch stamp exact in
+    // single-lock-component phases; with several lock components it may
+    // deviate from the serial stamp, which is inert — rec.epoch feeds
+    // only the serial-side page audits (audit_page's newest_epoch).
+    WriteRecord record{shard ? epoch_ + shard->epoch_delta : epoch_, node,
+                       np.dirty_bytes, /*full_page=*/false, VectorClock{}};
     if (config_.causality == CausalityMode::kVectorClock) {
       record.vc = node_vc_[static_cast<std::size_t>(node)];
     }
     gp.history.push_back(std::move(record));
-    outstanding_diff_bytes_ += np.dirty_bytes;
-    stats_.diffs_created += 1;
-    if (probe_) probe_->diff_create(node, page, np.dirty_bytes);
+    if (shard) {
+      shard->outstanding_delta += np.dirty_bytes;
+    } else {
+      outstanding_diff_bytes_ += np.dirty_bytes;
+    }
+    st.diffs_created += 1;
+    if (ctx) {
+      if (ctx->probe) ctx->probe->diff_create(node, page, np.dirty_bytes);
+    } else if (probe_) {
+      probe_->diff_create(node, page, np.dirty_bytes);
+    }
 
     if (!gp.in_flush_list) {
       gp.in_flush_list = true;
-      recently_flushed_.push_back(page);
+      (shard ? shard->flushed : recently_flushed_).push_back(page);
     }
     if (!gp.in_diff_list) {
       gp.in_diff_list = true;
-      pages_with_diffs_.push_back(page);
+      (shard ? shard->with_diffs : pages_with_diffs_).push_back(page);
     }
 
     // If the replica was current before the local write, it stays
@@ -526,20 +675,44 @@ SimTime DsmSystem::barrier_epoch() {
 
 SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
                                  std::int32_t lock_id) {
-  ACTRACK_CHECK_MSG(par_ == nullptr, "lock_transfer in parallel mode");
   ACTRACK_CHECK(to >= 0 && to < num_nodes_);
-  epoch_ += 1;
+  // Parallel workers hand locks off inside their own conflict
+  // component: every node in a lock's chain shares one component, so
+  // the acquirer's replica flips and the component's flush list are
+  // single-threaded; the epoch bump is banked in the shard and folded
+  // at end_parallel.
+  SyncShard* shard = nullptr;
+  if (par_) {
+    ACTRACK_CHECK_MSG(par_phase_ != nullptr,
+                      "lock_transfer in parallel mode needs a phase");
+    shard = &par_phase_->sync[static_cast<std::size_t>(
+        par_phase_->comp_of_node[static_cast<std::size_t>(to)])];
+    shard->epoch_delta += 1;
+  } else {
+    epoch_ += 1;
+  }
 
   const bool precise = config_.causality == CausalityMode::kVectorClock;
   if (precise) {
     // The lock carries the causal history of its previous holders; the
     // acquirer inherits it.
-    auto [it, inserted] = lock_vc_.try_emplace(lock_id, VectorClock(num_nodes_));
-    VectorClock& lock_clock = it->second;
-    if (from != kNoNode) {
-      lock_clock.merge(node_vc_[static_cast<std::size_t>(from)]);
+    VectorClock* lock_clock = nullptr;
+    if (par_) {
+      // prepare_locks() pre-inserted every lock this phase can touch;
+      // inserting from a worker would race on the map.
+      auto it = lock_vc_.find(lock_id);
+      ACTRACK_CHECK_MSG(it != lock_vc_.end(),
+                        "lock not prepared for the parallel phase");
+      lock_clock = &it->second;
+    } else {
+      auto [it, inserted] =
+          lock_vc_.try_emplace(lock_id, VectorClock(num_nodes_));
+      lock_clock = &it->second;
     }
-    node_vc_[static_cast<std::size_t>(to)].merge(lock_clock);
+    if (from != kNoNode) {
+      lock_clock->merge(node_vc_[static_cast<std::size_t>(from)]);
+    }
+    node_vc_[static_cast<std::size_t>(to)].merge(*lock_clock);
   }
   if (from == to) {
     if (check_hook_) check_hook_->on_lock_transfer(from, to, lock_id);
@@ -548,9 +721,15 @@ SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
 
   // The acquirer applies the write notices the acquire propagates: all
   // unseen notices (total order), or only those in its (just extended)
-  // causal past (vector clocks).
+  // causal past (vector clocks).  In parallel mode only the component's
+  // own flushes are walked; the barrier sweep performs every
+  // cross-component invalidation a serial run would have done here,
+  // with the identical count and final state (DESIGN.md §13).
+  DsmStats& st = par_ ? (*par_)[static_cast<std::size_t>(to)].stats : stats_;
+  const std::vector<PageId>& flushed =
+      shard ? shard->flushed : recently_flushed_;
   const VectorClock& acquirer_vc = node_vc_[static_cast<std::size_t>(to)];
-  for (const PageId page : recently_flushed_) {
+  for (const PageId page : flushed) {
     const GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
     NodePage& np = node_page(to, page);
     if (np.state == PageState::kUnmapped ||
@@ -580,11 +759,54 @@ SimTime DsmSystem::lock_transfer(NodeId from, NodeId to,
     }
     if (must_invalidate) {
       np.state = PageState::kInvalid;
-      stats_.invalidations += 1;
+      st.invalidations += 1;
     }
   }
   if (check_hook_) check_hook_->on_lock_transfer(from, to, lock_id);
   return 0;
+}
+
+void DsmSystem::prepare_locks(const std::vector<std::int32_t>& lock_ids) {
+  ACTRACK_CHECK_MSG(par_ == nullptr, "prepare_locks runs before the phase");
+  if (config_.causality != CausalityMode::kVectorClock) return;
+  for (const std::int32_t id : lock_ids) {
+    // Observably inert: a fresh lock's clock starts empty either way,
+    // and lock_vc_ is only ever read by key.
+    lock_vc_.try_emplace(id, VectorClock(num_nodes_));
+  }
+}
+
+void DsmSystem::collect_page_peers(NodeId node, PageId page, bool is_write,
+                                   std::vector<NodeId>& out) const {
+  ACTRACK_CHECK(page >= 0 && page < num_pages_);
+  const GlobalPage& gp = pages_[static_cast<std::size_t>(page)];
+  if (config_.model == ConsistencyModel::kSequentialSingleWriter) {
+    // A faulting access exchanges with the current owner (the home
+    // while unowned); a write additionally sends invalidations to every
+    // copyset member.  Ownership only moves mid-phase into the set of
+    // touchers — and every toucher of a written page already shares the
+    // writer's component — so the pre-phase owner plus copyset
+    // over-approximate the cross-component communication pairs safely.
+    const NodeId owner =
+        (gp.sc_owner != kNoNode) ? gp.sc_owner : page % num_nodes_;
+    if (owner != node) out.push_back(owner);
+    if (is_write && gp.sc_copyset.size() != 0) {
+      for (NodeId n = 0; n < num_nodes_; ++n) {
+        if (n != node && gp.sc_copyset.test(n)) out.push_back(n);
+      }
+    }
+    return;
+  }
+  // LRC: validate_page exchanges with the page home (initial content on
+  // first touch) and with any writer holding unapplied records; records
+  // appended mid-phase come from writers already sharing this page's
+  // component, so the pre-phase history covers every cross-component
+  // pair a read or write fault can talk to.
+  const NodeId home = page % num_nodes_;
+  if (home != node) out.push_back(home);
+  for (const WriteRecord& rec : gp.history) {
+    if (rec.writer != node) out.push_back(rec.writer);
+  }
 }
 
 SimTime DsmSystem::run_gc() {

@@ -252,17 +252,25 @@ class DsmSystem {
 
   // -- deterministic parallel DES support (src/sched) ------------------
   //
-  // During a lock-free LRC phase the scheduler runs each node's event
-  // queue on a worker thread.  The access path then touches only
-  // per-node replica state plus the caller-supplied per-node context
-  // below, so workers never race; everything a serial run would have
-  // written to shared state (stats, network counters) or emitted to an
-  // observer (probe events, miss notifications) is recorded per node
-  // and folded/replayed by the scheduler afterwards in the serial
-  // schedule's total order.  Check hooks are the one observer that
-  // cannot be deferred — they audit live replica state on every access
-  // (src/check reads audit_replica() inside on_access) — so checked
-  // runs always take the serial path (begin_parallel asserts).
+  // The scheduler partitions each phase's nodes into conflict
+  // components (same lock chain, same written page, same communication
+  // pair under the link layer) and runs one worker per component; each
+  // component executes its nodes' event queues sequentially, so every
+  // piece of shared protocol state a worker mutates — page histories,
+  // SC owner/copyset of written pages, per-pair link channels — is
+  // touched by exactly one thread.  Side effects a serial run would
+  // write to shared accumulators (stats, network counters) or emit to
+  // an observer (probe events, miss notifications) are recorded in the
+  // caller-supplied per-node contexts below; order-sensitive sync
+  // state (the flush/diff/thaw work lists, the epoch counter,
+  // outstanding diff storage) goes through per-component SyncShards.
+  // end_parallel folds node contexts in node order and sync shards in
+  // component order, which reproduces the serial end state exactly
+  // (see DESIGN.md §13 for the argument per field).  Check hooks are
+  // the one observer that cannot be deferred — they audit live replica
+  // state on every access (src/check reads audit_replica() inside
+  // on_access) — so checked runs always take the serial path
+  // (begin_parallel asserts).
 
   /// Per-writer unseen-diff totals, grouped by validate_page.  Public
   /// so the parallel context can carry per-context scratch.
@@ -285,24 +293,69 @@ class DsmSystem {
     obs::ReplayBuffer* probe = nullptr;  // non-owning; null = no probe
     std::vector<MissRecord> misses;      // deferred observer stream
     std::vector<WriterDiffs> scratch;    // per-context validate scratch
+    /// SC reads of pages no component writes this phase: the
+    /// owner/copyset bookkeeping is deferred here and applied at the
+    /// fold (idempotent owner fix + commutative copyset sets), so the
+    /// global page entry stays read-only across components.
+    std::vector<PageId> sc_reads;
+  };
+
+  /// Order-sensitive sync state one conflict component accumulates
+  /// during a parallel phase, spliced into the shared lists (and the
+  /// epoch / outstanding-diff counters) in component order at the fold.
+  struct SyncShard {
+    std::vector<PageId> flushed;     // recently_flushed_ additions
+    std::vector<PageId> with_diffs;  // pages_with_diffs_ additions
+    std::vector<PageId> sc_thawed;   // sc_active_ additions
+    std::int64_t epoch_delta = 0;    // lock transfers executed
+    ByteCount outstanding_delta = 0; // diff storage published
+  };
+
+  /// The scheduler's description of one parallel phase: the conflict
+  /// partition (node -> component), one SyncShard per component, and —
+  /// for SC phases — the set of pages any thread writes this phase
+  /// (accesses to other pages may not mutate global page state).
+  struct ParallelPhase {
+    std::vector<SyncShard> sync;
+    std::vector<std::int32_t> comp_of_node;
+    const DynamicBitset* sc_written = nullptr;  // required for SC
   };
 
   /// Enters parallel mode: `contexts` must hold one entry per node with
-  /// its net shard sized via NetworkModel::init_shard().  Stats and the
-  /// record streams are reset here (capacity kept).  Only the LRC
-  /// access path may run while active; synchronisation operations
-  /// (release_node, barrier_epoch, lock_transfer, GC) are fences and
-  /// assert serial mode, and a check hook must not be attached (its
-  /// audits read live replica state, which deferred replay cannot
-  /// reproduce — the scheduler treats checked runs as ineligible).
-  void begin_parallel(std::vector<ParallelContext>* contexts);
+  /// its net shard sized via NetworkModel::init_shard(), and `phase`
+  /// carries the conflict partition (its shards are reset here,
+  /// capacity kept).  Mid-phase synchronisation operations
+  /// (release_node, lock_transfer) then route their order-sensitive
+  /// effects through the executing component's shard; barrier_epoch and
+  /// GC remain serial-only fences.  A check hook must not be attached
+  /// (its audits read live replica state, which deferred replay cannot
+  /// reproduce — the scheduler treats checked runs as ineligible), and
+  /// SC phases must supply phase->sc_written.  A null `phase` supports
+  /// the legacy lock-free LRC access-only mode.
+  void begin_parallel(std::vector<ParallelContext>* contexts,
+                      ParallelPhase* phase = nullptr);
 
   /// Leaves parallel mode, folding every context's stats and network
   /// shard into the shared state in node order (bit-identical to the
-  /// serial accumulation: all counters are commutative sums).  The
-  /// deferred observer streams stay in the contexts for the scheduler
-  /// to replay in total order.
+  /// serial accumulation: all counters are commutative sums), then the
+  /// sync shards in component order, then the deferred SC read
+  /// bookkeeping in node order.  The deferred observer streams stay in
+  /// the contexts for the scheduler to replay in total order.
   void end_parallel();
+
+  /// Serially pre-inserts the per-lock vector clocks for every lock a
+  /// parallel phase may transfer, so worker-side lock_transfer() calls
+  /// never mutate the lock map concurrently.  No-op under kTotalOrder;
+  /// observably inert either way (a fresh lock's clock starts empty).
+  void prepare_locks(const std::vector<std::int32_t>& lock_ids);
+
+  /// Appends every node that an access by `node` to `page` could
+  /// exchange a message with right now (page home, history writers; SC:
+  /// current owner, plus the copyset for writes).  Used by the
+  /// scheduler's conflict analysis to key components on communication
+  /// pairs when the link layer is on.  May contain duplicates.
+  void collect_page_peers(NodeId node, PageId page, bool is_write,
+                          std::vector<NodeId>& out) const;
 
   [[nodiscard]] bool parallel() const noexcept { return par_ != nullptr; }
 
@@ -423,8 +476,10 @@ class DsmSystem {
   std::vector<WriterDiffs> writer_groups_scratch_;
   std::vector<NodeId> gc_writers_scratch_;
 
-  /// Non-null while parallel mode is active (one context per node).
+  /// Non-null while parallel mode is active (one context per node),
+  /// plus the phase's conflict partition and sync shards.
   std::vector<ParallelContext>* par_ = nullptr;
+  ParallelPhase* par_phase_ = nullptr;
 
   ByteCount outstanding_diff_bytes_ = 0;
   std::int64_t epoch_ = 1;

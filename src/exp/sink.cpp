@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <iterator>
 #include <ostream>
 
 #include "common/check.hpp"
@@ -62,6 +63,10 @@ struct MetricsNames {
   const char* link_bytes;
   const char* link_stall_us;
   const char* load_imbalance;
+  const char* des_phases_total;
+  const char* des_phases_parallel;
+  const char* des_phases_serial;
+  const char* des_serial_reason;
 };
 
 constexpr MetricsNames kMeasuredNames = {
@@ -70,14 +75,29 @@ constexpr MetricsNames kMeasuredNames = {
     "m_diff_bytes", "m_control_bytes", "m_stack_bytes",
     "m_gc_runs", "m_link_frames", "m_link_retransmits",
     "m_link_acks", "m_link_bytes", "m_link_stall_us",
-    "m_load_imbalance"};
+    "m_load_imbalance", "m_des_phases_total", "m_des_phases_parallel",
+    "m_des_phases_serial", "m_des_serial_reason"};
 constexpr MetricsNames kTotalsNames = {
     "t_elapsed_us", "t_remote_misses", "t_read_faults",
     "t_write_faults", "t_messages", "t_total_bytes",
     "t_diff_bytes", "t_control_bytes", "t_stack_bytes",
     "t_gc_runs", "t_link_frames", "t_link_retransmits",
     "t_link_acks", "t_link_bytes", "t_link_stall_us",
-    "t_load_imbalance"};
+    "t_load_imbalance", "t_des_phases_total", "t_des_phases_parallel",
+    "t_des_phases_serial", "t_des_serial_reason"};
+
+/// Stable-storage name for a SerialReason (string_field keeps a
+/// pointer, so the values must outlive the flattened record).
+const std::string& serial_reason_string(SerialReason reason) {
+  static const std::string kNames[] = {
+      serial_reason_name(SerialReason::kNone),
+      serial_reason_name(SerialReason::kSingleWorker),
+      serial_reason_name(SerialReason::kFaultInjector),
+      serial_reason_name(SerialReason::kNetFaultHook),
+      serial_reason_name(SerialReason::kCheckHook)};
+  const auto idx = static_cast<std::size_t>(reason);
+  return idx < std::size(kNames) ? kNames[idx] : kNames[0];
+}
 
 void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
                     const IterationMetrics& m) {
@@ -97,6 +117,11 @@ void append_metrics(std::vector<FieldValue>& out, const MetricsNames& names,
   out.push_back(int_field(names.link_bytes, m.link_bytes));
   out.push_back(int_field(names.link_stall_us, m.link_stall_us));
   out.push_back(real_field(names.load_imbalance, m.load_imbalance));
+  out.push_back(int_field(names.des_phases_total, m.des_phases_total));
+  out.push_back(int_field(names.des_phases_parallel, m.des_phases_parallel));
+  out.push_back(int_field(names.des_phases_serial, m.des_phases_serial));
+  out.push_back(string_field(names.des_serial_reason,
+                             serial_reason_string(m.des_serial_reason)));
 }
 
 }  // namespace

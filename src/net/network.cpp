@@ -93,24 +93,11 @@ ExchangeResult NetworkModel::exchange_sharded(NodeId requester,
                                               ByteCount reply_payload,
                                               PayloadKind reply_kind,
                                               NetShard& shard) const {
-  ACTRACK_CHECK_MSG(!fault_hook_ && !link_,
-                    "sharded exchange on a fenced (fault/link) network");
-  ACTRACK_CHECK(requester >= 0 && requester < num_nodes());
-  ACTRACK_CHECK(responder >= 0 && responder < num_nodes());
-  ACTRACK_CHECK_MSG(requester != responder,
-                    "loopback messages are free and not sent");
-  ACTRACK_CHECK(reply_payload >= 0);
-
-  auto& per_node = shard.per_node;
-  account_into(shard.totals, per_node[static_cast<std::size_t>(requester)],
-               requester, responder, 0, PayloadKind::kControl,
-               cost_.message_header_bytes, shard.probe);
-  account_into(shard.totals, per_node[static_cast<std::size_t>(responder)],
-               responder, requester, reply_payload, reply_kind,
-               cost_.message_header_bytes, shard.probe);
+  // Mirrors the hook-free branch of exchange(): two plain sends.
   ExchangeResult result;
   result.latency_us =
-      cost_.transfer_us(0) + cost_.transfer_us(reply_payload);
+      send_sharded(requester, responder, 0, PayloadKind::kControl, shard) +
+      send_sharded(responder, requester, reply_payload, reply_kind, shard);
   return result;
 }
 
@@ -158,6 +145,50 @@ class HookFrameFates final : public FrameFateSource {
 };
 
 }  // namespace
+
+SimTime NetworkModel::send_sharded(NodeId from, NodeId to, ByteCount payload,
+                                   PayloadKind kind, NetShard& shard) const {
+  ACTRACK_CHECK_MSG(!fault_hook_, "sharded send on a faulted network");
+  ACTRACK_CHECK(from >= 0 && from < num_nodes());
+  ACTRACK_CHECK(to >= 0 && to < num_nodes());
+  ACTRACK_CHECK_MSG(from != to, "loopback messages are free and not sent");
+  ACTRACK_CHECK(payload >= 0);
+
+  account_into(shard.totals, shard.per_node[static_cast<std::size_t>(from)],
+               from, to, payload, kind, cost_.message_header_bytes,
+               shard.probe);
+  if (!link_) return cost_.transfer_us(payload);
+
+  // The sharded mirror of send_linked().  The conflict partitioning in
+  // the scheduler guarantees this worker is the only one touching the
+  // (from, to) and (to, from) channel state this phase, so mutating the
+  // LinkLayer from here is race-free.
+  HookFrameFates fates(nullptr, from, to, kind);
+  const LinkLayer::Delivery d =
+      link_->transmit(from, to, payload + cost_.message_header_bytes, fates);
+  ACTRACK_CHECK_MSG(
+      d.delivered && d.retransmits == 0 && d.dup_frames == 0 &&
+          d.dropped_frames == 0,
+      "healthy wire misbehaved under a fault-free sharded send");
+
+  NetCounters& node = shard.per_node[static_cast<std::size_t>(from)];
+  const ByteCount wire_total = d.frame_bytes + d.ack_bytes;
+  node.frames += d.frames;
+  node.frame_retransmits += d.retransmits;
+  node.acks += d.acks;
+  node.link_bytes += wire_total;
+  node.link_stall_us += d.stall_us;
+  shard.totals.frames += d.frames;
+  shard.totals.frame_retransmits += d.retransmits;
+  shard.totals.acks += d.acks;
+  shard.totals.link_bytes += wire_total;
+  shard.totals.link_stall_us += d.stall_us;
+  if (shard.probe) {
+    shard.probe->link_frames(from, to, d.frames, d.retransmits, d.acks,
+                             wire_total, d.max_in_flight_bytes);
+  }
+  return d.latency_us;
+}
 
 SimTime NetworkModel::send_linked(NodeId from, NodeId to, ByteCount payload,
                                   PayloadKind kind, bool* delivered) {

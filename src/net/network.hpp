@@ -183,16 +183,27 @@ class NetworkModel {
                         PayloadKind kind, const RetryPolicy& retry,
                         std::int32_t* attempts = nullptr);
 
-  /// exchange() restricted to the fault-free, link-free fast path,
-  /// accounting into `shard` instead of the shared counters.  The
-  /// parallel DES engine calls this from worker threads: it only reads
-  /// shared state (the cost model), so concurrent calls with distinct
-  /// shards are race-free.  The caller guarantees no fault hook and no
-  /// link layer are attached (both are serial-only fences).
+  /// exchange() restricted to the fault-free path, accounting into
+  /// `shard` instead of the shared counters.  The parallel DES engine
+  /// calls this from worker threads; the caller guarantees no fault
+  /// hook is attached (a serial-only fence) and, when the link layer is
+  /// on, that no other worker touches either directed link of this node
+  /// pair concurrently (the scheduler's conflict partitioning keys
+  /// components on communication pairs).  Exactly two send_sharded()
+  /// legs, so it reproduces the serial exchange() byte-for-byte.
   ExchangeResult exchange_sharded(NodeId requester, NodeId responder,
                                   ByteCount reply_payload,
                                   PayloadKind reply_kind,
                                   NetShard& shard) const;
+
+  /// send() restricted to the fault-free path, accounting into `shard`.
+  /// Same concurrency contract as exchange_sharded(): shared state read
+  /// only, except the per-pair LinkLayer channel state when the link is
+  /// enabled, which the caller must keep single-writer via conflict
+  /// partitioning.  A healthy wire never retransmits, duplicates or
+  /// drops, and the call checks that invariant.
+  SimTime send_sharded(NodeId from, NodeId to, ByteCount payload,
+                       PayloadKind kind, NetShard& shard) const;
 
   /// Sizes `shard` for this cluster and zeroes its counters (capacity
   /// kept across phases); the probe pointer is left to the caller.

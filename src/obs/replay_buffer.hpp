@@ -10,12 +10,12 @@
 // probed parallel run produces the bit-identical event stream of a
 // probed serial run (tests/obs_test.cpp asserts this at --des-jobs 4).
 //
-// Only the calls reachable from a lock-free phase are representable:
-// set_context, page_fault, remote_fetch, node_idle, context_switch and
-// correlation_fault from the scheduler, diff_apply from the DSM, and
-// message from the network.  Fence-time calls (locks, barriers,
-// diff_create, GC) happen serially on the coordinator and never need
-// buffering.
+// Every call reachable from inside a parallel phase is representable:
+// set_context, page_fault, remote_fetch, node_idle, context_switch,
+// correlation_fault, lock_acquire and lock_release from the scheduler,
+// diff_apply and diff_create from the DSM, and message / link_frames
+// from the network.  Barrier and GC calls happen serially on the
+// coordinator between phases and never need buffering.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +40,10 @@ struct ProbeCall {
     kCorrelationFault,
     kDiffApply,
     kMessage,
+    kLockAcquire,
+    kLockRelease,
+    kDiffCreate,
+    kLinkFrames,
   };
 
   Kind kind = Kind::kSetContext;
@@ -97,6 +101,32 @@ class ReplayBuffer {
                       static_cast<std::uint8_t>(kind), from, to, payload,
                       wire_bytes, 0, 0});
   }
+  void lock_acquire(NodeId node, ThreadId thread, std::int32_t lock_id,
+                    bool remote_transfer, SimTime at_us) {
+    calls_.push_back({ProbeCall::Kind::kLockAcquire,
+                      static_cast<std::uint8_t>(remote_transfer ? 1 : 0), node,
+                      thread, lock_id, 0, at_us, 0});
+  }
+  void lock_release(NodeId node, ThreadId thread, std::int32_t lock_id,
+                    SimTime at_us) {
+    calls_.push_back({ProbeCall::Kind::kLockRelease, 0, node, thread, lock_id,
+                      0, at_us, 0});
+  }
+  void diff_create(NodeId node, PageId page, ByteCount bytes) {
+    calls_.push_back({ProbeCall::Kind::kDiffCreate, 0, node, kNoThread, page,
+                      bytes, 0, 0});
+  }
+  /// Parallel phases only run with a healthy wire (no fault hook), so a
+  /// buffered link transmission never carries retransmits; the replay
+  /// reports 0 and the push checks the invariant.
+  void link_frames(NodeId from, NodeId to, std::int64_t frames,
+                   std::int64_t retransmits, std::int64_t acks,
+                   ByteCount link_bytes, ByteCount max_in_flight_bytes) {
+    ACTRACK_CHECK(retransmits == 0);
+    calls_.push_back({ProbeCall::Kind::kLinkFrames, 0, from,
+                      static_cast<ThreadId>(to), frames, link_bytes, acks,
+                      max_in_flight_bytes});
+  }
 
   /// Replays calls [begin, end) onto `probe`, reproducing the original
   /// call sequence exactly.
@@ -132,6 +162,22 @@ class ReplayBuffer {
         case ProbeCall::Kind::kMessage:
           probe.message(c.node, c.thread, c.a, c.b,
                         static_cast<Probe::Wire>(c.flag));
+          break;
+        case ProbeCall::Kind::kLockAcquire:
+          probe.lock_acquire(c.node, c.thread,
+                             static_cast<std::int32_t>(c.a), c.flag != 0,
+                             c.t0);
+          break;
+        case ProbeCall::Kind::kLockRelease:
+          probe.lock_release(c.node, c.thread,
+                             static_cast<std::int32_t>(c.a), c.t0);
+          break;
+        case ProbeCall::Kind::kDiffCreate:
+          probe.diff_create(c.node, static_cast<PageId>(c.a), c.b);
+          break;
+        case ProbeCall::Kind::kLinkFrames:
+          probe.link_frames(c.node, static_cast<NodeId>(c.thread), c.a, 0,
+                            c.t0, c.b, c.t1);
           break;
       }
     }

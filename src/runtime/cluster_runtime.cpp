@@ -27,6 +27,12 @@ void IterationMetrics::add(const IterationMetrics& other) noexcept {
   link_acks += other.link_acks;
   link_bytes += other.link_bytes;
   link_stall_us += other.link_stall_us;
+  des_phases_total += other.des_phases_total;
+  des_phases_parallel += other.des_phases_parallel;
+  des_phases_serial += other.des_phases_serial;
+  if (des_serial_reason == SerialReason::kNone) {
+    des_serial_reason = other.des_serial_reason;
+  }
 }
 
 ClusterRuntime::ClusterRuntime(const Workload& workload, Placement placement,
@@ -108,6 +114,10 @@ IterationMetrics ClusterRuntime::run_iteration(IterationResult* detail) {
   next_iteration_ += 1;
   IterationMetrics metrics = delta_since(snap, result.elapsed_us);
   metrics.load_imbalance = result.load_imbalance();
+  metrics.des_phases_total = result.des_phases_total;
+  metrics.des_phases_parallel = result.des_phases_parallel;
+  metrics.des_phases_serial = result.des_phases_serial;
+  metrics.des_serial_reason = result.des_serial_reason;
   totals_.add(metrics);
   if (detail != nullptr) *detail = std::move(result);
   return metrics;
@@ -125,6 +135,10 @@ TrackedIterationMetrics ClusterRuntime::run_tracked_iteration() {
   out.tracking = sched_->run_tracked_iteration(trace, placement_);
   next_iteration_ += 1;
   out.metrics = delta_since(snap, out.tracking.elapsed_us);
+  out.metrics.des_phases_total = out.tracking.des_phases_total;
+  out.metrics.des_phases_parallel = out.tracking.des_phases_parallel;
+  out.metrics.des_phases_serial = out.tracking.des_phases_serial;
+  out.metrics.des_serial_reason = out.tracking.des_serial_reason;
   totals_.add(out.metrics);
   return out;
 }

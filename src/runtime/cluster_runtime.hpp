@@ -62,6 +62,14 @@ struct IterationMetrics {
   /// max/mean per-node active time for this step (1.0 = balanced; only
   /// meaningful for measured iterations).
   double load_imbalance = 1.0;
+  /// Parallel-DES eligibility: phases executed on the worker pool vs
+  /// the serial fallback, plus the first fallback's reason (see
+  /// SerialReason).  Answers "why is this run not scaling with
+  /// --des-jobs?" from the sweep CSV/JSON or `actrack profile` alone.
+  std::int64_t des_phases_total = 0;
+  std::int64_t des_phases_parallel = 0;
+  std::int64_t des_phases_serial = 0;
+  SerialReason des_serial_reason = SerialReason::kNone;
 
   void add(const IterationMetrics& other) noexcept;
 };

@@ -29,6 +29,22 @@ double IterationResult::load_imbalance() const {
   return static_cast<double>(max_active) / mean;
 }
 
+const char* serial_reason_name(SerialReason reason) noexcept {
+  switch (reason) {
+    case SerialReason::kNone:
+      return "none";
+    case SerialReason::kSingleWorker:
+      return "single_worker";
+    case SerialReason::kFaultInjector:
+      return "fault_injector";
+    case SerialReason::kNetFaultHook:
+      return "net_fault_hook";
+    case SerialReason::kCheckHook:
+      return "check_hook";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Per-thread execution cursor within one phase.
@@ -83,17 +99,20 @@ struct WakeHeap
 
 /// One scheduling decision recorded by a parallel DES worker: the state
 /// its node reached after one run_one() (or tracked step()) call, plus
-/// the wake event that call pushed, if any.  The coordinator replays
-/// the recorded slices through the serial argmin loop afterwards —
-/// node clocks evolve identically, so the serial schedule's total
-/// order is recovered without re-executing any work — and emits each
-/// slice's deferred observer events (probe calls, remote-miss
-/// notifications) in exactly the order a serial run produces them.
+/// the wake events that call pushed.  A single run_one can push several
+/// wakes — a chain of lock releases each grants a waiter, and the
+/// running thread may then park on a fetch — so a slice carries a range
+/// into the node's wake log rather than a single event.  The
+/// coordinator replays the recorded slices through the serial argmin
+/// loop afterwards — node clocks evolve identically, so the serial
+/// schedule's total order is recovered without re-executing any work —
+/// and emits each slice's deferred observer events (probe calls,
+/// remote-miss notifications) in exactly the order a serial run
+/// produces them.
 struct NodeSlice {
   SimTime clock_after = 0;
-  SimTime wake_time = 0;
-  std::size_t wake_thread = 0;
-  bool has_wake = false;
+  std::uint32_t wake_begin = 0;  // range into the node's wake_log
+  std::uint32_t wake_end = 0;
   std::uint32_t probe_end = 0;  // end offset into the node's probe buffer
   std::uint32_t miss_end = 0;   // end offset into the node's miss records
 };
@@ -105,21 +124,61 @@ struct NodeSlice {
 struct NodeEngine {
   SimTime clock = 0;
   std::deque<std::size_t> runnable;
-  WakeHeap wakes;
   SimTime idle_us = 0;
   std::int64_t context_switches = 0;
   std::int64_t tracking_faults = 0;
   std::vector<NodeSlice> slices;
+  /// Wake events this node's run_one calls pushed, in push order; the
+  /// replay re-arms them slice by slice via [wake_begin, wake_end).
+  std::vector<WakeEvent> wake_log;
 
   void reset(SimTime start_us) {
     clock = start_us;
     runnable.clear();
-    wakes.clear();
     idle_us = 0;
     context_switches = 0;
     tracking_faults = 0;
     slices.clear();
+    wake_log.clear();
   }
+};
+
+/// Event-queue engine for one conflict component of the parallel DES
+/// path: the component's nodes run the full serial loop — wake heap,
+/// lock table, counters — against state no other worker touches.
+struct CompEngine {
+  WakeHeap wakes;
+  std::unordered_map<std::int32_t, LockRun> locks;
+  std::int64_t lock_acquires = 0;
+  std::int64_t remote_lock_transfers = 0;
+  std::vector<NodeId> nodes;  // members, ascending
+
+  void reset() {
+    wakes.clear();
+    locks.clear();
+    lock_acquires = 0;
+    remote_lock_transfers = 0;
+    nodes.clear();
+  }
+};
+
+/// Scratch for the per-phase conflict partition (union-find over
+/// nodes).  Page-indexed scratch uses a stamp per phase instead of
+/// clearing, so analysis cost scales with the phase's touched pages,
+/// not the address space.
+struct PhaseAnalysis {
+  std::vector<std::int32_t> parent;       // union-find, node-indexed
+  std::vector<std::uint8_t> takes_lock;   // node takes a lock this phase
+  std::vector<std::int32_t> lock_ids;     // distinct locks, discovery order
+  std::unordered_map<std::int32_t, NodeId> lock_first;  // lock -> first taker
+  std::vector<std::uint64_t> page_stamp;  // page touched this phase?
+  std::vector<NodeId> page_rep;       // a representative toucher of the page
+  std::vector<std::uint8_t> page_danger;   // mid-phase-published page
+  std::vector<std::uint8_t> page_written;  // written this phase
+  std::vector<PageId> touched;             // touched pages, discovery order
+  std::uint64_t stamp = 0;
+  DynamicBitset sc_written;  // SC mode: pages with a write this phase
+  std::vector<NodeId> peers;  // collect_page_peers out-param
 };
 
 /// Lock state across a whole tracked iteration: nodes still run in
@@ -169,6 +228,9 @@ struct ClusterScheduler::Scratch {
   std::vector<NodeEngine> engines;
   std::vector<DsmSystem::ParallelContext> dsm_ctx;
   std::vector<obs::ReplayBuffer> replay;
+  PhaseAnalysis analysis;
+  std::vector<CompEngine> comps;
+  DsmSystem::ParallelPhase par_phase;
 };
 
 ClusterScheduler::~ClusterScheduler() = default;
@@ -200,31 +262,197 @@ WorkerPool& ClusterScheduler::pool(NodeId num_nodes) {
   return *pool_;
 }
 
-bool ClusterScheduler::phase_parallel_eligible(const Phase& phase,
-                                               NodeId num_nodes) const {
-  if (config_.des_jobs <= 1 || num_nodes <= 1) return false;
+SerialReason ClusterScheduler::phase_serial_reason(NodeId num_nodes) const {
+  if (config_.des_jobs <= 1 || num_nodes <= 1) {
+    return SerialReason::kSingleWorker;
+  }
   // Fault injection consults shared injector state on every compute
   // charge and message; faulted runs are serial.
-  if (fault_ != nullptr) return false;
-  // The link layer serialises frames through shared per-pair channel
-  // state, and a net fault hook rules on every message: both are
-  // exchange points with zero lookahead.
-  if (net_->link_enabled() || net_->fault_hook_attached()) return false;
-  // SC accesses mutate other nodes' replicas (inherently cross-node),
-  // and check hooks audit live replica state on every access, which
+  if (fault_ != nullptr) return SerialReason::kFaultInjector;
+  // A net fault hook rules on every message: an exchange point with
+  // zero lookahead.
+  if (net_->fault_hook_attached()) return SerialReason::kNetFaultHook;
+  // Check hooks audit live replica state on every access, which
   // deferred replay cannot reproduce.
-  if (dsm_->config().model != ConsistencyModel::kLazyReleaseMultiWriter) {
-    return false;
+  if (dsm_->has_check_hook()) return SerialReason::kCheckHook;
+  // SC, locks and the link layer are handled by the conflict partition
+  // inside run_phase_parallel; they no longer force a serial fallback.
+  return SerialReason::kNone;
+}
+
+std::int32_t ClusterScheduler::analyze_phase(const Phase& phase,
+                                             const Placement& placement,
+                                             bool tracked) {
+  const NodeId num_nodes = placement.num_nodes();
+  const auto nn = static_cast<std::size_t>(num_nodes);
+  const bool is_sc =
+      dsm_->config().model == ConsistencyModel::kSequentialSingleWriter;
+  const bool link_on = net_->link_enabled();
+  PhaseAnalysis& an = scratch_->analysis;
+
+  an.parent.resize(nn);
+  for (std::size_t n = 0; n < nn; ++n) {
+    an.parent[n] = static_cast<std::int32_t>(n);
   }
-  if (dsm_->has_check_hook()) return false;
-  // Locks are the remaining sync operations inside a phase; a phase
-  // that takes any lock falls back to the serial loop.
-  for (const ThreadPhase& tp : phase.threads) {
-    for (const Segment& seg : tp.segments) {
-      if (seg.lock_id >= 0) return false;
+  an.takes_lock.assign(nn, 0);
+  an.lock_ids.clear();
+  an.lock_first.clear();
+  const auto num_pages = static_cast<std::size_t>(dsm_->num_pages());
+  if (an.page_stamp.size() != num_pages) {
+    an.page_stamp.assign(num_pages, 0);
+    an.page_rep.resize(num_pages);
+    an.page_danger.resize(num_pages);
+    an.page_written.resize(num_pages);
+  }
+  an.touched.clear();
+  an.stamp += 1;
+  if (is_sc) {
+    if (an.sc_written.size() != dsm_->num_pages()) {
+      an.sc_written = DynamicBitset(dsm_->num_pages());
+    } else {
+      an.sc_written.clear();
     }
   }
-  return true;
+
+  auto find = [&](NodeId n) {
+    auto x = static_cast<std::int32_t>(n);
+    while (an.parent[static_cast<std::size_t>(x)] != x) {
+      // Path halving keeps the walk near-constant without recursion.
+      an.parent[static_cast<std::size_t>(x)] =
+          an.parent[static_cast<std::size_t>(
+              an.parent[static_cast<std::size_t>(x)])];
+      x = an.parent[static_cast<std::size_t>(x)];
+    }
+    return static_cast<NodeId>(x);
+  };
+  auto unite = [&](NodeId a, NodeId b) {
+    const NodeId ra = find(a);
+    const NodeId rb = find(b);
+    if (ra == rb) return;
+    // Lower root wins so component numbering follows smallest members.
+    if (ra < rb) {
+      an.parent[static_cast<std::size_t>(rb)] = ra;
+    } else {
+      an.parent[static_cast<std::size_t>(ra)] = rb;
+    }
+  };
+
+  // Rule 1 — lock chains: every node touching a lock joins one
+  // component, so grants, transfers and FCFS queue state stay worker-
+  // local.  Also records which nodes take locks at all.
+  for (std::size_t t = 0; t < phase.threads.size(); ++t) {
+    const NodeId n = placement.node_of(static_cast<ThreadId>(t));
+    for (const Segment& seg : phase.threads[t].segments) {
+      if (seg.lock_id < 0) continue;
+      an.takes_lock[static_cast<std::size_t>(n)] = 1;
+      auto [it, inserted] = an.lock_first.try_emplace(seg.lock_id, n);
+      if (inserted) {
+        an.lock_ids.push_back(seg.lock_id);
+      } else {
+        unite(it->second, n);
+      }
+    }
+  }
+  // Tracked-mode edge: a lock's pre-phase holder pays the ownership
+  // transfer into the chain, so it must share the component.
+  if (tracked) {
+    for (const std::int32_t lock_id : an.lock_ids) {
+      const auto held = scratch_->tracked_locks.find(lock_id);
+      if (held != scratch_->tracked_locks.end() &&
+          held->second.holder != kNoNode) {
+        unite(an.lock_first[lock_id], held->second.holder);
+      }
+    }
+  }
+  // GC observability: a mid-phase release appends to the global
+  // diff-GC work list, whose order is observable when GC events reach a
+  // probe or ride the link.  Merging all lock-taking nodes makes those
+  // appends happen in one component, reproducing the serial order.
+  if (!is_sc && dsm_->config().gc_enabled &&
+      (probe_ != nullptr || link_on)) {
+    NodeId first_locker = kNoNode;
+    for (std::size_t n = 0; n < nn; ++n) {
+      if (!an.takes_lock[n]) continue;
+      if (first_locker == kNoNode) {
+        first_locker = static_cast<NodeId>(n);
+      } else {
+        unite(first_locker, static_cast<NodeId>(n));
+      }
+    }
+  }
+
+  // Pass A — page census: who touches what, which pages are written,
+  // and which are "dangerous" (publishable mid-phase: any SC write, or
+  // an LRC write by a lock-taking node whose release flushes it).
+  for (std::size_t t = 0; t < phase.threads.size(); ++t) {
+    const NodeId n = placement.node_of(static_cast<ThreadId>(t));
+    const bool locker = an.takes_lock[static_cast<std::size_t>(n)] != 0;
+    for (const Segment& seg : phase.threads[t].segments) {
+      for (const PageAccess& pa : seg.accesses) {
+        const auto p = static_cast<std::size_t>(pa.page);
+        if (an.page_stamp[p] != an.stamp) {
+          an.page_stamp[p] = an.stamp;
+          an.page_rep[p] = n;
+          an.page_danger[p] = 0;
+          an.page_written[p] = 0;
+          an.touched.push_back(pa.page);
+        }
+        if (pa.kind == AccessKind::kWrite) {
+          an.page_written[p] = 1;
+          if (is_sc || locker) an.page_danger[p] = 1;
+          if (is_sc) an.sc_written.set(pa.page);
+        }
+      }
+    }
+  }
+  // Pass B — sharing edges: all touchers of a dangerous page share a
+  // component (mid-phase invalidations / write notices stay local);
+  // with the link on, all touchers of *any* touched page do, since a
+  // fetch serialises through per-pair channel state.
+  for (std::size_t t = 0; t < phase.threads.size(); ++t) {
+    const NodeId n = placement.node_of(static_cast<ThreadId>(t));
+    for (const Segment& seg : phase.threads[t].segments) {
+      for (const PageAccess& pa : seg.accesses) {
+        const auto p = static_cast<std::size_t>(pa.page);
+        if (an.page_danger[p] || link_on) unite(an.page_rep[p], n);
+      }
+    }
+  }
+  // Link rule — communication pairs: a fetch of page p converses with
+  // p's owner/home/history nodes; the per-pair link channels demand a
+  // single writer, so touchers join their page's potential peers.
+  // collect_page_peers over-approximates; extra merges only cost
+  // parallelism, never correctness.
+  if (link_on) {
+    for (const PageId page : an.touched) {
+      const auto p = static_cast<std::size_t>(page);
+      an.peers.clear();
+      dsm_->collect_page_peers(an.page_rep[p], page,
+                               an.page_written[p] != 0, an.peers);
+      for (const NodeId peer : an.peers) unite(an.page_rep[p], peer);
+    }
+  }
+
+  // Densify component ids in order of each component's smallest member.
+  DsmSystem::ParallelPhase& pp = scratch_->par_phase;
+  pp.comp_of_node.assign(nn, -1);
+  std::int32_t num_components = 0;
+  for (std::size_t n = 0; n < nn; ++n) {
+    const auto root = static_cast<std::size_t>(find(static_cast<NodeId>(n)));
+    if (pp.comp_of_node[root] < 0) pp.comp_of_node[root] = num_components++;
+    pp.comp_of_node[n] = pp.comp_of_node[root];
+  }
+  pp.sync.resize(static_cast<std::size_t>(num_components));
+  pp.sc_written = is_sc ? &an.sc_written : nullptr;
+
+  std::vector<CompEngine>& comps = scratch_->comps;
+  comps.resize(static_cast<std::size_t>(num_components));
+  for (CompEngine& comp : comps) comp.reset();
+  for (std::size_t n = 0; n < nn; ++n) {
+    comps[static_cast<std::size_t>(pp.comp_of_node[n])].nodes.push_back(
+        static_cast<NodeId>(n));
+  }
+  return num_components;
 }
 
 SimTime ClusterScheduler::compute_time(SimTime us, NodeId node) const {
@@ -540,37 +768,50 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
   // unobserved run skips recording them entirely.
   const bool observed = probe_ != nullptr || dsm_->has_miss_observer();
 
-  dsm_->begin_parallel(&ctxs);
+  // Partition the phase into conflict components (lock chains, sharers
+  // of mid-phase-published pages, link communication pairs) and hand
+  // each component to one worker.  Locks the phase uses are pre-staged
+  // serially so no worker ever inserts into a shared map.
+  const std::int32_t num_components = analyze_phase(phase, placement, false);
+  std::vector<CompEngine>& comps = scratch_->comps;
+  dsm_->prepare_locks(scratch_->analysis.lock_ids);
+  dsm_->begin_parallel(&ctxs, &scratch_->par_phase);
 
-  // Runs node n's entire event queue to completion.  The conservative
-  // lookahead window spans the whole phase: with no locks, no faults
-  // and the LRC access path, no cross-node event can affect n before
-  // the closing barrier, so each node's queue drains independently.
-  // This is the serial loop restricted to one node — run_one below is
-  // the lock-free subset of run_phase's run_one, statement for
-  // statement, so per-node clocks advance through the identical
-  // sequence of values.
-  auto run_node = [&](NodeId n) {
-    NodeEngine& eng = engines[static_cast<std::size_t>(n)];
-    obs::ReplayBuffer* buf =
-        probe_ ? &replay[static_cast<std::size_t>(n)] : nullptr;
-    const std::vector<DsmSystem::MissRecord>& misses =
-        ctxs[static_cast<std::size_t>(n)].misses;
+  // Runs one conflict component's event queues to completion.  This is
+  // the serial loop restricted to the component's nodes, statement for
+  // statement — same argmin tie-breaks, same wake-delivery window, the
+  // full lock machinery against the component-private lock table — so
+  // every node's clock advances through the identical sequence of
+  // values (the projection argument in DESIGN.md §13).
+  auto run_component = [&](std::int32_t c) {
+    CompEngine& comp = comps[static_cast<std::size_t>(c)];
 
-    auto record_slice = [&](bool has_wake, SimTime wake_time,
-                            std::size_t wake_thread) {
-      if (!observed) return;
-      NodeSlice s;
-      s.clock_after = eng.clock;
-      s.has_wake = has_wake;
-      s.wake_time = wake_time;
-      s.wake_thread = wake_thread;
-      s.probe_end = buf ? static_cast<std::uint32_t>(buf->size()) : 0;
-      s.miss_end = static_cast<std::uint32_t>(misses.size());
-      eng.slices.push_back(s);
+    auto deliver = [&](const WakeEvent& ev) {
+      engines[static_cast<std::size_t>(threads[ev.thread].node)]
+          .runnable.push_back(ev.thread);
     };
 
-    auto run_one = [&]() {
+    auto run_one = [&](NodeId n) {
+      const auto ns = static_cast<std::size_t>(n);
+      NodeEngine& eng = engines[ns];
+      obs::ReplayBuffer* buf = probe_ ? &replay[ns] : nullptr;
+      const std::vector<DsmSystem::MissRecord>& misses = ctxs[ns].misses;
+      const auto wake_begin = static_cast<std::uint32_t>(eng.wake_log.size());
+      auto record_slice = [&]() {
+        if (!observed) return;
+        NodeSlice s;
+        s.clock_after = eng.clock;
+        s.wake_begin = wake_begin;
+        s.wake_end = static_cast<std::uint32_t>(eng.wake_log.size());
+        s.probe_end = buf ? static_cast<std::uint32_t>(buf->size()) : 0;
+        s.miss_end = static_cast<std::uint32_t>(misses.size());
+        eng.slices.push_back(s);
+      };
+      auto push_wake = [&](SimTime time, std::size_t thread) {
+        comp.wakes.push(WakeEvent{time, thread});
+        if (observed) eng.wake_log.push_back(WakeEvent{time, thread});
+      };
+
       const std::size_t t = eng.runnable.front();
       eng.runnable.pop_front();
       ThreadRun& tr = threads[t];
@@ -582,17 +823,45 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
       while (true) {
         if (tr.seg == tr.work->segments.size()) {
           tr.done = true;
-          record_slice(false, 0, 0);
+          record_slice();
           return;
         }
         const Segment& seg = tr.work->segments[tr.seg];
         if (!tr.in_segment && seg.start_at_us > eng.clock) {
           tr.ready_at = seg.start_at_us;
-          eng.wakes.push(WakeEvent{tr.ready_at, t});
-          record_slice(true, tr.ready_at, t);
+          push_wake(tr.ready_at, t);
+          record_slice();
           return;
         }
-        if (!tr.in_segment) enter_segment(tr, seg);
+        if (!tr.in_segment) {
+          if (seg.lock_id >= 0 && !tr.lock_granted) {
+            LockRun& lock = comp.locks[seg.lock_id];
+            if (lock.held) {
+              lock.waiters.push_back(t);
+              record_slice();
+              return;  // blocked; the releaser will wake us
+            }
+            lock.held = true;
+            tr.lock_granted = true;
+            comp.lock_acquires += 1;
+            const bool remote_transfer =
+                lock.last_holder != kNoNode && lock.last_holder != tr.node;
+            if (remote_transfer) {
+              eng.clock += cost.lock_transfer_us;
+              eng.clock += dsm_->lock_transfer(lock.last_holder, tr.node,
+                                               seg.lock_id);
+              comp.remote_lock_transfers += 1;
+            } else {
+              eng.clock += cost.lock_local_us;
+            }
+            lock.last_holder = tr.node;
+            if (buf) {
+              buf->lock_acquire(tr.node, tr.id, seg.lock_id, remote_transfer,
+                                eng.clock);
+            }
+          }
+          enter_segment(tr, seg);
+        }
         while (tr.acc < seg.accesses.size()) {
           eng.clock += compute_time(tr.compute_share, tr.node);
           const PageAccess& pa = seg.accesses[tr.acc];
@@ -618,55 +887,102 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
           if (outcome.remote_us > 0) {
             if (config_.latency_hiding && !eng.runnable.empty()) {
               tr.ready_at = eng.clock + outcome.remote_us;
-              eng.wakes.push(WakeEvent{tr.ready_at, t});
+              push_wake(tr.ready_at, t);
               eng.clock += cost.context_switch_us;
               eng.context_switches += 1;
               if (buf) buf->context_switch(tr.node, tr.id, eng.clock);
-              record_slice(true, tr.ready_at, t);
+              record_slice();
               return;
             }
             eng.clock += outcome.remote_us;  // stall
           }
         }
         eng.clock += compute_time(tr.compute_tail, tr.node);
+        if (seg.lock_id >= 0) {
+          // Release is a consistency release: diff dirty pages first.
+          if (buf) buf->set_context(tr.node, tr.id, eng.clock);
+          eng.clock += compute_time(dsm_->release_node(tr.node), tr.node);
+          if (buf) buf->lock_release(tr.node, tr.id, seg.lock_id, eng.clock);
+          LockRun& lock = comp.locks[seg.lock_id];
+          ACTRACK_CHECK(lock.held);
+          lock.held = false;
+          if (!lock.waiters.empty()) {
+            const std::size_t w = lock.waiters.front();
+            lock.waiters.pop_front();
+            ThreadRun& waiter = threads[w];
+            lock.held = true;
+            waiter.lock_granted = true;
+            comp.lock_acquires += 1;
+            SimTime grant_at = eng.clock;
+            if (waiter.node != tr.node) {
+              grant_at += cost.lock_transfer_us;
+              eng.clock +=
+                  dsm_->lock_transfer(tr.node, waiter.node, seg.lock_id);
+              comp.remote_lock_transfers += 1;
+            } else {
+              grant_at += cost.lock_local_us;
+            }
+            lock.last_holder = waiter.node;
+            waiter.ready_at = std::max(waiter.ready_at, grant_at);
+            push_wake(waiter.ready_at, w);
+            if (buf) {
+              buf->lock_acquire(waiter.node, waiter.id, seg.lock_id,
+                                waiter.node != tr.node, waiter.ready_at);
+            }
+          }
+        }
         if (config_.record_segment_ends) {
           result.segment_end_us[t].push_back(eng.clock);
         }
         tr.seg += 1;
         tr.acc = 0;
         tr.in_segment = false;
+        tr.lock_granted = false;
       }
     };
 
-    // The serial loop delivers a wake w to node n before n's k-th
-    // run_one exactly when w.time < n's clock at that run (strictly:
-    // a wake landing exactly on the clock is delivered after — the
+    // The serial loop delivers a wake w before the best node's k-th
+    // run_one exactly when w.time < that node's clock (strictly: a wake
+    // landing exactly on the clock is delivered after — the
     // window-boundary case tests/parallel_des_test.cpp pins), and
-    // deliveries arrive in (time, thread) heap order.  This solo loop
-    // makes the same decisions from n's state alone, so n's runnable
-    // queue holds the identical sequence at every step.
+    // deliveries arrive in (time, thread) heap order.  Every wake for a
+    // component thread is pushed by a component node — park and fetch
+    // wakes by the thread's own node, grant wakes by a releaser sharing
+    // the lock's chain — so this loop sees the same candidates as the
+    // serial global loop restricted to the component and makes the same
+    // decisions (comp.nodes is ascending, so clock ties break toward
+    // the lowest node id, as in the global argmin).
     while (true) {
-      if (eng.runnable.empty()) {
-        if (eng.wakes.empty()) break;
-        const WakeEvent ev = eng.wakes.top();
-        eng.wakes.pop();
-        eng.runnable.push_back(ev.thread);
+      NodeId best = kNoNode;
+      for (const NodeId n : comp.nodes) {
+        if (engines[static_cast<std::size_t>(n)].runnable.empty()) continue;
+        if (best == kNoNode ||
+            engines[static_cast<std::size_t>(n)].clock <
+                engines[static_cast<std::size_t>(best)].clock) {
+          best = n;
+        }
+      }
+      if (best == kNoNode) {
+        if (comp.wakes.empty()) break;
+        const WakeEvent ev = comp.wakes.top();
+        comp.wakes.pop();
+        deliver(ev);
         continue;
       }
-      if (!eng.wakes.empty() && eng.wakes.top().time < eng.clock) {
-        const WakeEvent ev = eng.wakes.top();
-        eng.wakes.pop();
-        eng.runnable.push_back(ev.thread);
+      if (!comp.wakes.empty() &&
+          comp.wakes.top().time <
+              engines[static_cast<std::size_t>(best)].clock) {
+        const WakeEvent ev = comp.wakes.top();
+        comp.wakes.pop();
+        deliver(ev);
         continue;
       }
-      run_one();
+      run_one(best);
     }
   };
 
-  pool(num_nodes).run(static_cast<std::int32_t>(num_nodes),
-                      [&](std::int32_t n) {
-                        run_node(static_cast<NodeId>(n));
-                      });
+  pool(num_nodes).run(num_components,
+                      [&](std::int32_t c) { run_component(c); });
 
   dsm_->end_parallel();
 
@@ -680,6 +996,10 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
     const NodeEngine& eng = engines[static_cast<std::size_t>(n)];
     result.node_idle_us[static_cast<std::size_t>(n)] += eng.idle_us;
     result.context_switches += eng.context_switches;
+  }
+  for (const CompEngine& comp : comps) {
+    result.lock_acquires += comp.lock_acquires;
+    result.remote_lock_transfers += comp.remote_lock_transfers;
   }
 
   if (observed) {
@@ -741,7 +1061,9 @@ ClusterScheduler::PhaseOutcome ClusterScheduler::run_phase_parallel(
       m0[b] = s.miss_end;
       clock[b] = s.clock_after;
       left[b] -= 1;
-      if (s.has_wake) wakes.push(WakeEvent{s.wake_time, s.wake_thread});
+      for (std::uint32_t i = s.wake_begin; i < s.wake_end; ++i) {
+        wakes.push(eng.wake_log[i]);
+      }
     }
     for (NodeId n = 0; n < num_nodes; ++n) {
       ACTRACK_CHECK_MSG(
@@ -782,12 +1104,21 @@ IterationResult ClusterScheduler::run_iteration(const IterationTrace& trace,
                                                 const Placement& placement) {
   ACTRACK_CHECK(trace.num_threads == placement.num_threads());
   IterationResult result;
+  const SerialReason reason = phase_serial_reason(placement.num_nodes());
   SimTime now = 0;
   for (const Phase& phase : trace.phases) {
-    const PhaseOutcome outcome =
-        phase_parallel_eligible(phase, placement.num_nodes())
-            ? run_phase_parallel(phase, placement, now, result)
-            : run_phase(phase, placement, now, result);
+    result.des_phases_total += 1;
+    PhaseOutcome outcome;
+    if (reason == SerialReason::kNone) {
+      result.des_phases_parallel += 1;
+      outcome = run_phase_parallel(phase, placement, now, result);
+    } else {
+      result.des_phases_serial += 1;
+      if (result.des_serial_reason == SerialReason::kNone) {
+        result.des_serial_reason = reason;
+      }
+      outcome = run_phase(phase, placement, now, result);
+    }
     now = outcome.phase_end_us;
   }
   result.elapsed_us = now;
@@ -818,6 +1149,7 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       scratch_->tracked_locks;
   locks.clear();
 
+  const SerialReason reason = phase_serial_reason(num_nodes);
   SimTime now = 0;
   for (const Phase& phase : trace.phases) {
     std::vector<NodeCursor>& cursors = scratch_->cursors;
@@ -870,9 +1202,21 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       clock = std::max(clock, seg.start_at_us);
 
       if (seg.lock_id >= 0) {
-        TrackedLock& lock = locks[seg.lock_id];
-        if (probe_ && lock.available_at > clock) {
-          probe_->node_idle(n, clock, lock.available_at - clock);
+        // find() before inserting: the parallel branch pre-stages every
+        // lock the phase touches, so workers never structurally mutate
+        // the shared map (value mutations are component-exclusive — a
+        // lock's takers and its pre-phase holder share one component).
+        auto lock_it = locks.find(seg.lock_id);
+        if (lock_it == locks.end()) {
+          lock_it = locks.try_emplace(seg.lock_id).first;
+        }
+        TrackedLock& lock = lock_it->second;
+        if (lock.available_at > clock) {
+          if (buf) {
+            buf->node_idle(n, clock, lock.available_at - clock);
+          } else if (probe_) {
+            probe_->node_idle(n, clock, lock.available_at - clock);
+          }
         }
         clock = std::max(clock, lock.available_at);
         const bool remote_transfer =
@@ -884,7 +1228,9 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
           clock += dsm_->lock_transfer(lock.holder, n, seg.lock_id);
         }
         lock.holder = n;
-        if (probe_) {
+        if (buf) {
+          buf->lock_acquire(n, t, seg.lock_id, remote_transfer, clock);
+        } else if (probe_) {
           probe_->lock_acquire(n, t, seg.lock_id, remote_transfer, clock);
         }
       }
@@ -934,19 +1280,33 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
         clock += outcome.remote_us;
       }
       if (seg.lock_id >= 0) {
-        if (probe_) probe_->set_context(n, t, clock);
+        if (buf) {
+          buf->set_context(n, t, clock);
+        } else if (probe_) {
+          probe_->set_context(n, t, clock);
+        }
         clock += compute_time(dsm_->release_node(n), n);
-        if (probe_) probe_->lock_release(n, t, seg.lock_id, clock);
-        locks[seg.lock_id].available_at = clock;
+        if (buf) {
+          buf->lock_release(n, t, seg.lock_id, clock);
+        } else if (probe_) {
+          probe_->lock_release(n, t, seg.lock_id, clock);
+        }
+        // The acquire above inserted or found this entry.
+        locks.find(seg.lock_id)->second.available_at = clock;
       }
       cursor.segment_idx += 1;
     };
 
-    if (phase_parallel_eligible(phase, num_nodes)) {
-      // Parallel DES: with no locks in the phase each node's segment
-      // stream is independent (the min-clock interleave below only
-      // fixes observer event order), so each worker drives its node's
-      // cursor to completion with side effects routed per node.
+    result.des_phases_total += 1;
+    if (reason == SerialReason::kNone) {
+      result.des_phases_parallel += 1;
+      // Parallel DES over conflict components: within a component the
+      // min-clock interleave below reproduces the serial global loop's
+      // decisions (a lock's takers and pre-phase holder always share a
+      // component), and components never read each other's state.
+      const std::int32_t num_components =
+          analyze_phase(phase, placement, true);
+      std::vector<CompEngine>& comps = scratch_->comps;
       std::vector<NodeEngine>& engines = scratch_->engines;
       engines.resize(static_cast<std::size_t>(num_nodes));
       for (NodeEngine& eng : engines) eng.reset(now);
@@ -967,27 +1327,39 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
       }
       const bool observed = probe_ != nullptr || dsm_->has_miss_observer();
 
-      dsm_->begin_parallel(&ctxs);
-      pool(num_nodes).run(
-          static_cast<std::int32_t>(num_nodes), [&](std::int32_t ni) {
-            const auto n = static_cast<NodeId>(ni);
-            const auto ns = static_cast<std::size_t>(n);
-            NodeEngine& eng = engines[ns];
-            obs::ReplayBuffer* buf = probe_ ? &replay[ns] : nullptr;
-            const std::vector<DsmSystem::MissRecord>& misses =
-                ctxs[ns].misses;
-            while (!node_done(n)) {
-              step(n, buf, eng.tracking_faults);
-              if (observed) {
-                NodeSlice s;
-                s.clock_after = cursors[ns].clock;
-                s.probe_end =
-                    buf ? static_cast<std::uint32_t>(buf->size()) : 0;
-                s.miss_end = static_cast<std::uint32_t>(misses.size());
-                eng.slices.push_back(s);
-              }
+      // Pre-stage the phase's locks serially so step() only ever
+      // find()s the shared maps from a worker.
+      for (const std::int32_t id : scratch_->analysis.lock_ids) {
+        locks.try_emplace(id);
+      }
+      dsm_->prepare_locks(scratch_->analysis.lock_ids);
+      dsm_->begin_parallel(&ctxs, &scratch_->par_phase);
+      pool(num_nodes).run(num_components, [&](std::int32_t c) {
+        const CompEngine& comp = comps[static_cast<std::size_t>(c)];
+        while (true) {
+          NodeId best = kNoNode;
+          for (const NodeId n : comp.nodes) {
+            if (node_done(n)) continue;
+            if (best == kNoNode ||
+                cursors[static_cast<std::size_t>(n)].clock <
+                    cursors[static_cast<std::size_t>(best)].clock) {
+              best = n;
             }
-          });
+          }
+          if (best == kNoNode) break;
+          const auto bs = static_cast<std::size_t>(best);
+          NodeEngine& eng = engines[bs];
+          obs::ReplayBuffer* buf = probe_ ? &replay[bs] : nullptr;
+          step(best, buf, eng.tracking_faults);
+          if (observed) {
+            NodeSlice s;
+            s.clock_after = cursors[bs].clock;
+            s.probe_end = buf ? static_cast<std::uint32_t>(buf->size()) : 0;
+            s.miss_end = static_cast<std::uint32_t>(ctxs[bs].misses.size());
+            eng.slices.push_back(s);
+          }
+        }
+      });
       dsm_->end_parallel();
 
       for (NodeId n = 0; n < num_nodes; ++n) {
@@ -1028,6 +1400,10 @@ TrackingResult ClusterScheduler::run_tracked_iteration(
         }
       }
     } else {
+      result.des_phases_serial += 1;
+      if (result.des_serial_reason == SerialReason::kNone) {
+        result.des_serial_reason = reason;
+      }
       while (true) {
         NodeId best = kNoNode;
         for (NodeId n = 0; n < num_nodes; ++n) {

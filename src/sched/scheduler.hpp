@@ -42,6 +42,23 @@ namespace actrack {
 
 class WorkerPool;
 
+/// Why a run's phases cannot use the parallel DES worker pool.  kNone
+/// means eligible: SC, lock-bearing and link-layer phases are handled
+/// by the conflict partition inside run_phase_parallel and no longer
+/// force the serial fallback.  The remaining reasons are per-run
+/// attachments with per-event shared state that deferred replay cannot
+/// reproduce.
+enum class SerialReason : std::int32_t {
+  kNone = 0,
+  kSingleWorker = 1,   // des_jobs <= 1 or a single node
+  kFaultInjector = 2,  // compute-path fault injector attached
+  kNetFaultHook = 3,   // per-message network fault hook attached
+  kCheckHook = 4,      // DSM check hook audits live state per access
+};
+
+/// Stable short name for CSV/JSON columns and `actrack profile`.
+[[nodiscard]] const char* serial_reason_name(SerialReason reason) noexcept;
+
 struct SchedConfig {
   /// Switch to another runnable thread while a remote fetch is in
   /// flight.  Off reproduces the single-threaded-node ablation (the
@@ -55,15 +72,18 @@ struct SchedConfig {
   std::vector<double> node_speed;
 
   /// Deterministic parallel DES: worker threads for single-trial
-  /// execution (CLI `--des-jobs`).  1 (the default) is the serial
-  /// golden-reference event loop.  With N > 1, lock-free LRC phases
-  /// run their per-node event queues on a pool of min(N, nodes)
-  /// workers between sync epochs, with results merged in total
-  /// (time, node) order — bit-identical to serial at any N
-  /// (tests/parallel_des_test.cpp).  Phases with locks, the SC
-  /// protocol, the link layer or fault injection are exchange points
-  /// with zero conservative lookahead: they fall back to the serial
-  /// loop, so those layers compose unchanged.
+  /// execution (CLI `--des-jobs`; `auto` resolves to the hardware
+  /// concurrency clamped to the node count).  1 (the default) is the
+  /// serial golden-reference event loop.  With N > 1, each phase is
+  /// partitioned into conflict components — lock chains, sharers of
+  /// mid-phase-published pages, link communication pairs — and the
+  /// components run concurrently on a pool of min(N, nodes) workers,
+  /// each executing the serial engine over its own nodes; results
+  /// merge in total (time, node) order, bit-identical to serial at any
+  /// N (tests/parallel_des_test.cpp).  SC, lock-bearing and --link
+  /// phases are eligible; fault injection and check hooks remain
+  /// zero-lookahead exchange points and fall back to the serial loop
+  /// (see SerialReason), so those layers compose unchanged.
   std::int32_t des_jobs = 1;
 
   /// Record each thread's segment completion times into
@@ -114,6 +134,17 @@ struct IterationResult {
   /// otherwise.
   std::vector<std::vector<SimTime>> segment_end_us;
 
+  /// Parallel-DES eligibility accounting: how many phases ran on the
+  /// worker pool vs fell back to the serial reference engine, and the
+  /// first fallback's reason (kNone when every phase was parallel).
+  /// Surfaced through IterationMetrics into the sweep CSV/JSON and
+  /// `actrack profile`, so "why is this run serial?" is answerable
+  /// without a debugger.
+  std::int64_t des_phases_total = 0;
+  std::int64_t des_phases_parallel = 0;
+  std::int64_t des_phases_serial = 0;
+  SerialReason des_serial_reason = SerialReason::kNone;
+
   /// max/mean of per-node active time; 1.0 is perfectly balanced.
   [[nodiscard]] double load_imbalance() const;
 };
@@ -129,6 +160,12 @@ struct TrackingResult {
   /// (these would have occurred regardless; Table 5 "Coherence").
   std::int64_t coherence_faults = 0;
   SimTime elapsed_us = 0;
+
+  /// Parallel-DES eligibility accounting; see IterationResult.
+  std::int64_t des_phases_total = 0;
+  std::int64_t des_phases_parallel = 0;
+  std::int64_t des_phases_serial = 0;
+  SerialReason des_serial_reason = SerialReason::kNone;
 };
 
 struct MigrationResult {
@@ -188,19 +225,29 @@ class ClusterScheduler {
   PhaseOutcome run_phase(const Phase& phase, const Placement& placement,
                          SimTime start_us, IterationResult& result);
 
-  /// The parallel-DES variant of run_phase: per-node event queues on
-  /// the worker pool, results merged in total (time, node) order.
-  /// Bit-identical to run_phase for every eligible phase.
+  /// The parallel-DES variant of run_phase: the phase's conflict
+  /// components execute concurrently on the worker pool, each running
+  /// the serial engine over its own nodes; results merge in total
+  /// (time, node) order.  Bit-identical to run_phase for every
+  /// eligible phase.
   PhaseOutcome run_phase_parallel(const Phase& phase,
                                   const Placement& placement,
                                   SimTime start_us, IterationResult& result);
 
-  /// True when `phase` may run on the worker pool: des_jobs > 1, more
-  /// than one node, LRC, no locks anywhere in the phase, and no link
-  /// layer or fault injection (all of which are exchange points that
-  /// force the conservative serial fallback).
-  [[nodiscard]] bool phase_parallel_eligible(const Phase& phase,
-                                             NodeId num_nodes) const;
+  /// Why phases of this run cannot use the worker pool (kNone =
+  /// eligible).  The verdict depends only on the run configuration —
+  /// worker/node counts and fault/check attachments — never on the
+  /// phase's shape: SC, locks and the link layer are handled by the
+  /// conflict partition.
+  [[nodiscard]] SerialReason phase_serial_reason(NodeId num_nodes) const;
+
+  /// Builds the phase's conflict partition (union-find over nodes; see
+  /// scheduler.cpp for the edge rules) into the scratch analysis and
+  /// the DSM phase descriptor; returns the component count.  `tracked`
+  /// adds the tracked-mode edge: each used lock's pre-phase holder
+  /// joins the lock's chain.
+  std::int32_t analyze_phase(const Phase& phase, const Placement& placement,
+                             bool tracked);
 
   /// The lazily-created DES worker pool (des_jobs > 1 only).
   [[nodiscard]] WorkerPool& pool(NodeId num_nodes);

@@ -1,5 +1,6 @@
 #include "tools/cli.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "apps/drifting.hpp"
 #include "apps/trace_workload.hpp"
@@ -75,7 +77,15 @@ RuntimeConfig config_for(const Options& options) {
     fail("--consistency must be lrc or sc");
   }
   config.sched.latency_hiding = options.latency_hiding;
-  config.sched.des_jobs = options.des_jobs;
+  if (options.des_jobs == 0) {
+    // --des-jobs auto: one worker per hardware thread, but never more
+    // than the node count (the pool caps there anyway).
+    const auto hw =
+        static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    config.sched.des_jobs = std::clamp(hw, 1, options.nodes);
+  } else {
+    config.sched.des_jobs = options.des_jobs;
+  }
   if (!options.interconnect.empty()) {
     const InterconnectPreset* preset =
         find_interconnect(options.interconnect);
@@ -311,6 +321,14 @@ int cmd_profile(const Options& options, std::ostream& out) {
         << probe.trace().capacity() << "-event cap)";
   }
   out << " -> " << options.trace_path << '\n';
+  const IterationMetrics& des = runtime.totals();
+  out << "parallel DES: " << des.des_phases_parallel << "/"
+      << des.des_phases_total << " phases on the worker pool";
+  if (des.des_phases_serial > 0) {
+    out << " (serial fallback: " << serial_reason_name(des.des_serial_reason)
+        << ")";
+  }
+  out << '\n';
   if (!options.timeline_path.empty()) {
     std::ofstream svg(options.timeline_path);
     if (!svg.good()) fail("cannot open " + options.timeline_path);
@@ -714,8 +732,9 @@ std::string usage() {
       "  --samples N           random placements         (default 5)\n"
       "  --period N            drift period              (default 8)\n"
       "  --jobs N              parallel sweep trials     (default 1)\n"
-      "  --des-jobs N          sim worker threads for one trial; results\n"
-      "                        are bit-identical at any N  (default 1)\n"
+      "  --des-jobs N|auto     sim worker threads for one trial; results\n"
+      "                        are bit-identical at any N; auto = hardware\n"
+      "                        threads, capped at --nodes  (default 1)\n"
       "  --format F            table|csv|json (sweep)    (default table)\n"
       "  --placement P         stretch|mincost|random    (default stretch)\n"
       "  --consistency C       lrc|sc; check also: both  (default lrc;\n"
@@ -798,7 +817,15 @@ Options parse(const std::vector<std::string>& args) {
     } else if (flag == "--jobs") {
       options.jobs = static_cast<std::int32_t>(parse_int(flag, next()));
     } else if (flag == "--des-jobs") {
-      options.des_jobs = static_cast<std::int32_t>(parse_int(flag, next()));
+      // Numeric zero is NOT a spelling of auto: 0 is the internal
+      // sentinel, and accepting it silently would alias two meanings.
+      const std::string value = next();
+      if (value == "auto") {
+        options.des_jobs = 0;
+      } else {
+        options.des_jobs = static_cast<std::int32_t>(parse_int(flag, value));
+        if (options.des_jobs < 1) fail("--des-jobs must be positive or auto");
+      }
     } else if (flag == "--format") {
       options.format = next();
     } else if (flag == "--placement") {
@@ -870,7 +897,7 @@ Options parse(const std::vector<std::string>& args) {
   if (options.iterations < 0) fail("--iterations must be non-negative");
   if (options.seeds < 0) fail("--seeds must be non-negative");
   if (options.jobs < 1) fail("--jobs must be positive");
-  if (options.des_jobs < 1) fail("--des-jobs must be positive");
+  if (options.des_jobs < 0) fail("--des-jobs must be positive or auto");
   if (options.rate <= 0) fail("--rate must be positive");
   if (options.windows < 1) fail("--windows must be positive");
   if (options.window_ms < 1) fail("--window-ms must be positive");

@@ -12,7 +12,8 @@
 //   actrack info    --app FFT7 [--threads 64]
 //   actrack run     --app SOR --placement mincost --iterations 10
 //                   [--nodes 8] [--consistency lrc|sc] [--seed N]
-//                   [--no-latency-hiding] [--des-jobs N] [--csv metrics.csv]
+//                   [--no-latency-hiding] [--des-jobs N|auto]
+//                   [--csv metrics.csv]
 //   actrack track   --app Water [--pgm map.pgm] [--ascii]
 //   actrack cutcost --app LU2k [--samples 5]
 //   actrack sweep   --app Water [--iterations 3] [--jobs 4]
@@ -56,7 +57,9 @@ struct Options {
   std::int32_t samples = 5;
   std::int32_t period = 8;
   std::int32_t jobs = 1;                // parallel sweep trials
-  std::int32_t des_jobs = 1;            // parallel DES sim threads
+  /// Parallel DES sim threads.  0 is `--des-jobs auto`: resolve to the
+  /// hardware concurrency clamped to the node count at config time.
+  std::int32_t des_jobs = 1;
   std::string format = "table";         // table | csv | json (sweep)
   std::string placement = "stretch";    // stretch | mincost | random
   std::string consistency = "lrc";      // lrc | sc (check also: both)

@@ -44,6 +44,38 @@ TEST(CliParse, ParsesFlags) {
   EXPECT_EQ(o.pgm_path, "m.pgm");
 }
 
+TEST(CliParse, DesJobsParsesCountsAndAuto) {
+  EXPECT_EQ(parse_ok({"run", "--des-jobs", "4"}).des_jobs, 4);
+  EXPECT_EQ(parse_ok({"run", "--des-jobs", "1"}).des_jobs, 1);
+  // auto is the 0 sentinel, resolved to hardware threads (capped at
+  // --nodes) when the scheduler config is built.
+  EXPECT_EQ(parse_ok({"run", "--des-jobs", "auto"}).des_jobs, 0);
+  EXPECT_EQ(parse_ok({"serve", "--app", "KV", "--des-jobs", "auto"}).des_jobs,
+            0);
+  EXPECT_THROW((void)parse_ok({"run", "--des-jobs", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--des-jobs", "-2"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--des-jobs", "many"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_ok({"run", "--des-jobs"}), std::invalid_argument);
+}
+
+TEST(CliRun, DesJobsAutoRunsAndMatchesSerial) {
+  std::ostringstream serial;
+  EXPECT_EQ(run(parse_ok({"run", "--app", "SOR", "--threads", "8", "--nodes",
+                          "4", "--iterations", "2"}),
+                serial),
+            0);
+  std::ostringstream auto_jobs;
+  EXPECT_EQ(run(parse_ok({"run", "--app", "SOR", "--threads", "8", "--nodes",
+                          "4", "--iterations", "2", "--des-jobs", "auto"}),
+                auto_jobs),
+            0);
+  // Bit-identical results at any worker count, auto included.
+  EXPECT_EQ(serial.str(), auto_jobs.str());
+}
+
 TEST(CliParse, RejectsBadInput) {
   EXPECT_THROW((void)parse_ok({}), std::invalid_argument);
   EXPECT_THROW((void)parse_ok({"frobnicate"}), std::invalid_argument);

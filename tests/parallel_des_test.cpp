@@ -4,11 +4,13 @@
 // bit-identical to the serial golden reference for every N — same
 // IterationMetrics at every step, same DsmStats, same NetCounters, same
 // tracking bitmaps.  The matrix crosses every tier-1 workload with
-// {lrc, sc} x {link on/off} x {fault plan on/off}; the combinations
-// with SC, the link layer or a fault plan must fall back to the serial
-// loop (exchange points with zero lookahead), so identity there pins
-// the fallback contract, while plain LRC runs exercise the real
-// worker-pool engine.
+// {lrc, sc} x {link on/off} x {fault plan on/off}.  Since the
+// conflict-component engine landed, SC, lock-bearing and link-enabled
+// phases all execute on the worker pool (conflicting nodes share a
+// component that runs the serial engine verbatim; disjoint components
+// run concurrently), so every fault-free cell pins the parallel engine
+// itself; only fault-plan cells still take the serial fallback, and
+// the eligibility counters are asserted to say so.
 //
 // The window-boundary test pins the strict-inequality delivery rule: a
 // remote-fetch wake landing *exactly* on the node's clock is delivered
@@ -121,6 +123,30 @@ void expect_identical(const RunOutput& serial, const RunOutput& parallel,
   }
 }
 
+/// Eligibility-counter contract for one run.  The counters are *meant*
+/// to differ between the serial reference and a parallel run (that is
+/// their whole point), so they stay out of expect_identical and get
+/// their own check: every step ran phases, the split sums to the
+/// total, and the split is all-or-nothing with the expected reason —
+/// kNone means every phase ran on the worker pool, anything else means
+/// every phase took the serial fallback for that reason.
+void expect_eligibility(const RunOutput& out, SerialReason reason,
+                        const std::string& label) {
+  for (std::size_t i = 0; i < out.steps.size(); ++i) {
+    SCOPED_TRACE(label + " eligibility, step " + std::to_string(i));
+    const IterationMetrics& m = out.steps[i];
+    EXPECT_GT(m.des_phases_total, 0);
+    EXPECT_EQ(m.des_phases_parallel + m.des_phases_serial,
+              m.des_phases_total);
+    if (reason == SerialReason::kNone) {
+      EXPECT_EQ(m.des_phases_serial, 0);
+    } else {
+      EXPECT_EQ(m.des_phases_parallel, 0);
+    }
+    EXPECT_EQ(m.des_serial_reason, reason);
+  }
+}
+
 /// One cell of the {consistency} x {link} x {fault} grid.
 struct Variant {
   const char* label;
@@ -160,10 +186,17 @@ TEST_P(ParallelDesTest, BitIdenticalAtAnyJobCount) {
   for (const Variant& variant : kVariants) {
     const RuntimeConfig config = config_for(variant);
     const RunOutput serial = scripted_run(*workload, config, 1);
-    for (const std::int32_t jobs : {2, 4, 8}) {
-      expect_identical(serial, scripted_run(*workload, config, jobs),
-                       GetParam() + "/" + variant.label + "/jobs" +
-                           std::to_string(jobs));
+    expect_eligibility(serial, SerialReason::kSingleWorker,
+                       GetParam() + "/" + variant.label + "/jobs1");
+    for (const std::int32_t jobs : {2, 4, 8, 16}) {
+      const std::string label = GetParam() + "/" + variant.label + "/jobs" +
+                                std::to_string(jobs);
+      const RunOutput parallel = scripted_run(*workload, config, jobs);
+      expect_identical(serial, parallel, label);
+      expect_eligibility(parallel,
+                         variant.fault ? SerialReason::kFaultInjector
+                                       : SerialReason::kNone,
+                         label);
     }
   }
 }
@@ -181,9 +214,36 @@ TEST(ParallelDesGc, GcChurnStaysIdentical) {
   config.dsm.gc_enabled = true;
   config.dsm.gc_threshold_bytes = 4096;
   const RunOutput serial = scripted_run(*workload, config, 1);
-  for (const std::int32_t jobs : {2, 4, 8}) {
+  for (const std::int32_t jobs : {2, 4, 8, 16}) {
     expect_identical(serial, scripted_run(*workload, config, jobs),
                      "Water+gc/jobs" + std::to_string(jobs));
+  }
+}
+
+// Locks are the whole reason the component engine exists: Water and
+// Barnes take them every iteration, so their fault-free cells in the
+// matrix above exercise lock-chain partitioning.  Pin that coverage
+// directly — if a workload refactor ever made these apps lock-free,
+// the matrix would silently stop testing the lock path — and assert
+// that the lock-bearing phases really ran on the worker pool rather
+// than quietly regressing to the serial fallback.
+TEST(ParallelDesLocks, LockBearingPhasesRunOnTheWorkerPool) {
+  for (const char* name : {"Water", "Barnes"}) {
+    const std::unique_ptr<Workload> workload = make_workload(name, kThreads);
+    RuntimeConfig config;
+    config.sched.des_jobs = 8;
+    ClusterRuntime runtime(
+        *workload, Placement::stretch(workload->num_threads(), kNodes),
+        config);
+    runtime.run_init();
+    IterationResult detail;
+    runtime.run_iteration(&detail);
+    SCOPED_TRACE(name);
+    EXPECT_GT(detail.lock_acquires, 0);
+    EXPECT_GT(detail.des_phases_total, 0);
+    EXPECT_EQ(detail.des_phases_serial, 0);
+    EXPECT_EQ(detail.des_phases_parallel, detail.des_phases_total);
+    EXPECT_EQ(detail.des_serial_reason, SerialReason::kNone);
   }
 }
 
